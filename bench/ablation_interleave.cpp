@@ -1,0 +1,132 @@
+// Ablation for the paper's §3.2 design choice: hi/lo lane split (chosen by
+// the paper, with paired rotation instructions in hardware) vs. the classic
+// bit-interleaving representation (cheap software rotations but conversion
+// cost at every SHA-3 entry/exit).
+//
+// Google-benchmark measures host wall-clock for the software-visible parts:
+// rotation throughput in each representation and the interleave/deinterleave
+// conversion the hi/lo split avoids.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "kvx/baseline/scalar_keccak.hpp"
+
+#include "kvx/common/bits.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/keccak/interleave.hpp"
+#include "kvx/keccak/permutation.hpp"
+
+namespace {
+
+using namespace kvx;
+using namespace kvx::keccak;
+
+std::vector<u64> test_lanes(usize n) {
+  SplitMix64 rng(7);
+  std::vector<u64> v(n);
+  for (u64& x : v) x = rng.next();
+  return v;
+}
+
+/// Rotate all 25 lanes by the rho offsets in the plain 64-bit representation.
+void BM_RotatePlain64(benchmark::State& state) {
+  auto lanes = test_lanes(25);
+  const auto& off = rho_offsets();
+  for (auto _ : state) {
+    for (usize i = 0; i < 25; ++i) {
+      lanes[i] = rotl64(lanes[i], off[i / 5][i % 5]);
+    }
+    benchmark::DoNotOptimize(lanes.data());
+  }
+}
+BENCHMARK(BM_RotatePlain64);
+
+/// The same rotations on hi/lo split pairs (what a 32-bit datapath without
+/// the paper's paired instructions must do in software).
+void BM_RotateHiLoSplit(benchmark::State& state) {
+  const auto lanes = test_lanes(25);
+  std::vector<HiLo> split(25);
+  for (usize i = 0; i < 25; ++i) split[i] = split_hilo(lanes[i]);
+  const auto& off = rho_offsets();
+  for (auto _ : state) {
+    for (usize i = 0; i < 25; ++i) {
+      split[i] = rotl_hilo(split[i], off[i / 5][i % 5]);
+    }
+    benchmark::DoNotOptimize(split.data());
+  }
+}
+BENCHMARK(BM_RotateHiLoSplit);
+
+/// The same rotations in the bit-interleaved representation (two 32-bit
+/// rotations each — the technique the paper declines in favour of hardware
+/// support).
+void BM_RotateInterleaved(benchmark::State& state) {
+  const auto lanes = test_lanes(25);
+  std::vector<Interleaved> inter(25);
+  for (usize i = 0; i < 25; ++i) inter[i] = interleave(lanes[i]);
+  const auto& off = rho_offsets();
+  for (auto _ : state) {
+    for (usize i = 0; i < 25; ++i) {
+      inter[i] = rotl_interleaved(inter[i], off[i / 5][i % 5]);
+    }
+    benchmark::DoNotOptimize(inter.data());
+  }
+}
+BENCHMARK(BM_RotateInterleaved);
+
+/// Conversion overhead bit interleaving pays at every SHA-3 boundary when
+/// interoperating with byte-oriented callers (the paper's argument for the
+/// hi/lo split: "extra efforts are required to separate the lane...").
+void BM_InterleaveConversionPerState(benchmark::State& state) {
+  const auto lanes = test_lanes(25);
+  for (auto _ : state) {
+    u64 acc = 0;
+    for (usize i = 0; i < 25; ++i) {
+      acc ^= deinterleave(interleave(lanes[i]));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_InterleaveConversionPerState);
+
+/// Host-side reference: the full permutation, for scale.
+void BM_PermuteFast(benchmark::State& state) {
+  State s;
+  for (auto _ : state) {
+    permute_fast(s);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 200);
+}
+BENCHMARK(BM_PermuteFast);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // First the cycle-accurate comparison on the simulated scalar core: the
+  // same Keccak with hi/lo lanes (plain RV32IM) vs bit-interleaved lanes
+  // (RV32IM + Zbb rotates), i.e. the representation trade-off of paper
+  // SS3.2 measured end to end.
+  {
+    using kvx::baseline::Flavor;
+    using kvx::baseline::ScalarKeccak;
+    ScalarKeccak hilo(24, Flavor::kHiLo);
+    ScalarKeccak inter(24, Flavor::kInterleavedZbb);
+    const auto r_hilo = hilo.measure_round_cycles();
+    const auto r_inter = inter.measure_round_cycles();
+    std::printf(
+        "Simulated scalar core, cycles per Keccak round:\n"
+        "  hi/lo split (RV32IM)              : %llu\n"
+        "  bit-interleaved (RV32IM + Zbb)    : %llu  (%.2fx faster, but pays\n"
+        "                                        a conversion at every SHA-3\n"
+        "                                        boundary - see below)\n\n",
+        static_cast<unsigned long long>(r_hilo),
+        static_cast<unsigned long long>(r_inter),
+        static_cast<double>(r_hilo) / static_cast<double>(r_inter));
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

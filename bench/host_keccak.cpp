@@ -1,0 +1,87 @@
+// Host wall-clock benchmarks of the golden-model substrate (sanity check
+// that the reference library itself is production-quality) and of the
+// simulator itself (simulation throughput, relevant for users scaling the
+// parameter sweeps).
+#include <benchmark/benchmark.h>
+
+#include "kvx/baseline/scalar_keccak.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/core/vector_keccak.hpp"
+#include "kvx/keccak/permutation.hpp"
+#include "kvx/keccak/sha3.hpp"
+
+namespace {
+
+using namespace kvx;
+
+void BM_PermuteReference(benchmark::State& state) {
+  keccak::State s;
+  for (auto _ : state) {
+    keccak::permute(s);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 200);
+}
+BENCHMARK(BM_PermuteReference);
+
+void BM_PermuteFastHost(benchmark::State& state) {
+  keccak::State s;
+  for (auto _ : state) {
+    keccak::permute_fast(s);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 200);
+}
+BENCHMARK(BM_PermuteFastHost);
+
+void BM_Sha3_256(benchmark::State& state) {
+  std::vector<u8> msg(static_cast<usize>(state.range(0)));
+  SplitMix64 rng(1);
+  for (u8& b : msg) b = static_cast<u8>(rng.next());
+  for (auto _ : state) {
+    auto d = keccak::sha3_256(msg);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha3_256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Shake128Squeeze(benchmark::State& state) {
+  keccak::Xof xof(keccak::Sha3Function::kShake128);
+  xof.absorb("seed material");
+  std::vector<u8> out(static_cast<usize>(state.range(0)));
+  for (auto _ : state) {
+    xof.squeeze(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Shake128Squeeze)->Arg(168)->Arg(1344);
+
+/// Simulator throughput: simulated permutations per host second.
+void BM_SimulatedPermutation64Lmul8(benchmark::State& state) {
+  core::VectorKeccak vk({core::Arch::k64Lmul8,
+                         static_cast<unsigned>(state.range(0)), 24});
+  std::vector<keccak::State> states(vk.config().sn());
+  for (auto _ : state) {
+    vk.permute(states);
+    benchmark::DoNotOptimize(states.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          vk.config().sn());
+}
+BENCHMARK(BM_SimulatedPermutation64Lmul8)->Arg(5)->Arg(30);
+
+void BM_SimulatedScalarBaseline(benchmark::State& state) {
+  baseline::ScalarKeccak scalar;
+  keccak::State s;
+  for (auto _ : state) {
+    scalar.permute(s);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SimulatedScalarBaseline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Regenerates every headline comparison ratio the paper's §4.2 reports in
+// prose, from our own measured cycle counts and the calibrated area model.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "kvx/baseline/scalar_keccak.hpp"
+#include "kvx/core/area_model.hpp"
+#include "kvx/core/metrics.hpp"
+#include "kvx/core/reference_designs.hpp"
+#include "kvx/core/vector_keccak.hpp"
+
+int main() {
+  using namespace kvx;
+  using namespace kvx::core;
+
+  kvx::bench::header("Paper §4.2 comparison ratios — measured vs. published");
+
+  VectorKeccak v64l1({Arch::k64Lmul1, 30, 24});
+  VectorKeccak v64l8({Arch::k64Lmul8, 30, 24});
+  VectorKeccak v32l8({Arch::k32Lmul8, 30, 24});
+  const u64 p64l1 = v64l1.measure_permutation_cycles();
+  const u64 p64l8 = v64l8.measure_permutation_cycles();
+  const u64 p32l8 = v32l8.measure_permutation_cycles();
+
+  const auto print = [](const char* what, double measured, double paper) {
+    std::printf("  %-52s %7.2fx   (paper: %.1fx)\n", what, measured, paper);
+  };
+
+  std::printf("LMUL=1 vs LMUL=8 (64-bit):\n");
+  print("throughput gain from LMUL=8",
+        static_cast<double>(p64l1) / static_cast<double>(p64l8), 1.35);
+
+  std::printf("64-bit vs 32-bit (both LMUL=8):\n");
+  print("64-bit speedup over 32-bit",
+        static_cast<double>(p32l8) / static_cast<double>(p64l8), 2.0);
+  print("area ratio 64-bit/32-bit at EleNum=30",
+        static_cast<double>(AreaModel::simd_processor_slices(64, 30)) /
+            AreaModel::simd_processor_slices(32, 30),
+        1.0);
+
+  std::printf("32-bit (EleNum=30, 6 states) vs software C-code:\n");
+  const double t32 = throughput_e3(p32l8, 6);
+  print("speedup vs paper's Ibex C-code constant",
+        t32 / paper_ibex_ccode().throughput_e3, 117.9);
+  print("area cost vs bare Ibex",
+        static_cast<double>(AreaModel::simd_processor_slices(32, 30)) /
+            AreaModel::scalar_core_slices(),
+        111.2);
+  baseline::ScalarKeccak scalar_asm;
+  print("speedup vs our measured scalar-asm baseline",
+        t32 / throughput_e3(scalar_asm.measure_permutation_cycles(), 1), 117.9);
+
+  std::printf("32-bit (EleNum=30) vs published ISEs:\n");
+  print("vs MIPS Co-processor ISE [10]",
+        t32 / table8_references()[2].throughput_e3, 45.7);
+  print("area vs MIPS Co-processor ISE",
+        static_cast<double>(AreaModel::simd_processor_slices(32, 30)) /
+            *table8_references()[2].area_slices,
+        6.3);
+  print("vs DASIP [19]", t32 / table8_references()[4].throughput_e3, 43.2);
+  print("area vs DASIP",
+        static_cast<double>(AreaModel::simd_processor_slices(32, 30)) /
+            *table8_references()[4].area_slices,
+        31.5);
+
+  std::printf("64-bit (EleNum=30, LMUL=8) vs vector extensions [20]:\n");
+  print("throughput vs Rawat & Schaumont",
+        throughput_e3(p64l8, 6) / rawat_vector_ise().throughput_e3, 5.3);
+
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Per-step-mapping cycle breakdown of one Keccak round for every
+// architecture variant (the paper's Algorithm 2/3 "# N cc" annotations,
+// measured via the free step markers in the single-round programs).
+//
+// Expected from the paper: 64-bit LMUL=1 round = θ 26 + ρ 10 + π 15 +
+// χ 50 + ι 2 = 103 cc; LMUL=8 = θ 26 + ρ 8 + π 7 + χ 30 + ι 4 = 75 cc
+// (ρ includes its vsetvli; ι its switch back to LMUL=1).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "kvx/core/program_builder.hpp"
+#include "kvx/sim/processor.hpp"
+
+int main() {
+  using namespace kvx;
+  using namespace kvx::core;
+
+  kvx::bench::header(
+      "Cycle breakdown per step mapping (one round, EleNum=5)\n"
+      "theta | rho | pi | chi | iota | total  — cycles");
+
+  for (Arch arch : {Arch::k64Lmul1, Arch::k64Lmul8, Arch::k32Lmul8,
+                    Arch::k64PureRvv, Arch::k64Fused}) {
+    const KeccakProgram prog =
+        build_keccak_program({arch, 5, 24, /*single_round=*/true});
+    sim::ProcessorConfig cfg;
+    cfg.vector.elen_bits = arch_elen(arch);
+    cfg.vector.ele_num = 5;
+    sim::SimdProcessor proc(cfg);
+    proc.load_program(prog.image);
+    proc.run();
+
+    const u64 theta = proc.cycles_between(Markers::kRoundStart, Markers::kStepRho);
+    const u64 rho = proc.cycles_between(Markers::kStepRho, Markers::kStepPi);
+    const u64 pi = proc.cycles_between(Markers::kStepPi, Markers::kStepChi);
+    const u64 chi = proc.cycles_between(Markers::kStepChi, Markers::kStepIota);
+    const u64 iota = proc.cycles_between(Markers::kStepIota, Markers::kRoundEnd);
+    const u64 total = proc.cycles_between(Markers::kRoundStart, Markers::kRoundEnd);
+    std::printf("%-18s | %5llu | %4llu | %4llu | %4llu | %4llu | %5llu\n",
+                std::string(arch_name(arch)).c_str(),
+                static_cast<unsigned long long>(theta),
+                static_cast<unsigned long long>(rho),
+                static_cast<unsigned long long>(pi),
+                static_cast<unsigned long long>(chi),
+                static_cast<unsigned long long>(iota),
+                static_cast<unsigned long long>(total));
+  }
+  std::printf("(paper, 64-bit L1)  |    26 |   10 |   15 |   50 |    2 |   103\n");
+  std::printf("(paper, 64-bit L8)  |    26 |    8 |    7 |   30 |    4 |    75\n");
+  return 0;
+}

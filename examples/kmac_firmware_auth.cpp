@@ -1,0 +1,95 @@
+// Firmware authentication with KMAC (SP 800-185) — the "embedded IoT"
+// use case the OASIP/DASIP related work targets: a device verifies firmware
+// chunks with keyed MACs, and the SHA-3 accelerator turns the per-chunk
+// Keccak permutations into a handful of vector instructions.
+//
+// The example signs a synthetic firmware image chunk-by-chunk with KMAC256,
+// verifies it (including detecting a flipped bit), and reports how many
+// simulated accelerator cycles the underlying permutations would take on
+// each architecture configuration.
+#include <cstdio>
+#include <vector>
+
+#include "kvx/common/hex.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/core/metrics.hpp"
+#include "kvx/core/parallel_sha3.hpp"
+#include "kvx/keccak/sp800_185.hpp"
+
+int main() {
+  using namespace kvx;
+
+  // Synthetic 16 KiB firmware image in 1 KiB chunks.
+  constexpr usize kChunk = 1024;
+  constexpr usize kChunks = 16;
+  SplitMix64 rng(0xF1F2F3F4);
+  std::vector<u8> firmware(kChunk * kChunks);
+  for (u8& b : firmware) b = static_cast<u8>(rng.next());
+  std::vector<u8> key(32);
+  for (u8& b : key) b = static_cast<u8>(rng.next());
+  const std::vector<u8> context = {'f', 'w', '-', 'v', '1'};
+
+  // Sign: one KMAC256 tag per chunk, bound to the chunk index via TupleHash
+  // style encoding (index appended to the customization).
+  std::vector<std::vector<u8>> tags;
+  for (usize c = 0; c < kChunks; ++c) {
+    std::vector<u8> custom = context;
+    custom.push_back(static_cast<u8>(c));
+    const std::span<const u8> chunk(firmware.data() + c * kChunk, kChunk);
+    tags.push_back(keccak::kmac256(key, chunk, 32, custom));
+  }
+  std::printf("signed %zu chunks; tag[0] = %s…\n", kChunks,
+              to_hex(std::span<const u8>(tags[0]).first(8)).c_str());
+
+  // Verify all chunks.
+  usize ok = 0;
+  for (usize c = 0; c < kChunks; ++c) {
+    std::vector<u8> custom = context;
+    custom.push_back(static_cast<u8>(c));
+    const std::span<const u8> chunk(firmware.data() + c * kChunk, kChunk);
+    if (keccak::kmac256(key, chunk, 32, custom) == tags[c]) ++ok;
+  }
+  std::printf("verification: %zu/%zu chunks authentic\n", ok, kChunks);
+
+  // Tamper with one byte and verify detection.
+  firmware[5 * kChunk + 77] ^= 0x01;
+  std::vector<u8> custom = context;
+  custom.push_back(5);
+  const std::span<const u8> tampered(firmware.data() + 5 * kChunk, kChunk);
+  std::printf("tampered chunk 5 detected: %s\n",
+              keccak::kmac256(key, tampered, 32, custom) != tags[5]
+                  ? "yes"
+                  : "NO (bug!)");
+
+  // Now run the whole verification ON the simulated accelerator: one KMAC
+  // batch over all 16 chunks (SN = 4 in lockstep) per architecture, with
+  // measured — not estimated — cycle counts. Tags must match the host ones
+  // computed above (note: chunks share the customization here so they can
+  // run in one batch; chunk binding via per-chunk custom strings would use
+  // one batch per index).
+  firmware[5 * kChunk + 77] ^= 0x01;  // undo the tamper
+  std::vector<std::vector<u8>> chunks(kChunks);
+  for (usize c = 0; c < kChunks; ++c) {
+    chunks[c].assign(firmware.begin() + static_cast<std::ptrdiff_t>(c * kChunk),
+                     firmware.begin() + static_cast<std::ptrdiff_t>((c + 1) * kChunk));
+  }
+  std::printf("\naccelerator-run verification (16 chunks, batched KMAC256):\n");
+  for (const auto arch :
+       {core::Arch::k64Lmul1, core::Arch::k64Lmul8, core::Arch::k64Fused}) {
+    core::ParallelSha3 accel({arch, 20, 24});  // SN = 4
+    const auto accel_tags = accel.kmac_batch(256, key, chunks, 32, context);
+    usize match = 0;
+    for (usize c = 0; c < kChunks; ++c) {
+      if (accel_tags[c] == keccak::kmac256(key, chunks[c], 32, context)) {
+        ++match;
+      }
+    }
+    std::printf("  %-18s %2zu/%zu tags match host | %8llu cycles | %.1f us "
+                "at 100 MHz\n",
+                std::string(core::arch_name(arch)).c_str(), match, kChunks,
+                static_cast<unsigned long long>(
+                    accel.stats().accelerator_cycles),
+                static_cast<double>(accel.stats().accelerator_cycles) / 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// The paper's motivating workload (§1): CRYSTALS-Kyber public-matrix
+// generation. Kyber1024 expands a 32-byte seed into a 4x4 matrix of
+// polynomials by running SHAKE128 on seed‖(row,col) and rejection-sampling
+// 12-bit coefficients modulo q = 3329.
+//
+// All 16 XOF inputs have identical length, so the vector accelerator can run
+// SN of them in lockstep — exactly the parallelism the paper's vector
+// register layout (Figure 5) provides. This example generates the matrix
+// both ways, verifies bit-identical coefficients, and reports the
+// accelerator cycle counts per SN configuration.
+#include <cstdio>
+#include <vector>
+
+#include "kvx/core/parallel_sha3.hpp"
+#include "kvx/keccak/sha3.hpp"
+
+namespace {
+
+using namespace kvx;
+
+constexpr unsigned kK = 4;        // Kyber1024: 4x4 matrix
+constexpr unsigned kN = 256;      // coefficients per polynomial
+constexpr u16 kQ = 3329;
+constexpr usize kXofBytes = 672;  // 4 SHAKE128 blocks; enough after rejection
+
+/// Kyber-style rejection sampling of kN coefficients from an XOF stream.
+std::vector<u16> sample_poly(std::span<const u8> stream) {
+  std::vector<u16> coeffs;
+  coeffs.reserve(kN);
+  for (usize i = 0; i + 3 <= stream.size() && coeffs.size() < kN; i += 3) {
+    const u16 d1 = static_cast<u16>(stream[i] | ((stream[i + 1] & 0x0F) << 8));
+    const u16 d2 = static_cast<u16>((stream[i + 1] >> 4) | (stream[i + 2] << 4));
+    if (d1 < kQ) coeffs.push_back(d1);
+    if (d2 < kQ && coeffs.size() < kN) coeffs.push_back(d2);
+  }
+  return coeffs;
+}
+
+std::vector<std::vector<u8>> matrix_inputs(std::span<const u8> seed) {
+  std::vector<std::vector<u8>> inputs;
+  for (u8 i = 0; i < kK; ++i) {
+    for (u8 j = 0; j < kK; ++j) {
+      std::vector<u8> in(seed.begin(), seed.end());
+      in.push_back(j);  // Kyber XOF(seed, j, i) ordering
+      in.push_back(i);
+      inputs.push_back(std::move(in));
+    }
+  }
+  return inputs;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<u8> seed(32);
+  for (usize i = 0; i < seed.size(); ++i) seed[i] = static_cast<u8>(i * 7 + 1);
+  const auto inputs = matrix_inputs(seed);
+
+  // Reference: sequential host SHAKE128.
+  std::vector<std::vector<u16>> reference;
+  for (const auto& in : inputs) {
+    reference.push_back(sample_poly(keccak::shake128(in, kXofBytes)));
+  }
+
+  std::printf("Kyber1024 matrix A: %u polynomials, %u coefficients each\n",
+              kK * kK, kN);
+  std::printf("%-26s | XOF streams | perm batches | accel cycles | cycles/poly\n",
+              "configuration");
+  std::printf("---------------------------------------------------------------"
+              "----------------\n");
+
+  for (unsigned sn : {1u, 2u, 4u}) {
+    core::ParallelSha3 accel({core::Arch::k64Lmul8, 5 * sn, 24});
+    const auto streams =
+        accel.xof_batch(keccak::Sha3Function::kShake128, inputs, kXofBytes);
+
+    // Verify every coefficient against the host reference.
+    bool ok = true;
+    for (usize k = 0; k < inputs.size(); ++k) {
+      if (sample_poly(streams[k]) != reference[k]) ok = false;
+    }
+
+    const auto& st = accel.stats();
+    std::printf("64-bit LMUL=8, SN=%-2u %s | %11zu | %12llu | %12llu | %11.0f\n",
+                sn, ok ? "(ok)  " : "(FAIL)", inputs.size(),
+                static_cast<unsigned long long>(st.permutation_batches),
+                static_cast<unsigned long long>(st.accelerator_cycles),
+                static_cast<double>(st.accelerator_cycles) / (kK * kK));
+  }
+
+  std::printf(
+      "\nWith SN=4 the accelerator runs 4 XOF streams per permutation —\n"
+      "matrix generation needs 1/4 the permutation batches of SN=1, which is\n"
+      "exactly the parallel-state speedup the paper targets for PQC (§1/§5).\n");
+  return 0;
+}

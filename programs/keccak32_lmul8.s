@@ -1,0 +1,125 @@
+# Keccak-f[1600], 32-bit architecture, LMUL=8 (paper §3.2/§4.1)
+# EleNum=5, SN=1, rounds=24
+.text
+    li s1, 5
+    li s5, 25
+    li s2, -1
+    li s3, 0
+    li s4, 24
+    li s6, 0
+    li s7, 1
+    vsetvli x0,s1,e32,m1,tu,mu
+    # index vectors for the hi/lo lane exchange (indexed addressing)
+    la a1, idx_lo
+    vle32.v v30,(a1)
+    la a1, idx_hi
+    vle32.v v31,(a1)
+    # indexed loads: lo words -> v0..v4, hi words -> v16..v20
+    la a0, state
+    mv a1, a0
+    vluxei32.v v0,(a1),v30
+    vluxei32.v v16,(a1),v31
+    addi a1,a1,40
+    vluxei32.v v1,(a1),v30
+    vluxei32.v v17,(a1),v31
+    addi a1,a1,40
+    vluxei32.v v2,(a1),v30
+    vluxei32.v v18,(a1),v31
+    addi a1,a1,40
+    vluxei32.v v3,(a1),v30
+    vluxei32.v v19,(a1),v31
+    addi a1,a1,40
+    vluxei32.v v4,(a1),v30
+    vluxei32.v v20,(a1),v31
+
+    csrwi 0x7C0, 1
+permutation:
+    # theta step (LMUL=1, both halves)
+    vxor.vv v5,v3,v4
+    vxor.vv v6,v1,v2
+    vxor.vv v7,v0,v6
+    vxor.vv v5,v5,v7
+    vxor.vv v21,v19,v20
+    vxor.vv v22,v17,v18
+    vxor.vv v23,v16,v22
+    vxor.vv v21,v21,v23
+    vslideupm.vi v6,v5,1
+    vslideupm.vi v22,v21,1
+    vslidedownm.vi v7,v5,1
+    vslidedownm.vi v23,v21,1
+    v32lrotup.vv v8,v23,v7
+    v32hrotup.vv v24,v23,v7
+    vxor.vv v5,v6,v8
+    vxor.vv v21,v22,v24
+    vxor.vv v0,v0,v5
+    vxor.vv v1,v1,v5
+    vxor.vv v2,v2,v5
+    vxor.vv v3,v3,v5
+    vxor.vv v4,v4,v5
+    vxor.vv v16,v16,v21
+    vxor.vv v17,v17,v21
+    vxor.vv v18,v18,v21
+    vxor.vv v19,v19,v21
+    vxor.vv v20,v20,v21
+    # rho step (LMUL=8, paired hi/lo rotation)
+    vsetvli x0,s5,e32,m8,tu,mu
+    v32lrho.vv v8,v16,v0
+    v32hrho.vv v24,v16,v0
+    # pi step (LMUL=8, both halves)
+    vpi.vi v0,v8,-1
+    vpi.vi v16,v24,-1
+    # chi step (LMUL=8), low then high halves
+    vslidedownm.vi v8,v0,1
+    vxor.vx v8,v8,s2
+    vslidedownm.vi v24,v0,2
+    vand.vv v8,v8,v24
+    vxor.vv v0,v0,v8
+    vslidedownm.vi v8,v16,1
+    vxor.vx v8,v8,s2
+    vslidedownm.vi v24,v16,2
+    vand.vv v8,v8,v24
+    vxor.vv v16,v16,v8
+    # iota step (split RC table; runs twice per round)
+    vsetvli x0,s1,e32,m1,tu,mu
+    viota.vx v0,v0,s6
+    viota.vx v16,v16,s7
+    # next round
+    addi s6,s6,2
+    addi s7,s7,2
+    addi s3,s3,1
+    blt s3,s4,permutation
+    csrwi 0x7C0, 2
+
+    # indexed stores back to the 64-bit lane layout
+    mv a1, a0
+    vsuxei32.v v0,(a1),v30
+    vsuxei32.v v16,(a1),v31
+    addi a1,a1,40
+    vsuxei32.v v1,(a1),v30
+    vsuxei32.v v17,(a1),v31
+    addi a1,a1,40
+    vsuxei32.v v2,(a1),v30
+    vsuxei32.v v18,(a1),v31
+    addi a1,a1,40
+    vsuxei32.v v3,(a1),v30
+    vsuxei32.v v19,(a1),v31
+    addi a1,a1,40
+    vsuxei32.v v4,(a1),v30
+    vsuxei32.v v20,(a1),v31
+    ebreak
+
+.data
+state:
+    .zero 200
+idx_lo:
+    .word 0
+    .word 8
+    .word 16
+    .word 24
+    .word 32
+idx_hi:
+    .word 4
+    .word 12
+    .word 20
+    .word 28
+    .word 36

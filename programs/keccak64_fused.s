@@ -1,0 +1,65 @@
+# Keccak-f[1600], 64-bit architecture, fused-instruction extension (paper SS5 future work)
+# EleNum=5, SN=1, rounds=24
+.text
+    # prologue: s1=EleNum, s2=-1 (NOT via XOR), s3=round, s4=rounds
+    li s1, 5
+    li s2, -1
+    li s3, 0
+    li s4, 24
+    li s5, 25
+    vsetvli x0,s1,e64,m1,tu,mu
+    # load the five planes from data memory
+    la a0, state
+    mv a1, a0
+    vle64.v v0,(a1)
+    addi a1,a1,40
+    vle64.v v1,(a1)
+    addi a1,a1,40
+    vle64.v v2,(a1)
+    addi a1,a1,40
+    vle64.v v3,(a1)
+    addi a1,a1,40
+    vle64.v v4,(a1)
+
+    csrwi 0x7C0, 1
+permutation:
+    # theta step (fused parity-combine)
+    vxor.vv v5,v3,v4
+    vxor.vv v6,v1,v2
+    vxor.vv v7,v0,v6
+    vxor.vv v5,v5,v7
+    vthetac.vv v6,v5
+    vxor.vv v0,v0,v6
+    vxor.vv v1,v1,v6
+    vxor.vv v2,v2,v6
+    vxor.vv v3,v3,v6
+    vxor.vv v4,v4,v6
+    # fused rho+pi step (LMUL=8)
+    vsetvli x0,s5,e64,m8,tu,mu
+    vrhopi.vi v8,v0,-1
+    # fused chi step (LMUL=8)
+    vchi.vv v0,v8
+    # iota step
+    vsetvli x0,s1,e64,m1,tu,mu
+    viota.vx v0,v0,s3
+    # next round
+    addi s3,s3,1
+    blt s3,s4,permutation
+    csrwi 0x7C0, 2
+
+    # store the five planes back
+    mv a1, a0
+    vse64.v v0,(a1)
+    addi a1,a1,40
+    vse64.v v1,(a1)
+    addi a1,a1,40
+    vse64.v v2,(a1)
+    addi a1,a1,40
+    vse64.v v3,(a1)
+    addi a1,a1,40
+    vse64.v v4,(a1)
+    ebreak
+
+.data
+state:
+    .zero 200

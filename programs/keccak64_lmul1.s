@@ -1,0 +1,99 @@
+# Keccak-f[1600], 64-bit architecture, LMUL=1 (Algorithm 2)
+# EleNum=5, SN=1, rounds=24
+.text
+    # prologue: s1=EleNum, s2=-1 (NOT via XOR), s3=round, s4=rounds
+    li s1, 5
+    li s2, -1
+    li s3, 0
+    li s4, 24
+    vsetvli x0,s1,e64,m1,tu,mu
+    # load the five planes from data memory
+    la a0, state
+    mv a1, a0
+    vle64.v v0,(a1)
+    addi a1,a1,40
+    vle64.v v1,(a1)
+    addi a1,a1,40
+    vle64.v v2,(a1)
+    addi a1,a1,40
+    vle64.v v3,(a1)
+    addi a1,a1,40
+    vle64.v v4,(a1)
+
+    csrwi 0x7C0, 1
+permutation:
+    # theta step
+    vxor.vv v5,v3,v4
+    vxor.vv v6,v1,v2
+    vxor.vv v7,v0,v6
+    vxor.vv v5,v5,v7
+    vslideupm.vi v6,v5,1
+    vslidedownm.vi v7,v5,1
+    vrotup.vi v7,v7,1
+    vxor.vv v5,v6,v7
+    vxor.vv v0,v0,v5
+    vxor.vv v1,v1,v5
+    vxor.vv v2,v2,v5
+    vxor.vv v3,v3,v5
+    vxor.vv v4,v4,v5
+    # rho step
+    v64rho.vi v0,v0,0
+    v64rho.vi v1,v1,1
+    v64rho.vi v2,v2,2
+    v64rho.vi v3,v3,3
+    v64rho.vi v4,v4,4
+    # pi step
+    vpi.vi v5,v0,0
+    vpi.vi v5,v1,1
+    vpi.vi v5,v2,2
+    vpi.vi v5,v3,3
+    vpi.vi v5,v4,4
+    # chi step
+    vslidedownm.vi v10,v5,1
+    vslidedownm.vi v11,v6,1
+    vslidedownm.vi v12,v7,1
+    vslidedownm.vi v13,v8,1
+    vslidedownm.vi v14,v9,1
+    vxor.vx v10,v10,s2
+    vxor.vx v11,v11,s2
+    vxor.vx v12,v12,s2
+    vxor.vx v13,v13,s2
+    vxor.vx v14,v14,s2
+    vslidedownm.vi v15,v5,2
+    vslidedownm.vi v16,v6,2
+    vslidedownm.vi v17,v7,2
+    vslidedownm.vi v18,v8,2
+    vslidedownm.vi v19,v9,2
+    vand.vv v10,v10,v15
+    vand.vv v11,v11,v16
+    vand.vv v12,v12,v17
+    vand.vv v13,v13,v18
+    vand.vv v14,v14,v19
+    vxor.vv v0,v5,v10
+    vxor.vv v1,v6,v11
+    vxor.vv v2,v7,v12
+    vxor.vv v3,v8,v13
+    vxor.vv v4,v9,v14
+    # iota step
+    viota.vx v0,v0,s3
+    # next round
+    addi s3,s3,1
+    blt s3,s4,permutation
+    csrwi 0x7C0, 2
+
+    # store the five planes back
+    mv a1, a0
+    vse64.v v0,(a1)
+    addi a1,a1,40
+    vse64.v v1,(a1)
+    addi a1,a1,40
+    vse64.v v2,(a1)
+    addi a1,a1,40
+    vse64.v v3,(a1)
+    addi a1,a1,40
+    vse64.v v4,(a1)
+    ebreak
+
+.data
+state:
+    .zero 200

@@ -1,0 +1,74 @@
+# Keccak-f[1600], 64-bit architecture, LMUL=8 (Algorithm 3)
+# EleNum=5, SN=1, rounds=24
+.text
+    # prologue: s1=EleNum, s2=-1 (NOT via XOR), s3=round, s4=rounds
+    li s1, 5
+    li s2, -1
+    li s3, 0
+    li s4, 24
+    li s5, 25
+    vsetvli x0,s1,e64,m1,tu,mu
+    # load the five planes from data memory
+    la a0, state
+    mv a1, a0
+    vle64.v v0,(a1)
+    addi a1,a1,40
+    vle64.v v1,(a1)
+    addi a1,a1,40
+    vle64.v v2,(a1)
+    addi a1,a1,40
+    vle64.v v3,(a1)
+    addi a1,a1,40
+    vle64.v v4,(a1)
+
+    csrwi 0x7C0, 1
+permutation:
+    # theta step
+    vxor.vv v5,v3,v4
+    vxor.vv v6,v1,v2
+    vxor.vv v7,v0,v6
+    vxor.vv v5,v5,v7
+    vslideupm.vi v6,v5,1
+    vslidedownm.vi v7,v5,1
+    vrotup.vi v7,v7,1
+    vxor.vv v5,v6,v7
+    vxor.vv v0,v0,v5
+    vxor.vv v1,v1,v5
+    vxor.vv v2,v2,v5
+    vxor.vv v3,v3,v5
+    vxor.vv v4,v4,v5
+    # rho step (LMUL=8)
+    vsetvli x0,s5,e64,m8,tu,mu
+    v64rho.vi v0,v0,-1
+    # pi step (LMUL=8)
+    vpi.vi v8,v0,-1
+    # chi step (LMUL=8)
+    vslidedownm.vi v16,v8,1
+    vxor.vx v16,v16,s2
+    vslidedownm.vi v24,v8,2
+    vand.vv v16,v16,v24
+    vxor.vv v0,v8,v16
+    # iota step
+    vsetvli x0,s1,e64,m1,tu,mu
+    viota.vx v0,v0,s3
+    # next round
+    addi s3,s3,1
+    blt s3,s4,permutation
+    csrwi 0x7C0, 2
+
+    # store the five planes back
+    mv a1, a0
+    vse64.v v0,(a1)
+    addi a1,a1,40
+    vse64.v v1,(a1)
+    addi a1,a1,40
+    vse64.v v2,(a1)
+    addi a1,a1,40
+    vse64.v v3,(a1)
+    addi a1,a1,40
+    vse64.v v4,(a1)
+    ebreak
+
+.data
+state:
+    .zero 200

@@ -1,0 +1,380 @@
+# Keccak-f[1600], 64-bit, standard RVV 1.0 instructions ONLY
+# (ablation: what the programmer must do without the custom ISE)
+# EleNum=5, SN=1, rounds=24
+.text
+    li s1, 5
+    li s2, -1
+    li s3, 0
+    li s4, 24
+    li s8, 63
+    vsetvli x0,s1,e64,m1,tu,mu
+    # constant vectors: gather indices and rho shift amounts
+    la a1, tables
+    vle64.v v15,(a1)
+    addi a1,a1,40
+    vle64.v v16,(a1)
+    addi a1,a1,40
+    vle64.v v17,(a1)
+    addi a1,a1,40
+    vle64.v v18,(a1)
+    addi a1,a1,40
+    vle64.v v19,(a1)
+    addi a1,a1,40
+    vle64.v v20,(a1)
+    addi a1,a1,40
+    vle64.v v21,(a1)
+    addi a1,a1,40
+    vle64.v v22,(a1)
+    addi a1,a1,40
+    vle64.v v23,(a1)
+    addi a1,a1,40
+    vle64.v v24,(a1)
+    addi a1,a1,40
+    vle64.v v25,(a1)
+    addi a1,a1,40
+    vle64.v v26,(a1)
+    addi a1,a1,40
+    vle64.v v27,(a1)
+    la s9, idx_pi
+    la s10, scratch
+    la t5, rc_rows
+    # load the five planes
+    la a0, state
+    mv a1, a0
+    vle64.v v0,(a1)
+    addi a1,a1,40
+    vle64.v v1,(a1)
+    addi a1,a1,40
+    vle64.v v2,(a1)
+    addi a1,a1,40
+    vle64.v v3,(a1)
+    addi a1,a1,40
+    vle64.v v4,(a1)
+
+    csrwi 0x7C0, 1
+permutation:
+    # theta (vrgather slides + shift/or rotate)
+    vxor.vv v5,v3,v4
+    vxor.vv v6,v1,v2
+    vxor.vv v7,v0,v6
+    vxor.vv v5,v5,v7
+    vrgather.vv v6,v5,v16
+    vrgather.vv v7,v5,v15
+    vsll.vi v8,v7,1
+    vsrl.vx v9,v7,s8
+    vor.vv v7,v8,v9
+    vxor.vv v5,v6,v7
+    vxor.vv v0,v0,v5
+    vxor.vv v1,v1,v5
+    vxor.vv v2,v2,v5
+    vxor.vv v3,v3,v5
+    vxor.vv v4,v4,v5
+    # rho (per-element shift vectors, three ops per plane)
+    vsll.vv v10,v0,v18
+    vsrl.vv v11,v0,v23
+    vor.vv v5,v10,v11
+    vsll.vv v10,v1,v19
+    vsrl.vv v11,v1,v24
+    vor.vv v6,v10,v11
+    vsll.vv v10,v2,v20
+    vsrl.vv v11,v2,v25
+    vor.vv v7,v10,v11
+    vsll.vv v10,v3,v21
+    vsrl.vv v11,v3,v26
+    vor.vv v8,v10,v11
+    vsll.vv v10,v4,v22
+    vsrl.vv v11,v4,v27
+    vor.vv v9,v10,v11
+    # pi (indexed-store scatter through memory, then reload)
+    mv t2, s9
+    vle32.v v28,(t2)
+    addi t2,t2,20
+    vsuxei32.v v5,(s10),v28
+    vle32.v v28,(t2)
+    addi t2,t2,20
+    vsuxei32.v v6,(s10),v28
+    vle32.v v28,(t2)
+    addi t2,t2,20
+    vsuxei32.v v7,(s10),v28
+    vle32.v v28,(t2)
+    addi t2,t2,20
+    vsuxei32.v v8,(s10),v28
+    vle32.v v28,(t2)
+    addi t2,t2,20
+    vsuxei32.v v9,(s10),v28
+    mv t3, s10
+    vle64.v v5,(t3)
+    addi t3,t3,40
+    vle64.v v6,(t3)
+    addi t3,t3,40
+    vle64.v v7,(t3)
+    addi t3,t3,40
+    vle64.v v8,(t3)
+    addi t3,t3,40
+    vle64.v v9,(t3)
+    # chi (vrgather slides)
+    vrgather.vv v10,v5,v15
+    vxor.vx v10,v10,s2
+    vrgather.vv v11,v5,v17
+    vand.vv v10,v10,v11
+    vxor.vv v0,v5,v10
+    vrgather.vv v10,v6,v15
+    vxor.vx v10,v10,s2
+    vrgather.vv v11,v6,v17
+    vand.vv v10,v10,v11
+    vxor.vv v1,v6,v10
+    vrgather.vv v10,v7,v15
+    vxor.vx v10,v10,s2
+    vrgather.vv v11,v7,v17
+    vand.vv v10,v10,v11
+    vxor.vv v2,v7,v10
+    vrgather.vv v10,v8,v15
+    vxor.vx v10,v10,s2
+    vrgather.vv v11,v8,v17
+    vand.vv v10,v10,v11
+    vxor.vv v3,v8,v10
+    vrgather.vv v10,v9,v15
+    vxor.vx v10,v10,s2
+    vrgather.vv v11,v9,v17
+    vand.vv v10,v10,v11
+    vxor.vv v4,v9,v10
+    # iota (staged RC row from memory)
+    vle64.v v28,(t5)
+    addi t5,t5,40
+    vxor.vv v0,v0,v28
+    # next round
+    addi s3,s3,1
+    blt s3,s4,permutation
+    csrwi 0x7C0, 2
+
+    mv a1, a0
+    vse64.v v0,(a1)
+    addi a1,a1,40
+    vse64.v v1,(a1)
+    addi a1,a1,40
+    vse64.v v2,(a1)
+    addi a1,a1,40
+    vse64.v v3,(a1)
+    addi a1,a1,40
+    vse64.v v4,(a1)
+    ebreak
+
+.data
+state:
+    .zero 200
+scratch:
+    .zero 240
+tables:
+    .dword 1
+    .dword 2
+    .dword 3
+    .dword 4
+    .dword 0
+    .dword 4
+    .dword 0
+    .dword 1
+    .dword 2
+    .dword 3
+    .dword 2
+    .dword 3
+    .dword 4
+    .dword 0
+    .dword 1
+    .dword 0
+    .dword 1
+    .dword 62
+    .dword 28
+    .dword 27
+    .dword 36
+    .dword 44
+    .dword 6
+    .dword 55
+    .dword 20
+    .dword 3
+    .dword 10
+    .dword 43
+    .dword 25
+    .dword 39
+    .dword 41
+    .dword 45
+    .dword 15
+    .dword 21
+    .dword 8
+    .dword 18
+    .dword 2
+    .dword 61
+    .dword 56
+    .dword 14
+    .dword 0
+    .dword 63
+    .dword 2
+    .dword 36
+    .dword 37
+    .dword 28
+    .dword 20
+    .dword 58
+    .dword 9
+    .dword 44
+    .dword 61
+    .dword 54
+    .dword 21
+    .dword 39
+    .dword 25
+    .dword 23
+    .dword 19
+    .dword 49
+    .dword 43
+    .dword 56
+    .dword 46
+    .dword 62
+    .dword 3
+    .dword 8
+    .dword 50
+idx_pi:
+    .word 0
+    .word 80
+    .word 160
+    .word 40
+    .word 120
+    .word 128
+    .word 8
+    .word 88
+    .word 168
+    .word 48
+    .word 56
+    .word 136
+    .word 16
+    .word 96
+    .word 176
+    .word 184
+    .word 64
+    .word 144
+    .word 24
+    .word 104
+    .word 112
+    .word 192
+    .word 72
+    .word 152
+    .word 32
+    .align 3
+rc_rows:
+    .dword 0x1
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8082
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x800000000000808a
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000000080008000
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x808b
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x80000001
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000000080008081
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000000000008009
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8a
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x88
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x80008009
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000000a
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000808b
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x800000000000008b
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000000000008089
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000000000008003
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000000000008002
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000000000000080
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x800a
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x800000008000000a
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000000080008081
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000000000008080
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x80000001
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x8000000080008008
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0
+    .dword 0x0

@@ -1,0 +1,56 @@
+// Two-pass assembler for the KVX instruction set.
+//
+// Accepts the assembly dialect used throughout the paper's Algorithms 2/3:
+// RV32IM base instructions, the RVV 1.0 subset (including
+// `vsetvli x0,s1,e64,m8,tu,mu`) and the ten custom Keccak instructions,
+// plus labels, common pseudo-instructions and simple data directives.
+//
+// Grammar summary:
+//   line      := [label ':'] [instruction | directive] [comment]
+//   comment   := '#' ... end-of-line
+//   directive := .text | .data | .word N... | .dword N... | .byte N... |
+//                .zero N | .align N | .equ NAME, N
+//   pseudo    := nop | li | la | mv | not | neg | j | jr | ret | beqz |
+//                bnez | csrr | csrw
+//
+// Branch/jump operands may be labels or numeric byte offsets. Memory
+// operands use the standard `imm(reg)` form; vector memory operands use
+// `(reg)` with optional stride register / index vector. A trailing `,v0.t`
+// marks a masked vector instruction.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kvx/isa/instruction.hpp"
+
+namespace kvx::assembler {
+
+/// Assembled program image.
+struct Program {
+  std::vector<u32> text;           ///< machine words, text_base-relative
+  std::vector<u8> data;            ///< initialized data section
+  std::map<std::string, u32> symbols;  ///< label -> absolute address
+  u32 text_base = 0;
+  u32 data_base = 0x0001'0000;
+
+  /// Address of a required symbol; throws AsmError when missing.
+  [[nodiscard]] u32 symbol(const std::string& name) const;
+};
+
+/// Assembler options.
+struct Options {
+  u32 text_base = 0;
+  u32 data_base = 0x0001'0000;
+};
+
+/// Assemble a full source file. Throws kvx::AsmError with a line-numbered
+/// message on any syntax or range error.
+[[nodiscard]] Program assemble(std::string_view source, const Options& opts = {});
+
+/// Assemble a single instruction (no labels/pseudo-relocations).
+[[nodiscard]] isa::Instruction assemble_line(std::string_view line);
+
+}  // namespace kvx::assembler

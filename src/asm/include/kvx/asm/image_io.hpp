@@ -1,0 +1,26 @@
+// Serialization of assembled program images — the container the standalone
+// tools (kvx-as / kvx-objdump / kvx-run) exchange.
+//
+// Format "KVXIMG1": magic, header (text base/count, data base/size), the
+// little-endian text words, the data bytes, then a symbol table
+// (count, then {u16 name_len, name, u32 address} records).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "kvx/asm/assembler.hpp"
+
+namespace kvx::assembler {
+
+/// Serialize a program image. Throws kvx::Error on stream failure.
+void save_image(const Program& program, std::ostream& out);
+
+/// Deserialize a program image. Throws kvx::Error on malformed input.
+[[nodiscard]] Program load_image(std::istream& in);
+
+/// Convenience: serialize to / parse from a byte vector.
+[[nodiscard]] std::vector<u8> image_bytes(const Program& program);
+[[nodiscard]] Program image_from_bytes(std::span<const u8> bytes);
+
+}  // namespace kvx::assembler

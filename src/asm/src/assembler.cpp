@@ -1,0 +1,692 @@
+#include "kvx/asm/assembler.hpp"
+
+#include <charconv>
+#include <optional>
+#include <unordered_map>
+
+#include "kvx/common/bits.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/common/strings.hpp"
+#include "kvx/isa/encoding.hpp"
+
+namespace kvx::assembler {
+
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+using isa::OpcodeInfo;
+using isa::VMop;
+using isa::VOperands;
+using isa::VType;
+
+namespace {
+
+[[noreturn]] void err(usize line, const std::string& what) {
+  throw AsmError(strfmt("line %zu: %s", line, what.c_str()));
+}
+
+/// How a pending instruction's immediate is patched in pass 2.
+enum class Reloc : u8 {
+  kNone,
+  kBranch,  ///< B-format pc-relative
+  kJal,     ///< J-format pc-relative
+  kHi20,    ///< upper 20 bits of absolute symbol address (for la/lui)
+  kLo12,    ///< lower 12 bits of absolute symbol address
+};
+
+struct Pending {
+  Instruction inst;
+  Reloc reloc = Reloc::kNone;
+  std::string symbol;
+  u32 addr = 0;  ///< address of this instruction
+  usize line = 0;
+};
+
+const std::unordered_map<std::string_view, Opcode>& mnemonic_map() {
+  static const auto kMap = [] {
+    std::unordered_map<std::string_view, Opcode> m;
+    for (const OpcodeInfo& i : isa::all_opcodes()) m.emplace(i.mnemonic, i.op);
+    return m;
+  }();
+  return kMap;
+}
+
+struct LineParts {
+  std::string label;       // without ':'
+  std::string_view mnemonic;
+  std::vector<std::string_view> operands;
+};
+
+/// Strip comment, extract an optional label and split operands on commas.
+std::optional<LineParts> parse_line(std::string_view raw, usize line_no) {
+  if (const usize hash = raw.find('#'); hash != std::string_view::npos) {
+    raw = raw.substr(0, hash);
+  }
+  std::string_view s = trim(raw);
+  if (s.empty()) return std::nullopt;
+
+  LineParts parts;
+  if (const usize colon = s.find(':'); colon != std::string_view::npos) {
+    const std::string_view label = trim(s.substr(0, colon));
+    if (label.empty() || label.find(' ') != std::string_view::npos) {
+      err(line_no, "malformed label");
+    }
+    parts.label = std::string(label);
+    s = trim(s.substr(colon + 1));
+    if (s.empty()) return parts;
+  }
+
+  const usize sp = s.find_first_of(" \t");
+  parts.mnemonic = (sp == std::string_view::npos) ? s : s.substr(0, sp);
+  if (sp != std::string_view::npos) {
+    for (std::string_view op : split(s.substr(sp + 1), ',')) {
+      parts.operands.push_back(trim(op));
+    }
+  }
+  return parts;
+}
+
+class AssemblerImpl {
+ public:
+  explicit AssemblerImpl(const Options& opts) {
+    prog_.text_base = opts.text_base;
+    prog_.data_base = opts.data_base;
+  }
+
+  Program run(std::string_view source) {
+    usize line_no = 0;
+    usize pos = 0;
+    while (pos <= source.size()) {
+      const usize nl = source.find('\n', pos);
+      const std::string_view line =
+          source.substr(pos, nl == std::string_view::npos ? source.size() - pos
+                                                          : nl - pos);
+      ++line_no;
+      handle_line(line, line_no);
+      if (nl == std::string_view::npos) break;
+      pos = nl + 1;
+    }
+    resolve_and_encode();
+    return std::move(prog_);
+  }
+
+ private:
+  // ---- pass 1 -------------------------------------------------------------
+
+  void handle_line(std::string_view line, usize line_no) {
+    const auto parts = parse_line(line, line_no);
+    if (!parts) return;
+    if (!parts->label.empty()) define_label(parts->label, line_no);
+    if (parts->mnemonic.empty()) return;
+    if (parts->mnemonic[0] == '.') {
+      handle_directive(*parts, line_no);
+    } else {
+      handle_instruction(*parts, line_no);
+    }
+  }
+
+  void define_label(const std::string& name, usize line_no) {
+    const u32 addr = in_text_ ? text_cursor() : data_cursor();
+    if (!prog_.symbols.emplace(name, addr).second) {
+      err(line_no, "duplicate label '" + name + "'");
+    }
+  }
+
+  u32 text_cursor() const {
+    return prog_.text_base + static_cast<u32>(pending_.size()) * 4;
+  }
+  u32 data_cursor() const {
+    return prog_.data_base + static_cast<u32>(prog_.data.size());
+  }
+
+  void handle_directive(const LineParts& p, usize line_no) {
+    const std::string d = to_lower(p.mnemonic);
+    if (d == ".text") { in_text_ = true; return; }
+    if (d == ".data") { in_text_ = false; return; }
+    if (d == ".equ") {
+      if (p.operands.size() != 2) err(line_no, ".equ needs name, value");
+      const i64 v = parse_int(p.operands[1], line_no);
+      if (!prog_.symbols.emplace(std::string(p.operands[0]),
+                                 static_cast<u32>(v)).second) {
+        err(line_no, "duplicate symbol in .equ");
+      }
+      return;
+    }
+    if (in_text_) err(line_no, "data directive '" + d + "' in .text section");
+    if (d == ".word") {
+      for (std::string_view op : p.operands) emit_data(parse_int(op, line_no), 4);
+      return;
+    }
+    if (d == ".dword") {
+      for (std::string_view op : p.operands) emit_data(parse_int(op, line_no), 8);
+      return;
+    }
+    if (d == ".byte") {
+      for (std::string_view op : p.operands) emit_data(parse_int(op, line_no), 1);
+      return;
+    }
+    if (d == ".half") {
+      for (std::string_view op : p.operands) emit_data(parse_int(op, line_no), 2);
+      return;
+    }
+    if (d == ".zero" || d == ".space") {
+      if (p.operands.size() != 1) err(line_no, d + " needs a size");
+      const i64 n = parse_int(p.operands[0], line_no);
+      if (n < 0) err(line_no, "negative size");
+      prog_.data.insert(prog_.data.end(), static_cast<usize>(n), 0);
+      return;
+    }
+    if (d == ".align") {
+      if (p.operands.size() != 1) err(line_no, ".align needs a power");
+      const i64 n = parse_int(p.operands[0], line_no);
+      if (n < 0 || n > 12) err(line_no, ".align power out of range");
+      const usize align = usize{1} << n;
+      while (prog_.data.size() % align != 0) prog_.data.push_back(0);
+      return;
+    }
+    err(line_no, "unknown directive '" + d + "'");
+  }
+
+  void emit_data(i64 value, usize width) {
+    for (usize i = 0; i < width; ++i) {
+      prog_.data.push_back(static_cast<u8>(static_cast<u64>(value) >> (8 * i)));
+    }
+  }
+
+  // ---- integer / register / operand parsing --------------------------------
+
+  i64 parse_int(std::string_view s, usize line_no) {
+    s = trim(s);
+    bool neg = false;
+    if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+      neg = s[0] == '-';
+      s.remove_prefix(1);
+    }
+    int base = 10;
+    if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+      base = 16;
+      s.remove_prefix(2);
+    } else if (s.size() > 2 && s[0] == '0' && (s[1] == 'b' || s[1] == 'B')) {
+      base = 2;
+      s.remove_prefix(2);
+    }
+    u64 mag = 0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), mag, base);
+    if (ec != std::errc{} || p != s.data() + s.size()) {
+      // Maybe an .equ constant.
+      if (const auto it = prog_.symbols.find(std::string(trim(s)));
+          it != prog_.symbols.end() && !neg) {
+        return it->second;
+      }
+      err(line_no, "expected integer, got '" + std::string(s) + "'");
+    }
+    const i64 v = static_cast<i64>(mag);
+    return neg ? -v : v;
+  }
+
+  u8 xreg(std::string_view s, usize line_no) {
+    const int r = isa::parse_xreg(trim(s));
+    if (r < 0) err(line_no, "expected scalar register, got '" + std::string(s) + "'");
+    return static_cast<u8>(r);
+  }
+
+  u8 vreg(std::string_view s, usize line_no) {
+    const int r = isa::parse_vreg(trim(s));
+    if (r < 0) err(line_no, "expected vector register, got '" + std::string(s) + "'");
+    return static_cast<u8>(r);
+  }
+
+  /// Parse `imm(reg)`; imm may be a symbol (resolved to absolute address).
+  std::pair<i32, u8> mem_operand(std::string_view s, usize line_no) {
+    s = trim(s);
+    const usize open = s.find('(');
+    if (open == std::string_view::npos || s.back() != ')') {
+      err(line_no, "expected mem operand 'imm(reg)'");
+    }
+    const std::string_view imm_part = trim(s.substr(0, open));
+    const std::string_view reg_part = s.substr(open + 1, s.size() - open - 2);
+    i64 imm = 0;
+    if (!imm_part.empty()) imm = parse_int(imm_part, line_no);
+    return {static_cast<i32>(imm), xreg(reg_part, line_no)};
+  }
+
+  bool is_integer(std::string_view s) {
+    s = trim(s);
+    if (!s.empty() && (s[0] == '-' || s[0] == '+')) s.remove_prefix(1);
+    if (s.empty()) return false;
+    for (char c : s) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) return false;
+    }
+    return std::isdigit(static_cast<unsigned char>(s[0])) != 0;
+  }
+
+  // ---- instruction handling -------------------------------------------------
+
+  void push(Instruction inst, Reloc reloc = Reloc::kNone,
+            std::string symbol = {}, usize line_no = 0) {
+    pending_.push_back(Pending{inst, reloc, std::move(symbol),
+                               text_cursor(), line_no});
+  }
+
+  void handle_instruction(const LineParts& p, usize line_no) {
+    if (!in_text_) err(line_no, "instruction outside .text");
+    const std::string mnem = to_lower(p.mnemonic);
+    if (try_pseudo(mnem, p.operands, line_no)) return;
+
+    const auto it = mnemonic_map().find(mnem);
+    if (it == mnemonic_map().end()) {
+      err(line_no, "unknown mnemonic '" + mnem + "'");
+    }
+    const OpcodeInfo& i = isa::info(it->second);
+    Instruction inst;
+    inst.op = it->second;
+    auto ops = p.operands;
+
+    // Trailing ",v0.t" marks masking on vector instructions.
+    if (!ops.empty() && to_lower(ops.back()) == "v0.t") {
+      inst.vm = false;
+      ops.pop_back();
+    }
+
+    switch (i.format) {
+      case Format::kR:
+        expect(ops, 3, line_no);
+        inst.rd = xreg(ops[0], line_no);
+        inst.rs1 = xreg(ops[1], line_no);
+        inst.rs2 = xreg(ops[2], line_no);
+        break;
+      case Format::kI:
+        if (inst.op == Opcode::kFence) break;
+        expect(ops, i.major == 0b0000011 || inst.op == Opcode::kJalr ? 2 : 3,
+               line_no);
+        inst.rd = xreg(ops[0], line_no);
+        if (i.major == 0b0000011 || inst.op == Opcode::kJalr) {
+          const auto [imm, base] = mem_operand(ops[1], line_no);
+          inst.imm = imm;
+          inst.rs1 = base;
+        } else {
+          inst.rs1 = xreg(ops[1], line_no);
+          inst.imm = static_cast<i32>(parse_int(ops[2], line_no));
+        }
+        break;
+      case Format::kIShift:
+        expect(ops, 3, line_no);
+        inst.rd = xreg(ops[0], line_no);
+        inst.rs1 = xreg(ops[1], line_no);
+        inst.imm = static_cast<i32>(parse_int(ops[2], line_no));
+        break;
+      case Format::kS: {
+        expect(ops, 2, line_no);
+        inst.rs2 = xreg(ops[0], line_no);
+        const auto [imm, base] = mem_operand(ops[1], line_no);
+        inst.imm = imm;
+        inst.rs1 = base;
+        break;
+      }
+      case Format::kB:
+        expect(ops, 3, line_no);
+        inst.rs1 = xreg(ops[0], line_no);
+        inst.rs2 = xreg(ops[1], line_no);
+        if (is_integer(ops[2])) {
+          inst.imm = static_cast<i32>(parse_int(ops[2], line_no));
+          push(inst, Reloc::kNone, {}, line_no);
+        } else {
+          push(inst, Reloc::kBranch, std::string(trim(ops[2])), line_no);
+        }
+        return;
+      case Format::kU:
+        expect(ops, 2, line_no);
+        inst.rd = xreg(ops[0], line_no);
+        inst.imm = static_cast<i32>(parse_int(ops[1], line_no));
+        break;
+      case Format::kJ:
+        expect(ops, 2, line_no);
+        inst.rd = xreg(ops[0], line_no);
+        if (is_integer(ops[1])) {
+          inst.imm = static_cast<i32>(parse_int(ops[1], line_no));
+          push(inst, Reloc::kNone, {}, line_no);
+        } else {
+          push(inst, Reloc::kJal, std::string(trim(ops[1])), line_no);
+        }
+        return;
+      case Format::kSystem:
+        expect(ops, 0, line_no);
+        break;
+      case Format::kCsr:
+        expect(ops, 3, line_no);
+        inst.rd = xreg(ops[0], line_no);
+        inst.imm = static_cast<i32>(parse_int(ops[1], line_no));
+        inst.rs1 = xreg(ops[2], line_no);
+        break;
+      case Format::kCsrI:
+        expect(ops, 3, line_no);
+        inst.rd = xreg(ops[0], line_no);
+        inst.imm = static_cast<i32>(parse_int(ops[1], line_no));
+        inst.rs1 = static_cast<u8>(parse_int(ops[2], line_no));
+        break;
+      case Format::kVSetVLI:
+        parse_vsetvli(inst, ops, line_no);
+        break;
+      case Format::kVArith:
+      case Format::kVCustom:
+        parse_varith(inst, i, ops, line_no);
+        break;
+      case Format::kVLoad:
+      case Format::kVStore:
+        parse_vmem(inst, i, ops, line_no);
+        break;
+    }
+    push(inst, Reloc::kNone, {}, line_no);
+  }
+
+  void expect(const std::vector<std::string_view>& ops, usize n, usize line_no) {
+    if (ops.size() != n) {
+      err(line_no, strfmt("expected %zu operands, got %zu", n, ops.size()));
+    }
+  }
+
+  void parse_vsetvli(Instruction& inst, const std::vector<std::string_view>& ops,
+                     usize line_no) {
+    // vsetvli rd, rs1, eN [,mN] [,ta|tu] [,ma|mu]
+    if (ops.size() < 3) err(line_no, "vsetvli needs rd, rs1, vtype...");
+    inst.rd = xreg(ops[0], line_no);
+    inst.rs1 = xreg(ops[1], line_no);
+    VType vt;
+    for (usize k = 2; k < ops.size(); ++k) {
+      const std::string t = to_lower(ops[k]);
+      if (t.size() >= 2 && t[0] == 'e') {
+        vt.sew = static_cast<unsigned>(parse_int(t.substr(1), line_no));
+      } else if (t.size() >= 2 && t[0] == 'm' && std::isdigit(
+                     static_cast<unsigned char>(t[1]))) {
+        vt.lmul = static_cast<unsigned>(parse_int(t.substr(1), line_no));
+      } else if (t == "ta") {
+        vt.tail_agnostic = true;
+      } else if (t == "tu") {
+        vt.tail_agnostic = false;
+      } else if (t == "ma") {
+        vt.mask_agnostic = true;
+      } else if (t == "mu") {
+        vt.mask_agnostic = false;
+      } else {
+        err(line_no, "bad vtype token '" + t + "'");
+      }
+    }
+    inst.vtype = vt;
+  }
+
+  void parse_varith(Instruction& inst, const OpcodeInfo& i,
+                    const std::vector<std::string_view>& ops, usize line_no) {
+    // vmv.v.* takes (vd, src); the fused vthetac/vchi take (vd, vs2);
+    // everything else is three-operand.
+    const bool is_vmv = inst.op == Opcode::kVmvVV ||
+                        inst.op == Opcode::kVmvVX ||
+                        inst.op == Opcode::kVmvVI;
+    const bool single_source = inst.op == Opcode::kVthetacVV ||
+                               inst.op == Opcode::kVchiVV;
+    const bool is_merge = inst.op == Opcode::kVmergeVVM ||
+                          inst.op == Opcode::kVmergeVXM ||
+                          inst.op == Opcode::kVmergeVIM;
+    if (is_merge) {
+      // vmerge.v?m vd, vs2, src, v0 — the mask register is spelled out and
+      // the encoding carries vm = 0.
+      expect(ops, 4, line_no);
+      if (to_lower(ops[3]) != "v0") {
+        err(line_no, "vmerge requires 'v0' as its final operand");
+      }
+      inst.vm = false;
+    } else {
+      expect(ops, (is_vmv || single_source) ? 2 : 3, line_no);
+    }
+    inst.rd = vreg(ops[0], line_no);
+    if (single_source) {
+      inst.rs2 = vreg(ops[1], line_no);
+      return;
+    }
+    const usize src2 = is_vmv ? 1 : 2;
+    if (!is_vmv) inst.rs2 = vreg(ops[1], line_no);
+    switch (i.voperands) {
+      case VOperands::kVV:
+        inst.rs1 = vreg(ops[src2], line_no);
+        break;
+      case VOperands::kVX:
+        inst.rs1 = xreg(ops[src2], line_no);
+        break;
+      case VOperands::kVI:
+        inst.imm = static_cast<i32>(parse_int(ops[src2], line_no));
+        break;
+      case VOperands::kNone:
+        err(line_no, "internal: arith without operand kind");
+    }
+  }
+
+  void parse_vmem(Instruction& inst, const OpcodeInfo& i,
+                  const std::vector<std::string_view>& ops, usize line_no) {
+    const auto mop = static_cast<VMop>(i.aux);
+    expect(ops, mop == VMop::kUnit ? 2 : 3, line_no);
+    inst.rd = vreg(ops[0], line_no);
+    const auto [imm, base] = mem_operand(ops[1], line_no);
+    if (imm != 0) err(line_no, "vector memory operand takes no offset");
+    inst.rs1 = base;
+    if (mop == VMop::kStrided) {
+      inst.rs2 = xreg(ops[2], line_no);
+    } else if (mop == VMop::kIndexed) {
+      inst.rs2 = vreg(ops[2], line_no);
+    }
+  }
+
+  // ---- pseudo-instructions ---------------------------------------------------
+
+  bool try_pseudo(const std::string& mnem,
+                  const std::vector<std::string_view>& ops, usize line_no) {
+    const auto make = [&](Opcode op) {
+      Instruction inst;
+      inst.op = op;
+      return inst;
+    };
+    if (mnem == "nop") {
+      expect(ops, 0, line_no);
+      auto inst = make(Opcode::kAddi);
+      push(inst, Reloc::kNone, {}, line_no);
+      return true;
+    }
+    if (mnem == "li") {
+      expect(ops, 2, line_no);
+      const u8 rd = xreg(ops[0], line_no);
+      const i64 value = parse_int(ops[1], line_no);
+      emit_li(rd, static_cast<i32>(value), line_no);
+      return true;
+    }
+    if (mnem == "la") {
+      expect(ops, 2, line_no);
+      const u8 rd = xreg(ops[0], line_no);
+      const std::string sym(trim(ops[1]));
+      auto lui = make(Opcode::kLui);
+      lui.rd = rd;
+      push(lui, Reloc::kHi20, sym, line_no);
+      auto addi = make(Opcode::kAddi);
+      addi.rd = rd;
+      addi.rs1 = rd;
+      push(addi, Reloc::kLo12, sym, line_no);
+      return true;
+    }
+    if (mnem == "mv") {
+      expect(ops, 2, line_no);
+      auto inst = make(Opcode::kAddi);
+      inst.rd = xreg(ops[0], line_no);
+      inst.rs1 = xreg(ops[1], line_no);
+      push(inst, Reloc::kNone, {}, line_no);
+      return true;
+    }
+    if (mnem == "not") {
+      expect(ops, 2, line_no);
+      auto inst = make(Opcode::kXori);
+      inst.rd = xreg(ops[0], line_no);
+      inst.rs1 = xreg(ops[1], line_no);
+      inst.imm = -1;
+      push(inst, Reloc::kNone, {}, line_no);
+      return true;
+    }
+    if (mnem == "neg") {
+      expect(ops, 2, line_no);
+      auto inst = make(Opcode::kSub);
+      inst.rd = xreg(ops[0], line_no);
+      inst.rs2 = xreg(ops[1], line_no);
+      push(inst, Reloc::kNone, {}, line_no);
+      return true;
+    }
+    if (mnem == "j") {
+      expect(ops, 1, line_no);
+      auto inst = make(Opcode::kJal);
+      if (is_integer(ops[0])) {
+        inst.imm = static_cast<i32>(parse_int(ops[0], line_no));
+        push(inst, Reloc::kNone, {}, line_no);
+      } else {
+        push(inst, Reloc::kJal, std::string(trim(ops[0])), line_no);
+      }
+      return true;
+    }
+    if (mnem == "jr") {
+      expect(ops, 1, line_no);
+      auto inst = make(Opcode::kJalr);
+      inst.rs1 = xreg(ops[0], line_no);
+      push(inst, Reloc::kNone, {}, line_no);
+      return true;
+    }
+    if (mnem == "ret") {
+      expect(ops, 0, line_no);
+      auto inst = make(Opcode::kJalr);
+      inst.rs1 = 1;  // ra
+      push(inst, Reloc::kNone, {}, line_no);
+      return true;
+    }
+    if (mnem == "beqz" || mnem == "bnez") {
+      expect(ops, 2, line_no);
+      auto inst = make(mnem == "beqz" ? Opcode::kBeq : Opcode::kBne);
+      inst.rs1 = xreg(ops[0], line_no);
+      if (is_integer(ops[1])) {
+        inst.imm = static_cast<i32>(parse_int(ops[1], line_no));
+        push(inst, Reloc::kNone, {}, line_no);
+      } else {
+        push(inst, Reloc::kBranch, std::string(trim(ops[1])), line_no);
+      }
+      return true;
+    }
+    if (mnem == "csrr") {
+      expect(ops, 2, line_no);
+      auto inst = make(Opcode::kCsrrs);
+      inst.rd = xreg(ops[0], line_no);
+      inst.imm = static_cast<i32>(parse_int(ops[1], line_no));
+      push(inst, Reloc::kNone, {}, line_no);
+      return true;
+    }
+    if (mnem == "csrwi") {
+      expect(ops, 2, line_no);
+      auto inst = make(Opcode::kCsrrwi);
+      inst.imm = static_cast<i32>(parse_int(ops[0], line_no));
+      inst.rs1 = static_cast<u8>(parse_int(ops[1], line_no));
+      push(inst, Reloc::kNone, {}, line_no);
+      return true;
+    }
+    if (mnem == "csrw") {
+      expect(ops, 2, line_no);
+      auto inst = make(Opcode::kCsrrw);
+      inst.imm = static_cast<i32>(parse_int(ops[0], line_no));
+      inst.rs1 = xreg(ops[1], line_no);
+      push(inst, Reloc::kNone, {}, line_no);
+      return true;
+    }
+    return false;
+  }
+
+  void emit_li(u8 rd, i32 value, usize line_no) {
+    if (fits_signed(value, 12)) {
+      Instruction addi;
+      addi.op = Opcode::kAddi;
+      addi.rd = rd;
+      addi.imm = value;
+      push(addi, Reloc::kNone, {}, line_no);
+      return;
+    }
+    // lui + addi with carry correction for a negative low part.
+    const u32 uval = static_cast<u32>(value);
+    u32 hi = uval >> 12;
+    const i32 lo = sign_extend(uval & 0xFFFu, 12);
+    if (lo < 0) hi = (hi + 1) & 0xFFFFFu;
+    Instruction lui;
+    lui.op = Opcode::kLui;
+    lui.rd = rd;
+    lui.imm = static_cast<i32>(hi);
+    push(lui, Reloc::kNone, {}, line_no);
+    if (lo != 0) {
+      Instruction addi;
+      addi.op = Opcode::kAddi;
+      addi.rd = rd;
+      addi.rs1 = rd;
+      addi.imm = lo;
+      push(addi, Reloc::kNone, {}, line_no);
+    }
+  }
+
+  // ---- pass 2 ----------------------------------------------------------------
+
+  void resolve_and_encode() {
+    prog_.text.reserve(pending_.size());
+    for (Pending& p : pending_) {
+      if (p.reloc != Reloc::kNone) {
+        const auto it = prog_.symbols.find(p.symbol);
+        if (it == prog_.symbols.end()) {
+          err(p.line, "undefined symbol '" + p.symbol + "'");
+        }
+        const u32 target = it->second;
+        switch (p.reloc) {
+          case Reloc::kBranch:
+          case Reloc::kJal:
+            p.inst.imm = static_cast<i32>(target - p.addr);
+            break;
+          case Reloc::kHi20: {
+            u32 hi = target >> 12;
+            if ((target & 0x800u) != 0) hi = (hi + 1) & 0xFFFFFu;
+            p.inst.imm = static_cast<i32>(hi);
+            break;
+          }
+          case Reloc::kLo12:
+            p.inst.imm = sign_extend(target & 0xFFFu, 12);
+            break;
+          case Reloc::kNone:
+            break;
+        }
+      }
+      try {
+        prog_.text.push_back(isa::encode(p.inst));
+      } catch (const Error& e) {
+        err(p.line, e.what());
+      }
+    }
+  }
+
+  Program prog_;
+  std::vector<Pending> pending_;
+  bool in_text_ = true;
+};
+
+}  // namespace
+
+u32 Program::symbol(const std::string& name) const {
+  const auto it = symbols.find(name);
+  if (it == symbols.end()) throw AsmError("undefined symbol '" + name + "'");
+  return it->second;
+}
+
+Program assemble(std::string_view source, const Options& opts) {
+  return AssemblerImpl(opts).run(source);
+}
+
+isa::Instruction assemble_line(std::string_view line) {
+  const Program p = assemble(line);
+  if (p.text.size() != 1) {
+    throw AsmError("assemble_line expects exactly one instruction");
+  }
+  return isa::decode(p.text[0]);
+}
+
+}  // namespace kvx::assembler

@@ -1,0 +1,108 @@
+#include "kvx/asm/image_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "kvx/common/error.hpp"
+
+namespace kvx::assembler {
+namespace {
+
+constexpr char kMagic[8] = {'K', 'V', 'X', 'I', 'M', 'G', '1', '\n'};
+
+void put_u32(std::ostream& out, u32 v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 4);
+}
+
+void put_u16(std::ostream& out, u16 v) {
+  char buf[2] = {static_cast<char>(v & 0xFF), static_cast<char>(v >> 8)};
+  out.write(buf, 2);
+}
+
+u32 get_u32(std::istream& in) {
+  char buf[4];
+  in.read(buf, 4);
+  if (!in) throw Error("image: truncated u32");
+  u32 v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<u8>(buf[i]);
+  return v;
+}
+
+u16 get_u16(std::istream& in) {
+  char buf[2];
+  in.read(buf, 2);
+  if (!in) throw Error("image: truncated u16");
+  return static_cast<u16>(static_cast<u8>(buf[0]) |
+                          (static_cast<u8>(buf[1]) << 8));
+}
+
+}  // namespace
+
+void save_image(const Program& program, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  put_u32(out, program.text_base);
+  put_u32(out, static_cast<u32>(program.text.size()));
+  put_u32(out, program.data_base);
+  put_u32(out, static_cast<u32>(program.data.size()));
+  for (u32 w : program.text) put_u32(out, w);
+  out.write(reinterpret_cast<const char*>(program.data.data()),
+            static_cast<std::streamsize>(program.data.size()));
+  put_u32(out, static_cast<u32>(program.symbols.size()));
+  for (const auto& [name, addr] : program.symbols) {
+    KVX_CHECK_MSG(name.size() < 65536, "symbol name too long");
+    put_u16(out, static_cast<u16>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    put_u32(out, addr);
+  }
+  if (!out) throw Error("image: write failure");
+}
+
+Program load_image(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || !std::equal(magic, magic + 8, kMagic)) {
+    throw Error("image: bad magic (not a KVXIMG1 file)");
+  }
+  Program p;
+  p.text_base = get_u32(in);
+  const u32 text_count = get_u32(in);
+  p.data_base = get_u32(in);
+  const u32 data_size = get_u32(in);
+  if (text_count > (1u << 24) || data_size > (1u << 28)) {
+    throw Error("image: implausible section sizes");
+  }
+  p.text.reserve(text_count);
+  for (u32 i = 0; i < text_count; ++i) p.text.push_back(get_u32(in));
+  p.data.resize(data_size);
+  in.read(reinterpret_cast<char*>(p.data.data()), data_size);
+  if (!in) throw Error("image: truncated data section");
+  const u32 nsyms = get_u32(in);
+  if (nsyms > (1u << 20)) throw Error("image: implausible symbol count");
+  for (u32 i = 0; i < nsyms; ++i) {
+    const u16 len = get_u16(in);
+    std::string name(len, '\0');
+    in.read(name.data(), len);
+    if (!in) throw Error("image: truncated symbol table");
+    const u32 addr = get_u32(in);
+    p.symbols.emplace(std::move(name), addr);
+  }
+  return p;
+}
+
+std::vector<u8> image_bytes(const Program& program) {
+  std::ostringstream os(std::ios::binary);
+  save_image(program, os);
+  const std::string s = os.str();
+  return {s.begin(), s.end()};
+}
+
+Program image_from_bytes(std::span<const u8> bytes) {
+  std::istringstream is(std::string(bytes.begin(), bytes.end()),
+                        std::ios::binary);
+  return load_image(is);
+}
+
+}  // namespace kvx::assembler

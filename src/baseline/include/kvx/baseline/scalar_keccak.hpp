@@ -1,0 +1,73 @@
+// Scalar (software-only) Keccak-f[1600] on the Ibex-like RV32IM core.
+//
+// This is our stand-in for the paper's "Ibex core (C-code)" baseline row
+// (PQ-M4 Keccak compiled with the RISC-V GNU toolchain, which we do not
+// have offline): a hand-generated RV32IM assembly implementation in the
+// PQ-M4 style — 64-bit lanes as hi/lo 32-bit word pairs in memory, fully
+// unrolled round body, rolled 24-round loop. Being hand-scheduled it is
+// FASTER than the paper's compiled C (≈1.1k vs 2908 cycles/round), which
+// makes every speedup we report against it conservative; benches print the
+// paper's own constant alongside for reference.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kvx/keccak/state.hpp"
+#include "kvx/sim/processor.hpp"
+
+namespace kvx::baseline {
+
+/// Lane representation of the scalar implementation (the §3.2 trade-off,
+/// measured on the scalar core).
+enum class Flavor {
+  /// Plain hi/lo 32-bit word pairs, RV32IM only (the paper's baseline
+  /// style): cross-word rotations cost shift/shift/or per half.
+  kHiLo,
+  /// Bit-interleaved lanes on RV32IM + the Zbb rotate/logic subset:
+  /// every 64-bit rotation becomes at most two `rori`, and χ uses `andn`.
+  /// The host converts lanes at the boundary (the conversion cost the
+  /// paper cites as the technique's drawback is measured separately in
+  /// bench/ablation_interleave).
+  kInterleavedZbb,
+};
+
+class ScalarKeccak {
+ public:
+  explicit ScalarKeccak(unsigned rounds = 24, Flavor flavor = Flavor::kHiLo);
+
+  /// Run the permutation on the simulated scalar core, in place.
+  void permute(keccak::State& state);
+
+  /// Marker-to-marker latency of the 24-round loop (cycles).
+  [[nodiscard]] u64 measure_permutation_cycles();
+
+  /// Latency of one round (cycle delta between consecutive per-round
+  /// markers, which the generated program emits at each loop head).
+  [[nodiscard]] u64 measure_round_cycles();
+
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+  [[nodiscard]] const sim::SimdProcessor& processor() const noexcept {
+    return *proc_;
+  }
+
+  /// Marker ids used by the generated program.
+  static constexpr u32 kMarkPermStart = 1;
+  static constexpr u32 kMarkPermEnd = 2;
+  static constexpr u32 kMarkRound = 3;
+
+ private:
+  void run(keccak::State& state);
+
+  unsigned rounds_;
+  Flavor flavor_;
+  std::string source_;
+  std::unique_ptr<sim::SimdProcessor> proc_;
+  u32 state_base_ = 0;
+};
+
+/// Generate the scalar Keccak assembly (exposed for tests/examples).
+[[nodiscard]] std::string generate_scalar_keccak_source(
+    unsigned rounds, Flavor flavor = Flavor::kHiLo);
+
+}  // namespace kvx::baseline

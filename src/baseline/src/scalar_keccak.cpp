@@ -1,0 +1,311 @@
+#include "kvx/baseline/scalar_keccak.hpp"
+
+#include <array>
+#include <cstdarg>
+#include <cstdio>
+
+#include "kvx/asm/assembler.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/common/strings.hpp"
+#include "kvx/keccak/interleave.hpp"
+#include "kvx/keccak/permutation.hpp"
+
+namespace kvx::baseline {
+namespace {
+
+/// Registers holding the ten 32-bit words of C[0..4] (lo, hi interleaved)
+/// during θ, and a χ row during χ.
+constexpr std::array<const char*, 10> kCReg = {
+    "a2", "a3", "a4", "a5", "a6", "a7", "s5", "s6", "s7", "s8"};
+
+const char* clo(unsigned x) { return kCReg[2 * x]; }
+const char* chi_reg(unsigned x) { return kCReg[2 * x + 1]; }
+
+class Gen {
+ public:
+  void raw(const std::string& s) { out_ += s; out_ += '\n'; }
+  void op(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string line(static_cast<usize>(n), '\0');
+    std::vsnprintf(line.data(), static_cast<usize>(n) + 1, fmt, args);
+    va_end(args);
+    out_ += "    ";
+    out_ += line;
+    out_ += '\n';
+  }
+  void label(const char* l) { out_ += l; out_ += ":\n"; }
+  void comment(const char* c) { out_ += "    # "; out_ += c; out_ += '\n'; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Emit a 64-bit rotate-left by `rot` of (t1:t0) into (t5:t4)... writing the
+/// rotated pair to `bstate + 8·dst`. Source is loaded from `state + 8·src`.
+void emit_lane_rot(Gen& g, unsigned src, unsigned rot, unsigned dst) {
+  g.op("lw t0, %u(s0)", 8 * src);      // lo
+  g.op("lw t1, %u(s0)", 8 * src + 4);  // hi
+  const unsigned r = rot % 64;
+  if (r == 0) {
+    g.op("sw t0, %u(s1)", 8 * dst);
+    g.op("sw t1, %u(s1)", 8 * dst + 4);
+    return;
+  }
+  if (r == 32) {
+    g.op("sw t1, %u(s1)", 8 * dst);
+    g.op("sw t0, %u(s1)", 8 * dst + 4);
+    return;
+  }
+  // For r > 32, rotate the swapped pair by r − 32.
+  const char* lo = r < 32 ? "t0" : "t1";
+  const char* hi = r < 32 ? "t1" : "t0";
+  const unsigned s = r % 32;
+  g.op("slli t2, %s, %u", lo, s);
+  g.op("srli t3, %s, %u", hi, 32 - s);
+  g.op("or t2, t2, t3");  // new lo
+  g.op("slli t4, %s, %u", hi, s);
+  g.op("srli t5, %s, %u", lo, 32 - s);
+  g.op("or t4, t4, t5");  // new hi
+  g.op("sw t2, %u(s1)", 8 * dst);
+  g.op("sw t4, %u(s1)", 8 * dst + 4);
+}
+
+/// Interleaved-representation rotation: even/odd halves rotate by r/2 (and
+/// swap roles for odd r), each a single Zbb `rori`.
+void emit_lane_rot_interleaved(Gen& g, unsigned src, unsigned rot,
+                               unsigned dst) {
+  g.op("lw t0, %u(s0)", 8 * src);      // even bits
+  g.op("lw t1, %u(s0)", 8 * src + 4);  // odd bits
+  const unsigned r = rot % 64;
+  const char* new_even = "t0";
+  const char* new_odd = "t1";
+  if (r % 2 == 0) {
+    const unsigned k = r / 2;
+    if (k != 0) {
+      g.op("rori t2, t0, %u", 32 - k);
+      g.op("rori t3, t1, %u", 32 - k);
+      new_even = "t2";
+      new_odd = "t3";
+    }
+  } else {
+    const unsigned ke = (r + 1) / 2;  // >= 1
+    const unsigned ko = r / 2;
+    g.op("rori t2, t1, %u", 32 - ke);  // even' = ROTL32(odd, ke)
+    new_even = "t2";
+    if (ko != 0) {
+      g.op("rori t3, t0, %u", 32 - ko);  // odd' = ROTL32(even, ko)
+      new_odd = "t3";
+    } else {
+      new_odd = "t0";
+    }
+  }
+  g.op("sw %s, %u(s1)", new_even, 8 * dst);
+  g.op("sw %s, %u(s1)", new_odd, 8 * dst + 4);
+}
+
+}  // namespace
+
+std::string generate_scalar_keccak_source(unsigned rounds, Flavor flavor) {
+  const bool inter = flavor == Flavor::kInterleavedZbb;
+  KVX_CHECK_MSG(rounds >= 1 && rounds <= 24, "rounds in [1,24]");
+  const auto& rho = keccak::rho_offsets();
+  const auto& rc = keccak::round_constants();
+  Gen g;
+  g.raw(inter ? "# Scalar Keccak-f[1600], bit-interleaved lanes, RV32IM+Zbb"
+              : "# Scalar Keccak-f[1600] for the RV32IM Ibex-like core (PQ-M4 style)");
+  g.raw(inter ? "# state: 25 lanes x (even32, odd32); bstate: rho/pi staging"
+              : "# state: 25 lanes x (lo32, hi32); bstate: rho/pi staging buffer");
+  g.raw(".text");
+  g.op("la s0, state");
+  g.op("la s1, bstate");
+  g.op("la s2, rc");
+  g.op("li s3, 0");
+  g.op("li s4, %u", rounds);
+  g.op("csrwi 0x7C0, %u", ScalarKeccak::kMarkPermStart);
+  g.label("round_loop");
+  g.op("csrwi 0x7C0, %u", ScalarKeccak::kMarkRound);
+
+  // ---- θ: column parities into registers, then D applied in place ----
+  g.comment("theta: C[x] = xor over y of A[x,y] (kept in registers)");
+  for (unsigned x = 0; x < 5; ++x) {
+    g.op("lw %s, %u(s0)", clo(x), 8 * x);
+    g.op("lw %s, %u(s0)", chi_reg(x), 8 * x + 4);
+    for (unsigned y = 1; y < 5; ++y) {
+      g.op("lw t0, %u(s0)", 40 * y + 8 * x);
+      g.op("lw t1, %u(s0)", 40 * y + 8 * x + 4);
+      g.op("xor %s, %s, t0", clo(x), clo(x));
+      g.op("xor %s, %s, t1", chi_reg(x), chi_reg(x));
+    }
+  }
+  g.comment("theta: A[x,y] ^= C[x-1] ^ ROT64(C[x+1], 1)");
+  for (unsigned x = 0; x < 5; ++x) {
+    const unsigned xm1 = (x + 4) % 5;
+    const unsigned xp1 = (x + 1) % 5;
+    if (inter) {
+      // Interleaved ROT64-by-1: even' = ROTL32(odd, 1), odd' = even.
+      g.op("rori t0, %s, 31", chi_reg(xp1));
+      g.op("xor t0, t0, %s", clo(xm1));
+      g.op("xor t1, %s, %s", clo(xp1), chi_reg(xm1));
+    } else {
+      // D_lo in t0, D_hi in t1.
+      g.op("slli t0, %s, 1", clo(xp1));
+      g.op("srli t2, %s, 31", chi_reg(xp1));
+      g.op("or t0, t0, t2");
+      g.op("xor t0, t0, %s", clo(xm1));
+      g.op("slli t1, %s, 1", chi_reg(xp1));
+      g.op("srli t2, %s, 31", clo(xp1));
+      g.op("or t1, t1, t2");
+      g.op("xor t1, t1, %s", chi_reg(xm1));
+    }
+    for (unsigned y = 0; y < 5; ++y) {
+      const unsigned off = 40 * y + 8 * x;
+      g.op("lw t2, %u(s0)", off);
+      g.op("lw t3, %u(s0)", off + 4);
+      g.op("xor t2, t2, t0");
+      g.op("xor t3, t3, t1");
+      g.op("sw t2, %u(s0)", off);
+      g.op("sw t3, %u(s0)", off + 4);
+    }
+  }
+
+  // ---- ρ + π fused: bstate[5y+x] = ROT(state[src], rot) ----
+  g.comment("rho+pi: rotate each lane into its pi destination in bstate");
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned x = 0; x < 5; ++x) {
+      const unsigned d = 5 * y + x;
+      const unsigned a = (x + 3 * y) % 5;  // source column
+      const unsigned b = x;                // source plane
+      const unsigned src = 5 * b + a;
+      if (inter) {
+        emit_lane_rot_interleaved(g, src, rho[b][a], d);
+      } else {
+        emit_lane_rot(g, src, rho[b][a], d);
+      }
+    }
+  }
+
+  // ---- χ: row-local, bstate -> state ----
+  g.comment("chi: A[x,y] = B[x] ^ (~B[x+1] & B[x+2]) per row");
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned x = 0; x < 5; ++x) {
+      g.op("lw %s, %u(s1)", clo(x), 40 * y + 8 * x);
+      g.op("lw %s, %u(s1)", chi_reg(x), 40 * y + 8 * x + 4);
+    }
+    for (unsigned x = 0; x < 5; ++x) {
+      const unsigned xp1 = (x + 1) % 5;
+      const unsigned xp2 = (x + 2) % 5;
+      if (inter) {
+        g.op("andn t0, %s, %s", clo(xp2), clo(xp1));
+        g.op("xor t0, t0, %s", clo(x));
+        g.op("sw t0, %u(s0)", 40 * y + 8 * x);
+        g.op("andn t1, %s, %s", chi_reg(xp2), chi_reg(xp1));
+        g.op("xor t1, t1, %s", chi_reg(x));
+        g.op("sw t1, %u(s0)", 40 * y + 8 * x + 4);
+      } else {
+        g.op("xori t0, %s, -1", clo(xp1));
+        g.op("and t0, t0, %s", clo(xp2));
+        g.op("xor t0, t0, %s", clo(x));
+        g.op("sw t0, %u(s0)", 40 * y + 8 * x);
+        g.op("xori t1, %s, -1", chi_reg(xp1));
+        g.op("and t1, t1, %s", chi_reg(xp2));
+        g.op("xor t1, t1, %s", chi_reg(x));
+        g.op("sw t1, %u(s0)", 40 * y + 8 * x + 4);
+      }
+    }
+  }
+
+  // ---- ι ----
+  g.comment("iota: A[0,0] ^= RC[round] (table walked by s2)");
+  g.op("lw t0, 0(s2)");
+  g.op("lw t1, 4(s2)");
+  g.op("lw t2, 0(s0)");
+  g.op("lw t3, 4(s0)");
+  g.op("xor t2, t2, t0");
+  g.op("xor t3, t3, t1");
+  g.op("sw t2, 0(s0)");
+  g.op("sw t3, 4(s0)");
+  g.op("addi s2, s2, 8");
+
+  g.op("addi s3, s3, 1");
+  g.op("blt s3, s4, round_loop");
+  g.op("csrwi 0x7C0, %u", ScalarKeccak::kMarkPermEnd);
+  g.op("ebreak");
+
+  g.raw(".data");
+  g.label("state");
+  g.op(".zero 200");
+  g.label("bstate");
+  g.op(".zero 200");
+  g.label("rc");
+  for (unsigned r = 0; r < rounds; ++r) {
+    u64 value = rc[r];
+    if (inter) {
+      const keccak::Interleaved iv = keccak::interleave(value);
+      value = (static_cast<u64>(iv.odd) << 32) | iv.even;
+    }
+    g.op(".dword 0x%llx", static_cast<unsigned long long>(value));
+  }
+  return g.take();
+}
+
+ScalarKeccak::ScalarKeccak(unsigned rounds, Flavor flavor)
+    : rounds_(rounds),
+      flavor_(flavor),
+      source_(generate_scalar_keccak_source(rounds, flavor)) {
+  sim::ProcessorConfig cfg;
+  cfg.vector.elen_bits = 32;  // vector unit unused by this program
+  cfg.vector.ele_num = 5;
+  proc_ = std::make_unique<sim::SimdProcessor>(cfg);
+  const assembler::Program image = assembler::assemble(source_);
+  proc_->load_program(image);
+  state_base_ = image.symbol("state");
+}
+
+void ScalarKeccak::run(keccak::State& state) {
+  // The interleaved flavor keeps the state bit-interleaved in memory; the
+  // boundary conversion happens here on the host (its cost is the
+  // representation's documented drawback, measured in ablation benches).
+  if (flavor_ == Flavor::kInterleavedZbb) {
+    for (u64& lane : state.flat()) {
+      const keccak::Interleaved iv = keccak::interleave(lane);
+      lane = (static_cast<u64>(iv.odd) << 32) | iv.even;
+    }
+  }
+  const auto bytes = state.to_bytes();
+  proc_->dmem().write_block(state_base_, bytes);
+  proc_->reset_run_state();
+  proc_->run();
+  std::array<u8, keccak::kStateBytes> out{};
+  proc_->dmem().read_block(state_base_, out);
+  state = keccak::State::from_bytes(out);
+  if (flavor_ == Flavor::kInterleavedZbb) {
+    for (u64& lane : state.flat()) {
+      lane = keccak::deinterleave(
+          {static_cast<u32>(lane), static_cast<u32>(lane >> 32)});
+    }
+  }
+}
+
+void ScalarKeccak::permute(keccak::State& state) { run(state); }
+
+u64 ScalarKeccak::measure_permutation_cycles() {
+  keccak::State s;
+  run(s);
+  return proc_->cycles_between(kMarkPermStart, kMarkPermEnd);
+}
+
+u64 ScalarKeccak::measure_round_cycles() {
+  keccak::State s;
+  run(s);
+  const auto deltas = proc_->marker_deltas(kMarkRound);
+  KVX_CHECK(!deltas.empty());
+  return deltas.front();
+}
+
+}  // namespace kvx::baseline

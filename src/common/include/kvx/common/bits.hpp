@@ -1,0 +1,95 @@
+// Bit-manipulation primitives shared by the Keccak golden model, the ISA
+// encoder/decoder, and the processor simulator.
+#pragma once
+
+#include <bit>
+#include <span>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx {
+
+/// Rotate a 64-bit word left ("up", toward the most-significant bit).
+/// `n` is reduced modulo 64, so `rotl64(x, 0)` and `rotl64(x, 64)` are x.
+[[nodiscard]] constexpr u64 rotl64(u64 x, unsigned n) noexcept {
+  return std::rotl(x, static_cast<int>(n % 64u));
+}
+
+/// Rotate a 64-bit word right.
+[[nodiscard]] constexpr u64 rotr64(u64 x, unsigned n) noexcept {
+  return std::rotr(x, static_cast<int>(n % 64u));
+}
+
+/// Rotate a 32-bit word left.
+[[nodiscard]] constexpr u32 rotl32(u32 x, unsigned n) noexcept {
+  return std::rotl(x, static_cast<int>(n % 32u));
+}
+
+/// Rotate a 32-bit word right.
+[[nodiscard]] constexpr u32 rotr32(u32 x, unsigned n) noexcept {
+  return std::rotr(x, static_cast<int>(n % 32u));
+}
+
+/// Concatenate two 32-bit halves into a 64-bit word (`hi‖lo`).
+[[nodiscard]] constexpr u64 concat32(u32 hi, u32 lo) noexcept {
+  return (static_cast<u64>(hi) << 32) | lo;
+}
+
+/// Low 32 bits of a 64-bit word.
+[[nodiscard]] constexpr u32 lo32(u64 x) noexcept {
+  return static_cast<u32>(x & 0xFFFF'FFFFu);
+}
+
+/// High 32 bits of a 64-bit word.
+[[nodiscard]] constexpr u32 hi32(u64 x) noexcept {
+  return static_cast<u32>(x >> 32);
+}
+
+/// Extract bit field [lo, lo+width) of `x`.
+[[nodiscard]] constexpr u32 bits(u32 x, unsigned lo, unsigned width) noexcept {
+  return (x >> lo) & ((width >= 32u) ? ~0u : ((1u << width) - 1u));
+}
+
+/// Sign-extend the low `width` bits of `x` to 32 bits.
+[[nodiscard]] constexpr i32 sign_extend(u32 x, unsigned width) noexcept {
+  const u32 m = 1u << (width - 1);
+  const u32 v = x & ((width >= 32u) ? ~0u : ((1u << width) - 1u));
+  return static_cast<i32>((v ^ m) - m);
+}
+
+/// True if `x` fits in a `width`-bit signed immediate.
+[[nodiscard]] constexpr bool fits_signed(i64 x, unsigned width) noexcept {
+  const i64 lo = -(i64{1} << (width - 1));
+  const i64 hi = (i64{1} << (width - 1)) - 1;
+  return x >= lo && x <= hi;
+}
+
+/// True if `x` fits in a `width`-bit unsigned immediate.
+[[nodiscard]] constexpr bool fits_unsigned(u64 x, unsigned width) noexcept {
+  return width >= 64u || x < (u64{1} << width);
+}
+
+/// Load a little-endian 64-bit word from `p` (no alignment requirement).
+[[nodiscard]] constexpr u64 load_le64(std::span<const u8, 8> p) noexcept {
+  u64 v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[static_cast<usize>(i)];
+  return v;
+}
+
+/// Store a little-endian 64-bit word to `p`.
+constexpr void store_le64(std::span<u8, 8> p, u64 v) noexcept {
+  for (usize i = 0; i < 8; ++i) p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+/// Load a little-endian 32-bit word.
+[[nodiscard]] constexpr u32 load_le32(std::span<const u8, 4> p) noexcept {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+/// Store a little-endian 32-bit word.
+constexpr void store_le32(std::span<u8, 4> p, u32 v) noexcept {
+  for (usize i = 0; i < 4; ++i) p[i] = static_cast<u8>(v >> (8 * i));
+}
+
+}  // namespace kvx

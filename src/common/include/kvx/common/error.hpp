@@ -1,0 +1,57 @@
+// Error reporting for the KVX libraries.
+//
+// Policy (per C++ Core Guidelines E.2/E.14): throw a dedicated exception type
+// for violations of preconditions that depend on *input* (bad assembly, bad
+// instruction encodings, out-of-range simulator accesses), and use the CHECK
+// macros for internal invariants that indicate a programming error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kvx {
+
+/// Base exception for all recoverable KVX errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed assembly source (unknown mnemonic, bad operand, duplicate label).
+class AsmError : public Error {
+ public:
+  explicit AsmError(const std::string& what) : Error("asm: " + what) {}
+};
+
+/// Invalid or unsupported machine-code encoding.
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode: " + what) {}
+};
+
+/// Runtime fault raised by the simulated processor (misaligned access,
+/// out-of-bounds memory, illegal instruction, watchdog expiry).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error("sim: " + what) {}
+};
+
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& msg);
+
+}  // namespace kvx
+
+/// Internal invariant check: always on (hardware models must never run wedged).
+#define KVX_CHECK(expr)                                     \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::kvx::fail_check(#expr, __FILE__, __LINE__, "");     \
+    }                                                       \
+  } while (false)
+
+#define KVX_CHECK_MSG(expr, msg)                            \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::kvx::fail_check(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                       \
+  } while (false)

@@ -1,0 +1,26 @@
+// Hex encoding/decoding helpers (test vectors, digests, disassembly).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx {
+
+/// Lower-case hex encoding of a byte span ("" for empty input).
+[[nodiscard]] std::string to_hex(std::span<const u8> bytes);
+
+/// Decode a hex string (case-insensitive, optional "0x" prefix).
+/// Throws kvx::Error on odd length or non-hex characters.
+[[nodiscard]] std::vector<u8> from_hex(std::string_view hex);
+
+/// Format a 64-bit word as "0x%016x".
+[[nodiscard]] std::string hex64(u64 v);
+
+/// Format a 32-bit word as "0x%08x".
+[[nodiscard]] std::string hex32(u32 v);
+
+}  // namespace kvx

@@ -1,0 +1,35 @@
+// Deterministic pseudo-random generators for tests and benchmarks.
+//
+// Tests must be reproducible, so we use a fixed, well-known generator
+// (SplitMix64) rather than std::random_device-seeded engines.
+#pragma once
+
+#include "kvx/common/types.hpp"
+
+namespace kvx {
+
+/// SplitMix64 — tiny, fast, full-period 64-bit generator.
+/// Suitable for generating test states; NOT cryptographically secure.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value.
+  constexpr u64 next() noexcept {
+    u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Next 32-bit value.
+  constexpr u32 next32() noexcept { return static_cast<u32>(next() >> 32); }
+
+  /// Uniform value in [0, bound). `bound` must be nonzero.
+  constexpr u64 below(u64 bound) noexcept { return next() % bound; }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace kvx

@@ -1,0 +1,32 @@
+// Small string utilities used by the assembler and report printers.
+// (GCC 12 lacks <format>; these cover what we need.)
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx {
+
+/// Strip leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split into non-empty whitespace-separated tokens.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// ASCII lower-case copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string strfmt(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace kvx

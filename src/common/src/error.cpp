@@ -1,0 +1,15 @@
+#include "kvx/common/error.hpp"
+
+#include <sstream>
+
+namespace kvx {
+
+void fail_check(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  std::ostringstream os;
+  os << "internal check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace kvx

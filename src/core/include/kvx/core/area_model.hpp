@@ -1,0 +1,43 @@
+// Analytical FPGA area model (slices on a Xilinx Alveo U250).
+//
+// The paper reports post-implementation slice counts from Vivado 2020.1 for
+// seven design points: the bare Ibex core and the SIMD processor at
+// ELEN ∈ {64, 32} × EleNum ∈ {5, 15, 30}. We do not have the authors'
+// SystemVerilog or a Vivado flow, so — per the substitution policy in
+// DESIGN.md — area is produced by a model calibrated to those published
+// points: for each ELEN a quadratic in EleNum through the three published
+// sizes (the mild sub-linearity reflects LUT packing improving as the lane
+// array grows). The model reproduces the paper's points exactly and is used
+// only for the relative comparisons the paper makes (×6.3, ×31.5, ×111.2).
+#pragma once
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::core {
+
+class AreaModel {
+ public:
+  /// Slices of the bare Ibex scalar core (paper Table 8, "Ibex core" row).
+  [[nodiscard]] static unsigned scalar_core_slices() noexcept { return 432; }
+
+  /// Slices of the full SIMD processor for a given ELEN (32/64) and EleNum.
+  /// Calibrated to the paper's published points; interpolates/extrapolates
+  /// elsewhere (clamped to be monotonically increasing in EleNum).
+  [[nodiscard]] static unsigned simd_processor_slices(unsigned elen_bits,
+                                                      unsigned ele_num);
+
+  /// Rough per-component breakdown at a design point (documentation aid:
+  /// fractions follow the paper's §4.2 discussion that the 32-bit design
+  /// spends more on rotation networks and the 64-bit one on datapath and
+  /// register file).
+  struct Breakdown {
+    unsigned scalar_core;
+    unsigned vector_regfile;
+    unsigned lane_datapath;
+    unsigned rotation_network;
+    unsigned control;
+  };
+  [[nodiscard]] static Breakdown breakdown(unsigned elen_bits, unsigned ele_num);
+};
+
+}  // namespace kvx::core

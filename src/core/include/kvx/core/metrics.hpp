@@ -1,0 +1,34 @@
+// Performance metrics used in the paper's Tables 7 and 8.
+#pragma once
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::core {
+
+/// Bytes of one Keccak-f[1600] state (the tables' cycles/byte denominator:
+/// "cycles per message byte in one Keccak state" over the full permutation).
+inline constexpr double kStateBytes = 200.0;
+inline constexpr double kStateBits = 1600.0;
+
+/// cycles/byte for a full permutation latency (one state's 200 bytes).
+[[nodiscard]] constexpr double cycles_per_byte(u64 permutation_cycles) noexcept {
+  return static_cast<double>(permutation_cycles) / kStateBytes;
+}
+
+/// Throughput in (bits/cycle) × 10³ as reported by the paper: `sn` states of
+/// 1600 bits complete every `permutation_cycles` cycles.
+[[nodiscard]] constexpr double throughput_e3(u64 permutation_cycles,
+                                             unsigned sn) noexcept {
+  return kStateBits * static_cast<double>(sn) /
+         static_cast<double>(permutation_cycles) * 1000.0;
+}
+
+/// Throughput in bits/s at a clock frequency (paper implements at 100 MHz).
+[[nodiscard]] constexpr double throughput_bps(u64 permutation_cycles,
+                                              unsigned sn,
+                                              double clock_hz) noexcept {
+  return kStateBits * static_cast<double>(sn) /
+         static_cast<double>(permutation_cycles) * clock_hz;
+}
+
+}  // namespace kvx::core

@@ -1,0 +1,65 @@
+// On-device sponge absorption: the whole absorb phase (block XOR +
+// permutation, repeated) runs on the simulated accelerator with the Keccak
+// states resident in the vector register file — the paper's §4.1
+// observation that "all operations work without loading or storing
+// intermediate data to/from memory" extended from one permutation to a full
+// multi-block message.
+//
+// The host stages rate-padded blocks for up to SN messages in lockstep; one
+// simulator run absorbs everything. bench/absorb_overhead quantifies the
+// per-block cost (a few tens of cycles on top of each 24-round
+// permutation).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "kvx/core/program_builder.hpp"
+#include "kvx/keccak/state.hpp"
+#include "kvx/sim/processor.hpp"
+
+namespace kvx::core {
+
+class OnDeviceSponge {
+ public:
+  /// `arch` must be a 64-bit custom-ISE variant; `rate_bytes` is the sponge
+  /// rate (e.g. 168 for SHAKE128, 136 for SHA3-256).
+  OnDeviceSponge(Arch arch, unsigned ele_num, usize rate_bytes);
+
+  [[nodiscard]] unsigned sn() const noexcept { return ele_num_ / 5; }
+  [[nodiscard]] usize rate_bytes() const noexcept { return rate_; }
+
+  /// Absorb `blocks_per_message` rate-sized blocks for each message in
+  /// lockstep (messages.size() ≤ SN; every message must be exactly
+  /// blocks_per_message · rate bytes — i.e. already padded). Returns the
+  /// resulting Keccak states, ready for host-side squeezing.
+  [[nodiscard]] std::vector<keccak::State> absorb(
+      std::span<const std::vector<u8>> padded_messages);
+
+  /// Cycles of the last absorb run (marker-to-marker: absorb+permute loop).
+  [[nodiscard]] u64 last_cycles() const noexcept { return last_cycles_; }
+
+  /// Per-block absorb-phase overhead in cycles measured on the last run
+  /// (block load + XOR + loop control, excluding the permutation rounds).
+  [[nodiscard]] u64 last_absorb_overhead_per_block() const noexcept {
+    return absorb_overhead_;
+  }
+
+ private:
+  struct Engine {
+    KeccakProgram program;
+    std::unique_ptr<sim::SimdProcessor> proc;
+  };
+  Engine& engine_for(unsigned blocks);
+
+  Arch arch_;
+  unsigned ele_num_;
+  usize rate_;
+  std::map<unsigned, Engine> engines_;  ///< keyed by block count
+  u64 last_cycles_ = 0;
+  u64 absorb_overhead_ = 0;
+};
+
+}  // namespace kvx::core

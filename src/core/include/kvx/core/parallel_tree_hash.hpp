@@ -1,0 +1,33 @@
+// Accelerated tree hashing: the leaves of the KangarooTwelve-style tree
+// (see keccak/tree_hash.hpp) are independent equal-length messages, so the
+// accelerator hashes SN of them per lockstep batch — converting the paper's
+// multi-state parallelism into single-message throughput.
+#pragma once
+
+#include "kvx/core/parallel_sha3.hpp"
+#include "kvx/keccak/tree_hash.hpp"
+
+namespace kvx::core {
+
+class ParallelTreeHash {
+ public:
+  /// `arch` must be a 64-bit variant or the 32-bit architecture; the
+  /// instance owns a 12-round (TurboSHAKE) accelerator configuration.
+  ParallelTreeHash(Arch arch, unsigned ele_num,
+                   const keccak::TreeHashParams& params = {});
+
+  /// Tree-hash `msg` to `out_len` bytes; bit-identical to the host
+  /// keccak::tree_hash128.
+  [[nodiscard]] std::vector<u8> hash(std::span<const u8> msg, usize out_len);
+
+  [[nodiscard]] const BatchStats& stats() const noexcept {
+    return accel_.stats();
+  }
+  [[nodiscard]] unsigned lanes() const noexcept { return accel_.lanes(); }
+
+ private:
+  keccak::TreeHashParams params_;
+  ParallelSha3 accel_;
+};
+
+}  // namespace kvx::core

@@ -1,0 +1,34 @@
+// Published figures of the related-work designs the paper compares against
+// (Tables 7 and 8). These are quoted constants — the paper itself compares
+// against the numbers reported by the respective authors, not against
+// re-implementations.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::core {
+
+struct ReferenceDesign {
+  std::string_view name;
+  std::string_view citation;    ///< paper reference tag
+  unsigned arch_bits;           ///< 32 or 64
+  std::optional<double> cycles_per_round;
+  std::optional<double> cycles_per_byte;
+  double throughput_e3;         ///< (bits/cycle) × 10³
+  std::optional<unsigned> area_slices;  ///< nullopt: simulation only
+};
+
+/// Rawat & Schaumont, vector ISE in GEM5 (64-bit comparison of Table 7).
+[[nodiscard]] const ReferenceDesign& rawat_vector_ise() noexcept;
+
+/// The five 32-bit rows of Table 8 that are not ours.
+[[nodiscard]] std::span<const ReferenceDesign> table8_references() noexcept;
+
+/// The paper's measured Ibex C-code baseline row (PQ-M4 Keccak on Ibex).
+[[nodiscard]] const ReferenceDesign& paper_ibex_ccode() noexcept;
+
+}  // namespace kvx::core

@@ -1,0 +1,74 @@
+// VectorKeccak — the paper's HW/SW co-design, wrapped as a library.
+//
+// Owns a simulated SIMD processor configured for one of the architecture
+// variants, the generated Keccak assembly program, and the data-staging
+// logic. `permute()` runs up to SN Keccak-f[1600] permutations in parallel
+// on the simulated accelerator; the measurement helpers reproduce the
+// paper's cycles/round and cycles/permutation numbers.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "kvx/core/program_builder.hpp"
+#include "kvx/keccak/state.hpp"
+#include "kvx/sim/processor.hpp"
+
+namespace kvx::core {
+
+struct VectorKeccakConfig {
+  Arch arch = Arch::k64Lmul1;
+  unsigned ele_num = 5;  ///< elements per vector register (5·SN, or more)
+  unsigned rounds = 24;
+  unsigned first_round = 0;  ///< ι round-constant start (12 for Keccak-p[1600,12])
+
+  [[nodiscard]] unsigned sn() const noexcept { return ele_num / 5; }
+};
+
+/// Cycle measurements of the last permute() run.
+struct PermutationTiming {
+  u64 total_cycles = 0;        ///< whole run incl. state load/store + halt
+  u64 permutation_cycles = 0;  ///< marker-to-marker, 24-round loop only
+  u64 instructions = 0;
+};
+
+class VectorKeccak {
+ public:
+  explicit VectorKeccak(const VectorKeccakConfig& config);
+
+  [[nodiscard]] const VectorKeccakConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const KeccakProgram& program() const noexcept { return program_; }
+  [[nodiscard]] const sim::SimdProcessor& processor() const noexcept {
+    return *proc_;
+  }
+
+  /// Permute up to SN states in place on the simulated accelerator.
+  /// Throws kvx::Error when states.size() > SN.
+  void permute(std::span<keccak::State> states);
+
+  [[nodiscard]] const PermutationTiming& last_timing() const noexcept {
+    return timing_;
+  }
+
+  /// Latency of one Keccak round in cycles (dedicated single-round program,
+  /// measured marker-to-marker: the paper's cycles/round column).
+  [[nodiscard]] u64 measure_round_cycles() const;
+
+  /// Latency of the full 24-round permutation loop in cycles
+  /// (marker-to-marker around the loop, excluding state load/store).
+  [[nodiscard]] u64 measure_permutation_cycles();
+
+ private:
+  void stage_states(std::span<const keccak::State> states);
+  void unstage_states(std::span<keccak::State> states) const;
+
+  VectorKeccakConfig config_;
+  KeccakProgram program_;
+  std::unique_ptr<sim::SimdProcessor> proc_;
+  u32 state_base_ = 0;
+  PermutationTiming timing_;
+};
+
+}  // namespace kvx::core

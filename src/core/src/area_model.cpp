@@ -1,0 +1,65 @@
+#include "kvx/core/area_model.hpp"
+
+#include <cmath>
+
+#include "kvx/common/error.hpp"
+
+namespace kvx::core {
+namespace {
+
+/// Quadratic slices(EleNum) = a + b·n + c·n², fitted exactly through the
+/// paper's three published points per ELEN.
+struct Quadratic {
+  double a, b, c;
+  [[nodiscard]] double eval(double n) const { return a + b * n + c * n * n; }
+};
+
+/// Solve the 3-point interpolation for (n0,s0),(n1,s1),(n2,s2).
+constexpr Quadratic fit(double n0, double s0, double n1, double s1, double n2,
+                        double s2) {
+  // Divided differences.
+  const double d01 = (s1 - s0) / (n1 - n0);
+  const double d12 = (s2 - s1) / (n2 - n1);
+  const double c = (d12 - d01) / (n2 - n0);
+  const double b = d01 - c * (n0 + n1);
+  const double a = s0 - b * n0 - c * n0 * n0;
+  return {a, b, c};
+}
+
+// Paper Table 7: 64-bit, EleNum 5/15/30 -> 7323 / 24789 / 48180 slices.
+constexpr Quadratic kFit64 = fit(5, 7323, 15, 24789, 30, 48180);
+// Paper Table 8: 32-bit, EleNum 5/15/30 -> 6359 / 23408 / 48036 slices.
+constexpr Quadratic kFit32 = fit(5, 6359, 15, 23408, 30, 48036);
+
+}  // namespace
+
+unsigned AreaModel::simd_processor_slices(unsigned elen_bits, unsigned ele_num) {
+  KVX_CHECK_MSG(elen_bits == 32 || elen_bits == 64, "ELEN must be 32 or 64");
+  KVX_CHECK_MSG(ele_num >= 1 && ele_num <= 100,
+                "area model calibrated for EleNum in [1, 100]");
+  const Quadratic& q = elen_bits == 64 ? kFit64 : kFit32;
+  const double v = q.eval(static_cast<double>(ele_num));
+  // Never report below the bare scalar core.
+  return static_cast<unsigned>(
+      std::lround(std::max(v, static_cast<double>(scalar_core_slices()))));
+}
+
+AreaModel::Breakdown AreaModel::breakdown(unsigned elen_bits, unsigned ele_num) {
+  const unsigned total = simd_processor_slices(elen_bits, ele_num);
+  const unsigned vec = total - scalar_core_slices();
+  // Qualitative split following §4.2: the 32-bit design spends a larger
+  // share on the paired rotation networks, the 64-bit one on the wider
+  // datapath and register file.
+  const double rf = elen_bits == 64 ? 0.38 : 0.30;
+  const double dp = elen_bits == 64 ? 0.34 : 0.26;
+  const double rot = elen_bits == 64 ? 0.14 : 0.30;
+  Breakdown b{};
+  b.scalar_core = scalar_core_slices();
+  b.vector_regfile = static_cast<unsigned>(vec * rf);
+  b.lane_datapath = static_cast<unsigned>(vec * dp);
+  b.rotation_network = static_cast<unsigned>(vec * rot);
+  b.control = vec - b.vector_regfile - b.lane_datapath - b.rotation_network;
+  return b;
+}
+
+}  // namespace kvx::core

@@ -1,0 +1,114 @@
+#include "kvx/core/on_device_sponge.hpp"
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/strings.hpp"
+#include "kvx/core/vector_keccak.hpp"
+
+namespace kvx::core {
+
+OnDeviceSponge::OnDeviceSponge(Arch arch, unsigned ele_num, usize rate_bytes_in)
+    : arch_(arch), ele_num_(ele_num), rate_(rate_bytes_in) {
+  KVX_CHECK_MSG(arch == Arch::k64Lmul1 || arch == Arch::k64Lmul8 ||
+                    arch == Arch::k64Fused,
+                "on-device sponge requires a 64-bit custom-ISE arch");
+  KVX_CHECK_MSG(ele_num_ >= 5, "need at least one state");
+  KVX_CHECK_MSG(rate_ > 0 && rate_ < keccak::kStateBytes && rate_ % 8 == 0,
+                "rate must be a positive multiple of 8 below 200");
+}
+
+OnDeviceSponge::Engine& OnDeviceSponge::engine_for(unsigned blocks) {
+  auto it = engines_.find(blocks);
+  if (it == engines_.end()) {
+    ProgramOptions opts;
+    opts.arch = arch_;
+    opts.ele_num = ele_num_;
+    opts.absorb_blocks = blocks;
+    Engine engine{build_keccak_program(opts), nullptr};
+    sim::ProcessorConfig cfg;
+    cfg.vector.elen_bits = 64;
+    cfg.vector.ele_num = ele_num_;
+    // Block staging grows with message size; size the data memory to fit.
+    cfg.dmem_bytes =
+        std::max<usize>(1 << 20, (blocks + 2) * 5ull * ele_num_ * 8 + (1 << 16));
+    engine.proc = std::make_unique<sim::SimdProcessor>(cfg);
+    engine.proc->load_program(engine.program.image);
+    it = engines_.emplace(blocks, std::move(engine)).first;
+  }
+  return it->second;
+}
+
+std::vector<keccak::State> OnDeviceSponge::absorb(
+    std::span<const std::vector<u8>> padded_messages) {
+  KVX_CHECK_MSG(!padded_messages.empty(), "no messages");
+  KVX_CHECK_MSG(padded_messages.size() <= sn(), "more messages than SN");
+  const usize len = padded_messages[0].size();
+  KVX_CHECK_MSG(len > 0 && len % rate_ == 0,
+                "messages must be rate-padded (multiple of the rate)");
+  for (const auto& m : padded_messages) {
+    KVX_CHECK_MSG(m.size() == len, "lockstep absorb requires equal lengths");
+  }
+  const auto blocks = static_cast<unsigned>(len / rate_);
+
+  Engine& engine = engine_for(blocks);
+  sim::SimdProcessor& proc = *engine.proc;
+
+  // Stage every block, plane-major per state: block region b holds, for row
+  // y and state s, lane (x, y) of that message's b-th rate block (lanes
+  // beyond the rate are zero — the capacity is never touched by absorb).
+  const u32 blocks_base = engine.program.image.symbol("blocks");
+  const unsigned e = ele_num_;
+  std::vector<u8> staged(static_cast<usize>(blocks) * 5 * e * 8, 0);
+  for (unsigned b = 0; b < blocks; ++b) {
+    for (usize s = 0; s < padded_messages.size(); ++s) {
+      const auto& msg = padded_messages[s];
+      for (usize lane = 0; lane < rate_ / 8; ++lane) {
+        u64 v = 0;
+        for (unsigned k = 0; k < 8; ++k) {
+          v |= static_cast<u64>(msg[b * rate_ + 8 * lane + k]) << (8 * k);
+        }
+        const usize x = lane % 5;
+        const usize y = lane / 5;
+        const usize off =
+            (static_cast<usize>(b) * 5 * e + y * e + 5 * s + x) * 8;
+        for (unsigned k = 0; k < 8; ++k) {
+          staged[off + k] = static_cast<u8>(v >> (8 * k));
+        }
+      }
+    }
+  }
+  proc.dmem().write_block(blocks_base, staged);
+
+  // Zero-initialize the state region (fresh sponge), run, read back.
+  const u32 state_base = engine.program.image.symbol("state");
+  proc.dmem().write_block(state_base, std::vector<u8>(5 * e * 8, 0));
+  proc.vector().clear_registers();
+  proc.reset_run_state();
+  proc.run();
+  last_cycles_ = proc.cycles_between(Markers::kPermStart, Markers::kPermEnd);
+
+  // Absorb overhead: cycles from each kAbsorb marker to the work the
+  // permutation itself would have cost (total minus rounds) / blocks.
+  const auto absorb_marks = proc.marker_deltas(Markers::kAbsorb);
+  if (!absorb_marks.empty()) {
+    // Delta between consecutive block starts = absorb phase + permutation.
+    // A plain permutation-only program costs perm_only cycles per block.
+    VectorKeccak plain({arch_, ele_num_, 24});
+    const u64 perm_only = plain.measure_permutation_cycles();
+    const u64 per_block = absorb_marks.front();
+    absorb_overhead_ = per_block > perm_only ? per_block - perm_only : 0;
+  }
+
+  std::vector<keccak::State> states(padded_messages.size());
+  for (unsigned y = 0; y < 5; ++y) {
+    for (usize s = 0; s < states.size(); ++s) {
+      for (unsigned x = 0; x < 5; ++x) {
+        states[s].lane(x, y) =
+            proc.dmem().read64(state_base + static_cast<u32>(
+                                                (y * e + 5 * s + x) * 8));
+      }
+    }
+  }
+  return states;
+}
+
+}  // namespace kvx::core

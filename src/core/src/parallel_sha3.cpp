@@ -1,0 +1,188 @@
+#include "kvx/core/parallel_sha3.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "kvx/common/error.hpp"
+#include "kvx/keccak/sp800_185.hpp"
+
+namespace kvx::core {
+
+using keccak::Sha3Function;
+using keccak::State;
+
+ParallelSha3::ParallelSha3(const VectorKeccakConfig& config,
+                           const ParallelSha3Options& options)
+    : vk_(config), options_(options) {
+  if (options_.on_device_absorb) {
+    KVX_CHECK_MSG(config.arch == Arch::k64Lmul1 ||
+                      config.arch == Arch::k64Lmul8 ||
+                      config.arch == Arch::k64Fused,
+                  "on-device absorb requires a 64-bit custom-ISE arch");
+    KVX_CHECK_MSG(config.rounds == 24 && config.first_round == 0,
+                  "on-device absorb supports the full Keccak-f only");
+  }
+}
+
+void ParallelSha3::permute_states(std::span<State> states) {
+  vk_.permute(states);
+  stats_.accelerator_cycles += vk_.last_timing().permutation_cycles;
+  stats_.permutation_batches += 1;
+  stats_.permutations += states.size();
+}
+
+void ParallelSha3::run_group(usize rate, u8 domain,
+                             std::span<const std::vector<u8>*> msgs,
+                             std::span<std::vector<u8>*> outs, usize out_len) {
+  KVX_CHECK(msgs.size() == outs.size());
+  KVX_CHECK(msgs.size() <= lanes());
+  const usize n = msgs.size();
+  const usize len = msgs.empty() ? 0 : msgs[0]->size();
+
+  std::vector<State> states(n);
+
+  if (options_.on_device_absorb) {
+    // Pad every message to a whole number of rate blocks host-side, then
+    // hand the entire absorb phase to the accelerator-resident sponge.
+    const usize padded_len = (len / rate + 1) * rate;
+    std::vector<std::vector<u8>> padded(n);
+    for (usize s = 0; s < n; ++s) {
+      padded[s].assign(padded_len, 0);
+      std::copy(msgs[s]->begin(), msgs[s]->end(), padded[s].begin());
+      padded[s][len] ^= domain;
+      padded[s][padded_len - 1] ^= 0x80;
+    }
+    if (device_sponge_ == nullptr || device_sponge_rate_ != rate) {
+      device_sponge_ = std::make_unique<OnDeviceSponge>(
+          vk_.config().arch, vk_.config().ele_num, rate);
+      device_sponge_rate_ = rate;
+    }
+    const auto absorbed = device_sponge_->absorb(padded);
+    std::copy(absorbed.begin(), absorbed.end(), states.begin());
+    const auto blocks = padded_len / rate;
+    stats_.accelerator_cycles += device_sponge_->last_cycles();
+    stats_.permutation_batches += blocks;
+    stats_.permutations += blocks * n;
+  } else {
+    // Absorb full blocks in lockstep (all messages have equal length).
+    usize pos = 0;
+    while (len - pos >= rate) {
+      for (usize s = 0; s < n; ++s) {
+        states[s].xor_bytes(std::span<const u8>(*msgs[s]).subspan(pos, rate));
+      }
+      permute_states(states);
+      pos += rate;
+    }
+    // Final partial block with pad10*1 + domain bits.
+    const usize tail = len - pos;
+    for (usize s = 0; s < n; ++s) {
+      std::vector<u8> block(rate, 0);
+      std::copy_n(msgs[s]->begin() + static_cast<std::ptrdiff_t>(pos), tail,
+                  block.begin());
+      block[tail] ^= domain;
+      block[rate - 1] ^= 0x80;
+      states[s].xor_bytes(block);
+    }
+    permute_states(states);
+  }
+
+  // Squeeze in lockstep.
+  for (usize s = 0; s < n; ++s) outs[s]->assign(out_len, 0);
+  usize produced = 0;
+  while (produced < out_len) {
+    const usize take = std::min(out_len - produced, rate);
+    for (usize s = 0; s < n; ++s) {
+      states[s].extract_bytes(
+          std::span<u8>(*outs[s]).subspan(produced, take));
+    }
+    produced += take;
+    if (produced < out_len) permute_states(states);
+  }
+}
+
+std::vector<std::vector<u8>> ParallelSha3::raw_batch(
+    usize rate, u8 domain, std::span<const std::vector<u8>> messages,
+    usize out_len) {
+  std::vector<std::vector<u8>> outs(messages.size());
+
+  // Group message indices by length, then run lockstep groups of ≤ SN.
+  std::map<usize, std::vector<usize>> by_len;
+  for (usize i = 0; i < messages.size(); ++i) {
+    by_len[messages[i].size()].push_back(i);
+  }
+  for (const auto& [len, indices] : by_len) {
+    (void)len;
+    for (usize start = 0; start < indices.size(); start += lanes()) {
+      const usize n = std::min<usize>(lanes(), indices.size() - start);
+      std::vector<const std::vector<u8>*> msgs(n);
+      std::vector<std::vector<u8>*> group_outs(n);
+      for (usize k = 0; k < n; ++k) {
+        msgs[k] = &messages[indices[start + k]];
+        group_outs[k] = &outs[indices[start + k]];
+      }
+      run_group(rate, domain, msgs, group_outs, out_len);
+    }
+  }
+  return outs;
+}
+
+std::vector<std::vector<u8>> ParallelSha3::hash_batch(
+    Sha3Function f, std::span<const std::vector<u8>> messages) {
+  const usize d = keccak::digest_bytes(f);
+  KVX_CHECK_MSG(d != 0, "hash_batch requires a fixed-output function");
+  return xof_batch(f, messages, d);
+}
+
+std::vector<std::vector<u8>> ParallelSha3::xof_batch(
+    Sha3Function f, std::span<const std::vector<u8>> messages, usize out_len) {
+  const u8 domain = keccak::digest_bytes(f) == 0 ? u8{0x1F} : u8{0x06};
+  return raw_batch(keccak::rate_bytes(f), domain, messages, out_len);
+}
+
+std::vector<std::vector<u8>> ParallelSha3::cshake_batch(
+    unsigned security_bits, std::span<const std::vector<u8>> messages,
+    usize out_len, std::span<const u8> function_name,
+    std::span<const u8> customization) {
+  KVX_CHECK_MSG(security_bits == 128 || security_bits == 256,
+                "cSHAKE security must be 128 or 256");
+  const usize rate = security_bits == 128 ? 168 : 136;
+  if (function_name.empty() && customization.empty()) {
+    return raw_batch(rate, 0x1F, messages, out_len);  // degrades to SHAKE
+  }
+  // Prepend the bytepad(encode_string(N) || encode_string(S), rate) prefix
+  // to every message; the accelerator then treats it as plain input.
+  std::vector<u8> prefix = keccak::encode_string(function_name);
+  const auto s_enc = keccak::encode_string(customization);
+  prefix.insert(prefix.end(), s_enc.begin(), s_enc.end());
+  const auto padded_prefix = keccak::bytepad(prefix, rate);
+
+  std::vector<std::vector<u8>> prefixed(messages.size());
+  for (usize i = 0; i < messages.size(); ++i) {
+    prefixed[i] = padded_prefix;
+    prefixed[i].insert(prefixed[i].end(), messages[i].begin(),
+                       messages[i].end());
+  }
+  return raw_batch(rate, 0x04, prefixed, out_len);
+}
+
+std::vector<std::vector<u8>> ParallelSha3::kmac_batch(
+    unsigned security_bits, std::span<const u8> key,
+    std::span<const std::vector<u8>> messages, usize out_len,
+    std::span<const u8> customization) {
+  KVX_CHECK_MSG(security_bits == 128 || security_bits == 256,
+                "KMAC security must be 128 or 256");
+  const usize rate = security_bits == 128 ? 168 : 136;
+  static constexpr u8 kName[] = {'K', 'M', 'A', 'C'};
+  const auto key_block = keccak::bytepad(keccak::encode_string(key), rate);
+  const auto len_enc = keccak::right_encode(static_cast<u64>(out_len) * 8);
+
+  std::vector<std::vector<u8>> inputs(messages.size());
+  for (usize i = 0; i < messages.size(); ++i) {
+    inputs[i] = key_block;
+    inputs[i].insert(inputs[i].end(), messages[i].begin(), messages[i].end());
+    inputs[i].insert(inputs[i].end(), len_enc.begin(), len_enc.end());
+  }
+  return cshake_batch(security_bits, inputs, out_len, kName, customization);
+}
+
+}  // namespace kvx::core

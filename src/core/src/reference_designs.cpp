@@ -1,0 +1,34 @@
+#include "kvx/core/reference_designs.hpp"
+
+#include <array>
+
+namespace kvx::core {
+namespace {
+
+constexpr ReferenceDesign kRawat{
+    "Vector Extensions (GEM5)", "[20]", 64,
+    /*cycles_per_round=*/66.0, /*cycles_per_byte=*/std::nullopt,
+    /*throughput_e3=*/1010.1, /*area_slices=*/std::nullopt};
+
+constexpr std::array<ReferenceDesign, 5> kTable8 = {{
+    {"LEON3 ISE", "[25]", 32, std::nullopt, 369.0, 21.68, 8648},
+    {"MIPS Native ISE", "[10]", 32, std::nullopt, 178.1, 44.92, 6595},
+    {"MIPS Co-processor ISE", "[10]", 32, std::nullopt, 137.9, 58.01, 7643},
+    {"OASIP", "[19]", 32, std::nullopt, 291.5, 27.44, 981},
+    {"DASIP", "[19]", 32, std::nullopt, 130.4, 61.35, 1522},
+}};
+
+constexpr ReferenceDesign kIbexCcode{
+    "Ibex core (C-code)", "[13,16]", 32,
+    /*cycles_per_round=*/2908.0, /*cycles_per_byte=*/355.69,
+    /*throughput_e3=*/22.45, /*area_slices=*/432};
+
+}  // namespace
+
+const ReferenceDesign& rawat_vector_ise() noexcept { return kRawat; }
+
+std::span<const ReferenceDesign> table8_references() noexcept { return kTable8; }
+
+const ReferenceDesign& paper_ibex_ccode() noexcept { return kIbexCcode; }
+
+}  // namespace kvx::core

@@ -1,0 +1,106 @@
+#include "kvx/core/vector_keccak.hpp"
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/strings.hpp"
+
+namespace kvx::core {
+
+namespace {
+
+sim::ProcessorConfig processor_config(const VectorKeccakConfig& c) {
+  sim::ProcessorConfig pc;
+  pc.vector.elen_bits = arch_elen(c.arch);
+  pc.vector.ele_num = c.ele_num;
+  pc.vector.sn = c.sn();
+  return pc;
+}
+
+}  // namespace
+
+namespace {
+
+ProgramOptions program_options(const VectorKeccakConfig& c, bool single_round) {
+  ProgramOptions o;
+  o.arch = c.arch;
+  o.ele_num = c.ele_num;
+  o.rounds = c.rounds;
+  o.single_round = single_round;
+  o.first_round = c.first_round;
+  return o;
+}
+
+}  // namespace
+
+VectorKeccak::VectorKeccak(const VectorKeccakConfig& config)
+    : config_(config),
+      program_(build_keccak_program(program_options(config, false))),
+      proc_(std::make_unique<sim::SimdProcessor>(processor_config(config))) {
+  KVX_CHECK_MSG(config_.sn() >= 1, "EleNum must allow at least one state");
+  proc_->load_program(program_.image);
+  state_base_ = program_.image.symbol("state");
+}
+
+void VectorKeccak::stage_states(std::span<const keccak::State> states) {
+  // Plane-major layout (paper Figure 5): row y holds lane (x, y) of state s
+  // at element 5s + x. Unused elements are zeroed.
+  const unsigned e = config_.ele_num;
+  std::vector<u8> block(5 * e * 8, 0);
+  for (unsigned y = 0; y < 5; ++y) {
+    for (usize s = 0; s < states.size(); ++s) {
+      for (unsigned x = 0; x < 5; ++x) {
+        const u64 lane = states[s].lane(x, y);
+        const usize off = (y * e + 5 * s + x) * 8;
+        for (unsigned b = 0; b < 8; ++b) {
+          block[off + b] = static_cast<u8>(lane >> (8 * b));
+        }
+      }
+    }
+  }
+  proc_->dmem().write_block(state_base_, block);
+}
+
+void VectorKeccak::unstage_states(std::span<keccak::State> states) const {
+  const unsigned e = config_.ele_num;
+  for (unsigned y = 0; y < 5; ++y) {
+    for (usize s = 0; s < states.size(); ++s) {
+      for (unsigned x = 0; x < 5; ++x) {
+        const u32 addr =
+            state_base_ + static_cast<u32>((y * e + 5 * s + x) * 8);
+        states[s].lane(x, y) = proc_->dmem().read64(addr);
+      }
+    }
+  }
+}
+
+void VectorKeccak::permute(std::span<keccak::State> states) {
+  if (states.size() > config_.sn()) {
+    throw Error(strfmt("permute: %zu states exceed SN=%u", states.size(),
+                       config_.sn()));
+  }
+  stage_states(states);
+  proc_->reset_run_state();
+  proc_->vector().clear_registers();
+  proc_->run();
+  timing_.total_cycles = proc_->cycles();
+  timing_.permutation_cycles =
+      proc_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
+  timing_.instructions = proc_->stats().instructions;
+  unstage_states(states);
+}
+
+u64 VectorKeccak::measure_round_cycles() const {
+  const KeccakProgram p =
+      build_keccak_program(program_options(config_, /*single_round=*/true));
+  sim::SimdProcessor proc(processor_config(config_));
+  proc.load_program(p.image);
+  proc.run();
+  return proc.cycles_between(Markers::kRoundStart, Markers::kRoundEnd);
+}
+
+u64 VectorKeccak::measure_permutation_cycles() {
+  std::vector<keccak::State> states(config_.sn());
+  permute(states);
+  return timing_.permutation_cycles;
+}
+
+}  // namespace kvx::core

@@ -1,0 +1,18 @@
+// Disassembler: render decoded instructions as assembly text that the
+// kvx_asm assembler accepts back (round-trip property, tested).
+#pragma once
+
+#include <string>
+
+#include "kvx/isa/instruction.hpp"
+
+namespace kvx::isa {
+
+/// Disassemble one instruction. `pc` is used to render branch/jump targets
+/// as absolute addresses in a trailing comment.
+[[nodiscard]] std::string disassemble(const Instruction& inst);
+
+/// Disassemble a raw word ("<invalid 0x????????>" if undecodable).
+[[nodiscard]] std::string disassemble_word(u32 word);
+
+}  // namespace kvx::isa

@@ -1,0 +1,20 @@
+// Binary encoding and decoding of KVX instructions (32-bit words).
+#pragma once
+
+#include "kvx/isa/instruction.hpp"
+
+namespace kvx::isa {
+
+/// Encode a decoded instruction into its 32-bit machine word.
+/// Throws kvx::Error if an operand is out of range for the format
+/// (e.g. an immediate that does not fit, a misaligned branch offset).
+[[nodiscard]] u32 encode(const Instruction& inst);
+
+/// Decode a 32-bit machine word. Throws kvx::DecodeError for words that do
+/// not correspond to any supported instruction.
+[[nodiscard]] Instruction decode(u32 word);
+
+/// Decode, returning kInvalid instead of throwing (for disassembler sweeps).
+[[nodiscard]] Instruction try_decode(u32 word) noexcept;
+
+}  // namespace kvx::isa

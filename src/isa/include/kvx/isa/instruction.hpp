@@ -1,0 +1,64 @@
+// Decoded instruction representation and the RVV vtype helper.
+#pragma once
+
+#include "kvx/common/types.hpp"
+#include "kvx/isa/opcode.hpp"
+
+namespace kvx::isa {
+
+/// RVV vtype: selected element width, register-group multiplier, tail/mask
+/// policies. Only integer LMUL ≥ 1 is supported (the paper uses 1 and 8).
+struct VType {
+  unsigned sew = 32;   ///< selected element width in bits (8/16/32/64)
+  unsigned lmul = 1;   ///< register group multiplier (1/2/4/8)
+  bool tail_agnostic = false;   ///< ta (false = tail-undisturbed, "tu")
+  bool mask_agnostic = false;   ///< ma (false = mask-undisturbed, "mu")
+
+  /// Pack into the 8-bit vtype encoding (vlmul[2:0] | vsew[5:3] | vta | vma).
+  [[nodiscard]] u32 to_bits() const;
+
+  /// Decode from vtype bits. Throws DecodeError for reserved encodings.
+  [[nodiscard]] static VType from_bits(u32 bits);
+
+  /// Render as assembly operands: "e64,m8,tu,mu".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const VType&, const VType&) noexcept = default;
+};
+
+/// A decoded (or to-be-encoded) instruction.
+///
+/// Field usage by format:
+///   scalar R       : rd, rs1, rs2
+///   scalar I/shift : rd, rs1, imm
+///   S              : rs1 (base), rs2 (source), imm
+///   B              : rs1, rs2, imm (byte offset)
+///   U/J            : rd, imm
+///   kCsr/kCsrI     : rd, rs1 (reg or 5-bit uimm), imm = CSR address
+///   kVSetVLI       : rd, rs1, vtype
+///   kVArith/kVCustom: rd = vd, rs2 = vs2, then vs1 (VV) / rs1 (VX) /
+///                    imm (VI); vm = !masked
+///   kVLoad/kVStore : rd = vd/vs3, rs1 = base, rs2 = stride reg (strided)
+///                    or index vector (indexed); vm
+struct Instruction {
+  Opcode op = Opcode::kInvalid;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i32 imm = 0;
+  bool vm = true;  ///< vector mask bit: true = unmasked
+  VType vtype{};   ///< only meaningful for kVsetvli
+
+  friend bool operator==(const Instruction&, const Instruction&) noexcept = default;
+};
+
+/// ABI name of scalar register `x` ("zero", "ra", "sp", "s1", "a0", ...).
+[[nodiscard]] std::string_view xreg_name(unsigned x) noexcept;
+
+/// Parse a scalar register name ("x5", "t0", "s1", ...). Returns -1 if invalid.
+[[nodiscard]] int parse_xreg(std::string_view name) noexcept;
+
+/// Parse a vector register name ("v0".."v31"). Returns -1 if invalid.
+[[nodiscard]] int parse_vreg(std::string_view name) noexcept;
+
+}  // namespace kvx::isa

@@ -1,0 +1,292 @@
+// Instruction set definition for the KVX SIMD processor.
+//
+// Three instruction groups, mirroring the paper's processor:
+//  * the RV32IM base ISA executed by the Ibex-like scalar core;
+//  * a subset of the RISC-V vector extension v1.0 (configuration-setting,
+//    vector loads/stores, vector integer arithmetic);
+//  * the ten custom Keccak vector instructions of the paper (§3.3),
+//    placed in the custom-1 opcode space (0101011).
+//
+// The X-macro table below is the single source of truth: the encoder,
+// decoder, disassembler, assembler and simulator all derive their dispatch
+// from it, so the groups cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::isa {
+
+/// Instruction encoding format. Determines which fields of `Instruction`
+/// are meaningful and how encode/decode pack them.
+enum class Format : u8 {
+  kR,         ///< register-register (funct7 | rs2 | rs1 | funct3 | rd)
+  kI,         ///< 12-bit signed immediate (loads, ALU-imm, jalr)
+  kIShift,    ///< shift-immediate (funct7 | shamt | rs1 | funct3 | rd)
+  kS,         ///< store
+  kB,         ///< branch
+  kU,         ///< upper immediate (lui/auipc)
+  kJ,         ///< jal
+  kSystem,    ///< ecall/ebreak (imm distinguishes)
+  kCsr,       ///< csrrw/csrrs/csrrc — imm = csr address, rs1 = source reg
+  kCsrI,      ///< csrrwi/... — imm = csr address, rs1 field = 5-bit uimm
+  kVSetVLI,   ///< vsetvli rd, rs1, vtypei
+  kVArith,    ///< OP-V vector arithmetic (operand kind from the table)
+  kVLoad,     ///< vector load (unit / strided / indexed from `mop`)
+  kVStore,    ///< vector store
+  kVCustom,   ///< custom-1 Keccak vector instruction
+};
+
+/// Operand flavour of a vector arithmetic/custom instruction.
+enum class VOperands : u8 {
+  kNone,  ///< not a vector-arith instruction
+  kVV,    ///< vector-vector
+  kVX,    ///< vector-scalar
+  kVI,    ///< vector-immediate
+};
+
+/// Vector memory addressing mode (RVV `mop` field).
+enum class VMop : u8 {
+  kUnit = 0b00,
+  kIndexed = 0b01,   ///< indexed-unordered
+  kStrided = 0b10,
+};
+
+// X(name, mnemonic, format, voperands, major, funct3, funct7_or_funct6, aux)
+//   major  : 7-bit major opcode
+//   funct3 : 3-bit minor opcode (or RVV width field for loads/stores)
+//   funct7 : funct7 (scalar R / shift), funct6 (vector), or 0
+//   aux    : format-specific (kSystem: imm12; kVLoad/kVStore: mop;
+//            element width in bits for vector memory ops is derived from
+//            funct3)
+#define KVX_OPCODE_LIST(X)                                                      \
+  /* ---- RV32I ---- */                                                         \
+  X(kLui, "lui", kU, kNone, 0b0110111, 0, 0, 0)                                 \
+  X(kAuipc, "auipc", kU, kNone, 0b0010111, 0, 0, 0)                             \
+  X(kJal, "jal", kJ, kNone, 0b1101111, 0, 0, 0)                                 \
+  X(kJalr, "jalr", kI, kNone, 0b1100111, 0b000, 0, 0)                           \
+  X(kBeq, "beq", kB, kNone, 0b1100011, 0b000, 0, 0)                             \
+  X(kBne, "bne", kB, kNone, 0b1100011, 0b001, 0, 0)                             \
+  X(kBlt, "blt", kB, kNone, 0b1100011, 0b100, 0, 0)                             \
+  X(kBge, "bge", kB, kNone, 0b1100011, 0b101, 0, 0)                             \
+  X(kBltu, "bltu", kB, kNone, 0b1100011, 0b110, 0, 0)                           \
+  X(kBgeu, "bgeu", kB, kNone, 0b1100011, 0b111, 0, 0)                           \
+  X(kLb, "lb", kI, kNone, 0b0000011, 0b000, 0, 0)                               \
+  X(kLh, "lh", kI, kNone, 0b0000011, 0b001, 0, 0)                               \
+  X(kLw, "lw", kI, kNone, 0b0000011, 0b010, 0, 0)                               \
+  X(kLbu, "lbu", kI, kNone, 0b0000011, 0b100, 0, 0)                             \
+  X(kLhu, "lhu", kI, kNone, 0b0000011, 0b101, 0, 0)                             \
+  X(kSb, "sb", kS, kNone, 0b0100011, 0b000, 0, 0)                               \
+  X(kSh, "sh", kS, kNone, 0b0100011, 0b001, 0, 0)                               \
+  X(kSw, "sw", kS, kNone, 0b0100011, 0b010, 0, 0)                               \
+  X(kAddi, "addi", kI, kNone, 0b0010011, 0b000, 0, 0)                           \
+  X(kSlti, "slti", kI, kNone, 0b0010011, 0b010, 0, 0)                           \
+  X(kSltiu, "sltiu", kI, kNone, 0b0010011, 0b011, 0, 0)                         \
+  X(kXori, "xori", kI, kNone, 0b0010011, 0b100, 0, 0)                           \
+  X(kOri, "ori", kI, kNone, 0b0010011, 0b110, 0, 0)                             \
+  X(kAndi, "andi", kI, kNone, 0b0010011, 0b111, 0, 0)                           \
+  X(kSlli, "slli", kIShift, kNone, 0b0010011, 0b001, 0b0000000, 0)              \
+  X(kSrli, "srli", kIShift, kNone, 0b0010011, 0b101, 0b0000000, 0)              \
+  X(kSrai, "srai", kIShift, kNone, 0b0010011, 0b101, 0b0100000, 0)              \
+  X(kAdd, "add", kR, kNone, 0b0110011, 0b000, 0b0000000, 0)                     \
+  X(kSub, "sub", kR, kNone, 0b0110011, 0b000, 0b0100000, 0)                     \
+  X(kSll, "sll", kR, kNone, 0b0110011, 0b001, 0b0000000, 0)                     \
+  X(kSlt, "slt", kR, kNone, 0b0110011, 0b010, 0b0000000, 0)                     \
+  X(kSltu, "sltu", kR, kNone, 0b0110011, 0b011, 0b0000000, 0)                   \
+  X(kXor, "xor", kR, kNone, 0b0110011, 0b100, 0b0000000, 0)                     \
+  X(kSrl, "srl", kR, kNone, 0b0110011, 0b101, 0b0000000, 0)                     \
+  X(kSra, "sra", kR, kNone, 0b0110011, 0b101, 0b0100000, 0)                     \
+  X(kOr, "or", kR, kNone, 0b0110011, 0b110, 0b0000000, 0)                       \
+  X(kAnd, "and", kR, kNone, 0b0110011, 0b111, 0b0000000, 0)                     \
+  X(kFence, "fence", kI, kNone, 0b0001111, 0b000, 0, 0)                         \
+  X(kEcall, "ecall", kSystem, kNone, 0b1110011, 0b000, 0, 0)                    \
+  X(kEbreak, "ebreak", kSystem, kNone, 0b1110011, 0b000, 0, 1)                  \
+  X(kCsrrw, "csrrw", kCsr, kNone, 0b1110011, 0b001, 0, 0)                       \
+  X(kCsrrs, "csrrs", kCsr, kNone, 0b1110011, 0b010, 0, 0)                       \
+  X(kCsrrc, "csrrc", kCsr, kNone, 0b1110011, 0b011, 0, 0)                       \
+  X(kCsrrwi, "csrrwi", kCsrI, kNone, 0b1110011, 0b101, 0, 0)                    \
+  X(kCsrrsi, "csrrsi", kCsrI, kNone, 0b1110011, 0b110, 0, 0)                    \
+  X(kCsrrci, "csrrci", kCsrI, kNone, 0b1110011, 0b111, 0, 0)                    \
+  /* ---- RV32 Zbb subset (rotate + logic-with-negate; used by the           \
+     bit-interleaved scalar Keccak baseline) ---- */                           \
+  X(kRol, "rol", kR, kNone, 0b0110011, 0b001, 0b0110000, 0)                     \
+  X(kRor, "ror", kR, kNone, 0b0110011, 0b101, 0b0110000, 0)                     \
+  X(kRori, "rori", kIShift, kNone, 0b0010011, 0b101, 0b0110000, 0)              \
+  X(kAndn, "andn", kR, kNone, 0b0110011, 0b111, 0b0100000, 0)                   \
+  X(kOrn, "orn", kR, kNone, 0b0110011, 0b110, 0b0100000, 0)                     \
+  X(kXnor, "xnor", kR, kNone, 0b0110011, 0b100, 0b0100000, 0)                   \
+  /* ---- RV32M ---- */                                                         \
+  X(kMul, "mul", kR, kNone, 0b0110011, 0b000, 0b0000001, 0)                     \
+  X(kMulh, "mulh", kR, kNone, 0b0110011, 0b001, 0b0000001, 0)                   \
+  X(kMulhsu, "mulhsu", kR, kNone, 0b0110011, 0b010, 0b0000001, 0)               \
+  X(kMulhu, "mulhu", kR, kNone, 0b0110011, 0b011, 0b0000001, 0)                 \
+  X(kDiv, "div", kR, kNone, 0b0110011, 0b100, 0b0000001, 0)                     \
+  X(kDivu, "divu", kR, kNone, 0b0110011, 0b101, 0b0000001, 0)                   \
+  X(kRem, "rem", kR, kNone, 0b0110011, 0b110, 0b0000001, 0)                     \
+  X(kRemu, "remu", kR, kNone, 0b0110011, 0b111, 0b0000001, 0)                   \
+  /* ---- RVV 1.0 subset: configuration ---- */                                 \
+  X(kVsetvli, "vsetvli", kVSetVLI, kNone, 0b1010111, 0b111, 0, 0)               \
+  /* ---- RVV subset: unit-stride loads/stores ---- */                          \
+  X(kVle8, "vle8.v", kVLoad, kNone, 0b0000111, 0b000, 0, 0b00)                  \
+  X(kVle16, "vle16.v", kVLoad, kNone, 0b0000111, 0b101, 0, 0b00)                \
+  X(kVle32, "vle32.v", kVLoad, kNone, 0b0000111, 0b110, 0, 0b00)                \
+  X(kVle64, "vle64.v", kVLoad, kNone, 0b0000111, 0b111, 0, 0b00)                \
+  X(kVse8, "vse8.v", kVStore, kNone, 0b0100111, 0b000, 0, 0b00)                 \
+  X(kVse16, "vse16.v", kVStore, kNone, 0b0100111, 0b101, 0, 0b00)               \
+  X(kVse32, "vse32.v", kVStore, kNone, 0b0100111, 0b110, 0, 0b00)               \
+  X(kVse64, "vse64.v", kVStore, kNone, 0b0100111, 0b111, 0, 0b00)               \
+  /* ---- RVV subset: strided ---- */                                           \
+  X(kVlse32, "vlse32.v", kVLoad, kNone, 0b0000111, 0b110, 0, 0b10)              \
+  X(kVlse64, "vlse64.v", kVLoad, kNone, 0b0000111, 0b111, 0, 0b10)              \
+  X(kVsse32, "vsse32.v", kVStore, kNone, 0b0100111, 0b110, 0, 0b10)             \
+  X(kVsse64, "vsse64.v", kVStore, kNone, 0b0100111, 0b111, 0, 0b10)             \
+  /* ---- RVV subset: indexed (paper §3.2: hi/lo lane exchange) ---- */         \
+  X(kVluxei32, "vluxei32.v", kVLoad, kNone, 0b0000111, 0b110, 0, 0b01)          \
+  X(kVsuxei32, "vsuxei32.v", kVStore, kNone, 0b0100111, 0b110, 0, 0b01)         \
+  /* ---- RVV subset: integer arithmetic ---- */                                \
+  X(kVaddVV, "vadd.vv", kVArith, kVV, 0b1010111, 0b000, 0b000000, 0)            \
+  X(kVaddVX, "vadd.vx", kVArith, kVX, 0b1010111, 0b100, 0b000000, 0)            \
+  X(kVaddVI, "vadd.vi", kVArith, kVI, 0b1010111, 0b011, 0b000000, 0)            \
+  X(kVsubVV, "vsub.vv", kVArith, kVV, 0b1010111, 0b000, 0b000010, 0)            \
+  X(kVsubVX, "vsub.vx", kVArith, kVX, 0b1010111, 0b100, 0b000010, 0)            \
+  X(kVandVV, "vand.vv", kVArith, kVV, 0b1010111, 0b000, 0b001001, 0)            \
+  X(kVandVX, "vand.vx", kVArith, kVX, 0b1010111, 0b100, 0b001001, 0)            \
+  X(kVandVI, "vand.vi", kVArith, kVI, 0b1010111, 0b011, 0b001001, 0)            \
+  X(kVorVV, "vor.vv", kVArith, kVV, 0b1010111, 0b000, 0b001010, 0)              \
+  X(kVorVX, "vor.vx", kVArith, kVX, 0b1010111, 0b100, 0b001010, 0)              \
+  X(kVorVI, "vor.vi", kVArith, kVI, 0b1010111, 0b011, 0b001010, 0)              \
+  X(kVxorVV, "vxor.vv", kVArith, kVV, 0b1010111, 0b000, 0b001011, 0)            \
+  X(kVxorVX, "vxor.vx", kVArith, kVX, 0b1010111, 0b100, 0b001011, 0)            \
+  X(kVxorVI, "vxor.vi", kVArith, kVI, 0b1010111, 0b011, 0b001011, 0)            \
+  X(kVrgatherVV, "vrgather.vv", kVArith, kVV, 0b1010111, 0b000, 0b001100, 0)    \
+  X(kVslideupVI, "vslideup.vi", kVArith, kVI, 0b1010111, 0b011, 0b001110, 0)    \
+  X(kVslidedownVI, "vslidedown.vi", kVArith, kVI, 0b1010111, 0b011, 0b001111, 0)\
+  X(kVmvVV, "vmv.v.v", kVArith, kVV, 0b1010111, 0b000, 0b010111, 1)             \
+  X(kVmvVX, "vmv.v.x", kVArith, kVX, 0b1010111, 0b100, 0b010111, 1)             \
+  X(kVmvVI, "vmv.v.i", kVArith, kVI, 0b1010111, 0b011, 0b010111, 1)             \
+  X(kVsllVV, "vsll.vv", kVArith, kVV, 0b1010111, 0b000, 0b100101, 0)            \
+  X(kVsllVX, "vsll.vx", kVArith, kVX, 0b1010111, 0b100, 0b100101, 0)            \
+  X(kVsllVI, "vsll.vi", kVArith, kVI, 0b1010111, 0b011, 0b100101, 0)            \
+  X(kVsrlVV, "vsrl.vv", kVArith, kVV, 0b1010111, 0b000, 0b101000, 0)            \
+  X(kVsrlVX, "vsrl.vx", kVArith, kVX, 0b1010111, 0b100, 0b101000, 0)            \
+  X(kVsrlVI, "vsrl.vi", kVArith, kVI, 0b1010111, 0b011, 0b101000, 0)            \
+  X(kVminuVV, "vminu.vv", kVArith, kVV, 0b1010111, 0b000, 0b000100, 0)          \
+  X(kVminuVX, "vminu.vx", kVArith, kVX, 0b1010111, 0b100, 0b000100, 0)          \
+  X(kVminVV, "vmin.vv", kVArith, kVV, 0b1010111, 0b000, 0b000101, 0)            \
+  X(kVminVX, "vmin.vx", kVArith, kVX, 0b1010111, 0b100, 0b000101, 0)            \
+  X(kVmaxuVV, "vmaxu.vv", kVArith, kVV, 0b1010111, 0b000, 0b000110, 0)          \
+  X(kVmaxuVX, "vmaxu.vx", kVArith, kVX, 0b1010111, 0b100, 0b000110, 0)          \
+  X(kVmaxVV, "vmax.vv", kVArith, kVV, 0b1010111, 0b000, 0b000111, 0)            \
+  X(kVmaxVX, "vmax.vx", kVArith, kVX, 0b1010111, 0b100, 0b000111, 0)            \
+  /* mask-writing integer compares (vd is a mask register) */                   \
+  X(kVmseqVV, "vmseq.vv", kVArith, kVV, 0b1010111, 0b000, 0b011000, 0)          \
+  X(kVmseqVX, "vmseq.vx", kVArith, kVX, 0b1010111, 0b100, 0b011000, 0)          \
+  X(kVmseqVI, "vmseq.vi", kVArith, kVI, 0b1010111, 0b011, 0b011000, 0)          \
+  X(kVmsneVV, "vmsne.vv", kVArith, kVV, 0b1010111, 0b000, 0b011001, 0)          \
+  X(kVmsneVX, "vmsne.vx", kVArith, kVX, 0b1010111, 0b100, 0b011001, 0)          \
+  X(kVmsneVI, "vmsne.vi", kVArith, kVI, 0b1010111, 0b011, 0b011001, 0)          \
+  X(kVmsltuVV, "vmsltu.vv", kVArith, kVV, 0b1010111, 0b000, 0b011010, 0)        \
+  X(kVmsltuVX, "vmsltu.vx", kVArith, kVX, 0b1010111, 0b100, 0b011010, 0)        \
+  X(kVmsltVV, "vmslt.vv", kVArith, kVV, 0b1010111, 0b000, 0b011011, 0)          \
+  X(kVmsltVX, "vmslt.vx", kVArith, kVX, 0b1010111, 0b100, 0b011011, 0)          \
+  /* vmerge shares funct6 with vmv; vm=0 selects the merge form (aux: 2) */     \
+  X(kVmergeVVM, "vmerge.vvm", kVArith, kVV, 0b1010111, 0b000, 0b010111, 2)      \
+  X(kVmergeVXM, "vmerge.vxm", kVArith, kVX, 0b1010111, 0b100, 0b010111, 2)      \
+  X(kVmergeVIM, "vmerge.vim", kVArith, kVI, 0b1010111, 0b011, 0b010111, 2)      \
+  /* single-width integer reductions (OPMVV, funct3 010) */                     \
+  X(kVredsumVS, "vredsum.vs", kVArith, kVV, 0b1010111, 0b010, 0b000000, 0)      \
+  X(kVredandVS, "vredand.vs", kVArith, kVV, 0b1010111, 0b010, 0b000001, 0)      \
+  X(kVredorVS, "vredor.vs", kVArith, kVV, 0b1010111, 0b010, 0b000010, 0)        \
+  X(kVredxorVS, "vredxor.vs", kVArith, kVV, 0b1010111, 0b010, 0b000011, 0)      \
+  /* ---- The ten custom Keccak vector instructions (paper §3.3) ---- */        \
+  X(kVslidedownmVI, "vslidedownm.vi", kVCustom, kVI, 0b0101011, 0b011, 0b000001, 0) \
+  X(kVslideupmVI, "vslideupm.vi", kVCustom, kVI, 0b0101011, 0b011, 0b000010, 0) \
+  X(kVrotupVI, "vrotup.vi", kVCustom, kVI, 0b0101011, 0b011, 0b000011, 0)       \
+  X(kV32lrotupVV, "v32lrotup.vv", kVCustom, kVV, 0b0101011, 0b000, 0b000100, 0) \
+  X(kV32hrotupVV, "v32hrotup.vv", kVCustom, kVV, 0b0101011, 0b000, 0b000101, 0) \
+  X(kV64rhoVI, "v64rho.vi", kVCustom, kVI, 0b0101011, 0b011, 0b000110, 0)       \
+  X(kV32lrhoVV, "v32lrho.vv", kVCustom, kVV, 0b0101011, 0b000, 0b000111, 0)     \
+  X(kV32hrhoVV, "v32hrho.vv", kVCustom, kVV, 0b0101011, 0b000, 0b001000, 0)     \
+  X(kVpiVI, "vpi.vi", kVCustom, kVI, 0b0101011, 0b011, 0b001001, 0)             \
+  X(kViotaVX, "viota.vx", kVCustom, kVX, 0b0101011, 0b100, 0b001010, 0)         \
+  /* ---- Fused-instruction extension (paper §5 future work: "increase the    \
+     granularity / combine adjacent operations"). NOT part of the paper's     \
+     ten instructions; provided for the ablation_fusion study. ---- */         \
+  X(kVthetacVV, "vthetac.vv", kVCustom, kVV, 0b0101011, 0b000, 0b010001, 0)     \
+  X(kVrhopiVI, "vrhopi.vi", kVCustom, kVI, 0b0101011, 0b011, 0b010010, 0)       \
+  X(kVchiVV, "vchi.vv", kVCustom, kVV, 0b0101011, 0b000, 0b010011, 0)
+
+/// Every instruction understood by the KVX toolchain and simulator.
+enum class Opcode : u16 {
+#define KVX_X(name, ...) name,
+  KVX_OPCODE_LIST(KVX_X)
+#undef KVX_X
+      kInvalid,
+};
+
+/// Per-opcode static metadata (from the X-macro table).
+struct OpcodeInfo {
+  Opcode op;
+  std::string_view mnemonic;
+  Format format;
+  VOperands voperands;
+  u8 major;    ///< 7-bit major opcode
+  u8 funct3;   ///< funct3 (vector memory: RVV width code)
+  u8 funct7;   ///< funct7 / funct6
+  u8 aux;      ///< kSystem: imm12; vector memory: mop
+};
+
+/// Metadata for `op`. `op` must not be kInvalid.
+[[nodiscard]] const OpcodeInfo& info(Opcode op) noexcept;
+
+/// Number of defined opcodes.
+[[nodiscard]] usize opcode_count() noexcept;
+
+/// All opcodes, in table order (for parameterized tests).
+[[nodiscard]] std::span<const OpcodeInfo> all_opcodes() noexcept;
+
+/// Mnemonic for `op` ("vxor.vv", "addi", ...).
+[[nodiscard]] std::string_view mnemonic(Opcode op) noexcept;
+
+/// True for the ten paper-specific custom instructions.
+[[nodiscard]] constexpr bool is_custom(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kVslidedownmVI:
+    case Opcode::kVslideupmVI:
+    case Opcode::kVrotupVI:
+    case Opcode::kV32lrotupVV:
+    case Opcode::kV32hrotupVV:
+    case Opcode::kV64rhoVI:
+    case Opcode::kV32lrhoVV:
+    case Opcode::kV32hrhoVV:
+    case Opcode::kVpiVI:
+    case Opcode::kViotaVX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for the fused-operation extension instructions (our implementation
+/// of the paper's §5 future-work direction; not among the original ten).
+[[nodiscard]] constexpr bool is_fused_extension(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kVthetacVV:
+    case Opcode::kVrhopiVI:
+    case Opcode::kVchiVV:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for any vector instruction (config, memory, arithmetic, custom).
+[[nodiscard]] bool is_vector(Opcode op) noexcept;
+
+/// Element width in bits for a vector memory opcode (8/16/32/64), 0 otherwise.
+[[nodiscard]] unsigned vmem_width_bits(Opcode op) noexcept;
+
+}  // namespace kvx::isa

@@ -1,0 +1,138 @@
+#include "kvx/isa/disasm.hpp"
+
+#include "kvx/common/strings.hpp"
+#include "kvx/isa/encoding.hpp"
+
+namespace kvx::isa {
+namespace {
+
+std::string x(unsigned r) { return std::string(xreg_name(r)); }
+std::string v(unsigned r) { return strfmt("v%u", r); }
+
+std::string vm_suffix(const Instruction& inst) {
+  return inst.vm ? "" : ",v0.t";
+}
+
+bool is_merge_op(Opcode op) {
+  return op == Opcode::kVmergeVVM || op == Opcode::kVmergeVXM ||
+         op == Opcode::kVmergeVIM;
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& inst) {
+  if (inst.op == Opcode::kInvalid) return "<invalid>";
+  const OpcodeInfo& i = info(inst.op);
+  const std::string m(i.mnemonic);
+
+  switch (i.format) {
+    case Format::kR:
+      return strfmt("%s %s,%s,%s", m.c_str(), x(inst.rd).c_str(),
+                    x(inst.rs1).c_str(), x(inst.rs2).c_str());
+    case Format::kI:
+      if (inst.op == Opcode::kFence) return "fence";
+      if (i.major == 0b0000011 || inst.op == Opcode::kJalr) {
+        return strfmt("%s %s,%d(%s)", m.c_str(), x(inst.rd).c_str(), inst.imm,
+                      x(inst.rs1).c_str());
+      }
+      return strfmt("%s %s,%s,%d", m.c_str(), x(inst.rd).c_str(),
+                    x(inst.rs1).c_str(), inst.imm);
+    case Format::kIShift:
+      return strfmt("%s %s,%s,%d", m.c_str(), x(inst.rd).c_str(),
+                    x(inst.rs1).c_str(), inst.imm);
+    case Format::kS:
+      return strfmt("%s %s,%d(%s)", m.c_str(), x(inst.rs2).c_str(), inst.imm,
+                    x(inst.rs1).c_str());
+    case Format::kB:
+      return strfmt("%s %s,%s,%d", m.c_str(), x(inst.rs1).c_str(),
+                    x(inst.rs2).c_str(), inst.imm);
+    case Format::kU:
+      return strfmt("%s %s,%d", m.c_str(), x(inst.rd).c_str(), inst.imm);
+    case Format::kJ:
+      return strfmt("%s %s,%d", m.c_str(), x(inst.rd).c_str(), inst.imm);
+    case Format::kSystem:
+      return m;
+    case Format::kCsr:
+      return strfmt("%s %s,%d,%s", m.c_str(), x(inst.rd).c_str(), inst.imm,
+                    x(inst.rs1).c_str());
+    case Format::kCsrI:
+      return strfmt("%s %s,%d,%u", m.c_str(), x(inst.rd).c_str(), inst.imm,
+                    inst.rs1);
+    case Format::kVSetVLI:
+      return strfmt("vsetvli %s,%s,%s", x(inst.rd).c_str(),
+                    x(inst.rs1).c_str(), inst.vtype.to_string().c_str());
+    case Format::kVArith:
+    case Format::kVCustom:
+      switch (i.voperands) {
+        case VOperands::kVV:
+          if (is_merge_op(inst.op)) {
+            return strfmt("%s %s,%s,%s,v0", m.c_str(), v(inst.rd).c_str(),
+                          v(inst.rs2).c_str(), v(inst.rs1).c_str());
+          }
+          if (inst.op == Opcode::kVmvVV) {
+            return strfmt("vmv.v.v %s,%s", v(inst.rd).c_str(),
+                          v(inst.rs1).c_str());
+          }
+          if (inst.op == Opcode::kVthetacVV || inst.op == Opcode::kVchiVV) {
+            return strfmt("%s %s,%s", m.c_str(), v(inst.rd).c_str(),
+                          v(inst.rs2).c_str());
+          }
+          return strfmt("%s %s,%s,%s%s", m.c_str(), v(inst.rd).c_str(),
+                        v(inst.rs2).c_str(), v(inst.rs1).c_str(),
+                        vm_suffix(inst).c_str());
+        case VOperands::kVX:
+          if (is_merge_op(inst.op)) {
+            return strfmt("%s %s,%s,%s,v0", m.c_str(), v(inst.rd).c_str(),
+                          v(inst.rs2).c_str(), x(inst.rs1).c_str());
+          }
+          if (inst.op == Opcode::kVmvVX) {
+            return strfmt("vmv.v.x %s,%s", v(inst.rd).c_str(),
+                          x(inst.rs1).c_str());
+          }
+          return strfmt("%s %s,%s,%s%s", m.c_str(), v(inst.rd).c_str(),
+                        v(inst.rs2).c_str(), x(inst.rs1).c_str(),
+                        vm_suffix(inst).c_str());
+        case VOperands::kVI:
+          if (is_merge_op(inst.op)) {
+            return strfmt("%s %s,%s,%d,v0", m.c_str(), v(inst.rd).c_str(),
+                          v(inst.rs2).c_str(), inst.imm);
+          }
+          if (inst.op == Opcode::kVmvVI) {
+            return strfmt("vmv.v.i %s,%d", v(inst.rd).c_str(), inst.imm);
+          }
+          return strfmt("%s %s,%s,%d%s", m.c_str(), v(inst.rd).c_str(),
+                        v(inst.rs2).c_str(), inst.imm,
+                        vm_suffix(inst).c_str());
+        case VOperands::kNone:
+          break;
+      }
+      return m;
+    case Format::kVLoad:
+    case Format::kVStore: {
+      const auto mop = static_cast<VMop>(i.aux);
+      if (mop == VMop::kUnit) {
+        return strfmt("%s %s,(%s)%s", m.c_str(), v(inst.rd).c_str(),
+                      x(inst.rs1).c_str(), vm_suffix(inst).c_str());
+      }
+      if (mop == VMop::kStrided) {
+        return strfmt("%s %s,(%s),%s%s", m.c_str(), v(inst.rd).c_str(),
+                      x(inst.rs1).c_str(), x(inst.rs2).c_str(),
+                      vm_suffix(inst).c_str());
+      }
+      return strfmt("%s %s,(%s),%s%s", m.c_str(), v(inst.rd).c_str(),
+                    x(inst.rs1).c_str(), v(inst.rs2).c_str(),
+                    vm_suffix(inst).c_str());
+    }
+  }
+  return m;
+}
+
+std::string disassemble_word(u32 word) {
+  const Instruction inst = try_decode(word);
+  if (inst.op == Opcode::kInvalid) {
+    return strfmt("<invalid 0x%08x>", word);
+  }
+  return disassemble(inst);
+}
+
+}  // namespace kvx::isa

@@ -1,0 +1,377 @@
+#include "kvx/isa/encoding.hpp"
+
+#include "kvx/common/bits.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/common/strings.hpp"
+
+namespace kvx::isa {
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw Error(std::string("encode: ") + what);
+}
+
+u32 reg_field(u8 r) {
+  require(r < 32, "register index out of range");
+  return r;
+}
+
+/// True if this VI-form instruction interprets its 5-bit immediate as
+/// unsigned (RVV shifts and slides; the custom modulo-slides and vrotup).
+bool vi_imm_is_unsigned(Opcode op) {
+  switch (op) {
+    case Opcode::kVsllVI:
+    case Opcode::kVsrlVI:
+    case Opcode::kVslideupVI:
+    case Opcode::kVslidedownVI:
+    case Opcode::kVslidedownmVI:
+    case Opcode::kVslideupmVI:
+    case Opcode::kVrotupVI:
+      return true;
+    default:
+      return false;
+  }
+}
+
+u32 encode_vi_imm(Opcode op, i32 imm) {
+  if (vi_imm_is_unsigned(op)) {
+    require(imm >= 0 && imm < 32, "unsigned vector immediate out of range");
+  } else {
+    require(fits_signed(imm, 5), "signed vector immediate out of range");
+  }
+  return static_cast<u32>(imm) & 0x1Fu;
+}
+
+i32 decode_vi_imm(Opcode op, u32 field) {
+  return vi_imm_is_unsigned(op) ? static_cast<i32>(field)
+                                : sign_extend(field, 5);
+}
+
+u32 encode_varith_like(const Instruction& inst, const OpcodeInfo& i) {
+  u32 w = i.major;
+  w |= reg_field(inst.rd) << 7;
+  w |= static_cast<u32>(i.funct3) << 12;
+  switch (i.voperands) {
+    case VOperands::kVV:
+    case VOperands::kVX:
+      w |= reg_field(inst.rs1) << 15;
+      break;
+    case VOperands::kVI:
+      w |= encode_vi_imm(inst.op, inst.imm) << 15;
+      break;
+    case VOperands::kNone:
+      KVX_CHECK_MSG(false, "vector arith without operand kind");
+  }
+  w |= reg_field(inst.rs2) << 20;
+  w |= (inst.vm ? 1u : 0u) << 25;
+  w |= static_cast<u32>(i.funct7) << 26;
+  return w;
+}
+
+u32 encode_vmem(const Instruction& inst, const OpcodeInfo& i) {
+  u32 w = i.major;
+  w |= reg_field(inst.rd) << 7;  // vd / vs3
+  w |= static_cast<u32>(i.funct3) << 12;
+  w |= reg_field(inst.rs1) << 15;
+  // Unit-stride ops put lumop=0 in the rs2 slot; strided/indexed put the
+  // stride register / index vector there.
+  const auto mop = static_cast<VMop>(i.aux);
+  w |= (mop == VMop::kUnit ? 0u : reg_field(inst.rs2)) << 20;
+  w |= (inst.vm ? 1u : 0u) << 25;
+  w |= static_cast<u32>(i.aux) << 26;  // mop
+  // nf[31:29] = 0, mew[28] = 0.
+  return w;
+}
+
+}  // namespace
+
+u32 encode(const Instruction& inst) {
+  require(inst.op != Opcode::kInvalid, "cannot encode invalid opcode");
+  const OpcodeInfo& i = info(inst.op);
+  const u32 major = i.major;
+  const u32 f3 = static_cast<u32>(i.funct3) << 12;
+
+  switch (i.format) {
+    case Format::kR:
+      return major | (reg_field(inst.rd) << 7) | f3 |
+             (reg_field(inst.rs1) << 15) | (reg_field(inst.rs2) << 20) |
+             (static_cast<u32>(i.funct7) << 25);
+
+    case Format::kI:
+      require(fits_signed(inst.imm, 12), "I-immediate out of range");
+      return major | (reg_field(inst.rd) << 7) | f3 |
+             (reg_field(inst.rs1) << 15) |
+             ((static_cast<u32>(inst.imm) & 0xFFFu) << 20);
+
+    case Format::kIShift:
+      require(inst.imm >= 0 && inst.imm < 32, "shift amount out of range");
+      return major | (reg_field(inst.rd) << 7) | f3 |
+             (reg_field(inst.rs1) << 15) |
+             ((static_cast<u32>(inst.imm) & 0x1Fu) << 20) |
+             (static_cast<u32>(i.funct7) << 25);
+
+    case Format::kS: {
+      require(fits_signed(inst.imm, 12), "S-immediate out of range");
+      const u32 imm = static_cast<u32>(inst.imm);
+      return major | ((imm & 0x1Fu) << 7) | f3 | (reg_field(inst.rs1) << 15) |
+             (reg_field(inst.rs2) << 20) | (((imm >> 5) & 0x7Fu) << 25);
+    }
+
+    case Format::kB: {
+      require(fits_signed(inst.imm, 13), "branch offset out of range");
+      require((inst.imm & 1) == 0, "branch offset must be even");
+      const u32 imm = static_cast<u32>(inst.imm);
+      return major | (((imm >> 11) & 1u) << 7) | (((imm >> 1) & 0xFu) << 8) |
+             f3 | (reg_field(inst.rs1) << 15) | (reg_field(inst.rs2) << 20) |
+             (((imm >> 5) & 0x3Fu) << 25) | (((imm >> 12) & 1u) << 31);
+    }
+
+    case Format::kU:
+      require(inst.imm >= 0 && static_cast<u32>(inst.imm) <= 0xFFFFFu,
+              "U-immediate out of range (expect the raw 20-bit field)");
+      return major | (reg_field(inst.rd) << 7) |
+             (static_cast<u32>(inst.imm) << 12);
+
+    case Format::kJ: {
+      require(fits_signed(inst.imm, 21), "jump offset out of range");
+      require((inst.imm & 1) == 0, "jump offset must be even");
+      const u32 imm = static_cast<u32>(inst.imm);
+      return major | (reg_field(inst.rd) << 7) | (((imm >> 12) & 0xFFu) << 12) |
+             (((imm >> 11) & 1u) << 20) | (((imm >> 1) & 0x3FFu) << 21) |
+             (((imm >> 20) & 1u) << 31);
+    }
+
+    case Format::kSystem:
+      return major | f3 | (static_cast<u32>(i.aux) << 20);
+
+    case Format::kCsr:
+      require(inst.imm >= 0 && inst.imm < 4096, "CSR address out of range");
+      return major | (reg_field(inst.rd) << 7) | f3 |
+             (reg_field(inst.rs1) << 15) | (static_cast<u32>(inst.imm) << 20);
+
+    case Format::kCsrI:
+      require(inst.imm >= 0 && inst.imm < 4096, "CSR address out of range");
+      require(inst.rs1 < 32, "CSR uimm5 out of range");
+      return major | (reg_field(inst.rd) << 7) | f3 |
+             (static_cast<u32>(inst.rs1) << 15) |
+             (static_cast<u32>(inst.imm) << 20);
+
+    case Format::kVSetVLI: {
+      const u32 vtypei = inst.vtype.to_bits();
+      require(vtypei < (1u << 11), "vtype immediate out of range");
+      return major | (reg_field(inst.rd) << 7) | f3 |
+             (reg_field(inst.rs1) << 15) | (vtypei << 20);
+    }
+
+    case Format::kVArith:
+    case Format::kVCustom:
+      return encode_varith_like(inst, i);
+
+    case Format::kVLoad:
+    case Format::kVStore:
+      return encode_vmem(inst, i);
+  }
+  KVX_CHECK_MSG(false, "unhandled format");
+  return 0;
+}
+
+namespace {
+
+i32 decode_i_imm(u32 w) { return sign_extend(w >> 20, 12); }
+
+i32 decode_s_imm(u32 w) {
+  return sign_extend(((w >> 25) << 5) | ((w >> 7) & 0x1Fu), 12);
+}
+
+i32 decode_b_imm(u32 w) {
+  const u32 imm = (((w >> 31) & 1u) << 12) | (((w >> 7) & 1u) << 11) |
+                  (((w >> 25) & 0x3Fu) << 5) | (((w >> 8) & 0xFu) << 1);
+  return sign_extend(imm, 13);
+}
+
+i32 decode_j_imm(u32 w) {
+  const u32 imm = (((w >> 31) & 1u) << 20) | (((w >> 12) & 0xFFu) << 12) |
+                  (((w >> 20) & 1u) << 11) | (((w >> 21) & 0x3FFu) << 1);
+  return sign_extend(imm, 21);
+}
+
+/// Find the table entry matching a predicate; kInvalid info otherwise.
+template <typename Pred>
+const OpcodeInfo* find_op(Pred&& pred) {
+  for (const OpcodeInfo& i : all_opcodes()) {
+    if (pred(i)) return &i;
+  }
+  return nullptr;
+}
+
+Instruction decode_impl(u32 w) {
+  Instruction inst;
+  const u32 major = w & 0x7Fu;
+  const u32 rd = (w >> 7) & 0x1Fu;
+  const u32 f3 = (w >> 12) & 0x7u;
+  const u32 rs1 = (w >> 15) & 0x1Fu;
+  const u32 rs2 = (w >> 20) & 0x1Fu;
+  const u32 f7 = (w >> 25) & 0x7Fu;
+  const u32 f6 = (w >> 26) & 0x3Fu;
+  const bool vm = ((w >> 25) & 1u) != 0;
+
+  const auto set_regs = [&](const OpcodeInfo& i) {
+    inst.op = i.op;
+    inst.rd = static_cast<u8>(rd);
+    inst.rs1 = static_cast<u8>(rs1);
+    inst.rs2 = static_cast<u8>(rs2);
+    // Zero the register fields a format does not use, so decode(encode(x))
+    // is the identity on the meaningful fields.
+    switch (i.format) {
+      case Format::kI:
+      case Format::kIShift:
+      case Format::kCsr:
+      case Format::kCsrI:
+        inst.rs2 = 0;
+        break;
+      case Format::kS:
+      case Format::kB:
+        inst.rd = 0;
+        break;
+      case Format::kU:
+      case Format::kJ:
+        inst.rs1 = 0;
+        inst.rs2 = 0;
+        break;
+      default:
+        break;
+    }
+  };
+
+  switch (major) {
+    case 0b0110111:  // lui
+    case 0b0010111: {  // auipc
+      const auto* i = find_op([&](const OpcodeInfo& o) {
+        return o.format == Format::kU && o.major == major;
+      });
+      KVX_CHECK(i != nullptr);
+      set_regs(*i);
+      inst.imm = static_cast<i32>(w >> 12);
+      return inst;
+    }
+    case 0b1101111:  // jal
+      inst.op = Opcode::kJal;
+      inst.rd = static_cast<u8>(rd);
+      inst.imm = decode_j_imm(w);
+      return inst;
+    case 0b1100111:  // jalr
+      if (f3 != 0) break;
+      inst.op = Opcode::kJalr;
+      inst.rd = static_cast<u8>(rd);
+      inst.rs1 = static_cast<u8>(rs1);
+      inst.imm = decode_i_imm(w);
+      return inst;
+    case 0b1100011:  // branches
+    case 0b0000011:  // loads
+    case 0b0100011:  // stores
+    case 0b0010011:  // ALU-imm
+    case 0b0110011:  // R-type
+    case 0b0001111: {  // fence
+      const auto* i = find_op([&](const OpcodeInfo& o) {
+        if (o.major != major || o.funct3 != f3) return false;
+        if (o.format == Format::kR) return o.funct7 == f7;
+        if (o.format == Format::kIShift) return o.funct7 == f7;
+        return o.format == Format::kI || o.format == Format::kS ||
+               o.format == Format::kB;
+      });
+      if (i == nullptr) break;
+      set_regs(*i);
+      switch (i->format) {
+        case Format::kI: inst.imm = decode_i_imm(w); break;
+        case Format::kIShift: inst.imm = static_cast<i32>(rs2); break;
+        case Format::kS: inst.imm = decode_s_imm(w); break;
+        case Format::kB: inst.imm = decode_b_imm(w); break;
+        default: break;
+      }
+      return inst;
+    }
+    case 0b1110011: {  // system / csr
+      if (f3 == 0) {
+        const u32 imm12 = w >> 20;
+        if (rd != 0 || rs1 != 0) break;
+        if (imm12 == 0) { inst.op = Opcode::kEcall; return inst; }
+        if (imm12 == 1) { inst.op = Opcode::kEbreak; return inst; }
+        break;
+      }
+      const auto* i = find_op([&](const OpcodeInfo& o) {
+        return o.major == major && o.funct3 == f3 &&
+               (o.format == Format::kCsr || o.format == Format::kCsrI);
+      });
+      if (i == nullptr) break;
+      set_regs(*i);
+      inst.imm = static_cast<i32>(w >> 20);
+      return inst;
+    }
+    case 0b1010111: {  // OP-V
+      if (f3 == 0b111) {
+        if ((w >> 31) != 0) break;  // vsetvl/vsetivli unsupported
+        inst.op = Opcode::kVsetvli;
+        inst.rd = static_cast<u8>(rd);
+        inst.rs1 = static_cast<u8>(rs1);
+        inst.vtype = VType::from_bits((w >> 20) & 0x7FFu);
+        return inst;
+      }
+      [[fallthrough]];
+    }
+    case 0b0101011: {  // OP-V arith (fallthrough) or custom-1
+      const auto* i = find_op([&](const OpcodeInfo& o) {
+        if ((o.format != Format::kVArith && o.format != Format::kVCustom) ||
+            o.major != major || o.funct3 != f3 || o.funct7 != f6) {
+          return false;
+        }
+        // aux on kVArith disambiguates encodings that share funct6 and
+        // differ only in vm (vmv.v.* when vm=1 vs vmerge.v*m when vm=0).
+        if (o.format == Format::kVArith && o.aux != 0) {
+          return (o.aux == 1) == vm;
+        }
+        return true;
+      });
+      if (i == nullptr) break;
+      set_regs(*i);
+      inst.vm = vm;
+      if (i->voperands == VOperands::kVI) {
+        inst.rs1 = 0;
+        inst.imm = decode_vi_imm(i->op, rs1);
+      }
+      return inst;
+    }
+    case 0b0000111:    // vector loads
+    case 0b0100111: {  // vector stores
+      const u32 mop = (w >> 26) & 0x3u;
+      const u32 mew = (w >> 28) & 1u;
+      const u32 nf = (w >> 29) & 0x7u;
+      if (mew != 0 || nf != 0) break;
+      const auto* i = find_op([&](const OpcodeInfo& o) {
+        return (o.format == Format::kVLoad || o.format == Format::kVStore) &&
+               o.major == major && o.funct3 == f3 && o.aux == mop;
+      });
+      if (i == nullptr) break;
+      set_regs(*i);
+      inst.vm = vm;
+      if (static_cast<VMop>(mop) == VMop::kUnit) inst.rs2 = 0;
+      return inst;
+    }
+    default:
+      break;
+  }
+  throw DecodeError(strfmt("unsupported instruction word 0x%08x", w));
+}
+
+}  // namespace
+
+Instruction decode(u32 word) { return decode_impl(word); }
+
+Instruction try_decode(u32 word) noexcept {
+  try {
+    return decode_impl(word);
+  } catch (const Error&) {
+    return Instruction{};
+  }
+}
+
+}  // namespace kvx::isa

@@ -1,0 +1,118 @@
+#include "kvx/isa/instruction.hpp"
+
+#include <array>
+#include <charconv>
+#include <string>
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/strings.hpp"
+
+namespace kvx::isa {
+namespace {
+
+constexpr std::array<std::string_view, 32> kAbiNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+/// Map RVV vlmul code to multiplier; only integer multipliers supported.
+unsigned lmul_from_code(u32 code) {
+  switch (code) {
+    case 0b000: return 1;
+    case 0b001: return 2;
+    case 0b010: return 4;
+    case 0b011: return 8;
+    default:
+      throw DecodeError("fractional or reserved LMUL encoding");
+  }
+}
+
+u32 lmul_to_code(unsigned lmul) {
+  switch (lmul) {
+    case 1: return 0b000;
+    case 2: return 0b001;
+    case 4: return 0b010;
+    case 8: return 0b011;
+    default:
+      throw Error("unsupported LMUL (must be 1/2/4/8)");
+  }
+}
+
+unsigned sew_from_code(u32 code) {
+  switch (code) {
+    case 0b000: return 8;
+    case 0b001: return 16;
+    case 0b010: return 32;
+    case 0b011: return 64;
+    default:
+      throw DecodeError("reserved SEW encoding");
+  }
+}
+
+u32 sew_to_code(unsigned sew) {
+  switch (sew) {
+    case 8: return 0b000;
+    case 16: return 0b001;
+    case 32: return 0b010;
+    case 64: return 0b011;
+    default:
+      throw Error("unsupported SEW (must be 8/16/32/64)");
+  }
+}
+
+}  // namespace
+
+u32 VType::to_bits() const {
+  return lmul_to_code(lmul) | (sew_to_code(sew) << 3) |
+         (tail_agnostic ? 1u << 6 : 0u) | (mask_agnostic ? 1u << 7 : 0u);
+}
+
+VType VType::from_bits(u32 bits) {
+  VType v;
+  v.lmul = lmul_from_code(bits & 0b111);
+  v.sew = sew_from_code((bits >> 3) & 0b111);
+  v.tail_agnostic = (bits >> 6) & 1u;
+  v.mask_agnostic = (bits >> 7) & 1u;
+  return v;
+}
+
+std::string VType::to_string() const {
+  return strfmt("e%u,m%u,%s,%s", sew, lmul, tail_agnostic ? "ta" : "tu",
+                mask_agnostic ? "ma" : "mu");
+}
+
+std::string_view xreg_name(unsigned x) noexcept {
+  return x < 32 ? kAbiNames[x] : std::string_view("x?");
+}
+
+int parse_xreg(std::string_view name) noexcept {
+  for (unsigned i = 0; i < 32; ++i) {
+    if (name == kAbiNames[i]) return static_cast<int>(i);
+  }
+  if (name == "fp") return 8;  // alias for s0
+  if (name.size() >= 2 && name[0] == 'x') {
+    unsigned n = 0;
+    const auto* begin = name.data() + 1;
+    const auto* end = name.data() + name.size();
+    if (auto [p, ec] = std::from_chars(begin, end, n);
+        ec == std::errc{} && p == end && n < 32) {
+      return static_cast<int>(n);
+    }
+  }
+  return -1;
+}
+
+int parse_vreg(std::string_view name) noexcept {
+  if (name.size() >= 2 && name[0] == 'v') {
+    unsigned n = 0;
+    const auto* begin = name.data() + 1;
+    const auto* end = name.data() + name.size();
+    if (auto [p, ec] = std::from_chars(begin, end, n);
+        ec == std::errc{} && p == end && n < 32) {
+      return static_cast<int>(n);
+    }
+  }
+  return -1;
+}
+
+}  // namespace kvx::isa

@@ -1,0 +1,61 @@
+#include "kvx/isa/opcode.hpp"
+
+#include <array>
+#include <span>
+
+#include "kvx/common/error.hpp"
+
+namespace kvx::isa {
+namespace {
+
+constexpr std::array kTable = {
+#define KVX_X(name, mnem, fmt, vops, major, f3, f7, aux)                \
+  OpcodeInfo{Opcode::name, mnem, Format::fmt, VOperands::vops,          \
+             static_cast<u8>(major), static_cast<u8>(f3),               \
+             static_cast<u8>(f7), static_cast<u8>(aux)},
+    KVX_OPCODE_LIST(KVX_X)
+#undef KVX_X
+};
+
+}  // namespace
+
+const OpcodeInfo& info(Opcode op) noexcept {
+  const auto idx = static_cast<usize>(op);
+  return kTable[idx < kTable.size() ? idx : 0];
+}
+
+usize opcode_count() noexcept { return kTable.size(); }
+
+std::span<const OpcodeInfo> all_opcodes() noexcept { return kTable; }
+
+std::string_view mnemonic(Opcode op) noexcept {
+  return op == Opcode::kInvalid ? std::string_view("<invalid>")
+                                : info(op).mnemonic;
+}
+
+bool is_vector(Opcode op) noexcept {
+  switch (info(op).format) {
+    case Format::kVSetVLI:
+    case Format::kVArith:
+    case Format::kVLoad:
+    case Format::kVStore:
+    case Format::kVCustom:
+      return true;
+    default:
+      return false;
+  }
+}
+
+unsigned vmem_width_bits(Opcode op) noexcept {
+  const auto& i = info(op);
+  if (i.format != Format::kVLoad && i.format != Format::kVStore) return 0;
+  switch (i.funct3) {
+    case 0b000: return 8;
+    case 0b101: return 16;
+    case 0b110: return 32;
+    case 0b111: return 64;
+    default: return 0;
+  }
+}
+
+}  // namespace kvx::isa

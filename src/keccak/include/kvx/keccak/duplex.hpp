@@ -1,0 +1,46 @@
+// The Keccak duplex construction (Bertoni et al.): interleaved
+// absorb/squeeze calls over one permutation state — the primitive behind
+// authenticated encryption (Ketje/Keyak-style) and stateful PRNGs.
+//
+// Each duplexing(σ, ℓ) call pads σ (pad10*1) into one rate block, XORs it
+// into the state, permutes once, and returns the first ℓ ≤ rate bytes of
+// the new state. Security reduces to the sponge via the duplexing lemma.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kvx/keccak/sponge.hpp"
+
+namespace kvx::keccak {
+
+class Duplex {
+ public:
+  using Permutation = Sponge::Permutation;
+
+  /// `rate_bytes` in (1, 200); input per call is limited to rate − 1 bytes
+  /// (one byte is reserved for the pad10*1 framing).
+  explicit Duplex(usize rate_bytes);
+  Duplex(usize rate_bytes, Permutation f);
+
+  [[nodiscard]] usize rate_bytes() const noexcept { return rate_; }
+  [[nodiscard]] usize max_input_bytes() const noexcept { return rate_ - 1; }
+
+  /// One duplexing call. `sigma.size()` ≤ max_input_bytes(),
+  /// `out_len` ≤ rate_bytes().
+  [[nodiscard]] std::vector<u8> duplexing(std::span<const u8> sigma,
+                                          usize out_len);
+
+  /// Reset to the all-zero state.
+  void reset();
+
+  [[nodiscard]] usize permutation_count() const noexcept { return count_; }
+
+ private:
+  State state_;
+  Permutation f_;
+  usize rate_;
+  usize count_ = 0;
+};
+
+}  // namespace kvx::keccak

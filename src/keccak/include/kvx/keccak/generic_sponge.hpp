@@ -1,0 +1,116 @@
+// Sponge construction over any Keccak-p[b, nr] member — the lightweight
+// instances (b = 200/400/800) that the IoT-class related work (OASIP/DASIP,
+// paper §2.3) targets on constrained cores, alongside the full b = 1600.
+//
+// Header-only template; the b = 1600 production path remains the
+// non-template `Sponge` (kvx/keccak/sponge.hpp), which this class matches
+// bit-for-bit at equal parameters (tested).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "kvx/common/error.hpp"
+#include "kvx/keccak/keccak_p.hpp"
+
+namespace kvx::keccak {
+
+/// Sponge over KeccakP<Lane> (state of 25 lanes, 25·sizeof(Lane) bytes).
+template <typename P>
+class GenericSponge {
+ public:
+  static constexpr usize kStateBytes = 25 * sizeof(typename P::StateArray::value_type);
+
+  /// `rate_bytes` in (0, state bytes); `domain` is the suffix byte XORed at
+  /// the pad position; `rounds` defaults to the member's full count.
+  GenericSponge(usize rate_bytes, u8 domain,
+                unsigned rounds = P::kDefaultRounds)
+      : rate_(rate_bytes), domain_(domain), rounds_(rounds) {
+    KVX_CHECK_MSG(rate_ > 0 && rate_ < kStateBytes,
+                  "generic sponge rate out of range");
+    KVX_CHECK_MSG(rounds_ >= 1 && rounds_ <= P::kDefaultRounds,
+                  "round count out of range");
+  }
+
+  void absorb(std::span<const u8> data) {
+    KVX_CHECK_MSG(!squeezing_, "absorb after squeeze started");
+    while (!data.empty()) {
+      const usize take = std::min(data.size(), rate_ - offset_);
+      for (usize i = 0; i < take; ++i) xor_byte(offset_ + i, data[i]);
+      offset_ += take;
+      data = data.subspan(take);
+      if (offset_ == rate_) {
+        P::permute(state_, rounds_);
+        offset_ = 0;
+      }
+    }
+  }
+
+  void squeeze(std::span<u8> out) {
+    if (!squeezing_) {
+      xor_byte(offset_, domain_);
+      xor_byte(rate_ - 1, 0x80);
+      P::permute(state_, rounds_);
+      squeezing_ = true;
+      offset_ = 0;
+    }
+    while (!out.empty()) {
+      if (offset_ == rate_) {
+        P::permute(state_, rounds_);
+        offset_ = 0;
+      }
+      const usize take = std::min(out.size(), rate_ - offset_);
+      for (usize i = 0; i < take; ++i) out[i] = byte_at(offset_ + i);
+      offset_ += take;
+      out = out.subspan(take);
+    }
+  }
+
+  [[nodiscard]] std::vector<u8> squeeze(usize n) {
+    std::vector<u8> out(n);
+    squeeze(out);
+    return out;
+  }
+
+ private:
+  using Lane = typename P::StateArray::value_type;
+  static constexpr usize kLaneBytes = sizeof(Lane);
+
+  void xor_byte(usize pos, u8 v) {
+    state_[pos / kLaneBytes] ^=
+        static_cast<Lane>(static_cast<Lane>(v)
+                          << (8 * (pos % kLaneBytes)));
+  }
+
+  [[nodiscard]] u8 byte_at(usize pos) const {
+    return static_cast<u8>(state_[pos / kLaneBytes] >>
+                           (8 * (pos % kLaneBytes)));
+  }
+
+  typename P::StateArray state_{};
+  usize rate_;
+  u8 domain_;
+  unsigned rounds_;
+  usize offset_ = 0;
+  bool squeezing_ = false;
+};
+
+/// Lightweight hash over Keccak-p[800, 22] (e.g. rate 68 = "Keccak[c=256]
+/// at b=800" class parameters), one-shot helper.
+[[nodiscard]] inline std::vector<u8> lightweight_hash800(
+    std::span<const u8> msg, usize out_len, usize rate_bytes = 68) {
+  GenericSponge<KeccakP800> sponge(rate_bytes, 0x1F);
+  sponge.absorb(msg);
+  return sponge.squeeze(out_len);
+}
+
+/// Tiny hash over Keccak-p[200, 18] (8-bit lanes, smart-card class).
+[[nodiscard]] inline std::vector<u8> lightweight_hash200(
+    std::span<const u8> msg, usize out_len, usize rate_bytes = 9) {
+  GenericSponge<KeccakP200> sponge(rate_bytes, 0x1F);
+  sponge.absorb(msg);
+  return sponge.squeeze(out_len);
+}
+
+}  // namespace kvx::keccak

@@ -1,0 +1,88 @@
+// 32-bit lane representations for Keccak.
+//
+// The paper's §3.2 discusses two ways of cutting a 64-bit lane into 32-bit
+// words for a 32-bit datapath:
+//
+//  * the *bit-interleaving* technique — even bits in one word, odd bits in
+//    the other, so a 64-bit rotation becomes two independent 32-bit
+//    rotations (cheap rotations, but the lane must be converted on entry and
+//    exit when SHA-3 interoperates with other code);
+//  * the *hi/lo split* the paper adopts — most/least significant 32 bits in
+//    separate registers, no conversion needed, with dedicated paired
+//    rotation instructions (v32lrotup/v32hrotup, v32lrho/v32hrho) in
+//    hardware.
+//
+// This module implements both so the bench/ablation_interleave experiment
+// can quantify the trade-off.
+#pragma once
+
+#include <utility>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::keccak {
+
+/// A 64-bit lane held as two bit-interleaved 32-bit halves.
+struct Interleaved {
+  u32 even;  ///< bits 0, 2, 4, ... of the lane
+  u32 odd;   ///< bits 1, 3, 5, ... of the lane
+
+  friend constexpr bool operator==(Interleaved, Interleaved) noexcept = default;
+};
+
+/// Split a lane into its bit-interleaved representation.
+[[nodiscard]] Interleaved interleave(u64 lane) noexcept;
+
+/// Recombine a bit-interleaved pair into the original lane.
+[[nodiscard]] u64 deinterleave(Interleaved v) noexcept;
+
+/// Rotate an interleaved lane left by n (0..63) using only 32-bit rotations:
+/// rotating by 2k rotates both halves by k; rotating by 2k+1 rotates the odd
+/// half by k+1 into the even slot and the even half by k into the odd slot.
+[[nodiscard]] Interleaved rotl_interleaved(Interleaved v, unsigned n) noexcept;
+
+/// A 64-bit lane held as plain hi/lo 32-bit halves (the paper's layout).
+struct HiLo {
+  u32 hi;
+  u32 lo;
+
+  friend constexpr bool operator==(HiLo, HiLo) noexcept = default;
+};
+
+/// Split a lane into hi/lo halves.
+[[nodiscard]] constexpr HiLo split_hilo(u64 lane) noexcept {
+  return {static_cast<u32>(lane >> 32), static_cast<u32>(lane)};
+}
+
+/// Recombine hi/lo halves.
+[[nodiscard]] constexpr u64 join_hilo(HiLo v) noexcept {
+  return (static_cast<u64>(v.hi) << 32) | v.lo;
+}
+
+/// Rotate a hi/lo lane left by n. This is the operation the custom paired
+/// instructions implement in hardware: concatenate, rotate 64-bit, split.
+/// In software on a 32-bit datapath it costs shifts+ORs across both words.
+[[nodiscard]] constexpr HiLo rotl_hilo(HiLo v, unsigned n) noexcept {
+  const u64 x = join_hilo(v);
+  const unsigned r = n % 64u;
+  const u64 y = r == 0 ? x : (x << r) | (x >> (64u - r));
+  return split_hilo(y);
+}
+
+/// Count of 32-bit shift/or operations a software hi/lo rotation by n costs
+/// on a plain RV32 datapath (for the ablation bench's operation model).
+[[nodiscard]] constexpr unsigned hilo_rot_op_count(unsigned n) noexcept {
+  const unsigned r = n % 64u;
+  if (r == 0) return 0;
+  if (r % 32u == 0) return 0;       // pure word swap
+  return 8;                         // 4 shifts + 2 ors per half-pair... see bench
+}
+
+/// Count of 32-bit rotate operations an interleaved rotation by n costs.
+[[nodiscard]] constexpr unsigned interleaved_rot_op_count(unsigned n) noexcept {
+  const unsigned r = n % 64u;
+  if (r == 0) return 0;
+  return 2;                         // one 32-bit rotation per half
+}
+
+}  // namespace kvx::keccak

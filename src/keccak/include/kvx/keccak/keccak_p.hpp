@@ -1,0 +1,123 @@
+// The generalized Keccak-p[b, nr] permutation family of FIPS 202 §3.
+//
+// Keccak-f[1600] is the b = 1600 member; the standard also defines states of
+// b = 25·w bits for lane widths w ∈ {1, 2, 4, 8, 16, 32, 64}. This module
+// implements the family generically:
+//
+//  * the ρ rotation offsets are *derived* from the (t+1)(t+2)/2 walk of
+//    FIPS 202 §3.2.2 (not copied from a table);
+//  * the ι round constants are *generated* by the rc(t) LFSR of §3.2.5
+//    (x⁸ + x⁶ + x⁵ + x⁴ + 1 over GF(2));
+//
+// which gives the test suite an independent derivation to cross-check the
+// hardcoded Keccak-f[1600] tables (paper Tables 2 and 6) against.
+//
+// Reduced-round members (Keccak-p[1600, 12] etc.) are the basis of
+// TurboSHAKE/KangarooTwelve-style constructions.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <concepts>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::keccak {
+
+/// rc(t): bit t of the degree-8 LFSR stream of FIPS 202 §3.2.5.
+[[nodiscard]] bool lfsr_rc_bit(unsigned t) noexcept;
+
+/// ι round constant for lane width 2^l_param and round index ir
+/// (RC[2^j − 1] = rc(j + 7·ir) for j = 0..l_param).
+[[nodiscard]] u64 derived_round_constant(unsigned l_param, unsigned ir) noexcept;
+
+/// ρ offset for lane (x, y) at lane width w (FIPS 202 §3.2.2 walk).
+[[nodiscard]] unsigned derived_rho_offset(unsigned x, unsigned y,
+                                          unsigned w) noexcept;
+
+/// Keccak-p over lanes of type Lane (u8/u16/u32/u64 → b = 200/400/800/1600).
+template <std::unsigned_integral Lane>
+class KeccakP {
+ public:
+  static constexpr unsigned kW = 8 * sizeof(Lane);          ///< lane width
+  static constexpr unsigned kL = std::countr_zero(kW);      ///< log2(w)
+  static constexpr unsigned kB = 25 * kW;                   ///< state bits
+  static constexpr unsigned kDefaultRounds = 12 + 2 * kL;   ///< nr of Keccak-f
+
+  using StateArray = std::array<Lane, 25>;  ///< flat index 5y + x
+
+  /// Rotate within the lane width.
+  [[nodiscard]] static constexpr Lane rot(Lane v, unsigned n) noexcept {
+    return std::rotl(v, static_cast<int>(n % kW));
+  }
+
+  static void theta(StateArray& a) noexcept {
+    std::array<Lane, 5> b{}, c{};
+    for (usize x = 0; x < 5; ++x) {
+      b[x] = static_cast<Lane>(a[x] ^ a[5 + x] ^ a[10 + x] ^ a[15 + x] ^
+                               a[20 + x]);
+    }
+    for (usize x = 0; x < 5; ++x) {
+      c[x] = static_cast<Lane>(b[(x + 4) % 5] ^ rot(b[(x + 1) % 5], 1));
+    }
+    for (usize y = 0; y < 5; ++y) {
+      for (usize x = 0; x < 5; ++x) a[5 * y + x] ^= c[x];
+    }
+  }
+
+  static void rho(StateArray& a) noexcept {
+    for (unsigned y = 0; y < 5; ++y) {
+      for (unsigned x = 0; x < 5; ++x) {
+        a[5 * y + x] = rot(a[5 * y + x], derived_rho_offset(x, y, kW));
+      }
+    }
+  }
+
+  static void pi(StateArray& a) noexcept {
+    const StateArray e = a;
+    for (usize y = 0; y < 5; ++y) {
+      for (usize x = 0; x < 5; ++x) {
+        a[5 * y + x] = e[5 * x + (x + 3 * y) % 5];
+      }
+    }
+  }
+
+  static void chi(StateArray& a) noexcept {
+    for (usize y = 0; y < 5; ++y) {
+      std::array<Lane, 5> f{};
+      for (usize x = 0; x < 5; ++x) f[x] = a[5 * y + x];
+      for (usize x = 0; x < 5; ++x) {
+        a[5 * y + x] = static_cast<Lane>(
+            f[x] ^ (static_cast<Lane>(~f[(x + 1) % 5]) & f[(x + 2) % 5]));
+      }
+    }
+  }
+
+  /// ι with the FIPS 202 round-index convention: for an nr-round
+  /// permutation the rounds are ir = 12 + 2l − nr … 12 + 2l − 1.
+  static void iota(StateArray& a, unsigned ir) noexcept {
+    a[0] ^= static_cast<Lane>(derived_round_constant(kL, ir));
+  }
+
+  static void round(StateArray& a, unsigned ir) noexcept {
+    theta(a);
+    rho(a);
+    pi(a);
+    chi(a);
+    iota(a, ir);
+  }
+
+  /// Keccak-p[25·w, nr].
+  static void permute(StateArray& a,
+                      unsigned num_rounds = kDefaultRounds) noexcept {
+    const unsigned first = kDefaultRounds - num_rounds;
+    for (unsigned ir = first; ir < kDefaultRounds; ++ir) round(a, ir);
+  }
+};
+
+using KeccakP200 = KeccakP<u8>;
+using KeccakP400 = KeccakP<u16>;
+using KeccakP800 = KeccakP<u32>;
+using KeccakP1600 = KeccakP<u64>;
+
+}  // namespace kvx::keccak

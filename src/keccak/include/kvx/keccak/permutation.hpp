@@ -1,0 +1,63 @@
+// Keccak-f[1600]: the five step mappings and the full 24-round permutation.
+//
+// Two implementations are provided:
+//  * the *reference* path — each step mapping (θ, ρ, π, χ, ι) as a separate
+//    function operating plane-per-plane, exactly as in the paper's
+//    Algorithm 1; this is the golden model the simulator is checked against,
+//    and the per-step functions let tests compare intermediate registers;
+//  * an *optimized* lane-unrolled path (XKCP-compact style) used by the host
+//    SHA-3 library and as a host-speed baseline in benchmarks.
+//
+// Inverse step mappings are provided for property tests (every step of
+// Keccak-f is a bijection on the 1600-bit state).
+#pragma once
+
+#include <array>
+
+#include "kvx/keccak/state.hpp"
+
+namespace kvx::keccak {
+
+inline constexpr usize kNumRounds = 24;
+
+/// ι round constants, RC[0..23] (paper Table 6 / FIPS 202).
+[[nodiscard]] const std::array<u64, kNumRounds>& round_constants() noexcept;
+
+/// ρ rotation offsets indexed [y][x] — i.e. `rho_offsets()[y][x]` is the
+/// left-rotation applied to lane (x, y). Matches the paper's Table 2 with
+/// rows y and columns x. This [row][lane] indexing is exactly the hardware
+/// lookup table the `v64rho`/`v32lrho`/`v32hrho` instructions consult.
+[[nodiscard]] const std::array<std::array<unsigned, 5>, 5>& rho_offsets() noexcept;
+
+// --- Individual step mappings (reference, plane-per-plane) ----------------
+
+/// θ: XOR every bit with the parities of the two adjacent columns.
+void theta(State& s) noexcept;
+/// ρ: rotate each lane by its position-dependent offset.
+void rho(State& s) noexcept;
+/// π: lane permutation F[x, y] = E[(x + 3y) mod 5, x].
+void pi(State& s) noexcept;
+/// χ: the only non-linear step, row-wise  H[x] = F[x] ^ (~F[x+1] & F[x+2]).
+void chi(State& s) noexcept;
+/// ι: XOR RC[round] into lane (0, 0).
+void iota(State& s, usize round) noexcept;
+
+// --- Inverses (for bijectivity property tests) -----------------------------
+
+void inv_theta(State& s) noexcept;
+void inv_rho(State& s) noexcept;
+void inv_pi(State& s) noexcept;
+void inv_chi(State& s) noexcept;
+void inv_iota(State& s, usize round) noexcept;
+
+/// One full round: θ, ρ, π, χ, ι in order.
+void round(State& s, usize round_index) noexcept;
+
+/// The full 24-round Keccak-f[1600] permutation (reference path).
+void permute(State& s) noexcept;
+
+/// The full permutation, lane-unrolled optimized path. Bit-identical to
+/// permute(); used where host throughput matters.
+void permute_fast(State& s) noexcept;
+
+}  // namespace kvx::keccak

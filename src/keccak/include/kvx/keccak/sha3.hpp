@@ -1,0 +1,112 @@
+// FIPS 202 hash and extendable-output functions built on the sponge.
+//
+// One-shot helpers plus incremental hasher/XOF classes. All six functions of
+// the SHA-3 family are provided: SHA3-224/256/384/512, SHAKE128, SHAKE256.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "kvx/keccak/sponge.hpp"
+
+namespace kvx::keccak {
+
+/// The six FIPS 202 functions.
+enum class Sha3Function {
+  kSha3_224,
+  kSha3_256,
+  kSha3_384,
+  kSha3_512,
+  kShake128,
+  kShake256,
+};
+
+/// Sponge rate in bytes for a function (r = 200 − 2·security/8).
+[[nodiscard]] constexpr usize rate_bytes(Sha3Function f) noexcept {
+  switch (f) {
+    case Sha3Function::kSha3_224: return 144;
+    case Sha3Function::kSha3_256: return 136;
+    case Sha3Function::kSha3_384: return 104;
+    case Sha3Function::kSha3_512: return 72;
+    case Sha3Function::kShake128: return 168;
+    case Sha3Function::kShake256: return 136;
+  }
+  return 0;
+}
+
+/// Fixed digest size in bytes (0 for the XOFs).
+[[nodiscard]] constexpr usize digest_bytes(Sha3Function f) noexcept {
+  switch (f) {
+    case Sha3Function::kSha3_224: return 28;
+    case Sha3Function::kSha3_256: return 32;
+    case Sha3Function::kSha3_384: return 48;
+    case Sha3Function::kSha3_512: return 64;
+    case Sha3Function::kShake128:
+    case Sha3Function::kShake256: return 0;
+  }
+  return 0;
+}
+
+/// Human-readable name ("SHA3-256", "SHAKE128", ...).
+[[nodiscard]] std::string_view name(Sha3Function f) noexcept;
+
+// --- One-shot hashing -------------------------------------------------------
+
+[[nodiscard]] std::array<u8, 28> sha3_224(std::span<const u8> msg);
+[[nodiscard]] std::array<u8, 32> sha3_256(std::span<const u8> msg);
+[[nodiscard]] std::array<u8, 48> sha3_384(std::span<const u8> msg);
+[[nodiscard]] std::array<u8, 64> sha3_512(std::span<const u8> msg);
+[[nodiscard]] std::vector<u8> shake128(std::span<const u8> msg, usize out_len);
+[[nodiscard]] std::vector<u8> shake256(std::span<const u8> msg, usize out_len);
+
+/// Generic one-shot: for the fixed functions `out_len` must equal
+/// digest_bytes(f); for the XOFs any `out_len` is allowed.
+[[nodiscard]] std::vector<u8> hash(Sha3Function f, std::span<const u8> msg,
+                                   usize out_len);
+
+// --- Incremental API --------------------------------------------------------
+
+/// Incremental hasher for the fixed-output functions.
+class Hasher {
+ public:
+  explicit Hasher(Sha3Function f);
+
+  Hasher& update(std::span<const u8> data);
+  Hasher& update(std::string_view text);
+
+  /// Finalize and return the digest. The hasher resets for reuse.
+  [[nodiscard]] std::vector<u8> digest();
+
+  [[nodiscard]] Sha3Function function() const noexcept { return func_; }
+
+ private:
+  Sha3Function func_;
+  Sponge sponge_;
+};
+
+/// Incremental XOF (SHAKE128/256): absorb, then squeeze any amount, repeatedly.
+class Xof {
+ public:
+  explicit Xof(Sha3Function f);
+
+  /// Construct with a custom permutation backend (e.g. the simulated
+  /// accelerator) — the HW/SW co-design composition point.
+  Xof(Sha3Function f, Sponge::Permutation permutation);
+
+  Xof& absorb(std::span<const u8> data);
+  Xof& absorb(std::string_view text);
+  void squeeze(std::span<u8> out);
+  [[nodiscard]] std::vector<u8> squeeze(usize n);
+  void reset();
+
+  [[nodiscard]] usize permutation_count() const noexcept {
+    return sponge_.permutation_count();
+  }
+
+ private:
+  Sponge sponge_;
+};
+
+}  // namespace kvx::keccak

@@ -1,0 +1,83 @@
+// NIST SP 800-185 derived functions: cSHAKE, KMAC and TupleHash.
+//
+// These are the standardized constructions layered on the same
+// Keccak-f[1600] sponge the paper accelerates — any workload using them
+// (KMAC authentication, domain-separated XOFs) benefits from the custom
+// vector extensions identically, so a complete SHA-3 library ships them.
+//
+// Implemented from SP 800-185: the string-encoding primitives
+// (left_encode / right_encode / encode_string / bytepad) are exposed for
+// testing; cSHAKE falls back to plain SHAKE when both the function name N
+// and the customization string S are empty, as the spec requires.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "kvx/keccak/sponge.hpp"
+
+namespace kvx::keccak {
+
+// --- SP 800-185 §2.3 string encodings ---------------------------------------
+
+/// left_encode(x): big-endian minimal bytes of x, preceded by their count.
+[[nodiscard]] std::vector<u8> left_encode(u64 x);
+
+/// right_encode(x): big-endian minimal bytes of x, followed by their count.
+[[nodiscard]] std::vector<u8> right_encode(u64 x);
+
+/// encode_string(s) = left_encode(8·|s|) ‖ s.
+[[nodiscard]] std::vector<u8> encode_string(std::span<const u8> s);
+[[nodiscard]] std::vector<u8> encode_string(std::string_view s);
+
+/// bytepad(x, w) = left_encode(w) ‖ x ‖ 0… (to a multiple of w bytes).
+[[nodiscard]] std::vector<u8> bytepad(std::span<const u8> x, usize w);
+
+// --- cSHAKE ------------------------------------------------------------------
+
+/// cSHAKE128(X, L, N, S); returns L bytes. Empty N and S degrade to SHAKE128.
+[[nodiscard]] std::vector<u8> cshake128(std::span<const u8> msg, usize out_len,
+                                        std::span<const u8> function_name,
+                                        std::span<const u8> customization);
+
+/// cSHAKE256.
+[[nodiscard]] std::vector<u8> cshake256(std::span<const u8> msg, usize out_len,
+                                        std::span<const u8> function_name,
+                                        std::span<const u8> customization);
+
+// --- KMAC ---------------------------------------------------------------------
+
+/// KMAC128(K, X, L, S) — fixed-length MAC (L encoded into the input).
+[[nodiscard]] std::vector<u8> kmac128(std::span<const u8> key,
+                                      std::span<const u8> msg, usize out_len,
+                                      std::span<const u8> customization = {});
+
+/// KMAC256.
+[[nodiscard]] std::vector<u8> kmac256(std::span<const u8> key,
+                                      std::span<const u8> msg, usize out_len,
+                                      std::span<const u8> customization = {});
+
+/// KMACXOF128 — arbitrary-length variant (right_encode(0) per §4.3.1).
+[[nodiscard]] std::vector<u8> kmacxof128(std::span<const u8> key,
+                                         std::span<const u8> msg, usize out_len,
+                                         std::span<const u8> customization = {});
+
+/// KMACXOF256.
+[[nodiscard]] std::vector<u8> kmacxof256(std::span<const u8> key,
+                                         std::span<const u8> msg, usize out_len,
+                                         std::span<const u8> customization = {});
+
+// --- TupleHash -------------------------------------------------------------------
+
+/// TupleHash128 — unambiguous hash of a sequence of byte strings.
+[[nodiscard]] std::vector<u8> tuple_hash128(
+    std::span<const std::vector<u8>> tuple, usize out_len,
+    std::span<const u8> customization = {});
+
+/// TupleHash256.
+[[nodiscard]] std::vector<u8> tuple_hash256(
+    std::span<const std::vector<u8>> tuple, usize out_len,
+    std::span<const u8> customization = {});
+
+}  // namespace kvx::keccak

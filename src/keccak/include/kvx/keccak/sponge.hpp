@@ -1,0 +1,68 @@
+// The sponge construction (paper Figure 1): padding, absorbing, squeezing.
+//
+// The sponge is parameterized by the rate r (bytes) and a domain-separation
+// suffix; capacity c = 200 − r bytes. Padding is the FIPS 202 pad10*1 rule
+// with the domain bits prepended (0x06 for SHA-3, 0x1F for SHAKE, 0x01 for
+// raw Keccak).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "kvx/keccak/state.hpp"
+
+namespace kvx::keccak {
+
+/// Domain-separation suffixes (bits appended before pad10*1, LSB-first).
+enum class Domain : u8 {
+  kKeccak = 0x01,  ///< original Keccak submission (no suffix)
+  kSha3 = 0x06,    ///< SHA-3 fixed-output functions ("01" suffix)
+  kShake = 0x1F,   ///< SHAKE extendable-output functions ("1111" suffix)
+};
+
+/// Incremental sponge engine over Keccak-f[1600].
+///
+/// The permutation is pluggable so the same sponge logic can drive either the
+/// host golden model or the simulated vector accelerator (HW/SW co-design:
+/// software does padding/absorb/squeeze bookkeeping, the accelerator runs f).
+class Sponge {
+ public:
+  using Permutation = std::function<void(State&)>;
+
+  /// `rate_bytes` must be in (0, 200) and is the block size of the sponge.
+  Sponge(usize rate_bytes, Domain domain);
+
+  /// Use a custom permutation backend (defaults to the host permute_fast).
+  Sponge(usize rate_bytes, Domain domain, Permutation f);
+
+  /// Absorb message bytes. May be called repeatedly before squeezing starts.
+  void absorb(std::span<const u8> data);
+
+  /// Squeeze output bytes. The first call applies padding; further absorbs
+  /// are not allowed afterwards.
+  void squeeze(std::span<u8> out);
+
+  /// Reset to the empty state for a fresh message.
+  void reset();
+
+  [[nodiscard]] usize rate_bytes() const noexcept { return rate_; }
+  [[nodiscard]] usize capacity_bytes() const noexcept { return kStateBytes - rate_; }
+  [[nodiscard]] const State& state() const noexcept { return state_; }
+  /// Number of Keccak-f permutations applied so far (perf accounting).
+  [[nodiscard]] usize permutation_count() const noexcept { return perm_count_; }
+
+ private:
+  void run_permutation();
+  void pad_and_switch();
+
+  State state_;
+  Permutation f_;
+  usize rate_;
+  Domain domain_;
+  usize absorbed_in_block_ = 0;  ///< bytes absorbed into the current block
+  usize squeeze_offset_ = 0;     ///< bytes squeezed out of the current block
+  bool squeezing_ = false;
+  usize perm_count_ = 0;
+};
+
+}  // namespace kvx::keccak

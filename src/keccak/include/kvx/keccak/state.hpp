@@ -1,0 +1,60 @@
+// The 1600-bit Keccak state: a 5 × 5 matrix of 64-bit lanes.
+//
+// Conventions follow FIPS 202 and the paper's Algorithm 1: `lane(x, y)` is
+// the lane in column x (0..4) and row/plane y (0..4); the byte <-> state
+// mapping is the standard little-endian lane ordering, lane (x, y) holding
+// message bytes 8·(5y + x) .. 8·(5y + x) + 7.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::keccak {
+
+inline constexpr usize kLanes = 25;        ///< lanes per state
+inline constexpr usize kStateBytes = 200;  ///< 1600 bits
+
+/// A single Keccak-f[1600] state.
+class State {
+ public:
+  /// All-zero state.
+  constexpr State() noexcept : lanes_{} {}
+
+  /// Access lane (x, y). Indices are taken modulo 5 so step-mapping code can
+  /// write `lane(x + 1, y)` without explicit wrapping.
+  [[nodiscard]] constexpr u64& lane(usize x, usize y) noexcept {
+    return lanes_[5 * (y % 5) + (x % 5)];
+  }
+  [[nodiscard]] constexpr u64 lane(usize x, usize y) const noexcept {
+    return lanes_[5 * (y % 5) + (x % 5)];
+  }
+
+  /// Flat lane view, index = 5y + x.
+  [[nodiscard]] constexpr std::span<u64, kLanes> flat() noexcept { return lanes_; }
+  [[nodiscard]] constexpr std::span<const u64, kLanes> flat() const noexcept {
+    return lanes_;
+  }
+
+  /// XOR `data` into the first `data.size()` bytes of the state (absorb).
+  /// `data.size()` must be <= 200.
+  void xor_bytes(std::span<const u8> data) noexcept;
+
+  /// Copy the first `out.size()` bytes of the state into `out` (squeeze).
+  /// `out.size()` must be <= 200.
+  void extract_bytes(std::span<u8> out) const noexcept;
+
+  /// Serialize all 200 state bytes.
+  [[nodiscard]] std::array<u8, kStateBytes> to_bytes() const noexcept;
+
+  /// Deserialize a state from 200 bytes.
+  [[nodiscard]] static State from_bytes(std::span<const u8, kStateBytes> bytes) noexcept;
+
+  friend constexpr bool operator==(const State&, const State&) noexcept = default;
+
+ private:
+  std::array<u64, kLanes> lanes_;
+};
+
+}  // namespace kvx::keccak

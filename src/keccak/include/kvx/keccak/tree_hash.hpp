@@ -1,0 +1,51 @@
+// KangarooTwelve-style tree hashing over TurboSHAKE128.
+//
+// Long messages are cut into fixed-size chunks; chunks after the first are
+// hashed to 32-byte chaining values (leaf domain 0x0B) which are appended —
+// with the K12 framing (the 0x03‖0⁷ separator, right_encode(n−1), 0xFF 0xFF
+// suffix) — to the first chunk and hashed by the final node (domain 0x06).
+// A message of at most one chunk is hashed flat with domain 0x07.
+//
+// The leaves are *independent*, so a wide SHA-3 accelerator can hash SN of
+// them per permutation batch — this is how the paper's multi-state
+// parallelism (Figure 5) speeds up a SINGLE long message, not just message
+// batches. core/parallel_tree_hash.hpp provides that accelerated path; this
+// header is the host reference.
+//
+// Note: implemented from the KangarooTwelve construction; no official test
+// vectors are available offline, so conformance is established structurally
+// (tests cover framing boundaries, single-chunk equivalence and the
+// host-vs-accelerator differential).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::keccak {
+
+struct TreeHashParams {
+  usize chunk_bytes = 8192;  ///< K12 chunk size
+  usize cv_bytes = 32;       ///< chaining-value length
+};
+
+/// Domain-separation bytes of the construction.
+struct TreeHashDomains {
+  static constexpr u8 kSingle = 0x07;  ///< ≤ one chunk: flat hash
+  static constexpr u8 kLeaf = 0x0B;    ///< chaining-value leaves
+  static constexpr u8 kFinal = 0x06;   ///< final (trunk) node
+};
+
+/// Tree-hash `msg` to `out_len` bytes (host reference implementation).
+[[nodiscard]] std::vector<u8> tree_hash128(std::span<const u8> msg,
+                                           usize out_len,
+                                           const TreeHashParams& params = {});
+
+/// Build the final-node input from the first chunk and the chaining values
+/// (shared by the host and accelerated implementations).
+[[nodiscard]] std::vector<u8> tree_hash_final_input(
+    std::span<const u8> first_chunk,
+    std::span<const std::vector<u8>> chaining_values);
+
+}  // namespace kvx::keccak

@@ -1,0 +1,45 @@
+// TurboSHAKE — the 12-round reduced Keccak XOF (Keccak-p[1600, 12] sponge),
+// standardized in the KangarooTwelve/TurboSHAKE line of work.
+//
+// TurboSHAKE128/256 use the SHAKE rates (168/136 bytes) with the
+// permutation reduced to the last 12 rounds of Keccak-f[1600] and a
+// caller-chosen domain-separation byte D ∈ [0x01, 0x7F]. Halving the rounds
+// doubles throughput; on the paper's accelerator the same assembly programs
+// apply with rounds = 12 and first_round = 12 (see ProgramOptions), making
+// this the natural "cheap XOF" consumer of the custom extensions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kvx/keccak/sponge.hpp"
+
+namespace kvx::keccak {
+
+/// The 12-round permutation (rounds 12..23 of Keccak-f[1600]).
+void permute_12(State& s) noexcept;
+
+/// TurboSHAKE128(M, D, L). D must be in [0x01, 0x7F] (default 0x1F).
+[[nodiscard]] std::vector<u8> turboshake128(std::span<const u8> msg,
+                                            usize out_len, u8 domain = 0x1F);
+
+/// TurboSHAKE256(M, D, L).
+[[nodiscard]] std::vector<u8> turboshake256(std::span<const u8> msg,
+                                            usize out_len, u8 domain = 0x1F);
+
+/// Incremental TurboSHAKE XOF.
+class TurboShake {
+ public:
+  /// `security_bits` is 128 or 256; `domain` in [0x01, 0x7F].
+  TurboShake(unsigned security_bits, u8 domain = 0x1F);
+
+  TurboShake& absorb(std::span<const u8> data);
+  void squeeze(std::span<u8> out);
+  [[nodiscard]] std::vector<u8> squeeze(usize n);
+  void reset();
+
+ private:
+  Sponge sponge_;
+};
+
+}  // namespace kvx::keccak

@@ -1,0 +1,42 @@
+#include "kvx/keccak/duplex.hpp"
+
+#include "kvx/common/error.hpp"
+#include "kvx/keccak/permutation.hpp"
+
+namespace kvx::keccak {
+
+Duplex::Duplex(usize rate_bytes_in)
+    : Duplex(rate_bytes_in, [](State& s) { permute_fast(s); }) {}
+
+Duplex::Duplex(usize rate_bytes_in, Permutation f)
+    : f_(std::move(f)), rate_(rate_bytes_in) {
+  KVX_CHECK_MSG(rate_ > 1 && rate_ < kStateBytes, "duplex rate out of range");
+  KVX_CHECK(f_ != nullptr);
+}
+
+std::vector<u8> Duplex::duplexing(std::span<const u8> sigma, usize out_len) {
+  if (sigma.size() > max_input_bytes()) {
+    throw Error("duplexing input exceeds rate - 1 bytes");
+  }
+  if (out_len > rate_) {
+    throw Error("duplexing output exceeds the rate");
+  }
+  // pad10*1 framing of sigma into one rate block.
+  std::vector<u8> block(rate_, 0);
+  std::copy(sigma.begin(), sigma.end(), block.begin());
+  block[sigma.size()] ^= 0x01;
+  block[rate_ - 1] ^= 0x80;
+  state_.xor_bytes(block);
+  f_(state_);
+  ++count_;
+  std::vector<u8> out(out_len);
+  state_.extract_bytes(out);
+  return out;
+}
+
+void Duplex::reset() {
+  state_ = State{};
+  count_ = 0;
+}
+
+}  // namespace kvx::keccak

@@ -1,0 +1,53 @@
+#include "kvx/keccak/interleave.hpp"
+
+#include "kvx/common/bits.hpp"
+
+namespace kvx::keccak {
+namespace {
+
+/// Compact the even-indexed bits of a 64-bit word into its low 32 bits
+/// (a perfect outer unshuffle, done with the classic delta-swap ladder).
+u64 unshuffle(u64 x) noexcept {
+  u64 t = 0;
+  t = (x ^ (x >> 1)) & 0x2222222222222222ull; x ^= t ^ (t << 1);
+  t = (x ^ (x >> 2)) & 0x0C0C0C0C0C0C0C0Cull; x ^= t ^ (t << 2);
+  t = (x ^ (x >> 4)) & 0x00F000F000F000F0ull; x ^= t ^ (t << 4);
+  t = (x ^ (x >> 8)) & 0x0000FF000000FF00ull; x ^= t ^ (t << 8);
+  t = (x ^ (x >> 16)) & 0x00000000FFFF0000ull; x ^= t ^ (t << 16);
+  return x;
+}
+
+/// Inverse of unshuffle: spread low 32 bits to even positions, high 32 to odd.
+u64 shuffle(u64 x) noexcept {
+  u64 t = 0;
+  t = (x ^ (x >> 16)) & 0x00000000FFFF0000ull; x ^= t ^ (t << 16);
+  t = (x ^ (x >> 8)) & 0x0000FF000000FF00ull; x ^= t ^ (t << 8);
+  t = (x ^ (x >> 4)) & 0x00F000F000F000F0ull; x ^= t ^ (t << 4);
+  t = (x ^ (x >> 2)) & 0x0C0C0C0C0C0C0C0Cull; x ^= t ^ (t << 2);
+  t = (x ^ (x >> 1)) & 0x2222222222222222ull; x ^= t ^ (t << 1);
+  return x;
+}
+
+}  // namespace
+
+Interleaved interleave(u64 lane) noexcept {
+  const u64 u = unshuffle(lane);
+  return {static_cast<u32>(u), static_cast<u32>(u >> 32)};
+}
+
+u64 deinterleave(Interleaved v) noexcept {
+  return shuffle(concat32(v.odd, v.even));
+}
+
+Interleaved rotl_interleaved(Interleaved v, unsigned n) noexcept {
+  const unsigned r = n % 64u;
+  const unsigned half = r / 2;
+  if (r % 2 == 0) {
+    return {rotl32(v.even, half), rotl32(v.odd, half)};
+  }
+  // Odd rotation swaps the roles: old odd bits land on even positions
+  // (rotated by half+1), old even bits land on odd positions (by half).
+  return {rotl32(v.odd, half + 1), rotl32(v.even, half)};
+}
+
+}  // namespace kvx::keccak

@@ -1,0 +1,42 @@
+#include "kvx/keccak/keccak_p.hpp"
+
+namespace kvx::keccak {
+
+bool lfsr_rc_bit(unsigned t) noexcept {
+  // FIPS 202 Algorithm 5: R = 10000000; for i in 1..t mod 255 step the LFSR
+  // with feedback polynomial x^8 + x^6 + x^5 + x^4 + 1.
+  const unsigned tm = t % 255;
+  if (tm == 0) return true;
+  u16 r = 0x01;  // bit 0 = R[0]
+  for (unsigned i = 1; i <= tm; ++i) {
+    r <<= 1;
+    if (r & 0x100) {
+      r ^= 0x171;  // x^8 -> x^6 + x^5 + x^4 + 1 (0b01110001 + carry clear)
+    }
+  }
+  return (r & 1) != 0;
+}
+
+u64 derived_round_constant(unsigned l_param, unsigned ir) noexcept {
+  u64 rc = 0;
+  for (unsigned j = 0; j <= l_param; ++j) {
+    if (lfsr_rc_bit(j + 7 * ir)) rc |= u64{1} << ((1u << j) - 1);
+  }
+  return rc;
+}
+
+unsigned derived_rho_offset(unsigned x, unsigned y, unsigned w) noexcept {
+  if (x == 0 && y == 0) return 0;
+  // Walk (1,0) -> (y, (2x+3y) mod 5), offset (t+1)(t+2)/2 at step t.
+  unsigned cx = 1, cy = 0;
+  for (unsigned t = 0; t < 24; ++t) {
+    if (cx == x && cy == y) return ((t + 1) * (t + 2) / 2) % w;
+    const unsigned nx = cy;
+    const unsigned ny = (2 * cx + 3 * cy) % 5;
+    cx = nx;
+    cy = ny;
+  }
+  return 0;  // unreachable: the walk visits all 24 non-origin positions
+}
+
+}  // namespace kvx::keccak

@@ -1,0 +1,331 @@
+#include "kvx/keccak/permutation.hpp"
+
+#include <bit>
+
+#include "kvx/common/bits.hpp"
+
+namespace kvx::keccak {
+
+const std::array<u64, kNumRounds>& round_constants() noexcept {
+  // Paper Table 6 (identical to FIPS 202 §3.2.5).
+  static constexpr std::array<u64, kNumRounds> kRc = {
+      0x0000000000000001ull, 0x0000000000008082ull, 0x800000000000808Aull,
+      0x8000000080008000ull, 0x000000000000808Bull, 0x0000000080000001ull,
+      0x8000000080008081ull, 0x8000000000008009ull, 0x000000000000008Aull,
+      0x0000000000000088ull, 0x0000000080008009ull, 0x000000008000000Aull,
+      0x000000008000808Bull, 0x800000000000008Bull, 0x8000000000008089ull,
+      0x8000000000008003ull, 0x8000000000008002ull, 0x8000000000000080ull,
+      0x000000000000800Aull, 0x800000008000000Aull, 0x8000000080008081ull,
+      0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull,
+  };
+  return kRc;
+}
+
+const std::array<std::array<unsigned, 5>, 5>& rho_offsets() noexcept {
+  // Paper Table 2, stored [y][x]: offsets()[y][x] rotates lane (x, y).
+  static constexpr std::array<std::array<unsigned, 5>, 5> kOffsets = {{
+      {0, 1, 62, 28, 27},   // y = 0
+      {36, 44, 6, 55, 20},  // y = 1
+      {3, 10, 43, 25, 39},  // y = 2
+      {41, 45, 15, 21, 8},  // y = 3
+      {18, 2, 61, 56, 14},  // y = 4
+  }};
+  return kOffsets;
+}
+
+void theta(State& s) noexcept {
+  // B[x] = column parity; C[x] = B[x-1] ^ ROT(B[x+1], 1); A[x,y] ^= C[x].
+  std::array<u64, 5> b{};
+  for (usize x = 0; x < 5; ++x) {
+    b[x] = s.lane(x, 0) ^ s.lane(x, 1) ^ s.lane(x, 2) ^ s.lane(x, 3) ^ s.lane(x, 4);
+  }
+  std::array<u64, 5> c{};
+  for (usize x = 0; x < 5; ++x) {
+    c[x] = b[(x + 4) % 5] ^ rotl64(b[(x + 1) % 5], 1);
+  }
+  for (usize y = 0; y < 5; ++y) {
+    for (usize x = 0; x < 5; ++x) s.lane(x, y) ^= c[x];
+  }
+}
+
+void rho(State& s) noexcept {
+  const auto& r = rho_offsets();
+  for (usize y = 0; y < 5; ++y) {
+    for (usize x = 0; x < 5; ++x) s.lane(x, y) = rotl64(s.lane(x, y), r[y][x]);
+  }
+}
+
+void pi(State& s) noexcept {
+  const State e = s;
+  for (usize y = 0; y < 5; ++y) {
+    for (usize x = 0; x < 5; ++x) s.lane(x, y) = e.lane(x + 3 * y, x);
+  }
+}
+
+void chi(State& s) noexcept {
+  for (usize y = 0; y < 5; ++y) {
+    std::array<u64, 5> f{};
+    for (usize x = 0; x < 5; ++x) f[x] = s.lane(x, y);
+    for (usize x = 0; x < 5; ++x) {
+      s.lane(x, y) = f[x] ^ (~f[(x + 1) % 5] & f[(x + 2) % 5]);
+    }
+  }
+}
+
+void iota(State& s, usize round_index) noexcept {
+  s.lane(0, 0) ^= round_constants()[round_index % kNumRounds];
+}
+
+// ---------------------------------------------------------------------------
+// Inverse step mappings.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Column parities p[x] of a state.
+std::array<u64, 5> parities(const State& s) noexcept {
+  std::array<u64, 5> p{};
+  for (usize x = 0; x < 5; ++x) {
+    p[x] = s.lane(x, 0) ^ s.lane(x, 1) ^ s.lane(x, 2) ^ s.lane(x, 3) ^ s.lane(x, 4);
+  }
+  return p;
+}
+
+/// The θ parity transfer M = I + Ê acting on the 5×64-bit parity plane,
+/// where Ê(p)[x] = p[x-1] ^ ROTL(p[x+1], 1).
+std::array<u64, 5> theta_parity_map(const std::array<u64, 5>& p) noexcept {
+  std::array<u64, 5> out{};
+  for (usize x = 0; x < 5; ++x) {
+    out[x] = p[x] ^ p[(x + 4) % 5] ^ rotl64(p[(x + 1) % 5], 1);
+  }
+  return out;
+}
+
+/// Rows of M⁻¹ (computed once by Gauss–Jordan elimination over GF(2) on the
+/// 320 × 320 bit-matrix). Row i, ANDed with a parity vector and reduced by
+/// overall parity, yields bit i of M⁻¹·p.
+const std::array<std::array<u64, 5>, 320>& inverse_theta_matrix() {
+  static const auto kInv = [] {
+    // rows[i] = [ M-part (5×u64) | identity-part (5×u64) ]
+    struct Row {
+      std::array<u64, 5> m;
+      std::array<u64, 5> id;
+    };
+    std::array<Row, 320> rows{};
+    // Build M column by column: column j = M e_j; rows pick up single bits.
+    for (usize j = 0; j < 320; ++j) {
+      std::array<u64, 5> e{};
+      e[j / 64] = u64{1} << (j % 64);
+      const auto col = theta_parity_map(e);
+      for (usize i = 0; i < 320; ++i) {
+        if ((col[i / 64] >> (i % 64)) & 1u) rows[i].m[j / 64] |= u64{1} << (j % 64);
+      }
+      rows[j].id[j / 64] |= u64{1} << (j % 64);
+    }
+    // Gauss–Jordan.
+    for (usize col_i = 0; col_i < 320; ++col_i) {
+      const usize w = col_i / 64;
+      const u64 bit = u64{1} << (col_i % 64);
+      usize pivot = col_i;
+      while (pivot < 320 && !(rows[pivot].m[w] & bit)) ++pivot;
+      // θ is invertible on Keccak-f[1600], so a pivot always exists.
+      std::swap(rows[col_i], rows[pivot]);
+      for (usize r = 0; r < 320; ++r) {
+        if (r != col_i && (rows[r].m[w] & bit)) {
+          for (usize k = 0; k < 5; ++k) {
+            rows[r].m[k] ^= rows[col_i].m[k];
+            rows[r].id[k] ^= rows[col_i].id[k];
+          }
+        }
+      }
+    }
+    std::array<std::array<u64, 5>, 320> inv{};
+    for (usize i = 0; i < 320; ++i) inv[i] = rows[i].id;
+    return inv;
+  }();
+  return kInv;
+}
+
+}  // namespace
+
+void inv_theta(State& s) noexcept {
+  // P(B) = M·P(A)  ⇒  P(A) = M⁻¹·P(B);  A = B ^ Ê(P(A)).
+  const auto pb = parities(s);
+  const auto& minv = inverse_theta_matrix();
+  std::array<u64, 5> pa{};
+  for (usize i = 0; i < 320; ++i) {
+    unsigned acc = 0;
+    for (usize k = 0; k < 5; ++k) {
+      acc ^= static_cast<unsigned>(std::popcount(minv[i][k] & pb[k]));
+    }
+    if (acc & 1u) pa[i / 64] |= u64{1} << (i % 64);
+  }
+  std::array<u64, 5> c{};
+  for (usize x = 0; x < 5; ++x) {
+    c[x] = pa[(x + 4) % 5] ^ rotl64(pa[(x + 1) % 5], 1);
+  }
+  for (usize y = 0; y < 5; ++y) {
+    for (usize x = 0; x < 5; ++x) s.lane(x, y) ^= c[x];
+  }
+}
+
+void inv_rho(State& s) noexcept {
+  const auto& r = rho_offsets();
+  for (usize y = 0; y < 5; ++y) {
+    for (usize x = 0; x < 5; ++x) s.lane(x, y) = rotr64(s.lane(x, y), r[y][x]);
+  }
+}
+
+void inv_pi(State& s) noexcept {
+  const State f = s;
+  // π maps E[(x+3y) mod 5, x] → F[x, y]; solve for E.
+  for (usize xs = 0; xs < 5; ++xs) {
+    for (usize ys = 0; ys < 5; ++ys) {
+      s.lane(xs, ys) = f.lane(ys, 2 * (xs + 5 - ys));
+    }
+  }
+}
+
+void inv_chi(State& s) noexcept {
+  // χ acts independently on each (row, z) 5-bit slice; invert via a 32-entry
+  // lookup of the forward bijection.
+  static const auto kInvTable = [] {
+    std::array<u8, 32> inv{};
+    for (u32 a = 0; a < 32; ++a) {
+      u32 b = 0;
+      for (u32 x = 0; x < 5; ++x) {
+        const u32 ax = (a >> x) & 1u;
+        const u32 a1 = (a >> ((x + 1) % 5)) & 1u;
+        const u32 a2 = (a >> ((x + 2) % 5)) & 1u;
+        b |= (ax ^ (~a1 & a2 & 1u)) << x;
+      }
+      inv[b] = static_cast<u8>(a);
+    }
+    return inv;
+  }();
+  for (usize y = 0; y < 5; ++y) {
+    std::array<u64, 5> in{};
+    for (usize x = 0; x < 5; ++x) in[x] = s.lane(x, y);
+    std::array<u64, 5> out{};
+    for (unsigned z = 0; z < 64; ++z) {
+      u32 slice = 0;
+      for (usize x = 0; x < 5; ++x) slice |= static_cast<u32>((in[x] >> z) & 1u) << x;
+      const u32 orig = kInvTable[slice];
+      for (usize x = 0; x < 5; ++x) {
+        out[x] |= static_cast<u64>((orig >> x) & 1u) << z;
+      }
+    }
+    for (usize x = 0; x < 5; ++x) s.lane(x, y) = out[x];
+  }
+}
+
+void inv_iota(State& s, usize round_index) noexcept { iota(s, round_index); }
+
+// ---------------------------------------------------------------------------
+// Full permutation.
+// ---------------------------------------------------------------------------
+
+void round(State& s, usize round_index) noexcept {
+  theta(s);
+  rho(s);
+  pi(s);
+  chi(s);
+  iota(s, round_index);
+}
+
+void permute(State& s) noexcept {
+  for (usize i = 0; i < kNumRounds; ++i) round(s, i);
+}
+
+void permute_fast(State& s) noexcept {
+  // Lane-unrolled implementation in the style of the XKCP compact readable
+  // code: θ and ρ∘π fused into a single pass with explicit temporaries.
+  auto a = s.flat();
+  u64 a00 = a[0], a10 = a[1], a20 = a[2], a30 = a[3], a40 = a[4];
+  u64 a01 = a[5], a11 = a[6], a21 = a[7], a31 = a[8], a41 = a[9];
+  u64 a02 = a[10], a12 = a[11], a22 = a[12], a32 = a[13], a42 = a[14];
+  u64 a03 = a[15], a13 = a[16], a23 = a[17], a33 = a[18], a43 = a[19];
+  u64 a04 = a[20], a14 = a[21], a24 = a[22], a34 = a[23], a44 = a[24];
+
+  const auto& rc = round_constants();
+  for (usize i = 0; i < kNumRounds; ++i) {
+    // θ
+    const u64 b0 = a00 ^ a01 ^ a02 ^ a03 ^ a04;
+    const u64 b1 = a10 ^ a11 ^ a12 ^ a13 ^ a14;
+    const u64 b2 = a20 ^ a21 ^ a22 ^ a23 ^ a24;
+    const u64 b3 = a30 ^ a31 ^ a32 ^ a33 ^ a34;
+    const u64 b4 = a40 ^ a41 ^ a42 ^ a43 ^ a44;
+    const u64 c0 = b4 ^ rotl64(b1, 1);
+    const u64 c1 = b0 ^ rotl64(b2, 1);
+    const u64 c2 = b1 ^ rotl64(b3, 1);
+    const u64 c3 = b2 ^ rotl64(b4, 1);
+    const u64 c4 = b3 ^ rotl64(b0, 1);
+    a00 ^= c0; a01 ^= c0; a02 ^= c0; a03 ^= c0; a04 ^= c0;
+    a10 ^= c1; a11 ^= c1; a12 ^= c1; a13 ^= c1; a14 ^= c1;
+    a20 ^= c2; a21 ^= c2; a22 ^= c2; a23 ^= c2; a24 ^= c2;
+    a30 ^= c3; a31 ^= c3; a32 ^= c3; a33 ^= c3; a34 ^= c3;
+    a40 ^= c4; a41 ^= c4; a42 ^= c4; a43 ^= c4; a44 ^= c4;
+
+    // ρ then π: f(x, y) = rot(e((x + 3y) mod 5, x)).
+    const u64 f00 = a00;              // rot 0
+    const u64 f10 = rotl64(a11, 44);
+    const u64 f20 = rotl64(a22, 43);
+    const u64 f30 = rotl64(a33, 21);
+    const u64 f40 = rotl64(a44, 14);
+    const u64 f01 = rotl64(a30, 28);
+    const u64 f11 = rotl64(a41, 20);
+    const u64 f21 = rotl64(a02, 3);
+    const u64 f31 = rotl64(a13, 45);
+    const u64 f41 = rotl64(a24, 61);
+    const u64 f02 = rotl64(a10, 1);
+    const u64 f12 = rotl64(a21, 6);
+    const u64 f22 = rotl64(a32, 25);
+    const u64 f32 = rotl64(a43, 8);
+    const u64 f42 = rotl64(a04, 18);
+    const u64 f03 = rotl64(a40, 27);
+    const u64 f13 = rotl64(a01, 36);
+    const u64 f23 = rotl64(a12, 10);
+    const u64 f33 = rotl64(a23, 15);
+    const u64 f43 = rotl64(a34, 56);
+    const u64 f04 = rotl64(a20, 62);
+    const u64 f14 = rotl64(a31, 55);
+    const u64 f24 = rotl64(a42, 39);
+    const u64 f34 = rotl64(a03, 41);
+    const u64 f44 = rotl64(a14, 2);
+
+    // χ and ι.
+    a00 = f00 ^ (~f10 & f20) ^ rc[i];
+    a10 = f10 ^ (~f20 & f30);
+    a20 = f20 ^ (~f30 & f40);
+    a30 = f30 ^ (~f40 & f00);
+    a40 = f40 ^ (~f00 & f10);
+    a01 = f01 ^ (~f11 & f21);
+    a11 = f11 ^ (~f21 & f31);
+    a21 = f21 ^ (~f31 & f41);
+    a31 = f31 ^ (~f41 & f01);
+    a41 = f41 ^ (~f01 & f11);
+    a02 = f02 ^ (~f12 & f22);
+    a12 = f12 ^ (~f22 & f32);
+    a22 = f22 ^ (~f32 & f42);
+    a32 = f32 ^ (~f42 & f02);
+    a42 = f42 ^ (~f02 & f12);
+    a03 = f03 ^ (~f13 & f23);
+    a13 = f13 ^ (~f23 & f33);
+    a23 = f23 ^ (~f33 & f43);
+    a33 = f33 ^ (~f43 & f03);
+    a43 = f43 ^ (~f03 & f13);
+    a04 = f04 ^ (~f14 & f24);
+    a14 = f14 ^ (~f24 & f34);
+    a24 = f24 ^ (~f34 & f44);
+    a34 = f34 ^ (~f44 & f04);
+    a44 = f44 ^ (~f04 & f14);
+  }
+
+  a[0] = a00; a[1] = a10; a[2] = a20; a[3] = a30; a[4] = a40;
+  a[5] = a01; a[6] = a11; a[7] = a21; a[8] = a31; a[9] = a41;
+  a[10] = a02; a[11] = a12; a[12] = a22; a[13] = a32; a[14] = a42;
+  a[15] = a03; a[16] = a13; a[17] = a23; a[18] = a33; a[19] = a43;
+  a[20] = a04; a[21] = a14; a[22] = a24; a[23] = a34; a[24] = a44;
+}
+
+}  // namespace kvx::keccak

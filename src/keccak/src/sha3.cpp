@@ -1,0 +1,120 @@
+#include "kvx/keccak/sha3.hpp"
+
+#include "kvx/common/error.hpp"
+
+namespace kvx::keccak {
+namespace {
+
+Domain domain_of(Sha3Function f) {
+  return (f == Sha3Function::kShake128 || f == Sha3Function::kShake256)
+             ? Domain::kShake
+             : Domain::kSha3;
+}
+
+template <usize N>
+std::array<u8, N> fixed_hash(Sha3Function f, std::span<const u8> msg) {
+  Sponge sponge(rate_bytes(f), domain_of(f));
+  sponge.absorb(msg);
+  std::array<u8, N> out{};
+  sponge.squeeze(out);
+  return out;
+}
+
+}  // namespace
+
+std::string_view name(Sha3Function f) noexcept {
+  switch (f) {
+    case Sha3Function::kSha3_224: return "SHA3-224";
+    case Sha3Function::kSha3_256: return "SHA3-256";
+    case Sha3Function::kSha3_384: return "SHA3-384";
+    case Sha3Function::kSha3_512: return "SHA3-512";
+    case Sha3Function::kShake128: return "SHAKE128";
+    case Sha3Function::kShake256: return "SHAKE256";
+  }
+  return "?";
+}
+
+std::array<u8, 28> sha3_224(std::span<const u8> msg) {
+  return fixed_hash<28>(Sha3Function::kSha3_224, msg);
+}
+std::array<u8, 32> sha3_256(std::span<const u8> msg) {
+  return fixed_hash<32>(Sha3Function::kSha3_256, msg);
+}
+std::array<u8, 48> sha3_384(std::span<const u8> msg) {
+  return fixed_hash<48>(Sha3Function::kSha3_384, msg);
+}
+std::array<u8, 64> sha3_512(std::span<const u8> msg) {
+  return fixed_hash<64>(Sha3Function::kSha3_512, msg);
+}
+
+std::vector<u8> shake128(std::span<const u8> msg, usize out_len) {
+  return hash(Sha3Function::kShake128, msg, out_len);
+}
+std::vector<u8> shake256(std::span<const u8> msg, usize out_len) {
+  return hash(Sha3Function::kShake256, msg, out_len);
+}
+
+std::vector<u8> hash(Sha3Function f, std::span<const u8> msg, usize out_len) {
+  if (digest_bytes(f) != 0) {
+    KVX_CHECK_MSG(out_len == digest_bytes(f),
+                  "fixed-output SHA-3 length mismatch");
+  }
+  Sponge sponge(rate_bytes(f), domain_of(f));
+  sponge.absorb(msg);
+  std::vector<u8> out(out_len);
+  sponge.squeeze(out);
+  return out;
+}
+
+Hasher::Hasher(Sha3Function f)
+    : func_(f), sponge_(rate_bytes(f), domain_of(f)) {
+  KVX_CHECK_MSG(digest_bytes(f) != 0, "Hasher requires a fixed-output function");
+}
+
+Hasher& Hasher::update(std::span<const u8> data) {
+  sponge_.absorb(data);
+  return *this;
+}
+
+Hasher& Hasher::update(std::string_view text) {
+  return update(std::span<const u8>(
+      reinterpret_cast<const u8*>(text.data()), text.size()));
+}
+
+std::vector<u8> Hasher::digest() {
+  std::vector<u8> out(digest_bytes(func_));
+  sponge_.squeeze(out);
+  sponge_.reset();
+  return out;
+}
+
+Xof::Xof(Sha3Function f) : sponge_(rate_bytes(f), domain_of(f)) {
+  KVX_CHECK_MSG(digest_bytes(f) == 0, "Xof requires SHAKE128 or SHAKE256");
+}
+
+Xof::Xof(Sha3Function f, Sponge::Permutation permutation)
+    : sponge_(rate_bytes(f), domain_of(f), std::move(permutation)) {
+  KVX_CHECK_MSG(digest_bytes(f) == 0, "Xof requires SHAKE128 or SHAKE256");
+}
+
+Xof& Xof::absorb(std::span<const u8> data) {
+  sponge_.absorb(data);
+  return *this;
+}
+
+Xof& Xof::absorb(std::string_view text) {
+  return absorb(std::span<const u8>(
+      reinterpret_cast<const u8*>(text.data()), text.size()));
+}
+
+void Xof::squeeze(std::span<u8> out) { sponge_.squeeze(out); }
+
+std::vector<u8> Xof::squeeze(usize n) {
+  std::vector<u8> out(n);
+  sponge_.squeeze(out);
+  return out;
+}
+
+void Xof::reset() { sponge_.reset(); }
+
+}  // namespace kvx::keccak

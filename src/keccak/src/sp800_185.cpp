@@ -1,0 +1,153 @@
+#include "kvx/keccak/sp800_185.hpp"
+
+#include "kvx/common/error.hpp"
+
+namespace kvx::keccak {
+namespace {
+
+/// Big-endian minimal (nonempty) byte representation of x.
+std::vector<u8> minimal_be(u64 x) {
+  std::vector<u8> bytes;
+  do {
+    bytes.insert(bytes.begin(), static_cast<u8>(x & 0xFF));
+    x >>= 8;
+  } while (x != 0);
+  return bytes;
+}
+
+/// cSHAKE domain-separation suffix: two zero bits then pad10*1 -> 0x04.
+constexpr auto kCshakeDomain = static_cast<Domain>(0x04);
+
+std::vector<u8> cshake_impl(usize rate, std::span<const u8> msg, usize out_len,
+                            std::span<const u8> function_name,
+                            std::span<const u8> customization) {
+  if (function_name.empty() && customization.empty()) {
+    // SP 800-185 §3.3: cSHAKE with empty N and S *is* SHAKE.
+    Sponge sponge(rate, Domain::kShake);
+    sponge.absorb(msg);
+    std::vector<u8> out(out_len);
+    sponge.squeeze(out);
+    return out;
+  }
+  std::vector<u8> prefix = encode_string(function_name);
+  const std::vector<u8> s_enc = encode_string(customization);
+  prefix.insert(prefix.end(), s_enc.begin(), s_enc.end());
+  Sponge sponge(rate, kCshakeDomain);
+  sponge.absorb(bytepad(prefix, rate));
+  sponge.absorb(msg);
+  std::vector<u8> out(out_len);
+  sponge.squeeze(out);
+  return out;
+}
+
+std::vector<u8> kmac_impl(usize rate, std::span<const u8> key,
+                          std::span<const u8> msg, usize out_len,
+                          std::span<const u8> customization, bool xof) {
+  static constexpr u8 kName[] = {'K', 'M', 'A', 'C'};
+  // newX = bytepad(encode_string(K), rate) || X || right_encode(L or 0).
+  std::vector<u8> data = bytepad(encode_string(key), rate);
+  data.insert(data.end(), msg.begin(), msg.end());
+  const std::vector<u8> len_enc =
+      right_encode(xof ? 0 : static_cast<u64>(out_len) * 8);
+  data.insert(data.end(), len_enc.begin(), len_enc.end());
+  return cshake_impl(rate, data, out_len, kName, customization);
+}
+
+std::vector<u8> tuple_hash_impl(usize rate,
+                                std::span<const std::vector<u8>> tuple,
+                                usize out_len,
+                                std::span<const u8> customization) {
+  static constexpr u8 kName[] = {'T', 'u', 'p', 'l', 'e', 'H', 'a', 's', 'h'};
+  std::vector<u8> data;
+  for (const auto& item : tuple) {
+    const std::vector<u8> enc = encode_string(item);
+    data.insert(data.end(), enc.begin(), enc.end());
+  }
+  const std::vector<u8> len_enc = right_encode(static_cast<u64>(out_len) * 8);
+  data.insert(data.end(), len_enc.begin(), len_enc.end());
+  return cshake_impl(rate, data, out_len, kName, customization);
+}
+
+constexpr usize kRate128 = 168;
+constexpr usize kRate256 = 136;
+
+}  // namespace
+
+std::vector<u8> left_encode(u64 x) {
+  std::vector<u8> bytes = minimal_be(x);
+  KVX_CHECK(bytes.size() < 256);
+  bytes.insert(bytes.begin(), static_cast<u8>(bytes.size()));
+  return bytes;
+}
+
+std::vector<u8> right_encode(u64 x) {
+  std::vector<u8> bytes = minimal_be(x);
+  KVX_CHECK(bytes.size() < 256);
+  bytes.push_back(static_cast<u8>(bytes.size()));
+  return bytes;
+}
+
+std::vector<u8> encode_string(std::span<const u8> s) {
+  std::vector<u8> out = left_encode(static_cast<u64>(s.size()) * 8);
+  out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+std::vector<u8> encode_string(std::string_view s) {
+  return encode_string(std::span<const u8>(
+      reinterpret_cast<const u8*>(s.data()), s.size()));
+}
+
+std::vector<u8> bytepad(std::span<const u8> x, usize w) {
+  KVX_CHECK_MSG(w > 0, "bytepad width must be positive");
+  std::vector<u8> out = left_encode(w);
+  out.insert(out.end(), x.begin(), x.end());
+  while (out.size() % w != 0) out.push_back(0);
+  return out;
+}
+
+std::vector<u8> cshake128(std::span<const u8> msg, usize out_len,
+                          std::span<const u8> function_name,
+                          std::span<const u8> customization) {
+  return cshake_impl(kRate128, msg, out_len, function_name, customization);
+}
+
+std::vector<u8> cshake256(std::span<const u8> msg, usize out_len,
+                          std::span<const u8> function_name,
+                          std::span<const u8> customization) {
+  return cshake_impl(kRate256, msg, out_len, function_name, customization);
+}
+
+std::vector<u8> kmac128(std::span<const u8> key, std::span<const u8> msg,
+                        usize out_len, std::span<const u8> customization) {
+  return kmac_impl(kRate128, key, msg, out_len, customization, false);
+}
+
+std::vector<u8> kmac256(std::span<const u8> key, std::span<const u8> msg,
+                        usize out_len, std::span<const u8> customization) {
+  return kmac_impl(kRate256, key, msg, out_len, customization, false);
+}
+
+std::vector<u8> kmacxof128(std::span<const u8> key, std::span<const u8> msg,
+                           usize out_len, std::span<const u8> customization) {
+  return kmac_impl(kRate128, key, msg, out_len, customization, true);
+}
+
+std::vector<u8> kmacxof256(std::span<const u8> key, std::span<const u8> msg,
+                           usize out_len, std::span<const u8> customization) {
+  return kmac_impl(kRate256, key, msg, out_len, customization, true);
+}
+
+std::vector<u8> tuple_hash128(std::span<const std::vector<u8>> tuple,
+                              usize out_len,
+                              std::span<const u8> customization) {
+  return tuple_hash_impl(kRate128, tuple, out_len, customization);
+}
+
+std::vector<u8> tuple_hash256(std::span<const std::vector<u8>> tuple,
+                              usize out_len,
+                              std::span<const u8> customization) {
+  return tuple_hash_impl(kRate256, tuple, out_len, customization);
+}
+
+}  // namespace kvx::keccak

@@ -1,0 +1,78 @@
+#include "kvx/keccak/sponge.hpp"
+
+#include "kvx/common/error.hpp"
+#include "kvx/keccak/permutation.hpp"
+
+namespace kvx::keccak {
+
+Sponge::Sponge(usize rate_bytes_in, Domain domain)
+    : Sponge(rate_bytes_in, domain, [](State& s) { permute_fast(s); }) {}
+
+Sponge::Sponge(usize rate_bytes_in, Domain domain, Permutation f)
+    : f_(std::move(f)), rate_(rate_bytes_in), domain_(domain) {
+  KVX_CHECK_MSG(rate_ > 0 && rate_ < kStateBytes, "sponge rate out of range");
+  KVX_CHECK(f_ != nullptr);
+}
+
+void Sponge::run_permutation() {
+  f_(state_);
+  ++perm_count_;
+}
+
+void Sponge::absorb(std::span<const u8> data) {
+  KVX_CHECK_MSG(!squeezing_, "absorb after squeeze started");
+  while (!data.empty()) {
+    const usize take = std::min(data.size(), rate_ - absorbed_in_block_);
+    // XOR into the state at the current block offset.
+    for (usize i = 0; i < take; ++i) {
+      const usize pos = absorbed_in_block_ + i;
+      state_.flat()[pos / 8] ^= static_cast<u64>(data[i]) << (8 * (pos % 8));
+    }
+    absorbed_in_block_ += take;
+    data = data.subspan(take);
+    if (absorbed_in_block_ == rate_) {
+      run_permutation();
+      absorbed_in_block_ = 0;
+    }
+  }
+}
+
+void Sponge::pad_and_switch() {
+  // pad10*1 with the domain suffix: suffix byte at the first free position,
+  // 0x80 into the last byte of the block (they coincide when one byte left —
+  // the two XORs then combine, which is exactly the FIPS 202 rule).
+  const usize pos = absorbed_in_block_;
+  state_.flat()[pos / 8] ^= static_cast<u64>(static_cast<u8>(domain_)) << (8 * (pos % 8));
+  const usize last = rate_ - 1;
+  state_.flat()[last / 8] ^= u64{0x80} << (8 * (last % 8));
+  run_permutation();
+  squeezing_ = true;
+  squeeze_offset_ = 0;
+}
+
+void Sponge::squeeze(std::span<u8> out) {
+  if (!squeezing_) pad_and_switch();
+  while (!out.empty()) {
+    if (squeeze_offset_ == rate_) {
+      run_permutation();
+      squeeze_offset_ = 0;
+    }
+    const usize take = std::min(out.size(), rate_ - squeeze_offset_);
+    for (usize i = 0; i < take; ++i) {
+      const usize pos = squeeze_offset_ + i;
+      out[i] = static_cast<u8>(state_.flat()[pos / 8] >> (8 * (pos % 8)));
+    }
+    squeeze_offset_ += take;
+    out = out.subspan(take);
+  }
+}
+
+void Sponge::reset() {
+  state_ = State{};
+  absorbed_in_block_ = 0;
+  squeeze_offset_ = 0;
+  squeezing_ = false;
+  perm_count_ = 0;
+}
+
+}  // namespace kvx::keccak

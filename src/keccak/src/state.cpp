@@ -1,0 +1,33 @@
+#include "kvx/keccak/state.hpp"
+
+#include "kvx/common/error.hpp"
+
+namespace kvx::keccak {
+
+void State::xor_bytes(std::span<const u8> data) noexcept {
+  for (usize i = 0; i < data.size(); ++i) {
+    lanes_[i / 8] ^= static_cast<u64>(data[i]) << (8 * (i % 8));
+  }
+}
+
+void State::extract_bytes(std::span<u8> out) const noexcept {
+  for (usize i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<u8>(lanes_[i / 8] >> (8 * (i % 8)));
+  }
+}
+
+std::array<u8, kStateBytes> State::to_bytes() const noexcept {
+  std::array<u8, kStateBytes> out{};
+  extract_bytes(out);
+  return out;
+}
+
+State State::from_bytes(std::span<const u8, kStateBytes> bytes) noexcept {
+  State s;
+  for (usize i = 0; i < kStateBytes; ++i) {
+    s.lanes_[i / 8] |= static_cast<u64>(bytes[i]) << (8 * (i % 8));
+  }
+  return s;
+}
+
+}  // namespace kvx::keccak

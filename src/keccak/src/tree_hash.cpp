@@ -1,0 +1,44 @@
+#include "kvx/keccak/tree_hash.hpp"
+
+#include "kvx/common/error.hpp"
+#include "kvx/keccak/sp800_185.hpp"
+#include "kvx/keccak/turboshake.hpp"
+
+namespace kvx::keccak {
+
+std::vector<u8> tree_hash_final_input(
+    std::span<const u8> first_chunk,
+    std::span<const std::vector<u8>> chaining_values) {
+  // S0 ‖ 0x03 0⁷ ‖ CV_1 … CV_{n−1} ‖ right_encode(n−1) ‖ 0xFF 0xFF.
+  std::vector<u8> node(first_chunk.begin(), first_chunk.end());
+  static constexpr u8 kSeparator[8] = {0x03, 0, 0, 0, 0, 0, 0, 0};
+  node.insert(node.end(), std::begin(kSeparator), std::end(kSeparator));
+  for (const auto& cv : chaining_values) {
+    node.insert(node.end(), cv.begin(), cv.end());
+  }
+  const auto count = right_encode(chaining_values.size());
+  node.insert(node.end(), count.begin(), count.end());
+  node.push_back(0xFF);
+  node.push_back(0xFF);
+  return node;
+}
+
+std::vector<u8> tree_hash128(std::span<const u8> msg, usize out_len,
+                             const TreeHashParams& params) {
+  KVX_CHECK_MSG(params.chunk_bytes > 0, "chunk size must be positive");
+  if (msg.size() <= params.chunk_bytes) {
+    return turboshake128(msg, out_len, TreeHashDomains::kSingle);
+  }
+  const std::span<const u8> first = msg.first(params.chunk_bytes);
+  std::vector<std::vector<u8>> cvs;
+  for (usize pos = params.chunk_bytes; pos < msg.size();
+       pos += params.chunk_bytes) {
+    const usize take = std::min(params.chunk_bytes, msg.size() - pos);
+    cvs.push_back(turboshake128(msg.subspan(pos, take), params.cv_bytes,
+                                TreeHashDomains::kLeaf));
+  }
+  return turboshake128(tree_hash_final_input(first, cvs), out_len,
+                       TreeHashDomains::kFinal);
+}
+
+}  // namespace kvx::keccak

@@ -1,0 +1,71 @@
+#include "kvx/keccak/turboshake.hpp"
+
+#include "kvx/common/error.hpp"
+#include "kvx/keccak/keccak_p.hpp"
+
+namespace kvx::keccak {
+namespace {
+
+usize rate_for(unsigned security_bits) {
+  switch (security_bits) {
+    case 128: return 168;
+    case 256: return 136;
+    default:
+      throw Error("TurboSHAKE security level must be 128 or 256");
+  }
+}
+
+u8 checked_domain(u8 domain) {
+  if (domain < 0x01 || domain > 0x7F) {
+    throw Error("TurboSHAKE domain byte must be in [0x01, 0x7F]");
+  }
+  return domain;
+}
+
+std::vector<u8> one_shot(unsigned security_bits, std::span<const u8> msg,
+                         usize out_len, u8 domain) {
+  TurboShake xof(security_bits, domain);
+  xof.absorb(msg);
+  return xof.squeeze(out_len);
+}
+
+}  // namespace
+
+void permute_12(State& s) noexcept {
+  KeccakP1600::StateArray a{};
+  std::copy(s.flat().begin(), s.flat().end(), a.begin());
+  KeccakP1600::permute(a, 12);
+  std::copy(a.begin(), a.end(), s.flat().begin());
+}
+
+std::vector<u8> turboshake128(std::span<const u8> msg, usize out_len,
+                              u8 domain) {
+  return one_shot(128, msg, out_len, domain);
+}
+
+std::vector<u8> turboshake256(std::span<const u8> msg, usize out_len,
+                              u8 domain) {
+  return one_shot(256, msg, out_len, domain);
+}
+
+TurboShake::TurboShake(unsigned security_bits, u8 domain)
+    : sponge_(rate_for(security_bits),
+              static_cast<Domain>(checked_domain(domain)),
+              [](State& s) { permute_12(s); }) {}
+
+TurboShake& TurboShake::absorb(std::span<const u8> data) {
+  sponge_.absorb(data);
+  return *this;
+}
+
+void TurboShake::squeeze(std::span<u8> out) { sponge_.squeeze(out); }
+
+std::vector<u8> TurboShake::squeeze(usize n) {
+  std::vector<u8> out(n);
+  sponge_.squeeze(out);
+  return out;
+}
+
+void TurboShake::reset() { sponge_.reset(); }
+
+}  // namespace kvx::keccak

@@ -1,0 +1,123 @@
+// The complete SIMD processor (paper Figure 3): Ibex-like scalar core,
+// instruction memory, data memory, and the vector processing unit.
+//
+// The processor predecodes the loaded program once (the simulator analogue
+// of instruction fetch+decode), runs until ebreak/ecall or a watchdog
+// limit, counts cycles under the CycleModel, and records cycle markers the
+// program emits through the kMarker CSR so benchmarks can measure exact
+// regions (e.g. one Keccak round, or the whole permutation).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kvx/asm/assembler.hpp"
+#include "kvx/sim/scalar_core.hpp"
+#include "kvx/sim/vector_unit.hpp"
+
+namespace kvx::sim {
+
+/// Processor-level configuration.
+struct ProcessorConfig {
+  VectorConfig vector{};
+  usize dmem_bytes = 1 << 20;   ///< data memory size
+  u64 max_cycles = 500'000'000; ///< watchdog
+  CycleModel cycle_model{};
+};
+
+/// A (marker id, cycle) pair recorded by a `csrw 0x7C0, reg` in the program.
+struct Marker {
+  u32 id;
+  u64 cycle;
+};
+
+/// Aggregate run statistics.
+struct RunStats {
+  u64 cycles = 0;
+  u64 instructions = 0;
+  u64 scalar_instructions = 0;
+  u64 vector_instructions = 0;
+  u64 vector_cycles = 0;  ///< cycles attributed to vector instructions
+  std::map<std::string, u64> opcode_counts;  ///< mnemonic -> executions
+  std::map<std::string, u64> opcode_cycles;  ///< mnemonic -> cycles spent
+
+  /// Top-n opcodes by attributed cycles, formatted one per line.
+  [[nodiscard]] std::string cycle_profile(usize top_n = 10) const;
+
+  /// Comma-separated per-opcode table (mnemonic,count,cycles) for offline
+  /// analysis.
+  [[nodiscard]] std::string to_csv() const;
+};
+
+class SimdProcessor {
+ public:
+  explicit SimdProcessor(const ProcessorConfig& cfg);
+
+  // --- program loading ---
+  /// Load an assembled program: text into instruction memory, data section
+  /// into data memory at its base, pc to text_base.
+  void load_program(const assembler::Program& program);
+
+  /// Replace only instruction memory (raw words at address 0).
+  void load_text(std::span<const u32> words, u32 base = 0);
+
+  // --- state access ---
+  [[nodiscard]] Memory& dmem() noexcept { return dmem_; }
+  [[nodiscard]] const Memory& dmem() const noexcept { return dmem_; }
+  [[nodiscard]] ScalarCore& scalar() noexcept { return scalar_; }
+  [[nodiscard]] const ScalarCore& scalar() const noexcept { return scalar_; }
+  [[nodiscard]] VectorUnit& vector() noexcept { return vector_; }
+  [[nodiscard]] const VectorUnit& vector() const noexcept { return vector_; }
+  [[nodiscard]] const ProcessorConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] u64 cycles() const noexcept { return cycles_; }
+  [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<Marker>& markers() const noexcept {
+    return markers_;
+  }
+
+  /// Cycle distance between the first marker with id `from` and the first
+  /// with id `to`. Throws SimError if either is missing.
+  [[nodiscard]] u64 cycles_between(u32 from, u32 to) const;
+
+  /// Cycle deltas between consecutive markers of the same id (for per-round
+  /// measurements: mark once per loop iteration).
+  [[nodiscard]] std::vector<u64> marker_deltas(u32 id) const;
+
+  // --- execution ---
+  /// Run until ebreak/ecall. Returns the total cycle count of the run.
+  u64 run();
+
+  /// Execute a single instruction; returns false once halted.
+  bool step();
+
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+
+  /// Reset cycles, stats, markers, pc and scalar registers (memories and
+  /// the vector register file are preserved so state can be staged).
+  void reset_run_state();
+
+  /// Optional per-instruction trace hook (pc, decoded instruction).
+  using TraceHook = std::function<void(u32 pc, const isa::Instruction&)>;
+  void set_trace(TraceHook hook) { trace_ = std::move(hook); }
+
+ private:
+  const isa::Instruction& fetch(u32 pc);
+
+  ProcessorConfig cfg_;
+  Memory dmem_;
+  ScalarCore scalar_;
+  VectorUnit vector_;
+  std::vector<isa::Instruction> itext_;  ///< predecoded instruction memory
+  u32 text_base_ = 0;
+  u64 cycles_ = 0;
+  u64 vpu_busy_until_ = 0;  ///< decoupled-VPU mode: when the VPU drains
+  bool halted_ = false;
+  RunStats stats_;
+  std::vector<Marker> markers_;
+  TraceHook trace_;
+};
+
+}  // namespace kvx::sim

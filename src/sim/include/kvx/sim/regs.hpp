@@ -1,0 +1,28 @@
+// Scalar register file (x0..x31) shared between the scalar core and the
+// vector unit (vector-scalar operands, base addresses, vsetvli).
+#pragma once
+
+#include <array>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::sim {
+
+/// RV32 integer register file; x0 reads as zero and ignores writes.
+class ScalarRegs {
+ public:
+  [[nodiscard]] u32 read(unsigned r) const noexcept {
+    return r == 0 ? 0u : regs_[r & 31u];
+  }
+
+  void write(unsigned r, u32 value) noexcept {
+    if ((r & 31u) != 0) regs_[r & 31u] = value;
+  }
+
+  void clear() noexcept { regs_.fill(0); }
+
+ private:
+  std::array<u32, 32> regs_{};
+};
+
+}  // namespace kvx::sim

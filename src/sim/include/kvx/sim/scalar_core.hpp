@@ -1,0 +1,63 @@
+// The scalar core of the SIMD processor: an Ibex-like RV32IM machine.
+//
+// Executes the full RV32I base plus the M extension with the cycle costs of
+// a 2-stage in-order pipeline (see CycleModel). Vector instructions are not
+// handled here — the processor routes them to the VectorUnit, mirroring the
+// Ibex → VecISAInterface hand-off in the paper's Figure 3.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "kvx/isa/instruction.hpp"
+#include "kvx/sim/cycle_model.hpp"
+#include "kvx/sim/memory.hpp"
+#include "kvx/sim/regs.hpp"
+
+namespace kvx::sim {
+
+/// Custom CSR addresses understood by the simulator.
+namespace csr {
+inline constexpr u32 kCycle = 0xC00;    ///< cycle counter, low 32 bits (RO)
+inline constexpr u32 kCycleH = 0xC80;   ///< cycle counter, high 32 bits (RO)
+inline constexpr u32 kInstret = 0xC02;  ///< retired instructions, low (RO)
+inline constexpr u32 kMarker = 0x7C0;   ///< write: record a cycle marker
+inline constexpr u32 kSn = 0x7C1;       ///< write: set the SN state count
+}  // namespace csr
+
+/// Result of executing one scalar instruction.
+struct ScalarResult {
+  u32 cycles = 1;
+  bool halted = false;       ///< ebreak/ecall reached
+  bool csr_marker = false;   ///< wrote csr::kMarker
+  u32 marker_value = 0;
+  bool csr_sn = false;       ///< wrote csr::kSn
+  u32 sn_value = 0;
+};
+
+/// Scalar RV32IM execution engine. Owns the integer register file and pc;
+/// the cycle/instret counters live in the processor and are injected for
+/// CSR reads.
+class ScalarCore {
+ public:
+  ScalarCore() = default;
+
+  [[nodiscard]] ScalarRegs& regs() noexcept { return regs_; }
+  [[nodiscard]] const ScalarRegs& regs() const noexcept { return regs_; }
+
+  [[nodiscard]] u32 pc() const noexcept { return pc_; }
+  void set_pc(u32 pc) noexcept { pc_ = pc; }
+
+  void reset() noexcept;
+
+  /// Execute one decoded scalar instruction at the current pc, updating pc
+  /// and registers. `cycle_count`/`instret` feed CSR reads.
+  ScalarResult execute(const isa::Instruction& inst, Memory& mem,
+                       const CycleModel& cm, u64 cycle_count, u64 instret);
+
+ private:
+  ScalarRegs regs_;
+  u32 pc_ = 0;
+};
+
+}  // namespace kvx::sim

@@ -1,0 +1,176 @@
+#include "kvx/sim/processor.hpp"
+
+#include <algorithm>
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/strings.hpp"
+#include "kvx/isa/encoding.hpp"
+
+namespace kvx::sim {
+
+SimdProcessor::SimdProcessor(const ProcessorConfig& cfg)
+    : cfg_(cfg), dmem_(cfg.dmem_bytes), vector_(cfg.vector) {}
+
+void SimdProcessor::load_program(const assembler::Program& program) {
+  load_text(program.text, program.text_base);
+  if (!program.data.empty()) {
+    dmem_.write_block(program.data_base, program.data);
+  }
+}
+
+void SimdProcessor::load_text(std::span<const u32> words, u32 base) {
+  KVX_CHECK_MSG(base % 4 == 0, "text base must be word aligned");
+  text_base_ = base;
+  itext_.clear();
+  itext_.reserve(words.size());
+  for (u32 w : words) itext_.push_back(isa::decode(w));
+  scalar_.set_pc(base);
+  halted_ = false;
+}
+
+const isa::Instruction& SimdProcessor::fetch(u32 pc) {
+  if (pc < text_base_ || pc % 4 != 0) {
+    throw SimError(strfmt("bad fetch address 0x%08x", pc));
+  }
+  const usize idx = (pc - text_base_) / 4;
+  if (idx >= itext_.size()) {
+    throw SimError(strfmt("fetch past end of program at 0x%08x", pc));
+  }
+  return itext_[idx];
+}
+
+bool SimdProcessor::step() {
+  if (halted_) return false;
+  const u32 pc = scalar_.pc();
+  const isa::Instruction& inst = fetch(pc);
+  if (trace_) trace_(pc, inst);
+
+  u32 cost;
+  if (isa::is_vector(inst.op)) {
+    // The scalar core decodes the instruction and forwards it to the vector
+    // processing unit (VecISAInterface); the cost model charges the vector
+    // unit's latency.
+    cost = vector_.execute(inst, scalar_.regs(), dmem_, cfg_.cycle_model);
+    scalar_.set_pc(pc + 4);
+    ++stats_.vector_instructions;
+    if (cfg_.cycle_model.decoupled_vpu) {
+      // Dispatch costs the scalar core one cycle; the VPU occupies `cost`
+      // cycles starting when it is free.
+      const u64 issue = std::max(cycles_, vpu_busy_until_);
+      vpu_busy_until_ = issue + cost;
+      cycles_ = issue + 1;
+      ++stats_.instructions;
+      const std::string mnem(isa::mnemonic(inst.op));
+      ++stats_.opcode_counts[mnem];
+      stats_.opcode_cycles[mnem] += cost;
+      stats_.vector_cycles += cost;
+      stats_.cycles = cycles_;
+      if (cycles_ > cfg_.max_cycles) {
+        throw SimError(strfmt("watchdog: exceeded %llu cycles",
+                              static_cast<unsigned long long>(cfg_.max_cycles)));
+      }
+      return true;
+    }
+  } else {
+    const ScalarResult r = scalar_.execute(inst, dmem_, cfg_.cycle_model,
+                                           cycles_, stats_.instructions);
+    cost = r.cycles;
+    ++stats_.scalar_instructions;
+    if (r.csr_marker) {
+      // Markers are simulation-only probes (the RTL-testbench analogue);
+      // they must not perturb the measured region, so they cost 0 cycles.
+      // In decoupled mode a marker observes full completion (VPU drained).
+      cost = 0;
+      markers_.push_back({r.marker_value, std::max(cycles_, vpu_busy_until_)});
+    }
+    if (r.csr_sn) vector_.set_sn(r.sn_value);
+    if (r.halted) {
+      halted_ = true;
+      cycles_ = std::max(cycles_, vpu_busy_until_);  // drain the VPU
+    }
+  }
+
+  cycles_ += cost;
+  ++stats_.instructions;
+  const std::string mnem(isa::mnemonic(inst.op));
+  ++stats_.opcode_counts[mnem];
+  stats_.opcode_cycles[mnem] += cost;
+  if (isa::is_vector(inst.op)) stats_.vector_cycles += cost;
+  stats_.cycles = cycles_;
+
+  if (cycles_ > cfg_.max_cycles) {
+    throw SimError(strfmt("watchdog: exceeded %llu cycles",
+                          static_cast<unsigned long long>(cfg_.max_cycles)));
+  }
+  return !halted_;
+}
+
+u64 SimdProcessor::run() {
+  while (step()) {
+  }
+  return cycles_;
+}
+
+void SimdProcessor::reset_run_state() {
+  cycles_ = 0;
+  vpu_busy_until_ = 0;
+  halted_ = false;
+  stats_ = RunStats{};
+  markers_.clear();
+  scalar_.reset();
+  scalar_.set_pc(text_base_);
+}
+
+u64 SimdProcessor::cycles_between(u32 from, u32 to) const {
+  std::optional<u64> a, b;
+  for (const Marker& m : markers_) {
+    if (!a && m.id == from) a = m.cycle;
+    else if (a && !b && m.id == to) b = m.cycle;
+  }
+  if (!a || !b) throw SimError("marker pair not found");
+  return *b - *a;
+}
+
+std::vector<u64> SimdProcessor::marker_deltas(u32 id) const {
+  std::vector<u64> cycles;
+  for (const Marker& m : markers_) {
+    if (m.id == id) cycles.push_back(m.cycle);
+  }
+  std::vector<u64> deltas;
+  for (usize i = 1; i < cycles.size(); ++i) {
+    deltas.push_back(cycles[i] - cycles[i - 1]);
+  }
+  return deltas;
+}
+
+std::string RunStats::cycle_profile(usize top_n) const {
+  std::vector<std::pair<std::string, u64>> rows(opcode_cycles.begin(),
+                                                opcode_cycles.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (rows.size() > top_n) rows.resize(top_n);
+  std::string out;
+  for (const auto& [mnem, cyc] : rows) {
+    out += strfmt("%-18s %10llu cycles  (%llu executions, %.1f%%)\n",
+                  mnem.c_str(), static_cast<unsigned long long>(cyc),
+                  static_cast<unsigned long long>(opcode_counts.at(mnem)),
+                  cycles ? 100.0 * static_cast<double>(cyc) /
+                               static_cast<double>(cycles)
+                         : 0.0);
+  }
+  return out;
+}
+
+std::string RunStats::to_csv() const {
+  std::string out = "mnemonic,count,cycles\n";
+  for (const auto& [mnem, count] : opcode_counts) {
+    const auto it = opcode_cycles.find(mnem);
+    out += strfmt("%s,%llu,%llu\n", mnem.c_str(),
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(
+                      it == opcode_cycles.end() ? 0 : it->second));
+  }
+  return out;
+}
+
+}  // namespace kvx::sim

@@ -1,0 +1,294 @@
+#include "kvx/sim/scalar_core.hpp"
+
+#include <limits>
+
+#include "kvx/common/bits.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/common/strings.hpp"
+
+namespace kvx::sim {
+
+using isa::Instruction;
+using isa::Opcode;
+
+void ScalarCore::reset() noexcept {
+  regs_.clear();
+  pc_ = 0;
+}
+
+ScalarResult ScalarCore::execute(const Instruction& inst, Memory& mem,
+                                 const CycleModel& cm, u64 cycle_count,
+                                 u64 instret) {
+  ScalarResult res;
+  const u32 rs1 = regs_.read(inst.rs1);
+  const u32 rs2 = regs_.read(inst.rs2);
+  const auto imm = static_cast<u32>(inst.imm);
+  u32 next_pc = pc_ + 4;
+  res.cycles = cm.alu;
+
+  switch (inst.op) {
+    // ---- upper immediates / jumps ----
+    case Opcode::kLui:
+      regs_.write(inst.rd, static_cast<u32>(inst.imm) << 12);
+      break;
+    case Opcode::kAuipc:
+      regs_.write(inst.rd, pc_ + (static_cast<u32>(inst.imm) << 12));
+      break;
+    case Opcode::kJal:
+      regs_.write(inst.rd, pc_ + 4);
+      next_pc = pc_ + imm;
+      res.cycles = cm.jump;
+      break;
+    case Opcode::kJalr:
+      regs_.write(inst.rd, pc_ + 4);
+      next_pc = (rs1 + imm) & ~1u;
+      res.cycles = cm.jump;
+      break;
+
+    // ---- branches ----
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: {
+      bool taken = false;
+      switch (inst.op) {
+        case Opcode::kBeq: taken = rs1 == rs2; break;
+        case Opcode::kBne: taken = rs1 != rs2; break;
+        case Opcode::kBlt:
+          taken = static_cast<i32>(rs1) < static_cast<i32>(rs2);
+          break;
+        case Opcode::kBge:
+          taken = static_cast<i32>(rs1) >= static_cast<i32>(rs2);
+          break;
+        case Opcode::kBltu: taken = rs1 < rs2; break;
+        case Opcode::kBgeu: taken = rs1 >= rs2; break;
+        default: break;
+      }
+      if (taken) next_pc = pc_ + imm;
+      res.cycles = taken ? cm.branch_taken : cm.branch_not_taken;
+      break;
+    }
+
+    // ---- loads/stores ----
+    case Opcode::kLb:
+      regs_.write(inst.rd,
+                  static_cast<u32>(static_cast<i32>(
+                      static_cast<i8>(mem.read8(rs1 + imm)))));
+      res.cycles = cm.load;
+      break;
+    case Opcode::kLh:
+      regs_.write(inst.rd,
+                  static_cast<u32>(static_cast<i32>(
+                      static_cast<i16>(mem.read16(rs1 + imm)))));
+      res.cycles = cm.load;
+      break;
+    case Opcode::kLw:
+      regs_.write(inst.rd, mem.read32(rs1 + imm));
+      res.cycles = cm.load;
+      break;
+    case Opcode::kLbu:
+      regs_.write(inst.rd, mem.read8(rs1 + imm));
+      res.cycles = cm.load;
+      break;
+    case Opcode::kLhu:
+      regs_.write(inst.rd, mem.read16(rs1 + imm));
+      res.cycles = cm.load;
+      break;
+    case Opcode::kSb:
+      mem.write8(rs1 + imm, static_cast<u8>(rs2));
+      res.cycles = cm.store;
+      break;
+    case Opcode::kSh:
+      mem.write16(rs1 + imm, static_cast<u16>(rs2));
+      res.cycles = cm.store;
+      break;
+    case Opcode::kSw:
+      mem.write32(rs1 + imm, rs2);
+      res.cycles = cm.store;
+      break;
+
+    // ---- ALU immediates ----
+    case Opcode::kAddi: regs_.write(inst.rd, rs1 + imm); break;
+    case Opcode::kSlti:
+      regs_.write(inst.rd,
+                  static_cast<i32>(rs1) < inst.imm ? 1u : 0u);
+      break;
+    case Opcode::kSltiu: regs_.write(inst.rd, rs1 < imm ? 1u : 0u); break;
+    case Opcode::kXori: regs_.write(inst.rd, rs1 ^ imm); break;
+    case Opcode::kOri: regs_.write(inst.rd, rs1 | imm); break;
+    case Opcode::kAndi: regs_.write(inst.rd, rs1 & imm); break;
+    case Opcode::kSlli: regs_.write(inst.rd, rs1 << (imm & 31u)); break;
+    case Opcode::kSrli: regs_.write(inst.rd, rs1 >> (imm & 31u)); break;
+    case Opcode::kSrai:
+      regs_.write(inst.rd,
+                  static_cast<u32>(static_cast<i32>(rs1) >>
+                                   static_cast<i32>(imm & 31u)));
+      break;
+
+    // ---- ALU register-register ----
+    case Opcode::kAdd: regs_.write(inst.rd, rs1 + rs2); break;
+    case Opcode::kSub: regs_.write(inst.rd, rs1 - rs2); break;
+    case Opcode::kSll: regs_.write(inst.rd, rs1 << (rs2 & 31u)); break;
+    case Opcode::kSlt:
+      regs_.write(inst.rd,
+                  static_cast<i32>(rs1) < static_cast<i32>(rs2) ? 1u : 0u);
+      break;
+    case Opcode::kSltu: regs_.write(inst.rd, rs1 < rs2 ? 1u : 0u); break;
+    case Opcode::kXor: regs_.write(inst.rd, rs1 ^ rs2); break;
+    case Opcode::kSrl: regs_.write(inst.rd, rs1 >> (rs2 & 31u)); break;
+    case Opcode::kSra:
+      regs_.write(inst.rd,
+                  static_cast<u32>(static_cast<i32>(rs1) >>
+                                   static_cast<i32>(rs2 & 31u)));
+      break;
+    case Opcode::kOr: regs_.write(inst.rd, rs1 | rs2); break;
+    case Opcode::kAnd: regs_.write(inst.rd, rs1 & rs2); break;
+
+    // ---- Zbb subset ----
+    case Opcode::kRol:
+      regs_.write(inst.rd, rotl32(rs1, rs2 & 31u));
+      break;
+    case Opcode::kRor:
+      regs_.write(inst.rd, rotr32(rs1, rs2 & 31u));
+      break;
+    case Opcode::kRori:
+      regs_.write(inst.rd, rotr32(rs1, imm & 31u));
+      break;
+    case Opcode::kAndn:
+      regs_.write(inst.rd, rs1 & ~rs2);
+      break;
+    case Opcode::kOrn:
+      regs_.write(inst.rd, rs1 | ~rs2);
+      break;
+    case Opcode::kXnor:
+      regs_.write(inst.rd, ~(rs1 ^ rs2));
+      break;
+
+    // ---- M extension ----
+    case Opcode::kMul:
+      regs_.write(inst.rd, rs1 * rs2);
+      res.cycles = cm.mul;
+      break;
+    case Opcode::kMulh:
+      regs_.write(inst.rd,
+                  static_cast<u32>((static_cast<i64>(static_cast<i32>(rs1)) *
+                                    static_cast<i64>(static_cast<i32>(rs2))) >>
+                                   32));
+      res.cycles = cm.mul;
+      break;
+    case Opcode::kMulhsu:
+      regs_.write(inst.rd,
+                  static_cast<u32>((static_cast<i64>(static_cast<i32>(rs1)) *
+                                    static_cast<i64>(rs2)) >>
+                                   32));
+      res.cycles = cm.mul;
+      break;
+    case Opcode::kMulhu:
+      regs_.write(inst.rd, static_cast<u32>(
+                               (static_cast<u64>(rs1) * rs2) >> 32));
+      res.cycles = cm.mul;
+      break;
+    case Opcode::kDiv: {
+      const auto a = static_cast<i32>(rs1);
+      const auto b = static_cast<i32>(rs2);
+      i32 q;
+      if (b == 0) {
+        q = -1;
+      } else if (a == std::numeric_limits<i32>::min() && b == -1) {
+        q = a;
+      } else {
+        q = a / b;
+      }
+      regs_.write(inst.rd, static_cast<u32>(q));
+      res.cycles = cm.div;
+      break;
+    }
+    case Opcode::kDivu:
+      regs_.write(inst.rd, rs2 == 0 ? ~0u : rs1 / rs2);
+      res.cycles = cm.div;
+      break;
+    case Opcode::kRem: {
+      const auto a = static_cast<i32>(rs1);
+      const auto b = static_cast<i32>(rs2);
+      i32 r;
+      if (b == 0) {
+        r = a;
+      } else if (a == std::numeric_limits<i32>::min() && b == -1) {
+        r = 0;
+      } else {
+        r = a % b;
+      }
+      regs_.write(inst.rd, static_cast<u32>(r));
+      res.cycles = cm.div;
+      break;
+    }
+    case Opcode::kRemu:
+      regs_.write(inst.rd, rs2 == 0 ? rs1 : rs1 % rs2);
+      res.cycles = cm.div;
+      break;
+
+    // ---- system ----
+    case Opcode::kFence:
+      break;
+    case Opcode::kEcall:
+    case Opcode::kEbreak:
+      res.halted = true;
+      res.cycles = cm.system;
+      break;
+
+    // ---- CSRs ----
+    case Opcode::kCsrrw:
+    case Opcode::kCsrrs:
+    case Opcode::kCsrrc:
+    case Opcode::kCsrrwi:
+    case Opcode::kCsrrsi:
+    case Opcode::kCsrrci: {
+      const auto addr = static_cast<u32>(inst.imm);
+      const bool is_imm = inst.op == Opcode::kCsrrwi ||
+                          inst.op == Opcode::kCsrrsi ||
+                          inst.op == Opcode::kCsrrci;
+      const u32 operand = is_imm ? inst.rs1 : rs1;
+      // Read side.
+      u32 old = 0;
+      switch (addr) {
+        case csr::kCycle: old = static_cast<u32>(cycle_count); break;
+        case csr::kCycleH: old = static_cast<u32>(cycle_count >> 32); break;
+        case csr::kInstret: old = static_cast<u32>(instret); break;
+        default: break;  // custom CSRs read as zero
+      }
+      regs_.write(inst.rd, old);
+      // Write side (only the custom CSRs are writable).
+      const bool writes =
+          inst.op == Opcode::kCsrrw || inst.op == Opcode::kCsrrwi ||
+          ((inst.op == Opcode::kCsrrs || inst.op == Opcode::kCsrrsi ||
+            inst.op == Opcode::kCsrrc || inst.op == Opcode::kCsrrci) &&
+           operand != 0);
+      if (writes) {
+        if (addr == csr::kMarker) {
+          res.csr_marker = true;
+          res.marker_value = operand;
+        } else if (addr == csr::kSn) {
+          res.csr_sn = true;
+          res.sn_value = operand;
+        } else if (addr == csr::kCycle || addr == csr::kCycleH ||
+                   addr == csr::kInstret) {
+          throw SimError(strfmt("write to read-only CSR 0x%03x", addr));
+        }
+        // Other CSR writes are accepted and ignored.
+      }
+      res.cycles = cm.csr;
+      break;
+    }
+
+    default:
+      throw SimError(std::string("scalar core cannot execute ") +
+                     std::string(isa::mnemonic(inst.op)));
+  }
+
+  pc_ = next_pc;
+  return res;
+}
+
+}  // namespace kvx::sim

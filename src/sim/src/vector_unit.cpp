@@ -1,0 +1,729 @@
+#include "kvx/sim/vector_unit.hpp"
+
+#include <cstring>
+
+#include "kvx/common/bits.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/common/strings.hpp"
+#include "kvx/keccak/permutation.hpp"
+
+namespace kvx::sim {
+
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+using isa::VMop;
+using isa::VOperands;
+
+namespace {
+
+/// Truncate a value to `sew` bits.
+u64 truncate(u64 v, unsigned sew) {
+  return sew >= 64 ? v : (v & ((u64{1} << sew) - 1));
+}
+
+/// Sign-extend a 32-bit scalar operand to the element width (RVV .vx rule;
+/// the paper §3: "adjust the length of the scalar integer register").
+u64 scalar_operand(u32 x, unsigned sew) {
+  const u64 extended = static_cast<u64>(static_cast<i64>(static_cast<i32>(x)));
+  return truncate(extended, sew);
+}
+
+/// Reinterpret a sew-bit value as signed (for vmin/vmax/vmslt).
+i64 as_signed(u64 v, unsigned sew) {
+  if (sew >= 64) return static_cast<i64>(v);
+  const u64 sign = u64{1} << (sew - 1);
+  return static_cast<i64>((v ^ sign)) - static_cast<i64>(sign);
+}
+
+bool is_mask_compare(Opcode op) {
+  switch (op) {
+    case Opcode::kVmseqVV:
+    case Opcode::kVmseqVX:
+    case Opcode::kVmseqVI:
+    case Opcode::kVmsneVV:
+    case Opcode::kVmsneVX:
+    case Opcode::kVmsneVI:
+    case Opcode::kVmsltuVV:
+    case Opcode::kVmsltuVX:
+    case Opcode::kVmsltVV:
+    case Opcode::kVmsltVX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_reduction(Opcode op) {
+  switch (op) {
+    case Opcode::kVredsumVS:
+    case Opcode::kVredandVS:
+    case Opcode::kVredorVS:
+    case Opcode::kVredxorVS:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_merge(Opcode op) {
+  switch (op) {
+    case Opcode::kVmergeVVM:
+    case Opcode::kVmergeVXM:
+    case Opcode::kVmergeVIM:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+VectorUnit::VectorUnit(const VectorConfig& cfg) : cfg_(cfg) {
+  KVX_CHECK_MSG(cfg_.elen_bits == 32 || cfg_.elen_bits == 64,
+                "ELEN must be 32 or 64");
+  KVX_CHECK_MSG(cfg_.ele_num >= 1 && cfg_.ele_num <= 1024, "EleNum out of range");
+  KVX_CHECK_MSG(5 * cfg_.effective_sn() <= cfg_.ele_num,
+                "5*SN must not exceed EleNum");
+  reg_bytes_ = static_cast<usize>(cfg_.vlen_bits()) / 8;
+  file_.assign(32 * reg_bytes_, 0);
+  vtype_.sew = cfg_.elen_bits;
+  vtype_.lmul = 1;
+  vl_ = cfg_.ele_num;
+}
+
+usize VectorUnit::vlmax(const isa::VType& vt) const noexcept {
+  return static_cast<usize>(vt.lmul) * cfg_.vlen_bits() / vt.sew;
+}
+
+void VectorUnit::set_sn(unsigned sn) {
+  if (sn == 0 || 5 * sn > cfg_.ele_num) {
+    throw SimError(strfmt("SN=%u invalid for EleNum=%u", sn, cfg_.ele_num));
+  }
+  cfg_.sn = sn;
+}
+
+usize VectorUnit::elems_per_row(unsigned sew_bits) const noexcept {
+  return cfg_.vlen_bits() / sew_bits;
+}
+
+u64 VectorUnit::get_element(unsigned vreg, usize idx, unsigned sew_bits) const {
+  KVX_CHECK(vreg < 32);
+  const usize byte = idx * sew_bits / 8;
+  KVX_CHECK_MSG(byte + sew_bits / 8 <= reg_bytes_, "element index out of register");
+  u64 v = 0;
+  std::memcpy(&v, file_.data() + vreg * reg_bytes_ + byte, sew_bits / 8);
+  return v;
+}
+
+void VectorUnit::set_element(unsigned vreg, usize idx, unsigned sew_bits, u64 value) {
+  KVX_CHECK(vreg < 32);
+  const usize byte = idx * sew_bits / 8;
+  KVX_CHECK_MSG(byte + sew_bits / 8 <= reg_bytes_, "element index out of register");
+  value = truncate(value, sew_bits);
+  std::memcpy(file_.data() + vreg * reg_bytes_ + byte, &value, sew_bits / 8);
+}
+
+std::vector<u8> VectorUnit::get_register(unsigned vreg) const {
+  KVX_CHECK(vreg < 32);
+  const auto* p = file_.data() + vreg * reg_bytes_;
+  return std::vector<u8>(p, p + reg_bytes_);
+}
+
+void VectorUnit::set_register(unsigned vreg, std::span<const u8> bytes) {
+  KVX_CHECK(vreg < 32);
+  KVX_CHECK_MSG(bytes.size() == reg_bytes_, "register byte size mismatch");
+  std::memcpy(file_.data() + vreg * reg_bytes_, bytes.data(), reg_bytes_);
+}
+
+void VectorUnit::clear_registers() noexcept {
+  std::fill(file_.begin(), file_.end(), u8{0});
+}
+
+u64 VectorUnit::group_get(unsigned base, usize idx, unsigned sew) const {
+  const usize epr = elems_per_row(sew);
+  const unsigned reg = base + static_cast<unsigned>(idx / epr);
+  if (reg >= 32) throw SimError("vector register group overflows the file");
+  return get_element(reg, idx % epr, sew);
+}
+
+void VectorUnit::group_set(unsigned base, usize idx, unsigned sew, u64 value) {
+  const usize epr = elems_per_row(sew);
+  const unsigned reg = base + static_cast<unsigned>(idx / epr);
+  if (reg >= 32) throw SimError("vector register group overflows the file");
+  set_element(reg, idx % epr, sew, value);
+}
+
+bool VectorUnit::mask_bit(usize idx) const {
+  // Mask register is v0, one bit per element, LSB-first.
+  const usize byte = idx / 8;
+  KVX_CHECK_MSG(byte < reg_bytes_, "mask index beyond v0");
+  return (file_[byte] >> (idx % 8)) & 1u;
+}
+
+usize VectorUnit::active_rows(unsigned sew_bits) const noexcept {
+  const usize epr = elems_per_row(sew_bits);
+  return (vl_ + epr - 1) / epr;
+}
+
+u32 VectorUnit::execute(const Instruction& inst, ScalarRegs& x, Memory& mem,
+                        const CycleModel& cm) {
+  switch (isa::info(inst.op).format) {
+    case Format::kVSetVLI:
+      return exec_vsetvli(inst, x, cm);
+    case Format::kVArith:
+      return exec_arith(inst, x, cm);
+    case Format::kVLoad:
+    case Format::kVStore:
+      return exec_memory(inst, x, mem, cm);
+    case Format::kVCustom:
+      return exec_custom(inst, x, cm);
+    default:
+      throw SimError("not a vector instruction");
+  }
+}
+
+u32 VectorUnit::exec_vsetvli(const Instruction& inst, ScalarRegs& x,
+                             const CycleModel& cm) {
+  const isa::VType vt = inst.vtype;
+  if (vt.sew > cfg_.elen_bits) {
+    throw SimError(strfmt("vsetvli SEW=%u exceeds ELEN=%u", vt.sew, cfg_.elen_bits));
+  }
+  const usize max = vlmax(vt);
+  usize avl;
+  if (inst.rs1 != 0) {
+    avl = x.read(inst.rs1);
+  } else if (inst.rd != 0) {
+    avl = max;  // rs1=x0, rd!=x0: request VLMAX
+  } else {
+    avl = vl_;  // rs1=rd=x0: keep vl, change vtype only
+  }
+  vtype_ = vt;
+  vl_ = std::min(avl, max);
+  x.write(inst.rd, static_cast<u32>(vl_));
+  return cm.vsetvli;
+}
+
+u32 VectorUnit::exec_arith(const Instruction& inst, const ScalarRegs& x,
+                           const CycleModel& cm) {
+  const unsigned sew = vtype_.sew;
+  const usize n = vl_;
+  const auto& oi = isa::info(inst.op);
+
+  // Resolve the second source operand per flavour.
+  u64 imm_operand = 0;
+  if (oi.voperands == VOperands::kVX) {
+    imm_operand = scalar_operand(x.read(inst.rs1), sew);
+  } else if (oi.voperands == VOperands::kVI) {
+    imm_operand = truncate(static_cast<u64>(static_cast<i64>(inst.imm)), sew);
+  }
+
+  // Snapshot sources so overlapping vd/vs are handled like real hardware
+  // (reads happen before the write-back of the same element index).
+  const auto src1 = [&](usize i) -> u64 {
+    return oi.voperands == VOperands::kVV ? group_get(inst.rs1, i, sew)
+                                          : imm_operand;
+  };
+  const auto src2 = [&](usize i) -> u64 { return group_get(inst.rs2, i, sew); };
+
+  // Reductions: vd[0] = op(vs1[0], active elements of vs2); tail untouched.
+  if (is_reduction(inst.op)) {
+    u64 acc = group_get(inst.rs1, 0, sew);
+    for (usize i = 0; i < n; ++i) {
+      if (!inst.vm && !mask_bit(i)) continue;
+      const u64 v = group_get(inst.rs2, i, sew);
+      switch (inst.op) {
+        case Opcode::kVredsumVS: acc += v; break;
+        case Opcode::kVredandVS: acc &= v; break;
+        case Opcode::kVredorVS: acc |= v; break;
+        case Opcode::kVredxorVS: acc ^= v; break;
+        default: break;
+      }
+    }
+    group_set(inst.rd, 0, sew, truncate(acc, sew));
+    return cm.varith(std::max<usize>(active_rows(sew), 1));
+  }
+
+  // vmerge: every element is written; v0 selects between the two sources
+  // (this is not masking-off, so it bypasses the generic skip below).
+  if (is_merge(inst.op)) {
+    for (usize i = 0; i < n; ++i) {
+      const u64 r = mask_bit(i) ? src1(i) : group_get(inst.rs2, i, sew);
+      group_set(inst.rd, i, sew, truncate(r, sew));
+    }
+    return cm.varith(std::max<usize>(active_rows(sew), 1));
+  }
+
+  // Mask-writing compares: result bit i goes into bit i of vd.
+  if (is_mask_compare(inst.op)) {
+    for (usize i = 0; i < n; ++i) {
+      if (!inst.vm && !mask_bit(i)) continue;
+      const u64 a = group_get(inst.rs2, i, sew);
+      const u64 b = src1(i);
+      bool r = false;
+      switch (inst.op) {
+        case Opcode::kVmseqVV:
+        case Opcode::kVmseqVX:
+        case Opcode::kVmseqVI: r = a == b; break;
+        case Opcode::kVmsneVV:
+        case Opcode::kVmsneVX:
+        case Opcode::kVmsneVI: r = a != b; break;
+        case Opcode::kVmsltuVV:
+        case Opcode::kVmsltuVX: r = a < b; break;
+        case Opcode::kVmsltVV:
+        case Opcode::kVmsltVX: r = as_signed(a, sew) < as_signed(b, sew); break;
+        default: break;
+      }
+      u64 byte = get_element(inst.rd, i / 8, 8);
+      const u64 bit = u64{1} << (i % 8);
+      byte = r ? (byte | bit) : (byte & ~bit);
+      set_element(inst.rd, i / 8, 8, byte);
+    }
+    return cm.varith(std::max<usize>(active_rows(sew), 1));
+  }
+
+  // vrgather reads arbitrary source elements, so snapshot the whole source.
+  std::vector<u64> gather_src;
+  if (inst.op == Opcode::kVrgatherVV) {
+    gather_src.resize(vlmax(vtype_));
+    for (usize i = 0; i < gather_src.size(); ++i) {
+      gather_src[i] = group_get(inst.rs2, i, sew);
+    }
+  }
+  std::vector<u64> slide_src;
+  if (inst.op == Opcode::kVslideupVI || inst.op == Opcode::kVslidedownVI) {
+    slide_src.resize(n);
+    for (usize i = 0; i < n; ++i) slide_src[i] = group_get(inst.rs2, i, sew);
+  }
+
+  for (usize i = 0; i < n; ++i) {
+    if (!inst.vm && !mask_bit(i)) continue;  // mask-undisturbed
+    u64 r;
+    switch (inst.op) {
+      case Opcode::kVaddVV:
+      case Opcode::kVaddVX:
+      case Opcode::kVaddVI:
+        r = src2(i) + src1(i);
+        break;
+      case Opcode::kVsubVV:
+      case Opcode::kVsubVX:
+        r = src2(i) - src1(i);
+        break;
+      case Opcode::kVandVV:
+      case Opcode::kVandVX:
+      case Opcode::kVandVI:
+        r = src2(i) & src1(i);
+        break;
+      case Opcode::kVorVV:
+      case Opcode::kVorVX:
+      case Opcode::kVorVI:
+        r = src2(i) | src1(i);
+        break;
+      case Opcode::kVxorVV:
+      case Opcode::kVxorVX:
+      case Opcode::kVxorVI:
+        r = src2(i) ^ src1(i);
+        break;
+      case Opcode::kVsllVV:
+      case Opcode::kVsllVX:
+      case Opcode::kVsllVI:
+        r = src2(i) << (src1(i) & (sew - 1));
+        break;
+      case Opcode::kVsrlVV:
+      case Opcode::kVsrlVX:
+      case Opcode::kVsrlVI:
+        r = src2(i) >> (src1(i) & (sew - 1));
+        break;
+      case Opcode::kVminuVV:
+      case Opcode::kVminuVX:
+        r = std::min(src2(i), src1(i));
+        break;
+      case Opcode::kVmaxuVV:
+      case Opcode::kVmaxuVX:
+        r = std::max(src2(i), src1(i));
+        break;
+      case Opcode::kVminVV:
+      case Opcode::kVminVX:
+        r = as_signed(src2(i), sew) < as_signed(src1(i), sew) ? src2(i)
+                                                              : src1(i);
+        break;
+      case Opcode::kVmaxVV:
+      case Opcode::kVmaxVX:
+        r = as_signed(src2(i), sew) > as_signed(src1(i), sew) ? src2(i)
+                                                              : src1(i);
+        break;
+      case Opcode::kVmvVV:
+      case Opcode::kVmvVX:
+      case Opcode::kVmvVI:
+        r = src1(i);
+        break;
+      case Opcode::kVrgatherVV: {
+        const u64 idx = group_get(inst.rs1, i, sew);
+        r = idx < gather_src.size() ? gather_src[idx] : 0;
+        break;
+      }
+      case Opcode::kVslideupVI: {
+        const auto off = static_cast<usize>(inst.imm);
+        if (i < off) continue;  // elements below the slide stay undisturbed
+        r = slide_src[i - off];
+        break;
+      }
+      case Opcode::kVslidedownVI: {
+        const auto off = static_cast<usize>(inst.imm);
+        r = (i + off < n) ? slide_src[i + off] : 0;
+        break;
+      }
+      default:
+        throw SimError(std::string("unhandled vector arithmetic op ") +
+                       std::string(isa::mnemonic(inst.op)));
+    }
+    group_set(inst.rd, i, sew, truncate(r, sew));
+  }
+  // Tail elements (>= vl) are left undisturbed ("tu", as the paper's
+  // programs request; agnostic policies may also keep values).
+  return cm.varith(std::max<usize>(active_rows(sew), 1));
+}
+
+u32 VectorUnit::exec_memory(const Instruction& inst, const ScalarRegs& x,
+                            Memory& mem, const CycleModel& cm) {
+  const auto& oi = isa::info(inst.op);
+  const bool is_load = oi.format == Format::kVLoad;
+  const auto mop = static_cast<VMop>(oi.aux);
+  const unsigned eew = isa::vmem_width_bits(inst.op);
+  KVX_CHECK(eew != 0);
+  const u32 base = x.read(inst.rs1);
+  const usize n = vl_;
+
+  // Indexed accesses move SEW-wide data with 32-bit byte-offset indices;
+  // unit-stride and strided accesses move EEW-wide data.
+  const unsigned data_width = mop == VMop::kIndexed ? vtype_.sew : eew;
+
+  for (usize i = 0; i < n; ++i) {
+    if (!inst.vm && !mask_bit(i)) continue;
+    u32 addr;
+    switch (mop) {
+      case VMop::kUnit:
+        addr = base + static_cast<u32>(i * (eew / 8));
+        break;
+      case VMop::kStrided:
+        addr = base + static_cast<u32>(i) * x.read(inst.rs2);
+        break;
+      case VMop::kIndexed:
+        addr = base + static_cast<u32>(group_get(inst.rs2, i, 32));
+        break;
+      default:
+        throw SimError("bad vector addressing mode");
+    }
+    if (is_load) {
+      group_set(inst.rd, i, data_width, mem.read_element(addr, data_width));
+    } else {
+      mem.write_element(addr, data_width,
+                        group_get(inst.rd, i, data_width));
+    }
+  }
+  const usize epr = elems_per_row(data_width);
+  const usize rows = std::max<usize>((n + epr - 1) / epr, 1);
+  return cm.vmem(rows);
+}
+
+// ---------------------------------------------------------------------------
+// Custom Keccak instructions.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Round-constant lookup for viota: full 64-bit table for ELEN=64; split
+/// lo/hi 32-bit table (RC32[2k] = lo, RC32[2k+1] = hi) for ELEN=32.
+u64 iota_constant(unsigned sew, u32 index) {
+  const auto& rc = keccak::round_constants();
+  if (sew == 64) {
+    if (index >= rc.size()) throw SimError("viota RC index out of range");
+    return rc[index];
+  }
+  if (index >= 2 * rc.size()) throw SimError("viota RC index out of range");
+  const u64 full = rc[index / 2];
+  return (index % 2 == 0) ? lo32(full) : hi32(full);
+}
+
+}  // namespace
+
+void VectorUnit::row_slide_mod5(unsigned vd, unsigned vs2, unsigned row,
+                                int offset) {
+  const unsigned sew = vtype_.sew;
+  const unsigned sn = cfg_.effective_sn();
+  const unsigned d = vd + row;
+  const unsigned s = vs2 + row;
+  if (d >= 32 || s >= 32) throw SimError("custom slide register out of range");
+  std::array<u64, 5> tmp{};
+  for (unsigned i = 0; i < sn; ++i) {
+    for (unsigned j = 0; j < 5; ++j) {
+      const unsigned src = (static_cast<unsigned>(
+                                static_cast<int>(j) + offset + 10) %
+                            5u);
+      tmp[j] = get_element(s, 5 * i + src, sew);
+    }
+    for (unsigned j = 0; j < 5; ++j) {
+      set_element(d, 5 * i + j, sew, tmp[j]);
+    }
+  }
+}
+
+void VectorUnit::row_rotup(unsigned vd, unsigned vs2, unsigned row,
+                           unsigned amount) {
+  const unsigned sew = vtype_.sew;
+  if (sew != 64) throw SimError("vrotup requires the 64-bit architecture");
+  const unsigned sn = cfg_.effective_sn();
+  const unsigned d = vd + row;
+  const unsigned s = vs2 + row;
+  if (d >= 32 || s >= 32) throw SimError("vrotup register out of range");
+  for (unsigned e = 0; e < 5 * sn; ++e) {
+    set_element(d, e, sew, rotl64(get_element(s, e, sew), amount));
+  }
+}
+
+void VectorUnit::row_rho64(unsigned vd, unsigned vs2, unsigned row,
+                           unsigned table_row) {
+  const unsigned sew = vtype_.sew;
+  if (sew != 64) throw SimError("v64rho requires the 64-bit architecture");
+  const unsigned sn = cfg_.effective_sn();
+  const unsigned d = vd + row;
+  const unsigned s = vs2 + row;
+  if (d >= 32 || s >= 32) throw SimError("v64rho register out of range");
+  const auto& offsets = keccak::rho_offsets();
+  if (table_row >= 5) throw SimError("rho table row out of range");
+  for (unsigned i = 0; i < sn; ++i) {
+    for (unsigned j = 0; j < 5; ++j) {
+      const u64 v = get_element(s, 5 * i + j, sew);
+      set_element(d, 5 * i + j, sew, rotl64(v, offsets[table_row][j]));
+    }
+  }
+}
+
+void VectorUnit::row_rho32(unsigned vd, unsigned vs2_hi, unsigned vs1_lo,
+                           unsigned row, unsigned table_row, bool high_half) {
+  const unsigned sew = vtype_.sew;
+  if (sew != 32) throw SimError("v32l/hrho requires the 32-bit architecture");
+  const unsigned sn = cfg_.effective_sn();
+  const unsigned d = vd + row;
+  const unsigned shi = vs2_hi + row;
+  const unsigned slo = vs1_lo + row;
+  if (d >= 32 || shi >= 32 || slo >= 32) {
+    throw SimError("v32rho register out of range");
+  }
+  const auto& offsets = keccak::rho_offsets();
+  if (table_row >= 5) throw SimError("rho table row out of range");
+  for (unsigned i = 0; i < sn; ++i) {
+    for (unsigned j = 0; j < 5; ++j) {
+      const unsigned e = 5 * i + j;
+      const u64 lane = concat32(static_cast<u32>(get_element(shi, e, 32)),
+                                static_cast<u32>(get_element(slo, e, 32)));
+      const u64 rot = rotl64(lane, offsets[table_row][j]);
+      set_element(d, e, 32, high_half ? hi32(rot) : lo32(rot));
+    }
+  }
+}
+
+void VectorUnit::row_rot32pair(unsigned vd, unsigned vs2_hi, unsigned vs1_lo,
+                               bool high_half) {
+  const unsigned sew = vtype_.sew;
+  if (sew != 32) throw SimError("v32l/hrotup requires the 32-bit architecture");
+  const unsigned sn = cfg_.effective_sn();
+  if (vd >= 32 || vs2_hi >= 32 || vs1_lo >= 32) {
+    throw SimError("v32rotup register out of range");
+  }
+  for (unsigned e = 0; e < 5 * sn; ++e) {
+    const u64 lane = concat32(static_cast<u32>(get_element(vs2_hi, e, 32)),
+                              static_cast<u32>(get_element(vs1_lo, e, 32)));
+    const u64 rot = rotl64(lane, 1);
+    set_element(vd, e, 32, high_half ? hi32(rot) : lo32(rot));
+  }
+}
+
+void VectorUnit::row_pi(unsigned vd, unsigned vs2_row_reg, unsigned table_row) {
+  // Column-mode write-back (paper Figure 8): source row r supplies element
+  // x' to destination register vd + 2(x'−r) mod 5 at element position
+  // 5i + r (one column per source row).
+  const unsigned sew = vtype_.sew;
+  const unsigned sn = cfg_.effective_sn();
+  if (vs2_row_reg >= 32 || vd + 4 >= 32) {
+    throw SimError("vpi register out of range");
+  }
+  if (table_row >= 5) throw SimError("vpi table row out of range");
+  for (unsigned i = 0; i < sn; ++i) {
+    std::array<u64, 5> src{};
+    for (unsigned xp = 0; xp < 5; ++xp) {
+      src[xp] = get_element(vs2_row_reg, 5 * i + xp, sew);
+    }
+    for (unsigned xp = 0; xp < 5; ++xp) {
+      const unsigned y = (2 * (xp + 5 - table_row)) % 5;
+      set_element(vd + y, 5 * i + table_row, sew, src[xp]);
+    }
+  }
+}
+
+void VectorUnit::row_iota(unsigned vd, unsigned vs2, u32 index) {
+  const unsigned sew = vtype_.sew;
+  const unsigned sn = cfg_.effective_sn();
+  if (vd >= 32 || vs2 >= 32) throw SimError("viota register out of range");
+  const u64 rc = iota_constant(sew, index);
+  for (unsigned i = 0; i < sn; ++i) {
+    for (unsigned j = 0; j < 5; ++j) {
+      u64 v = get_element(vs2, 5 * i + j, sew);
+      if (j == 0) v ^= rc;
+      set_element(vd, 5 * i + j, sew, v);
+    }
+  }
+}
+
+// --- fused-extension instructions (paper §5 future work) -------------------
+
+void VectorUnit::row_thetac(unsigned vd, unsigned vs2, unsigned row) {
+  // C[x] = B[x-1] ^ ROTL64(B[x+1], 1) — fuses vslideupm + vslidedownm +
+  // vrotup + vxor of the θ step into one instruction.
+  const unsigned sew = vtype_.sew;
+  if (sew != 64) throw SimError("vthetac requires the 64-bit architecture");
+  const unsigned sn = cfg_.effective_sn();
+  const unsigned d = vd + row;
+  const unsigned s = vs2 + row;
+  if (d >= 32 || s >= 32) throw SimError("vthetac register out of range");
+  for (unsigned i = 0; i < sn; ++i) {
+    std::array<u64, 5> b{};
+    for (unsigned j = 0; j < 5; ++j) b[j] = get_element(s, 5 * i + j, sew);
+    for (unsigned j = 0; j < 5; ++j) {
+      set_element(d, 5 * i + j, sew,
+                  b[(j + 4) % 5] ^ rotl64(b[(j + 1) % 5], 1));
+    }
+  }
+}
+
+void VectorUnit::row_rhopi(unsigned vd, unsigned vs2_row_reg,
+                           unsigned table_row) {
+  // Fused ρ∘π: rotate each lane of source row r by its ρ offset, then
+  // scatter in π column mode (source row r -> destination column r).
+  const unsigned sew = vtype_.sew;
+  if (sew != 64) throw SimError("vrhopi requires the 64-bit architecture");
+  const unsigned sn = cfg_.effective_sn();
+  if (vs2_row_reg >= 32 || vd + 4 >= 32) {
+    throw SimError("vrhopi register out of range");
+  }
+  if (table_row >= 5) throw SimError("vrhopi table row out of range");
+  const auto& offsets = keccak::rho_offsets();
+  for (unsigned i = 0; i < sn; ++i) {
+    std::array<u64, 5> src{};
+    for (unsigned xp = 0; xp < 5; ++xp) {
+      src[xp] = rotl64(get_element(vs2_row_reg, 5 * i + xp, sew),
+                       offsets[table_row][xp]);
+    }
+    for (unsigned xp = 0; xp < 5; ++xp) {
+      const unsigned y = (2 * (xp + 5 - table_row)) % 5;
+      set_element(vd + y, 5 * i + table_row, sew, src[xp]);
+    }
+  }
+}
+
+void VectorUnit::row_chi(unsigned vd, unsigned vs2, unsigned row) {
+  // Whole χ row in one instruction: H[x] = F[x] ^ (~F[x+1] & F[x+2]).
+  // Bitwise, so it works on both the 64-bit lanes and 32-bit half-lanes.
+  const unsigned sew = vtype_.sew;
+  const unsigned sn = cfg_.effective_sn();
+  const unsigned d = vd + row;
+  const unsigned s = vs2 + row;
+  if (d >= 32 || s >= 32) throw SimError("vchi register out of range");
+  for (unsigned i = 0; i < sn; ++i) {
+    std::array<u64, 5> f{};
+    for (unsigned j = 0; j < 5; ++j) f[j] = get_element(s, 5 * i + j, sew);
+    for (unsigned j = 0; j < 5; ++j) {
+      set_element(d, 5 * i + j, sew,
+                  f[j] ^ (~f[(j + 1) % 5] & f[(j + 2) % 5]));
+    }
+  }
+}
+
+u32 VectorUnit::exec_custom(const Instruction& inst, const ScalarRegs& x,
+                            const CycleModel& cm) {
+  const unsigned sew = vtype_.sew;
+  const usize rows = std::max<usize>(active_rows(sew), 1);
+
+  switch (inst.op) {
+    case Opcode::kVslidedownmVI:
+      for (usize r = 0; r < rows; ++r) {
+        row_slide_mod5(inst.rd, inst.rs2, static_cast<unsigned>(r), inst.imm);
+      }
+      return cm.varith(rows);
+    case Opcode::kVslideupmVI:
+      for (usize r = 0; r < rows; ++r) {
+        row_slide_mod5(inst.rd, inst.rs2, static_cast<unsigned>(r), -inst.imm);
+      }
+      return cm.varith(rows);
+    case Opcode::kVrotupVI:
+      for (usize r = 0; r < rows; ++r) {
+        row_rotup(inst.rd, inst.rs2, static_cast<unsigned>(r),
+                  static_cast<unsigned>(inst.imm));
+      }
+      return cm.varith(rows);
+    case Opcode::kV32lrotupVV:
+      row_rot32pair(inst.rd, inst.rs2, inst.rs1, /*high_half=*/false);
+      return cm.varith(rows);
+    case Opcode::kV32hrotupVV:
+      row_rot32pair(inst.rd, inst.rs2, inst.rs1, /*high_half=*/true);
+      return cm.varith(rows);
+    case Opcode::kV64rhoVI:
+      if (inst.imm >= 0) {
+        // Single-plane form: LMUL is expected to be 1 (paper §3.3).
+        row_rho64(inst.rd, inst.rs2, 0, static_cast<unsigned>(inst.imm));
+        return cm.varith(1);
+      }
+      // imm == -1: all five planes, row indexed by the hardware lmul_cnt.
+      for (usize r = 0; r < rows; ++r) {
+        row_rho64(inst.rd, inst.rs2, static_cast<unsigned>(r),
+                  static_cast<unsigned>(r));
+      }
+      return cm.varith(rows);
+    case Opcode::kV32lrhoVV:
+    case Opcode::kV32hrhoVV: {
+      const bool high = inst.op == Opcode::kV32hrhoVV;
+      for (usize r = 0; r < rows; ++r) {
+        row_rho32(inst.rd, inst.rs2, inst.rs1, static_cast<unsigned>(r),
+                  static_cast<unsigned>(r), high);
+      }
+      return cm.varith(rows);
+    }
+    case Opcode::kVpiVI:
+      if (inst.imm >= 0) {
+        row_pi(inst.rd, inst.rs2, static_cast<unsigned>(inst.imm));
+        return cm.vpi(1);
+      }
+      for (usize r = 0; r < rows; ++r) {
+        row_pi(inst.rd, inst.rs2 + static_cast<unsigned>(r),
+               static_cast<unsigned>(r));
+      }
+      return cm.vpi(rows);
+    case Opcode::kViotaVX:
+      row_iota(inst.rd, inst.rs2, x.read(inst.rs1));
+      return cm.varith(1);
+    case Opcode::kVthetacVV:
+      for (usize r = 0; r < rows; ++r) {
+        row_thetac(inst.rd, inst.rs2, static_cast<unsigned>(r));
+      }
+      return cm.varith(rows);
+    case Opcode::kVrhopiVI:
+      if (inst.imm >= 0) {
+        row_rhopi(inst.rd, inst.rs2, static_cast<unsigned>(inst.imm));
+        return cm.vpi(1);
+      }
+      for (usize r = 0; r < rows; ++r) {
+        row_rhopi(inst.rd, inst.rs2 + static_cast<unsigned>(r),
+                  static_cast<unsigned>(r));
+      }
+      return cm.vpi(rows);
+    case Opcode::kVchiVV:
+      for (usize r = 0; r < rows; ++r) {
+        row_chi(inst.rd, inst.rs2, static_cast<unsigned>(r));
+      }
+      return cm.varith(rows) + cm.vchi_extra;
+    default:
+      throw SimError("unhandled custom vector instruction");
+  }
+}
+
+}  // namespace kvx::sim

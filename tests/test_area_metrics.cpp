@@ -1,0 +1,133 @@
+// Tests for the calibrated FPGA area model, the performance metrics, and the
+// related-work reference constants (paper Tables 7/8 bookkeeping).
+#include <gtest/gtest.h>
+
+#include "kvx/common/error.hpp"
+#include "kvx/core/area_model.hpp"
+#include "kvx/core/metrics.hpp"
+#include "kvx/core/reference_designs.hpp"
+
+namespace kvx::core {
+namespace {
+
+TEST(AreaModel, ReproducesPaperTable7Points) {
+  EXPECT_EQ(AreaModel::simd_processor_slices(64, 5), 7323u);
+  EXPECT_EQ(AreaModel::simd_processor_slices(64, 15), 24789u);
+  EXPECT_EQ(AreaModel::simd_processor_slices(64, 30), 48180u);
+}
+
+TEST(AreaModel, ReproducesPaperTable8Points) {
+  EXPECT_EQ(AreaModel::simd_processor_slices(32, 5), 6359u);
+  EXPECT_EQ(AreaModel::simd_processor_slices(32, 15), 23408u);
+  EXPECT_EQ(AreaModel::simd_processor_slices(32, 30), 48036u);
+}
+
+TEST(AreaModel, ScalarCoreMatchesIbexRow) {
+  EXPECT_EQ(AreaModel::scalar_core_slices(), 432u);
+}
+
+TEST(AreaModel, MonotonicInEleNum) {
+  for (unsigned elen : {32u, 64u}) {
+    unsigned prev = 0;
+    for (unsigned n = 5; n <= 60; n += 5) {
+      const unsigned s = AreaModel::simd_processor_slices(elen, n);
+      EXPECT_GT(s, prev) << "elen " << elen << " n " << n;
+      prev = s;
+    }
+  }
+}
+
+TEST(AreaModel, InterpolationBetweenCalibrationPoints) {
+  const unsigned mid = AreaModel::simd_processor_slices(64, 10);
+  EXPECT_GT(mid, 7323u);
+  EXPECT_LT(mid, 24789u);
+}
+
+TEST(AreaModel, RejectsBadArguments) {
+  EXPECT_THROW((void)AreaModel::simd_processor_slices(16, 5), Error);
+  EXPECT_THROW((void)AreaModel::simd_processor_slices(64, 0), Error);
+  EXPECT_THROW((void)AreaModel::simd_processor_slices(64, 1000), Error);
+}
+
+TEST(AreaModel, BreakdownSumsToTotal) {
+  for (unsigned elen : {32u, 64u}) {
+    const auto b = AreaModel::breakdown(elen, 15);
+    const unsigned total = AreaModel::simd_processor_slices(elen, 15);
+    EXPECT_EQ(b.scalar_core + b.vector_regfile + b.lane_datapath +
+                  b.rotation_network + b.control,
+              total);
+  }
+}
+
+TEST(AreaModel, RotationShareLargerOn32Bit) {
+  // §4.2: "the 32-bit architecture uses more resources for the rotation
+  // instructions".
+  const auto b32 = AreaModel::breakdown(32, 30);
+  const auto b64 = AreaModel::breakdown(64, 30);
+  const double f32 = static_cast<double>(b32.rotation_network) /
+                     AreaModel::simd_processor_slices(32, 30);
+  const double f64 = static_cast<double>(b64.rotation_network) /
+                     AreaModel::simd_processor_slices(64, 30);
+  EXPECT_GT(f32, f64);
+}
+
+// --- metrics -------------------------------------------------------------------
+
+TEST(Metrics, CyclesPerByteMatchesPaperRows) {
+  // Table 7: 2564 cycles -> 12.8 c/b; 1892 -> 9.5; Table 8: 3620 -> 18.1.
+  EXPECT_NEAR(cycles_per_byte(2564), 12.8, 0.05);
+  EXPECT_NEAR(cycles_per_byte(1892), 9.5, 0.05);
+  EXPECT_NEAR(cycles_per_byte(3620), 18.1, 0.05);
+}
+
+TEST(Metrics, ThroughputMatchesPaperRows) {
+  // Table 7 64-bit LMUL=1: 624.02 / 1872.07 / 3744.15 (x10^-3 bits/cycle).
+  EXPECT_NEAR(throughput_e3(2564, 1), 624.02, 0.5);
+  EXPECT_NEAR(throughput_e3(2564, 3), 1872.07, 1.0);
+  EXPECT_NEAR(throughput_e3(2564, 6), 3744.15, 2.0);
+  // LMUL=8 rows: 845.67 / 2537.00 / 5073.00.
+  EXPECT_NEAR(throughput_e3(1892, 1), 845.67, 0.5);
+  EXPECT_NEAR(throughput_e3(1892, 6), 5073.0, 3.0);
+  // 32-bit rows: 441.98 / 1325.97 / 2651.93.
+  EXPECT_NEAR(throughput_e3(3620, 1), 441.98, 0.5);
+  EXPECT_NEAR(throughput_e3(3620, 3), 1325.97, 1.0);
+  EXPECT_NEAR(throughput_e3(3620, 6), 2651.93, 2.0);
+}
+
+TEST(Metrics, ThroughputAt100MHz) {
+  // 1 state / 2564 cycles at 100 MHz ~ 62.4 Mbit/s.
+  EXPECT_NEAR(throughput_bps(2564, 1, 100e6) / 1e6, 62.4, 0.1);
+}
+
+// --- reference constants ----------------------------------------------------------
+
+TEST(References, RawatRow) {
+  const auto& r = rawat_vector_ise();
+  EXPECT_EQ(r.arch_bits, 64u);
+  EXPECT_EQ(*r.cycles_per_round, 66.0);
+  EXPECT_FALSE(r.area_slices.has_value());  // simulation only
+  EXPECT_NEAR(r.throughput_e3, 1010.1, 0.01);
+}
+
+TEST(References, Table8RowsComplete) {
+  const auto refs = table8_references();
+  ASSERT_EQ(refs.size(), 5u);
+  EXPECT_EQ(refs[0].name, "LEON3 ISE");
+  EXPECT_EQ(*refs[0].area_slices, 8648u);
+  EXPECT_EQ(refs[4].name, "DASIP");
+  EXPECT_NEAR(refs[4].throughput_e3, 61.35, 0.01);
+}
+
+TEST(References, PaperSpeedupRatiosReproducible) {
+  // The §4.2 headline ratios must follow from the quoted constants and the
+  // paper's own measured throughputs.
+  const double ours32_en30 = 2651.93;  // 32-bit LMUL=8 EleNum=30
+  EXPECT_NEAR(ours32_en30 / paper_ibex_ccode().throughput_e3, 117.9, 0.5);
+  EXPECT_NEAR(ours32_en30 / table8_references()[2].throughput_e3, 45.7, 0.2);
+  EXPECT_NEAR(ours32_en30 / table8_references()[4].throughput_e3, 43.2, 0.2);
+  const double ours64_en30 = 5073.0;  // 64-bit LMUL=8 EleNum=30
+  EXPECT_NEAR(ours64_en30 / rawat_vector_ise().throughput_e3, 5.02, 0.35);
+}
+
+}  // namespace
+}  // namespace kvx::core

@@ -1,0 +1,350 @@
+// Tests for the two-pass assembler: syntax, labels, pseudo-instructions,
+// directives, error reporting, and disassembly round trips.
+#include <gtest/gtest.h>
+
+#include "kvx/asm/assembler.hpp"
+#include "kvx/asm/image_io.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/isa/disasm.hpp"
+#include "kvx/isa/encoding.hpp"
+
+namespace kvx::assembler {
+namespace {
+
+using isa::Opcode;
+
+isa::Instruction first(const std::string& src) {
+  const Program p = assemble(src);
+  EXPECT_FALSE(p.text.empty());
+  return isa::decode(p.text.at(0));
+}
+
+TEST(Assembler, BasicArithmetic) {
+  const auto inst = first("addi a0, a1, -42");
+  EXPECT_EQ(inst.op, Opcode::kAddi);
+  EXPECT_EQ(inst.rd, 10);
+  EXPECT_EQ(inst.rs1, 11);
+  EXPECT_EQ(inst.imm, -42);
+}
+
+TEST(Assembler, RTypeAndNumericRegs) {
+  const auto inst = first("xor x5, x6, x7");
+  EXPECT_EQ(inst.op, Opcode::kXor);
+  EXPECT_EQ(inst.rd, 5);
+  EXPECT_EQ(inst.rs1, 6);
+  EXPECT_EQ(inst.rs2, 7);
+}
+
+TEST(Assembler, MemoryOperands) {
+  auto inst = first("lw t0, 8(sp)");
+  EXPECT_EQ(inst.op, Opcode::kLw);
+  EXPECT_EQ(inst.imm, 8);
+  EXPECT_EQ(inst.rs1, 2);
+  inst = first("sw t0, -12(s0)");
+  EXPECT_EQ(inst.op, Opcode::kSw);
+  EXPECT_EQ(inst.imm, -12);
+}
+
+TEST(Assembler, HexAndBinaryImmediates) {
+  EXPECT_EQ(first("addi t0, zero, 0xFF").imm, 255);
+  EXPECT_EQ(first("addi t0, zero, 0b101").imm, 5);
+  EXPECT_EQ(first("addi t0, zero, -0x10").imm, -16);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(R"(
+     # full line comment
+     addi t0, t0, 1   # trailing comment
+
+     addi t1, t1, 2
+  )");
+  EXPECT_EQ(p.text.size(), 2u);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const Program p = assemble(R"(
+    li s3, 0
+loop:
+    addi s3, s3, 1
+    blt s3, s4, loop
+    ebreak
+  )");
+  // blt is the third instruction (pc=8); loop is at pc=4 -> offset -4.
+  const auto blt = isa::decode(p.text.at(2));
+  EXPECT_EQ(blt.op, Opcode::kBlt);
+  EXPECT_EQ(blt.imm, -4);
+}
+
+TEST(Assembler, ForwardReferences) {
+  const Program p = assemble(R"(
+    beq zero, zero, done
+    addi t0, t0, 1
+done:
+    ebreak
+  )");
+  const auto beq = isa::decode(p.text.at(0));
+  EXPECT_EQ(beq.imm, 8);
+}
+
+TEST(Assembler, JumpPseudo) {
+  const Program p = assemble(R"(
+start:
+    j start
+  )");
+  const auto j = isa::decode(p.text.at(0));
+  EXPECT_EQ(j.op, Opcode::kJal);
+  EXPECT_EQ(j.rd, 0);
+  EXPECT_EQ(j.imm, 0);
+}
+
+TEST(Assembler, LiSmallAndLarge) {
+  // Small immediates: single addi.
+  EXPECT_EQ(assemble("li t0, 42").text.size(), 1u);
+  // Large: lui + addi.
+  const Program p = assemble("li t0, 0x12345678");
+  EXPECT_EQ(p.text.size(), 2u);
+  EXPECT_EQ(isa::decode(p.text[0]).op, Opcode::kLui);
+  EXPECT_EQ(isa::decode(p.text[1]).op, Opcode::kAddi);
+  // Negative low part carry correction.
+  const Program q = assemble("li t1, 0x12345FFF");
+  EXPECT_EQ(isa::decode(q.text[0]).imm, 0x12346);
+  EXPECT_EQ(isa::decode(q.text[1]).imm, -1);
+}
+
+TEST(Assembler, LiExactlyLuiWhenLowZero) {
+  const Program p = assemble("li t0, 0x10000");
+  EXPECT_EQ(p.text.size(), 1u);
+  EXPECT_EQ(isa::decode(p.text[0]).op, Opcode::kLui);
+}
+
+TEST(Assembler, PseudoExpansions) {
+  EXPECT_EQ(first("nop").op, Opcode::kAddi);
+  EXPECT_EQ(first("mv a0, a1").op, Opcode::kAddi);
+  const auto not_inst = first("not a0, a1");
+  EXPECT_EQ(not_inst.op, Opcode::kXori);
+  EXPECT_EQ(not_inst.imm, -1);
+  EXPECT_EQ(first("ret").op, Opcode::kJalr);
+  EXPECT_EQ(first("beqz t0, 8").op, Opcode::kBeq);
+  EXPECT_EQ(first("bnez t0, 8").op, Opcode::kBne);
+}
+
+TEST(Assembler, CsrPseudos) {
+  auto inst = first("csrr t0, 0xC00");
+  EXPECT_EQ(inst.op, Opcode::kCsrrs);
+  EXPECT_EQ(inst.rd, 5);
+  EXPECT_EQ(inst.imm, 0xC00);
+  inst = first("csrw 0x7C0, t1");
+  EXPECT_EQ(inst.op, Opcode::kCsrrw);
+  EXPECT_EQ(inst.rs1, 6);
+  inst = first("csrwi 0x7C0, 3");
+  EXPECT_EQ(inst.op, Opcode::kCsrrwi);
+  EXPECT_EQ(inst.rs1, 3);
+}
+
+TEST(Assembler, DataSectionAndLa) {
+  const Program p = assemble(R"(
+    la a0, buffer
+    ebreak
+.data
+buffer:
+    .word 0x11223344
+    .dword 0x8877665544332211
+  )");
+  EXPECT_EQ(p.symbol("buffer"), p.data_base);
+  ASSERT_EQ(p.data.size(), 12u);
+  EXPECT_EQ(p.data[0], 0x44);
+  EXPECT_EQ(p.data[4], 0x11);
+  EXPECT_EQ(p.data[11], 0x88);
+  // la expands to lui+addi producing the absolute address.
+  const auto lui = isa::decode(p.text.at(0));
+  const auto addi = isa::decode(p.text.at(1));
+  const u32 addr = (static_cast<u32>(lui.imm) << 12) +
+                   static_cast<u32>(addi.imm);
+  EXPECT_EQ(addr, p.data_base);
+}
+
+TEST(Assembler, DataDirectives) {
+  const Program p = assemble(R"(
+.data
+a:  .byte 1, 2, 3
+    .align 2
+b:  .half 0x1234
+    .zero 6
+c:  .word 7
+  )");
+  EXPECT_EQ(p.symbol("a"), p.data_base);
+  EXPECT_EQ(p.symbol("b"), p.data_base + 4);  // aligned from 3 to 4
+  EXPECT_EQ(p.symbol("c"), p.data_base + 12);
+  EXPECT_EQ(p.data[4], 0x34);
+}
+
+TEST(Assembler, EquConstants) {
+  const Program p = assemble(R"(
+.equ SIZE, 40
+    addi t0, zero, SIZE
+  )");
+  EXPECT_EQ(isa::decode(p.text.at(0)).imm, 40);
+}
+
+TEST(Assembler, VectorInstructions) {
+  auto inst = first("vxor.vv v5, v3, v4");
+  EXPECT_EQ(inst.op, Opcode::kVxorVV);
+  EXPECT_EQ(inst.rd, 5);
+  EXPECT_EQ(inst.rs2, 3);
+  EXPECT_EQ(inst.rs1, 4);
+  inst = first("vxor.vx v10, v10, s2");
+  EXPECT_EQ(inst.op, Opcode::kVxorVX);
+  EXPECT_EQ(inst.rs1, 18);
+  inst = first("vand.vi v1, v2, 7");
+  EXPECT_EQ(inst.op, Opcode::kVandVI);
+  EXPECT_EQ(inst.imm, 7);
+}
+
+TEST(Assembler, Vsetvli) {
+  const auto inst = first("vsetvli x0, s1, e64, m8, tu, mu");
+  EXPECT_EQ(inst.op, Opcode::kVsetvli);
+  EXPECT_EQ(inst.rd, 0);
+  EXPECT_EQ(inst.rs1, 9);
+  EXPECT_EQ(inst.vtype.sew, 64u);
+  EXPECT_EQ(inst.vtype.lmul, 8u);
+  EXPECT_FALSE(inst.vtype.tail_agnostic);
+}
+
+TEST(Assembler, VectorMemory) {
+  auto inst = first("vle64.v v0, (a0)");
+  EXPECT_EQ(inst.op, Opcode::kVle64);
+  EXPECT_EQ(inst.rs1, 10);
+  inst = first("vlse32.v v1, (a1), t0");
+  EXPECT_EQ(inst.op, Opcode::kVlse32);
+  EXPECT_EQ(inst.rs2, 5);
+  inst = first("vluxei32.v v2, (a2), v30");
+  EXPECT_EQ(inst.op, Opcode::kVluxei32);
+  EXPECT_EQ(inst.rs2, 30);
+  inst = first("vsuxei32.v v2, (a2), v31");
+  EXPECT_EQ(inst.op, Opcode::kVsuxei32);
+}
+
+TEST(Assembler, MaskedVectorInstruction) {
+  const auto inst = first("vadd.vv v1, v2, v3, v0.t");
+  EXPECT_FALSE(inst.vm);
+}
+
+TEST(Assembler, CustomInstructions) {
+  auto inst = first("vslidedownm.vi v10, v5, 1");
+  EXPECT_EQ(inst.op, Opcode::kVslidedownmVI);
+  EXPECT_EQ(inst.imm, 1);
+  inst = first("v64rho.vi v0, v0, -1");
+  EXPECT_EQ(inst.op, Opcode::kV64rhoVI);
+  EXPECT_EQ(inst.imm, -1);
+  inst = first("vpi.vi v5, v2, 2");
+  EXPECT_EQ(inst.op, Opcode::kVpiVI);
+  inst = first("viota.vx v0, v0, s3");
+  EXPECT_EQ(inst.op, Opcode::kViotaVX);
+  EXPECT_EQ(inst.rs1, 19);
+  inst = first("v32lrotup.vv v8, v23, v7");
+  EXPECT_EQ(inst.op, Opcode::kV32lrotupVV);
+  EXPECT_EQ(inst.rs2, 23);
+  EXPECT_EQ(inst.rs1, 7);
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW((void)assemble("frobnicate t0, t1"), AsmError);
+  EXPECT_THROW((void)assemble("addi t0, t1"), AsmError);          // operand count
+  EXPECT_THROW((void)assemble("addi t0, t1, 99999"), AsmError);   // imm range
+  EXPECT_THROW((void)assemble("addi q7, t1, 0"), AsmError);       // bad register
+  EXPECT_THROW((void)assemble("j nowhere"), AsmError);            // undefined label
+  EXPECT_THROW((void)assemble("x: nop\nx: nop"), AsmError);       // duplicate label
+  EXPECT_THROW((void)assemble(".word 1"), AsmError);              // data in .text
+  EXPECT_THROW((void)assemble(".data\naddi t0,t0,1"), AsmError);  // text in .data
+  EXPECT_THROW((void)assemble(".bogus 3"), AsmError);             // unknown directive
+}
+
+TEST(Assembler, ErrorMessagesCarryLineNumbers) {
+  try {
+    (void)assemble("nop\nnop\nbadop t0");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Assembler, DisassemblyReassembles) {
+  // Disassembled text must reassemble to the identical word (round trip).
+  const char* lines[] = {
+      "addi a0,a1,-5",       "xor s1,s2,s3",
+      "lw t0,8(sp)",         "sw t1,-4(s0)",
+      "vxor.vv v5,v3,v4",    "vslidedownm.vi v10,v5,1",
+      "v64rho.vi v1,v1,1",   "viota.vx v0,v0,s3",
+      "vle64.v v0,(a0)",     "vsetvli x0,s1,e64,m8,tu,mu",
+  };
+  for (const char* line : lines) {
+    const Program p = assemble(line);
+    ASSERT_EQ(p.text.size(), 1u) << line;
+    const std::string dis = isa::disassemble_word(p.text[0]);
+    const Program q = assemble(dis);
+    EXPECT_EQ(q.text.at(0), p.text[0]) << line << " -> " << dis;
+  }
+}
+
+TEST(Assembler, AssembleLineHelper) {
+  EXPECT_EQ(assemble_line("addi t0, t0, 1").op, Opcode::kAddi);
+  EXPECT_THROW((void)assemble_line("nop\nnop"), AsmError);
+}
+
+TEST(Assembler, CustomBases) {
+  Options opts;
+  opts.text_base = 0x1000;
+  opts.data_base = 0x8000;
+  const Program p = assemble(R"(
+entry:
+    j entry
+.data
+d:  .word 5
+  )", opts);
+  EXPECT_EQ(p.symbol("entry"), 0x1000u);
+  EXPECT_EQ(p.symbol("d"), 0x8000u);
+}
+
+// --- image serialization (the tools' container format) ------------------------
+
+TEST(ImageIo, RoundTripPreservesEverything) {
+  const Program p = assemble(R"(
+entry:
+    li t0, 42
+    la a0, blob
+    ebreak
+.data
+blob:
+    .word 0xDEADBEEF
+    .byte 1, 2, 3
+  )");
+  const auto bytes = image_bytes(p);
+  const Program q = image_from_bytes(bytes);
+  EXPECT_EQ(q.text, p.text);
+  EXPECT_EQ(q.data, p.data);
+  EXPECT_EQ(q.symbols, p.symbols);
+  EXPECT_EQ(q.text_base, p.text_base);
+  EXPECT_EQ(q.data_base, p.data_base);
+}
+
+TEST(ImageIo, RejectsBadMagic) {
+  std::vector<u8> junk = {'N', 'O', 'P', 'E', 0, 0, 0, 0, 1, 2, 3};
+  EXPECT_THROW(image_from_bytes(junk), Error);
+}
+
+TEST(ImageIo, RejectsTruncatedImage) {
+  const Program p = assemble("nop\nebreak");
+  auto bytes = image_bytes(p);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(image_from_bytes(bytes), Error);
+}
+
+TEST(ImageIo, EmptyProgram) {
+  Program p;
+  const Program q = image_from_bytes(image_bytes(p));
+  EXPECT_TRUE(q.text.empty());
+  EXPECT_TRUE(q.data.empty());
+}
+
+}  // namespace
+}  // namespace kvx::assembler

@@ -1,0 +1,138 @@
+// Unit tests for the kvx_common utility library.
+#include <gtest/gtest.h>
+
+#include "kvx/common/bits.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/common/hex.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/common/strings.hpp"
+
+namespace kvx {
+namespace {
+
+TEST(Bits, Rotl64Basics) {
+  EXPECT_EQ(rotl64(1, 1), 2u);
+  EXPECT_EQ(rotl64(0x8000000000000000ull, 1), 1u);
+  EXPECT_EQ(rotl64(0xDEADBEEFCAFEF00Dull, 0), 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(rotl64(0xDEADBEEFCAFEF00Dull, 64), 0xDEADBEEFCAFEF00Dull);
+}
+
+TEST(Bits, RotlRotrInverse) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const u64 v = rng.next();
+    const unsigned n = static_cast<unsigned>(rng.below(64));
+    EXPECT_EQ(rotr64(rotl64(v, n), n), v);
+    EXPECT_EQ(rotl64(rotr64(v, n), n), v);
+  }
+}
+
+TEST(Bits, Rotl32Basics) {
+  EXPECT_EQ(rotl32(0x80000000u, 1), 1u);
+  EXPECT_EQ(rotr32(1u, 1), 0x80000000u);
+}
+
+TEST(Bits, ConcatSplit) {
+  const u64 v = 0x0123456789ABCDEFull;
+  EXPECT_EQ(concat32(hi32(v), lo32(v)), v);
+  EXPECT_EQ(hi32(v), 0x01234567u);
+  EXPECT_EQ(lo32(v), 0x89ABCDEFu);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFFF, 12), -1);
+  EXPECT_EQ(sign_extend(0x7FF, 12), 2047);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0x1F, 5), -1);
+  EXPECT_EQ(sign_extend(0x0F, 5), 15);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(2047, 12));
+  EXPECT_TRUE(fits_signed(-2048, 12));
+  EXPECT_FALSE(fits_signed(2048, 12));
+  EXPECT_FALSE(fits_signed(-2049, 12));
+}
+
+TEST(Bits, FitsUnsigned) {
+  EXPECT_TRUE(fits_unsigned(31, 5));
+  EXPECT_FALSE(fits_unsigned(32, 5));
+  EXPECT_TRUE(fits_unsigned(~0ull, 64));
+}
+
+TEST(Bits, LoadStoreLe64RoundTrip) {
+  std::array<u8, 8> buf{};
+  store_le64(buf, 0x1122334455667788ull);
+  EXPECT_EQ(buf[0], 0x88);
+  EXPECT_EQ(buf[7], 0x11);
+  EXPECT_EQ(load_le64(buf), 0x1122334455667788ull);
+}
+
+TEST(Bits, LoadStoreLe32RoundTrip) {
+  std::array<u8, 4> buf{};
+  store_le32(buf, 0xA1B2C3D4u);
+  EXPECT_EQ(buf[0], 0xD4);
+  EXPECT_EQ(load_le32(buf), 0xA1B2C3D4u);
+}
+
+TEST(Hex, EncodeDecode) {
+  const std::vector<u8> bytes = {0x00, 0xFF, 0x12, 0xAB};
+  EXPECT_EQ(to_hex(bytes), "00ff12ab");
+  EXPECT_EQ(from_hex("00ff12ab"), bytes);
+  EXPECT_EQ(from_hex("00FF12AB"), bytes);
+  EXPECT_EQ(from_hex("0x00ff12ab"), bytes);
+}
+
+TEST(Hex, EmptyAndErrors) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+  EXPECT_THROW((void)from_hex("abc"), Error);
+  EXPECT_THROW((void)from_hex("zz"), Error);
+}
+
+TEST(Hex, Hex64Format) {
+  EXPECT_EQ(hex64(0x1ull), "0x0000000000000001");
+  EXPECT_EQ(hex32(0xABCDu), "0x0000abcd");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t x \n"), "x");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitWs) {
+  const auto parts = split_ws("  foo\t bar baz ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "bar");
+}
+
+TEST(Strings, Strfmt) {
+  EXPECT_EQ(strfmt("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+  EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Error, CheckMacroThrows) {
+  EXPECT_THROW(KVX_CHECK(false), Error);
+  EXPECT_NO_THROW(KVX_CHECK(true));
+}
+
+}  // namespace
+}  // namespace kvx

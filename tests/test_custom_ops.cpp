@@ -1,0 +1,567 @@
+// Tests for the ten custom Keccak vector instructions, each checked against
+// the golden-model step mappings, parameterized over the number of parallel
+// Keccak states (SN).
+#include <gtest/gtest.h>
+
+#include "kvx/asm/assembler.hpp"
+#include "kvx/common/bits.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/common/strings.hpp"
+#include "kvx/keccak/permutation.hpp"
+#include "kvx/sim/processor.hpp"
+
+namespace kvx::sim {
+namespace {
+
+SimdProcessor make(unsigned elen, unsigned ele_num) {
+  ProcessorConfig cfg;
+  cfg.vector.elen_bits = elen;
+  cfg.vector.ele_num = ele_num;
+  cfg.dmem_bytes = 1 << 16;
+  return SimdProcessor(cfg);
+}
+
+void run(SimdProcessor& p, const std::string& src) {
+  p.load_program(assembler::assemble(src));
+  p.run();
+}
+
+/// Fill register `reg` with per-state lanes: element 5i+j = f(i, j).
+template <typename F>
+void fill(SimdProcessor& p, unsigned reg, unsigned sn, unsigned sew, F f) {
+  for (unsigned i = 0; i < sn; ++i) {
+    for (unsigned j = 0; j < 5; ++j) {
+      p.vector().set_element(reg, 5 * i + j, sew, f(i, j));
+    }
+  }
+}
+
+class CustomOpsTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  unsigned sn() const { return GetParam(); }
+  unsigned ele_num() const { return 5 * GetParam(); }
+};
+
+// --- vslidedownm / vslideupm -----------------------------------------------
+
+TEST_P(CustomOpsTest, SlideDownModuloFive) {
+  SimdProcessor p = make(64, ele_num());
+  fill(p, 1, sn(), 64, [](unsigned i, unsigned j) { return 100 * i + j; });
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vslidedownm.vi v2, v1, 1
+    vslidedownm.vi v3, v1, 2
+    ebreak
+  )");
+  for (unsigned i = 0; i < sn(); ++i) {
+    for (unsigned j = 0; j < 5; ++j) {
+      EXPECT_EQ(p.vector().get_element(2, 5 * i + j, 64),
+                100 * i + (j + 1) % 5);
+      EXPECT_EQ(p.vector().get_element(3, 5 * i + j, 64),
+                100 * i + (j + 2) % 5);
+    }
+  }
+}
+
+TEST_P(CustomOpsTest, SlideUpModuloFive) {
+  SimdProcessor p = make(64, ele_num());
+  fill(p, 1, sn(), 64, [](unsigned i, unsigned j) { return 100 * i + j; });
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vslideupm.vi v2, v1, 1
+    ebreak
+  )");
+  for (unsigned i = 0; i < sn(); ++i) {
+    for (unsigned j = 0; j < 5; ++j) {
+      EXPECT_EQ(p.vector().get_element(2, 5 * i + j, 64),
+                100 * i + (j + 4) % 5);
+    }
+  }
+}
+
+TEST(CustomOps, SlideLeavesNonStateElementsUnchanged) {
+  // EleNum=16 fits 3 states; element 15 must stay untouched (paper §3.3).
+  SimdProcessor p = make(64, 16);
+  for (unsigned e = 0; e < 16; ++e) p.vector().set_element(1, e, 64, e);
+  p.vector().set_element(2, 15, 64, 777);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vslidedownm.vi v2, v1, 1
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(2, 14, 64), 10u);  // state 2 wraps
+  EXPECT_EQ(p.vector().get_element(2, 15, 64), 777u); // untouched
+}
+
+// --- vrotup ------------------------------------------------------------------
+
+TEST_P(CustomOpsTest, RotupRotatesAllStateLanes) {
+  SimdProcessor p = make(64, ele_num());
+  SplitMix64 rng(1);
+  std::vector<u64> vals(5 * sn());
+  for (auto& v : vals) v = rng.next();
+  for (unsigned e = 0; e < 5 * sn(); ++e) p.vector().set_element(1, e, 64, vals[e]);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vrotup.vi v2, v1, 1
+    vrotup.vi v3, v1, 17
+    ebreak
+  )");
+  for (unsigned e = 0; e < 5 * sn(); ++e) {
+    EXPECT_EQ(p.vector().get_element(2, e, 64), rotl64(vals[e], 1));
+    EXPECT_EQ(p.vector().get_element(3, e, 64), rotl64(vals[e], 17));
+  }
+}
+
+class RotupOffsetTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RotupOffsetTest, EveryEncodableOffsetMatchesRotl64) {
+  const unsigned offset = GetParam();
+  SimdProcessor p = make(64, 5);
+  SplitMix64 rng(offset + 100);
+  std::array<u64, 5> vals{};
+  for (unsigned e = 0; e < 5; ++e) {
+    vals[e] = rng.next();
+    p.vector().set_element(1, e, 64, vals[e]);
+  }
+  run(p, strfmt(R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vrotup.vi v2, v1, %u
+    ebreak
+  )", offset));
+  for (unsigned e = 0; e < 5; ++e) {
+    EXPECT_EQ(p.vector().get_element(2, e, 64), rotl64(vals[e], offset));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOffsets, RotupOffsetTest, ::testing::Range(0u, 32u));
+
+TEST(CustomOps, RotupRequires64BitArch) {
+  SimdProcessor p = make(32, 5);
+  p.load_program(assembler::assemble(R"(
+    vsetvli x0, x0, e32, m1, tu, mu
+    vrotup.vi v2, v1, 1
+    ebreak
+  )"));
+  EXPECT_THROW(p.run(), SimError);
+}
+
+// --- v32lrotup / v32hrotup ------------------------------------------------------
+
+TEST_P(CustomOpsTest, PairedRotup32MatchesRot64) {
+  SimdProcessor p = make(32, ele_num());
+  SplitMix64 rng(2);
+  std::vector<u64> lanes(5 * sn());
+  for (auto& v : lanes) v = rng.next();
+  for (unsigned e = 0; e < 5 * sn(); ++e) {
+    p.vector().set_element(1, e, 32, lo32(lanes[e]));   // v1 = lo
+    p.vector().set_element(2, e, 32, hi32(lanes[e]));   // v2 = hi
+  }
+  run(p, R"(
+    vsetvli x0, x0, e32, m1, tu, mu
+    v32lrotup.vv v3, v2, v1
+    v32hrotup.vv v4, v2, v1
+    ebreak
+  )");
+  for (unsigned e = 0; e < 5 * sn(); ++e) {
+    const u64 rot = rotl64(lanes[e], 1);
+    EXPECT_EQ(p.vector().get_element(3, e, 32), lo32(rot));
+    EXPECT_EQ(p.vector().get_element(4, e, 32), hi32(rot));
+  }
+}
+
+// --- v64rho ----------------------------------------------------------------------
+
+TEST_P(CustomOpsTest, Rho64SingleRowForm) {
+  const auto& off = keccak::rho_offsets();
+  for (unsigned row = 0; row < 5; ++row) {
+    SimdProcessor p = make(64, ele_num());
+    SplitMix64 rng(row + 3);
+    std::vector<u64> vals(5 * sn());
+    for (auto& v : vals) v = rng.next();
+    for (unsigned e = 0; e < 5 * sn(); ++e) {
+      p.vector().set_element(1, e, 64, vals[e]);
+    }
+    run(p, strfmt(R"(
+      vsetvli x0, x0, e64, m1, tu, mu
+      v64rho.vi v2, v1, %u
+      ebreak
+    )", row));
+    for (unsigned e = 0; e < 5 * sn(); ++e) {
+      EXPECT_EQ(p.vector().get_element(2, e, 64),
+                rotl64(vals[e], off[row][e % 5]))
+          << "row " << row << " elem " << e;
+    }
+  }
+}
+
+TEST_P(CustomOpsTest, Rho64AllRowsFormMatchesGoldenRho) {
+  // imm = -1 with LMUL=8: all five planes via the hardware lmul_cnt.
+  SimdProcessor p = make(64, ele_num());
+  std::vector<keccak::State> states(sn());
+  SplitMix64 rng(17);
+  for (auto& s : states) {
+    for (u64& lane : s.flat()) lane = rng.next();
+  }
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn(); ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        p.vector().set_element(y, 5 * i + x, 64, states[i].lane(x, y));
+      }
+    }
+  }
+  run(p, strfmt(R"(
+    li s5, %u
+    vsetvli x0, s5, e64, m8, tu, mu
+    v64rho.vi v0, v0, -1
+    ebreak
+  )", 5 * ele_num()));
+  for (auto& s : states) keccak::rho(s);
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn(); ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        EXPECT_EQ(p.vector().get_element(y, 5 * i + x, 64),
+                  states[i].lane(x, y));
+      }
+    }
+  }
+}
+
+// --- v32lrho / v32hrho --------------------------------------------------------------
+
+TEST_P(CustomOpsTest, Rho32MatchesGoldenRho) {
+  SimdProcessor p = make(32, ele_num());
+  std::vector<keccak::State> states(sn());
+  SplitMix64 rng(23);
+  for (auto& s : states) {
+    for (u64& lane : s.flat()) lane = rng.next();
+  }
+  // lo halves in v0..v4, hi halves in v16..v20.
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn(); ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        p.vector().set_element(y, 5 * i + x, 32, lo32(states[i].lane(x, y)));
+        p.vector().set_element(16 + y, 5 * i + x, 32,
+                               hi32(states[i].lane(x, y)));
+      }
+    }
+  }
+  run(p, strfmt(R"(
+    li s5, %u
+    vsetvli x0, s5, e32, m8, tu, mu
+    v32lrho.vv v8, v16, v0
+    v32hrho.vv v24, v16, v0
+    ebreak
+  )", 5 * ele_num()));
+  for (auto& s : states) keccak::rho(s);
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn(); ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        EXPECT_EQ(p.vector().get_element(8 + y, 5 * i + x, 32),
+                  lo32(states[i].lane(x, y)));
+        EXPECT_EQ(p.vector().get_element(24 + y, 5 * i + x, 32),
+                  hi32(states[i].lane(x, y)));
+      }
+    }
+  }
+}
+
+// --- vpi -------------------------------------------------------------------------
+
+TEST_P(CustomOpsTest, PiAllRowsMatchesGoldenPi) {
+  SimdProcessor p = make(64, ele_num());
+  std::vector<keccak::State> states(sn());
+  SplitMix64 rng(31);
+  for (auto& s : states) {
+    for (u64& lane : s.flat()) lane = rng.next();
+  }
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn(); ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        p.vector().set_element(y, 5 * i + x, 64, states[i].lane(x, y));
+      }
+    }
+  }
+  run(p, strfmt(R"(
+    li s5, %u
+    vsetvli x0, s5, e64, m8, tu, mu
+    vpi.vi v8, v0, -1
+    ebreak
+  )", 5 * ele_num()));
+  for (auto& s : states) keccak::pi(s);
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn(); ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        EXPECT_EQ(p.vector().get_element(8 + y, 5 * i + x, 64),
+                  states[i].lane(x, y))
+            << "x=" << x << " y=" << y << " state=" << i;
+      }
+    }
+  }
+}
+
+TEST(CustomOps, PiSingleRowFormWritesOneColumn) {
+  // vpi.vi vd, vs2, r writes column r of the destination group only
+  // (Figure 8 of the paper).
+  SimdProcessor p = make(64, 5);
+  for (unsigned x = 0; x < 5; ++x) p.vector().set_element(1, x, 64, 10 + x);
+  // Pre-mark destination registers to detect unintended writes.
+  for (unsigned r = 5; r <= 9; ++r) {
+    for (unsigned e = 0; e < 5; ++e) p.vector().set_element(r, e, 64, 999);
+  }
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vpi.vi v5, v1, 0
+    ebreak
+  )");
+  // Source row 0 elements land in column 0: dest register 5 + 2x' mod 5.
+  EXPECT_EQ(p.vector().get_element(5, 0, 64), 10u);  // x'=0 -> y=0
+  EXPECT_EQ(p.vector().get_element(7, 0, 64), 11u);  // x'=1 -> y=2
+  EXPECT_EQ(p.vector().get_element(9, 0, 64), 12u);  // x'=2 -> y=4
+  EXPECT_EQ(p.vector().get_element(6, 0, 64), 13u);  // x'=3 -> y=1
+  EXPECT_EQ(p.vector().get_element(8, 0, 64), 14u);  // x'=4 -> y=3
+  // Other columns untouched.
+  for (unsigned r = 5; r <= 9; ++r) {
+    for (unsigned e = 1; e < 5; ++e) {
+      EXPECT_EQ(p.vector().get_element(r, e, 64), 999u);
+    }
+  }
+}
+
+// --- viota -----------------------------------------------------------------------
+
+TEST_P(CustomOpsTest, Iota64XorsRcIntoLane0) {
+  SimdProcessor p = make(64, ele_num());
+  fill(p, 1, sn(), 64, [](unsigned i, unsigned j) { return 1000 * i + j; });
+  run(p, R"(
+    li t0, 5
+    vsetvli x0, x0, e64, m1, tu, mu
+    viota.vx v1, v1, t0
+    ebreak
+  )");
+  const u64 rc = keccak::round_constants()[5];
+  for (unsigned i = 0; i < sn(); ++i) {
+    EXPECT_EQ(p.vector().get_element(1, 5 * i, 64), (1000ull * i) ^ rc);
+    for (unsigned j = 1; j < 5; ++j) {
+      EXPECT_EQ(p.vector().get_element(1, 5 * i + j, 64), 1000ull * i + j);
+    }
+  }
+}
+
+TEST_P(CustomOpsTest, Iota32UsesSplitRcTable) {
+  SimdProcessor p = make(32, ele_num());
+  run(p, R"(
+    li t0, 4        # lo half of RC[2]
+    li t1, 5        # hi half of RC[2]
+    vsetvli x0, x0, e32, m1, tu, mu
+    viota.vx v1, v1, t0
+    viota.vx v2, v2, t1
+    ebreak
+  )");
+  const u64 rc = keccak::round_constants()[2];
+  for (unsigned i = 0; i < sn(); ++i) {
+    EXPECT_EQ(p.vector().get_element(1, 5 * i, 32), lo32(rc));
+    EXPECT_EQ(p.vector().get_element(2, 5 * i, 32), hi32(rc));
+  }
+}
+
+TEST(CustomOps, IotaIndexOutOfRangeFaults) {
+  SimdProcessor p = make(64, 5);
+  p.load_program(assembler::assemble(R"(
+    li t0, 24
+    vsetvli x0, x0, e64, m1, tu, mu
+    viota.vx v1, v1, t0
+    ebreak
+  )"));
+  EXPECT_THROW(p.run(), SimError);
+}
+
+// --- cycle costs (paper Algorithm 2/3 annotations) ---------------------------------
+
+TEST(CustomOps, CycleCostsMatchPaper) {
+  SimdProcessor p = make(64, 5);
+  run(p, R"(
+    li s1, 5
+    li s5, 25
+    li s3, 0
+    vsetvli x0, s1, e64, m1, tu, mu
+    csrwi 0x7C0, 1
+    vslidedownm.vi v2, v1, 1
+    csrwi 0x7C0, 2
+    v64rho.vi v1, v1, 0
+    csrwi 0x7C0, 3
+    vpi.vi v5, v1, 0
+    csrwi 0x7C0, 4
+    viota.vx v1, v1, s3
+    csrwi 0x7C0, 5
+    vsetvli x0, s5, e64, m8, tu, mu
+    csrwi 0x7C0, 6
+    v64rho.vi v0, v0, -1
+    csrwi 0x7C0, 7
+    vpi.vi v8, v0, -1
+    csrwi 0x7C0, 8
+    ebreak
+  )");
+  EXPECT_EQ(p.cycles_between(1, 2), 2u);  // LMUL=1 custom slide: 2 cc
+  EXPECT_EQ(p.cycles_between(2, 3), 2u);  // v64rho single row: 2 cc
+  EXPECT_EQ(p.cycles_between(3, 4), 3u);  // vpi single row: 3 cc
+  EXPECT_EQ(p.cycles_between(4, 5), 2u);  // viota: 2 cc
+  EXPECT_EQ(p.cycles_between(6, 7), 6u);  // LMUL=8 v64rho: 6 cc
+  EXPECT_EQ(p.cycles_between(7, 8), 7u);  // LMUL=8 vpi: 7 cc
+}
+
+// --- fused-instruction extension (paper §5 future work) ----------------------
+
+TEST_P(CustomOpsTest, ThetacFusesParityCombine) {
+  SimdProcessor p = make(64, ele_num());
+  SplitMix64 rng(41);
+  std::vector<u64> b(5 * sn());
+  for (auto& v : b) v = rng.next();
+  for (unsigned e = 0; e < 5 * sn(); ++e) p.vector().set_element(1, e, 64, b[e]);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vthetac.vv v2, v1
+    ebreak
+  )");
+  for (unsigned i = 0; i < sn(); ++i) {
+    for (unsigned j = 0; j < 5; ++j) {
+      const u64 expect =
+          b[5 * i + (j + 4) % 5] ^ rotl64(b[5 * i + (j + 1) % 5], 1);
+      EXPECT_EQ(p.vector().get_element(2, 5 * i + j, 64), expect);
+    }
+  }
+}
+
+TEST_P(CustomOpsTest, RhopiEqualsRhoThenPi) {
+  SimdProcessor p = make(64, ele_num());
+  std::vector<keccak::State> states(sn());
+  SplitMix64 rng(43);
+  for (auto& s : states) {
+    for (u64& lane : s.flat()) lane = rng.next();
+  }
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn(); ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        p.vector().set_element(y, 5 * i + x, 64, states[i].lane(x, y));
+      }
+    }
+  }
+  run(p, strfmt(R"(
+    li s5, %u
+    vsetvli x0, s5, e64, m8, tu, mu
+    vrhopi.vi v8, v0, -1
+    ebreak
+  )", 5 * ele_num()));
+  for (auto& s : states) {
+    keccak::rho(s);
+    keccak::pi(s);
+  }
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn(); ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        EXPECT_EQ(p.vector().get_element(8 + y, 5 * i + x, 64),
+                  states[i].lane(x, y));
+      }
+    }
+  }
+}
+
+TEST_P(CustomOpsTest, ChiSingleInstructionMatchesGolden) {
+  SimdProcessor p = make(64, ele_num());
+  std::vector<keccak::State> states(sn());
+  SplitMix64 rng(47);
+  for (auto& s : states) {
+    for (u64& lane : s.flat()) lane = rng.next();
+  }
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn(); ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        p.vector().set_element(8 + y, 5 * i + x, 64, states[i].lane(x, y));
+      }
+    }
+  }
+  run(p, strfmt(R"(
+    li s5, %u
+    vsetvli x0, s5, e64, m8, tu, mu
+    vchi.vv v0, v8
+    ebreak
+  )", 5 * ele_num()));
+  for (auto& s : states) keccak::chi(s);
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn(); ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        EXPECT_EQ(p.vector().get_element(y, 5 * i + x, 64),
+                  states[i].lane(x, y));
+      }
+    }
+  }
+}
+
+TEST(CustomOps, Chi32BitHalvesIndependent) {
+  // chi is bitwise, so the single-instruction form works on 32-bit
+  // half-lanes exactly like on full lanes.
+  SimdProcessor p = make(32, 5);
+  keccak::State st;
+  SplitMix64 rng(53);
+  for (u64& lane : st.flat()) lane = rng.next();
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned x = 0; x < 5; ++x) {
+      p.vector().set_element(8 + y, x, 32, lo32(st.lane(x, y)));
+      p.vector().set_element(16 + y, x, 32, hi32(st.lane(x, y)));
+    }
+  }
+  run(p, R"(
+    li s5, 25
+    vsetvli x0, s5, e32, m8, tu, mu
+    vchi.vv v0, v8
+    vchi.vv v24, v16
+    ebreak
+  )");
+  keccak::chi(st);
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned x = 0; x < 5; ++x) {
+      EXPECT_EQ(p.vector().get_element(y, x, 32), lo32(st.lane(x, y)));
+      EXPECT_EQ(p.vector().get_element(24 + y, x, 32), hi32(st.lane(x, y)));
+    }
+  }
+}
+
+TEST(CustomOps, FusedCycleCosts) {
+  SimdProcessor p = make(64, 5);
+  run(p, R"(
+    li s5, 25
+    vsetvli x0, x0, e64, m1, tu, mu
+    csrwi 0x7C0, 1
+    vthetac.vv v2, v1
+    csrwi 0x7C0, 2
+    vsetvli x0, s5, e64, m8, tu, mu
+    csrwi 0x7C0, 3
+    vrhopi.vi v8, v0, -1
+    csrwi 0x7C0, 4
+    vchi.vv v0, v8
+    csrwi 0x7C0, 5
+    ebreak
+  )");
+  EXPECT_EQ(p.cycles_between(1, 2), 2u);  // vthetac at LMUL=1
+  EXPECT_EQ(p.cycles_between(3, 4), 7u);  // fused rho+pi, column write-back
+  EXPECT_EQ(p.cycles_between(4, 5), 7u);  // vchi: 6 + neighbour network
+}
+
+TEST(CustomOps, FusedOpsRequire64BitWhereDocumented) {
+  for (const char* inst : {"vthetac.vv v2, v1", "vrhopi.vi v8, v0, 0"}) {
+    SimdProcessor p = make(32, 5);
+    p.load_program(assembler::assemble(
+        std::string("vsetvli x0, x0, e32, m1, tu, mu\n") + inst +
+        "\nebreak"));
+    EXPECT_THROW(p.run(), SimError) << inst;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StateCounts, CustomOpsTest, ::testing::Values(1, 3, 6),
+                         [](const auto& info) {
+                           return "SN" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace kvx::sim

@@ -1,0 +1,527 @@
+// Differential / randomized testing.
+//
+// 1. Random Keccak step *schedules*: arbitrary sequences of step mappings
+//    (not just the canonical θρπχι order) are executed on the simulated
+//    accelerator with the custom instructions and compared against the
+//    golden-model composition — this catches accidental coupling between
+//    instructions that the fixed-order permutation tests cannot see.
+// 2. Scalar "torture" programs: random RV32IM instruction sequences run on
+//    the simulated core against an independently written expectation
+//    evaluator.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "kvx/asm/assembler.hpp"
+#include "kvx/common/bits.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/common/strings.hpp"
+#include "kvx/keccak/permutation.hpp"
+#include "kvx/sim/processor.hpp"
+
+namespace kvx {
+namespace {
+
+using keccak::State;
+
+// ---------------------------------------------------------------------------
+// 1. Random step schedules on the accelerator.
+// ---------------------------------------------------------------------------
+
+enum class Step { kTheta, kRho, kPi, kChi, kIota };
+
+/// Emit assembly applying `step` to the state in v0..v4 (EleNum elements,
+/// SEW=64), leaving the result in v0..v4 again.
+void emit_step(std::ostringstream& os, Step step, unsigned round) {
+  switch (step) {
+    case Step::kTheta:
+      os << R"(
+    vsetvli x0, s1, e64, m1, tu, mu
+    vxor.vv v5,v3,v4
+    vxor.vv v6,v1,v2
+    vxor.vv v7,v0,v6
+    vxor.vv v5,v5,v7
+    vslideupm.vi v6,v5,1
+    vslidedownm.vi v7,v5,1
+    vrotup.vi v7,v7,1
+    vxor.vv v5,v6,v7
+    vxor.vv v0,v0,v5
+    vxor.vv v1,v1,v5
+    vxor.vv v2,v2,v5
+    vxor.vv v3,v3,v5
+    vxor.vv v4,v4,v5
+)";
+      break;
+    case Step::kRho:
+      os << R"(
+    vsetvli x0, s5, e64, m8, tu, mu
+    v64rho.vi v0, v0, -1
+)";
+      break;
+    case Step::kPi:
+      os << R"(
+    vsetvli x0, s5, e64, m8, tu, mu
+    vpi.vi v8, v0, -1
+    vmv.v.v v0, v8
+)";
+      break;
+    case Step::kChi:
+      os << R"(
+    vsetvli x0, s5, e64, m8, tu, mu
+    vslidedownm.vi v16, v0, 1
+    vxor.vx v16, v16, s2
+    vslidedownm.vi v24, v0, 2
+    vand.vv v16, v16, v24
+    vxor.vv v0, v0, v16
+)";
+      break;
+    case Step::kIota:
+      os << strfmt(R"(
+    vsetvli x0, s1, e64, m1, tu, mu
+    li t0, %u
+    viota.vx v0, v0, t0
+)", round);
+      break;
+  }
+}
+
+void apply_golden(State& s, Step step, unsigned round) {
+  switch (step) {
+    case Step::kTheta: keccak::theta(s); break;
+    case Step::kRho: keccak::rho(s); break;
+    case Step::kPi: keccak::pi(s); break;
+    case Step::kChi: keccak::chi(s); break;
+    case Step::kIota: keccak::iota(s, round); break;
+  }
+}
+
+class ScheduleTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ScheduleTest, RandomStepScheduleMatchesGolden) {
+  SplitMix64 rng(GetParam());
+  const unsigned sn = 1 + static_cast<unsigned>(rng.below(3));  // 1..3 states
+  const unsigned ele_num = 5 * sn;
+  const usize schedule_len = 4 + rng.below(20);
+
+  // Build the schedule.
+  std::vector<std::pair<Step, unsigned>> schedule;
+  for (usize k = 0; k < schedule_len; ++k) {
+    const auto step = static_cast<Step>(rng.below(5));
+    const auto round = static_cast<unsigned>(rng.below(24));
+    schedule.emplace_back(step, round);
+  }
+
+  // Generate the accelerator program.
+  std::ostringstream os;
+  os << "    li s1, " << ele_num << "\n";
+  os << "    li s5, " << 5 * ele_num << "\n";
+  os << "    li s2, -1\n";
+  for (const auto& [step, round] : schedule) emit_step(os, step, round);
+  os << "    ebreak\n";
+
+  sim::ProcessorConfig cfg;
+  cfg.vector.elen_bits = 64;
+  cfg.vector.ele_num = ele_num;
+  sim::SimdProcessor proc(cfg);
+  proc.load_program(assembler::assemble(os.str()));
+
+  // Random initial states into the register file.
+  std::vector<State> states(sn);
+  for (State& s : states) {
+    for (u64& lane : s.flat()) lane = rng.next();
+  }
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn; ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        proc.vector().set_element(y, 5 * i + x, 64, states[i].lane(x, y));
+      }
+    }
+  }
+
+  proc.run();
+
+  // Golden composition.
+  for (State& s : states) {
+    for (const auto& [step, round] : schedule) apply_golden(s, step, round);
+  }
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn; ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        EXPECT_EQ(proc.vector().get_element(y, 5 * i + x, 64),
+                  states[i].lane(x, y))
+            << "seed " << GetParam() << " x=" << x << " y=" << y
+            << " state=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleTest,
+                         ::testing::Range<u64>(1, 33));
+
+// ---------------------------------------------------------------------------
+// 1b. Random step schedules on the 32-bit architecture (paired hi/lo ops).
+// ---------------------------------------------------------------------------
+
+/// Emit the 32-bit implementation of `step` with lo halves in v0..v4 and hi
+/// halves in v16..v20, leaving the result in the same registers.
+void emit_step32(std::ostringstream& os, Step step, unsigned round) {
+  switch (step) {
+    case Step::kTheta:
+      os << R"(
+    vsetvli x0, s1, e32, m1, tu, mu
+    vxor.vv v5,v3,v4
+    vxor.vv v6,v1,v2
+    vxor.vv v7,v0,v6
+    vxor.vv v5,v5,v7
+    vxor.vv v21,v19,v20
+    vxor.vv v22,v17,v18
+    vxor.vv v23,v16,v22
+    vxor.vv v21,v21,v23
+    vslideupm.vi v6,v5,1
+    vslideupm.vi v22,v21,1
+    vslidedownm.vi v7,v5,1
+    vslidedownm.vi v23,v21,1
+    v32lrotup.vv v8,v23,v7
+    v32hrotup.vv v24,v23,v7
+    vxor.vv v5,v6,v8
+    vxor.vv v21,v22,v24
+    vxor.vv v0,v0,v5
+    vxor.vv v1,v1,v5
+    vxor.vv v2,v2,v5
+    vxor.vv v3,v3,v5
+    vxor.vv v4,v4,v5
+    vxor.vv v16,v16,v21
+    vxor.vv v17,v17,v21
+    vxor.vv v18,v18,v21
+    vxor.vv v19,v19,v21
+    vxor.vv v20,v20,v21
+)";
+      break;
+    case Step::kRho:
+      os << R"(
+    vsetvli x0, s5, e32, m8, tu, mu
+    v32lrho.vv v8, v16, v0
+    v32hrho.vv v24, v16, v0
+    vmv.v.v v0, v8
+    vmv.v.v v16, v24
+)";
+      break;
+    case Step::kPi:
+      os << R"(
+    vsetvli x0, s5, e32, m8, tu, mu
+    vpi.vi v8, v0, -1
+    vpi.vi v24, v16, -1
+    vmv.v.v v0, v8
+    vmv.v.v v16, v24
+)";
+      break;
+    case Step::kChi:
+      os << R"(
+    vsetvli x0, s5, e32, m8, tu, mu
+    vslidedownm.vi v8, v0, 1
+    vxor.vx v8, v8, s2
+    vslidedownm.vi v24, v0, 2
+    vand.vv v8, v8, v24
+    vxor.vv v0, v0, v8
+    vslidedownm.vi v8, v16, 1
+    vxor.vx v8, v8, s2
+    vslidedownm.vi v24, v16, 2
+    vand.vv v8, v8, v24
+    vxor.vv v16, v16, v8
+)";
+      break;
+    case Step::kIota:
+      os << strfmt(R"(
+    vsetvli x0, s1, e32, m1, tu, mu
+    li t0, %u
+    li t1, %u
+    viota.vx v0, v0, t0
+    viota.vx v16, v16, t1
+)", 2 * round, 2 * round + 1);
+      break;
+  }
+}
+
+class Schedule32Test : public ::testing::TestWithParam<u64> {};
+
+TEST_P(Schedule32Test, RandomStepScheduleMatchesGoldenOn32Bit) {
+  SplitMix64 rng(GetParam() * 7919 + 5);
+  const unsigned sn = 1 + static_cast<unsigned>(rng.below(3));
+  const unsigned ele_num = 5 * sn;
+  const usize schedule_len = 4 + rng.below(14);
+
+  std::vector<std::pair<Step, unsigned>> schedule;
+  for (usize k = 0; k < schedule_len; ++k) {
+    schedule.emplace_back(static_cast<Step>(rng.below(5)),
+                          static_cast<unsigned>(rng.below(24)));
+  }
+
+  std::ostringstream os;
+  os << "    li s1, " << ele_num << "\n";
+  os << "    li s5, " << 5 * ele_num << "\n";
+  os << "    li s2, -1\n";
+  for (const auto& [step, round] : schedule) emit_step32(os, step, round);
+  os << "    ebreak\n";
+
+  sim::ProcessorConfig cfg;
+  cfg.vector.elen_bits = 32;
+  cfg.vector.ele_num = ele_num;
+  sim::SimdProcessor proc(cfg);
+  proc.load_program(assembler::assemble(os.str()));
+
+  std::vector<State> states(sn);
+  for (State& s : states) {
+    for (u64& lane : s.flat()) lane = rng.next();
+  }
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn; ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        const u64 lane = states[i].lane(x, y);
+        proc.vector().set_element(y, 5 * i + x, 32, lo32(lane));
+        proc.vector().set_element(16 + y, 5 * i + x, 32, hi32(lane));
+      }
+    }
+  }
+
+  proc.run();
+
+  for (State& s : states) {
+    for (const auto& [step, round] : schedule) apply_golden(s, step, round);
+  }
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned i = 0; i < sn; ++i) {
+      for (unsigned x = 0; x < 5; ++x) {
+        const u64 got =
+            concat32(static_cast<u32>(
+                         proc.vector().get_element(16 + y, 5 * i + x, 32)),
+                     static_cast<u32>(
+                         proc.vector().get_element(y, 5 * i + x, 32)));
+        EXPECT_EQ(got, states[i].lane(x, y))
+            << "seed " << GetParam() << " x=" << x << " y=" << y;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Schedule32Test, ::testing::Range<u64>(1, 25));
+
+// ---------------------------------------------------------------------------
+// 2. Scalar torture: random RV32IM sequences vs an independent evaluator.
+// ---------------------------------------------------------------------------
+
+struct TortureOp {
+  const char* mnemonic;
+  u32 (*eval)(u32 a, u32 b);
+  bool uses_imm;  // second operand is a 12-bit immediate
+};
+
+u32 ev_add(u32 a, u32 b) { return a + b; }
+u32 ev_sub(u32 a, u32 b) { return a - b; }
+u32 ev_xor(u32 a, u32 b) { return a ^ b; }
+u32 ev_or(u32 a, u32 b) { return a | b; }
+u32 ev_and(u32 a, u32 b) { return a & b; }
+u32 ev_sll(u32 a, u32 b) { return a << (b & 31); }
+u32 ev_srl(u32 a, u32 b) { return a >> (b & 31); }
+u32 ev_sra(u32 a, u32 b) {
+  return static_cast<u32>(static_cast<i32>(a) >> static_cast<i32>(b & 31));
+}
+u32 ev_slt(u32 a, u32 b) {
+  return static_cast<i32>(a) < static_cast<i32>(b) ? 1 : 0;
+}
+u32 ev_sltu(u32 a, u32 b) { return a < b ? 1 : 0; }
+u32 ev_mul(u32 a, u32 b) { return a * b; }
+u32 ev_mulh(u32 a, u32 b) {
+  return static_cast<u32>(
+      (static_cast<i64>(static_cast<i32>(a)) *
+       static_cast<i64>(static_cast<i32>(b))) >> 32);
+}
+u32 ev_mulhu(u32 a, u32 b) {
+  return static_cast<u32>((static_cast<u64>(a) * b) >> 32);
+}
+u32 ev_divu(u32 a, u32 b) { return b == 0 ? ~0u : a / b; }
+u32 ev_remu(u32 a, u32 b) { return b == 0 ? a : a % b; }
+u32 ev_rol(u32 a, u32 b) { return rotl32(a, b & 31); }
+u32 ev_ror(u32 a, u32 b) { return rotr32(a, b & 31); }
+u32 ev_andn(u32 a, u32 b) { return a & ~b; }
+u32 ev_orn(u32 a, u32 b) { return a | ~b; }
+u32 ev_xnor(u32 a, u32 b) { return ~(a ^ b); }
+u32 ev_addi(u32 a, u32 imm) { return a + imm; }
+u32 ev_xori(u32 a, u32 imm) { return a ^ imm; }
+u32 ev_andi(u32 a, u32 imm) { return a & imm; }
+u32 ev_ori(u32 a, u32 imm) { return a | imm; }
+
+constexpr TortureOp kOps[] = {
+    {"add", ev_add, false},   {"sub", ev_sub, false},
+    {"xor", ev_xor, false},   {"or", ev_or, false},
+    {"and", ev_and, false},   {"sll", ev_sll, false},
+    {"srl", ev_srl, false},   {"sra", ev_sra, false},
+    {"slt", ev_slt, false},   {"sltu", ev_sltu, false},
+    {"mul", ev_mul, false},   {"mulh", ev_mulh, false},
+    {"mulhu", ev_mulhu, false}, {"divu", ev_divu, false},
+    {"remu", ev_remu, false}, {"rol", ev_rol, false},
+    {"ror", ev_ror, false},   {"andn", ev_andn, false},
+    {"orn", ev_orn, false},   {"xnor", ev_xnor, false},
+    {"addi", ev_addi, true},
+    {"xori", ev_xori, true},  {"andi", ev_andi, true},
+    {"ori", ev_ori, true},
+};
+
+class TortureTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TortureTest, RandomScalarProgramMatchesEvaluator) {
+  SplitMix64 rng(GetParam() * 977 + 13);
+  // Working registers x5..x15, independently tracked.
+  std::array<u32, 32> expect{};
+  std::ostringstream os;
+  for (unsigned r = 5; r <= 15; ++r) {
+    const u32 v = rng.next32();
+    expect[r] = v;
+    os << strfmt("    li x%u, %d\n", r, static_cast<i32>(v));
+  }
+  const usize ops = 60 + rng.below(60);
+  for (usize k = 0; k < ops; ++k) {
+    const TortureOp& op = kOps[rng.below(std::size(kOps))];
+    const unsigned rd = 5 + static_cast<unsigned>(rng.below(11));
+    const unsigned rs1 = 5 + static_cast<unsigned>(rng.below(11));
+    if (op.uses_imm) {
+      const i32 imm = static_cast<i32>(rng.below(4096)) - 2048;
+      os << strfmt("    %s x%u, x%u, %d\n", op.mnemonic, rd, rs1, imm);
+      expect[rd] = op.eval(expect[rs1], static_cast<u32>(imm));
+    } else {
+      const unsigned rs2 = 5 + static_cast<unsigned>(rng.below(11));
+      os << strfmt("    %s x%u, x%u, x%u\n", op.mnemonic, rd, rs1, rs2);
+      expect[rd] = op.eval(expect[rs1], expect[rs2]);
+    }
+  }
+  os << "    ebreak\n";
+
+  sim::ProcessorConfig cfg;
+  cfg.vector.ele_num = 5;
+  sim::SimdProcessor proc(cfg);
+  proc.load_program(assembler::assemble(os.str()));
+  proc.run();
+  for (unsigned r = 5; r <= 15; ++r) {
+    EXPECT_EQ(proc.scalar().regs().read(r), expect[r])
+        << "x" << r << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TortureTest, ::testing::Range<u64>(1, 41));
+
+// ---------------------------------------------------------------------------
+// 3. Vector torture: random RVV arithmetic sequences on v1..v7 vs an
+//    independent element-wise evaluator (covers .vv/.vx/.vi, min/max,
+//    compares feeding vmerge would complicate tracking, so we stick to the
+//    pure element-wise group here).
+// ---------------------------------------------------------------------------
+
+struct VOpSpec {
+  const char* mnemonic;  // printf pattern with operands appended
+  int kind;              // 0 = vv, 1 = vx, 2 = vi
+  u64 (*eval)(u64 a, u64 b);
+};
+
+u64 vev_add(u64 a, u64 b) { return a + b; }
+u64 vev_sub(u64 a, u64 b) { return a - b; }
+u64 vev_xor(u64 a, u64 b) { return a ^ b; }
+u64 vev_or(u64 a, u64 b) { return a | b; }
+u64 vev_and(u64 a, u64 b) { return a & b; }
+u64 vev_sll(u64 a, u64 b) { return a << (b & 63); }
+u64 vev_srl(u64 a, u64 b) { return a >> (b & 63); }
+u64 vev_minu(u64 a, u64 b) { return std::min(a, b); }
+u64 vev_maxu(u64 a, u64 b) { return std::max(a, b); }
+u64 vev_min(u64 a, u64 b) {
+  return static_cast<i64>(a) < static_cast<i64>(b) ? a : b;
+}
+u64 vev_max(u64 a, u64 b) {
+  return static_cast<i64>(a) > static_cast<i64>(b) ? a : b;
+}
+
+constexpr VOpSpec kVOps[] = {
+    {"vadd", 0, vev_add},  {"vadd", 1, vev_add},  {"vadd", 2, vev_add},
+    {"vsub", 0, vev_sub},  {"vsub", 1, vev_sub},
+    {"vxor", 0, vev_xor},  {"vxor", 1, vev_xor},  {"vxor", 2, vev_xor},
+    {"vor", 0, vev_or},    {"vor", 1, vev_or},    {"vor", 2, vev_or},
+    {"vand", 0, vev_and},  {"vand", 1, vev_and},  {"vand", 2, vev_and},
+    {"vsll", 0, vev_sll},  {"vsrl", 0, vev_srl},
+    {"vminu", 0, vev_minu},{"vmaxu", 0, vev_maxu},
+    {"vmin", 0, vev_min},  {"vmax", 0, vev_max},
+};
+
+class VectorTortureTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(VectorTortureTest, RandomVectorProgramMatchesEvaluator) {
+  SplitMix64 rng(GetParam() * 131 + 7);
+  const unsigned ele_num = 4 + static_cast<unsigned>(rng.below(13));
+  constexpr unsigned kRegs = 7;  // v1..v7 tracked
+  std::array<std::vector<u64>, kRegs + 1> expect;
+  std::ostringstream os;
+  os << "    li s1, " << ele_num << "\n";
+  os << "    vsetvli x0, s1, e64, m1, tu, mu\n";
+
+  sim::ProcessorConfig cfg;
+  cfg.vector.elen_bits = 64;
+  cfg.vector.ele_num = ele_num;
+  sim::SimdProcessor proc(cfg);
+
+  for (unsigned r = 1; r <= kRegs; ++r) {
+    expect[r].resize(ele_num);
+    for (unsigned e = 0; e < ele_num; ++e) {
+      expect[r][e] = rng.next();
+      proc.vector().set_element(r, e, 64, expect[r][e]);
+    }
+  }
+  // Scalar pool for .vx operands.
+  std::array<u32, 4> scalars{};
+  for (usize k = 0; k < scalars.size(); ++k) {
+    scalars[k] = rng.next32();
+    os << strfmt("    li a%zu, %d\n", k, static_cast<i32>(scalars[k]));
+  }
+
+  const usize ops = 40 + rng.below(40);
+  for (usize k = 0; k < ops; ++k) {
+    const VOpSpec& op = kVOps[rng.below(std::size(kVOps))];
+    const unsigned vd = 1 + static_cast<unsigned>(rng.below(kRegs));
+    const unsigned vs2 = 1 + static_cast<unsigned>(rng.below(kRegs));
+    std::vector<u64> result(ele_num);
+    if (op.kind == 0) {
+      const unsigned vs1 = 1 + static_cast<unsigned>(rng.below(kRegs));
+      os << strfmt("    %s.vv v%u, v%u, v%u\n", op.mnemonic, vd, vs2, vs1);
+      for (unsigned e = 0; e < ele_num; ++e) {
+        result[e] = op.eval(expect[vs2][e], expect[vs1][e]);
+      }
+    } else if (op.kind == 1) {
+      const usize si = rng.below(scalars.size());
+      os << strfmt("    %s.vx v%u, v%u, a%zu\n", op.mnemonic, vd, vs2, si);
+      const u64 sx = static_cast<u64>(
+          static_cast<i64>(static_cast<i32>(scalars[si])));
+      for (unsigned e = 0; e < ele_num; ++e) {
+        result[e] = op.eval(expect[vs2][e], sx);
+      }
+    } else {
+      const i32 imm = static_cast<i32>(rng.below(32)) - 16;
+      os << strfmt("    %s.vi v%u, v%u, %d\n", op.mnemonic, vd, vs2, imm);
+      const u64 sx = static_cast<u64>(static_cast<i64>(imm));
+      for (unsigned e = 0; e < ele_num; ++e) {
+        result[e] = op.eval(expect[vs2][e], sx);
+      }
+    }
+    expect[vd] = std::move(result);
+  }
+  os << "    ebreak\n";
+
+  proc.load_program(assembler::assemble(os.str()));
+  proc.run();
+  for (unsigned r = 1; r <= kRegs; ++r) {
+    for (unsigned e = 0; e < ele_num; ++e) {
+      EXPECT_EQ(proc.vector().get_element(r, e, 64), expect[r][e])
+          << "v" << r << "[" << e << "] seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorTortureTest, ::testing::Range<u64>(1, 25));
+
+}  // namespace
+}  // namespace kvx

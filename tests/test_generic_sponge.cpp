@@ -1,0 +1,117 @@
+// Tests for the generic sponge over the Keccak-p family, including the
+// equivalence proof against the production b = 1600 sponge.
+#include <gtest/gtest.h>
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/keccak/generic_sponge.hpp"
+#include "kvx/keccak/sha3.hpp"
+
+namespace kvx::keccak {
+namespace {
+
+std::vector<u8> random_bytes(usize n, u64 seed) {
+  SplitMix64 rng(seed);
+  std::vector<u8> v(n);
+  for (u8& b : v) b = static_cast<u8>(rng.next());
+  return v;
+}
+
+TEST(GenericSponge, P1600MatchesProductionShake128) {
+  // GenericSponge<KeccakP1600> at SHAKE128 parameters must equal the
+  // production SHAKE128 — two independent sponge engines over two
+  // independently-derived permutations.
+  for (usize len : {0u, 1u, 167u, 168u, 169u, 500u}) {
+    const auto msg = random_bytes(len, len + 1);
+    GenericSponge<KeccakP1600> sponge(168, 0x1F);
+    sponge.absorb(msg);
+    EXPECT_EQ(sponge.squeeze(64), shake128(msg, 64)) << "len " << len;
+  }
+}
+
+TEST(GenericSponge, P1600MatchesProductionSha3_256) {
+  const auto msg = random_bytes(300, 2);
+  GenericSponge<KeccakP1600> sponge(136, 0x06);
+  sponge.absorb(msg);
+  const auto digest = sha3_256(msg);
+  EXPECT_EQ(sponge.squeeze(32), std::vector<u8>(digest.begin(), digest.end()));
+}
+
+template <typename P>
+class GenericSpongeFamilyTest : public ::testing::Test {};
+
+using Perms = ::testing::Types<KeccakP200, KeccakP400, KeccakP800,
+                               KeccakP1600>;
+TYPED_TEST_SUITE(GenericSpongeFamilyTest, Perms);
+
+TYPED_TEST(GenericSpongeFamilyTest, Deterministic) {
+  const usize rate = GenericSponge<TypeParam>::kStateBytes / 2;
+  const auto msg = random_bytes(3 * rate + 7, 3);
+  GenericSponge<TypeParam> a(rate, 0x1F), b(rate, 0x1F);
+  a.absorb(msg);
+  b.absorb(msg);
+  EXPECT_EQ(a.squeeze(48), b.squeeze(48));
+}
+
+TYPED_TEST(GenericSpongeFamilyTest, DomainSeparates) {
+  const usize rate = GenericSponge<TypeParam>::kStateBytes / 2;
+  const auto msg = random_bytes(10, 4);
+  GenericSponge<TypeParam> a(rate, 0x1F), b(rate, 0x06);
+  a.absorb(msg);
+  b.absorb(msg);
+  EXPECT_NE(a.squeeze(32), b.squeeze(32));
+}
+
+TYPED_TEST(GenericSpongeFamilyTest, IncrementalAbsorbMatchesOneShot) {
+  const usize rate = GenericSponge<TypeParam>::kStateBytes / 2;
+  const auto msg = random_bytes(200, 5);
+  GenericSponge<TypeParam> one(rate, 0x1F), inc(rate, 0x1F);
+  one.absorb(msg);
+  inc.absorb(std::span<const u8>(msg).first(13));
+  inc.absorb(std::span<const u8>(msg).subspan(13));
+  EXPECT_EQ(one.squeeze(64), inc.squeeze(64));
+}
+
+TYPED_TEST(GenericSpongeFamilyTest, MessageSensitivity) {
+  const usize rate = GenericSponge<TypeParam>::kStateBytes / 2;
+  GenericSponge<TypeParam> a(rate, 0x1F), b(rate, 0x1F);
+  a.absorb(random_bytes(32, 6));
+  b.absorb(random_bytes(32, 7));
+  EXPECT_NE(a.squeeze(32), b.squeeze(32));
+}
+
+TEST(GenericSponge, LightweightHelpers) {
+  const auto msg = random_bytes(100, 8);
+  const auto h800 = lightweight_hash800(msg, 32);
+  const auto h200 = lightweight_hash200(msg, 16);
+  EXPECT_EQ(h800.size(), 32u);
+  EXPECT_EQ(h200.size(), 16u);
+  EXPECT_EQ(h800, lightweight_hash800(msg, 32));
+  EXPECT_NE(std::vector<u8>(h800.begin(), h800.begin() + 16), h200);
+}
+
+TEST(GenericSponge, ReducedRoundVariantDiffers) {
+  const auto msg = random_bytes(50, 9);
+  GenericSponge<KeccakP800> full(68, 0x1F);
+  GenericSponge<KeccakP800> reduced(68, 0x1F, 11);
+  full.absorb(msg);
+  reduced.absorb(msg);
+  EXPECT_NE(full.squeeze(32), reduced.squeeze(32));
+}
+
+TEST(GenericSponge, ParameterValidation) {
+  using S800 = GenericSponge<KeccakP800>;
+  EXPECT_THROW(S800(0, 0x1F), Error);
+  EXPECT_THROW(S800(100, 0x1F), Error);  // state is 100 bytes
+  EXPECT_THROW(S800(68, 0x1F, 0), Error);
+  EXPECT_THROW(S800(68, 0x1F, 23), Error);  // > 22 rounds
+}
+
+TEST(GenericSponge, AbsorbAfterSqueezeRejected) {
+  GenericSponge<KeccakP400> sponge(20, 0x1F);
+  (void)sponge.squeeze(8);
+  EXPECT_THROW(sponge.absorb(random_bytes(1, 10)), Error);
+}
+
+}  // namespace
+}  // namespace kvx::keccak

@@ -1,0 +1,110 @@
+// Cross-implementation integration tests (Monte-Carlo style): long chains
+// of dependent operations where any single-bit divergence between the
+// reference path, the optimized host path, and the simulated accelerator
+// path compounds and is caught at the end.
+#include <gtest/gtest.h>
+
+#include "kvx/common/hex.hpp"
+#include "kvx/core/parallel_sha3.hpp"
+#include "kvx/keccak/permutation.hpp"
+#include "kvx/keccak/sha3.hpp"
+#include "kvx/keccak/sponge.hpp"
+
+namespace kvx {
+namespace {
+
+using keccak::State;
+
+TEST(Integration, IteratedPermutationChainsAgree) {
+  // 500 dependent permutations: reference vs optimized.
+  State a, b;
+  a.lane(0, 0) = 0x4B56u;  // arbitrary nonzero start
+  b.lane(0, 0) = 0x4B56u;
+  for (int i = 0; i < 500; ++i) {
+    keccak::permute(a);
+    keccak::permute_fast(b);
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(Integration, MonteCarloDigestChain) {
+  // SHA-3 MCT shape: digest_i+1 = H(digest_i), 300 iterations, compared
+  // between one-shot and incremental APIs.
+  std::vector<u8> seed(32, 0xA5);
+  auto one_shot = seed;
+  auto incremental = seed;
+  for (int i = 0; i < 300; ++i) {
+    const auto d = keccak::sha3_256(one_shot);
+    one_shot.assign(d.begin(), d.end());
+    keccak::Hasher h(keccak::Sha3Function::kSha3_256);
+    incremental = h.update(incremental).digest();
+  }
+  EXPECT_EQ(one_shot, incremental);
+}
+
+TEST(Integration, AcceleratorBackedXofChain) {
+  // XOF chain where the permutation runs on the simulated accelerator
+  // (Sponge's pluggable backend — the HW/SW co-design seam), vs host.
+  core::VectorKeccak vk({core::Arch::k64Lmul8, 5, 24});
+  const auto accel_permute = [&vk](State& s) {
+    std::array<State, 1> one = {s};
+    vk.permute(one);
+    s = one[0];
+  };
+
+  std::vector<u8> host_chain = {1, 2, 3};
+  std::vector<u8> accel_chain = {1, 2, 3};
+  for (int i = 0; i < 10; ++i) {
+    host_chain = keccak::shake128(host_chain, 48);
+    keccak::Xof xof(keccak::Sha3Function::kShake128, accel_permute);
+    xof.absorb(accel_chain);
+    accel_chain = xof.squeeze(48);
+  }
+  EXPECT_EQ(to_hex(host_chain), to_hex(accel_chain));
+}
+
+TEST(Integration, BatchChainAcrossArchitectures) {
+  // Chained batch hashing: each round feeds the previous digests back in;
+  // all three architectures must stay in lockstep with the host.
+  std::vector<std::vector<u8>> host(3);
+  for (usize i = 0; i < 3; ++i) host[i] = {static_cast<u8>(i), 7, 9};
+  auto a32 = host;
+  auto a64 = host;
+
+  core::ParallelSha3 accel64({core::Arch::k64Lmul8, 15, 24});
+  core::ParallelSha3 accel32({core::Arch::k32Lmul8, 15, 24});
+  for (int round = 0; round < 5; ++round) {
+    for (auto& m : host) {
+      const auto d = keccak::sha3_384(m);
+      m.assign(d.begin(), d.end());
+    }
+    a64 = accel64.hash_batch(keccak::Sha3Function::kSha3_384, a64);
+    a32 = accel32.hash_batch(keccak::Sha3Function::kSha3_384, a32);
+  }
+  for (usize i = 0; i < 3; ++i) {
+    EXPECT_EQ(to_hex(a64[i]), to_hex(host[i]));
+    EXPECT_EQ(to_hex(a32[i]), to_hex(host[i]));
+  }
+}
+
+TEST(Integration, SpongeBackendCountsMatch) {
+  // The pluggable sponge must invoke its backend exactly as often as the
+  // host sponge invokes its own.
+  usize calls = 0;
+  keccak::Sponge counted(136, keccak::Domain::kSha3, [&calls](State& s) {
+    keccak::permute_fast(s);
+    ++calls;
+  });
+  keccak::Sponge plain(136, keccak::Domain::kSha3);
+  std::vector<u8> msg(500, 0x11);
+  counted.absorb(msg);
+  plain.absorb(msg);
+  std::array<u8, 32> out_a{}, out_b{};
+  counted.squeeze(out_a);
+  plain.squeeze(out_b);
+  EXPECT_EQ(out_a, out_b);
+  EXPECT_EQ(calls, plain.permutation_count());
+}
+
+}  // namespace
+}  // namespace kvx

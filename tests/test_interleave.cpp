@@ -1,0 +1,87 @@
+// Tests for the 32-bit lane representations (bit interleaving vs hi/lo).
+#include <gtest/gtest.h>
+
+#include "kvx/common/bits.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/keccak/interleave.hpp"
+#include "kvx/keccak/permutation.hpp"
+
+namespace kvx::keccak {
+namespace {
+
+TEST(Interleave, KnownPattern) {
+  // Alternating bits: 0b...0101 has all even bits set.
+  const Interleaved v = interleave(0x5555555555555555ull);
+  EXPECT_EQ(v.even, 0xFFFFFFFFu);
+  EXPECT_EQ(v.odd, 0u);
+  const Interleaved w = interleave(0xAAAAAAAAAAAAAAAAull);
+  EXPECT_EQ(w.even, 0u);
+  EXPECT_EQ(w.odd, 0xFFFFFFFFu);
+}
+
+TEST(Interleave, SingleBits) {
+  EXPECT_EQ(interleave(1ull).even, 1u);
+  EXPECT_EQ(interleave(2ull).odd, 1u);
+  EXPECT_EQ(interleave(4ull).even, 2u);
+}
+
+TEST(Interleave, RoundTrip) {
+  SplitMix64 rng(100);
+  for (int i = 0; i < 500; ++i) {
+    const u64 v = rng.next();
+    EXPECT_EQ(deinterleave(interleave(v)), v);
+  }
+}
+
+class InterleaveRotTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(InterleaveRotTest, MatchesPlainRotation) {
+  const unsigned n = GetParam();
+  SplitMix64 rng(n * 7 + 1);
+  for (int i = 0; i < 50; ++i) {
+    const u64 v = rng.next();
+    const Interleaved rotated = rotl_interleaved(interleave(v), n);
+    EXPECT_EQ(deinterleave(rotated), rotl64(v, n)) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOffsets, InterleaveRotTest,
+                         ::testing::Range(0u, 64u));
+
+TEST(HiLo, RoundTrip) {
+  SplitMix64 rng(200);
+  for (int i = 0; i < 100; ++i) {
+    const u64 v = rng.next();
+    EXPECT_EQ(join_hilo(split_hilo(v)), v);
+  }
+}
+
+class HiLoRotTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HiLoRotTest, MatchesPlainRotation) {
+  const unsigned n = GetParam();
+  SplitMix64 rng(n * 13 + 5);
+  for (int i = 0; i < 50; ++i) {
+    const u64 v = rng.next();
+    EXPECT_EQ(join_hilo(rotl_hilo(split_hilo(v), n)), rotl64(v, n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOffsets, HiLoRotTest, ::testing::Range(0u, 64u));
+
+TEST(RotCost, InterleavedCheaperForGenericOffsets) {
+  // The paper's §3.2 trade-off: interleaved rotations cost two 32-bit
+  // rotates; a software hi/lo rotation needs shift/or sequences.
+  unsigned hilo_total = 0, inter_total = 0;
+  const auto& offsets = rho_offsets();
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned x = 0; x < 5; ++x) {
+      hilo_total += hilo_rot_op_count(offsets[y][x]);
+      inter_total += interleaved_rot_op_count(offsets[y][x]);
+    }
+  }
+  EXPECT_GT(hilo_total, inter_total);
+}
+
+}  // namespace
+}  // namespace kvx::keccak

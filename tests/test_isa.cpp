@@ -1,0 +1,302 @@
+// Tests for instruction encodings: encode/decode round trips over the whole
+// opcode table, field packing against hand-checked golden words, and
+// disassembly strings.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/isa/disasm.hpp"
+#include "kvx/isa/encoding.hpp"
+
+namespace kvx::isa {
+namespace {
+
+/// Build a representative valid instruction for an opcode.
+Instruction sample(const OpcodeInfo& oi, SplitMix64& rng) {
+  Instruction inst;
+  inst.op = oi.op;
+  const auto reg = [&] { return static_cast<u8>(rng.below(32)); };
+  switch (oi.format) {
+    case Format::kR:
+      inst.rd = reg(); inst.rs1 = reg(); inst.rs2 = reg();
+      break;
+    case Format::kI:
+      inst.rd = reg(); inst.rs1 = reg();
+      inst.imm = static_cast<i32>(rng.below(4096)) - 2048;
+      break;
+    case Format::kIShift:
+      inst.rd = reg(); inst.rs1 = reg();
+      inst.imm = static_cast<i32>(rng.below(32));
+      break;
+    case Format::kS:
+      inst.rs1 = reg(); inst.rs2 = reg();
+      inst.imm = static_cast<i32>(rng.below(4096)) - 2048;
+      break;
+    case Format::kB:
+      inst.rs1 = reg(); inst.rs2 = reg();
+      inst.imm = (static_cast<i32>(rng.below(4096)) - 2048) * 2;
+      break;
+    case Format::kU:
+      inst.rd = reg();
+      inst.imm = static_cast<i32>(rng.below(1 << 20));
+      break;
+    case Format::kJ:
+      inst.rd = reg();
+      inst.imm = (static_cast<i32>(rng.below(1 << 20)) - (1 << 19)) * 2;
+      break;
+    case Format::kSystem:
+      break;
+    case Format::kCsr:
+      inst.rd = reg(); inst.rs1 = reg();
+      inst.imm = static_cast<i32>(rng.below(4096));
+      break;
+    case Format::kCsrI:
+      inst.rd = reg(); inst.rs1 = static_cast<u8>(rng.below(32));
+      inst.imm = static_cast<i32>(rng.below(4096));
+      break;
+    case Format::kVSetVLI:
+      inst.rd = reg(); inst.rs1 = reg();
+      inst.vtype = {rng.below(2) ? 64u : 32u,
+                    static_cast<unsigned>(1u << rng.below(4)), false, false};
+      break;
+    case Format::kVArith:
+    case Format::kVCustom:
+      inst.rd = reg();
+      inst.rs2 = reg();
+      // aux-constrained encodings fix the vm bit (vmv: 1, vmerge: 0).
+      inst.vm = oi.format == Format::kVArith && oi.aux != 0
+                    ? oi.aux == 1
+                    : rng.below(2) != 0;
+      if (oi.voperands == VOperands::kVI) {
+        // The encoder distinguishes signed/unsigned 5-bit immediates.
+        inst.imm = static_cast<i32>(rng.below(16));
+      } else {
+        inst.rs1 = reg();
+      }
+      break;
+    case Format::kVLoad:
+    case Format::kVStore:
+      inst.rd = reg();
+      inst.rs1 = reg();
+      inst.vm = rng.below(2) != 0;
+      if (static_cast<VMop>(oi.aux) != VMop::kUnit) inst.rs2 = reg();
+      break;
+  }
+  return inst;
+}
+
+class RoundTripTest : public ::testing::TestWithParam<usize> {};
+
+TEST_P(RoundTripTest, EncodeDecodeIsIdentity) {
+  const OpcodeInfo& oi = all_opcodes()[GetParam()];
+  SplitMix64 rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 50; ++i) {
+    const Instruction inst = sample(oi, rng);
+    const u32 word = encode(inst);
+    const Instruction back = decode(word);
+    EXPECT_EQ(back, inst) << mnemonic(oi.op) << " word "
+                          << disassemble_word(word);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, RoundTripTest,
+                         ::testing::Range<usize>(0, opcode_count()),
+                         [](const auto& info) {
+                           std::string n(mnemonic(
+                               all_opcodes()[info.param].op));
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+// --- golden encodings (hand-assembled RV32I words) ---------------------------
+
+TEST(Encoding, GoldenAddi) {
+  // addi x1, x2, 100 -> imm=100, rs1=2, f3=0, rd=1, op=0x13
+  Instruction inst;
+  inst.op = Opcode::kAddi;
+  inst.rd = 1;
+  inst.rs1 = 2;
+  inst.imm = 100;
+  EXPECT_EQ(encode(inst), 0x06410093u);
+}
+
+TEST(Encoding, GoldenAdd) {
+  // add x3, x4, x5
+  Instruction inst;
+  inst.op = Opcode::kAdd;
+  inst.rd = 3;
+  inst.rs1 = 4;
+  inst.rs2 = 5;
+  EXPECT_EQ(encode(inst), 0x005201B3u);
+}
+
+TEST(Encoding, GoldenLwSw) {
+  Instruction lw;
+  lw.op = Opcode::kLw;
+  lw.rd = 6;
+  lw.rs1 = 7;
+  lw.imm = -4;
+  EXPECT_EQ(encode(lw), 0xFFC3A303u);
+  Instruction sw;
+  sw.op = Opcode::kSw;
+  sw.rs1 = 7;
+  sw.rs2 = 6;
+  sw.imm = 8;
+  EXPECT_EQ(encode(sw), 0x0063A423u);
+}
+
+TEST(Encoding, GoldenBranchNegativeOffset) {
+  // beq x1, x2, -8
+  Instruction b;
+  b.op = Opcode::kBeq;
+  b.rs1 = 1;
+  b.rs2 = 2;
+  b.imm = -8;
+  const u32 w = encode(b);
+  EXPECT_EQ(decode(w).imm, -8);
+  EXPECT_EQ(w & 0x7Fu, 0b1100011u);
+}
+
+TEST(Encoding, GoldenEcallEbreak) {
+  Instruction e;
+  e.op = Opcode::kEcall;
+  EXPECT_EQ(encode(e), 0x00000073u);
+  e.op = Opcode::kEbreak;
+  EXPECT_EQ(encode(e), 0x00100073u);
+}
+
+TEST(Encoding, GoldenVaddVV) {
+  // vadd.vv v1, v2, v3 (vm=1): funct6=0, vm=1, vs2=2, vs1=3, f3=000, vd=1
+  Instruction v;
+  v.op = Opcode::kVaddVV;
+  v.rd = 1;
+  v.rs2 = 2;
+  v.rs1 = 3;
+  const u32 w = encode(v);
+  EXPECT_EQ(w & 0x7Fu, 0b1010111u);
+  EXPECT_EQ((w >> 7) & 0x1Fu, 1u);
+  EXPECT_EQ((w >> 15) & 0x1Fu, 3u);
+  EXPECT_EQ((w >> 20) & 0x1Fu, 2u);
+  EXPECT_EQ((w >> 25) & 1u, 1u);
+  EXPECT_EQ(w >> 26, 0u);
+}
+
+TEST(Encoding, CustomOpcodeSpace) {
+  // All ten custom instructions live in custom-1 (0101011).
+  for (const OpcodeInfo& oi : all_opcodes()) {
+    if (is_custom(oi.op)) {
+      EXPECT_EQ(oi.major, 0b0101011u) << mnemonic(oi.op);
+    }
+  }
+}
+
+TEST(Encoding, ExactlyTenCustomInstructions) {
+  unsigned n = 0;
+  for (const OpcodeInfo& oi : all_opcodes()) {
+    if (is_custom(oi.op)) ++n;
+  }
+  EXPECT_EQ(n, 10u);  // the paper proposes exactly ten custom extensions
+}
+
+TEST(Encoding, NoDuplicateEncodings) {
+  // Distinct opcodes with a zeroed operand pattern must encode distinctly.
+  std::map<u32, Opcode> seen;
+  for (const OpcodeInfo& oi : all_opcodes()) {
+    SplitMix64 rng(1);
+    Instruction inst = sample(oi, rng);
+    inst.rd = 1;
+    inst.rs1 = oi.voperands == VOperands::kVI ? 0 : 2;
+    inst.rs2 = 3;
+    // Normalize fields that do not apply (unit-stride rs2, etc.).
+    const u32 w = encode(inst);
+    const Instruction back = decode(w);
+    EXPECT_EQ(back.op, oi.op) << mnemonic(oi.op);
+  }
+}
+
+TEST(Decode, RejectsGarbage) {
+  EXPECT_THROW((void)decode(0xFFFFFFFFu), DecodeError);
+  EXPECT_THROW((void)decode(0x00000000u), DecodeError);
+  EXPECT_EQ(try_decode(0xFFFFFFFFu).op, Opcode::kInvalid);
+}
+
+TEST(Decode, ImmediateRangeChecksOnEncode) {
+  Instruction inst;
+  inst.op = Opcode::kAddi;
+  inst.imm = 5000;  // > 2047
+  EXPECT_THROW((void)encode(inst), Error);
+  inst.imm = -3000;
+  EXPECT_THROW((void)encode(inst), Error);
+  inst.op = Opcode::kVslidedownmVI;
+  inst.imm = -1;  // unsigned-immediate custom op
+  EXPECT_THROW((void)encode(inst), Error);
+}
+
+TEST(VType, RoundTrip) {
+  for (unsigned sew : {8u, 16u, 32u, 64u}) {
+    for (unsigned lmul : {1u, 2u, 4u, 8u}) {
+      const VType vt{sew, lmul, true, false};
+      EXPECT_EQ(VType::from_bits(vt.to_bits()), vt);
+    }
+  }
+}
+
+TEST(VType, ToString) {
+  const VType vt{64, 8, false, false};
+  EXPECT_EQ(vt.to_string(), "e64,m8,tu,mu");
+}
+
+TEST(Registers, AbiNames) {
+  EXPECT_EQ(xreg_name(0), "zero");
+  EXPECT_EQ(xreg_name(2), "sp");
+  EXPECT_EQ(parse_xreg("s1"), 9);
+  EXPECT_EQ(parse_xreg("x31"), 31);
+  EXPECT_EQ(parse_xreg("fp"), 8);
+  EXPECT_EQ(parse_xreg("nope"), -1);
+  EXPECT_EQ(parse_xreg("x32"), -1);
+  EXPECT_EQ(parse_vreg("v0"), 0);
+  EXPECT_EQ(parse_vreg("v31"), 31);
+  EXPECT_EQ(parse_vreg("v32"), -1);
+  EXPECT_EQ(parse_vreg("w1"), -1);
+}
+
+TEST(Disasm, ScalarStrings) {
+  Instruction inst;
+  inst.op = Opcode::kAddi;
+  inst.rd = 10;
+  inst.rs1 = 11;
+  inst.imm = -5;
+  EXPECT_EQ(disassemble(inst), "addi a0,a1,-5");
+  inst.op = Opcode::kLw;
+  inst.imm = 16;
+  EXPECT_EQ(disassemble(inst), "lw a0,16(a1)");
+}
+
+TEST(Disasm, VectorStrings) {
+  Instruction inst;
+  inst.op = Opcode::kVxorVV;
+  inst.rd = 5;
+  inst.rs2 = 3;
+  inst.rs1 = 4;
+  EXPECT_EQ(disassemble(inst), "vxor.vv v5,v3,v4");
+  inst.op = Opcode::kV64rhoVI;
+  inst.rd = 0;
+  inst.rs2 = 0;
+  inst.imm = -1;
+  EXPECT_EQ(disassemble(inst), "v64rho.vi v0,v0,-1");
+}
+
+TEST(Disasm, InvalidWord) {
+  EXPECT_EQ(disassemble_word(0xFFFFFFFFu), "<invalid 0xffffffff>");
+}
+
+}  // namespace
+}  // namespace kvx::isa

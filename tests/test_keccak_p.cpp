@@ -1,0 +1,172 @@
+// Tests for the generalized Keccak-p[b, nr] family — most importantly the
+// independent *derivation* cross-checks: the LFSR-generated ι constants and
+// the walk-generated ρ offsets must reproduce the paper's Tables 6 and 2,
+// and KeccakP<u64> must be bit-identical to the specialized Keccak-f[1600].
+#include <gtest/gtest.h>
+
+#include "kvx/common/rng.hpp"
+#include "kvx/keccak/keccak_p.hpp"
+#include "kvx/keccak/permutation.hpp"
+#include "kvx/keccak/state.hpp"
+
+namespace kvx::keccak {
+namespace {
+
+TEST(LfsrRc, FirstBitsMatchKnownStream) {
+  // rc(0..7) follows from RC[0]=1 (bit 0 set), RC[1]=0x8082, ...
+  EXPECT_TRUE(lfsr_rc_bit(0));
+  // Period 255.
+  for (unsigned t = 0; t < 32; ++t) {
+    EXPECT_EQ(lfsr_rc_bit(t), lfsr_rc_bit(t + 255)) << t;
+  }
+}
+
+TEST(DerivedRoundConstants, ReproducePaperTable6) {
+  const auto& rc = round_constants();
+  for (unsigned ir = 0; ir < 24; ++ir) {
+    EXPECT_EQ(derived_round_constant(6, ir), rc[ir]) << "round " << ir;
+  }
+}
+
+TEST(DerivedRoundConstants, SmallerWidthsTruncate) {
+  for (unsigned ir = 0; ir < 18; ++ir) {
+    const u64 full = derived_round_constant(6, ir);
+    EXPECT_EQ(derived_round_constant(3, ir), full & 0xFFull) << ir;
+    EXPECT_EQ(derived_round_constant(4, ir), full & 0xFFFFull) << ir;
+    EXPECT_EQ(derived_round_constant(5, ir), full & 0xFFFFFFFFull) << ir;
+  }
+}
+
+TEST(DerivedRhoOffsets, ReproducePaperTable2) {
+  const auto& table = rho_offsets();
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned x = 0; x < 5; ++x) {
+      EXPECT_EQ(derived_rho_offset(x, y, 64), table[y][x])
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(DerivedRhoOffsets, ReduceModuloLaneWidth) {
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned x = 0; x < 5; ++x) {
+      const unsigned full = derived_rho_offset(x, y, 64);
+      EXPECT_EQ(derived_rho_offset(x, y, 32), full % 32);
+      EXPECT_EQ(derived_rho_offset(x, y, 8), full % 8);
+    }
+  }
+}
+
+TEST(KeccakP1600, MatchesSpecializedPermutation) {
+  SplitMix64 rng(5);
+  for (int rep = 0; rep < 10; ++rep) {
+    State specialized;
+    KeccakP1600::StateArray generic{};
+    for (usize i = 0; i < kLanes; ++i) {
+      const u64 v = rng.next();
+      specialized.flat()[i] = v;
+      generic[i] = v;
+    }
+    permute(specialized);
+    KeccakP1600::permute(generic);
+    for (usize i = 0; i < kLanes; ++i) {
+      EXPECT_EQ(generic[i], specialized.flat()[i]) << "lane " << i;
+    }
+  }
+}
+
+TEST(KeccakP1600, ReducedRoundUsesLastRounds) {
+  // Keccak-p[1600, 12] (TurboSHAKE) runs rounds 12..23 of Keccak-f.
+  SplitMix64 rng(6);
+  KeccakP1600::StateArray a{};
+  for (auto& lane : a) lane = rng.next();
+  auto b = a;
+  KeccakP1600::permute(a, 12);
+  for (unsigned ir = 12; ir < 24; ++ir) KeccakP1600::round(b, ir);
+  EXPECT_EQ(a, b);
+}
+
+template <typename P>
+class KeccakPFamilyTest : public ::testing::Test {};
+
+using Families = ::testing::Types<KeccakP200, KeccakP400, KeccakP800,
+                                  KeccakP1600>;
+TYPED_TEST_SUITE(KeccakPFamilyTest, Families);
+
+TYPED_TEST(KeccakPFamilyTest, DefaultRoundCount) {
+  // nr = 12 + 2*l: 18 / 20 / 22 / 24.
+  EXPECT_EQ(TypeParam::kDefaultRounds, 12 + 2 * TypeParam::kL);
+  EXPECT_EQ(TypeParam::kB, 25 * TypeParam::kW);
+}
+
+TYPED_TEST(KeccakPFamilyTest, PermutationChangesState) {
+  typename TypeParam::StateArray a{};
+  TypeParam::permute(a);
+  bool any = false;
+  for (auto lane : a) any |= lane != 0;
+  EXPECT_TRUE(any);
+}
+
+TYPED_TEST(KeccakPFamilyTest, Deterministic) {
+  SplitMix64 rng(7);
+  typename TypeParam::StateArray a{};
+  for (auto& lane : a) {
+    lane = static_cast<typename TypeParam::StateArray::value_type>(rng.next());
+  }
+  auto b = a;
+  TypeParam::permute(a);
+  TypeParam::permute(b);
+  EXPECT_EQ(a, b);
+}
+
+TYPED_TEST(KeccakPFamilyTest, StepsComposeIntoRound) {
+  SplitMix64 rng(8);
+  typename TypeParam::StateArray a{};
+  for (auto& lane : a) {
+    lane = static_cast<typename TypeParam::StateArray::value_type>(rng.next());
+  }
+  auto b = a;
+  TypeParam::round(a, 3);
+  TypeParam::theta(b);
+  TypeParam::rho(b);
+  TypeParam::pi(b);
+  TypeParam::chi(b);
+  TypeParam::iota(b, 3);
+  EXPECT_EQ(a, b);
+}
+
+TYPED_TEST(KeccakPFamilyTest, InjectiveOnSample) {
+  // A permutation must map distinct inputs to distinct outputs.
+  SplitMix64 rng(9);
+  std::vector<typename TypeParam::StateArray> outs;
+  for (int k = 0; k < 32; ++k) {
+    typename TypeParam::StateArray a{};
+    for (auto& lane : a) {
+      lane = static_cast<typename TypeParam::StateArray::value_type>(rng.next());
+    }
+    TypeParam::permute(a);
+    outs.push_back(a);
+  }
+  for (usize i = 0; i < outs.size(); ++i) {
+    for (usize j = i + 1; j < outs.size(); ++j) {
+      EXPECT_NE(outs[i], outs[j]);
+    }
+  }
+}
+
+TYPED_TEST(KeccakPFamilyTest, ThetaIsLinear) {
+  SplitMix64 rng(10);
+  typename TypeParam::StateArray a{}, b{}, ab{};
+  for (usize i = 0; i < 25; ++i) {
+    a[i] = static_cast<typename TypeParam::StateArray::value_type>(rng.next());
+    b[i] = static_cast<typename TypeParam::StateArray::value_type>(rng.next());
+    ab[i] = a[i] ^ b[i];
+  }
+  TypeParam::theta(a);
+  TypeParam::theta(b);
+  TypeParam::theta(ab);
+  for (usize i = 0; i < 25; ++i) EXPECT_EQ(ab[i], a[i] ^ b[i]);
+}
+
+}  // namespace
+}  // namespace kvx::keccak

@@ -1,0 +1,265 @@
+// Robustness / fault-path coverage: every component must reject malformed
+// input with a typed exception (never crash, never silently mis-execute).
+#include <gtest/gtest.h>
+
+#include "kvx/asm/assembler.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/core/vector_keccak.hpp"
+#include "kvx/isa/encoding.hpp"
+#include "kvx/sim/processor.hpp"
+
+namespace kvx {
+namespace {
+
+sim::SimdProcessor make64(unsigned ele_num = 5) {
+  sim::ProcessorConfig cfg;
+  cfg.vector.elen_bits = 64;
+  cfg.vector.ele_num = ele_num;
+  return sim::SimdProcessor(cfg);
+}
+
+// --- simulator fault paths ------------------------------------------------------
+
+TEST(Robustness, VectorRegisterGroupOverflowFaults) {
+  // LMUL=8 from base v28 would reach v35.
+  sim::SimdProcessor p = make64(5);
+  p.load_program(assembler::assemble(R"(
+    li s1, 40
+    vsetvli x0, s1, e64, m8, tu, mu
+    vadd.vi v28, v28, 1
+    ebreak
+  )"));
+  EXPECT_THROW(p.run(), SimError);
+}
+
+TEST(Robustness, CustomSlideGroupOverflowFaults) {
+  sim::SimdProcessor p = make64(5);
+  p.load_program(assembler::assemble(R"(
+    li s1, 25
+    vsetvli x0, s1, e64, m8, tu, mu
+    vslidedownm.vi v28, v28, 1
+    ebreak
+  )"));
+  EXPECT_THROW(p.run(), SimError);
+}
+
+TEST(Robustness, VpiNearTopOfRegisterFileFaults) {
+  // vpi writes vd..vd+4; vd = 28 would reach v32.
+  sim::SimdProcessor p = make64(5);
+  p.load_program(assembler::assemble(R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vpi.vi v28, v0, 0
+    ebreak
+  )"));
+  EXPECT_THROW(p.run(), SimError);
+}
+
+TEST(Robustness, SnCsrValidation) {
+  sim::SimdProcessor p = make64(5);  // EleNum 5 -> max SN 1
+  p.load_program(assembler::assemble(R"(
+    li t0, 2
+    csrw 0x7C1, t0
+    ebreak
+  )"));
+  EXPECT_THROW(p.run(), SimError);
+}
+
+TEST(Robustness, SnCsrAcceptsValidValue) {
+  sim::SimdProcessor p = make64(16);  // capacity 3
+  p.load_program(assembler::assemble(R"(
+    li t0, 2
+    csrw 0x7C1, t0
+    ebreak
+  )"));
+  p.run();
+  EXPECT_EQ(p.vector().config().sn, 2u);
+}
+
+TEST(Robustness, WriteToReadOnlyCsrFaults) {
+  sim::SimdProcessor p = make64();
+  p.load_program(assembler::assemble(R"(
+    li t0, 1
+    csrw 0xC00, t0
+    ebreak
+  )"));
+  EXPECT_THROW(p.run(), SimError);
+}
+
+TEST(Robustness, UnknownCsrWritesIgnored) {
+  sim::SimdProcessor p = make64();
+  p.load_program(assembler::assemble(R"(
+    li t0, 1
+    csrw 0x7FF, t0
+    ebreak
+  )"));
+  EXPECT_NO_THROW(p.run());
+}
+
+TEST(Robustness, VectorStoreOutOfBoundsFaults) {
+  sim::ProcessorConfig cfg;
+  cfg.vector.elen_bits = 64;
+  cfg.vector.ele_num = 5;
+  cfg.dmem_bytes = 64;  // tiny memory
+  sim::SimdProcessor p(cfg);
+  p.load_program(assembler::assemble(R"(
+    li a0, 32
+    vsetvli x0, x0, e64, m1, tu, mu
+    vse64.v v0, (a0)
+    ebreak
+  )"));
+  EXPECT_THROW(p.run(), SimError);
+}
+
+TEST(Robustness, MisalignedVectorLoadFaults) {
+  sim::SimdProcessor p = make64();
+  p.load_program(assembler::assemble(R"(
+    li a0, 4
+    vsetvli x0, x0, e64, m1, tu, mu
+    vle64.v v0, (a0)
+    ebreak
+  )"));
+  EXPECT_THROW(p.run(), SimError);
+}
+
+TEST(Robustness, MarkerQueriesOnMissingIdsThrow) {
+  sim::SimdProcessor p = make64();
+  p.load_program(assembler::assemble("ebreak"));
+  p.run();
+  EXPECT_THROW((void)p.cycles_between(1, 2), SimError);
+  EXPECT_TRUE(p.marker_deltas(1).empty());
+}
+
+TEST(Robustness, BadFetchAddressFaults) {
+  sim::SimdProcessor p = make64();
+  p.load_program(assembler::assemble(R"(
+    li t0, 0x100
+    jr t0
+  )"));
+  EXPECT_THROW(p.run(), SimError);
+}
+
+TEST(Robustness, LoadTextRequiresAlignment) {
+  sim::SimdProcessor p = make64();
+  const std::vector<u32> words = {0x00000073};
+  EXPECT_THROW(p.load_text(words, 2), Error);
+}
+
+TEST(Robustness, UndecodableWordInProgramRejectedAtLoad) {
+  sim::SimdProcessor p = make64();
+  const std::vector<u32> words = {0xFFFFFFFFu};
+  EXPECT_THROW(p.load_text(words), DecodeError);
+}
+
+// --- config validation across the stack -------------------------------------------
+
+TEST(Robustness, VectorKeccakConfigValidation) {
+  EXPECT_THROW(core::VectorKeccak vk({core::Arch::k64Lmul1, 4, 24}), Error);
+  EXPECT_THROW(core::VectorKeccak vk({core::Arch::k64Lmul1, 5, 0}), Error);
+  core::VectorKeccakConfig too_many_rounds{core::Arch::k64Lmul1, 5, 13};
+  too_many_rounds.first_round = 12;  // 12 + 13 > 24
+  EXPECT_THROW(core::VectorKeccak vk(too_many_rounds), Error);
+}
+
+TEST(Robustness, AbsorbModeValidation) {
+  core::ProgramOptions opts;
+  opts.arch = core::Arch::k32Lmul8;
+  opts.absorb_blocks = 2;
+  EXPECT_THROW((void)core::build_keccak_program(opts), Error);
+  opts.arch = core::Arch::k64Lmul8;
+  opts.single_round = true;
+  EXPECT_THROW((void)core::build_keccak_program(opts), Error);
+}
+
+TEST(Robustness, GeneratedProgramsAlwaysDecodable) {
+  // Every word every builder emits must round-trip through the decoder —
+  // i.e. the builders only use encodable instructions.
+  for (const auto arch :
+       {core::Arch::k64Lmul1, core::Arch::k64Lmul8, core::Arch::k32Lmul8,
+        core::Arch::k64PureRvv, core::Arch::k64Fused,
+        core::Arch::k64Lmul4Plus1}) {
+    const auto prog = core::build_keccak_program({arch, 10, 24});
+    for (u32 w : prog.image.text) {
+      EXPECT_NO_THROW((void)isa::decode(w)) << core::arch_name(arch);
+    }
+  }
+}
+
+TEST(Robustness, WatchdogMessageNamesCycleCount) {
+  sim::ProcessorConfig cfg;
+  cfg.vector.ele_num = 5;
+  cfg.max_cycles = 100;
+  sim::SimdProcessor p(cfg);
+  p.load_program(assembler::assemble("spin: j spin"));
+  try {
+    p.run();
+    FAIL() << "expected watchdog";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+  }
+}
+
+// --- assembler fuzzing -------------------------------------------------------------
+
+TEST(Robustness, AssemblerSurvivesGarbage) {
+  // Random byte soup must produce AsmError (or assemble cleanly), never
+  // crash or hang.
+  SplitMix64 rng(0xA55E);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string src;
+    const usize len = rng.below(200);
+    for (usize i = 0; i < len; ++i) {
+      // Printable-ish ASCII plus newlines, commas, parens.
+      static constexpr char kChars[] =
+          "abcdefghijklmnopqrstuvwxyz0123456789 ,.()-:#\nxvst";
+      src.push_back(kChars[rng.below(sizeof kChars - 1)]);
+    }
+    try {
+      (void)assembler::assemble(src);
+    } catch (const Error&) {
+      // expected for almost all inputs
+    }
+  }
+}
+
+TEST(Robustness, AssemblerSurvivesMutatedValidPrograms) {
+  // Mutate a valid program one character at a time; every mutation must
+  // either assemble or raise AsmError.
+  const std::string base = R"(
+    li s1, 5
+    vsetvli x0, s1, e64, m1, tu, mu
+    vxor.vv v5, v3, v4
+    vslidedownm.vi v7, v5, 1
+    blt s3, s4, -8
+    ebreak
+)";
+  SplitMix64 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string src = base;
+    const usize pos = rng.below(src.size());
+    src[pos] = static_cast<char>('!' + rng.below(90));
+    try {
+      (void)assembler::assemble(src);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Robustness, SimulatorDeterministic) {
+  // Two identical runs must produce identical cycles, stats and registers.
+  const auto prog = core::build_keccak_program({core::Arch::k64Lmul8, 5, 24});
+  std::array<u64, 2> cycles{};
+  std::array<u64, 2> insts{};
+  for (int k = 0; k < 2; ++k) {
+    sim::SimdProcessor p = make64(5);
+    p.load_program(prog.image);
+    p.run();
+    cycles[static_cast<usize>(k)] = p.cycles();
+    insts[static_cast<usize>(k)] = p.stats().instructions;
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+  EXPECT_EQ(insts[0], insts[1]);
+}
+
+}  // namespace
+}  // namespace kvx

@@ -1,0 +1,216 @@
+// FIPS 202 known-answer tests and sponge behaviour tests for the SHA-3 /
+// SHAKE host library.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/hex.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/keccak/sha3.hpp"
+
+namespace kvx::keccak {
+namespace {
+
+std::vector<u8> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+std::string hex_hash(Sha3Function f, std::string_view msg, usize out_len) {
+  const auto digest = hash(f, bytes_of(msg), out_len);
+  return to_hex(digest);
+}
+
+// --- FIPS 202 known answers ---------------------------------------------------
+
+TEST(Sha3Kat, Sha3_224_Empty) {
+  EXPECT_EQ(hex_hash(Sha3Function::kSha3_224, "", 28),
+            "6b4e03423667dbb73b6e15454f0eb1abd4597f9a1b078e3f5b5a6bc7");
+}
+
+TEST(Sha3Kat, Sha3_224_Abc) {
+  EXPECT_EQ(hex_hash(Sha3Function::kSha3_224, "abc", 28),
+            "e642824c3f8cf24ad09234ee7d3c766fc9a3a5168d0c94ad73b46fdf");
+}
+
+TEST(Sha3Kat, Sha3_256_Empty) {
+  EXPECT_EQ(hex_hash(Sha3Function::kSha3_256, "", 32),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
+}
+
+TEST(Sha3Kat, Sha3_256_Abc) {
+  EXPECT_EQ(hex_hash(Sha3Function::kSha3_256, "abc", 32),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532");
+}
+
+TEST(Sha3Kat, Sha3_384_Empty) {
+  EXPECT_EQ(hex_hash(Sha3Function::kSha3_384, "", 48),
+            "0c63a75b845e4f7d01107d852e4c2485c51a50aaaa94fc61995e71bbee983a2a"
+            "c3713831264adb47fb6bd1e058d5f004");
+}
+
+TEST(Sha3Kat, Sha3_384_Abc) {
+  EXPECT_EQ(hex_hash(Sha3Function::kSha3_384, "abc", 48),
+            "ec01498288516fc926459f58e2c6ad8df9b473cb0fc08c2596da7cf0e49be4b2"
+            "98d88cea927ac7f539f1edf228376d25");
+}
+
+TEST(Sha3Kat, Sha3_512_Empty) {
+  EXPECT_EQ(hex_hash(Sha3Function::kSha3_512, "", 64),
+            "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a6"
+            "15b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26");
+}
+
+TEST(Sha3Kat, Sha3_512_Abc) {
+  EXPECT_EQ(hex_hash(Sha3Function::kSha3_512, "abc", 64),
+            "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e"
+            "10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0");
+}
+
+TEST(Sha3Kat, Shake128_Empty32) {
+  EXPECT_EQ(hex_hash(Sha3Function::kShake128, "", 32),
+            "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26");
+}
+
+TEST(Sha3Kat, Shake256_Empty64) {
+  EXPECT_EQ(hex_hash(Sha3Function::kShake256, "", 64),
+            "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f"
+            "d75dc4ddd8c0f200cb05019d67b592f6fc821c49479ab48640292eacb3b7c4be");
+}
+
+// --- API surface ---------------------------------------------------------------
+
+TEST(Sha3Api, RatesAndDigestSizes) {
+  EXPECT_EQ(rate_bytes(Sha3Function::kSha3_224), 144u);
+  EXPECT_EQ(rate_bytes(Sha3Function::kSha3_256), 136u);
+  EXPECT_EQ(rate_bytes(Sha3Function::kSha3_384), 104u);
+  EXPECT_EQ(rate_bytes(Sha3Function::kSha3_512), 72u);
+  EXPECT_EQ(rate_bytes(Sha3Function::kShake128), 168u);
+  EXPECT_EQ(rate_bytes(Sha3Function::kShake256), 136u);
+  EXPECT_EQ(digest_bytes(Sha3Function::kSha3_512), 64u);
+  EXPECT_EQ(digest_bytes(Sha3Function::kShake128), 0u);
+}
+
+TEST(Sha3Api, Names) {
+  EXPECT_EQ(name(Sha3Function::kSha3_256), "SHA3-256");
+  EXPECT_EQ(name(Sha3Function::kShake256), "SHAKE256");
+}
+
+TEST(Sha3Api, OneShotHelpersAgreeWithGeneric) {
+  const auto msg = bytes_of("the quick brown fox");
+  EXPECT_EQ(to_hex(sha3_256(msg)),
+            to_hex(hash(Sha3Function::kSha3_256, msg, 32)));
+  EXPECT_EQ(to_hex(sha3_512(msg)),
+            to_hex(hash(Sha3Function::kSha3_512, msg, 64)));
+  EXPECT_EQ(to_hex(sha3_224(msg)),
+            to_hex(hash(Sha3Function::kSha3_224, msg, 28)));
+  EXPECT_EQ(to_hex(sha3_384(msg)),
+            to_hex(hash(Sha3Function::kSha3_384, msg, 48)));
+}
+
+TEST(Sha3Api, FixedOutputLengthEnforced) {
+  EXPECT_THROW((void)hash(Sha3Function::kSha3_256, {}, 31), Error);
+}
+
+// --- incremental == one-shot ----------------------------------------------------
+
+class IncrementalTest : public ::testing::TestWithParam<usize> {};
+
+TEST_P(IncrementalTest, ChunkedUpdatesMatchOneShot) {
+  const usize len = GetParam();
+  SplitMix64 rng(len + 1);
+  std::vector<u8> msg(len);
+  for (u8& b : msg) b = static_cast<u8>(rng.next());
+
+  const auto expected = sha3_256(msg);
+  Hasher h(Sha3Function::kSha3_256);
+  // Feed in irregular chunks.
+  usize pos = 0;
+  usize chunk = 1;
+  while (pos < len) {
+    const usize take = std::min(chunk, len - pos);
+    h.update(std::span<const u8>(msg).subspan(pos, take));
+    pos += take;
+    chunk = chunk * 2 + 1;
+  }
+  EXPECT_EQ(to_hex(h.digest()), to_hex(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, IncrementalTest,
+                         ::testing::Values(0, 1, 3, 71, 72, 73, 135, 136, 137,
+                                           200, 271, 272, 300, 1000));
+
+TEST(Xof, SqueezeInPiecesMatchesOneShot) {
+  const auto msg = bytes_of("xof streaming test");
+  const auto expected = shake128(msg, 500);
+  Xof xof(Sha3Function::kShake128);
+  xof.absorb(msg);
+  std::vector<u8> out;
+  for (usize take : {1u, 7u, 100u, 160u, 232u}) {
+    const auto part = xof.squeeze(take);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Xof, ResetGivesFreshStream) {
+  Xof xof(Sha3Function::kShake256);
+  xof.absorb("seed");
+  const auto a = xof.squeeze(32);
+  xof.reset();
+  xof.absorb("seed");
+  const auto b = xof.squeeze(32);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Xof, PermutationCountTracksBlocks) {
+  Xof xof(Sha3Function::kShake128);
+  xof.absorb(std::vector<u8>(168 * 3, 0x42));  // 3 full blocks
+  (void)xof.squeeze(168 * 2);                  // pad block + 1 extra squeeze
+  EXPECT_EQ(xof.permutation_count(), 3u + 1u + 1u);
+}
+
+TEST(Xof, RequiresShake) {
+  EXPECT_THROW(Xof xof(Sha3Function::kSha3_256), Error);
+}
+
+TEST(Hasher, RequiresFixedOutput) {
+  EXPECT_THROW(Hasher h(Sha3Function::kShake128), Error);
+}
+
+// --- sponge/domain properties ----------------------------------------------------
+
+TEST(Sponge, DomainSeparationShakeVsSha3) {
+  // Same message, same rate (SHA3-256 vs SHAKE256 at 136): different domains
+  // must give different outputs.
+  const auto msg = bytes_of("domain");
+  const auto a = hash(Sha3Function::kSha3_256, msg, 32);
+  const auto b = shake256(msg, 32);
+  EXPECT_NE(a, b);
+}
+
+TEST(Sponge, PaddingBoundaries) {
+  // Message lengths straddling the rate boundary must all hash distinctly.
+  std::vector<std::string> digests;
+  for (usize len : {135u, 136u, 137u}) {
+    digests.push_back(to_hex(sha3_256(std::vector<u8>(len, 0x00))));
+  }
+  EXPECT_NE(digests[0], digests[1]);
+  EXPECT_NE(digests[1], digests[2]);
+  EXPECT_NE(digests[0], digests[2]);
+}
+
+TEST(Sponge, AbsorbAfterSqueezeRejected) {
+  Sponge sponge(136, Domain::kSha3);
+  std::array<u8, 4> out{};
+  sponge.squeeze(out);
+  EXPECT_THROW(sponge.absorb(std::array<u8, 1>{}), Error);
+}
+
+TEST(Sponge, InvalidRateRejected) {
+  EXPECT_THROW(Sponge(0, Domain::kSha3), Error);
+  EXPECT_THROW(Sponge(200, Domain::kSha3), Error);
+}
+
+}  // namespace
+}  // namespace kvx::keccak

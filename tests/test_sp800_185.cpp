@@ -1,0 +1,180 @@
+// Tests for the SP 800-185 derived functions.
+//
+// Exact-value checks for the string-encoding primitives (fully specified by
+// SP 800-185 §2.3) plus the mandated cSHAKE→SHAKE degradation; the
+// higher-level constructions are verified structurally (domain separation,
+// tuple unambiguity, key separation, XOF-vs-fixed distinction), since no
+// NIST sample files are available offline.
+#include <gtest/gtest.h>
+
+#include "kvx/common/hex.hpp"
+#include "kvx/keccak/sha3.hpp"
+#include "kvx/keccak/sp800_185.hpp"
+
+namespace kvx::keccak {
+namespace {
+
+std::vector<u8> bytes_of(std::string_view s) { return {s.begin(), s.end()}; }
+
+// --- encodings (exact per spec) ------------------------------------------------
+
+TEST(Encodings, LeftEncode) {
+  EXPECT_EQ(left_encode(0), (std::vector<u8>{0x01, 0x00}));
+  EXPECT_EQ(left_encode(1), (std::vector<u8>{0x01, 0x01}));
+  EXPECT_EQ(left_encode(255), (std::vector<u8>{0x01, 0xFF}));
+  EXPECT_EQ(left_encode(256), (std::vector<u8>{0x02, 0x01, 0x00}));
+  EXPECT_EQ(left_encode(0x12345), (std::vector<u8>{0x03, 0x01, 0x23, 0x45}));
+}
+
+TEST(Encodings, RightEncode) {
+  EXPECT_EQ(right_encode(0), (std::vector<u8>{0x00, 0x01}));
+  EXPECT_EQ(right_encode(1), (std::vector<u8>{0x01, 0x01}));
+  EXPECT_EQ(right_encode(256), (std::vector<u8>{0x01, 0x00, 0x02}));
+}
+
+TEST(Encodings, EncodeString) {
+  EXPECT_EQ(encode_string(std::string_view("")),
+            (std::vector<u8>{0x01, 0x00}));
+  // "KMAC": 4 bytes = 32 bits.
+  EXPECT_EQ(encode_string(std::string_view("KMAC")),
+            (std::vector<u8>{0x01, 0x20, 'K', 'M', 'A', 'C'}));
+}
+
+TEST(Encodings, Bytepad) {
+  const auto padded = bytepad(std::vector<u8>{0xAA, 0xBB}, 8);
+  // left_encode(8) = {0x01, 0x08}; total 4 bytes -> pad to 8.
+  EXPECT_EQ(padded,
+            (std::vector<u8>{0x01, 0x08, 0xAA, 0xBB, 0x00, 0x00, 0x00, 0x00}));
+  EXPECT_EQ(bytepad({}, 4).size(), 4u);
+  for (usize w : {1u, 3u, 136u, 168u}) {
+    EXPECT_EQ(bytepad(std::vector<u8>(17, 1), w).size() % w, 0u) << w;
+  }
+}
+
+// --- cSHAKE ---------------------------------------------------------------------
+
+TEST(Cshake, EmptyNAndSEqualsShake) {
+  const auto msg = bytes_of("degenerate case");
+  EXPECT_EQ(cshake128(msg, 64, {}, {}), shake128(msg, 64));
+  EXPECT_EQ(cshake256(msg, 64, {}, {}), shake256(msg, 64));
+}
+
+TEST(Cshake, CustomizationSeparatesDomains) {
+  const auto msg = bytes_of("message");
+  const auto a = cshake128(msg, 32, {}, bytes_of("app A"));
+  const auto b = cshake128(msg, 32, {}, bytes_of("app B"));
+  const auto plain = shake128(msg, 32);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, plain);
+  EXPECT_NE(b, plain);
+}
+
+TEST(Cshake, FunctionNameSeparates) {
+  const auto msg = bytes_of("m");
+  EXPECT_NE(cshake256(msg, 32, bytes_of("F1"), {}),
+            cshake256(msg, 32, bytes_of("F2"), {}));
+}
+
+TEST(Cshake, OutputsAreExtensions) {
+  // Squeezing more keeps the prefix (XOF property must survive the prefix
+  // block).
+  const auto msg = bytes_of("prefix property");
+  const auto s = bytes_of("S");
+  const auto short_out = cshake128(msg, 32, {}, s);
+  const auto long_out = cshake128(msg, 96, {}, s);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(), long_out.begin()));
+}
+
+TEST(Cshake, PrefixBlockCostsOnePermutation) {
+  // bytepad pads N/S to exactly one rate block, so cSHAKE of a short message
+  // differs from SHAKE by one extra absorb block. Verified indirectly: same
+  // message and S across the two security levels must differ.
+  const auto msg = bytes_of("x");
+  EXPECT_NE(cshake128(msg, 32, {}, bytes_of("S")),
+            cshake256(msg, 32, {}, bytes_of("S")));
+}
+
+// --- KMAC ------------------------------------------------------------------------
+
+TEST(Kmac, KeySeparation) {
+  const auto msg = bytes_of("authenticated message");
+  const auto mac1 = kmac128(bytes_of("key-1"), msg, 32);
+  const auto mac2 = kmac128(bytes_of("key-2"), msg, 32);
+  EXPECT_NE(mac1, mac2);
+}
+
+TEST(Kmac, MessageSensitivity) {
+  const auto key = bytes_of("key");
+  EXPECT_NE(kmac256(key, bytes_of("m1"), 32), kmac256(key, bytes_of("m2"), 32));
+}
+
+TEST(Kmac, OutputLengthIsBoundIntoMac) {
+  // KMAC encodes L into the input, so a 32-byte MAC is NOT a prefix of a
+  // 64-byte MAC (unlike a plain XOF).
+  const auto key = bytes_of("key");
+  const auto msg = bytes_of("msg");
+  const auto mac32 = kmac128(key, msg, 32);
+  const auto mac64 = kmac128(key, msg, 64);
+  EXPECT_FALSE(std::equal(mac32.begin(), mac32.end(), mac64.begin()));
+}
+
+TEST(Kmac, XofVariantIsPrefixFree) {
+  // KMACXOF uses right_encode(0): longer outputs extend shorter ones.
+  const auto key = bytes_of("key");
+  const auto msg = bytes_of("msg");
+  const auto x32 = kmacxof128(key, msg, 32);
+  const auto x64 = kmacxof128(key, msg, 64);
+  EXPECT_TRUE(std::equal(x32.begin(), x32.end(), x64.begin()));
+  EXPECT_NE(x32, kmac128(key, msg, 32));  // and differs from fixed KMAC
+}
+
+TEST(Kmac, CustomizationString) {
+  const auto key = bytes_of("key");
+  const auto msg = bytes_of("msg");
+  EXPECT_NE(kmac256(key, msg, 32, bytes_of("ctx A")),
+            kmac256(key, msg, 32, bytes_of("ctx B")));
+}
+
+TEST(Kmac, EmptyKeyAndMessageStillWork) {
+  EXPECT_EQ(kmac128({}, {}, 32).size(), 32u);
+}
+
+// --- TupleHash ----------------------------------------------------------------------
+
+TEST(TupleHash, UnambiguousEncoding) {
+  // The design goal: ("abc", "def") must differ from ("ab", "cdef") etc.
+  const std::vector<std::vector<u8>> t1 = {bytes_of("abc"), bytes_of("def")};
+  const std::vector<std::vector<u8>> t2 = {bytes_of("ab"), bytes_of("cdef")};
+  const std::vector<std::vector<u8>> t3 = {bytes_of("abcdef")};
+  const auto h1 = tuple_hash128(t1, 32);
+  const auto h2 = tuple_hash128(t2, 32);
+  const auto h3 = tuple_hash128(t3, 32);
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, h3);
+  EXPECT_NE(h2, h3);
+}
+
+TEST(TupleHash, EmptyElementsAreSignificant) {
+  const std::vector<std::vector<u8>> t1 = {bytes_of("a")};
+  const std::vector<std::vector<u8>> t2 = {bytes_of("a"), {}};
+  EXPECT_NE(tuple_hash256(t1, 32), tuple_hash256(t2, 32));
+}
+
+TEST(TupleHash, OrderMatters) {
+  const std::vector<std::vector<u8>> t1 = {bytes_of("x"), bytes_of("y")};
+  const std::vector<std::vector<u8>> t2 = {bytes_of("y"), bytes_of("x")};
+  EXPECT_NE(tuple_hash128(t1, 32), tuple_hash128(t2, 32));
+}
+
+TEST(TupleHash, SecurityLevelsDiffer) {
+  const std::vector<std::vector<u8>> t = {bytes_of("x")};
+  EXPECT_NE(tuple_hash128(t, 32), tuple_hash256(t, 32));
+}
+
+TEST(TupleHash, Deterministic) {
+  const std::vector<std::vector<u8>> t = {bytes_of("a"), bytes_of("b")};
+  EXPECT_EQ(tuple_hash128(t, 48), tuple_hash128(t, 48));
+}
+
+}  // namespace
+}  // namespace kvx::keccak

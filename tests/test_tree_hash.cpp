@@ -1,0 +1,144 @@
+// Tests for KangarooTwelve-style tree hashing: host reference framing plus
+// the host-vs-accelerator differential (the leaves run SN-wide on the
+// simulated vector unit).
+#include <gtest/gtest.h>
+
+#include "kvx/common/hex.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/core/parallel_tree_hash.hpp"
+#include "kvx/keccak/tree_hash.hpp"
+#include "kvx/keccak/turboshake.hpp"
+
+namespace kvx::keccak {
+namespace {
+
+std::vector<u8> random_bytes(usize n, u64 seed) {
+  SplitMix64 rng(seed);
+  std::vector<u8> v(n);
+  for (u8& b : v) b = static_cast<u8>(rng.next());
+  return v;
+}
+
+TEST(TreeHash, SingleChunkIsFlatTurboShake) {
+  const auto msg = random_bytes(1000, 1);
+  EXPECT_EQ(tree_hash128(msg, 32),
+            turboshake128(msg, 32, TreeHashDomains::kSingle));
+}
+
+TEST(TreeHash, ChunkBoundaryExactlyOneChunkStaysFlat) {
+  const TreeHashParams p;
+  const auto msg = random_bytes(p.chunk_bytes, 2);
+  EXPECT_EQ(tree_hash128(msg, 32),
+            turboshake128(msg, 32, TreeHashDomains::kSingle));
+}
+
+TEST(TreeHash, OneByteOverChunkSwitchesToTree) {
+  const TreeHashParams p;
+  const auto base = random_bytes(p.chunk_bytes, 3);
+  auto over = base;
+  over.push_back(0x42);
+  // The tree form must differ from flat-hashing the same bytes.
+  EXPECT_NE(tree_hash128(over, 32),
+            turboshake128(over, 32, TreeHashDomains::kSingle));
+}
+
+TEST(TreeHash, FramingMatchesManualConstruction) {
+  TreeHashParams p;
+  p.chunk_bytes = 100;  // small chunks keep the test fast
+  const auto msg = random_bytes(350, 4);  // 1 first + 3 leaves (100,100,50)
+  // Manual: leaves -> CVs -> final node.
+  std::vector<std::vector<u8>> cvs;
+  for (usize pos = 100; pos < msg.size(); pos += 100) {
+    const usize take = std::min<usize>(100, msg.size() - pos);
+    cvs.push_back(turboshake128(
+        std::span<const u8>(msg).subspan(pos, take), 32,
+        TreeHashDomains::kLeaf));
+  }
+  const auto node = tree_hash_final_input(
+      std::span<const u8>(msg).first(100), cvs);
+  const auto expected = turboshake128(node, 64, TreeHashDomains::kFinal);
+  EXPECT_EQ(tree_hash128(msg, 64, p), expected);
+}
+
+TEST(TreeHash, FinalInputLayout) {
+  const std::vector<u8> first = {1, 2, 3};
+  const std::vector<std::vector<u8>> cvs = {{0xAA}, {0xBB}};
+  const auto node = tree_hash_final_input(first, cvs);
+  // first ‖ 03 00*7 ‖ AA ‖ BB ‖ right_encode(2)={02,01} ‖ FF FF.
+  const std::vector<u8> expect = {1,    2,    3,    0x03, 0, 0, 0, 0,
+                                  0,    0,    0,    0xAA, 0xBB,
+                                  0x02, 0x01, 0xFF, 0xFF};
+  EXPECT_EQ(node, expect);
+}
+
+TEST(TreeHash, DistinctChunkingsDiffer) {
+  TreeHashParams a, b;
+  a.chunk_bytes = 128;
+  b.chunk_bytes = 256;
+  const auto msg = random_bytes(1000, 5);
+  EXPECT_NE(tree_hash128(msg, 32, a), tree_hash128(msg, 32, b));
+}
+
+TEST(TreeHash, XofPrefixProperty) {
+  const auto msg = random_bytes(20000, 6);
+  const auto short_out = tree_hash128(msg, 16);
+  const auto long_out = tree_hash128(msg, 64);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(),
+                         long_out.begin()));
+}
+
+}  // namespace
+}  // namespace kvx::keccak
+
+namespace kvx::core {
+namespace {
+
+std::vector<u8> random_bytes(usize n, u64 seed) {
+  SplitMix64 rng(seed);
+  std::vector<u8> v(n);
+  for (u8& b : v) b = static_cast<u8>(rng.next());
+  return v;
+}
+
+TEST(ParallelTreeHash, MatchesHostSingleChunk) {
+  ParallelTreeHash accel(Arch::k64Lmul8, 5);
+  const auto msg = random_bytes(500, 7);
+  EXPECT_EQ(to_hex(accel.hash(msg, 32)),
+            to_hex(keccak::tree_hash128(msg, 32)));
+}
+
+TEST(ParallelTreeHash, MatchesHostMultiChunk) {
+  keccak::TreeHashParams params;
+  params.chunk_bytes = 512;  // small chunks -> several leaves
+  ParallelTreeHash accel(Arch::k64Lmul8, 20, params);  // SN = 4 leaves/batch
+  const auto msg = random_bytes(5000, 8);              // ~9 leaves
+  EXPECT_EQ(to_hex(accel.hash(msg, 48)),
+            to_hex(keccak::tree_hash128(msg, 48, params)));
+}
+
+TEST(ParallelTreeHash, LeavesBatchAcrossLanes) {
+  keccak::TreeHashParams params;
+  params.chunk_bytes = 168;  // exactly one rate block per leaf
+  ParallelTreeHash accel(Arch::k64Lmul8, 20, params);  // SN = 4
+  // 1 first chunk + 8 equal leaves: 8 leaves at SN=4 -> 2 leaf batches,
+  // plus the final node batch.
+  const auto msg = random_bytes(168 * 9, 9);
+  EXPECT_EQ(to_hex(accel.hash(msg, 32)),
+            to_hex(keccak::tree_hash128(msg, 32, params)));
+  // Leaves: 8 permutations across 2 batches (168-byte leaf = 1 block + pad
+  // block = 2 permutations each... count only that batching happened).
+  EXPECT_GE(accel.stats().permutations, 8u);
+  EXPECT_LT(accel.stats().permutation_batches, accel.stats().permutations);
+}
+
+TEST(ParallelTreeHash, WorksOn32BitArch) {
+  keccak::TreeHashParams params;
+  params.chunk_bytes = 300;
+  ParallelTreeHash accel(Arch::k32Lmul8, 10, params);
+  const auto msg = random_bytes(1500, 10);
+  EXPECT_EQ(to_hex(accel.hash(msg, 32)),
+            to_hex(keccak::tree_hash128(msg, 32, params)));
+}
+
+}  // namespace
+}  // namespace kvx::core

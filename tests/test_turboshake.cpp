@@ -1,0 +1,146 @@
+// Tests for TurboSHAKE (12-round XOF) and its on-device execution: the
+// reduced-round accelerator programs (rounds = 12, first_round = 12) must
+// produce the same permutation the host TurboSHAKE uses.
+#include <gtest/gtest.h>
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/core/vector_keccak.hpp"
+#include "kvx/keccak/keccak_p.hpp"
+#include "kvx/keccak/sha3.hpp"
+#include "kvx/keccak/turboshake.hpp"
+
+namespace kvx::keccak {
+namespace {
+
+std::vector<u8> bytes_of(std::string_view s) { return {s.begin(), s.end()}; }
+
+TEST(TurboShake, Permute12MatchesKeccakPRounds12To23) {
+  SplitMix64 rng(1);
+  State s;
+  for (u64& lane : s.flat()) lane = rng.next();
+  KeccakP1600::StateArray expect{};
+  std::copy(s.flat().begin(), s.flat().end(), expect.begin());
+  permute_12(s);
+  for (unsigned ir = 12; ir < 24; ++ir) KeccakP1600::round(expect, ir);
+  for (usize i = 0; i < kLanes; ++i) {
+    EXPECT_EQ(s.flat()[i], expect[i]);
+  }
+}
+
+TEST(TurboShake, DiffersFromShake) {
+  // Same rate and domain byte as SHAKE128 but half the rounds.
+  const auto msg = bytes_of("reduced rounds");
+  EXPECT_NE(turboshake128(msg, 32), shake128(msg, 32));
+}
+
+TEST(TurboShake, DomainSeparation) {
+  const auto msg = bytes_of("m");
+  EXPECT_NE(turboshake128(msg, 32, 0x1F), turboshake128(msg, 32, 0x07));
+  EXPECT_NE(turboshake256(msg, 32, 0x1F), turboshake256(msg, 32, 0x0B));
+}
+
+TEST(TurboShake, DomainByteRangeEnforced) {
+  EXPECT_THROW((void)turboshake128({}, 32, 0x00), Error);
+  EXPECT_THROW((void)turboshake128({}, 32, 0x80), Error);
+  EXPECT_NO_THROW(turboshake128({}, 32, 0x01));
+  EXPECT_NO_THROW(turboshake128({}, 32, 0x7F));
+}
+
+TEST(TurboShake, IncrementalMatchesOneShot) {
+  SplitMix64 rng(2);
+  std::vector<u8> msg(500);
+  for (u8& b : msg) b = static_cast<u8>(rng.next());
+  const auto expected = turboshake256(msg, 200);
+  TurboShake xof(256);
+  xof.absorb(std::span<const u8>(msg).first(123));
+  xof.absorb(std::span<const u8>(msg).subspan(123));
+  std::vector<u8> out;
+  const auto a = xof.squeeze(77);
+  const auto b = xof.squeeze(123);
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  EXPECT_EQ(out, expected);
+}
+
+TEST(TurboShake, SecurityLevelsValidated) {
+  EXPECT_THROW(TurboShake xof(192), Error);
+}
+
+TEST(TurboShake, XofPrefixProperty) {
+  const auto msg = bytes_of("prefix");
+  const auto short_out = turboshake128(msg, 16);
+  const auto long_out = turboshake128(msg, 64);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(), long_out.begin()));
+}
+
+}  // namespace
+}  // namespace kvx::keccak
+
+namespace kvx::core {
+namespace {
+
+using keccak::State;
+
+class TurboOnDeviceTest : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(TurboOnDeviceTest, ReducedRoundProgramMatchesPermute12) {
+  // rounds = 12, first_round = 12: the FIPS Keccak-p[1600,12] convention
+  // the TurboSHAKE permutation uses.
+  ProgramOptions opts;
+  opts.arch = GetParam();
+  opts.ele_num = 5;
+  opts.rounds = 12;
+  opts.first_round = 12;
+  const KeccakProgram prog = build_keccak_program(opts);
+
+  sim::ProcessorConfig cfg;
+  cfg.vector.elen_bits = arch_elen(GetParam());
+  cfg.vector.ele_num = 5;
+  sim::SimdProcessor proc(cfg);
+  proc.load_program(prog.image);
+
+  SplitMix64 rng(3);
+  State st;
+  for (u64& lane : st.flat()) lane = rng.next();
+  State expected = st;
+  const u32 base = prog.image.symbol("state");
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned x = 0; x < 5; ++x) {
+      proc.dmem().write64(base + (y * 5 + x) * 8, st.lane(x, y));
+    }
+  }
+  proc.run();
+  keccak::permute_12(expected);
+  for (unsigned y = 0; y < 5; ++y) {
+    for (unsigned x = 0; x < 5; ++x) {
+      EXPECT_EQ(proc.dmem().read64(base + (y * 5 + x) * 8),
+                expected.lane(x, y))
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, TurboOnDeviceTest,
+                         ::testing::Values(Arch::k64Lmul1, Arch::k64Lmul8,
+                                           Arch::k32Lmul8, Arch::k64Fused),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Arch::k64Lmul1: return "L1";
+                             case Arch::k64Lmul8: return "L8";
+                             case Arch::k32Lmul8: return "A32";
+                             default: return "Fused";
+                           }
+                         });
+
+TEST(TurboOnDevice, HalfTheCyclesOfFullKeccak) {
+  VectorKeccak vk_full({Arch::k64Lmul8, 5, 24});
+  VectorKeccak vk_turbo({Arch::k64Lmul8, 5, 12});
+  const double ratio =
+      static_cast<double>(vk_full.measure_permutation_cycles()) /
+      static_cast<double>(vk_turbo.measure_permutation_cycles());
+  EXPECT_NEAR(ratio, 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace kvx::core

@@ -1,0 +1,387 @@
+// End-to-end tests of the paper's HW/SW co-design: the generated assembly
+// programs for all architecture variants must compute bit-exact
+// Keccak-f[1600] for every supported state count, and their latencies must
+// match the paper's reported cycle counts.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/core/vector_keccak.hpp"
+#include "kvx/keccak/permutation.hpp"
+
+namespace kvx::core {
+namespace {
+
+using keccak::State;
+
+std::vector<State> random_states(usize n, u64 seed) {
+  SplitMix64 rng(seed);
+  std::vector<State> states(n);
+  for (State& s : states) {
+    for (u64& lane : s.flat()) lane = rng.next();
+  }
+  return states;
+}
+
+class ArchTest
+    : public ::testing::TestWithParam<std::tuple<Arch, unsigned>> {
+ protected:
+  Arch arch() const { return std::get<0>(GetParam()); }
+  unsigned sn() const { return std::get<1>(GetParam()); }
+  VectorKeccakConfig config() const {
+    return {arch(), 5 * sn(), 24};
+  }
+};
+
+TEST_P(ArchTest, PermutationMatchesGoldenModel) {
+  VectorKeccak vk(config());
+  auto states = random_states(sn(), 42);
+  auto expected = states;
+  vk.permute(states);
+  for (State& s : expected) keccak::permute(s);
+  for (usize i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(states[i], expected[i]) << arch_name(arch()) << " state " << i;
+  }
+}
+
+TEST_P(ArchTest, FewerStatesThanSnWork) {
+  if (sn() == 1) GTEST_SKIP() << "needs SN > 1";
+  VectorKeccak vk(config());
+  auto states = random_states(sn() - 1, 7);
+  auto expected = states;
+  vk.permute(states);
+  for (State& s : expected) keccak::permute(s);
+  for (usize i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(states[i], expected[i]);
+  }
+}
+
+TEST_P(ArchTest, RepeatedPermutationsAreConsistent) {
+  VectorKeccak vk(config());
+  auto states = random_states(sn(), 3);
+  auto expected = states;
+  for (int rep = 0; rep < 3; ++rep) vk.permute(states);
+  for (State& s : expected) {
+    keccak::permute(s);
+    keccak::permute(s);
+    keccak::permute(s);
+  }
+  for (usize i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(states[i], expected[i]);
+  }
+}
+
+TEST_P(ArchTest, LatencyIndependentOfStateCount) {
+  // Paper §4.2: "The latency is the same no matter how many Keccak states
+  // there are in the system simultaneously."
+  VectorKeccakConfig small{arch(), 5, 24};
+  VectorKeccakConfig large{arch(), 5 * sn(), 24};
+  VectorKeccak a(small), b(large);
+  EXPECT_EQ(a.measure_permutation_cycles(), b.measure_permutation_cycles());
+  EXPECT_EQ(a.measure_round_cycles(), b.measure_round_cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchsAndStates, ArchTest,
+    ::testing::Combine(::testing::Values(Arch::k64Lmul1, Arch::k64Lmul8,
+                                         Arch::k32Lmul8, Arch::k64PureRvv,
+                                         Arch::k64Fused, Arch::k64Lmul4Plus1),
+                       ::testing::Values(1u, 3u, 6u)),
+    [](const auto& info) {
+      const char* a = "";
+      switch (std::get<0>(info.param)) {
+        case Arch::k64Lmul1: a = "A64L1"; break;
+        case Arch::k64Lmul8: a = "A64L8"; break;
+        case Arch::k32Lmul8: a = "A32L8"; break;
+        case Arch::k64PureRvv: a = "A64RVV"; break;
+        case Arch::k64Fused: a = "A64FUSED"; break;
+        case Arch::k64Lmul4Plus1: a = "A64L41"; break;
+      }
+      return std::string(a) + "_SN" + std::to_string(std::get<1>(info.param));
+    });
+
+// --- the paper's Figure 5 register layout (EleNum = 16, 3 states) --------------
+
+TEST(Figure5Layout, NonMultipleOfFiveEleNumWorks) {
+  // Figure 5 shows EleNum = 16 holding three states (elements 0-4, 5-9,
+  // 10-14) with element 15 unused. The whole pipeline must work with the
+  // slack element present and leave the three states bit-exact.
+  for (Arch arch : {Arch::k64Lmul1, Arch::k64Lmul8, Arch::k64Fused}) {
+    VectorKeccak vk({arch, 16, 24});
+    EXPECT_EQ(vk.config().sn(), 3u);
+    auto states = random_states(3, 16);
+    auto expected = states;
+    vk.permute(states);
+    for (State& s : expected) keccak::permute(s);
+    for (usize i = 0; i < 3; ++i) {
+      EXPECT_EQ(states[i], expected[i]) << arch_name(arch) << " state " << i;
+    }
+  }
+}
+
+TEST(Figure5Layout, ThirtyTwoBitArchWithSlackElement) {
+  // The 32-bit architecture with EleNum = 16: indexed hi/lo loads, slack
+  // element untouched, three states bit-exact.
+  VectorKeccak vk({Arch::k32Lmul8, 16, 24});
+  auto states = random_states(3, 18);
+  auto expected = states;
+  vk.permute(states);
+  for (State& s : expected) keccak::permute(s);
+  for (usize i = 0; i < 3; ++i) EXPECT_EQ(states[i], expected[i]) << i;
+}
+
+TEST(Figure5Layout, MemoryLayoutMatchesFigure) {
+  // Row y of the staged memory must hold lane (x, y) of state s at element
+  // 5s + x (paper Figure 5's address allocation).
+  VectorKeccak vk({Arch::k64Lmul1, 16, 1});  // 1 round: cheap
+  auto states = random_states(3, 17);
+  const auto originals = states;
+  vk.permute(states);
+  // Re-stage via the program's own layout helper and compare offsets.
+  const KeccakProgram& prog = vk.program();
+  for (unsigned s = 0; s < 3; ++s) {
+    for (unsigned y = 0; y < 5; ++y) {
+      for (unsigned x = 0; x < 5; ++x) {
+        EXPECT_EQ(prog.lane_offset(s, x, y), (y * 16u + 5 * s + x) * 8u);
+      }
+    }
+  }
+  // And the result equals one golden round per state.
+  for (usize i = 0; i < 3; ++i) {
+    State expect = originals[i];
+    keccak::round(expect, 0);
+    EXPECT_EQ(states[i], expect);
+  }
+}
+
+// --- cycle-accuracy regression (paper §4.2) -----------------------------------
+
+TEST(CycleRegression, Round64Lmul1Is103) {
+  VectorKeccak vk({Arch::k64Lmul1, 5, 24});
+  EXPECT_EQ(vk.measure_round_cycles(), 103u);
+}
+
+TEST(CycleRegression, Round64Lmul8Is75) {
+  VectorKeccak vk({Arch::k64Lmul8, 5, 24});
+  EXPECT_EQ(vk.measure_round_cycles(), 75u);
+}
+
+TEST(CycleRegression, Round32Lmul8NearPaper147) {
+  // Our program reproduces the paper's structure; the measured body is
+  // within one cycle of the published 147 (see EXPERIMENTS.md).
+  VectorKeccak vk({Arch::k32Lmul8, 5, 24});
+  const u64 c = vk.measure_round_cycles();
+  EXPECT_GE(c, 145u);
+  EXPECT_LE(c, 148u);
+}
+
+TEST(CycleRegression, PermutationLatenciesNearPaper) {
+  // Paper: 2564 (64/LMUL1), 1892 (64/LMUL8), 3620 (32/LMUL8) cycles. Our
+  // loop/setup accounting differs slightly; require within 2%.
+  const auto near = [](u64 measured, double paper) {
+    return std::abs(static_cast<double>(measured) - paper) / paper < 0.02;
+  };
+  VectorKeccak a({Arch::k64Lmul1, 5, 24});
+  VectorKeccak b({Arch::k64Lmul8, 5, 24});
+  VectorKeccak c({Arch::k32Lmul8, 5, 24});
+  EXPECT_TRUE(near(a.measure_permutation_cycles(), 2564.0))
+      << a.measure_permutation_cycles();
+  EXPECT_TRUE(near(b.measure_permutation_cycles(), 1892.0))
+      << b.measure_permutation_cycles();
+  EXPECT_TRUE(near(c.measure_permutation_cycles(), 3620.0))
+      << c.measure_permutation_cycles();
+}
+
+TEST(CycleRegression, Lmul8BeatsLmul1ByPaperRatio) {
+  VectorKeccak a({Arch::k64Lmul1, 5, 24});
+  VectorKeccak b({Arch::k64Lmul8, 5, 24});
+  const double ratio = static_cast<double>(a.measure_permutation_cycles()) /
+                       static_cast<double>(b.measure_permutation_cycles());
+  EXPECT_NEAR(ratio, 1.35, 0.05);  // paper: throughput x1.35
+}
+
+TEST(CycleRegression, Lmul4Plus1SlowerThanLmul8AsPaperPredicts) {
+  // SS4.1: "we would need to configure the LMUL value in an alternating
+  // way, which would consume more time" — measured: 91 vs 75 cycles/round.
+  VectorKeccak split({Arch::k64Lmul4Plus1, 5, 24});
+  VectorKeccak grouped({Arch::k64Lmul8, 5, 24});
+  EXPECT_EQ(split.measure_round_cycles(), 91u);
+  EXPECT_GT(split.measure_round_cycles(), grouped.measure_round_cycles());
+  EXPECT_LT(split.measure_round_cycles(),
+            VectorKeccak({Arch::k64Lmul1, 5, 24}).measure_round_cycles());
+}
+
+TEST(CycleRegression, FusedRound64Is40) {
+  // Our implementation of the paper's SS5 prediction: fusing theta's
+  // combine, rho+pi, and chi drops the 64-bit round from 75 to 40 cycles.
+  VectorKeccak vk({Arch::k64Fused, 5, 24});
+  EXPECT_EQ(vk.measure_round_cycles(), 40u);
+}
+
+TEST(CycleRegression, FusedBeatsAlgorithm3) {
+  VectorKeccak fused({Arch::k64Fused, 5, 24});
+  VectorKeccak alg3({Arch::k64Lmul8, 5, 24});
+  EXPECT_LT(fused.measure_permutation_cycles(),
+            alg3.measure_permutation_cycles());
+}
+
+TEST(CycleRegression, CustomIseBeatsPureRvv) {
+  // The ablation: custom instructions must beat the pure-RVV program on the
+  // same hardware budget.
+  VectorKeccak custom({Arch::k64Lmul1, 5, 24});
+  VectorKeccak pure({Arch::k64PureRvv, 5, 24});
+  EXPECT_LT(custom.measure_round_cycles(), pure.measure_round_cycles());
+}
+
+class DecoupledVpuTest : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(DecoupledVpuTest, ResultsIdenticalUnderBothTimingModels) {
+  const KeccakProgram prog = build_keccak_program({GetParam(), 5, 24});
+  SplitMix64 rng(91);
+  std::array<u64, 25> lanes{};
+  for (u64& lane : lanes) lane = rng.next();
+  std::array<std::array<u64, 25>, 2> results{};
+  for (int k = 0; k < 2; ++k) {
+    sim::ProcessorConfig cfg;
+    cfg.vector.elen_bits = arch_elen(GetParam());
+    cfg.vector.ele_num = 5;
+    cfg.cycle_model.decoupled_vpu = (k == 1);
+    sim::SimdProcessor proc(cfg);
+    proc.load_program(prog.image);
+    const u32 base = prog.image.symbol("state");
+    for (unsigned i = 0; i < 25; ++i) proc.dmem().write64(base + 8 * i, lanes[i]);
+    proc.run();
+    for (unsigned i = 0; i < 25; ++i) {
+      results[static_cast<usize>(k)][i] = proc.dmem().read64(base + 8 * i);
+    }
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, DecoupledVpuTest,
+                         ::testing::Values(Arch::k64Lmul1, Arch::k64Lmul8,
+                                           Arch::k32Lmul8, Arch::k64Fused,
+                                           Arch::k64Lmul4Plus1),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Arch::k64Lmul1: return "L1";
+                             case Arch::k64Lmul8: return "L8";
+                             case Arch::k32Lmul8: return "A32";
+                             case Arch::k64Fused: return "Fused";
+                             default: return "L41";
+                           }
+                         });
+
+TEST(DecoupledVpu, ResultsUnchangedAndFaster) {
+  // The decoupled-VPU cycle model must not change computed results, and it
+  // must hide the scalar loop overhead.
+  const KeccakProgram prog = build_keccak_program({Arch::k64Lmul1, 5, 24});
+  sim::ProcessorConfig blocking_cfg;
+  blocking_cfg.vector.elen_bits = 64;
+  blocking_cfg.vector.ele_num = 5;
+  auto decoupled_cfg = blocking_cfg;
+  decoupled_cfg.cycle_model.decoupled_vpu = true;
+
+  SplitMix64 rng(77);
+  std::array<u64, 25> lanes{};
+  for (u64& lane : lanes) lane = rng.next();
+
+  std::array<u64, 2> cycles{};
+  std::array<std::array<u64, 25>, 2> results{};
+  int k = 0;
+  for (const auto& cfg : {blocking_cfg, decoupled_cfg}) {
+    sim::SimdProcessor proc(cfg);
+    proc.load_program(prog.image);
+    const u32 base = prog.image.symbol("state");
+    for (unsigned i = 0; i < 25; ++i) {
+      proc.dmem().write64(base + 8 * i, lanes[i]);
+    }
+    proc.run();
+    for (unsigned i = 0; i < 25; ++i) {
+      results[static_cast<usize>(k)][i] = proc.dmem().read64(base + 8 * i);
+    }
+    cycles[static_cast<usize>(k)] =
+        proc.cycles_between(Markers::kPermStart, Markers::kPermEnd);
+    ++k;
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_LT(cycles[1], cycles[0]);
+}
+
+// --- program/source level -------------------------------------------------------
+
+TEST(Program, SourceContainsPaperInstructionSequence) {
+  const KeccakProgram p = build_keccak_program({Arch::k64Lmul1, 5, 24, false});
+  EXPECT_NE(p.source.find("vxor.vv v5,v3,v4"), std::string::npos);
+  EXPECT_NE(p.source.find("vrotup.vi v7,v7,1"), std::string::npos);
+  EXPECT_NE(p.source.find("v64rho.vi v0,v0,0"), std::string::npos);
+  EXPECT_NE(p.source.find("vpi.vi v5,v4,4"), std::string::npos);
+  EXPECT_NE(p.source.find("viota.vx v0,v0,s3"), std::string::npos);
+}
+
+TEST(Program, Lmul8SourceUsesRegisterGroups) {
+  const KeccakProgram p = build_keccak_program({Arch::k64Lmul8, 5, 24, false});
+  EXPECT_NE(p.source.find("vsetvli x0,s5,e64,m8,tu,mu"), std::string::npos);
+  EXPECT_NE(p.source.find("v64rho.vi v0,v0,-1"), std::string::npos);
+  EXPECT_NE(p.source.find("vpi.vi v8,v0,-1"), std::string::npos);
+}
+
+TEST(Program, PureRvvSourceHasNoCustomInstructions) {
+  const KeccakProgram p = build_keccak_program({Arch::k64PureRvv, 5, 24, false});
+  for (const char* custom :
+       {"vslidedownm", "vslideupm", "vrotup", "v64rho", "vpi.vi", "viota",
+        "v32lrho", "v32hrho", "v32lrotup", "v32hrotup"}) {
+    EXPECT_EQ(p.source.find(custom), std::string::npos) << custom;
+  }
+}
+
+TEST(Program, InstructionCountPerRoundMatchesAlgorithm2) {
+  // Algorithm 2's round body: 13 (theta) + 5 (rho) + 5 (pi) + 25 (chi) +
+  // 1 (iota) = 49 vector instructions.
+  VectorKeccak vk({Arch::k64Lmul1, 5, 24});
+  std::vector<State> states(1);
+  vk.permute(states);
+  const auto& counts = vk.processor().stats().opcode_counts;
+  EXPECT_EQ(counts.at("v64rho.vi"), 5u * 24);
+  EXPECT_EQ(counts.at("vpi.vi"), 5u * 24);
+  EXPECT_EQ(counts.at("viota.vx"), 24u);
+  EXPECT_EQ(counts.at("vslidedownm.vi"), 24u * (1 + 10));
+  EXPECT_EQ(counts.at("vslideupm.vi"), 24u);
+}
+
+TEST(Program, RejectsBadOptions) {
+  EXPECT_THROW((void)build_keccak_program({Arch::k64Lmul1, 4, 24, false}), Error);
+  EXPECT_THROW((void)build_keccak_program({Arch::k64Lmul1, 5, 0, false}), Error);
+  EXPECT_THROW((void)build_keccak_program({Arch::k64Lmul1, 5, 25, false}), Error);
+}
+
+TEST(Program, ReducedRoundVariant) {
+  // A 12-round variant must equal 12 golden rounds (TurboSHAKE-style).
+  VectorKeccak vk({Arch::k64Lmul1, 5, 12});
+  auto states = random_states(1, 9);
+  State expected = states[0];
+  vk.permute(states);
+  for (usize r = 0; r < 12; ++r) keccak::round(expected, r);
+  EXPECT_EQ(states[0], expected);
+}
+
+TEST(VectorKeccak, RejectsTooManyStates) {
+  VectorKeccak vk({Arch::k64Lmul1, 5, 24});
+  std::vector<State> two(2);
+  EXPECT_THROW(vk.permute(two), Error);
+}
+
+TEST(VectorKeccak, TimingPopulated) {
+  VectorKeccak vk({Arch::k64Lmul8, 15, 24});
+  std::vector<State> states(3);
+  vk.permute(states);
+  const auto& t = vk.last_timing();
+  EXPECT_GT(t.permutation_cycles, 0u);
+  EXPECT_GT(t.total_cycles, t.permutation_cycles);
+  EXPECT_GT(t.instructions, 0u);
+}
+
+}  // namespace
+}  // namespace kvx::core

@@ -1,0 +1,598 @@
+// Tests for the vector processing unit: vsetvli semantics, register file
+// access, the RVV arithmetic subset, LMUL grouping, masking, tail policy,
+// and the three vector memory addressing modes.
+#include <gtest/gtest.h>
+
+#include "kvx/asm/assembler.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/sim/processor.hpp"
+
+namespace kvx::sim {
+namespace {
+
+SimdProcessor make64(unsigned ele_num = 5) {
+  ProcessorConfig cfg;
+  cfg.vector.elen_bits = 64;
+  cfg.vector.ele_num = ele_num;
+  cfg.dmem_bytes = 1 << 16;
+  return SimdProcessor(cfg);
+}
+
+void run(SimdProcessor& p, const std::string& src) {
+  assembler::Options opts;
+  opts.data_base = 0x1000;
+  p.load_program(assembler::assemble(src, opts));
+  p.run();
+}
+
+TEST(VectorConfig, Validation) {
+  VectorConfig bad;
+  bad.elen_bits = 16;
+  EXPECT_THROW(VectorUnit vu(bad), Error);
+  VectorConfig bad_sn;
+  bad_sn.elen_bits = 64;
+  bad_sn.ele_num = 5;
+  bad_sn.sn = 2;  // 10 > 5
+  EXPECT_THROW(VectorUnit vu(bad_sn), Error);
+  VectorConfig ok;
+  ok.ele_num = 16;
+  EXPECT_EQ(VectorConfig{ok}.effective_sn(), 3u);
+}
+
+TEST(VectorRegfile, ElementAccess) {
+  VectorConfig cfg;
+  cfg.elen_bits = 64;
+  cfg.ele_num = 5;
+  VectorUnit vu(cfg);
+  vu.set_element(3, 2, 64, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(vu.get_element(3, 2, 64), 0xDEADBEEFCAFEF00Dull);
+  // 32-bit view of the same bytes.
+  EXPECT_EQ(vu.get_element(3, 4, 32), 0xCAFEF00Du);
+  EXPECT_EQ(vu.get_element(3, 5, 32), 0xDEADBEEFu);
+}
+
+TEST(VectorRegfile, RegisterBytesRoundTrip) {
+  VectorConfig cfg;
+  cfg.elen_bits = 32;
+  cfg.ele_num = 10;
+  VectorUnit vu(cfg);
+  std::vector<u8> bytes(40);
+  for (usize i = 0; i < bytes.size(); ++i) bytes[i] = static_cast<u8>(i);
+  vu.set_register(7, bytes);
+  EXPECT_EQ(vu.get_register(7), bytes);
+  vu.clear_registers();
+  EXPECT_EQ(vu.get_register(7), std::vector<u8>(40, 0));
+}
+
+TEST(Vsetvli, SetsVlAndReturnsIt) {
+  SimdProcessor p = make64(10);
+  run(p, R"(
+    li s1, 7
+    vsetvli a0, s1, e64, m1, tu, mu
+    ebreak
+  )");
+  EXPECT_EQ(p.scalar().regs().read(10), 7u);
+  EXPECT_EQ(p.vector().vl(), 7u);
+}
+
+TEST(Vsetvli, ClampsToVlmax) {
+  SimdProcessor p = make64(10);
+  run(p, R"(
+    li s1, 99
+    vsetvli a0, s1, e64, m1, tu, mu
+    li s1, 99
+    vsetvli a1, s1, e64, m8, tu, mu
+    ebreak
+  )");
+  EXPECT_EQ(p.scalar().regs().read(10), 10u);  // VLMAX m1 = 10
+  EXPECT_EQ(p.scalar().regs().read(11), 80u);  // VLMAX m8 = 80
+}
+
+TEST(Vsetvli, X0RequestsVlmax) {
+  SimdProcessor p = make64(10);
+  run(p, R"(
+    vsetvli a0, x0, e64, m2, tu, mu
+    ebreak
+  )");
+  EXPECT_EQ(p.scalar().regs().read(10), 20u);
+}
+
+TEST(Vsetvli, SewAboveElenRejected) {
+  ProcessorConfig cfg;
+  cfg.vector.elen_bits = 32;
+  cfg.vector.ele_num = 10;
+  SimdProcessor p(cfg);
+  p.load_program(assembler::assemble(R"(
+    vsetvli a0, x0, e64, m1, tu, mu
+    ebreak
+  )"));
+  EXPECT_THROW(p.run(), SimError);
+}
+
+TEST(VArith, VxorVvElementwise) {
+  SimdProcessor p = make64(5);
+  for (usize i = 0; i < 5; ++i) {
+    p.vector().set_element(1, i, 64, 0x1111111111111111ull * (i + 1));
+    p.vector().set_element(2, i, 64, 0x00000000FFFFFFFFull);
+  }
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vxor.vv v3, v1, v2
+    ebreak
+  )");
+  for (usize i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.vector().get_element(3, i, 64),
+              (0x1111111111111111ull * (i + 1)) ^ 0x00000000FFFFFFFFull);
+  }
+}
+
+TEST(VArith, VxorVxSignExtendsScalar) {
+  // The paper relies on this: s2 = -1 and vxor.vx performs a 64-bit NOT.
+  SimdProcessor p = make64(5);
+  p.vector().set_element(1, 0, 64, 0x0123456789ABCDEFull);
+  run(p, R"(
+    li s2, -1
+    vsetvli x0, x0, e64, m1, tu, mu
+    vxor.vx v2, v1, s2
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(2, 0, 64), ~0x0123456789ABCDEFull);
+}
+
+TEST(VArith, VaddViAndVmv) {
+  SimdProcessor p = make64(5);
+  p.vector().set_element(1, 2, 64, 100);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vadd.vi v2, v1, -3
+    vmv.v.i v3, 9
+    li t0, 1234
+    vmv.v.x v4, t0
+    vmv.v.v v5, v2
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(2, 2, 64), 97u);
+  EXPECT_EQ(p.vector().get_element(3, 4, 64), 9u);
+  EXPECT_EQ(p.vector().get_element(4, 0, 64), 1234u);
+  EXPECT_EQ(p.vector().get_element(5, 2, 64), 97u);
+}
+
+TEST(VArith, ShiftsUseLowBitsOfShiftAmount) {
+  SimdProcessor p = make64(5);
+  p.vector().set_element(1, 0, 64, 0x8000000000000001ull);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vsll.vi v2, v1, 1
+    vsrl.vi v3, v1, 1
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(2, 0, 64), 2u);
+  EXPECT_EQ(p.vector().get_element(3, 0, 64), 0x4000000000000000ull);
+}
+
+TEST(VArith, SewTruncation32) {
+  ProcessorConfig cfg;
+  cfg.vector.elen_bits = 32;
+  cfg.vector.ele_num = 5;
+  cfg.dmem_bytes = 1 << 16;
+  SimdProcessor p(cfg);
+  p.vector().set_element(1, 0, 32, 0xFFFFFFFFu);
+  run(p, R"(
+    vsetvli x0, x0, e32, m1, tu, mu
+    vadd.vi v2, v1, 1
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(2, 0, 32), 0u);  // wraps at 32 bits
+}
+
+TEST(VArith, LmulGroupingSpansRegisters) {
+  SimdProcessor p = make64(5);
+  // 10 elements at LMUL=2 span v2 and v3.
+  for (usize i = 0; i < 5; ++i) {
+    p.vector().set_element(2, i, 64, i);
+    p.vector().set_element(3, i, 64, 100 + i);
+  }
+  run(p, R"(
+    li s1, 10
+    vsetvli x0, s1, e64, m2, tu, mu
+    vadd.vi v4, v2, 1
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(4, 4, 64), 5u);
+  EXPECT_EQ(p.vector().get_element(5, 0, 64), 101u);
+  EXPECT_EQ(p.vector().get_element(5, 4, 64), 105u);
+}
+
+TEST(VArith, TailUndisturbed) {
+  SimdProcessor p = make64(5);
+  for (usize i = 0; i < 5; ++i) p.vector().set_element(2, i, 64, 7);
+  run(p, R"(
+    li s1, 3
+    vsetvli x0, s1, e64, m1, tu, mu
+    vmv.v.i v2, 1
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(2, 2, 64), 1u);
+  EXPECT_EQ(p.vector().get_element(2, 3, 64), 7u);  // tail untouched
+  EXPECT_EQ(p.vector().get_element(2, 4, 64), 7u);
+}
+
+TEST(VArith, MaskingSkipsZeroBits) {
+  SimdProcessor p = make64(5);
+  // v0 mask = 0b10101: elements 0, 2, 4 active.
+  std::vector<u8> mask(5 * 8, 0);
+  mask[0] = 0b10101;
+  p.vector().set_register(0, mask);
+  for (usize i = 0; i < 5; ++i) p.vector().set_element(2, i, 64, 50);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vadd.vi v2, v2, 1, v0.t
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(2, 0, 64), 51u);
+  EXPECT_EQ(p.vector().get_element(2, 1, 64), 50u);
+  EXPECT_EQ(p.vector().get_element(2, 2, 64), 51u);
+  EXPECT_EQ(p.vector().get_element(2, 3, 64), 50u);
+  EXPECT_EQ(p.vector().get_element(2, 4, 64), 51u);
+}
+
+TEST(VArith, VrgatherIndexesSource) {
+  SimdProcessor p = make64(5);
+  for (usize i = 0; i < 5; ++i) {
+    p.vector().set_element(1, i, 64, 100 + i);
+    p.vector().set_element(2, i, 64, 4 - i);  // reverse indices
+  }
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vrgather.vv v3, v1, v2
+    ebreak
+  )");
+  for (usize i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.vector().get_element(3, i, 64), 104 - i);
+  }
+}
+
+TEST(VArith, VrgatherOutOfRangeGivesZero) {
+  SimdProcessor p = make64(5);
+  p.vector().set_element(1, 0, 64, 42);
+  p.vector().set_element(2, 0, 64, 77);  // index beyond VLMAX
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vrgather.vv v3, v1, v2
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(3, 0, 64), 0u);
+}
+
+TEST(VArith, StandardSlides) {
+  SimdProcessor p = make64(5);
+  for (usize i = 0; i < 5; ++i) {
+    p.vector().set_element(1, i, 64, 10 + i);
+    p.vector().set_element(3, i, 64, 900 + i);
+  }
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vslidedown.vi v2, v1, 2
+    vslideup.vi v3, v1, 2
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(2, 0, 64), 12u);
+  EXPECT_EQ(p.vector().get_element(2, 2, 64), 14u);
+  EXPECT_EQ(p.vector().get_element(2, 3, 64), 0u);   // slid past vl
+  EXPECT_EQ(p.vector().get_element(3, 0, 64), 900u);  // below offset: kept
+  EXPECT_EQ(p.vector().get_element(3, 2, 64), 10u);
+  EXPECT_EQ(p.vector().get_element(3, 4, 64), 12u);
+}
+
+// --- vector memory -------------------------------------------------------------
+
+TEST(VMem, UnitStrideLoadStore64) {
+  SimdProcessor p = make64(5);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    la a0, src
+    vle64.v v1, (a0)
+    la a1, dst
+    vse64.v v1, (a1)
+    ebreak
+.data
+src:
+    .dword 0x1111111111111111, 0x2222222222222222, 3, 4, 5
+dst:
+    .zero 40
+  )");
+  const u32 dst = 0x1000 + 40;
+  EXPECT_EQ(p.dmem().read64(dst), 0x1111111111111111ull);
+  EXPECT_EQ(p.dmem().read64(dst + 8), 0x2222222222222222ull);
+  EXPECT_EQ(p.dmem().read64(dst + 32), 5u);
+}
+
+TEST(VMem, StridedLoad) {
+  SimdProcessor p = make64(5);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    la a0, src
+    li t0, 16
+    vlse64.v v1, (a0), t0
+    ebreak
+.data
+src:
+    .dword 1, 2, 3, 4, 5, 6, 7, 8, 9, 10
+  )");
+  for (usize i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.vector().get_element(1, i, 64), 2 * i + 1);
+  }
+}
+
+TEST(VMem, StridedStore32) {
+  ProcessorConfig cfg;
+  cfg.vector.elen_bits = 32;
+  cfg.vector.ele_num = 5;
+  cfg.dmem_bytes = 1 << 16;
+  SimdProcessor p(cfg);
+  for (usize i = 0; i < 5; ++i) p.vector().set_element(1, i, 32, 0xA0 + i);
+  run(p, R"(
+    vsetvli x0, x0, e32, m1, tu, mu
+    la a0, dst
+    li t0, 8
+    vsse32.v v1, (a0), t0
+    ebreak
+.data
+dst:
+    .zero 80
+  )");
+  for (u32 i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.dmem().read32(0x1000 + 8 * i), 0xA0u + i);
+  }
+}
+
+TEST(VMem, IndexedLoadGathersHiLoWords) {
+  // The paper's §3.2 use case: pull the low 32-bit words of 64-bit lanes.
+  ProcessorConfig cfg;
+  cfg.vector.elen_bits = 32;
+  cfg.vector.ele_num = 5;
+  cfg.dmem_bytes = 1 << 16;
+  SimdProcessor p(cfg);
+  run(p, R"(
+    vsetvli x0, x0, e32, m1, tu, mu
+    la a0, idx_lo
+    vle32.v v30, (a0)
+    la a0, idx_hi
+    vle32.v v31, (a0)
+    la a0, lanes
+    vluxei32.v v1, (a0), v30
+    vluxei32.v v2, (a0), v31
+    ebreak
+.data
+lanes:
+    .dword 0xAAAAAAAA00000001, 0xBBBBBBBB00000002, 0xCCCCCCCC00000003
+    .dword 0xDDDDDDDD00000004, 0xEEEEEEEE00000005
+idx_lo:
+    .word 0, 8, 16, 24, 32
+idx_hi:
+    .word 4, 12, 20, 28, 36
+  )");
+  for (usize i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.vector().get_element(1, i, 32), i + 1);
+  }
+  EXPECT_EQ(p.vector().get_element(2, 0, 32), 0xAAAAAAAAu);
+  EXPECT_EQ(p.vector().get_element(2, 4, 32), 0xEEEEEEEEu);
+}
+
+TEST(VMem, IndexedStoreScatters) {
+  ProcessorConfig cfg;
+  cfg.vector.elen_bits = 32;
+  cfg.vector.ele_num = 5;
+  cfg.dmem_bytes = 1 << 16;
+  SimdProcessor p(cfg);
+  for (usize i = 0; i < 5; ++i) p.vector().set_element(1, i, 32, 0x50 + i);
+  run(p, R"(
+    vsetvli x0, x0, e32, m1, tu, mu
+    la a0, idx
+    vle32.v v30, (a0)
+    la a0, dst
+    vsuxei32.v v1, (a0), v30
+    ebreak
+.data
+dst:
+    .zero 64
+idx:
+    .word 60, 0, 32, 16, 4
+  )");
+  EXPECT_EQ(p.dmem().read32(0x1000 + 60), 0x50u);
+  EXPECT_EQ(p.dmem().read32(0x1000 + 0), 0x51u);
+  EXPECT_EQ(p.dmem().read32(0x1000 + 32), 0x52u);
+  EXPECT_EQ(p.dmem().read32(0x1000 + 16), 0x53u);
+  EXPECT_EQ(p.dmem().read32(0x1000 + 4), 0x54u);
+}
+
+// --- extended RVV subset: min/max, compares, merge, reductions --------------------
+
+TEST(VArith, MinMaxSignedAndUnsigned) {
+  SimdProcessor p = make64(5);
+  p.vector().set_element(1, 0, 64, static_cast<u64>(-5));  // huge unsigned
+  p.vector().set_element(2, 0, 64, 3);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vmin.vv v3, v1, v2
+    vmax.vv v4, v1, v2
+    vminu.vv v5, v1, v2
+    vmaxu.vv v6, v1, v2
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(3, 0, 64), static_cast<u64>(-5));  // signed min
+  EXPECT_EQ(p.vector().get_element(4, 0, 64), 3u);                    // signed max
+  EXPECT_EQ(p.vector().get_element(5, 0, 64), 3u);                    // unsigned min
+  EXPECT_EQ(p.vector().get_element(6, 0, 64), static_cast<u64>(-5));  // unsigned max
+}
+
+TEST(VArith, MinMaxVxForms) {
+  SimdProcessor p = make64(5);
+  for (usize i = 0; i < 5; ++i) p.vector().set_element(1, i, 64, 10 * i);
+  run(p, R"(
+    li t0, 25
+    vsetvli x0, x0, e64, m1, tu, mu
+    vmin.vx v2, v1, t0
+    vmax.vx v3, v1, t0
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(2, 1, 64), 10u);
+  EXPECT_EQ(p.vector().get_element(2, 4, 64), 25u);
+  EXPECT_EQ(p.vector().get_element(3, 1, 64), 25u);
+  EXPECT_EQ(p.vector().get_element(3, 4, 64), 40u);
+}
+
+TEST(VArith, CompareWritesMaskBits) {
+  SimdProcessor p = make64(5);
+  for (usize i = 0; i < 5; ++i) p.vector().set_element(1, i, 64, i);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vmseq.vi v2, v1, 2
+    vmsne.vi v3, v1, 2
+    ebreak
+  )");
+  // Element 2 equal -> bit 2 set in v2; inverse in v3.
+  EXPECT_EQ(p.vector().get_element(2, 0, 8) & 0x1Fu, 0b00100u);
+  EXPECT_EQ(p.vector().get_element(3, 0, 8) & 0x1Fu, 0b11011u);
+}
+
+TEST(VArith, SignedVsUnsignedCompare) {
+  SimdProcessor p = make64(5);
+  p.vector().set_element(1, 0, 64, static_cast<u64>(-1));
+  p.vector().set_element(2, 0, 64, 1);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vmslt.vv v3, v1, v2    # -1 < 1 signed -> true
+    vmsltu.vv v4, v1, v2   # huge < 1 unsigned -> false
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(3, 0, 8) & 1u, 1u);
+  EXPECT_EQ(p.vector().get_element(4, 0, 8) & 1u, 0u);
+}
+
+TEST(VArith, CompareThenMergeSelectsPerElement) {
+  // The canonical compare+merge idiom: clamp elements > 100 to 0.
+  SimdProcessor p = make64(5);
+  const u64 vals[5] = {50, 150, 99, 101, 100};
+  for (usize i = 0; i < 5; ++i) p.vector().set_element(1, i, 64, vals[i]);
+  run(p, R"(
+    li t0, 100
+    vsetvli x0, x0, e64, m1, tu, mu
+    vmv.v.i v3, 0
+    vmsltu.vx v0, v1, t0      # mask: v1[i] < 100
+    vmerge.vvm v4, v3, v1, v0 # masked -> keep v1, else 0
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(4, 0, 64), 50u);
+  EXPECT_EQ(p.vector().get_element(4, 1, 64), 0u);
+  EXPECT_EQ(p.vector().get_element(4, 2, 64), 99u);
+  EXPECT_EQ(p.vector().get_element(4, 3, 64), 0u);
+  EXPECT_EQ(p.vector().get_element(4, 4, 64), 0u);
+}
+
+TEST(VArith, MergeVxAndViForms) {
+  SimdProcessor p = make64(5);
+  std::vector<u8> mask(5 * 8, 0);
+  mask[0] = 0b01010;
+  p.vector().set_register(0, mask);
+  for (usize i = 0; i < 5; ++i) p.vector().set_element(1, i, 64, 7);
+  run(p, R"(
+    li t0, 42
+    vsetvli x0, x0, e64, m1, tu, mu
+    vmerge.vxm v2, v1, t0, v0
+    vmerge.vim v3, v1, -3, v0
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(2, 0, 64), 7u);
+  EXPECT_EQ(p.vector().get_element(2, 1, 64), 42u);
+  EXPECT_EQ(p.vector().get_element(3, 1, 64), static_cast<u64>(-3));
+  EXPECT_EQ(p.vector().get_element(3, 2, 64), 7u);
+}
+
+TEST(VArith, Reductions) {
+  SimdProcessor p = make64(5);
+  for (usize i = 0; i < 5; ++i) {
+    p.vector().set_element(1, i, 64, i + 1);        // 1..5
+    p.vector().set_element(2, i, 64, 0xF0 | i);     // for and/or/xor
+  }
+  p.vector().set_element(3, 0, 64, 100);            // scalar seed vs1[0]
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vredsum.vs v4, v1, v3
+    vredxor.vs v5, v2, v3
+    vredand.vs v6, v2, v2
+    vredor.vs v7, v2, v2
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(4, 0, 64), 100u + 15u);
+  const u64 x = 100 ^ 0xF0 ^ 0xF1 ^ 0xF2 ^ 0xF3 ^ 0xF4;
+  EXPECT_EQ(p.vector().get_element(5, 0, 64), x);
+  EXPECT_EQ(p.vector().get_element(6, 0, 64),
+            0xF0ull & 0xF0 & 0xF1 & 0xF2 & 0xF3 & 0xF4);
+  EXPECT_EQ(p.vector().get_element(7, 0, 64),
+            0xF0ull | 0xF0 | 0xF1 | 0xF2 | 0xF3 | 0xF4);
+}
+
+TEST(VArith, ReductionLeavesTailUntouched) {
+  SimdProcessor p = make64(5);
+  for (usize i = 0; i < 5; ++i) p.vector().set_element(4, i, 64, 9999);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vredsum.vs v4, v1, v1
+    ebreak
+  )");
+  for (usize i = 1; i < 5; ++i) {
+    EXPECT_EQ(p.vector().get_element(4, i, 64), 9999u);
+  }
+}
+
+TEST(VArith, MaskedReductionSkipsInactive) {
+  SimdProcessor p = make64(5);
+  std::vector<u8> mask(5 * 8, 0);
+  mask[0] = 0b00011;  // only elements 0, 1 active
+  p.vector().set_register(0, mask);
+  for (usize i = 0; i < 5; ++i) p.vector().set_element(1, i, 64, 10);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vredsum.vs v2, v1, v3, v0.t
+    ebreak
+  )");
+  EXPECT_EQ(p.vector().get_element(2, 0, 64), 20u);
+}
+
+// --- cycle model -----------------------------------------------------------------
+
+TEST(VCycles, ArithCostsMatchPaperAnnotations) {
+  // LMUL=1 arithmetic: 2 cc. LMUL=8 with VL=5*EleNum: 6 cc. vsetvli: 2 cc.
+  SimdProcessor p = make64(5);
+  run(p, R"(
+    li s1, 5
+    li s5, 25
+    csrwi 0x7C0, 1
+    vsetvli x0, s1, e64, m1, tu, mu
+    csrwi 0x7C0, 2
+    vxor.vv v1, v2, v3
+    csrwi 0x7C0, 3
+    vsetvli x0, s5, e64, m8, tu, mu
+    vxor.vv v8, v8, v16
+    csrwi 0x7C0, 4
+    ebreak
+  )");
+  EXPECT_EQ(p.cycles_between(1, 2), 2u);  // vsetvli
+  EXPECT_EQ(p.cycles_between(2, 3), 2u);  // LMUL=1 vxor
+  EXPECT_EQ(p.cycles_between(3, 4), 2u + 6u);  // vsetvli + LMUL=8 vxor
+}
+
+TEST(VCycles, VectorInstructionsCounted) {
+  SimdProcessor p = make64(5);
+  run(p, R"(
+    vsetvli x0, x0, e64, m1, tu, mu
+    vxor.vv v1, v1, v1
+    ebreak
+  )");
+  EXPECT_EQ(p.stats().vector_instructions, 2u);
+  EXPECT_EQ(p.stats().scalar_instructions, 1u);
+}
+
+}  // namespace
+}  // namespace kvx::sim

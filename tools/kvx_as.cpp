@@ -1,0 +1,82 @@
+// kvx-as — standalone assembler: KVX assembly source -> KVXIMG1 image.
+//
+//   kvx-as input.s [-o output.img] [--text-base N] [--data-base N] [--list]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "kvx/asm/assembler.hpp"
+#include "kvx/asm/image_io.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/isa/disasm.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s input.s [-o output.img] [--text-base N]\n"
+               "       [--data-base N] [--list]\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output = "a.img";
+  kvx::assembler::Options options;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (a == "--text-base" && i + 1 < argc) {
+      options.text_base = static_cast<kvx::u32>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (a == "--data-base" && i + 1 < argc) {
+      options.data_base = static_cast<kvx::u32>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (a == "--list") {
+      list = true;
+    } else if (!a.empty() && a[0] != '-' && input.empty()) {
+      input = a;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (input.empty()) return usage(argv[0]);
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "kvx-as: cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  try {
+    const kvx::assembler::Program program =
+        kvx::assembler::assemble(source.str(), options);
+    if (list) {
+      for (kvx::usize i = 0; i < program.text.size(); ++i) {
+        const kvx::u32 addr = program.text_base + static_cast<kvx::u32>(i) * 4;
+        std::printf("%08x: %08x  %s\n", addr, program.text[i],
+                    kvx::isa::disassemble_word(program.text[i]).c_str());
+      }
+    }
+    std::ofstream out(output, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "kvx-as: cannot write %s\n", output.c_str());
+      return 1;
+    }
+    kvx::assembler::save_image(program, out);
+    std::fprintf(stderr, "kvx-as: %zu instructions, %zu data bytes -> %s\n",
+                 program.text.size(), program.data.size(), output.c_str());
+    return 0;
+  } catch (const kvx::Error& e) {
+    std::fprintf(stderr, "kvx-as: %s\n", e.what());
+    return 1;
+  }
+}

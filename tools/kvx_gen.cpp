@@ -1,0 +1,55 @@
+// kvx-gen — emit the generated Keccak assembly programs as .s files (the
+// repository's `programs/` reference listings are produced by this tool).
+//
+//   kvx-gen [--elenum N] [--out DIR]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "kvx/core/program_builder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kvx;
+  using namespace kvx::core;
+
+  unsigned ele_num = 5;
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--elenum" && i + 1 < argc) {
+      ele_num = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (a == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--elenum N] [--out DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  struct Variant {
+    Arch arch;
+    const char* file;
+  };
+  const Variant variants[] = {
+      {Arch::k64Lmul1, "keccak64_lmul1"},
+      {Arch::k64Lmul8, "keccak64_lmul8"},
+      {Arch::k32Lmul8, "keccak32_lmul8"},
+      {Arch::k64PureRvv, "keccak64_pure_rvv"},
+      {Arch::k64Fused, "keccak64_fused"},
+      {Arch::k64Lmul4Plus1, "keccak64_lmul4plus1"},
+  };
+  for (const Variant& v : variants) {
+    const KeccakProgram prog = build_keccak_program({v.arch, ele_num, 24});
+    const std::string path = out_dir + "/" + v.file + ".s";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "kvx-gen: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << prog.source;
+    std::fprintf(stderr, "kvx-gen: %s (%zu instructions)\n", path.c_str(),
+                 prog.image.text.size());
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// kvx-objdump — disassemble a KVXIMG1 image (text listing, data hexdump,
+// symbol table).
+//
+//   kvx-objdump image.img [--no-data]
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "kvx/asm/image_io.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/isa/disasm.hpp"
+
+int main(int argc, char** argv) {
+  std::string input;
+  bool dump_data = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--no-data") {
+      dump_data = false;
+    } else if (!a.empty() && a[0] != '-' && input.empty()) {
+      input = a;
+    } else {
+      std::fprintf(stderr, "usage: %s image.img [--no-data]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr, "usage: %s image.img [--no-data]\n", argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(input, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "kvx-objdump: cannot open %s\n", input.c_str());
+    return 1;
+  }
+  try {
+    const kvx::assembler::Program p = kvx::assembler::load_image(in);
+
+    // Invert the symbol table for labels in the listing.
+    std::map<kvx::u32, std::string> labels;
+    for (const auto& [name, addr] : p.symbols) labels.emplace(addr, name);
+
+    std::printf("text @ 0x%08x (%zu instructions):\n", p.text_base,
+                p.text.size());
+    for (kvx::usize i = 0; i < p.text.size(); ++i) {
+      const kvx::u32 addr = p.text_base + static_cast<kvx::u32>(i) * 4;
+      if (const auto it = labels.find(addr); it != labels.end()) {
+        std::printf("%s:\n", it->second.c_str());
+      }
+      std::printf("  %08x: %08x  %s\n", addr, p.text[i],
+                  kvx::isa::disassemble_word(p.text[i]).c_str());
+    }
+
+    if (dump_data && !p.data.empty()) {
+      std::printf("\ndata @ 0x%08x (%zu bytes):\n", p.data_base,
+                  p.data.size());
+      for (kvx::usize off = 0; off < p.data.size(); off += 16) {
+        const kvx::u32 addr = p.data_base + static_cast<kvx::u32>(off);
+        if (const auto it = labels.find(addr); it != labels.end()) {
+          std::printf("%s:\n", it->second.c_str());
+        }
+        std::printf("  %08x:", addr);
+        for (kvx::usize k = off; k < std::min(off + 16, p.data.size()); ++k) {
+          std::printf(" %02x", p.data[k]);
+        }
+        std::printf("\n");
+      }
+    }
+
+    std::printf("\nsymbols (%zu):\n", p.symbols.size());
+    for (const auto& [name, addr] : p.symbols) {
+      std::printf("  %08x  %s\n", addr, name.c_str());
+    }
+    return 0;
+  } catch (const kvx::Error& e) {
+    std::fprintf(stderr, "kvx-objdump: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,116 @@
+// kvx-run — execute a KVXIMG1 image (or assemble a .s on the fly) on the
+// simulated SIMD processor and report cycles, markers and final registers.
+//
+//   kvx-run program.img|program.s [--elen 32|64] [--elenum N] [--trace]
+//           [--max-cycles N]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "kvx/asm/assembler.hpp"
+#include "kvx/asm/image_io.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/isa/disasm.hpp"
+#include "kvx/sim/processor.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s program.img|program.s [--elen 32|64] [--elenum N]\n"
+               "       [--trace] [--profile] [--max-cycles N]\n",
+               prog);
+  return 2;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const kvx::usize n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  kvx::sim::ProcessorConfig cfg;
+  cfg.vector.elen_bits = 64;
+  cfg.vector.ele_num = 5;
+  bool trace = false;
+  bool profile = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--elen" && i + 1 < argc) {
+      cfg.vector.elen_bits = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (a == "--elenum" && i + 1 < argc) {
+      cfg.vector.ele_num = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (a == "--max-cycles" && i + 1 < argc) {
+      cfg.max_cycles = std::strtoull(argv[++i], nullptr, 0);
+    } else if (a == "--trace") {
+      trace = true;
+    } else if (a == "--profile") {
+      profile = true;
+    } else if (!a.empty() && a[0] != '-' && input.empty()) {
+      input = a;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (input.empty()) return usage(argv[0]);
+
+  try {
+    kvx::assembler::Program program;
+    if (ends_with(input, ".s") || ends_with(input, ".asm")) {
+      std::ifstream in(input);
+      if (!in) throw kvx::Error("cannot open " + input);
+      std::ostringstream src;
+      src << in.rdbuf();
+      program = kvx::assembler::assemble(src.str());
+    } else {
+      std::ifstream in(input, std::ios::binary);
+      if (!in) throw kvx::Error("cannot open " + input);
+      program = kvx::assembler::load_image(in);
+    }
+
+    kvx::sim::SimdProcessor proc(cfg);
+    proc.load_program(program);
+    if (trace) {
+      proc.set_trace([](kvx::u32 pc, const kvx::isa::Instruction& inst) {
+        std::printf("[%08x] %s\n", pc, kvx::isa::disassemble(inst).c_str());
+      });
+    }
+    proc.run();
+
+    std::printf("halted after %llu cycles, %llu instructions "
+                "(%llu scalar, %llu vector)\n",
+                static_cast<unsigned long long>(proc.cycles()),
+                static_cast<unsigned long long>(proc.stats().instructions),
+                static_cast<unsigned long long>(proc.stats().scalar_instructions),
+                static_cast<unsigned long long>(proc.stats().vector_instructions));
+    if (!proc.markers().empty()) {
+      std::printf("markers:\n");
+      for (const auto& m : proc.markers()) {
+        std::printf("  id %-3u @ cycle %llu\n", m.id,
+                    static_cast<unsigned long long>(m.cycle));
+      }
+    }
+    if (profile) {
+      std::printf("cycle profile (top 12):\n%s",
+                  proc.stats().cycle_profile(12).c_str());
+    }
+    std::printf("nonzero scalar registers:\n");
+    for (unsigned r = 1; r < 32; ++r) {
+      const kvx::u32 v = proc.scalar().regs().read(r);
+      if (v != 0) {
+        std::printf("  %-5s = 0x%08x (%u)\n",
+                    std::string(kvx::isa::xreg_name(r)).c_str(), v, v);
+      }
+    }
+    return 0;
+  } catch (const kvx::Error& e) {
+    std::fprintf(stderr, "kvx-run: %s\n", e.what());
+    return 1;
+  }
+}
