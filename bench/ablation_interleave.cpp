@@ -10,10 +10,10 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "kvx/baseline/scalar_keccak.hpp"
 
 #include "kvx/common/bits.hpp"
-#include "kvx/common/rng.hpp"
 #include "kvx/keccak/interleave.hpp"
 #include "kvx/keccak/permutation.hpp"
 
@@ -22,12 +22,7 @@ namespace {
 using namespace kvx;
 using namespace kvx::keccak;
 
-std::vector<u64> test_lanes(usize n) {
-  SplitMix64 rng(7);
-  std::vector<u64> v(n);
-  for (u64& x : v) x = rng.next();
-  return v;
-}
+std::vector<u64> test_lanes(usize n) { return bench::random_lanes(n, 7); }
 
 /// Rotate all 25 lanes by the rho offsets in the plain 64-bit representation.
 void BM_RotatePlain64(benchmark::State& state) {

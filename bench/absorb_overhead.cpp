@@ -7,7 +7,6 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "kvx/common/rng.hpp"
 #include "kvx/core/metrics.hpp"
 #include "kvx/core/on_device_sponge.hpp"
 
@@ -19,10 +18,8 @@ int main() {
       "On-device sponge absorb (SHAKE128 rate, 8 blocks, SN=1)\n"
       "absorb overhead per block vs. the 24-round permutation");
 
-  SplitMix64 rng(1);
   std::vector<std::vector<u8>> msgs(1);
-  msgs[0].resize(8 * 168);
-  for (u8& b : msgs[0]) b = static_cast<u8>(rng.next());
+  msgs[0] = kvx::bench::random_bytes(8 * 168, /*seed=*/1);
 
   std::printf("%-18s | perm cc | absorb cc/blk | overhead | eff. cycles/byte\n",
               "architecture");

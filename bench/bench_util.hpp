@@ -1,13 +1,37 @@
 // Shared table-printing helpers for the paper-reproduction benchmarks.
+//
+// Determinism policy: benchmark *inputs* must be identical across runs and
+// PRs so the emitted tables (and any BENCH_*.json trajectories) are
+// comparable — all pseudo-random data comes from kvx/common/rng.hpp
+// (SplitMix64) with fixed literal seeds, never std::random_device or
+// time-based seeding. Only wall-clock timings may vary.
 #pragma once
 
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "kvx/common/rng.hpp"
 #include "kvx/common/types.hpp"
 
 namespace kvx::bench {
+
+/// Deterministic pseudo-random message bytes (fixed seed => fixed bytes).
+inline std::vector<u8> random_bytes(usize n, u64 seed) {
+  SplitMix64 rng(seed);
+  std::vector<u8> out(n);
+  for (u8& b : out) b = static_cast<u8>(rng.next());
+  return out;
+}
+
+/// Deterministic pseudo-random 64-bit lanes (e.g. raw Keccak states).
+inline std::vector<u64> random_lanes(usize n, u64 seed) {
+  SplitMix64 rng(seed);
+  std::vector<u64> out(n);
+  for (u64& x : out) x = rng.next();
+  return out;
+}
 
 inline void header(const char* title) {
   std::printf("\n================================================================================\n");

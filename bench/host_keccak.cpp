@@ -4,8 +4,8 @@
 // parameter sweeps).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "kvx/baseline/scalar_keccak.hpp"
-#include "kvx/common/rng.hpp"
 #include "kvx/core/vector_keccak.hpp"
 #include "kvx/keccak/permutation.hpp"
 #include "kvx/keccak/sha3.hpp"
@@ -35,9 +35,8 @@ void BM_PermuteFastHost(benchmark::State& state) {
 BENCHMARK(BM_PermuteFastHost);
 
 void BM_Sha3_256(benchmark::State& state) {
-  std::vector<u8> msg(static_cast<usize>(state.range(0)));
-  SplitMix64 rng(1);
-  for (u8& b : msg) b = static_cast<u8>(rng.next());
+  const std::vector<u8> msg =
+      bench::random_bytes(static_cast<usize>(state.range(0)), /*seed=*/1);
   for (auto _ : state) {
     auto d = keccak::sha3_256(msg);
     benchmark::DoNotOptimize(d);

@@ -6,7 +6,6 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "kvx/common/rng.hpp"
 #include "kvx/core/parallel_tree_hash.hpp"
 
 int main() {
@@ -18,9 +17,7 @@ int main() {
       "chunks)\ncycles vs. SN — single-message use of the multi-state "
       "parallelism");
 
-  SplitMix64 rng(1);
-  std::vector<u8> msg(64 * 1024);
-  for (u8& b : msg) b = static_cast<u8>(rng.next());
+  const std::vector<u8> msg = kvx::bench::random_bytes(64 * 1024, /*seed=*/1);
 
   std::printf("  SN | leaf batches | permutations | accel cycles | vs SN=1\n");
   kvx::bench::rule();

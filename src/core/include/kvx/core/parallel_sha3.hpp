@@ -41,7 +41,29 @@ class ParallelSha3 {
   explicit ParallelSha3(const VectorKeccakConfig& config,
                         const ParallelSha3Options& options = {});
 
+  /// Construct around a prebuilt permutation program (see
+  /// VectorKeccak::build_program). All instances sharing the program still
+  /// own independent simulator state, so each is safe to drive from its own
+  /// thread.
+  ParallelSha3(const VectorKeccakConfig& config,
+               std::shared_ptr<const KeccakProgram> program,
+               const ParallelSha3Options& options = {});
+
+  /// Cheap per-shard clone: a fresh instance (own simulator, zeroed stats)
+  /// that shares this instance's immutable program.
+  [[nodiscard]] std::unique_ptr<ParallelSha3> clone() const;
+
   [[nodiscard]] unsigned lanes() const noexcept { return vk_.config().sn(); }
+  [[nodiscard]] const VectorKeccakConfig& config() const noexcept {
+    return vk_.config();
+  }
+  [[nodiscard]] const ParallelSha3Options& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const std::shared_ptr<const KeccakProgram>& shared_program()
+      const noexcept {
+    return vk_.shared_program();
+  }
 
   /// Hash a batch of messages with a fixed-output function; every message
   /// may have a different length (grouped internally).
@@ -73,6 +95,15 @@ class ParallelSha3 {
   [[nodiscard]] std::vector<std::vector<u8>> raw_batch(
       usize rate, u8 domain, std::span<const std::vector<u8>> messages,
       usize out_len);
+
+  /// Partial-batch dispatch: run ONE lockstep group of ≤ SN equal-length
+  /// messages through the raw sponge, writing `out_len` bytes per message
+  /// into `outs`. This skips raw_batch()'s by-length grouping pass — the
+  /// entry point for host-side batching layers (kvx_engine shards) that
+  /// fill the SN lanes themselves.
+  void dispatch_group(usize rate, u8 domain,
+                      std::span<const std::vector<u8>> messages,
+                      std::span<std::vector<u8>> outs, usize out_len);
 
   [[nodiscard]] const BatchStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }

@@ -36,10 +36,27 @@ class VectorKeccak {
  public:
   explicit VectorKeccak(const VectorKeccakConfig& config);
 
+  /// Construct around a prebuilt (shared, immutable) program. Program
+  /// generation + assembly dominates construction cost; host-side batching
+  /// layers (kvx_engine) that stand up one accelerator instance per worker
+  /// shard build the program once and share it across all shards.
+  VectorKeccak(const VectorKeccakConfig& config,
+               std::shared_ptr<const KeccakProgram> program);
+
+  /// Build the permutation program for `config`, shareable across instances.
+  [[nodiscard]] static std::shared_ptr<const KeccakProgram> build_program(
+      const VectorKeccakConfig& config);
+
   [[nodiscard]] const VectorKeccakConfig& config() const noexcept {
     return config_;
   }
-  [[nodiscard]] const KeccakProgram& program() const noexcept { return program_; }
+  [[nodiscard]] const KeccakProgram& program() const noexcept {
+    return *program_;
+  }
+  [[nodiscard]] const std::shared_ptr<const KeccakProgram>& shared_program()
+      const noexcept {
+    return program_;
+  }
   [[nodiscard]] const sim::SimdProcessor& processor() const noexcept {
     return *proc_;
   }
@@ -65,7 +82,7 @@ class VectorKeccak {
   void unstage_states(std::span<keccak::State> states) const;
 
   VectorKeccakConfig config_;
-  KeccakProgram program_;
+  std::shared_ptr<const KeccakProgram> program_;
   std::unique_ptr<sim::SimdProcessor> proc_;
   u32 state_base_ = 0;
   PermutationTiming timing_;

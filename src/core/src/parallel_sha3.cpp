@@ -13,7 +13,17 @@ using keccak::State;
 
 ParallelSha3::ParallelSha3(const VectorKeccakConfig& config,
                            const ParallelSha3Options& options)
-    : vk_(config), options_(options) {
+    : ParallelSha3(config, VectorKeccak::build_program(config), options) {}
+
+std::unique_ptr<ParallelSha3> ParallelSha3::clone() const {
+  return std::make_unique<ParallelSha3>(vk_.config(), vk_.shared_program(),
+                                        options_);
+}
+
+ParallelSha3::ParallelSha3(const VectorKeccakConfig& config,
+                           std::shared_ptr<const KeccakProgram> program,
+                           const ParallelSha3Options& options)
+    : vk_(config, std::move(program)), options_(options) {
   if (options_.on_device_absorb) {
     KVX_CHECK_MSG(config.arch == Arch::k64Lmul1 ||
                       config.arch == Arch::k64Lmul8 ||
@@ -98,6 +108,23 @@ void ParallelSha3::run_group(usize rate, u8 domain,
     produced += take;
     if (produced < out_len) permute_states(states);
   }
+}
+
+void ParallelSha3::dispatch_group(usize rate, u8 domain,
+                                  std::span<const std::vector<u8>> messages,
+                                  std::span<std::vector<u8>> outs,
+                                  usize out_len) {
+  KVX_CHECK(messages.size() == outs.size());
+  const usize len = messages.empty() ? 0 : messages[0].size();
+  std::vector<const std::vector<u8>*> msgs(messages.size());
+  std::vector<std::vector<u8>*> out_ptrs(outs.size());
+  for (usize i = 0; i < messages.size(); ++i) {
+    KVX_CHECK_MSG(messages[i].size() == len,
+                  "dispatch_group requires equal-length messages");
+    msgs[i] = &messages[i];
+    out_ptrs[i] = &outs[i];
+  }
+  run_group(rate, domain, msgs, out_ptrs, out_len);
 }
 
 std::vector<std::vector<u8>> ParallelSha3::raw_batch(

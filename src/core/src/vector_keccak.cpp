@@ -31,13 +31,30 @@ ProgramOptions program_options(const VectorKeccakConfig& c, bool single_round) {
 
 }  // namespace
 
+std::shared_ptr<const KeccakProgram> VectorKeccak::build_program(
+    const VectorKeccakConfig& config) {
+  return std::make_shared<const KeccakProgram>(
+      build_keccak_program(program_options(config, false)));
+}
+
 VectorKeccak::VectorKeccak(const VectorKeccakConfig& config)
+    : VectorKeccak(config, build_program(config)) {}
+
+VectorKeccak::VectorKeccak(const VectorKeccakConfig& config,
+                           std::shared_ptr<const KeccakProgram> program)
     : config_(config),
-      program_(build_keccak_program(program_options(config, false))),
+      program_(std::move(program)),
       proc_(std::make_unique<sim::SimdProcessor>(processor_config(config))) {
   KVX_CHECK_MSG(config_.sn() >= 1, "EleNum must allow at least one state");
-  proc_->load_program(program_.image);
-  state_base_ = program_.image.symbol("state");
+  KVX_CHECK_MSG(program_ != nullptr, "shared program must not be null");
+  KVX_CHECK_MSG(program_->options.arch == config_.arch &&
+                    program_->options.ele_num == config_.ele_num &&
+                    program_->options.rounds == config_.rounds &&
+                    program_->options.first_round == config_.first_round &&
+                    !program_->options.single_round,
+                "shared program was built for a different configuration");
+  proc_->load_program(program_->image);
+  state_base_ = program_->image.symbol("state");
 }
 
 void VectorKeccak::stage_states(std::span<const keccak::State> states) {

@@ -1,0 +1,118 @@
+// BatchHashEngine — host-parallel batch hashing on top of the paper's
+// SIMD-parallel accelerator.
+//
+// The paper parallelizes *inside* one vector register file: SN ∈ {1, 3, 6}
+// Keccak states permute in lockstep per accelerator. This engine adds the
+// second level the ROADMAP's throughput goal needs: a pool of worker shards,
+// each owning an independent simulated accelerator (ParallelSha3), consuming
+// jobs from a shared MPMC queue. Total parallelism = threads × SN.
+//
+// Guarantees:
+//  * Deterministic ordering — every job carries a dense sequence id and
+//    drain() returns digests in submission order, independent of worker
+//    scheduling. Digests are bit-identical to a single-threaded run.
+//  * Lane filling — workers pop runs of jobs (batch_window, default 4·SN)
+//    so each simulator dispatch can fill all SN lanes.
+//  * Graceful shutdown — close() stops intake; queued jobs still complete.
+//    The destructor closes and joins; nothing is dropped.
+//  * Backpressure — a bounded queue (max_queue) blocks submit() instead of
+//    buffering without limit.
+//
+// See docs/engine.md for the architecture and sizing guidance.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "kvx/core/parallel_sha3.hpp"
+#include "kvx/engine/job.hpp"
+#include "kvx/engine/job_queue.hpp"
+#include "kvx/engine/stats.hpp"
+
+namespace kvx::engine {
+
+struct EngineConfig {
+  /// Worker shards, each with its own simulated accelerator.
+  unsigned threads = 1;
+  /// Per-shard accelerator configuration (SN = ele_num / 5).
+  core::VectorKeccakConfig accel{core::Arch::k64Lmul8, 15, 24};
+  /// Per-shard ParallelSha3 options (e.g. on-device absorb).
+  core::ParallelSha3Options accel_options{};
+  /// Jobs a worker grabs per queue pop; 0 = 4 × SN (enough to fill the
+  /// lanes even with some length mismatch).
+  usize batch_window = 0;
+  /// Queue bound for submit() backpressure; 0 = unbounded.
+  usize max_queue = 0;
+};
+
+class BatchHashEngine {
+ public:
+  explicit BatchHashEngine(const EngineConfig& config);
+  ~BatchHashEngine();
+
+  BatchHashEngine(const BatchHashEngine&) = delete;
+  BatchHashEngine& operator=(const BatchHashEngine&) = delete;
+
+  /// Submit one job; returns its sequence id (dense, starting at 0).
+  /// Throws Error for malformed jobs (variable-output algorithm without
+  /// out_len, fixed-output algorithm with a mismatching out_len) and after
+  /// close().
+  u64 submit(HashJob job);
+
+  /// Submit a span of jobs; returns the sequence id of the first.
+  u64 submit_all(std::span<const HashJob> jobs);
+
+  /// Block until every job submitted so far has completed, then return all
+  /// digests not yet collected, in submission order. Throws Error if any
+  /// worker dispatch failed. The engine stays usable for further
+  /// submissions afterwards (unless closed).
+  std::vector<std::vector<u8>> drain();
+
+  /// Stop accepting new jobs. Already-queued jobs still complete; call
+  /// drain() to collect them. Idempotent.
+  void close();
+
+  [[nodiscard]] unsigned threads() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+  [[nodiscard]] unsigned lanes_per_shard() const noexcept {
+    return config_.accel.sn();
+  }
+  /// Snapshot of the engine counters (thread-safe at any time).
+  [[nodiscard]] EngineStats stats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<core::ParallelSha3> accel;
+    ShardStats stats;  ///< guarded by state_mutex_
+  };
+
+  void worker_loop(Shard& shard);
+  void process_batch(Shard& shard, std::vector<QueuedJob>& batch);
+
+  EngineConfig config_;
+  usize window_;
+  JobQueue queue_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable all_done_;
+  u64 submitted_ = 0;   ///< total jobs accepted
+  u64 completed_ = 0;   ///< total jobs finished
+  u64 collected_ = 0;   ///< results already returned by drain()
+  bool closed_ = false;
+  std::string error_;   ///< first worker failure, if any
+  /// Digest of job seq = collected_ + i at index i; filled out of order by
+  /// workers, returned in order by drain().
+  std::vector<std::vector<u8>> results_;
+};
+
+/// One-shot convenience: run `jobs` through a temporary engine and return
+/// the digests in submission order.
+[[nodiscard]] std::vector<std::vector<u8>> run_batch(
+    const EngineConfig& config, std::span<const HashJob> jobs);
+
+}  // namespace kvx::engine

@@ -1,0 +1,42 @@
+// Statistics reported by the batch hashing engine.
+#pragma once
+
+#include <vector>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::engine {
+
+/// Per-worker-shard counters. A shard owns one simulated accelerator
+/// (ParallelSha3) and processes whole job batches at a time.
+struct ShardStats {
+  u64 jobs = 0;               ///< jobs completed by this shard
+  u64 bytes = 0;              ///< message bytes hashed
+  u64 dispatches = 0;         ///< batches popped from the queue
+  u64 sim_cycles = 0;         ///< simulated accelerator cycles consumed
+  u64 permutations = 0;       ///< Keccak state-permutations performed
+  u64 host_ns = 0;            ///< host wall time spent inside dispatches
+};
+
+/// Whole-engine counters.
+struct EngineStats {
+  u64 submitted = 0;          ///< jobs accepted by submit()
+  u64 completed = 0;          ///< jobs with a result available
+  usize queue_high_water = 0; ///< max queue depth observed since start
+  std::vector<ShardStats> shards;
+
+  [[nodiscard]] ShardStats totals() const noexcept {
+    ShardStats t;
+    for (const ShardStats& s : shards) {
+      t.jobs += s.jobs;
+      t.bytes += s.bytes;
+      t.dispatches += s.dispatches;
+      t.sim_cycles += s.sim_cycles;
+      t.permutations += s.permutations;
+      t.host_ns += s.host_ns;
+    }
+    return t;
+  }
+};
+
+}  // namespace kvx::engine

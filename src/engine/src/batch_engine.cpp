@@ -1,0 +1,224 @@
+#include "kvx/engine/batch_engine.hpp"
+
+#include <chrono>
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/strings.hpp"
+
+namespace kvx::engine {
+
+namespace {
+
+/// Jobs that can share one accelerator dispatch: same algorithm, output
+/// length and (for KMAC) key material. ParallelSha3 then handles the
+/// by-length lockstep grouping internally.
+bool same_dispatch(const HashJob& a, const HashJob& b) {
+  return a.algo == b.algo && a.resolved_out_len() == b.resolved_out_len() &&
+         a.key == b.key && a.customization == b.customization;
+}
+
+void validate(const HashJob& job) {
+  const usize fixed = fixed_digest_bytes(job.algo);
+  if (fixed == 0 && job.out_len == 0) {
+    throw Error(strfmt("%s job requires an explicit out_len",
+                       std::string(algo_name(job.algo)).c_str()));
+  }
+  if (fixed != 0 && job.out_len != 0 && job.out_len != fixed) {
+    throw Error(strfmt("%s digest is %zu bytes, job asked for %zu",
+                       std::string(algo_name(job.algo)).c_str(), fixed,
+                       job.out_len));
+  }
+  const bool is_kmac = job.algo == Algo::kKmac128 || job.algo == Algo::kKmac256;
+  if (!is_kmac && (!job.key.empty() || !job.customization.empty())) {
+    throw Error("key/customization are only valid for KMAC jobs");
+  }
+}
+
+}  // namespace
+
+BatchHashEngine::BatchHashEngine(const EngineConfig& config)
+    : config_(config),
+      window_(config.batch_window != 0 ? config.batch_window
+                                       : 4 * config.accel.sn()),
+      queue_(config.max_queue) {
+  if (config_.threads == 0) throw Error("engine needs at least one thread");
+  // One immutable program shared by every shard; each shard still owns an
+  // independent simulator, so shards never contend outside the job queue.
+  const auto program = core::VectorKeccak::build_program(config_.accel);
+  shards_.reserve(config_.threads);
+  for (unsigned t = 0; t < config_.threads; ++t) {
+    auto shard = std::make_unique<Shard>();
+    shard->accel = std::make_unique<core::ParallelSha3>(
+        config_.accel, program, config_.accel_options);
+    shards_.push_back(std::move(shard));
+  }
+  workers_.reserve(config_.threads);
+  for (unsigned t = 0; t < config_.threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(*shards_[t]); });
+  }
+}
+
+BatchHashEngine::~BatchHashEngine() {
+  close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+u64 BatchHashEngine::submit(HashJob job) {
+  validate(job);
+  u64 seq = 0;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (closed_) throw Error("submit after close()");
+    seq = submitted_++;
+    results_.emplace_back();
+  }
+  // Push outside state_mutex_: a bounded queue may block here, and workers
+  // need the state mutex to retire jobs (holding it would deadlock).
+  if (!queue_.push({seq, std::move(job)})) {
+    // close() raced with this submit; account for the job so drain() cannot
+    // hang, and surface the loss.
+    std::lock_guard lock(state_mutex_);
+    completed_ += 1;
+    if (error_.empty()) error_ = "engine closed while a submit was in flight";
+    all_done_.notify_all();
+    throw Error("submit after close()");
+  }
+  return seq;
+}
+
+u64 BatchHashEngine::submit_all(std::span<const HashJob> jobs) {
+  u64 first = 0;
+  for (usize i = 0; i < jobs.size(); ++i) {
+    const u64 seq = submit(jobs[i]);
+    if (i == 0) first = seq;
+  }
+  return first;
+}
+
+void BatchHashEngine::close() {
+  {
+    std::lock_guard lock(state_mutex_);
+    closed_ = true;
+  }
+  queue_.close();
+}
+
+std::vector<std::vector<u8>> BatchHashEngine::drain() {
+  std::unique_lock lock(state_mutex_);
+  all_done_.wait(lock, [&] { return completed_ == submitted_; });
+  if (!error_.empty()) throw Error("engine worker failed: " + error_);
+  std::vector<std::vector<u8>> out = std::move(results_);
+  results_.clear();
+  collected_ += out.size();
+  return out;
+}
+
+EngineStats BatchHashEngine::stats() const {
+  EngineStats st;
+  {
+    std::lock_guard lock(state_mutex_);
+    st.submitted = submitted_;
+    st.completed = completed_;
+    st.shards.reserve(shards_.size());
+    for (const auto& shard : shards_) st.shards.push_back(shard->stats);
+  }
+  st.queue_high_water = queue_.high_water();
+  return st;
+}
+
+void BatchHashEngine::worker_loop(Shard& shard) {
+  std::vector<QueuedJob> batch;
+  while (queue_.pop_up_to(window_, batch) > 0) {
+    try {
+      process_batch(shard, batch);
+    } catch (const std::exception& e) {
+      // Retire the failed jobs with empty digests so drain() terminates,
+      // and record the first failure for it to rethrow.
+      std::lock_guard lock(state_mutex_);
+      completed_ += batch.size();
+      if (error_.empty()) error_ = e.what();
+      if (completed_ == submitted_) all_done_.notify_all();
+    }
+  }
+}
+
+void BatchHashEngine::process_batch(Shard& shard,
+                                    std::vector<QueuedJob>& batch) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  core::ParallelSha3& accel = *shard.accel;
+  const core::BatchStats before = accel.stats();
+
+  // Partition the run into dispatch groups (order-preserving); each group
+  // goes to the accelerator as one batch so equal-length jobs share lanes.
+  std::vector<std::vector<u8>> digests(batch.size());
+  std::vector<bool> grouped(batch.size(), false);
+  u64 bytes = 0;
+  for (usize i = 0; i < batch.size(); ++i) {
+    if (grouped[i]) continue;
+    std::vector<usize> members{i};
+    for (usize j = i + 1; j < batch.size(); ++j) {
+      if (!grouped[j] && same_dispatch(batch[i].job, batch[j].job)) {
+        grouped[j] = true;
+        members.push_back(j);
+      }
+    }
+    std::vector<std::vector<u8>> msgs(members.size());
+    for (usize k = 0; k < members.size(); ++k) {
+      msgs[k] = batch[members[k]].job.message;
+      bytes += msgs[k].size();
+    }
+    const HashJob& head = batch[i].job;
+    const usize out_len = head.resolved_out_len();
+    std::vector<std::vector<u8>> outs;
+    switch (head.algo) {
+      case Algo::kKmac128:
+      case Algo::kKmac256:
+        outs = accel.kmac_batch(head.algo == Algo::kKmac128 ? 128u : 256u,
+                                head.key, msgs, out_len, head.customization);
+        break;
+      case Algo::kShake128:
+      case Algo::kShake256:
+        outs = accel.xof_batch(base_function(head.algo), msgs, out_len);
+        break;
+      default:
+        outs = accel.hash_batch(base_function(head.algo), msgs);
+        break;
+    }
+    for (usize k = 0; k < members.size(); ++k) {
+      digests[members[k]] = std::move(outs[k]);
+    }
+  }
+
+  const core::BatchStats after = accel.stats();
+  const u64 host_ns = static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+
+  std::lock_guard lock(state_mutex_);
+  for (usize i = 0; i < batch.size(); ++i) {
+    // collected_ only moves when results_ is empty (drain retires every
+    // completed job at once), so this index is always in range.
+    results_[batch[i].seq - collected_] = std::move(digests[i]);
+  }
+  completed_ += batch.size();
+  shard.stats.jobs += batch.size();
+  shard.stats.bytes += bytes;
+  shard.stats.dispatches += 1;
+  shard.stats.sim_cycles += after.accelerator_cycles - before.accelerator_cycles;
+  shard.stats.permutations += after.permutations - before.permutations;
+  shard.stats.host_ns += host_ns;
+  if (completed_ == submitted_) all_done_.notify_all();
+}
+
+std::vector<std::vector<u8>> run_batch(const EngineConfig& config,
+                                       std::span<const HashJob> jobs) {
+  BatchHashEngine engine(config);
+  engine.submit_all(jobs);
+  engine.close();
+  return engine.drain();
+}
+
+}  // namespace kvx::engine

@@ -1,0 +1,33 @@
+#include "kvx/engine/job.hpp"
+
+#include "kvx/keccak/sp800_185.hpp"
+
+namespace kvx::engine {
+
+std::string_view algo_name(Algo algo) noexcept {
+  switch (algo) {
+    case Algo::kSha3_224: return "SHA3-224";
+    case Algo::kSha3_256: return "SHA3-256";
+    case Algo::kSha3_384: return "SHA3-384";
+    case Algo::kSha3_512: return "SHA3-512";
+    case Algo::kShake128: return "SHAKE128";
+    case Algo::kShake256: return "SHAKE256";
+    case Algo::kKmac128: return "KMAC128";
+    case Algo::kKmac256: return "KMAC256";
+  }
+  return "?";
+}
+
+std::vector<u8> host_reference_digest(const HashJob& job) {
+  const usize out = job.resolved_out_len();
+  switch (job.algo) {
+    case Algo::kKmac128:
+      return keccak::kmac128(job.key, job.message, out, job.customization);
+    case Algo::kKmac256:
+      return keccak::kmac256(job.key, job.message, out, job.customization);
+    default:
+      return keccak::hash(base_function(job.algo), job.message, out);
+  }
+}
+
+}  // namespace kvx::engine

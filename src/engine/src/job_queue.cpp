@@ -1,0 +1,54 @@
+#include "kvx/engine/job_queue.hpp"
+
+#include <algorithm>
+
+namespace kvx::engine {
+
+bool JobQueue::push(QueuedJob item) {
+  std::unique_lock lock(mutex_);
+  not_full_.wait(lock, [&] {
+    return closed_ || max_depth_ == 0 || items_.size() < max_depth_;
+  });
+  if (closed_) return false;
+  items_.push_back(std::move(item));
+  high_water_ = std::max(high_water_, items_.size());
+  not_empty_.notify_one();
+  return true;
+}
+
+usize JobQueue::pop_up_to(usize max_items, std::vector<QueuedJob>& out) {
+  out.clear();
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  const usize take = std::min(max_items, items_.size());
+  for (usize i = 0; i < take; ++i) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  if (take > 0) not_full_.notify_all();
+  return take;
+}
+
+void JobQueue::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+usize JobQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return items_.size();
+}
+
+usize JobQueue::high_water() const {
+  std::lock_guard lock(mutex_);
+  return high_water_;
+}
+
+}  // namespace kvx::engine

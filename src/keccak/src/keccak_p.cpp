@@ -9,7 +9,7 @@ bool lfsr_rc_bit(unsigned t) noexcept {
   if (tm == 0) return true;
   u16 r = 0x01;  // bit 0 = R[0]
   for (unsigned i = 1; i <= tm; ++i) {
-    r <<= 1;
+    r = static_cast<u16>(r << 1);
     if (r & 0x100) {
       r ^= 0x171;  // x^8 -> x^6 + x^5 + x^4 + 1 (0b01110001 + carry clear)
     }

@@ -158,7 +158,7 @@ bool VectorUnit::mask_bit(usize idx) const {
   // Mask register is v0, one bit per element, LSB-first.
   const usize byte = idx / 8;
   KVX_CHECK_MSG(byte < reg_bytes_, "mask index beyond v0");
-  return (file_[byte] >> (idx % 8)) & 1u;
+  return ((file_[byte] >> (idx % 8)) & 1) != 0;
 }
 
 usize VectorUnit::active_rows(unsigned sew_bits) const noexcept {

@@ -78,6 +78,96 @@ TEST(Sha3Kat, Shake256_Empty64) {
             "d75dc4ddd8c0f200cb05019d67b592f6fc821c49479ab48640292eacb3b7c4be");
 }
 
+// --- padding-boundary known answers -------------------------------------------
+// Messages of rate-1, rate, and rate+1 bytes of 0xA3 for every fixed-output
+// variant: these straddle the exact points where the pad10*1 rule switches
+// between "pad fits in the final block", "a whole extra padding block", and
+// "one byte spills into a second block". Expected digests cross-checked
+// against CPython's hashlib (an independent SHA-3 implementation).
+
+std::string hex_hash_a3(Sha3Function f, usize msg_len, usize out_len) {
+  const std::vector<u8> msg(msg_len, 0xA3);
+  return to_hex(hash(f, msg, out_len));
+}
+
+TEST(Sha3KatBoundary, Sha3_224_RateMinus1) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_224, 143, 28),
+            "1e66e6c67ca1affecd0bb4c38b1a930933cb7e34e498e132f1c6661b");
+}
+
+TEST(Sha3KatBoundary, Sha3_224_Rate) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_224, 144, 28),
+            "5cf2d36273844ce16ededcc9afb6a7a393a6c72c41731aea144b7a00");
+}
+
+TEST(Sha3KatBoundary, Sha3_224_RatePlus1) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_224, 145, 28),
+            "a62008d33b7d2f3a621b8290848b6f21e7e252f101b0263b9868b205");
+}
+
+TEST(Sha3KatBoundary, Sha3_256_RateMinus1) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_256, 135, 32),
+            "d51927265ca4bf0cc8b4453387700918c03f8894e395ad437d4573f3be4d2c34");
+}
+
+TEST(Sha3KatBoundary, Sha3_256_Rate) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_256, 136, 32),
+            "0adf6bfb359ae40019b67d8c49c361574b70242a6b752de6f9e0d426ca177f7a");
+}
+
+TEST(Sha3KatBoundary, Sha3_256_RatePlus1) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_256, 137, 32),
+            "e2fa06eaa22fe60106af67d5f6ea093fe58f07d2dcfb06d51057953f114849a7");
+}
+
+TEST(Sha3KatBoundary, Sha3_384_RateMinus1) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_384, 103, 48),
+            "7c40347dc9ffa4d2334e2fddbec20a100197559eab927e71206a4fda3ee8bdc5"
+            "b17eb4fbbb218f5b9caac0433a8a5383");
+}
+
+TEST(Sha3KatBoundary, Sha3_384_Rate) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_384, 104, 48),
+            "27ac5ebc6f9995eb1038253a951df5471c866f4c764a85091124be6acd81e369"
+            "c14b5323bbcd2b39310d5e2768317cbd");
+}
+
+TEST(Sha3KatBoundary, Sha3_384_RatePlus1) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_384, 105, 48),
+            "2597bb726c068dc85988410671769dba9a8528ba4f63d2e9b11957ca242f59cb"
+            "c4f746fc93c1c87d7c66b5bedb36f9e5");
+}
+
+TEST(Sha3KatBoundary, Sha3_512_RateMinus1) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_512, 71, 64),
+            "3179c85b18c790518b1ddb02e6953b01b2d01ff72409b1ce0b38828c710ab7c0"
+            "bd98f0a5c5861692c3954d8ce4fb02da42560be129c4dd5b3eadcb02908676e0");
+}
+
+TEST(Sha3KatBoundary, Sha3_512_Rate) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_512, 72, 64),
+            "d24ce75b87c7be36e3fedbaa285f563d3efcc13663f5eb2fdd0c60033dab04e8"
+            "94d343b3971bc0c9ba30e0dde18106cbaaa955c8c3c0bf1ec3490aafcae15788");
+}
+
+TEST(Sha3KatBoundary, Sha3_512_RatePlus1) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kSha3_512, 73, 64),
+            "b5d2e4263c9ee9c66993a29db88c04a479df53ad69fb6742dffb0789a14e35fe"
+            "46bc0f3a8bac7a2b83335b9b4ebb05b07fce2960a790e628a1dde08eb6bb22e0");
+}
+
+// The NIST CAVP "1600-bit" sample messages (200 bytes of 0xA3).
+TEST(Sha3KatBoundary, Shake128_1600Bit) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kShake128, 200, 32),
+            "131ab8d2b594946b9c81333f9bb6e0ce75c3b93104fa3469d3917457385da037");
+}
+
+TEST(Sha3KatBoundary, Shake256_1600Bit) {
+  EXPECT_EQ(hex_hash_a3(Sha3Function::kShake256, 200, 64),
+            "cd8a920ed141aa0407a22d59288652e9d9f1a7ee0c1e7c1ca699424da84a904d"
+            "2d700caae7396ece96604440577da4f3aa22aeb8857f961c4cd8e06f0ae6610b");
+}
+
 // --- API surface ---------------------------------------------------------------
 
 TEST(Sha3Api, RatesAndDigestSizes) {

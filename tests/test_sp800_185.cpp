@@ -3,8 +3,9 @@
 // Exact-value checks for the string-encoding primitives (fully specified by
 // SP 800-185 §2.3) plus the mandated cSHAKE→SHAKE degradation; the
 // higher-level constructions are verified structurally (domain separation,
-// tuple unambiguity, key separation, XOF-vs-fixed distinction), since no
-// NIST sample files are available offline.
+// tuple unambiguity, key separation, XOF-vs-fixed distinction) and against
+// pinned KMAC256 vectors (one transcribed NIST sample, one long-customization
+// vector cross-checked with an independent implementation).
 #include <gtest/gtest.h>
 
 #include "kvx/common/hex.hpp"
@@ -137,6 +138,34 @@ TEST(Kmac, CustomizationString) {
 
 TEST(Kmac, EmptyKeyAndMessageStillWork) {
   EXPECT_EQ(kmac128({}, {}, 32).size(), 32u);
+}
+
+// NIST SP 800-185 KMAC256 sample #6: Key = 0x40..0x5F, Data = 0x00..0xC7,
+// L = 512 bits, S = "My Tagged Application".
+TEST(Kmac, Kmac256NistSample6) {
+  std::vector<u8> key(32), data(200);
+  for (usize i = 0; i < key.size(); ++i) key[i] = static_cast<u8>(0x40 + i);
+  for (usize i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i);
+  EXPECT_EQ(to_hex(kmac256(key, data, 64, bytes_of("My Tagged Application"))),
+            "b58618f71f92e1d56c1b8c55ddd7cd188b97b4ca4d99831eb2699a837da2e4d9"
+            "70fbacfde50033aea585f1a2708510c32d07880801bd182898fe476876fc8965");
+}
+
+// A customization string longer than the SHAKE256 rate (150 > 136 bytes):
+// the cSHAKE prefix block must spill into a second block, exercising the
+// bytepad path no short NIST sample reaches. Expected value cross-checked
+// against an independent from-scratch Keccak/KMAC implementation.
+TEST(Kmac, Kmac256LongCustomizationSpansTwoPrefixBlocks) {
+  std::vector<u8> key(32);
+  for (usize i = 0; i < key.size(); ++i) key[i] = static_cast<u8>(0x40 + i);
+  std::string cust;
+  while (cust.size() < 150) {
+    cust += "The quick brown fox jumps over the lazy dog. ";
+  }
+  cust.resize(150);
+  const std::vector<u8> msg(64, 0xA3);
+  EXPECT_EQ(to_hex(kmac256(key, msg, 32, bytes_of(cust))),
+            "689121860e10e7c3b77833110d67477a8667d585bcc3e7fffb0d82ccaf0963c0");
 }
 
 // --- TupleHash ----------------------------------------------------------------------

@@ -168,30 +168,34 @@ TEST(CycleRegression, Round64Lmul8Is75) {
   EXPECT_EQ(vk.measure_round_cycles(), 75u);
 }
 
-TEST(CycleRegression, Round32Lmul8NearPaper147) {
-  // Our program reproduces the paper's structure; the measured body is
-  // within one cycle of the published 147 (see EXPERIMENTS.md).
+TEST(CycleRegression, Round32Lmul8Is146NearPaper147) {
+  // Our program reproduces the paper's structure; the measured body is one
+  // cycle under the published 147 (see EXPERIMENTS.md). Pinned exactly so
+  // any codegen or timing-model drift is caught immediately.
   VectorKeccak vk({Arch::k32Lmul8, 5, 24});
-  const u64 c = vk.measure_round_cycles();
-  EXPECT_GE(c, 145u);
-  EXPECT_LE(c, 148u);
+  EXPECT_EQ(vk.measure_round_cycles(), 146u);
 }
 
-TEST(CycleRegression, PermutationLatenciesNearPaper) {
-  // Paper: 2564 (64/LMUL1), 1892 (64/LMUL8), 3620 (32/LMUL8) cycles. Our
-  // loop/setup accounting differs slightly; require within 2%.
+TEST(CycleRegression, PermutationLatenciesWithinOnePercentOfPaper) {
+  // Paper Table: 2564 (64/LMUL1), 1892 (64/LMUL8), 3620 (32/LMUL8) cycles
+  // per 24-round permutation. Our loop/setup accounting differs slightly;
+  // lock the model to within 1% of the published numbers AND pin the exact
+  // measured values so regressions surface as a diff, not a drift.
   const auto near = [](u64 measured, double paper) {
-    return std::abs(static_cast<double>(measured) - paper) / paper < 0.02;
+    return std::abs(static_cast<double>(measured) - paper) / paper < 0.01;
   };
   VectorKeccak a({Arch::k64Lmul1, 5, 24});
   VectorKeccak b({Arch::k64Lmul8, 5, 24});
   VectorKeccak c({Arch::k32Lmul8, 5, 24});
-  EXPECT_TRUE(near(a.measure_permutation_cycles(), 2564.0))
-      << a.measure_permutation_cycles();
-  EXPECT_TRUE(near(b.measure_permutation_cycles(), 1892.0))
-      << b.measure_permutation_cycles();
-  EXPECT_TRUE(near(c.measure_permutation_cycles(), 3620.0))
-      << c.measure_permutation_cycles();
+  const u64 ca = a.measure_permutation_cycles();
+  const u64 cb = b.measure_permutation_cycles();
+  const u64 cc = c.measure_permutation_cycles();
+  EXPECT_TRUE(near(ca, 2564.0)) << ca;
+  EXPECT_TRUE(near(cb, 1892.0)) << cb;
+  EXPECT_TRUE(near(cc, 3620.0)) << cc;
+  EXPECT_EQ(ca, 2566u);
+  EXPECT_EQ(cb, 1894u);
+  EXPECT_EQ(cc, 3646u);
 }
 
 TEST(CycleRegression, Lmul8BeatsLmul1ByPaperRatio) {
