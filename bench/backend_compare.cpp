@@ -1,0 +1,160 @@
+// Interpreter vs compiled-trace execution backend: host-throughput grid.
+//
+// Same engine workload run twice per (SN, threads) grid point, once per
+// execution backend. The digests of every cell are verified against the
+// host golden model AND against the other backend (the engine-level
+// differential check). Emits BENCH_backend.json next to the table so the
+// trace backend's host speedup is tracked across PRs.
+//
+// Fast by default (CI runs every bench binary as a smoke test); pass
+// --check to fail with exit 1 if the compiled-trace backend is slower than
+// the interpreter in aggregate.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "kvx/engine/batch_engine.hpp"
+#include "kvx/keccak/sha3.hpp"
+#include "kvx/sim/compiled_trace.hpp"
+
+namespace {
+
+using namespace kvx;
+using Clock = std::chrono::steady_clock;
+
+constexpr usize kJobs = 96;
+constexpr usize kBytes = 200;  // 2 SHA3-256 rate blocks per job
+
+struct Cell {
+  unsigned sn = 0;
+  unsigned threads = 0;
+  double interp_mbs = 0;
+  double trace_mbs = 0;
+};
+
+double run_once(sim::ExecBackend backend, unsigned sn, unsigned threads,
+                std::span<const engine::HashJob> jobs,
+                std::span<const std::vector<u8>> expected) {
+  engine::EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.accel = {core::Arch::k64Lmul8, 5 * sn, 24};
+  cfg.accel.backend = backend;
+  engine::BatchHashEngine eng(cfg);  // construction (and any trace compile)
+                                     // excluded; compile time is reported
+                                     // separately from the trace cache
+  const auto t0 = Clock::now();
+  eng.submit_all(jobs);
+  const auto outs = eng.drain();
+  const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+  for (usize i = 0; i < jobs.size(); ++i) {
+    if (outs[i] != expected[i]) {
+      std::printf("DIGEST MISMATCH (backend=%s SN=%u threads=%u job=%zu)\n",
+                  std::string(sim::backend_name(backend)).c_str(), sn, threads,
+                  i);
+      std::exit(1);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+
+  std::vector<engine::HashJob> jobs(kJobs);
+  std::vector<std::vector<u8>> expected(kJobs);
+  for (usize i = 0; i < kJobs; ++i) {
+    const auto msg = bench::random_bytes(kBytes, /*seed=*/7100 + i);
+    jobs[i] = {engine::Algo::kSha3_256, msg};
+    expected[i] = keccak::hash(keccak::Sha3Function::kSha3_256, msg, 32);
+  }
+  const double mb = static_cast<double>(kJobs * kBytes) / 1e6;
+
+  sim::TraceCache::global().clear();  // report this run's compiles only
+
+  bench::header("Execution backend comparison — interpreter vs compiled "
+                "trace (SHA3-256, 96 x 200 B)");
+  std::printf("host hardware threads: %u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-18s | interp MB/s | trace MB/s | speedup\n", "config");
+  bench::rule();
+
+  std::vector<Cell> cells;
+  double interp_total_s = 0;
+  double trace_total_s = 0;
+  for (const unsigned sn : {1u, 3u, 6u}) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      Cell c;
+      c.sn = sn;
+      c.threads = threads;
+      const double is =
+          run_once(sim::ExecBackend::kInterpreter, sn, threads, jobs, expected);
+      const double ts = run_once(sim::ExecBackend::kCompiledTrace, sn, threads,
+                                 jobs, expected);
+      interp_total_s += is;
+      trace_total_s += ts;
+      c.interp_mbs = mb / is;
+      c.trace_mbs = mb / ts;
+      cells.push_back(c);
+      std::printf("SN=%u  %u thread%s  | %11.2f | %10.2f | %6.2fx\n", sn,
+                  threads, threads == 1 ? " " : "s", c.interp_mbs, c.trace_mbs,
+                  is / ts);
+    }
+    bench::rule();
+  }
+  const double agg_interp = mb * static_cast<double>(cells.size()) / interp_total_s;
+  const double agg_trace = mb * static_cast<double>(cells.size()) / trace_total_s;
+  const sim::TraceCacheStats tc = sim::TraceCache::global().stats();
+  std::printf("aggregate: interpreter %.2f MB/s, trace %.2f MB/s (%.2fx)\n",
+              agg_interp, agg_trace, interp_total_s / trace_total_s);
+  std::printf("trace cache: %llu compiles (%.2f ms), %llu hits, %llu "
+              "rejected\n",
+              static_cast<unsigned long long>(tc.compiles),
+              static_cast<double>(tc.compile_ns) / 1e6,
+              static_cast<unsigned long long>(tc.hits),
+              static_cast<unsigned long long>(tc.failures));
+
+  std::FILE* f = std::fopen("BENCH_backend.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"backend_compare\",\n");
+    std::fprintf(f, "  \"jobs\": %zu,\n  \"bytes_per_job\": %zu,\n", kJobs,
+                 kBytes);
+    std::fprintf(f, "  \"grid\": [\n");
+    for (usize i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(f,
+                   "    {\"sn\": %u, \"threads\": %u, \"interpreter_mbs\": "
+                   "%.3f, \"trace_mbs\": %.3f, \"speedup\": %.3f}%s\n",
+                   c.sn, c.threads, c.interp_mbs, c.trace_mbs,
+                   c.trace_mbs / c.interp_mbs, i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"aggregate\": {\"interpreter_mbs\": %.3f, \"trace_mbs\": "
+                 "%.3f, \"speedup\": %.3f},\n",
+                 agg_interp, agg_trace, interp_total_s / trace_total_s);
+    std::fprintf(f,
+                 "  \"trace_cache\": {\"compiles\": %llu, \"hits\": %llu, "
+                 "\"failures\": %llu, \"compile_ms\": %.3f}\n}\n",
+                 static_cast<unsigned long long>(tc.compiles),
+                 static_cast<unsigned long long>(tc.hits),
+                 static_cast<unsigned long long>(tc.failures),
+                 static_cast<double>(tc.compile_ns) / 1e6);
+    std::fclose(f);
+    std::printf("wrote BENCH_backend.json\n");
+  }
+
+  if (check && agg_trace < agg_interp) {
+    std::printf("CHECK FAILED: compiled-trace backend slower than the "
+                "interpreter in aggregate\n");
+    return 1;
+  }
+  return 0;
+}

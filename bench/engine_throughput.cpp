@@ -1,12 +1,14 @@
-// Host-parallel engine throughput: jobs/s and MB/s vs thread count × SN.
+// Host-parallel engine throughput: jobs/s and MB/s vs thread count × SN ×
+// execution backend.
 //
 // The paper's two results tables measure *simulated* cycles of one
 // accelerator. This bench measures the host-side dimension the ROADMAP's
 // throughput goal adds: how fast a pool of worker shards (one simulated
 // accelerator each) retires a batch workload, against the single-threaded
-// ParallelSha3 baseline at the same SN. Every digest is verified against
-// the host golden model. Deterministic workload (bench_util::random_bytes,
-// fixed seed) so only timings vary between runs.
+// ParallelSha3 baseline at the same SN. Each engine grid point runs once
+// per execution backend (interpreter, compiled trace). Every digest is
+// verified against the host golden model. Deterministic workload
+// (bench_util::random_bytes, fixed seed) so only timings vary between runs.
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -45,13 +47,14 @@ int main() {
   }
   const double mb = static_cast<double>(kJobs * kBytes) / 1e6;
 
-  bench::header("Engine throughput — jobs/s and MB/s vs host threads x SN "
-                "(SHA3-256, 240 x 200 B)");
+  bench::header("Engine throughput — jobs/s and MB/s vs host threads x SN x "
+                "backend (SHA3-256, 240 x 200 B)");
   std::printf("host hardware threads: %u\n\n",
               std::thread::hardware_concurrency());
-  std::printf("%-28s | wall ms | jobs/s  |  MB/s  | vs 1 thread\n", "config");
+  std::printf("%-28s | wall ms | jobs/s  |  MB/s  | vs baseline\n", "config");
   bench::rule();
 
+  double sn6t8_mbs[2] = {0, 0};  // [interpreter, trace] at SN=6, 8 threads
   for (const unsigned sn : {1u, 3u, 6u}) {
     const core::VectorKeccakConfig accel{core::Arch::k64Lmul8, 5 * sn, 24};
 
@@ -70,27 +73,38 @@ int main() {
     std::printf("SN=%u  ParallelSha3 baseline  | %7.1f | %7.0f | %6.2f | %9s\n",
                 sn, base_s * 1e3, kJobs / base_s, mb / base_s, "1.00x");
 
-    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
-      engine::EngineConfig cfg;
-      cfg.threads = threads;
-      cfg.accel = accel;
-      engine::BatchHashEngine eng(cfg);  // construction excluded from timing
-      t0 = Clock::now();
-      for (const auto& job : jobs) (void)eng.submit(job);
-      const auto outs = eng.drain();
-      const double s = seconds_since(t0);
-      for (usize i = 0; i < kJobs; ++i) {
-        if (outs[i] != expected[i]) {
-          std::printf("ENGINE DIGEST MISMATCH at job %zu\n", i);
-          return 1;
+    for (const sim::ExecBackend backend :
+         {sim::ExecBackend::kInterpreter, sim::ExecBackend::kCompiledTrace}) {
+      for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+        engine::EngineConfig cfg;
+        cfg.threads = threads;
+        cfg.accel = accel;
+        cfg.accel.backend = backend;
+        engine::BatchHashEngine eng(cfg);  // construction (incl. any trace
+                                           // compile) excluded from timing
+        t0 = Clock::now();
+        for (const auto& job : jobs) (void)eng.submit(job);
+        const auto outs = eng.drain();
+        const double s = seconds_since(t0);
+        for (usize i = 0; i < kJobs; ++i) {
+          if (outs[i] != expected[i]) {
+            std::printf("ENGINE DIGEST MISMATCH at job %zu\n", i);
+            return 1;
+          }
         }
+        const bool is_trace = backend == sim::ExecBackend::kCompiledTrace;
+        if (sn == 6 && threads == 8) sn6t8_mbs[is_trace ? 1 : 0] = mb / s;
+        std::printf("SN=%u  %-11s %u thread%s | %7.1f | %7.0f | %6.2f | %8.2fx\n",
+                    sn, std::string(sim::backend_name(backend)).c_str(),
+                    threads, threads == 1 ? " " : "s", s * 1e3, kJobs / s,
+                    mb / s, base_s / s);
       }
-      std::printf("SN=%u  engine, %u thread%s     | %7.1f | %7.0f | %6.2f | %8.2fx\n",
-                  sn, threads, threads == 1 ? " " : "s", s * 1e3, kJobs / s,
-                  mb / s, base_s / s);
     }
     bench::rule();
   }
+  std::printf("compiled trace vs interpreter at SN=6, 8 threads: %.2fx host "
+              "MB/s\n",
+              sn6t8_mbs[0] > 0 ? sn6t8_mbs[1] / sn6t8_mbs[0] : 0.0);
   std::printf("(speedup scales with physical cores; digests verified against "
               "the host golden model)\n");
   return 0;

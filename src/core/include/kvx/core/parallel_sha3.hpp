@@ -65,6 +65,12 @@ class ParallelSha3 {
     return vk_.shared_program();
   }
 
+  /// Backend the permutation accelerator actually uses (the configured one,
+  /// downgraded to the interpreter if trace compilation was rejected).
+  [[nodiscard]] sim::ExecBackend active_backend() const noexcept {
+    return vk_.active_backend();
+  }
+
   /// Hash a batch of messages with a fixed-output function; every message
   /// may have a different length (grouped internally).
   [[nodiscard]] std::vector<std::vector<u8>> hash_batch(

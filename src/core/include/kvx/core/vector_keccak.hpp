@@ -12,6 +12,8 @@
 
 #include "kvx/core/program_builder.hpp"
 #include "kvx/keccak/state.hpp"
+#include "kvx/sim/compiled_trace.hpp"
+#include "kvx/sim/exec_backend.hpp"
 #include "kvx/sim/processor.hpp"
 
 namespace kvx::core {
@@ -21,6 +23,11 @@ struct VectorKeccakConfig {
   unsigned ele_num = 5;  ///< elements per vector register (5·SN, or more)
   unsigned rounds = 24;
   unsigned first_round = 0;  ///< ι round-constant start (12 for Keccak-p[1600,12])
+
+  /// Functional execution backend. The compiled-trace backend produces
+  /// bit-identical digests, register state and cycle counts, and silently
+  /// falls back to the interpreter if the program is not trace-compilable.
+  sim::ExecBackend backend = sim::ExecBackend::kInterpreter;
 
   [[nodiscard]] unsigned sn() const noexcept { return ele_num / 5; }
 };
@@ -65,6 +72,13 @@ class VectorKeccak {
   /// Throws kvx::Error when states.size() > SN.
   void permute(std::span<keccak::State> states);
 
+  /// Backend that permute() actually uses: the configured one, downgraded
+  /// to the interpreter if trace compilation was rejected.
+  [[nodiscard]] sim::ExecBackend active_backend() const noexcept {
+    return trace_ != nullptr ? sim::ExecBackend::kCompiledTrace
+                             : sim::ExecBackend::kInterpreter;
+  }
+
   [[nodiscard]] const PermutationTiming& last_timing() const noexcept {
     return timing_;
   }
@@ -86,6 +100,7 @@ class VectorKeccak {
   std::unique_ptr<sim::SimdProcessor> proc_;
   u32 state_base_ = 0;
   PermutationTiming timing_;
+  std::shared_ptr<const sim::CompiledTrace> trace_;  ///< null = interpreter
 };
 
 }  // namespace kvx::core

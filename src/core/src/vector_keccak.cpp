@@ -55,6 +55,22 @@ VectorKeccak::VectorKeccak(const VectorKeccakConfig& config,
                 "shared program was built for a different configuration");
   proc_->load_program(program_->image);
   state_base_ = program_->image.symbol("state");
+
+  if (config_.backend == sim::ExecBackend::kCompiledTrace) {
+    // The staged-state area is the verify region of the trace compiler's
+    // data-independence check: its contents differ between the two recording
+    // runs, so any program whose control flow or operands depend on state
+    // data is rejected and we stay on the interpreter.
+    sim::TraceCompileOptions opts;
+    opts.verify_base = state_base_;
+    opts.verify_len = usize{5} * config_.ele_num * 8;
+    try {
+      trace_ = sim::TraceCache::global().get_or_compile(
+          program_->image, processor_config(config_), opts);
+    } catch (const SimError&) {
+      trace_ = nullptr;  // interpreter fallback
+    }
+  }
 }
 
 void VectorKeccak::stage_states(std::span<const keccak::State> states) {
@@ -95,13 +111,26 @@ void VectorKeccak::permute(std::span<keccak::State> states) {
                        config_.sn()));
   }
   stage_states(states);
-  proc_->reset_run_state();
-  proc_->vector().clear_registers();
-  proc_->run();
-  timing_.total_cycles = proc_->cycles();
-  timing_.permutation_cycles =
-      proc_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
-  timing_.instructions = proc_->stats().instructions;
+  if (trace_ != nullptr) {
+    // Replay the pre-decoded kernel trace. Register file and data memory
+    // end up bit-identical to an interpreter run; timing was recorded from
+    // the interpreter under the same cycle model.
+    proc_->vector().clear_registers();
+    trace_->execute(proc_->vector(), proc_->dmem(),
+                    proc_->config().cycle_model);
+    timing_.total_cycles = trace_->total_cycles();
+    timing_.permutation_cycles =
+        trace_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
+    timing_.instructions = trace_->instructions();
+  } else {
+    proc_->reset_run_state();
+    proc_->vector().clear_registers();
+    proc_->run();
+    timing_.total_cycles = proc_->cycles();
+    timing_.permutation_cycles =
+        proc_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
+    timing_.instructions = proc_->stats().instructions;
+  }
   unstage_states(states);
 }
 

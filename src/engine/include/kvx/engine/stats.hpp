@@ -1,6 +1,7 @@
 // Statistics reported by the batch hashing engine.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "kvx/common/types.hpp"
@@ -23,6 +24,9 @@ struct EngineStats {
   u64 submitted = 0;          ///< jobs accepted by submit()
   u64 completed = 0;          ///< jobs with a result available
   usize queue_high_water = 0; ///< max queue depth observed since start
+  /// Execution backend the shard accelerators run ("interpreter"/"trace");
+  /// the active one, i.e. already downgraded if trace compilation failed.
+  std::string backend;
   std::vector<ShardStats> shards;
 
   [[nodiscard]] ShardStats totals() const noexcept {

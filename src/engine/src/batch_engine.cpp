@@ -124,6 +124,10 @@ EngineStats BatchHashEngine::stats() const {
     st.shards.reserve(shards_.size());
     for (const auto& shard : shards_) st.shards.push_back(shard->stats);
   }
+  if (!shards_.empty()) {
+    // All shards share one program + config, so shard 0 is representative.
+    st.backend = sim::backend_name(shards_.front()->accel->active_backend());
+  }
   st.queue_high_water = queue_.high_water();
   return st;
 }

@@ -1,0 +1,35 @@
+// Functional execution backends of the simulated SIMD processor.
+//
+// The interpreter is the reference backend: it fetches, decodes and
+// dispatches every instruction through ScalarCore/VectorUnit. The
+// compiled-trace backend (compiled_trace.hpp) replays a pre-decoded kernel
+// trace recorded from the interpreter — same architectural effects, same
+// reported cycles, far less host work per simulated instruction.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace kvx::sim {
+
+enum class ExecBackend {
+  kInterpreter,    ///< reference fetch/decode/dispatch interpreter
+  kCompiledTrace,  ///< pre-decoded kernel trace (see compiled_trace.hpp)
+};
+
+/// Stable name, also accepted by parse_backend: "interpreter" / "trace".
+[[nodiscard]] constexpr std::string_view backend_name(ExecBackend b) noexcept {
+  return b == ExecBackend::kCompiledTrace ? "trace" : "interpreter";
+}
+
+/// Parse a backend name ("interpreter", "trace", "compiled-trace").
+[[nodiscard]] inline std::optional<ExecBackend> parse_backend(
+    std::string_view name) noexcept {
+  if (name == "interpreter") return ExecBackend::kInterpreter;
+  if (name == "trace" || name == "compiled-trace") {
+    return ExecBackend::kCompiledTrace;
+  }
+  return std::nullopt;
+}
+
+}  // namespace kvx::sim

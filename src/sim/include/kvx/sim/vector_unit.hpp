@@ -51,6 +51,13 @@ class VectorUnit {
   /// Override SN at runtime (the csrw path); must satisfy 5·sn ≤ ele_num.
   void set_sn(unsigned sn);
 
+  /// Force vtype/vl directly (compiled-trace replay of recorded generic
+  /// ops; bypasses the vsetvli AVL rules on purpose).
+  void set_exec_state(const isa::VType& vtype, usize vl) noexcept {
+    vtype_ = vtype;
+    vl_ = vl;
+  }
+
   // --- host access to the register file (tests / state staging) ---
   /// Element `idx` of register `vreg` at width `sew_bits` (no grouping).
   [[nodiscard]] u64 get_element(unsigned vreg, usize idx, unsigned sew_bits) const;
@@ -59,6 +66,13 @@ class VectorUnit {
   [[nodiscard]] std::vector<u8> get_register(unsigned vreg) const;
   void set_register(unsigned vreg, std::span<const u8> bytes);
   void clear_registers() noexcept;
+
+  // Raw register-file access for the compiled-trace backend: registers are
+  // stored contiguously (32 × reg_bytes()), so a register group is one flat
+  // byte span at `vreg * reg_bytes()`.
+  [[nodiscard]] u8* file_data() noexcept { return file_.data(); }
+  [[nodiscard]] const u8* file_data() const noexcept { return file_.data(); }
+  [[nodiscard]] usize reg_bytes() const noexcept { return reg_bytes_; }
 
   /// Execute one vector instruction; returns its cycle cost under `cm`.
   /// Scalar operands/results go through `x`; memory ops through `mem`.
@@ -74,6 +88,11 @@ class VectorUnit {
   [[nodiscard]] bool mask_bit(usize idx) const;
 
   [[nodiscard]] usize active_rows(unsigned sew_bits) const noexcept;
+
+  /// Base pointer of `reg`'s row after checking once that 5*SN lanes of
+  /// `bytes` each fit in one register — the hoisted bounds check the
+  /// custom-op row handlers use instead of per-element get/set_element.
+  [[nodiscard]] u8* lane_row(unsigned reg, unsigned bytes);
 
   u32 exec_vsetvli(const isa::Instruction& inst, ScalarRegs& x,
                    const CycleModel& cm);

@@ -166,6 +166,12 @@ usize VectorUnit::active_rows(unsigned sew_bits) const noexcept {
   return (vl_ + epr - 1) / epr;
 }
 
+u8* VectorUnit::lane_row(unsigned reg, unsigned bytes) {
+  KVX_CHECK_MSG(usize{5} * cfg_.effective_sn() * bytes <= reg_bytes_,
+                "custom op lane span exceeds the register row");
+  return file_.data() + static_cast<usize>(reg) * reg_bytes_;
+}
+
 u32 VectorUnit::execute(const Instruction& inst, ScalarRegs& x, Memory& mem,
                         const CycleModel& cm) {
   switch (isa::info(inst.op).format) {
@@ -432,6 +438,20 @@ u32 VectorUnit::exec_memory(const Instruction& inst, const ScalarRegs& x,
 
 namespace {
 
+/// Lane access on a register-row base pointer (`bytes` = SEW/8). The row
+/// handlers bounds-check the whole 5*SN element span once and then run on
+/// raw pointers; memcpy keeps the accesses strict-aliasing clean. A partial
+/// store of the low `bytes` bytes is the SEW truncation.
+u64 ld_lane(const u8* row, unsigned idx, unsigned bytes) {
+  u64 v = 0;
+  std::memcpy(&v, row + static_cast<usize>(idx) * bytes, bytes);
+  return v;
+}
+
+void st_lane(u8* row, unsigned idx, unsigned bytes, u64 value) {
+  std::memcpy(row + static_cast<usize>(idx) * bytes, &value, bytes);
+}
+
 /// Round-constant lookup for viota: full 64-bit table for ELEN=64; split
 /// lo/hi 32-bit table (RC32[2k] = lo, RC32[2k+1] = hi) for ELEN=32.
 u64 iota_constant(unsigned sew, u32 index) {
@@ -449,21 +469,21 @@ u64 iota_constant(unsigned sew, u32 index) {
 
 void VectorUnit::row_slide_mod5(unsigned vd, unsigned vs2, unsigned row,
                                 int offset) {
-  const unsigned sew = vtype_.sew;
+  const unsigned bytes = vtype_.sew / 8;
   const unsigned sn = cfg_.effective_sn();
   const unsigned d = vd + row;
   const unsigned s = vs2 + row;
   if (d >= 32 || s >= 32) throw SimError("custom slide register out of range");
+  const unsigned shift = static_cast<unsigned>(offset + 10) % 5u;
+  const u8* const sp = lane_row(s, bytes);
+  u8* const dp = lane_row(d, bytes);
   std::array<u64, 5> tmp{};
   for (unsigned i = 0; i < sn; ++i) {
     for (unsigned j = 0; j < 5; ++j) {
-      const unsigned src = (static_cast<unsigned>(
-                                static_cast<int>(j) + offset + 10) %
-                            5u);
-      tmp[j] = get_element(s, 5 * i + src, sew);
+      tmp[j] = ld_lane(sp, 5 * i + (j + shift) % 5, bytes);
     }
     for (unsigned j = 0; j < 5; ++j) {
-      set_element(d, 5 * i + j, sew, tmp[j]);
+      st_lane(dp, 5 * i + j, bytes, tmp[j]);
     }
   }
 }
@@ -476,8 +496,10 @@ void VectorUnit::row_rotup(unsigned vd, unsigned vs2, unsigned row,
   const unsigned d = vd + row;
   const unsigned s = vs2 + row;
   if (d >= 32 || s >= 32) throw SimError("vrotup register out of range");
+  const u8* const sp = lane_row(s, 8);
+  u8* const dp = lane_row(d, 8);
   for (unsigned e = 0; e < 5 * sn; ++e) {
-    set_element(d, e, sew, rotl64(get_element(s, e, sew), amount));
+    st_lane(dp, e, 8, rotl64(ld_lane(sp, e, 8), amount));
   }
 }
 
@@ -489,12 +511,13 @@ void VectorUnit::row_rho64(unsigned vd, unsigned vs2, unsigned row,
   const unsigned d = vd + row;
   const unsigned s = vs2 + row;
   if (d >= 32 || s >= 32) throw SimError("v64rho register out of range");
-  const auto& offsets = keccak::rho_offsets();
   if (table_row >= 5) throw SimError("rho table row out of range");
+  const auto& off = keccak::rho_offsets()[table_row];
+  const u8* const sp = lane_row(s, 8);
+  u8* const dp = lane_row(d, 8);
   for (unsigned i = 0; i < sn; ++i) {
     for (unsigned j = 0; j < 5; ++j) {
-      const u64 v = get_element(s, 5 * i + j, sew);
-      set_element(d, 5 * i + j, sew, rotl64(v, offsets[table_row][j]));
+      st_lane(dp, 5 * i + j, 8, rotl64(ld_lane(sp, 5 * i + j, 8), off[j]));
     }
   }
 }
@@ -510,15 +533,18 @@ void VectorUnit::row_rho32(unsigned vd, unsigned vs2_hi, unsigned vs1_lo,
   if (d >= 32 || shi >= 32 || slo >= 32) {
     throw SimError("v32rho register out of range");
   }
-  const auto& offsets = keccak::rho_offsets();
   if (table_row >= 5) throw SimError("rho table row out of range");
+  const auto& off = keccak::rho_offsets()[table_row];
+  const u8* const hp = lane_row(shi, 4);
+  const u8* const lp = lane_row(slo, 4);
+  u8* const dp = lane_row(d, 4);
   for (unsigned i = 0; i < sn; ++i) {
     for (unsigned j = 0; j < 5; ++j) {
       const unsigned e = 5 * i + j;
-      const u64 lane = concat32(static_cast<u32>(get_element(shi, e, 32)),
-                                static_cast<u32>(get_element(slo, e, 32)));
-      const u64 rot = rotl64(lane, offsets[table_row][j]);
-      set_element(d, e, 32, high_half ? hi32(rot) : lo32(rot));
+      const u64 lane = concat32(static_cast<u32>(ld_lane(hp, e, 4)),
+                                static_cast<u32>(ld_lane(lp, e, 4)));
+      const u64 rot = rotl64(lane, off[j]);
+      st_lane(dp, e, 4, high_half ? hi32(rot) : lo32(rot));
     }
   }
 }
@@ -531,11 +557,14 @@ void VectorUnit::row_rot32pair(unsigned vd, unsigned vs2_hi, unsigned vs1_lo,
   if (vd >= 32 || vs2_hi >= 32 || vs1_lo >= 32) {
     throw SimError("v32rotup register out of range");
   }
+  const u8* const hp = lane_row(vs2_hi, 4);
+  const u8* const lp = lane_row(vs1_lo, 4);
+  u8* const dp = lane_row(vd, 4);
   for (unsigned e = 0; e < 5 * sn; ++e) {
-    const u64 lane = concat32(static_cast<u32>(get_element(vs2_hi, e, 32)),
-                              static_cast<u32>(get_element(vs1_lo, e, 32)));
+    const u64 lane = concat32(static_cast<u32>(ld_lane(hp, e, 4)),
+                              static_cast<u32>(ld_lane(lp, e, 4)));
     const u64 rot = rotl64(lane, 1);
-    set_element(vd, e, 32, high_half ? hi32(rot) : lo32(rot));
+    st_lane(dp, e, 4, high_half ? hi32(rot) : lo32(rot));
   }
 }
 
@@ -549,14 +578,17 @@ void VectorUnit::row_pi(unsigned vd, unsigned vs2_row_reg, unsigned table_row) {
     throw SimError("vpi register out of range");
   }
   if (table_row >= 5) throw SimError("vpi table row out of range");
+  const unsigned bytes = sew / 8;
+  const u8* const sp = lane_row(vs2_row_reg, bytes);
+  u8* const vd_base = lane_row(vd, bytes);
   for (unsigned i = 0; i < sn; ++i) {
     std::array<u64, 5> src{};
     for (unsigned xp = 0; xp < 5; ++xp) {
-      src[xp] = get_element(vs2_row_reg, 5 * i + xp, sew);
+      src[xp] = ld_lane(sp, 5 * i + xp, bytes);
     }
     for (unsigned xp = 0; xp < 5; ++xp) {
       const unsigned y = (2 * (xp + 5 - table_row)) % 5;
-      set_element(vd + y, 5 * i + table_row, sew, src[xp]);
+      st_lane(vd_base + y * reg_bytes_, 5 * i + table_row, bytes, src[xp]);
     }
   }
 }
@@ -566,11 +598,14 @@ void VectorUnit::row_iota(unsigned vd, unsigned vs2, u32 index) {
   const unsigned sn = cfg_.effective_sn();
   if (vd >= 32 || vs2 >= 32) throw SimError("viota register out of range");
   const u64 rc = iota_constant(sew, index);
+  const unsigned bytes = sew / 8;
+  const u8* const sp = lane_row(vs2, bytes);
+  u8* const dp = lane_row(vd, bytes);
   for (unsigned i = 0; i < sn; ++i) {
     for (unsigned j = 0; j < 5; ++j) {
-      u64 v = get_element(vs2, 5 * i + j, sew);
+      u64 v = ld_lane(sp, 5 * i + j, bytes);
       if (j == 0) v ^= rc;
-      set_element(vd, 5 * i + j, sew, v);
+      st_lane(dp, 5 * i + j, bytes, v);
     }
   }
 }
@@ -586,12 +621,13 @@ void VectorUnit::row_thetac(unsigned vd, unsigned vs2, unsigned row) {
   const unsigned d = vd + row;
   const unsigned s = vs2 + row;
   if (d >= 32 || s >= 32) throw SimError("vthetac register out of range");
+  const u8* const sp = lane_row(s, 8);
+  u8* const dp = lane_row(d, 8);
   for (unsigned i = 0; i < sn; ++i) {
     std::array<u64, 5> b{};
-    for (unsigned j = 0; j < 5; ++j) b[j] = get_element(s, 5 * i + j, sew);
+    for (unsigned j = 0; j < 5; ++j) b[j] = ld_lane(sp, 5 * i + j, 8);
     for (unsigned j = 0; j < 5; ++j) {
-      set_element(d, 5 * i + j, sew,
-                  b[(j + 4) % 5] ^ rotl64(b[(j + 1) % 5], 1));
+      st_lane(dp, 5 * i + j, 8, b[(j + 4) % 5] ^ rotl64(b[(j + 1) % 5], 1));
     }
   }
 }
@@ -607,16 +643,17 @@ void VectorUnit::row_rhopi(unsigned vd, unsigned vs2_row_reg,
     throw SimError("vrhopi register out of range");
   }
   if (table_row >= 5) throw SimError("vrhopi table row out of range");
-  const auto& offsets = keccak::rho_offsets();
+  const auto& off = keccak::rho_offsets()[table_row];
+  const u8* const sp = lane_row(vs2_row_reg, 8);
+  u8* const vd_base = lane_row(vd, 8);
   for (unsigned i = 0; i < sn; ++i) {
     std::array<u64, 5> src{};
     for (unsigned xp = 0; xp < 5; ++xp) {
-      src[xp] = rotl64(get_element(vs2_row_reg, 5 * i + xp, sew),
-                       offsets[table_row][xp]);
+      src[xp] = rotl64(ld_lane(sp, 5 * i + xp, 8), off[xp]);
     }
     for (unsigned xp = 0; xp < 5; ++xp) {
       const unsigned y = (2 * (xp + 5 - table_row)) % 5;
-      set_element(vd + y, 5 * i + table_row, sew, src[xp]);
+      st_lane(vd_base + y * reg_bytes_, 5 * i + table_row, 8, src[xp]);
     }
   }
 }
@@ -629,12 +666,15 @@ void VectorUnit::row_chi(unsigned vd, unsigned vs2, unsigned row) {
   const unsigned d = vd + row;
   const unsigned s = vs2 + row;
   if (d >= 32 || s >= 32) throw SimError("vchi register out of range");
+  const unsigned bytes = sew / 8;
+  const u8* const sp = lane_row(s, bytes);
+  u8* const dp = lane_row(d, bytes);
   for (unsigned i = 0; i < sn; ++i) {
     std::array<u64, 5> f{};
-    for (unsigned j = 0; j < 5; ++j) f[j] = get_element(s, 5 * i + j, sew);
+    for (unsigned j = 0; j < 5; ++j) f[j] = ld_lane(sp, 5 * i + j, bytes);
     for (unsigned j = 0; j < 5; ++j) {
-      set_element(d, 5 * i + j, sew,
-                  f[j] ^ (~f[(j + 1) % 5] & f[(j + 2) % 5]));
+      st_lane(dp, 5 * i + j, bytes,
+              f[j] ^ (~f[(j + 1) % 5] & f[(j + 2) % 5]));
     }
   }
 }

@@ -6,13 +6,15 @@
 //     -t, --threads N    worker shards                   (default 2)
 //     -s, --sn N         Keccak states per shard: 1|3|6  (default 3)
 //     --arch NAME        64lmul1|64lmul8|32lmul8|64fused (default 64lmul8)
+//     --backend NAME     trace|interpreter               (default trace)
 //     -L, --out-len N    output bytes (required for shake/kmac)
 //     --key HEX          KMAC key
 //     --custom STR       KMAC customization string
 //     --random N[:LEN]   hash N deterministic pseudo-random messages of LEN
 //                        bytes (default 256) instead of reading files
 //     --verify           cross-check every digest against the host model
-//     --stats            print per-shard engine statistics
+//     --stats            print per-shard engine statistics, the backend that
+//                        actually ran, trace-compile time and cache hits
 //
 // Files are hashed in submission order; "-" reads stdin. Output format
 // matches sha3sum: "<hex digest>  <name>".
@@ -67,9 +69,9 @@ std::vector<u8> read_all(std::istream& in) {
 int usage() {
   std::fprintf(stderr,
                "usage: kvx-batch [-a algo] [-t threads] [-s sn] [--arch name]\n"
-               "                 [-L out-len] [--key hex] [--custom str]\n"
-               "                 [--random N[:LEN]] [--verify] [--stats] "
-               "[file ...]\n");
+               "                 [--backend trace|interpreter] [-L out-len]\n"
+               "                 [--key hex] [--custom str] [--random N[:LEN]]\n"
+               "                 [--verify] [--stats] [file ...]\n");
   return 2;
 }
 
@@ -81,6 +83,9 @@ int main(int argc, char** argv) {
   cfg.threads = 2;
   unsigned sn = 3;
   core::Arch arch = core::Arch::k64Lmul8;
+  // The compiled-trace backend is the CLI default: digests and reported
+  // cycles are bit-identical to the interpreter, and it auto-falls back.
+  sim::ExecBackend backend = sim::ExecBackend::kCompiledTrace;
   usize out_len = 0;
   std::vector<u8> key;
   std::vector<u8> customization;
@@ -107,6 +112,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "kvx-batch: unknown arch '%s'\n", argv[i]);
         return 2;
       }
+    } else if (a == "--backend" && has_next) {
+      const auto parsed = sim::parse_backend(argv[++i]);
+      if (!parsed) {
+        std::fprintf(stderr, "kvx-batch: unknown backend '%s'\n", argv[i]);
+        return 2;
+      }
+      backend = *parsed;
     } else if ((a == "-L" || a == "--out-len") && has_next) {
       out_len = static_cast<usize>(std::atol(argv[++i]));
     } else if (a == "--key" && has_next) {
@@ -185,6 +197,7 @@ int main(int argc, char** argv) {
   }
 
   cfg.accel = {arch, 5 * sn, 24};
+  cfg.accel.backend = backend;
   try {
     BatchHashEngine engine(cfg);
     engine.submit_all(jobs);
@@ -209,6 +222,15 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(t.dispatches),
                    static_cast<unsigned long long>(t.sim_cycles),
                    st.queue_high_water);
+      const sim::TraceCacheStats tc = sim::TraceCache::global().stats();
+      std::fprintf(stderr,
+                   "backend: %s | trace compiles %llu (%.2f ms) | cache hits "
+                   "%llu | rejected %llu\n",
+                   st.backend.c_str(),
+                   static_cast<unsigned long long>(tc.compiles),
+                   static_cast<double>(tc.compile_ns) / 1e6,
+                   static_cast<unsigned long long>(tc.hits),
+                   static_cast<unsigned long long>(tc.failures));
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "kvx-batch: %s\n", e.what());

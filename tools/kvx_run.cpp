@@ -2,7 +2,12 @@
 // simulated SIMD processor and report cycles, markers and final registers.
 //
 //   kvx-run program.img|program.s [--elen 32|64] [--elenum N] [--trace]
-//           [--max-cycles N]
+//           [--max-cycles N] [--backend interpreter|trace]
+//
+// With --backend trace the program is compiled into a pre-decoded kernel
+// trace and replayed; the reported cycles, markers and final registers come
+// from the recording run and are bit-identical to the interpreter's.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -13,6 +18,7 @@
 #include "kvx/asm/image_io.hpp"
 #include "kvx/common/error.hpp"
 #include "kvx/isa/disasm.hpp"
+#include "kvx/sim/compiled_trace.hpp"
 #include "kvx/sim/processor.hpp"
 
 namespace {
@@ -20,7 +26,8 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s program.img|program.s [--elen 32|64] [--elenum N]\n"
-               "       [--trace] [--profile] [--max-cycles N]\n",
+               "       [--trace] [--profile] [--max-cycles N]\n"
+               "       [--backend interpreter|trace]\n",
                prog);
   return 2;
 }
@@ -39,6 +46,7 @@ int main(int argc, char** argv) {
   cfg.vector.ele_num = 5;
   bool trace = false;
   bool profile = false;
+  kvx::sim::ExecBackend backend = kvx::sim::ExecBackend::kInterpreter;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -52,6 +60,13 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (a == "--profile") {
       profile = true;
+    } else if (a == "--backend" && i + 1 < argc) {
+      const auto parsed = kvx::sim::parse_backend(argv[++i]);
+      if (!parsed) {
+        std::fprintf(stderr, "kvx-run: unknown backend '%s'\n", argv[i]);
+        return 2;
+      }
+      backend = *parsed;
     } else if (!a.empty() && a[0] != '-' && input.empty()) {
       input = a;
     } else {
@@ -76,33 +91,79 @@ int main(int argc, char** argv) {
 
     kvx::sim::SimdProcessor proc(cfg);
     proc.load_program(program);
-    if (trace) {
-      proc.set_trace([](kvx::u32 pc, const kvx::isa::Instruction& inst) {
-        std::printf("[%08x] %s\n", pc, kvx::isa::disassemble(inst).c_str());
-      });
-    }
-    proc.run();
 
+    std::shared_ptr<const kvx::sim::CompiledTrace> compiled;
+    if (backend == kvx::sim::ExecBackend::kCompiledTrace) {
+      if (trace) {
+        std::fprintf(stderr,
+                     "kvx-run: --trace needs per-instruction execution; "
+                     "using the interpreter backend\n");
+      } else {
+        // The staged-state area (when the program names one) doubles as the
+        // verify region of the data-independence check, as in VectorKeccak —
+        // clamped to the next data symbol so the randomized fill never
+        // clobbers constant tables (e.g. interleave index vectors).
+        kvx::sim::TraceCompileOptions opts;
+        const auto it = program.symbols.find("state");
+        if (it != program.symbols.end()) {
+          kvx::usize len = kvx::usize{5} * cfg.vector.ele_num * 8;
+          for (const auto& [name, addr] : program.symbols) {
+            if (addr > it->second) {
+              len = std::min<kvx::usize>(len, addr - it->second);
+            }
+          }
+          opts.verify_base = it->second;
+          opts.verify_len = len;
+        }
+        try {
+          compiled = kvx::sim::compile_trace(program, cfg, opts);
+          compiled->execute(proc.vector(), proc.dmem(),
+                            proc.config().cycle_model);
+        } catch (const kvx::SimError& e) {
+          std::fprintf(stderr,
+                       "kvx-run: trace compilation rejected (%s); "
+                       "using the interpreter backend\n",
+                       e.what());
+        }
+      }
+    }
+    if (compiled == nullptr) {
+      if (trace) {
+        proc.set_trace([](kvx::u32 pc, const kvx::isa::Instruction& inst) {
+          std::printf("[%08x] %s\n", pc, kvx::isa::disassemble(inst).c_str());
+        });
+      }
+      proc.run();
+    }
+
+    const kvx::sim::RunStats& st =
+        compiled != nullptr ? compiled->run_stats() : proc.stats();
+    const auto& markers =
+        compiled != nullptr ? compiled->markers() : proc.markers();
+    if (compiled != nullptr) {
+      std::printf("backend: trace (%zu kernels, %zu generic)\n",
+                  compiled->op_count(), compiled->generic_op_count());
+    }
     std::printf("halted after %llu cycles, %llu instructions "
                 "(%llu scalar, %llu vector)\n",
-                static_cast<unsigned long long>(proc.cycles()),
-                static_cast<unsigned long long>(proc.stats().instructions),
-                static_cast<unsigned long long>(proc.stats().scalar_instructions),
-                static_cast<unsigned long long>(proc.stats().vector_instructions));
-    if (!proc.markers().empty()) {
+                static_cast<unsigned long long>(st.cycles),
+                static_cast<unsigned long long>(st.instructions),
+                static_cast<unsigned long long>(st.scalar_instructions),
+                static_cast<unsigned long long>(st.vector_instructions));
+    if (!markers.empty()) {
       std::printf("markers:\n");
-      for (const auto& m : proc.markers()) {
+      for (const auto& m : markers) {
         std::printf("  id %-3u @ cycle %llu\n", m.id,
                     static_cast<unsigned long long>(m.cycle));
       }
     }
     if (profile) {
-      std::printf("cycle profile (top 12):\n%s",
-                  proc.stats().cycle_profile(12).c_str());
+      std::printf("cycle profile (top 12):\n%s", st.cycle_profile(12).c_str());
     }
     std::printf("nonzero scalar registers:\n");
     for (unsigned r = 1; r < 32; ++r) {
-      const kvx::u32 v = proc.scalar().regs().read(r);
+      const kvx::u32 v = compiled != nullptr ? compiled->final_scalar_regs()[r]
+                                             : proc.scalar().regs().read(r);
       if (v != 0) {
         std::printf("  %-5s = 0x%08x (%u)\n",
                     std::string(kvx::isa::xreg_name(r)).c_str(), v, v);
