@@ -1,14 +1,16 @@
-// Interpreter vs compiled-trace execution backend: host-throughput grid.
+// Interpreter vs compiled-trace vs fused-trace execution backend:
+// host-throughput grid.
 //
-// Same engine workload run twice per (SN, threads) grid point, once per
-// execution backend. The digests of every cell are verified against the
-// host golden model AND against the other backend (the engine-level
-// differential check). Emits BENCH_backend.json next to the table so the
-// trace backend's host speedup is tracked across PRs.
+// Same engine workload run three times per (SN, threads) grid point, once
+// per execution backend. The digests of every cell are verified against the
+// host golden model AND across backends (the engine-level differential
+// check). Emits BENCH_fused.json next to the table so both host speedups
+// (trace over interpreter, fused over trace) are tracked across PRs.
 //
 // Fast by default (CI runs every bench binary as a smoke test); pass
-// --check to fail with exit 1 if the compiled-trace backend is slower than
-// the interpreter in aggregate.
+// --check to fail with exit 1 on any digest inequality, or if a faster
+// backend tier is slower than the one below it in aggregate (fused < trace,
+// or trace < interpreter).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -19,6 +21,7 @@
 #include "kvx/engine/batch_engine.hpp"
 #include "kvx/keccak/sha3.hpp"
 #include "kvx/sim/compiled_trace.hpp"
+#include "kvx/sim/trace_fusion.hpp"
 
 namespace {
 
@@ -33,11 +36,13 @@ struct Cell {
   unsigned threads = 0;
   double interp_mbs = 0;
   double trace_mbs = 0;
+  double fused_mbs = 0;
 };
 
 double run_once(sim::ExecBackend backend, unsigned sn, unsigned threads,
                 std::span<const engine::HashJob> jobs,
-                std::span<const std::vector<u8>> expected) {
+                std::span<const std::vector<u8>> expected,
+                double* fusion_coverage = nullptr) {
   engine::EngineConfig cfg;
   cfg.threads = threads;
   cfg.accel = {core::Arch::k64Lmul8, 5 * sn, 24};
@@ -56,6 +61,9 @@ double run_once(sim::ExecBackend backend, unsigned sn, unsigned threads,
                   i);
       std::exit(1);
     }
+  }
+  if (fusion_coverage != nullptr) {
+    *fusion_coverage = eng.stats().fusion_coverage;
   }
   return s;
 }
@@ -80,15 +88,19 @@ int main(int argc, char** argv) {
   sim::TraceCache::global().clear();  // report this run's compiles only
 
   bench::header("Execution backend comparison — interpreter vs compiled "
-                "trace (SHA3-256, 96 x 200 B)");
-  std::printf("host hardware threads: %u\n\n",
-              std::thread::hardware_concurrency());
-  std::printf("%-18s | interp MB/s | trace MB/s | speedup\n", "config");
+                "trace vs fused trace (SHA3-256, 96 x 200 B)");
+  std::printf("host hardware threads: %u | fused host SIMD: %s\n\n",
+              std::thread::hardware_concurrency(),
+              sim::fusion_host_simd() ? "on" : "off");
+  std::printf("%-18s | interp MB/s | trace MB/s | fused MB/s | f/t\n",
+              "config");
   bench::rule();
 
   std::vector<Cell> cells;
   double interp_total_s = 0;
   double trace_total_s = 0;
+  double fused_total_s = 0;
+  double coverage = 0;
   for (const unsigned sn : {1u, 3u, 6u}) {
     for (const unsigned threads : {1u, 2u, 4u, 8u}) {
       Cell c;
@@ -98,62 +110,88 @@ int main(int argc, char** argv) {
           run_once(sim::ExecBackend::kInterpreter, sn, threads, jobs, expected);
       const double ts = run_once(sim::ExecBackend::kCompiledTrace, sn, threads,
                                  jobs, expected);
+      const double fs = run_once(sim::ExecBackend::kFusedTrace, sn, threads,
+                                 jobs, expected, &coverage);
       interp_total_s += is;
       trace_total_s += ts;
+      fused_total_s += fs;
       c.interp_mbs = mb / is;
       c.trace_mbs = mb / ts;
+      c.fused_mbs = mb / fs;
       cells.push_back(c);
-      std::printf("SN=%u  %u thread%s  | %11.2f | %10.2f | %6.2fx\n", sn,
-                  threads, threads == 1 ? " " : "s", c.interp_mbs, c.trace_mbs,
-                  is / ts);
+      std::printf("SN=%u  %u thread%s  | %11.2f | %10.2f | %10.2f | %5.2fx\n",
+                  sn, threads, threads == 1 ? " " : "s", c.interp_mbs,
+                  c.trace_mbs, c.fused_mbs, ts / fs);
     }
     bench::rule();
   }
-  const double agg_interp = mb * static_cast<double>(cells.size()) / interp_total_s;
-  const double agg_trace = mb * static_cast<double>(cells.size()) / trace_total_s;
+  const double n = static_cast<double>(cells.size());
+  const double agg_interp = mb * n / interp_total_s;
+  const double agg_trace = mb * n / trace_total_s;
+  const double agg_fused = mb * n / fused_total_s;
   const sim::TraceCacheStats tc = sim::TraceCache::global().stats();
-  std::printf("aggregate: interpreter %.2f MB/s, trace %.2f MB/s (%.2fx)\n",
-              agg_interp, agg_trace, interp_total_s / trace_total_s);
-  std::printf("trace cache: %llu compiles (%.2f ms), %llu hits, %llu "
-              "rejected\n",
+  std::printf("aggregate: interpreter %.2f MB/s, trace %.2f MB/s (%.2fx), "
+              "fused %.2f MB/s (%.2fx over trace)\n",
+              agg_interp, agg_trace, interp_total_s / trace_total_s, agg_fused,
+              trace_total_s / fused_total_s);
+  std::printf("trace cache: %llu compiles (%.2f ms), %llu fusions (%.2f ms), "
+              "%llu hits, %llu rejected | fusion coverage %.1f%%\n",
               static_cast<unsigned long long>(tc.compiles),
               static_cast<double>(tc.compile_ns) / 1e6,
+              static_cast<unsigned long long>(tc.fusions),
+              static_cast<double>(tc.fuse_ns) / 1e6,
               static_cast<unsigned long long>(tc.hits),
-              static_cast<unsigned long long>(tc.failures));
+              static_cast<unsigned long long>(tc.failures), 100.0 * coverage);
 
-  std::FILE* f = std::fopen("BENCH_backend.json", "w");
+  std::FILE* f = std::fopen("BENCH_fused.json", "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n  \"bench\": \"backend_compare\",\n");
     std::fprintf(f, "  \"jobs\": %zu,\n  \"bytes_per_job\": %zu,\n", kJobs,
                  kBytes);
+    std::fprintf(f, "  \"host_simd\": %s,\n",
+                 sim::fusion_host_simd() ? "true" : "false");
     std::fprintf(f, "  \"grid\": [\n");
     for (usize i = 0; i < cells.size(); ++i) {
       const Cell& c = cells[i];
-      std::fprintf(f,
-                   "    {\"sn\": %u, \"threads\": %u, \"interpreter_mbs\": "
-                   "%.3f, \"trace_mbs\": %.3f, \"speedup\": %.3f}%s\n",
-                   c.sn, c.threads, c.interp_mbs, c.trace_mbs,
-                   c.trace_mbs / c.interp_mbs, i + 1 < cells.size() ? "," : "");
+      std::fprintf(
+          f,
+          "    {\"sn\": %u, \"threads\": %u, \"interpreter_mbs\": %.3f, "
+          "\"trace_mbs\": %.3f, \"fused_mbs\": %.3f, "
+          "\"fused_over_trace\": %.3f}%s\n",
+          c.sn, c.threads, c.interp_mbs, c.trace_mbs, c.fused_mbs,
+          c.fused_mbs / c.trace_mbs, i + 1 < cells.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f,
                  "  \"aggregate\": {\"interpreter_mbs\": %.3f, \"trace_mbs\": "
-                 "%.3f, \"speedup\": %.3f},\n",
-                 agg_interp, agg_trace, interp_total_s / trace_total_s);
+                 "%.3f, \"fused_mbs\": %.3f, \"trace_speedup\": %.3f, "
+                 "\"fused_over_trace\": %.3f},\n",
+                 agg_interp, agg_trace, agg_fused,
+                 interp_total_s / trace_total_s,
+                 trace_total_s / fused_total_s);
+    std::fprintf(f, "  \"fusion_coverage\": %.4f,\n", coverage);
     std::fprintf(f,
-                 "  \"trace_cache\": {\"compiles\": %llu, \"hits\": %llu, "
-                 "\"failures\": %llu, \"compile_ms\": %.3f}\n}\n",
+                 "  \"trace_cache\": {\"compiles\": %llu, \"fusions\": %llu, "
+                 "\"hits\": %llu, \"failures\": %llu, \"compile_ms\": %.3f, "
+                 "\"fuse_ms\": %.3f}\n}\n",
                  static_cast<unsigned long long>(tc.compiles),
+                 static_cast<unsigned long long>(tc.fusions),
                  static_cast<unsigned long long>(tc.hits),
                  static_cast<unsigned long long>(tc.failures),
-                 static_cast<double>(tc.compile_ns) / 1e6);
+                 static_cast<double>(tc.compile_ns) / 1e6,
+                 static_cast<double>(tc.fuse_ns) / 1e6);
     std::fclose(f);
-    std::printf("wrote BENCH_backend.json\n");
+    std::printf("wrote BENCH_fused.json\n");
   }
 
   if (check && agg_trace < agg_interp) {
     std::printf("CHECK FAILED: compiled-trace backend slower than the "
                 "interpreter in aggregate\n");
+    return 1;
+  }
+  if (check && agg_fused < agg_trace) {
+    std::printf("CHECK FAILED: fused backend slower than the compiled trace "
+                "in aggregate\n");
     return 1;
   }
   return 0;

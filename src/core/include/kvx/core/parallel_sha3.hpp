@@ -71,6 +71,12 @@ class ParallelSha3 {
     return vk_.active_backend();
   }
 
+  /// Fraction of trace records fused into super-kernels ([0, 1]); 0 unless
+  /// the active backend is the fused trace.
+  [[nodiscard]] double fusion_coverage() const noexcept {
+    return vk_.fusion_coverage();
+  }
+
   /// Hash a batch of messages with a fixed-output function; every message
   /// may have a different length (grouped internally).
   [[nodiscard]] std::vector<std::vector<u8>> hash_batch(

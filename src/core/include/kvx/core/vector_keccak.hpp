@@ -14,6 +14,7 @@
 #include "kvx/keccak/state.hpp"
 #include "kvx/sim/compiled_trace.hpp"
 #include "kvx/sim/exec_backend.hpp"
+#include "kvx/sim/trace_fusion.hpp"
 #include "kvx/sim/processor.hpp"
 
 namespace kvx::core {
@@ -75,8 +76,15 @@ class VectorKeccak {
   /// Backend that permute() actually uses: the configured one, downgraded
   /// to the interpreter if trace compilation was rejected.
   [[nodiscard]] sim::ExecBackend active_backend() const noexcept {
+    if (fused_ != nullptr) return sim::ExecBackend::kFusedTrace;
     return trace_ != nullptr ? sim::ExecBackend::kCompiledTrace
                              : sim::ExecBackend::kInterpreter;
+  }
+
+  /// Fraction of trace records covered by super-kernels ([0, 1]); 0 when
+  /// the active backend is not the fused trace.
+  [[nodiscard]] double fusion_coverage() const noexcept {
+    return fused_ != nullptr ? fused_->coverage() : 0.0;
   }
 
   [[nodiscard]] const PermutationTiming& last_timing() const noexcept {
@@ -101,6 +109,7 @@ class VectorKeccak {
   u32 state_base_ = 0;
   PermutationTiming timing_;
   std::shared_ptr<const sim::CompiledTrace> trace_;  ///< null = interpreter
+  std::shared_ptr<const sim::FusedTrace> fused_;     ///< kFusedTrace only
 };
 
 }  // namespace kvx::core

@@ -56,7 +56,7 @@ VectorKeccak::VectorKeccak(const VectorKeccakConfig& config,
   proc_->load_program(program_->image);
   state_base_ = program_->image.symbol("state");
 
-  if (config_.backend == sim::ExecBackend::kCompiledTrace) {
+  if (config_.backend != sim::ExecBackend::kInterpreter) {
     // The staged-state area is the verify region of the trace compiler's
     // data-independence check: its contents differ between the two recording
     // runs, so any program whose control flow or operands depend on state
@@ -65,10 +65,16 @@ VectorKeccak::VectorKeccak(const VectorKeccakConfig& config,
     opts.verify_base = state_base_;
     opts.verify_len = usize{5} * config_.ele_num * 8;
     try {
-      trace_ = sim::TraceCache::global().get_or_compile(
-          program_->image, processor_config(config_), opts);
+      if (config_.backend == sim::ExecBackend::kFusedTrace) {
+        fused_ = sim::TraceCache::global().get_or_compile_fused(
+            program_->image, processor_config(config_), opts);
+      } else {
+        trace_ = sim::TraceCache::global().get_or_compile(
+            program_->image, processor_config(config_), opts);
+      }
     } catch (const SimError&) {
       trace_ = nullptr;  // interpreter fallback
+      fused_ = nullptr;
     }
   }
 }
@@ -111,7 +117,17 @@ void VectorKeccak::permute(std::span<keccak::State> states) {
                        config_.sn()));
   }
   stage_states(states);
-  if (trace_ != nullptr) {
+  if (fused_ != nullptr) {
+    // Super-kernel replay: architectural effects identical to the base
+    // trace (and hence the interpreter); timing passes through unchanged.
+    proc_->vector().clear_registers();
+    fused_->execute(proc_->vector(), proc_->dmem(),
+                    proc_->config().cycle_model);
+    timing_.total_cycles = fused_->total_cycles();
+    timing_.permutation_cycles =
+        fused_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
+    timing_.instructions = fused_->instructions();
+  } else if (trace_ != nullptr) {
     // Replay the pre-decoded kernel trace. Register file and data memory
     // end up bit-identical to an interpreter run; timing was recorded from
     // the interpreter under the same cycle model.

@@ -105,6 +105,9 @@ class BatchHashEngine {
   u64 collected_ = 0;   ///< results already returned by drain()
   bool closed_ = false;
   std::string error_;   ///< first worker failure, if any
+  u64 backend_compile_ns_ = 0;  ///< trace compile+fuse time at construction
+  /// Submit-to-retire latency samples (capped; guarded by state_mutex_).
+  std::vector<u64> latency_ns_;
   /// Digest of job seq = collected_ + i at index i; filled out of order by
   /// workers, returned in order by drain().
   std::vector<std::vector<u8>> results_;

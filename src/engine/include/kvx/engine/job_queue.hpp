@@ -16,9 +16,11 @@
 
 namespace kvx::engine {
 
-/// A submitted job tagged with its submission-order sequence id.
+/// A submitted job tagged with its submission-order sequence id and the
+/// steady-clock submit timestamp (for the engine's latency percentiles).
 struct QueuedJob {
   u64 seq = 0;
+  u64 submit_ns = 0;
   HashJob job;
 };
 

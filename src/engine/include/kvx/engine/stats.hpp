@@ -19,14 +19,27 @@ struct ShardStats {
   u64 host_ns = 0;            ///< host wall time spent inside dispatches
 };
 
+/// Submit-to-retire job latency percentiles (host wall time).
+struct LatencyStats {
+  u64 count = 0;   ///< retired jobs sampled
+  u64 p50_ns = 0;  ///< median latency
+  u64 p99_ns = 0;  ///< 99th-percentile latency
+};
+
 /// Whole-engine counters.
 struct EngineStats {
   u64 submitted = 0;          ///< jobs accepted by submit()
   u64 completed = 0;          ///< jobs with a result available
   usize queue_high_water = 0; ///< max queue depth observed since start
-  /// Execution backend the shard accelerators run ("interpreter"/"trace");
-  /// the active one, i.e. already downgraded if trace compilation failed.
+  /// Execution backend the shard accelerators run
+  /// ("interpreter"/"trace"/"fused"); the active one, i.e. already
+  /// downgraded if trace compilation failed.
   std::string backend;
+  /// Trace-record fraction covered by super-kernels; 0 unless fused.
+  double fusion_coverage = 0.0;
+  /// Host time compiling (and fusing) the execution trace, if any.
+  u64 backend_compile_ns = 0;
+  LatencyStats latency;
   std::vector<ShardStats> shards;
 
   [[nodiscard]] ShardStats totals() const noexcept {

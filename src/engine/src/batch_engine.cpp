@@ -1,5 +1,6 @@
 #include "kvx/engine/batch_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "kvx/common/error.hpp"
@@ -8,6 +9,16 @@
 namespace kvx::engine {
 
 namespace {
+
+/// Latency sample cap: enough for stable p99 at any realistic batch size
+/// without unbounded growth on long-lived engines.
+constexpr usize kMaxLatencySamples = 65536;
+
+u64 steady_now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
 
 /// Jobs that can share one accelerator dispatch: same algorithm, output
 /// length and (for KMAC) key material. ParallelSha3 then handles the
@@ -45,6 +56,10 @@ BatchHashEngine::BatchHashEngine(const EngineConfig& config)
   // One immutable program shared by every shard; each shard still owns an
   // independent simulator, so shards never contend outside the job queue.
   const auto program = core::VectorKeccak::build_program(config_.accel);
+  // Trace/fusion compile time attributable to this engine: the global cache
+  // counters advance only when shard construction actually compiles (cache
+  // hits add nothing, truthfully).
+  const sim::TraceCacheStats tc0 = sim::TraceCache::global().stats();
   shards_.reserve(config_.threads);
   for (unsigned t = 0; t < config_.threads; ++t) {
     auto shard = std::make_unique<Shard>();
@@ -52,6 +67,9 @@ BatchHashEngine::BatchHashEngine(const EngineConfig& config)
         config_.accel, program, config_.accel_options);
     shards_.push_back(std::move(shard));
   }
+  const sim::TraceCacheStats tc1 = sim::TraceCache::global().stats();
+  backend_compile_ns_ =
+      (tc1.compile_ns - tc0.compile_ns) + (tc1.fuse_ns - tc0.fuse_ns);
   workers_.reserve(config_.threads);
   for (unsigned t = 0; t < config_.threads; ++t) {
     workers_.emplace_back([this, t] { worker_loop(*shards_[t]); });
@@ -76,7 +94,7 @@ u64 BatchHashEngine::submit(HashJob job) {
   }
   // Push outside state_mutex_: a bounded queue may block here, and workers
   // need the state mutex to retire jobs (holding it would deadlock).
-  if (!queue_.push({seq, std::move(job)})) {
+  if (!queue_.push({seq, steady_now_ns(), std::move(job)})) {
     // close() raced with this submit; account for the job so drain() cannot
     // hang, and surface the loss.
     std::lock_guard lock(state_mutex_);
@@ -117,16 +135,34 @@ std::vector<std::vector<u8>> BatchHashEngine::drain() {
 
 EngineStats BatchHashEngine::stats() const {
   EngineStats st;
+  std::vector<u64> lat;
   {
     std::lock_guard lock(state_mutex_);
     st.submitted = submitted_;
     st.completed = completed_;
     st.shards.reserve(shards_.size());
     for (const auto& shard : shards_) st.shards.push_back(shard->stats);
+    lat = latency_ns_;
   }
   if (!shards_.empty()) {
     // All shards share one program + config, so shard 0 is representative.
     st.backend = sim::backend_name(shards_.front()->accel->active_backend());
+    st.fusion_coverage = shards_.front()->accel->fusion_coverage();
+  }
+  st.backend_compile_ns = backend_compile_ns_;
+  if (!lat.empty()) {
+    st.latency.count = lat.size();
+    const auto pct = [&lat](double p) {
+      const usize idx = std::min(
+          lat.size() - 1,
+          static_cast<usize>(p * static_cast<double>(lat.size() - 1)));
+      std::nth_element(lat.begin(),
+                       lat.begin() + static_cast<std::ptrdiff_t>(idx),
+                       lat.end());
+      return lat[idx];
+    };
+    st.latency.p50_ns = pct(0.50);
+    st.latency.p99_ns = pct(0.99);
   }
   st.queue_high_water = queue_.high_water();
   return st;
@@ -201,11 +237,15 @@ void BatchHashEngine::process_batch(Shard& shard,
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
           .count());
 
+  const u64 retire_ns = steady_now_ns();
   std::lock_guard lock(state_mutex_);
   for (usize i = 0; i < batch.size(); ++i) {
     // collected_ only moves when results_ is empty (drain retires every
     // completed job at once), so this index is always in range.
     results_[batch[i].seq - collected_] = std::move(digests[i]);
+    if (latency_ns_.size() < kMaxLatencySamples) {
+      latency_ns_.push_back(retire_ns - batch[i].submit_ns);
+    }
   }
   completed_ += batch.size();
   shard.stats.jobs += batch.size();

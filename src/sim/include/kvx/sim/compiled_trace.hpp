@@ -39,13 +39,15 @@
 
 namespace kvx::sim {
 
+class FusedTrace;  // trace_fusion.hpp
+
 /// Kernel kinds a recorded instruction is specialized into. Custom
 /// instructions with an `lmul_cnt` row sequence are flattened to one record
 /// per row at compile time.
 enum class TraceOpKind : u8 {
   kBinVV,         ///< d[i] = a[i] op b[i]           (op in `bin`)
-  kBinVS,         ///< d[i] = a[i] op imm            (scalar/imm pre-resolved)
-  kSplat,         ///< d[i] = imm                    (vmv.v.x / vmv.v.i)
+  kBinVS,         ///< d[i] = a[i] op wide_imm       (scalar/imm pre-resolved)
+  kSplat,         ///< d[i] = wide_imm               (vmv.v.x / vmv.v.i)
   kCopyReg,       ///< memmove of n bytes            (vmv.v.v)
   kLoadUnit,      ///< contiguous dmem -> regfile copy
   kStoreUnit,     ///< contiguous regfile -> dmem copy
@@ -68,26 +70,36 @@ enum class TraceOpKind : u8 {
 /// Binary ALU operator of kBinVV/kBinVS.
 enum class TraceBinOp : u8 { kXor, kAnd, kOr, kAdd, kSub, kSll, kSrl };
 
-/// One pre-decoded kernel record. `d`/`a`/`b` are byte offsets into the
-/// vector register file (register groups are contiguous there, so an
-/// LMUL-expanded operand is a single flat span).
+/// One pre-decoded kernel record, packed to half a cache line so the replay
+/// loop streams two records per 64-byte line. `d`/`a`/`b` are byte offsets
+/// into the vector register file (register groups are contiguous there, so
+/// an LMUL-expanded operand is a single flat span).
+///
+/// `aux` is overloaded by kind:
+///  * kLoadUnit/kStoreUnit/kScalarStore — resolved data-memory address;
+///  * kLoadGather/kStoreScatter         — first index into gather_elems_;
+///  * kGeneric                          — index into generic_ops_;
+///  * kBinVS/kSplat/kIota               — index into the wide_imms_ pool
+///    (these operands can be full 64-bit values; everything else fits the
+///    32-bit `imm`).
 struct TraceOp {
   TraceOpKind kind{};
   TraceBinOp bin{};
   u8 sew = 64;        ///< element width in bits (32 or 64)
   u8 flag = 0;        ///< kRho32Row/kRot32Pair: 1 = high half
   u8 table_row = 0;   ///< ρ/π rotation-table row
+  u8 sn = 0;          ///< Keccak states covered by a custom-op record
+  u16 reserved = 0;
   u32 d = 0;          ///< destination byte offset (regfile; kScalarStore: unused)
   u32 a = 0;          ///< first source byte offset
   u32 b = 0;          ///< second source byte offset
   u32 n = 0;          ///< element count (copies/unit mem: byte count)
-  u32 sn = 0;         ///< Keccak states covered by a custom-op record
-  u32 addr = 0;       ///< resolved data-memory address
-  i64 imm = 0;        ///< baked operand / rotation amount / ι constant
-  u32 aux = 0;        ///< index into gather_elems / generic_ops
+  u32 aux = 0;        ///< overloaded per kind, see above
+  i32 imm = 0;        ///< slide offset / rotation amount / scalar-store value
 
   friend bool operator==(const TraceOp&, const TraceOp&) noexcept = default;
 };
+static_assert(sizeof(TraceOp) == 32, "TraceOp must stay half a cache line");
 
 /// Resolved element of a gather/scatter memory record.
 struct TraceMemElem {
@@ -118,6 +130,8 @@ struct TraceCacheStats {
   u64 compiles = 0;    ///< traces compiled (cache misses)
   u64 failures = 0;    ///< compilations rejected (data-dependent program)
   u64 compile_ns = 0;  ///< host time spent compiling (incl. failures)
+  u64 fusions = 0;     ///< fused traces built (fused-cache misses)
+  u64 fuse_ns = 0;     ///< host time spent in the fusion pass
 };
 
 /// An immutable compiled trace. Thread-safe to share: execute() only
@@ -128,6 +142,11 @@ class CompiledTrace {
   /// responsible for staging input data exactly as it would for an
   /// interpreter run (the trace reads the same addresses the program would).
   void execute(VectorUnit& vu, Memory& mem, const CycleModel& cm) const;
+
+  /// Replay ONE record (the fused backend's per-record fallback path).
+  /// `file` must be vu.file_data().
+  void execute_op(const TraceOp& op, VectorUnit& vu, Memory& mem,
+                  const CycleModel& cm, u8* file) const;
 
   // --- recorded timing (bit-identical to the interpreter run) ---
   [[nodiscard]] u64 total_cycles() const noexcept { return stats_.cycles; }
@@ -150,12 +169,23 @@ class CompiledTrace {
     return generic_ops_.size();
   }
 
+  // --- raw record access (the fusion pass) ---
+  [[nodiscard]] const std::vector<TraceOp>& ops() const noexcept {
+    return ops_;
+  }
+  [[nodiscard]] usize reg_bytes() const noexcept { return reg_bytes_; }
+  /// Resolved 64-bit operand of a kBinVS/kSplat/kIota record.
+  [[nodiscard]] u64 wide_imm(const TraceOp& op) const noexcept {
+    return wide_imms_[op.aux];
+  }
+
  private:
   friend class TraceCompiler;
 
   std::vector<TraceOp> ops_;
   std::vector<TraceMemElem> gather_elems_;
   std::vector<TraceGenericOp> generic_ops_;
+  std::vector<u64> wide_imms_;  ///< 64-bit operand pool (aux-indexed)
   RunStats stats_;
   std::vector<Marker> markers_;
   std::array<u32, 32> final_xregs_{};
@@ -179,8 +209,11 @@ struct TraceCompileOptions {
     const TraceCompileOptions& opts = {});
 
 /// Process-wide trace cache keyed by (program digest, vector configuration,
-/// cycle model). BatchHashEngine shards share one KeccakProgram, so the
-/// first shard to permute compiles the trace and the rest hit the cache.
+/// cycle model, backend). BatchHashEngine shards share one KeccakProgram, so
+/// the first shard to permute compiles the trace and the rest hit the
+/// cache. Fused compilations live in a separate keyed map: a shard
+/// requesting the plain trace backend can never observe a fused compilation
+/// and vice versa, even for the same program.
 class TraceCache {
  public:
   static TraceCache& global();
@@ -191,13 +224,27 @@ class TraceCache {
       const assembler::Program& program, const ProcessorConfig& cfg,
       const TraceCompileOptions& opts = {});
 
+  /// Cached fuse_trace(compile_trace()). The underlying compiled trace is
+  /// shared with get_or_compile (one recording per program), but the fused
+  /// artifact is keyed separately per the backend. Defined in
+  /// trace_fusion.cpp.
+  [[nodiscard]] std::shared_ptr<const FusedTrace> get_or_compile_fused(
+      const assembler::Program& program, const ProcessorConfig& cfg,
+      const TraceCompileOptions& opts = {});
+
   [[nodiscard]] TraceCacheStats stats() const;
   /// Drop all entries and zero the counters (tests).
   void clear();
 
  private:
+  /// Shared positive/negative-cache lookup; mutex_ must be held.
+  [[nodiscard]] std::shared_ptr<const CompiledTrace> lookup_or_compile_locked(
+      u64 key, const assembler::Program& program, const ProcessorConfig& cfg,
+      const TraceCompileOptions& opts);
+
   mutable std::mutex mutex_;
   std::unordered_map<u64, std::shared_ptr<const CompiledTrace>> entries_;
+  std::unordered_map<u64, std::shared_ptr<const FusedTrace>> fused_entries_;
   std::unordered_map<u64, std::string> failed_;  ///< key -> error message
   TraceCacheStats stats_;
 };

@@ -4,7 +4,11 @@
 // dispatches every instruction through ScalarCore/VectorUnit. The
 // compiled-trace backend (compiled_trace.hpp) replays a pre-decoded kernel
 // trace recorded from the interpreter — same architectural effects, same
-// reported cycles, far less host work per simulated instruction.
+// reported cycles, far less host work per simulated instruction. The
+// fused-trace backend (trace_fusion.hpp) runs an optimizer pass over the
+// compiled trace, pattern-matching recorded record sequences into
+// Keccak-step super-kernels executed with host SIMD; unmatched sequences
+// fall back to per-record replay, so it is correct on arbitrary programs.
 #pragma once
 
 #include <optional>
@@ -15,19 +19,29 @@ namespace kvx::sim {
 enum class ExecBackend {
   kInterpreter,    ///< reference fetch/decode/dispatch interpreter
   kCompiledTrace,  ///< pre-decoded kernel trace (see compiled_trace.hpp)
+  kFusedTrace,     ///< super-kernel-fused trace (see trace_fusion.hpp)
 };
 
-/// Stable name, also accepted by parse_backend: "interpreter" / "trace".
+/// Stable name, also accepted by parse_backend:
+/// "interpreter" / "trace" / "fused".
 [[nodiscard]] constexpr std::string_view backend_name(ExecBackend b) noexcept {
-  return b == ExecBackend::kCompiledTrace ? "trace" : "interpreter";
+  switch (b) {
+    case ExecBackend::kCompiledTrace: return "trace";
+    case ExecBackend::kFusedTrace: return "fused";
+    default: return "interpreter";
+  }
 }
 
-/// Parse a backend name ("interpreter", "trace", "compiled-trace").
+/// Parse a backend name ("interpreter", "trace"/"compiled-trace",
+/// "fused"/"fused-trace").
 [[nodiscard]] inline std::optional<ExecBackend> parse_backend(
     std::string_view name) noexcept {
   if (name == "interpreter") return ExecBackend::kInterpreter;
   if (name == "trace" || name == "compiled-trace") {
     return ExecBackend::kCompiledTrace;
+  }
+  if (name == "fused" || name == "fused-trace") {
+    return ExecBackend::kFusedTrace;
   }
   return std::nullopt;
 }

@@ -1,0 +1,138 @@
+// Fused-trace execution backend: an optimizer pass over a compiled trace.
+//
+// The compiled trace (compiled_trace.hpp) already reduced the program to a
+// flat array of pre-decoded records, but still replays them one record at a
+// time — every θ parity round-trips through the register file, ρ and π
+// scatter row by row, and χ takes thirteen records of slides and ALU ops.
+// The fusion pass pattern-matches the recurring record sequences the Keccak
+// program builders emit and collapses each into ONE step-level super-kernel:
+//
+//   pattern (records)                        super-kernel
+//   ------------------------------------     -----------------------------
+//   θ  4×xor + 2×slide + rotup + xor + 5×apply   kTheta64  (13 records)
+//   θ  4×xor + vthetac + 5×apply                 kTheta64  (10 records)
+//   θ  dual-half parity/slides/rot32 (32-bit)    kTheta32  (26 records)
+//   ρπ 5×v64rho-row + 5×vpi-row                  kRhoPi64  (10 records)
+//   ρπ 5×vrhopi-row                              kRhoPi64  (5 records)
+//   ρπ 5×5×rho32-row + 2×5×vpi-row (32-bit)      kRhoPi32  (20 records)
+//   χ  2×5 slides + not/and/xor (grouped)        kChi      (13 records)
+//   χ  row-wise 25-record form (LMUL=1)          kChi      (25 records)
+//   χ  5×vchi-row                                kChi      (5 records)
+//   ι  merged into the preceding χ kernel        (+1 record)
+//
+// Super-kernels operate on whole regfile rows (5·SN elements) with host
+// SIMD (GCC/Clang vector extensions + __builtin_shufflevector, pure-scalar
+// fallback selected at compile time), and keep θ parity / χ slide scratch
+// in host registers instead of round-tripping through the register file.
+//
+// Eliding those scratch writes is only legal where the recorded values are
+// dead: a backward byte-granularity liveness pass over the recorded
+// reads/writes (all bytes live at end-of-trace — callers compare the final
+// register file) demotes any group whose scratch is live-out back to
+// per-record replay. Unrecognized record sequences replay unchanged, so the
+// backend is correct on arbitrary programs, not just the paper's.
+//
+// Cycle accounting is untouched: all timing passes through to the recorded
+// interpreter totals, bit-identical by construction.
+#pragma once
+
+#include "kvx/sim/compiled_trace.hpp"
+
+namespace kvx::sim {
+
+enum class FusedOpKind : u8 {
+  kReplayRange,  ///< per-record fallback over [first, first+count)
+  kTheta64,      ///< θ over five 64-bit planes
+  kTheta32,      ///< θ over the split lo/hi 32-bit halves
+  kRhoPi64,      ///< ρ rotate + π scatter, 64-bit planes
+  kRhoPi32,      ///< ρ rotate + π scatter, lo/hi 32-bit halves
+  kChi,          ///< χ row computation (either element width)
+};
+
+/// FusedOp::flags bit: the following ι record was merged into this χ kernel
+/// (round constant XORed into lane x=0 of output row 0 while storing).
+inline constexpr u8 kFusedHasIota = 1;
+
+/// One fused super-kernel (or replay range). Offsets are regfile byte
+/// offsets like TraceOp's; `src2`/`dst2` are the high-half planes of the
+/// 32-bit kernels.
+struct FusedOp {
+  FusedOpKind kind{};
+  u8 flags = 0;
+  u8 sn = 0;     ///< Keccak states per row
+  u8 sew = 64;   ///< element width in bits
+  u32 first = 0; ///< first base-trace record this op covers
+  u32 count = 0; ///< base-trace records covered
+  u32 src = 0;
+  u32 src2 = 0;
+  u32 dst = 0;
+  u32 dst2 = 0;
+  u64 iota_rc = 0;
+};
+
+/// An immutable fused trace. Shares the base compiled trace (one recording
+/// serves both backends); thread-safe like CompiledTrace.
+class FusedTrace {
+ public:
+  /// Replay with super-kernels; same contract as CompiledTrace::execute.
+  void execute(VectorUnit& vu, Memory& mem, const CycleModel& cm) const;
+
+  // --- recorded timing (passes through to the base trace) ---
+  [[nodiscard]] u64 total_cycles() const noexcept {
+    return base_->total_cycles();
+  }
+  [[nodiscard]] u64 instructions() const noexcept {
+    return base_->instructions();
+  }
+  [[nodiscard]] const RunStats& run_stats() const noexcept {
+    return base_->run_stats();
+  }
+  [[nodiscard]] const std::vector<Marker>& markers() const noexcept {
+    return base_->markers();
+  }
+  [[nodiscard]] u64 cycles_between(u32 from, u32 to) const {
+    return base_->cycles_between(from, to);
+  }
+  [[nodiscard]] const std::array<u32, 32>& final_scalar_regs() const noexcept {
+    return base_->final_scalar_regs();
+  }
+  [[nodiscard]] const CompiledTrace& base() const noexcept { return *base_; }
+
+  // --- fusion statistics ---
+  /// Fraction of base-trace records covered by super-kernels, in [0, 1].
+  [[nodiscard]] double coverage() const noexcept {
+    const usize total = base_->op_count();
+    return total == 0 ? 0.0
+                      : static_cast<double>(fused_records_) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] usize super_kernel_count() const noexcept {
+    return super_kernels_;
+  }
+  [[nodiscard]] usize fused_record_count() const noexcept {
+    return fused_records_;
+  }
+  [[nodiscard]] const std::vector<FusedOp>& fused_ops() const noexcept {
+    return fused_;
+  }
+
+ private:
+  friend std::shared_ptr<const FusedTrace> fuse_trace(
+      std::shared_ptr<const CompiledTrace> base);
+
+  std::shared_ptr<const CompiledTrace> base_;
+  std::vector<FusedOp> fused_;
+  usize fused_records_ = 0;
+  usize super_kernels_ = 0;
+};
+
+/// Run the fusion pass over `base`. Never fails: a trace with no
+/// recognizable patterns becomes one big replay range.
+[[nodiscard]] std::shared_ptr<const FusedTrace> fuse_trace(
+    std::shared_ptr<const CompiledTrace> base);
+
+/// True when the super-kernels were compiled with the host-SIMD lowering
+/// (GCC/Clang vector extensions), false for the pure-scalar fallback.
+[[nodiscard]] bool fusion_host_simd() noexcept;
+
+}  // namespace kvx::sim

@@ -8,6 +8,7 @@
 #include "kvx/common/rng.hpp"
 #include "kvx/isa/encoding.hpp"
 #include "kvx/keccak/permutation.hpp"
+#include "kvx/sim/trace_fusion.hpp"
 
 namespace kvx::sim {
 
@@ -60,10 +61,10 @@ inline void bin_vv(u8* file, const TraceOp& op, F f) {
 }
 
 template <typename T, typename F>
-inline void bin_vs(u8* file, const TraceOp& op, F f) {
+inline void bin_vs(u8* file, const TraceOp& op, u64 imm, F f) {
   u8* d = file + op.d;
   const u8* a = file + op.a;
-  const T s = static_cast<T>(static_cast<u64>(op.imm));
+  const T s = static_cast<T>(imm);
   for (u32 i = 0; i < op.n; ++i) {
     st<T>(d + i * sizeof(T), f(ld<T>(a + i * sizeof(T)), s));
   }
@@ -83,16 +84,16 @@ void run_bin_vv(u8* file, const TraceOp& op) {
 }
 
 template <typename T>
-void run_bin_vs(u8* file, const TraceOp& op) {
+void run_bin_vs(u8* file, const TraceOp& op, u64 imm) {
   switch (op.bin) {
-    case TraceBinOp::kXor: bin_vs<T>(file, op, [](T x, T y) { return T(x ^ y); }); break;
-    case TraceBinOp::kAnd: bin_vs<T>(file, op, [](T x, T y) { return T(x & y); }); break;
-    case TraceBinOp::kOr:  bin_vs<T>(file, op, [](T x, T y) { return T(x | y); }); break;
-    case TraceBinOp::kAdd: bin_vs<T>(file, op, [](T x, T y) { return T(x + y); }); break;
-    case TraceBinOp::kSub: bin_vs<T>(file, op, [](T x, T y) { return T(x - y); }); break;
+    case TraceBinOp::kXor: bin_vs<T>(file, op, imm, [](T x, T y) { return T(x ^ y); }); break;
+    case TraceBinOp::kAnd: bin_vs<T>(file, op, imm, [](T x, T y) { return T(x & y); }); break;
+    case TraceBinOp::kOr:  bin_vs<T>(file, op, imm, [](T x, T y) { return T(x | y); }); break;
+    case TraceBinOp::kAdd: bin_vs<T>(file, op, imm, [](T x, T y) { return T(x + y); }); break;
+    case TraceBinOp::kSub: bin_vs<T>(file, op, imm, [](T x, T y) { return T(x - y); }); break;
     // Shift amounts were masked to sew-1 bits at compile time.
-    case TraceBinOp::kSll: bin_vs<T>(file, op, [](T x, T y) { return T(x << y); }); break;
-    case TraceBinOp::kSrl: bin_vs<T>(file, op, [](T x, T y) { return T(x >> y); }); break;
+    case TraceBinOp::kSll: bin_vs<T>(file, op, imm, [](T x, T y) { return T(x << y); }); break;
+    case TraceBinOp::kSrl: bin_vs<T>(file, op, imm, [](T x, T y) { return T(x >> y); }); break;
   }
 }
 
@@ -129,10 +130,10 @@ void run_pi_row(u8* file, const TraceOp& op, usize reg_bytes) {
 }
 
 template <typename T>
-void run_iota(u8* file, const TraceOp& op) {
+void run_iota(u8* file, const TraceOp& op, u64 imm) {
   u8* d = file + op.d;
   const u8* a = file + op.a;
-  const T rc = static_cast<T>(static_cast<u64>(op.imm));
+  const T rc = static_cast<T>(imm);
   for (u32 e = 0; e < op.n; ++e) {
     T v = ld<T>(a + e * sizeof(T));
     if (e % 5 == 0) v = static_cast<T>(v ^ rc);
@@ -197,178 +198,180 @@ bool specializable_bin(Opcode op, TraceBinOp& bin, VOperands& flavour) {
 
 }  // namespace
 
+void CompiledTrace::execute_op(const TraceOp& op, VectorUnit& vu, Memory& mem,
+                               const CycleModel& cm, u8* file) const {
+  const usize rb = reg_bytes_;
+  switch (op.kind) {
+    case TraceOpKind::kBinVV:
+      if (op.sew == 64) run_bin_vv<u64>(file, op);
+      else run_bin_vv<u32>(file, op);
+      break;
+    case TraceOpKind::kBinVS:
+      if (op.sew == 64) run_bin_vs<u64>(file, op, wide_imms_[op.aux]);
+      else run_bin_vs<u32>(file, op, wide_imms_[op.aux]);
+      break;
+    case TraceOpKind::kSplat: {
+      u8* d = file + op.d;
+      if (op.sew == 64) {
+        const u64 v = wide_imms_[op.aux];
+        for (u32 i = 0; i < op.n; ++i) st64(d + 8 * i, v);
+      } else {
+        const u32 v = static_cast<u32>(wide_imms_[op.aux]);
+        for (u32 i = 0; i < op.n; ++i) st32(d + 4 * i, v);
+      }
+      break;
+    }
+    case TraceOpKind::kCopyReg: {
+      u8* d = file + op.d;
+      const u8* a = file + op.a;
+      if (d <= a || a + op.n <= d) {
+        std::memmove(d, a, op.n);
+      } else {
+        // Forward-overlapping: copy element-wise ascending like vmv.v.v.
+        const u32 esz = op.sew / 8u;
+        for (u32 off = 0; off < op.n; off += esz) {
+          std::memmove(d + off, a + off, esz);
+        }
+      }
+      break;
+    }
+    case TraceOpKind::kLoadUnit:
+      mem.read_block(op.aux, std::span<u8>(file + op.d, op.n));
+      break;
+    case TraceOpKind::kStoreUnit:
+      mem.write_block(op.aux, std::span<const u8>(file + op.d, op.n));
+      break;
+    case TraceOpKind::kLoadGather:
+      for (u32 i = 0; i < op.n; ++i) {
+        const TraceMemElem& e = gather_elems_[op.aux + i];
+        const u64 v = mem.read_element(e.addr, op.sew);
+        std::memcpy(file + e.reg_off, &v, op.sew / 8u);
+      }
+      break;
+    case TraceOpKind::kStoreScatter:
+      for (u32 i = 0; i < op.n; ++i) {
+        const TraceMemElem& e = gather_elems_[op.aux + i];
+        u64 v = 0;
+        std::memcpy(&v, file + e.reg_off, op.sew / 8u);
+        mem.write_element(e.addr, op.sew, v);
+      }
+      break;
+    case TraceOpKind::kScalarStore:
+      mem.write_element(op.aux, op.sew,
+                        static_cast<u64>(static_cast<u32>(op.imm)));
+      break;
+    case TraceOpKind::kSlideMod5:
+      if (op.sew == 64) run_slide_mod5<u64>(file, op);
+      else run_slide_mod5<u32>(file, op);
+      break;
+    case TraceOpKind::kRotup64: {
+      u8* d = file + op.d;
+      const u8* a = file + op.a;
+      const unsigned amt = static_cast<unsigned>(op.imm);
+      for (u32 e = 0; e < 5u * op.sn; ++e) {
+        st64(d + 8 * e, rotl64(ld64(a + 8 * e), amt));
+      }
+      break;
+    }
+    case TraceOpKind::kRho64Row: {
+      u8* d = file + op.d;
+      const u8* a = file + op.a;
+      const auto& offs = keccak::rho_offsets()[op.table_row];
+      for (u32 i = 0; i < op.sn; ++i) {
+        for (unsigned j = 0; j < 5; ++j) {
+          const u32 e = 5 * i + j;
+          st64(d + 8 * e, rotl64(ld64(a + 8 * e), offs[j]));
+        }
+      }
+      break;
+    }
+    case TraceOpKind::kRho32Row: {
+      u8* d = file + op.d;
+      const u8* hi = file + op.a;
+      const u8* lo = file + op.b;
+      const auto& offs = keccak::rho_offsets()[op.table_row];
+      for (u32 i = 0; i < op.sn; ++i) {
+        for (unsigned j = 0; j < 5; ++j) {
+          const u32 e = 5 * i + j;
+          const u64 rot =
+              rotl64(concat32(ld32(hi + 4 * e), ld32(lo + 4 * e)), offs[j]);
+          st32(d + 4 * e, op.flag ? hi32(rot) : lo32(rot));
+        }
+      }
+      break;
+    }
+    case TraceOpKind::kRot32Pair: {
+      u8* d = file + op.d;
+      const u8* hi = file + op.a;
+      const u8* lo = file + op.b;
+      for (u32 e = 0; e < 5u * op.sn; ++e) {
+        const u64 rot =
+            rotl64(concat32(ld32(hi + 4 * e), ld32(lo + 4 * e)), 1);
+        st32(d + 4 * e, op.flag ? hi32(rot) : lo32(rot));
+      }
+      break;
+    }
+    case TraceOpKind::kPiRow:
+      if (op.sew == 64) run_pi_row<u64>(file, op, rb);
+      else run_pi_row<u32>(file, op, rb);
+      break;
+    case TraceOpKind::kRhoPiRow: {
+      const u8* a = file + op.a;
+      const unsigned row = op.table_row;
+      const auto& offs = keccak::rho_offsets()[row];
+      for (u32 i = 0; i < op.sn; ++i) {
+        std::array<u64, 5> src;
+        for (unsigned xp = 0; xp < 5; ++xp) {
+          src[xp] = rotl64(ld64(a + 8 * (5 * i + xp)), offs[xp]);
+        }
+        for (unsigned xp = 0; xp < 5; ++xp) {
+          const unsigned y = (2 * (xp + 5 - row)) % 5;
+          st64(file + op.d + y * rb + 8 * (5 * i + row), src[xp]);
+        }
+      }
+      break;
+    }
+    case TraceOpKind::kIota:
+      if (op.sew == 64) run_iota<u64>(file, op, wide_imms_[op.aux]);
+      else run_iota<u32>(file, op, wide_imms_[op.aux]);
+      break;
+    case TraceOpKind::kThetaCRow: {
+      u8* d = file + op.d;
+      const u8* a = file + op.a;
+      for (u32 i = 0; i < op.sn; ++i) {
+        std::array<u64, 5> b;
+        for (unsigned j = 0; j < 5; ++j) b[j] = ld64(a + 8 * (5 * i + j));
+        for (unsigned j = 0; j < 5; ++j) {
+          st64(d + 8 * (5 * i + j),
+               b[(j + 4) % 5] ^ rotl64(b[(j + 1) % 5], 1));
+        }
+      }
+      break;
+    }
+    case TraceOpKind::kChiRow:
+      if (op.sew == 64) run_chi_row<u64>(file, op);
+      else run_chi_row<u32>(file, op);
+      break;
+    case TraceOpKind::kGeneric: {
+      const TraceGenericOp& g = generic_ops_[op.aux];
+      if (g.sn != vu.config().effective_sn()) vu.set_sn(g.sn);
+      vu.set_exec_state(g.vtype, g.vl);
+      ScalarRegs x;
+      x.write(g.inst.rs1, g.rs1_value);
+      x.write(g.inst.rs2, g.rs2_value);
+      vu.execute(g.inst, x, mem, cm);  // recorded cycles stay authoritative
+      break;
+    }
+  }
+}
+
 void CompiledTrace::execute(VectorUnit& vu, Memory& mem,
                             const CycleModel& cm) const {
   KVX_CHECK_MSG(vu.reg_bytes() == reg_bytes_,
                 "trace compiled for a different vector configuration");
   u8* file = vu.file_data();
-  const usize rb = reg_bytes_;
   const unsigned entry_sn = vu.config().effective_sn();
-  const auto& rho = keccak::rho_offsets();
-
-  for (const TraceOp& op : ops_) {
-    switch (op.kind) {
-      case TraceOpKind::kBinVV:
-        if (op.sew == 64) run_bin_vv<u64>(file, op);
-        else run_bin_vv<u32>(file, op);
-        break;
-      case TraceOpKind::kBinVS:
-        if (op.sew == 64) run_bin_vs<u64>(file, op);
-        else run_bin_vs<u32>(file, op);
-        break;
-      case TraceOpKind::kSplat: {
-        u8* d = file + op.d;
-        if (op.sew == 64) {
-          const u64 v = static_cast<u64>(op.imm);
-          for (u32 i = 0; i < op.n; ++i) st64(d + 8 * i, v);
-        } else {
-          const u32 v = static_cast<u32>(static_cast<u64>(op.imm));
-          for (u32 i = 0; i < op.n; ++i) st32(d + 4 * i, v);
-        }
-        break;
-      }
-      case TraceOpKind::kCopyReg: {
-        u8* d = file + op.d;
-        const u8* a = file + op.a;
-        if (d <= a || a + op.n <= d) {
-          std::memmove(d, a, op.n);
-        } else {
-          // Forward-overlapping: copy element-wise ascending like vmv.v.v.
-          const u32 esz = op.sew / 8u;
-          for (u32 off = 0; off < op.n; off += esz) {
-            std::memmove(d + off, a + off, esz);
-          }
-        }
-        break;
-      }
-      case TraceOpKind::kLoadUnit:
-        mem.read_block(op.addr, std::span<u8>(file + op.d, op.n));
-        break;
-      case TraceOpKind::kStoreUnit:
-        mem.write_block(op.addr, std::span<const u8>(file + op.d, op.n));
-        break;
-      case TraceOpKind::kLoadGather:
-        for (u32 i = 0; i < op.n; ++i) {
-          const TraceMemElem& e = gather_elems_[op.aux + i];
-          const u64 v = mem.read_element(e.addr, op.sew);
-          std::memcpy(file + e.reg_off, &v, op.sew / 8u);
-        }
-        break;
-      case TraceOpKind::kStoreScatter:
-        for (u32 i = 0; i < op.n; ++i) {
-          const TraceMemElem& e = gather_elems_[op.aux + i];
-          u64 v = 0;
-          std::memcpy(&v, file + e.reg_off, op.sew / 8u);
-          mem.write_element(e.addr, op.sew, v);
-        }
-        break;
-      case TraceOpKind::kScalarStore:
-        mem.write_element(op.addr, op.sew, static_cast<u64>(op.imm));
-        break;
-      case TraceOpKind::kSlideMod5:
-        if (op.sew == 64) run_slide_mod5<u64>(file, op);
-        else run_slide_mod5<u32>(file, op);
-        break;
-      case TraceOpKind::kRotup64: {
-        u8* d = file + op.d;
-        const u8* a = file + op.a;
-        const unsigned amt = static_cast<unsigned>(op.imm);
-        for (u32 e = 0; e < 5 * op.sn; ++e) {
-          st64(d + 8 * e, rotl64(ld64(a + 8 * e), amt));
-        }
-        break;
-      }
-      case TraceOpKind::kRho64Row: {
-        u8* d = file + op.d;
-        const u8* a = file + op.a;
-        const auto& offs = rho[op.table_row];
-        for (u32 i = 0; i < op.sn; ++i) {
-          for (unsigned j = 0; j < 5; ++j) {
-            const u32 e = 5 * i + j;
-            st64(d + 8 * e, rotl64(ld64(a + 8 * e), offs[j]));
-          }
-        }
-        break;
-      }
-      case TraceOpKind::kRho32Row: {
-        u8* d = file + op.d;
-        const u8* hi = file + op.a;
-        const u8* lo = file + op.b;
-        const auto& offs = rho[op.table_row];
-        for (u32 i = 0; i < op.sn; ++i) {
-          for (unsigned j = 0; j < 5; ++j) {
-            const u32 e = 5 * i + j;
-            const u64 rot =
-                rotl64(concat32(ld32(hi + 4 * e), ld32(lo + 4 * e)), offs[j]);
-            st32(d + 4 * e, op.flag ? hi32(rot) : lo32(rot));
-          }
-        }
-        break;
-      }
-      case TraceOpKind::kRot32Pair: {
-        u8* d = file + op.d;
-        const u8* hi = file + op.a;
-        const u8* lo = file + op.b;
-        for (u32 e = 0; e < 5 * op.sn; ++e) {
-          const u64 rot =
-              rotl64(concat32(ld32(hi + 4 * e), ld32(lo + 4 * e)), 1);
-          st32(d + 4 * e, op.flag ? hi32(rot) : lo32(rot));
-        }
-        break;
-      }
-      case TraceOpKind::kPiRow:
-        if (op.sew == 64) run_pi_row<u64>(file, op, rb);
-        else run_pi_row<u32>(file, op, rb);
-        break;
-      case TraceOpKind::kRhoPiRow: {
-        const u8* a = file + op.a;
-        const unsigned row = op.table_row;
-        const auto& offs = rho[row];
-        for (u32 i = 0; i < op.sn; ++i) {
-          std::array<u64, 5> src;
-          for (unsigned xp = 0; xp < 5; ++xp) {
-            src[xp] = rotl64(ld64(a + 8 * (5 * i + xp)), offs[xp]);
-          }
-          for (unsigned xp = 0; xp < 5; ++xp) {
-            const unsigned y = (2 * (xp + 5 - row)) % 5;
-            st64(file + op.d + y * rb + 8 * (5 * i + row), src[xp]);
-          }
-        }
-        break;
-      }
-      case TraceOpKind::kIota:
-        if (op.sew == 64) run_iota<u64>(file, op);
-        else run_iota<u32>(file, op);
-        break;
-      case TraceOpKind::kThetaCRow: {
-        u8* d = file + op.d;
-        const u8* a = file + op.a;
-        for (u32 i = 0; i < op.sn; ++i) {
-          std::array<u64, 5> b;
-          for (unsigned j = 0; j < 5; ++j) b[j] = ld64(a + 8 * (5 * i + j));
-          for (unsigned j = 0; j < 5; ++j) {
-            st64(d + 8 * (5 * i + j),
-                 b[(j + 4) % 5] ^ rotl64(b[(j + 1) % 5], 1));
-          }
-        }
-        break;
-      }
-      case TraceOpKind::kChiRow:
-        if (op.sew == 64) run_chi_row<u64>(file, op);
-        else run_chi_row<u32>(file, op);
-        break;
-      case TraceOpKind::kGeneric: {
-        const TraceGenericOp& g = generic_ops_[op.aux];
-        if (g.sn != vu.config().effective_sn()) vu.set_sn(g.sn);
-        vu.set_exec_state(g.vtype, g.vl);
-        ScalarRegs x;
-        x.write(g.inst.rs1, g.rs1_value);
-        x.write(g.inst.rs2, g.rs2_value);
-        vu.execute(g.inst, x, mem, cm);  // recorded cycles stay authoritative
-        break;
-      }
-    }
-  }
+  for (const TraceOp& op : ops_) execute_op(op, vu, mem, cm, file);
   if (vu.config().effective_sn() != entry_sn) vu.set_sn(entry_sn);
 }
 
@@ -396,7 +399,8 @@ class TraceCompiler {
  public:
   static CompiledTrace record(const assembler::Program& program,
                               const ProcessorConfig& cfg,
-                              const TraceCompileOptions& opts, u64 fill_seed);
+                              const TraceCompileOptions& opts, u64 fill_seed,
+                              usize reserve_hint);
 
   /// Full structural equality of two recordings, private fields included.
   static bool equal(const CompiledTrace& a, const CompiledTrace& b);
@@ -425,6 +429,16 @@ class TraceCompiler {
     const usize epr = proc_.config().vector.vlen_bits() / sew;
     return proc_.vector().get_element(
         base + static_cast<unsigned>(idx / epr), idx % epr, sew);
+  }
+  /// Intern a 64-bit operand into the wide-imm pool, returning its index.
+  [[nodiscard]] u32 add_wide(u64 value) {
+    trace_.wide_imms_.push_back(value);
+    return static_cast<u32>(trace_.wide_imms_.size() - 1);
+  }
+  [[nodiscard]] u8 record_sn() const {
+    const unsigned sn = proc_.vector().config().effective_sn();
+    if (sn > 255) throw SimError("compiled trace: SN exceeds record range");
+    return static_cast<u8>(sn);
   }
 
   SimdProcessor& proc_;
@@ -471,7 +485,7 @@ void TraceCompiler::emit_arith(const Instruction& inst, unsigned sew,
       if (bin == TraceBinOp::kSll || bin == TraceBinOp::kSrl) {
         operand &= sew - 1;  // the interpreter masks shift amounts to sew bits
       }
-      op.imm = static_cast<i64>(operand);
+      op.aux = add_wide(operand);
     }
     trace_.ops_.push_back(op);
     return;
@@ -489,7 +503,7 @@ void TraceCompiler::emit_arith(const Instruction& inst, unsigned sew,
     } else {
       op.kind = TraceOpKind::kSplat;
       op.n = static_cast<u32>(vl);
-      op.imm = static_cast<i64>(
+      op.aux = add_wide(
           inst.op == Opcode::kVmvVX
               ? scalar_operand(proc_.scalar().regs().read(inst.rs1), sew)
               : truncate(static_cast<u64>(static_cast<i64>(inst.imm)), sew));
@@ -520,7 +534,7 @@ void TraceCompiler::emit_memory(const Instruction& inst) {
   op.d = reg_off(inst.rd);
   if (mop == VMop::kUnit) {
     op.kind = is_load ? TraceOpKind::kLoadUnit : TraceOpKind::kStoreUnit;
-    op.addr = base;
+    op.aux = base;
     op.n = static_cast<u32>(vl * (eew / 8));
     trace_.ops_.push_back(op);
     return;
@@ -544,11 +558,11 @@ void TraceCompiler::emit_memory(const Instruction& inst) {
 }
 
 void TraceCompiler::emit_custom(const Instruction& inst, unsigned sew) {
-  const u32 sn = proc_.vector().config().effective_sn();
+  const u8 sn = record_sn();
   const usize rows = rows_for(sew);
 
   const auto push = [&](TraceOpKind kind, unsigned vd, unsigned vs2, u8 row,
-                        i64 imm, unsigned vs1 = 0, u8 flag = 0) {
+                        i32 imm, unsigned vs1 = 0, u8 flag = 0) {
     TraceOp op;
     op.kind = kind;
     op.sew = static_cast<u8>(sew);
@@ -624,8 +638,8 @@ void TraceCompiler::emit_custom(const Instruction& inst, unsigned sew) {
       op.sew = static_cast<u8>(sew);
       op.d = reg_off(inst.rd);
       op.a = reg_off(inst.rs2);
-      op.n = 5 * sn;
-      op.imm = static_cast<i64>(resolve_iota_rc(sew, index));
+      op.n = 5u * sn;
+      op.aux = add_wide(resolve_iota_rc(sew, index));
       trace_.ops_.push_back(op);
       return;
     }
@@ -677,10 +691,10 @@ void TraceCompiler::emit(const Instruction& inst) {
       op.sew = inst.op == Opcode::kSb   ? u8{8}
                : inst.op == Opcode::kSh ? u8{16}
                                         : u8{32};
-      op.addr =
+      op.aux =
           proc_.scalar().regs().read(inst.rs1) + static_cast<u32>(inst.imm);
-      op.imm = static_cast<i64>(
-          truncate(proc_.scalar().regs().read(inst.rs2), op.sew));
+      op.imm = static_cast<i32>(static_cast<u32>(
+          truncate(proc_.scalar().regs().read(inst.rs2), op.sew)));
       trace_.ops_.push_back(op);
       return;
     }
@@ -695,7 +709,7 @@ void TraceCompiler::emit(const Instruction& inst) {
 CompiledTrace TraceCompiler::record(const assembler::Program& program,
                                     const ProcessorConfig& cfg,
                                     const TraceCompileOptions& opts,
-                                    u64 fill_seed) {
+                                    u64 fill_seed, usize reserve_hint) {
   SimdProcessor proc(cfg);
   proc.load_program(program);
   if (opts.verify_len != 0) {
@@ -706,6 +720,7 @@ CompiledTrace TraceCompiler::record(const assembler::Program& program,
   }
 
   TraceCompiler tc(proc);
+  tc.trace_.ops_.reserve(reserve_hint);
   while (!proc.halted()) {
     const u32 pc = proc.scalar().pc();
     if (pc >= program.text_base && pc % 4 == 0) {
@@ -730,7 +745,7 @@ CompiledTrace TraceCompiler::record(const assembler::Program& program,
 
 bool TraceCompiler::equal(const CompiledTrace& a, const CompiledTrace& b) {
   if (a.ops_ != b.ops_ || a.gather_elems_ != b.gather_elems_ ||
-      a.generic_ops_ != b.generic_ops_) {
+      a.generic_ops_ != b.generic_ops_ || a.wide_imms_ != b.wide_imms_) {
     return false;
   }
   if (a.stats_.cycles != b.stats_.cycles ||
@@ -750,11 +765,16 @@ bool TraceCompiler::equal(const CompiledTrace& a, const CompiledTrace& b) {
 std::shared_ptr<const CompiledTrace> compile_trace(
     const assembler::Program& program, const ProcessorConfig& cfg,
     const TraceCompileOptions& opts) {
+  // The first recording run can only estimate the executed-record count
+  // from the static code size (the round loop re-executes the body); the
+  // verification run then reserves the exact count.
   auto trace = std::make_shared<CompiledTrace>(
-      TraceCompiler::record(program, cfg, opts, /*fill_seed=*/0x5EED5EEDull));
+      TraceCompiler::record(program, cfg, opts, /*fill_seed=*/0x5EED5EEDull,
+                            /*reserve_hint=*/program.text.size() * 8));
   if (opts.verify_len != 0) {
     const CompiledTrace second =
-        TraceCompiler::record(program, cfg, opts, /*fill_seed=*/0xBADC0FFEull);
+        TraceCompiler::record(program, cfg, opts, /*fill_seed=*/0xBADC0FFEull,
+                              /*reserve_hint=*/trace->op_count());
     if (!TraceCompiler::equal(*trace, second)) {
       throw SimError(
           "compiled trace: program control flow or operands depend on the "
@@ -810,6 +830,11 @@ u64 trace_key(const assembler::Program& program, const ProcessorConfig& cfg,
   return h;
 }
 
+/// Key separation between the plain and fused compilations of one program.
+/// The fused map is also a distinct container, so a "trace" shard can never
+/// observe a fused artifact even on a hash collision.
+constexpr u64 kFusedKeySalt = 0x46555345445F5452ull;  // "FUSED_TR"
+
 }  // namespace
 
 TraceCache& TraceCache::global() {
@@ -817,11 +842,9 @@ TraceCache& TraceCache::global() {
   return cache;
 }
 
-std::shared_ptr<const CompiledTrace> TraceCache::get_or_compile(
-    const assembler::Program& program, const ProcessorConfig& cfg,
+std::shared_ptr<const CompiledTrace> TraceCache::lookup_or_compile_locked(
+    u64 key, const assembler::Program& program, const ProcessorConfig& cfg,
     const TraceCompileOptions& opts) {
-  const u64 key = trace_key(program, cfg, opts);
-  std::lock_guard lock(mutex_);
   if (const auto it = entries_.find(key); it != entries_.end()) {
     ++stats_.hits;
     return it->second;
@@ -851,6 +874,39 @@ std::shared_ptr<const CompiledTrace> TraceCache::get_or_compile(
   }
 }
 
+std::shared_ptr<const CompiledTrace> TraceCache::get_or_compile(
+    const assembler::Program& program, const ProcessorConfig& cfg,
+    const TraceCompileOptions& opts) {
+  const u64 key = trace_key(program, cfg, opts);
+  std::lock_guard lock(mutex_);
+  return lookup_or_compile_locked(key, program, cfg, opts);
+}
+
+std::shared_ptr<const FusedTrace> TraceCache::get_or_compile_fused(
+    const assembler::Program& program, const ProcessorConfig& cfg,
+    const TraceCompileOptions& opts) {
+  const u64 base_key = trace_key(program, cfg, opts);
+  const u64 fused_key = base_key ^ kFusedKeySalt;
+  std::lock_guard lock(mutex_);
+  if (const auto it = fused_entries_.find(fused_key);
+      it != fused_entries_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  // Share the recording with the plain-trace entry: one compile serves both
+  // backends, but the fused artifact is cached under its own key.
+  auto base = lookup_or_compile_locked(base_key, program, cfg, opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto fused = fuse_trace(std::move(base));
+  stats_.fuse_ns += static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  ++stats_.fusions;
+  fused_entries_.emplace(fused_key, fused);
+  return fused;
+}
+
 TraceCacheStats TraceCache::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
@@ -859,6 +915,7 @@ TraceCacheStats TraceCache::stats() const {
 void TraceCache::clear() {
   std::lock_guard lock(mutex_);
   entries_.clear();
+  fused_entries_.clear();
   failed_.clear();
   stats_ = {};
 }

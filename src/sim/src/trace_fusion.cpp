@@ -1,0 +1,972 @@
+#include "kvx/sim/trace_fusion.hpp"
+
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "kvx/common/bits.hpp"
+#include "kvx/common/error.hpp"
+#include "kvx/keccak/permutation.hpp"
+
+// Host-SIMD lowering: GCC/Clang vector extensions. __builtin_shufflevector
+// arrived in GCC 12, so probe for the builtin rather than a version.
+#if defined(KVX_HOST_SIMD) && KVX_HOST_SIMD && defined(__has_builtin)
+#if __has_builtin(__builtin_shufflevector)
+#define KVX_FUSION_SIMD 1
+#endif
+#endif
+#ifndef KVX_FUSION_SIMD
+#define KVX_FUSION_SIMD 0
+#endif
+
+namespace kvx::sim {
+
+namespace {
+
+/// Largest SN the super-kernels size their stack buffers for; wider traces
+/// fall back to per-record replay (still correct, just unfused).
+constexpr u32 kMaxSn = 16;
+
+inline u64 ld64(const u8* p) noexcept {
+  u64 v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+inline void st64(u8* p, u64 v) noexcept { std::memcpy(p, &v, 8); }
+inline u32 ld32(const u8* p) noexcept {
+  u32 v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline void st32(u8* p, u32 v) noexcept { std::memcpy(p, &v, 4); }
+
+#if KVX_FUSION_SIMD
+typedef u64 v4u64 __attribute__((vector_size(32)));
+inline v4u64 ldv(const u8* p) noexcept {
+  v4u64 v;
+  std::memcpy(&v, p, 32);
+  return v;
+}
+inline void stv(u8* p, v4u64 v) noexcept { std::memcpy(p, &v, 32); }
+#endif
+
+// ---------------------------------------------------------------------------
+// Super-kernels. All offsets were validated by the matcher: plane spans are
+// register-aligned (one row == one register == rb bytes == 5·sn elements)
+// and scratch never aliases an input or output span.
+// ---------------------------------------------------------------------------
+
+/// θ over five 64-bit planes at `f.dst + k·rb`: column parity B, combine
+/// D[x] = B[x-1] ^ rotl(B[x+1], 1), apply. B and D live in host registers —
+/// the recorded scratch-register writes are elided (liveness-checked).
+void run_theta64(u8* file, const FusedOp& f, u32 rb) {
+  const u32 sn = f.sn;
+  const u32 ne = 5u * sn;
+  u64 B[5 * kMaxSn];
+  u64 D[5 * kMaxSn];
+  u8* p = file + f.dst;
+  u32 e = 0;
+#if KVX_FUSION_SIMD
+  for (; e + 4 <= ne; e += 4) {
+    const v4u64 acc = ldv(p + 8 * e) ^ ldv(p + rb + 8 * e) ^
+                      ldv(p + 2 * rb + 8 * e) ^ ldv(p + 3 * rb + 8 * e) ^
+                      ldv(p + 4 * rb + 8 * e);
+    std::memcpy(&B[e], &acc, 32);
+  }
+#endif
+  for (; e < ne; ++e) {
+    B[e] = ld64(p + 8 * e) ^ ld64(p + rb + 8 * e) ^ ld64(p + 2 * rb + 8 * e) ^
+           ld64(p + 3 * rb + 8 * e) ^ ld64(p + 4 * rb + 8 * e);
+  }
+  for (u32 i = 0; i < sn; ++i) {
+    for (u32 j = 0; j < 5; ++j) {
+      D[5 * i + j] =
+          B[5 * i + (j + 4) % 5] ^ rotl64(B[5 * i + (j + 1) % 5], 1);
+    }
+  }
+  for (u32 k = 0; k < 5; ++k) {
+    u8* row = p + k * rb;
+    e = 0;
+#if KVX_FUSION_SIMD
+    for (; e + 4 <= ne; e += 4) {
+      v4u64 d;
+      std::memcpy(&d, &D[e], 32);
+      stv(row + 8 * e, ldv(row + 8 * e) ^ d);
+    }
+#endif
+    for (; e < ne; ++e) st64(row + 8 * e, ld64(row + 8 * e) ^ D[e]);
+  }
+}
+
+/// θ over the 32-bit split representation: lo halves at `f.dst + k·rb`, hi
+/// halves at `f.dst2 + k·rb`. The rotate-by-one crosses the halves, so the
+/// combine works on reassembled 64-bit lanes.
+void run_theta32(u8* file, const FusedOp& f, u32 rb) {
+  const u32 sn = f.sn;
+  const u32 ne = 5u * sn;
+  u32 Bl[5 * kMaxSn], Bh[5 * kMaxSn];
+  u32 Dl[5 * kMaxSn], Dh[5 * kMaxSn];
+  u8* lo = file + f.dst;
+  u8* hi = file + f.dst2;
+  for (u32 e = 0; e < ne; ++e) {
+    Bl[e] = ld32(lo + 4 * e) ^ ld32(lo + rb + 4 * e) ^
+            ld32(lo + 2 * rb + 4 * e) ^ ld32(lo + 3 * rb + 4 * e) ^
+            ld32(lo + 4 * rb + 4 * e);
+    Bh[e] = ld32(hi + 4 * e) ^ ld32(hi + rb + 4 * e) ^
+            ld32(hi + 2 * rb + 4 * e) ^ ld32(hi + 3 * rb + 4 * e) ^
+            ld32(hi + 4 * rb + 4 * e);
+  }
+  for (u32 i = 0; i < sn; ++i) {
+    for (u32 j = 0; j < 5; ++j) {
+      const u32 up = 5 * i + (j + 4) % 5;
+      const u32 dn = 5 * i + (j + 1) % 5;
+      const u64 rot = rotl64(concat32(Bh[dn], Bl[dn]), 1);
+      Dl[5 * i + j] = Bl[up] ^ lo32(rot);
+      Dh[5 * i + j] = Bh[up] ^ hi32(rot);
+    }
+  }
+  for (u32 k = 0; k < 5; ++k) {
+    u8* rl = lo + k * rb;
+    u8* rh = hi + k * rb;
+    for (u32 e = 0; e < ne; ++e) {
+      st32(rl + 4 * e, ld32(rl + 4 * e) ^ Dl[e]);
+      st32(rh + 4 * e, ld32(rh + 4 * e) ^ Dh[e]);
+    }
+  }
+}
+
+/// ρ+π over 64-bit planes: rotate each lane of source row r by ρ[r][x'] and
+/// scatter it to output plane y = (2(x'-r)) mod 5, element 5i+r. The
+/// matcher guarantees [dst, dst+5rb) and [src, src+5rb) are disjoint.
+void run_rhopi64(u8* file, const FusedOp& f, u32 rb) {
+  const u32 sn = f.sn;
+  const auto& rho = keccak::rho_offsets();
+  for (u32 r = 0; r < 5; ++r) {
+    const u8* srow = file + f.src + r * rb;
+    for (u32 i = 0; i < sn; ++i) {
+      for (u32 xp = 0; xp < 5; ++xp) {
+        const u64 val = rotl64(ld64(srow + 8 * (5 * i + xp)), rho[r][xp]);
+        const u32 y = (2 * (xp + 5 - r)) % 5;
+        st64(file + f.dst + y * rb + 8 * (5 * i + r), val);
+      }
+    }
+  }
+}
+
+/// ρ+π over the 32-bit split representation. The π destinations are the
+/// source planes themselves (lo→lo, hi→hi), so both source spans are
+/// buffered before any store.
+void run_rhopi32(u8* file, const FusedOp& f, u32 rb) {
+  const u32 sn = f.sn;
+  const u32 ne = 5u * sn;
+  u32 lo[5 * 5 * kMaxSn], hi[5 * 5 * kMaxSn];
+  for (u32 r = 0; r < 5; ++r) {
+    for (u32 e = 0; e < ne; ++e) {
+      lo[r * ne + e] = ld32(file + f.src + r * rb + 4 * e);
+      hi[r * ne + e] = ld32(file + f.src2 + r * rb + 4 * e);
+    }
+  }
+  const auto& rho = keccak::rho_offsets();
+  for (u32 r = 0; r < 5; ++r) {
+    for (u32 i = 0; i < sn; ++i) {
+      for (u32 xp = 0; xp < 5; ++xp) {
+        const u32 e = r * ne + 5 * i + xp;
+        const u64 val = rotl64(concat32(hi[e], lo[e]), rho[r][xp]);
+        const u32 y = (2 * (xp + 5 - r)) % 5;
+        const u32 off = y * rb + 4 * (5 * i + r);
+        st32(file + f.dst + off, lo32(val));
+        st32(file + f.dst2 + off, hi32(val));
+      }
+    }
+  }
+}
+
+/// χ rows: out[x] = f[x] ^ (~f[x+1] & f[x+2]) within each 5-lane group of
+/// every row, plus the optionally merged ι (RC into lane x=0 of row 0).
+/// Safe for out == f: each 5-group is fully read before it is written.
+void run_chi(u8* file, const FusedOp& f, u32 rb) {
+  const u32 sn = f.sn;
+  const bool iota = (f.flags & kFusedHasIota) != 0;
+  if (f.sew == 64) {
+    for (u32 r = 0; r < 5; ++r) {
+      const u8* fr = file + f.src + r * rb;
+      u8* orow = file + f.dst + r * rb;
+      for (u32 i = 0; i < sn; ++i) {
+#if KVX_FUSION_SIMD
+        const v4u64 a = ldv(fr + 8 * (5 * i));      // f0 f1 f2 f3
+        const v4u64 b = ldv(fr + 8 * (5 * i + 1));  // f1 f2 f3 f4
+        const v4u64 c = __builtin_shufflevector(a, b, 2, 3, 7, 0);
+        v4u64 o = a ^ (~b & c);
+        const u64 o4 = b[3] ^ (~a[0] & a[1]);  // f4 ^ (~f0 & f1)
+        if (iota && r == 0) o[0] ^= f.iota_rc;
+        stv(orow + 8 * (5 * i), o);
+        st64(orow + 8 * (5 * i + 4), o4);
+#else
+        u64 t[5], o[5];
+        for (u32 j = 0; j < 5; ++j) t[j] = ld64(fr + 8 * (5 * i + j));
+        for (u32 j = 0; j < 5; ++j) {
+          o[j] = t[j] ^ (~t[(j + 1) % 5] & t[(j + 2) % 5]);
+        }
+        if (iota && r == 0) o[0] ^= f.iota_rc;
+        for (u32 j = 0; j < 5; ++j) st64(orow + 8 * (5 * i + j), o[j]);
+#endif
+      }
+    }
+  } else {
+    const u32 rc = static_cast<u32>(f.iota_rc);
+    for (u32 r = 0; r < 5; ++r) {
+      const u8* fr = file + f.src + r * rb;
+      u8* orow = file + f.dst + r * rb;
+      for (u32 i = 0; i < sn; ++i) {
+        u32 t[5], o[5];
+        for (u32 j = 0; j < 5; ++j) t[j] = ld32(fr + 4 * (5 * i + j));
+        for (u32 j = 0; j < 5; ++j) {
+          o[j] = t[j] ^ (~t[(j + 1) % 5] & t[(j + 2) % 5]);
+        }
+        if (iota && r == 0) o[0] ^= rc;
+        for (u32 j = 0; j < 5; ++j) st32(orow + 4 * (5 * i + j), o[j]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pattern matcher. Works purely on record shapes and byte offsets, so it is
+// independent of which program builder (or hand-written program) produced
+// the trace; anything that doesn't match replays per record.
+// ---------------------------------------------------------------------------
+
+/// [a, a+alen) and [b, b+blen) do not overlap.
+constexpr bool disjoint(u32 a, u32 alen, u32 b, u32 blen) noexcept {
+  return a + alen <= b || b + blen <= a;
+}
+
+/// Effective left-shift of a kSlideMod5 record (mirrors run_slide_mod5).
+inline u32 slide_shift(const TraceOp& o) noexcept {
+  return static_cast<u32>(o.imm % 5 + 10) % 5u;
+}
+
+struct Group {
+  FusedOp op;
+  /// Elided-write ranges; any byte live-out of the group demotes it.
+  std::vector<std::pair<u32, u32>> scratch;
+  bool demoted = false;
+};
+
+void add_scratch(Group& g, u32 off, u32 len) {
+  for (const auto& [o, l] : g.scratch) {
+    if (o == off && l == len) return;
+  }
+  g.scratch.emplace_back(off, len);
+}
+
+class Matcher {
+ public:
+  explicit Matcher(const CompiledTrace& t)
+      : t_(t), ops_(t.ops()), rb_(static_cast<u32>(t.reg_bytes())) {}
+
+  std::vector<Group> run() {
+    std::vector<Group> groups;
+    usize i = 0;
+    while (i < ops_.size()) {
+      std::optional<Group> g;
+      if (!g) g = try_theta64(i);
+      if (!g) g = try_theta32(i);
+      if (!g) g = try_rhopi64(i);
+      if (!g) g = try_rhopi32(i);
+      if (!g) g = try_chi(i);
+      if (g) {
+        i = g->op.first + g->op.count;
+        groups.push_back(std::move(*g));
+      } else {
+        ++i;
+      }
+    }
+    return groups;
+  }
+
+ private:
+  [[nodiscard]] bool have(usize i, usize n) const noexcept {
+    return i + n <= ops_.size();
+  }
+  [[nodiscard]] const TraceOp& at(usize i) const noexcept { return ops_[i]; }
+
+  [[nodiscard]] bool is_vv(const TraceOp& o, TraceBinOp bin, u8 sew,
+                           u32 n) const noexcept {
+    return o.kind == TraceOpKind::kBinVV && o.bin == bin && o.sew == sew &&
+           o.n == n;
+  }
+  [[nodiscard]] bool is_slide(const TraceOp& o, u8 sew, u32 sn,
+                              u32 shift) const noexcept {
+    return o.kind == TraceOpKind::kSlideMod5 && o.sew == sew && o.sn == sn &&
+           slide_shift(o) == shift;
+  }
+
+  /// The 4-record column-parity chain both θ forms open with:
+  ///   t0 = P3 ^ P4;  t1 = P1 ^ P2;  t2 = P0 ^ t1;  B(=t0) = t0 ^ t2
+  /// with P0..P4 five ascending rb-strided planes. Returns (base, B, t1, t2).
+  struct Parity {
+    u32 base, B, t1, t2;
+  };
+  [[nodiscard]] std::optional<Parity> match_parity(usize i, u8 sew,
+                                                   u32 ne) const {
+    const TraceOp &o0 = at(i), &o1 = at(i + 1), &o2 = at(i + 2),
+                  &o3 = at(i + 3);
+    if (!is_vv(o0, TraceBinOp::kXor, sew, ne) ||
+        !is_vv(o1, TraceBinOp::kXor, sew, ne) ||
+        !is_vv(o2, TraceBinOp::kXor, sew, ne) ||
+        !is_vv(o3, TraceBinOp::kXor, sew, ne)) {
+      return std::nullopt;
+    }
+    if (o2.b != o1.d || o3.d != o0.d || o3.a != o0.d || o3.b != o2.d) {
+      return std::nullopt;
+    }
+    const u32 base = o2.a;
+    if (o1.a != base + rb_ || o1.b != base + 2 * rb_ ||
+        o0.a != base + 3 * rb_ || o0.b != base + 4 * rb_) {
+      return std::nullopt;
+    }
+    return Parity{base, o0.d, o1.d, o2.d};
+  }
+
+  /// The five `plane ^= D` records that close every θ form.
+  [[nodiscard]] bool match_applies(usize i, u8 sew, u32 ne, u32 base,
+                                   u32 D) const {
+    for (u32 k = 0; k < 5; ++k) {
+      const TraceOp& o = at(i + k);
+      if (!is_vv(o, TraceBinOp::kXor, sew, ne) || o.d != base + k * rb_ ||
+          o.a != o.d || o.b != D) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::optional<Group> try_theta64(usize i) {
+    if (!have(i, 10)) return std::nullopt;
+    const TraceOp& o0 = at(i);
+    if (o0.kind != TraceOpKind::kBinVV || o0.sew != 64) return std::nullopt;
+    const u32 ne = o0.n;
+    if (ne % 5 != 0 || ne == 0) return std::nullopt;
+    const u32 sn = ne / 5;
+    if (sn > kMaxSn || ne * 8 != rb_) return std::nullopt;
+    const auto par = match_parity(i, 64, ne);
+    if (!par) return std::nullopt;
+    const u32 span = 5 * rb_;
+
+    Group g;
+    g.op.kind = FusedOpKind::kTheta64;
+    g.op.sn = static_cast<u8>(sn);
+    g.op.sew = 64;
+    g.op.first = static_cast<u32>(i);
+    g.op.dst = par->base;
+    for (u32 s : {par->B, par->t1, par->t2}) {
+      if (!disjoint(s, rb_, par->base, span)) return std::nullopt;
+      add_scratch(g, s, rb_);
+    }
+
+    // Fused-ISE form: vthetac collapses the slide/rotate/xor combine.
+    const TraceOp& o4 = at(i + 4);
+    if (o4.kind == TraceOpKind::kThetaCRow && o4.sew == 64 && o4.sn == sn &&
+        o4.a == par->B) {
+      if (!disjoint(o4.d, rb_, par->base, span)) return std::nullopt;
+      if (!match_applies(i + 5, 64, ne, par->base, o4.d)) return std::nullopt;
+      add_scratch(g, o4.d, rb_);
+      g.op.count = 10;
+      return g;
+    }
+
+    // Standard form: slide-up, slide-down, rotate, combine, apply.
+    if (!have(i, 13)) return std::nullopt;
+    const TraceOp& su = at(i + 4);
+    const TraceOp& sd = at(i + 5);
+    const TraceOp& ro = at(i + 6);
+    const TraceOp& cx = at(i + 7);
+    if (!is_slide(su, 64, sn, 4) || su.a != par->B) return std::nullopt;
+    if (!is_slide(sd, 64, sn, 1) || sd.a != par->B) return std::nullopt;
+    if (ro.kind != TraceOpKind::kRotup64 || ro.sn != sn || ro.d != sd.d ||
+        ro.a != sd.d || ro.imm != 1) {
+      return std::nullopt;
+    }
+    if (!is_vv(cx, TraceBinOp::kXor, 64, ne) || cx.a != su.d || cx.b != sd.d) {
+      return std::nullopt;
+    }
+    if (su.d == sd.d) return std::nullopt;
+    for (u32 s : {su.d, sd.d, cx.d}) {
+      if (!disjoint(s, rb_, par->base, span)) return std::nullopt;
+      add_scratch(g, s, rb_);
+    }
+    if (!match_applies(i + 8, 64, ne, par->base, cx.d)) return std::nullopt;
+    g.op.count = 13;
+    return g;
+  }
+
+  std::optional<Group> try_theta32(usize i) {
+    if (!have(i, 26)) return std::nullopt;
+    const TraceOp& o0 = at(i);
+    if (o0.kind != TraceOpKind::kBinVV || o0.sew != 32) return std::nullopt;
+    const u32 ne = o0.n;
+    if (ne % 5 != 0 || ne == 0) return std::nullopt;
+    const u32 sn = ne / 5;
+    if (sn > kMaxSn || ne * 4 != rb_) return std::nullopt;
+    const auto lo = match_parity(i, 32, ne);
+    const auto hi = lo ? match_parity(i + 4, 32, ne) : std::nullopt;
+    if (!lo || !hi) return std::nullopt;
+    const u32 span = 5 * rb_;
+    if (!disjoint(lo->base, span, hi->base, span)) return std::nullopt;
+
+    const TraceOp& sul = at(i + 8);
+    const TraceOp& suh = at(i + 9);
+    const TraceOp& sdl = at(i + 10);
+    const TraceOp& sdh = at(i + 11);
+    if (!is_slide(sul, 32, sn, 4) || sul.a != lo->B) return std::nullopt;
+    if (!is_slide(suh, 32, sn, 4) || suh.a != hi->B) return std::nullopt;
+    if (!is_slide(sdl, 32, sn, 1) || sdl.a != lo->B) return std::nullopt;
+    if (!is_slide(sdh, 32, sn, 1) || sdh.a != hi->B) return std::nullopt;
+    const TraceOp& rl = at(i + 12);
+    const TraceOp& rh = at(i + 13);
+    if (rl.kind != TraceOpKind::kRot32Pair || rl.flag != 0 || rl.sn != sn ||
+        rl.a != sdh.d || rl.b != sdl.d) {
+      return std::nullopt;
+    }
+    if (rh.kind != TraceOpKind::kRot32Pair || rh.flag != 1 || rh.sn != sn ||
+        rh.a != sdh.d || rh.b != sdl.d) {
+      return std::nullopt;
+    }
+    const TraceOp& cl = at(i + 14);
+    const TraceOp& ch = at(i + 15);
+    if (!is_vv(cl, TraceBinOp::kXor, 32, ne) || cl.a != sul.d ||
+        cl.b != rl.d) {
+      return std::nullopt;
+    }
+    if (!is_vv(ch, TraceBinOp::kXor, 32, ne) || ch.a != suh.d ||
+        ch.b != rh.d) {
+      return std::nullopt;
+    }
+    if (!match_applies(i + 16, 32, ne, lo->base, cl.d) ||
+        !match_applies(i + 21, 32, ne, hi->base, ch.d)) {
+      return std::nullopt;
+    }
+
+    Group g;
+    g.op.kind = FusedOpKind::kTheta32;
+    g.op.sn = static_cast<u8>(sn);
+    g.op.sew = 32;
+    g.op.first = static_cast<u32>(i);
+    g.op.count = 26;
+    g.op.dst = lo->base;
+    g.op.dst2 = hi->base;
+    for (u32 s : {lo->B, lo->t1, lo->t2, hi->B, hi->t1, hi->t2, sul.d, suh.d,
+                  sdl.d, sdh.d, rl.d, rh.d, cl.d, ch.d}) {
+      if (!disjoint(s, rb_, lo->base, span) ||
+          !disjoint(s, rb_, hi->base, span)) {
+        return std::nullopt;
+      }
+      add_scratch(g, s, rb_);
+    }
+    return g;
+  }
+
+  std::optional<Group> try_rhopi64(usize i) {
+    if (!have(i, 5)) return std::nullopt;
+    const u32 span = 5 * rb_;
+
+    // Form B: five fused vrhopi row records (no scratch at all).
+    if (at(i).kind == TraceOpKind::kRhoPiRow) {
+      const u32 sn = at(i).sn;
+      const u32 src = at(i).a;
+      const u32 dst = at(i).d;
+      if (sn == 0 || sn > kMaxSn || 5 * sn * 8 != rb_) return std::nullopt;
+      for (u32 r = 0; r < 5; ++r) {
+        const TraceOp& o = at(i + r);
+        if (o.kind != TraceOpKind::kRhoPiRow || o.sew != 64 || o.sn != sn ||
+            o.table_row != r || o.a != src + r * rb_ || o.d != dst) {
+          return std::nullopt;
+        }
+      }
+      if (!disjoint(src, span, dst, span)) return std::nullopt;
+      Group g;
+      g.op.kind = FusedOpKind::kRhoPi64;
+      g.op.sn = static_cast<u8>(sn);
+      g.op.sew = 64;
+      g.op.first = static_cast<u32>(i);
+      g.op.count = 5;
+      g.op.src = src;
+      g.op.dst = dst;
+      return g;
+    }
+
+    // Form A: five in-place ρ rows followed by five π scatter rows. The
+    // rho'd values in the source planes are the scratch here.
+    if (!have(i, 10) || at(i).kind != TraceOpKind::kRho64Row) {
+      return std::nullopt;
+    }
+    const u32 sn = at(i).sn;
+    const u32 src = at(i).a;
+    if (sn == 0 || sn > kMaxSn || 5 * sn * 8 != rb_) return std::nullopt;
+    for (u32 r = 0; r < 5; ++r) {
+      const TraceOp& o = at(i + r);
+      if (o.kind != TraceOpKind::kRho64Row || o.sew != 64 || o.sn != sn ||
+          o.table_row != r || o.a != src + r * rb_ || o.d != o.a) {
+        return std::nullopt;
+      }
+    }
+    const u32 dst = at(i + 5).d;
+    for (u32 r = 0; r < 5; ++r) {
+      const TraceOp& o = at(i + 5 + r);
+      if (o.kind != TraceOpKind::kPiRow || o.sew != 64 || o.sn != sn ||
+          o.table_row != r || o.a != src + r * rb_ || o.d != dst) {
+        return std::nullopt;
+      }
+    }
+    if (!disjoint(src, span, dst, span)) return std::nullopt;
+    Group g;
+    g.op.kind = FusedOpKind::kRhoPi64;
+    g.op.sn = static_cast<u8>(sn);
+    g.op.sew = 64;
+    g.op.first = static_cast<u32>(i);
+    g.op.count = 10;
+    g.op.src = src;
+    g.op.dst = dst;
+    g.scratch.emplace_back(src, span);
+    return g;
+  }
+
+  std::optional<Group> try_rhopi32(usize i) {
+    if (!have(i, 20) || at(i).kind != TraceOpKind::kRho32Row) {
+      return std::nullopt;
+    }
+    const u32 sn = at(i).sn;
+    const u32 hi_src = at(i).a;
+    const u32 lo_src = at(i).b;
+    const u32 dl = at(i).d;
+    const u32 dh = at(i + 5).d;
+    if (sn == 0 || sn > kMaxSn || 5 * sn * 4 != rb_) return std::nullopt;
+    for (u32 r = 0; r < 5; ++r) {
+      const TraceOp& olo = at(i + r);
+      const TraceOp& ohi = at(i + 5 + r);
+      if (olo.kind != TraceOpKind::kRho32Row || olo.flag != 0 ||
+          olo.sn != sn || olo.table_row != r || olo.a != hi_src + r * rb_ ||
+          olo.b != lo_src + r * rb_ || olo.d != dl + r * rb_) {
+        return std::nullopt;
+      }
+      if (ohi.kind != TraceOpKind::kRho32Row || ohi.flag != 1 ||
+          ohi.sn != sn || ohi.table_row != r || ohi.a != hi_src + r * rb_ ||
+          ohi.b != lo_src + r * rb_ || ohi.d != dh + r * rb_) {
+        return std::nullopt;
+      }
+    }
+    const u32 lo_dst = at(i + 10).d;
+    const u32 hi_dst = at(i + 15).d;
+    for (u32 r = 0; r < 5; ++r) {
+      const TraceOp& plo = at(i + 10 + r);
+      const TraceOp& phi = at(i + 15 + r);
+      if (plo.kind != TraceOpKind::kPiRow || plo.sew != 32 || plo.sn != sn ||
+          plo.table_row != r || plo.a != dl + r * rb_ || plo.d != lo_dst) {
+        return std::nullopt;
+      }
+      if (phi.kind != TraceOpKind::kPiRow || phi.sew != 32 || phi.sn != sn ||
+          phi.table_row != r || phi.a != dh + r * rb_ || phi.d != hi_dst) {
+        return std::nullopt;
+      }
+    }
+    const u32 span = 5 * rb_;
+    // The ρ scratch spans must alias nothing the kernel reads or writes;
+    // the π destinations may alias the sources (they are buffered).
+    if (!disjoint(dl, span, dh, span) ||
+        !disjoint(lo_src, span, hi_src, span) ||
+        !disjoint(lo_dst, span, hi_dst, span)) {
+      return std::nullopt;
+    }
+    for (u32 s : {dl, dh}) {
+      if (!disjoint(s, span, lo_src, span) ||
+          !disjoint(s, span, hi_src, span) ||
+          !disjoint(s, span, lo_dst, span) ||
+          !disjoint(s, span, hi_dst, span)) {
+        return std::nullopt;
+      }
+    }
+    Group g;
+    g.op.kind = FusedOpKind::kRhoPi32;
+    g.op.sn = static_cast<u8>(sn);
+    g.op.sew = 32;
+    g.op.first = static_cast<u32>(i);
+    g.op.count = 20;
+    g.op.src = lo_src;
+    g.op.src2 = hi_src;
+    g.op.dst = lo_dst;
+    g.op.dst2 = hi_dst;
+    g.scratch.emplace_back(dl, span);
+    g.scratch.emplace_back(dh, span);
+    return g;
+  }
+
+  /// Merge a directly following ι record into a χ group: it must target
+  /// exactly output row 0 in place (d == a == out, one row of elements).
+  void merge_iota(Group& g, u8 sew, u32 sn, u32 out) {
+    const usize j = g.op.first + g.op.count;
+    if (!have(j, 1)) return;
+    const TraceOp& o = at(j);
+    if (o.kind != TraceOpKind::kIota || o.sew != sew || o.d != out ||
+        o.a != out || o.n != 5 * sn) {
+      return;
+    }
+    g.op.count += 1;
+    g.op.flags |= kFusedHasIota;
+    g.op.iota_rc = t_.wide_imm(o);
+  }
+
+  std::optional<Group> try_chi(usize i) {
+    if (!have(i, 5)) return std::nullopt;
+    const u32 span = 5 * rb_;
+
+    // Form C: five fused vchi row records.
+    if (at(i).kind == TraceOpKind::kChiRow) {
+      const u8 sew = at(i).sew;
+      const u32 sn = at(i).sn;
+      const u32 src = at(i).a;
+      const u32 dst = at(i).d;
+      if (sn == 0 || sn > kMaxSn || 5 * sn * (sew / 8u) != rb_) {
+        return std::nullopt;
+      }
+      for (u32 r = 0; r < 5; ++r) {
+        const TraceOp& o = at(i + r);
+        if (o.kind != TraceOpKind::kChiRow || o.sew != sew || o.sn != sn ||
+            o.a != src + r * rb_ || o.d != dst + r * rb_) {
+          return std::nullopt;
+        }
+      }
+      if (dst != src && !disjoint(src, span, dst, span)) return std::nullopt;
+      Group g;
+      g.op.kind = FusedOpKind::kChi;
+      g.op.sn = static_cast<u8>(sn);
+      g.op.sew = sew;
+      g.op.first = static_cast<u32>(i);
+      g.op.count = 5;
+      g.op.src = src;
+      g.op.dst = dst;
+      merge_iota(g, sew, sn, dst);
+      return g;
+    }
+
+    if (at(i).kind != TraceOpKind::kSlideMod5) return std::nullopt;
+    const u8 sew = at(i).sew;
+    const u32 sn = at(i).sn;
+    const u32 esz = sew / 8u;
+    if (sn == 0 || sn > kMaxSn || 5 * sn * esz != rb_) return std::nullopt;
+    const u32 ne = 5 * sn;
+    const u64 ones = sew == 64 ? ~u64{0} : u64{0xFFFFFFFF};
+    const u32 f = at(i).a;
+    const u32 u = at(i).d;
+
+    // Form A (grouped): slides and ALU ops each cover the whole 5-row span.
+    const auto grouped = [&]() -> std::optional<Group> {
+      if (!have(i, 13)) return std::nullopt;
+      for (u32 r = 0; r < 5; ++r) {
+        const TraceOp& o = at(i + r);
+        if (!is_slide(o, sew, sn, 1) || o.a != f + r * rb_ ||
+            o.d != u + r * rb_) {
+          return std::nullopt;
+        }
+      }
+      const TraceOp& ng = at(i + 5);
+      if (ng.kind != TraceOpKind::kBinVS || ng.bin != TraceBinOp::kXor ||
+          ng.sew != sew || ng.n != 5 * ne || ng.d != u || ng.a != u ||
+          t_.wide_imm(ng) != ones) {
+        return std::nullopt;
+      }
+      const u32 w = at(i + 6).d;
+      for (u32 r = 0; r < 5; ++r) {
+        const TraceOp& o = at(i + 6 + r);
+        if (!is_slide(o, sew, sn, 2) || o.a != f + r * rb_ ||
+            o.d != w + r * rb_) {
+          return std::nullopt;
+        }
+      }
+      const TraceOp& an = at(i + 11);
+      if (!is_vv(an, TraceBinOp::kAnd, sew, 5 * ne) || an.d != u ||
+          an.a != u || an.b != w) {
+        return std::nullopt;
+      }
+      const TraceOp& ox = at(i + 12);
+      if (!is_vv(ox, TraceBinOp::kXor, sew, 5 * ne) || ox.a != f ||
+          ox.b != u) {
+        return std::nullopt;
+      }
+      const u32 out = ox.d;
+      if (!disjoint(u, span, f, span) || !disjoint(w, span, f, span) ||
+          !disjoint(u, span, w, span) || !disjoint(u, span, out, span) ||
+          !disjoint(w, span, out, span)) {
+        return std::nullopt;
+      }
+      if (out != f && !disjoint(out, span, f, span)) return std::nullopt;
+      Group g;
+      g.op.kind = FusedOpKind::kChi;
+      g.op.sn = static_cast<u8>(sn);
+      g.op.sew = sew;
+      g.op.first = static_cast<u32>(i);
+      g.op.count = 13;
+      g.op.src = f;
+      g.op.dst = out;
+      g.scratch.emplace_back(u, span);
+      g.scratch.emplace_back(w, span);
+      merge_iota(g, sew, sn, out);
+      return g;
+    };
+
+    // Form B (row-wise): the same dataflow emitted as five per-plane record
+    // columns (the LMUL=1 program).
+    const auto rowwise = [&]() -> std::optional<Group> {
+      if (!have(i, 25)) return std::nullopt;
+      for (u32 k = 0; k < 5; ++k) {
+        const TraceOp& o = at(i + k);
+        if (!is_slide(o, sew, sn, 1) || o.a != f + k * rb_ ||
+            o.d != u + k * rb_) {
+          return std::nullopt;
+        }
+      }
+      for (u32 k = 0; k < 5; ++k) {
+        const TraceOp& o = at(i + 5 + k);
+        if (o.kind != TraceOpKind::kBinVS || o.bin != TraceBinOp::kXor ||
+            o.sew != sew || o.n != ne || o.d != u + k * rb_ || o.a != o.d ||
+            t_.wide_imm(o) != ones) {
+          return std::nullopt;
+        }
+      }
+      const u32 w = at(i + 10).d;
+      for (u32 k = 0; k < 5; ++k) {
+        const TraceOp& o = at(i + 10 + k);
+        if (!is_slide(o, sew, sn, 2) || o.a != f + k * rb_ ||
+            o.d != w + k * rb_) {
+          return std::nullopt;
+        }
+      }
+      for (u32 k = 0; k < 5; ++k) {
+        const TraceOp& o = at(i + 15 + k);
+        if (!is_vv(o, TraceBinOp::kAnd, sew, ne) || o.d != u + k * rb_ ||
+            o.a != o.d || o.b != w + k * rb_) {
+          return std::nullopt;
+        }
+      }
+      const u32 out = at(i + 20).d;
+      for (u32 k = 0; k < 5; ++k) {
+        const TraceOp& o = at(i + 20 + k);
+        if (!is_vv(o, TraceBinOp::kXor, sew, ne) || o.d != out + k * rb_ ||
+            o.a != f + k * rb_ || o.b != u + k * rb_) {
+          return std::nullopt;
+        }
+      }
+      if (!disjoint(u, span, f, span) || !disjoint(w, span, f, span) ||
+          !disjoint(u, span, w, span) || !disjoint(u, span, out, span) ||
+          !disjoint(w, span, out, span)) {
+        return std::nullopt;
+      }
+      if (out != f && !disjoint(out, span, f, span)) return std::nullopt;
+      Group g;
+      g.op.kind = FusedOpKind::kChi;
+      g.op.sn = static_cast<u8>(sn);
+      g.op.sew = sew;
+      g.op.first = static_cast<u32>(i);
+      g.op.count = 25;
+      g.op.src = f;
+      g.op.dst = out;
+      g.scratch.emplace_back(u, span);
+      g.scratch.emplace_back(w, span);
+      merge_iota(g, sew, sn, out);
+      return g;
+    };
+
+    if (auto g = grouped()) return g;
+    return rowwise();
+  }
+
+  const CompiledTrace& t_;
+  const std::vector<TraceOp>& ops_;
+  u32 rb_;
+};
+
+// ---------------------------------------------------------------------------
+// Liveness. One backward pass over the RECORDED reads/writes (replay
+// semantics) with a byte-granular map; every byte is live at end-of-trace
+// because callers compare the final register file. Replay liveness is sound
+// for the demotion decision: fused groups read a subset of (and demoted
+// groups write exactly) what their records do.
+// ---------------------------------------------------------------------------
+
+class LiveMap {
+ public:
+  explicit LiveMap(usize bytes) : live_(bytes, u8{1}) {}
+
+  void set(u32 off, u32 len) noexcept {
+    for (u32 b = off; b < off + len && b < live_.size(); ++b) live_[b] = 1;
+  }
+  void clear(u32 off, u32 len) noexcept {
+    for (u32 b = off; b < off + len && b < live_.size(); ++b) live_[b] = 0;
+  }
+  void set_all() noexcept { std::memset(live_.data(), 1, live_.size()); }
+  [[nodiscard]] bool any(u32 off, u32 len) const noexcept {
+    for (u32 b = off; b < off + len && b < live_.size(); ++b) {
+      if (live_[b]) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<u8> live_;
+};
+
+/// Backward transfer: live = (live − writes) ∪ reads.
+void transfer(const TraceOp& op, LiveMap& lv, u32 rb) {
+  const u32 esz = op.sew / 8u;
+  const u32 row = 5u * op.sn * esz;
+  switch (op.kind) {
+    case TraceOpKind::kBinVV:
+      lv.clear(op.d, op.n * esz);
+      lv.set(op.a, op.n * esz);
+      lv.set(op.b, op.n * esz);
+      break;
+    case TraceOpKind::kBinVS:
+      lv.clear(op.d, op.n * esz);
+      lv.set(op.a, op.n * esz);
+      break;
+    case TraceOpKind::kSplat:
+      lv.clear(op.d, op.n * esz);
+      break;
+    case TraceOpKind::kCopyReg:
+      lv.clear(op.d, op.n);
+      lv.set(op.a, op.n);
+      break;
+    case TraceOpKind::kLoadUnit:
+      lv.clear(op.d, op.n);
+      break;
+    case TraceOpKind::kStoreUnit:
+      lv.set(op.d, op.n);
+      break;
+    case TraceOpKind::kLoadGather:
+      // Element targets aren't enumerated here; not killing is conservative.
+      break;
+    case TraceOpKind::kStoreScatter:
+      lv.set_all();  // reads scattered regfile bytes — keep everything live
+      break;
+    case TraceOpKind::kScalarStore:
+      break;
+    case TraceOpKind::kSlideMod5:
+    case TraceOpKind::kRotup64:
+    case TraceOpKind::kRho64Row:
+    case TraceOpKind::kThetaCRow:
+    case TraceOpKind::kChiRow:
+      lv.clear(op.d, row);
+      lv.set(op.a, row);
+      break;
+    case TraceOpKind::kRho32Row:
+    case TraceOpKind::kRot32Pair:
+      lv.clear(op.d, row);
+      lv.set(op.a, row);
+      lv.set(op.b, row);
+      break;
+    case TraceOpKind::kIota:
+      lv.clear(op.d, op.n * esz);
+      lv.set(op.a, op.n * esz);
+      break;
+    case TraceOpKind::kPiRow:
+    case TraceOpKind::kRhoPiRow:
+      for (u32 i = 0; i < op.sn; ++i) {
+        for (u32 xp = 0; xp < 5; ++xp) {
+          const u32 y = (2 * (xp + 5 - op.table_row)) % 5;
+          lv.clear(op.d + y * rb + (5 * i + op.table_row) * esz, esz);
+        }
+      }
+      lv.set(op.a, row);
+      break;
+    case TraceOpKind::kGeneric:
+      lv.set_all();  // conservative: reads everything, kills nothing
+      break;
+  }
+}
+
+void demote_live_scratch(const CompiledTrace& t, std::vector<Group>& groups) {
+  const auto& ops = t.ops();
+  const u32 rb = static_cast<u32>(t.reg_bytes());
+  std::vector<i32> group_at(ops.size(), -1);
+  for (usize gi = 0; gi < groups.size(); ++gi) {
+    group_at[groups[gi].op.first + groups[gi].op.count - 1] =
+        static_cast<i32>(gi);
+  }
+  LiveMap lv(32 * static_cast<usize>(rb));
+  for (usize i = ops.size(); i-- > 0;) {
+    if (const i32 gi = group_at[i]; gi >= 0) {
+      // The map right before applying record i's transfer is the group's
+      // live-out set: i is the group's last record.
+      for (const auto& [off, len] : groups[static_cast<usize>(gi)].scratch) {
+        if (lv.any(off, len)) {
+          groups[static_cast<usize>(gi)].demoted = true;
+          break;
+        }
+      }
+    }
+    transfer(ops[i], lv, rb);
+  }
+}
+
+}  // namespace
+
+void FusedTrace::execute(VectorUnit& vu, Memory& mem,
+                         const CycleModel& cm) const {
+  KVX_CHECK_MSG(vu.reg_bytes() == base_->reg_bytes(),
+                "trace compiled for a different vector configuration");
+  u8* file = vu.file_data();
+  const u32 rb = static_cast<u32>(base_->reg_bytes());
+  const unsigned entry_sn = vu.config().effective_sn();
+  const auto& ops = base_->ops();
+  for (const FusedOp& f : fused_) {
+    switch (f.kind) {
+      case FusedOpKind::kReplayRange:
+        for (u32 i = f.first; i < f.first + f.count; ++i) {
+          base_->execute_op(ops[i], vu, mem, cm, file);
+        }
+        break;
+      case FusedOpKind::kTheta64: run_theta64(file, f, rb); break;
+      case FusedOpKind::kTheta32: run_theta32(file, f, rb); break;
+      case FusedOpKind::kRhoPi64: run_rhopi64(file, f, rb); break;
+      case FusedOpKind::kRhoPi32: run_rhopi32(file, f, rb); break;
+      case FusedOpKind::kChi: run_chi(file, f, rb); break;
+    }
+  }
+  if (vu.config().effective_sn() != entry_sn) vu.set_sn(entry_sn);
+}
+
+std::shared_ptr<const FusedTrace> fuse_trace(
+    std::shared_ptr<const CompiledTrace> base) {
+  auto fused = std::make_shared<FusedTrace>();
+  fused->base_ = std::move(base);
+  const CompiledTrace& t = *fused->base_;
+
+  std::vector<Group> groups = Matcher(t).run();
+  demote_live_scratch(t, groups);
+
+  const u32 nops = static_cast<u32>(t.op_count());
+  u32 pos = 0;
+  const auto add_replay = [&fused](u32 from, u32 to) {
+    if (to > from) {
+      FusedOp r;
+      r.kind = FusedOpKind::kReplayRange;
+      r.first = from;
+      r.count = to - from;
+      fused->fused_.push_back(r);
+    }
+  };
+  for (const Group& g : groups) {
+    if (g.demoted) continue;  // its records join the surrounding replay run
+    add_replay(pos, g.op.first);
+    fused->fused_.push_back(g.op);
+    fused->fused_records_ += g.op.count;
+    ++fused->super_kernels_;
+    pos = g.op.first + g.op.count;
+  }
+  add_replay(pos, nops);
+  return fused;
+}
+
+bool fusion_host_simd() noexcept { return KVX_FUSION_SIMD != 0; }
+
+}  // namespace kvx::sim

@@ -1,0 +1,303 @@
+// Differential tests of the fused-trace execution backend: super-kernel
+// replays must be bit-identical to the interpreter and the plain compiled
+// trace — digests, full vector register file, data memory and cycle counts
+// — across all paper configurations; unrecognizable programs must fall
+// back to per-record replay; and the trace cache must key compilations by
+// backend so a "trace" shard never observes a fused artifact.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/core/parallel_sha3.hpp"
+#include "kvx/core/vector_keccak.hpp"
+#include "kvx/engine/batch_engine.hpp"
+#include "kvx/keccak/permutation.hpp"
+#include "kvx/keccak/sha3.hpp"
+#include "kvx/sim/compiled_trace.hpp"
+#include "kvx/sim/trace_fusion.hpp"
+
+namespace kvx::core {
+namespace {
+
+using keccak::State;
+using sim::ExecBackend;
+
+std::vector<State> random_states(usize n, u64 seed) {
+  SplitMix64 rng(seed);
+  std::vector<State> states(n);
+  for (State& s : states) {
+    for (u64& lane : s.flat()) lane = rng.next();
+  }
+  return states;
+}
+
+std::vector<std::vector<u8>> random_messages(usize n, u64 seed) {
+  SplitMix64 rng(seed);
+  std::vector<std::vector<u8>> msgs(n);
+  for (auto& m : msgs) {
+    m.resize(rng.next() % 500);  // mixes short, rate-boundary and multi-block
+    for (u8& b : m) b = static_cast<u8>(rng.next());
+  }
+  return msgs;
+}
+
+sim::ProcessorConfig proc_config(const VectorKeccakConfig& c) {
+  sim::ProcessorConfig pc;
+  pc.vector.elen_bits = arch_elen(c.arch);
+  pc.vector.ele_num = c.ele_num;
+  pc.vector.sn = c.sn();
+  return pc;
+}
+
+/// The paper configurations plus the fused-ISE variant and the widest SN,
+/// so every matcher form (standard θ, vthetac, ρπ rows, fused vrhopi/vchi,
+/// 32-bit split halves, row-wise LMUL=1 χ) is exercised.
+class FusionDifferential
+    : public ::testing::TestWithParam<std::tuple<Arch, unsigned>> {
+ protected:
+  Arch arch() const { return std::get<0>(GetParam()); }
+  unsigned sn() const { return std::get<1>(GetParam()); }
+  VectorKeccakConfig config(ExecBackend backend) const {
+    VectorKeccakConfig c{arch(), 5 * sn(), 24};
+    c.backend = backend;
+    return c;
+  }
+};
+
+TEST_P(FusionDifferential, PermuteMatchesInterpreterBitExactly) {
+  VectorKeccak interp(config(ExecBackend::kInterpreter));
+  VectorKeccak fused(config(ExecBackend::kFusedTrace));
+  ASSERT_EQ(fused.active_backend(), ExecBackend::kFusedTrace)
+      << "fused compilation unexpectedly fell back";
+  // The Keccak programs must actually fuse — the permutation loop is
+  // nothing but θ/ρπ/χι patterns, so well over half the records should be
+  // covered by super-kernels even with final-round liveness demotions.
+  EXPECT_GT(fused.fusion_coverage(), 0.5) << arch_name(arch());
+
+  for (const u64 seed : {7u, 77u, 7777u}) {
+    auto a = random_states(sn(), seed);
+    auto b = a;
+    auto golden = a;
+    interp.permute(a);
+    fused.permute(b);
+    for (State& s : golden) keccak::permute(s);
+    for (usize i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], golden[i]) << "interpreter diverged from golden model";
+      EXPECT_EQ(b[i], a[i]) << arch_name(arch()) << " state " << i;
+    }
+    // Timing passes through from the recorded interpreter run untouched.
+    EXPECT_EQ(fused.last_timing().total_cycles,
+              interp.last_timing().total_cycles);
+    EXPECT_EQ(fused.last_timing().permutation_cycles,
+              interp.last_timing().permutation_cycles);
+    EXPECT_EQ(fused.last_timing().instructions,
+              interp.last_timing().instructions);
+  }
+}
+
+TEST_P(FusionDifferential, RandomizedRegisterFileSeedReplay) {
+  // Seed two processors with the same random register file and state data,
+  // run one through the interpreter and one through the fused trace, and
+  // compare every vector register and all of data memory. This is the
+  // strongest check on the liveness pass: an elided scratch write that was
+  // actually live-out would surface as a register mismatch here.
+  const VectorKeccakConfig cfg = config(ExecBackend::kInterpreter);
+  const auto program = VectorKeccak::build_program(cfg);
+
+  sim::TraceCompileOptions opts;
+  opts.verify_base = program->image.symbol("state");
+  opts.verify_len = usize{5} * cfg.ele_num * 8;
+  const auto fused = sim::fuse_trace(
+      sim::compile_trace(program->image, proc_config(cfg), opts));
+  ASSERT_GT(fused->super_kernel_count(), 0u);
+
+  sim::SimdProcessor pi(proc_config(cfg));
+  sim::SimdProcessor pf(proc_config(cfg));
+  pi.load_program(program->image);
+  pf.load_program(program->image);
+
+  SplitMix64 rng(0xFADE + sn());
+  const usize reg_bytes = pi.vector().reg_bytes();
+  std::vector<u8> row(reg_bytes);
+  for (unsigned r = 0; r < 32; ++r) {
+    for (u8& byte : row) byte = static_cast<u8>(rng.next());
+    pi.vector().set_register(r, row);
+    pf.vector().set_register(r, row);
+  }
+  std::vector<u8> state_data(opts.verify_len);
+  for (u8& byte : state_data) byte = static_cast<u8>(rng.next());
+  pi.dmem().write_block(opts.verify_base, state_data);
+  pf.dmem().write_block(opts.verify_base, state_data);
+
+  pi.run();
+  fused->execute(pf.vector(), pf.dmem(), pf.config().cycle_model);
+
+  for (unsigned r = 0; r < 32; ++r) {
+    EXPECT_EQ(pf.vector().get_register(r), pi.vector().get_register(r))
+        << "v" << r;
+  }
+  std::vector<u8> mi(pi.dmem().size());
+  std::vector<u8> mf(pf.dmem().size());
+  pi.dmem().read_block(0, mi);
+  pf.dmem().read_block(0, mf);
+  EXPECT_EQ(mf, mi);
+  EXPECT_EQ(fused->total_cycles(), pi.cycles());
+  EXPECT_EQ(fused->instructions(), pi.stats().instructions);
+}
+
+TEST_P(FusionDifferential, Sha3DigestsMatchAcrossAllThreeBackends) {
+  ParallelSha3 interp(config(ExecBackend::kInterpreter));
+  ParallelSha3 traced(config(ExecBackend::kCompiledTrace));
+  ParallelSha3 fused(config(ExecBackend::kFusedTrace));
+  const auto msgs = random_messages(4 * sn() + 1, 0xFACE + sn());
+
+  const auto di = interp.hash_batch(keccak::Sha3Function::kSha3_256, msgs);
+  const auto dt = traced.hash_batch(keccak::Sha3Function::kSha3_256, msgs);
+  const auto df = fused.hash_batch(keccak::Sha3Function::kSha3_256, msgs);
+  ASSERT_EQ(di.size(), msgs.size());
+  for (usize i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(di[i],
+              keccak::hash(keccak::Sha3Function::kSha3_256, msgs[i], 32));
+    EXPECT_EQ(dt[i], di[i]) << "trace, message " << i;
+    EXPECT_EQ(df[i], di[i]) << "fused, message " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, FusionDifferential,
+    ::testing::Values(std::make_tuple(Arch::k64Lmul1, 1u),
+                      std::make_tuple(Arch::k64Lmul8, 3u),
+                      std::make_tuple(Arch::k32Lmul8, 3u),
+                      std::make_tuple(Arch::k64Fused, 3u),
+                      std::make_tuple(Arch::k64Lmul8, 6u)));
+
+TEST(TraceFusion, PermutationCyclesMatchPinnedPaperValues) {
+  // Cycle pass-through: the fused backend must report the same pinned
+  // paper-model cycle counts as the interpreter and the plain trace.
+  const auto perm_cycles = [](Arch arch) {
+    VectorKeccakConfig c{arch, 5, 24};
+    c.backend = ExecBackend::kFusedTrace;
+    VectorKeccak vk(c);
+    EXPECT_EQ(vk.active_backend(), ExecBackend::kFusedTrace);
+    std::vector<State> states(1);
+    vk.permute(states);
+    return vk.last_timing().permutation_cycles;
+  };
+  EXPECT_EQ(perm_cycles(Arch::k64Lmul1), 2566u);
+  EXPECT_EQ(perm_cycles(Arch::k64Lmul8), 1894u);
+  EXPECT_EQ(perm_cycles(Arch::k32Lmul8), 3646u);
+}
+
+TEST(TraceFusion, NonFusibleProgramFallsBackToPerRecordReplay) {
+  // A hand-built program with none of the Keccak step patterns: the fusion
+  // pass must produce zero super-kernels (one big replay range) and the
+  // replay must still be bit-identical to the interpreter.
+  const auto program = assembler::assemble(R"(
+    la a0, data
+    vsetvli x0, x0, e64, m1, tu, mu
+    vle64.v v1, (a0)
+    vxor.vv v2, v1, v1
+    vadd.vv v3, v1, v1
+    vand.vv v4, v3, v1
+    vse64.v v4, (a0)
+    ebreak
+.data
+data:
+    .dword 1, 2, 3, 4, 5
+  )");
+  sim::ProcessorConfig cfg;
+  cfg.vector.elen_bits = 64;
+  cfg.vector.ele_num = 5;
+  const auto base = sim::compile_trace(program, cfg, {});
+  const auto fused = sim::fuse_trace(base);
+  EXPECT_EQ(fused->super_kernel_count(), 0u);
+  EXPECT_EQ(fused->fused_record_count(), 0u);
+  EXPECT_EQ(fused->coverage(), 0.0);
+  ASSERT_EQ(fused->fused_ops().size(), 1u);
+  EXPECT_EQ(fused->fused_ops()[0].kind, sim::FusedOpKind::kReplayRange);
+  EXPECT_EQ(fused->fused_ops()[0].count, base->op_count());
+
+  sim::SimdProcessor pi(cfg);
+  sim::SimdProcessor pf(cfg);
+  pi.load_program(program);
+  pf.load_program(program);
+  pi.run();
+  fused->execute(pf.vector(), pf.dmem(), pf.config().cycle_model);
+  for (unsigned r = 0; r < 32; ++r) {
+    EXPECT_EQ(pf.vector().get_register(r), pi.vector().get_register(r))
+        << "v" << r;
+  }
+  std::vector<u8> mi(pi.dmem().size());
+  std::vector<u8> mf(pf.dmem().size());
+  pi.dmem().read_block(0, mi);
+  pf.dmem().read_block(0, mf);
+  EXPECT_EQ(mf, mi);
+}
+
+TEST(TraceFusion, CacheKeysFusedAndPlainCompilationsSeparately) {
+  // One shared program, one shard asking for the plain trace and one for
+  // the fused trace: the base recording is compiled once and shared, the
+  // fused artifact is a separate cache entry, and each shard reports its
+  // own backend. A "trace" shard must never observe a fused compilation
+  // and vice versa.
+  sim::TraceCache::global().clear();
+  VectorKeccakConfig ct{Arch::k64Lmul8, 15, 24};
+  ct.backend = ExecBackend::kCompiledTrace;
+  VectorKeccakConfig cf = ct;
+  cf.backend = ExecBackend::kFusedTrace;
+  const auto program = VectorKeccak::build_program(ct);
+
+  VectorKeccak traced(ct, program);
+  VectorKeccak fused(cf, program);
+  EXPECT_EQ(traced.active_backend(), ExecBackend::kCompiledTrace);
+  EXPECT_EQ(fused.active_backend(), ExecBackend::kFusedTrace);
+  EXPECT_EQ(traced.fusion_coverage(), 0.0);
+  EXPECT_GT(fused.fusion_coverage(), 0.5);
+
+  sim::TraceCacheStats st = sim::TraceCache::global().stats();
+  EXPECT_EQ(st.compiles, 1u);  // base recording shared across backends
+  EXPECT_EQ(st.fusions, 1u);   // fused artifact built exactly once
+  EXPECT_EQ(st.hits, 1u);      // the fused request hit the shared base
+  EXPECT_GT(st.fuse_ns, 0u);
+
+  // Same requests again: both served from their own cache entries.
+  VectorKeccak traced2(ct, program);
+  VectorKeccak fused2(cf, program);
+  st = sim::TraceCache::global().stats();
+  EXPECT_EQ(st.compiles, 1u);
+  EXPECT_EQ(st.fusions, 1u);
+  EXPECT_EQ(st.hits, 3u);
+
+  // Digests agree, of course.
+  auto a = random_states(3, 0xBEEF);
+  auto b = a;
+  traced.permute(a);
+  fused.permute(b);
+  for (usize i = 0; i < a.size(); ++i) EXPECT_EQ(b[i], a[i]);
+}
+
+TEST(TraceFusion, EngineStatsReportFusedBackendAndLatency) {
+  const auto msgs = random_messages(12, 0x1234);
+  std::vector<engine::HashJob> jobs(msgs.size());
+  for (usize i = 0; i < msgs.size(); ++i) {
+    jobs[i] = {engine::Algo::kSha3_256, msgs[i]};
+  }
+  engine::EngineConfig cfg;
+  cfg.threads = 2;
+  cfg.accel = {Arch::k64Lmul8, 15, 24};
+  cfg.accel.backend = ExecBackend::kFusedTrace;
+  engine::BatchHashEngine eng(cfg);
+  eng.submit_all(jobs);
+  (void)eng.drain();
+  const engine::EngineStats st = eng.stats();
+  EXPECT_EQ(st.backend, "fused");
+  EXPECT_GT(st.fusion_coverage, 0.5);
+  EXPECT_EQ(st.latency.count, jobs.size());
+  EXPECT_GT(st.latency.p50_ns, 0u);
+  EXPECT_GE(st.latency.p99_ns, st.latency.p50_ns);
+}
+
+}  // namespace
+}  // namespace kvx::core

@@ -6,7 +6,7 @@
 //     -t, --threads N    worker shards                   (default 2)
 //     -s, --sn N         Keccak states per shard: 1|3|6  (default 3)
 //     --arch NAME        64lmul1|64lmul8|32lmul8|64fused (default 64lmul8)
-//     --backend NAME     trace|interpreter               (default trace)
+//     --backend NAME     fused|trace|interpreter         (default fused)
 //     -L, --out-len N    output bytes (required for shake/kmac)
 //     --key HEX          KMAC key
 //     --custom STR       KMAC customization string
@@ -14,7 +14,8 @@
 //                        bytes (default 256) instead of reading files
 //     --verify           cross-check every digest against the host model
 //     --stats            print per-shard engine statistics, the backend that
-//                        actually ran, trace-compile time and cache hits
+//                        actually ran, compile time, fusion coverage, cache
+//                        hits and p50/p99 job latency
 //
 // Files are hashed in submission order; "-" reads stdin. Output format
 // matches sha3sum: "<hex digest>  <name>".
@@ -69,7 +70,7 @@ std::vector<u8> read_all(std::istream& in) {
 int usage() {
   std::fprintf(stderr,
                "usage: kvx-batch [-a algo] [-t threads] [-s sn] [--arch name]\n"
-               "                 [--backend trace|interpreter] [-L out-len]\n"
+               "                 [--backend fused|trace|interpreter] [-L out-len]\n"
                "                 [--key hex] [--custom str] [--random N[:LEN]]\n"
                "                 [--verify] [--stats] [file ...]\n");
   return 2;
@@ -83,9 +84,9 @@ int main(int argc, char** argv) {
   cfg.threads = 2;
   unsigned sn = 3;
   core::Arch arch = core::Arch::k64Lmul8;
-  // The compiled-trace backend is the CLI default: digests and reported
-  // cycles are bit-identical to the interpreter, and it auto-falls back.
-  sim::ExecBackend backend = sim::ExecBackend::kCompiledTrace;
+  // The fused-trace backend is the CLI default: digests and reported cycles
+  // are bit-identical to the interpreter, and it auto-falls back.
+  sim::ExecBackend backend = sim::ExecBackend::kFusedTrace;
   usize out_len = 0;
   std::vector<u8> key;
   std::vector<u8> customization;
@@ -224,13 +225,23 @@ int main(int argc, char** argv) {
                    st.queue_high_water);
       const sim::TraceCacheStats tc = sim::TraceCache::global().stats();
       std::fprintf(stderr,
-                   "backend: %s | trace compiles %llu (%.2f ms) | cache hits "
-                   "%llu | rejected %llu\n",
+                   "backend: %s | compile %.2f ms | trace compiles %llu "
+                   "(%.2f ms) | fusions %llu (%.2f ms) | cache hits %llu | "
+                   "rejected %llu | fusion coverage %.1f%%\n",
                    st.backend.c_str(),
+                   static_cast<double>(st.backend_compile_ns) / 1e6,
                    static_cast<unsigned long long>(tc.compiles),
                    static_cast<double>(tc.compile_ns) / 1e6,
+                   static_cast<unsigned long long>(tc.fusions),
+                   static_cast<double>(tc.fuse_ns) / 1e6,
                    static_cast<unsigned long long>(tc.hits),
-                   static_cast<unsigned long long>(tc.failures));
+                   static_cast<unsigned long long>(tc.failures),
+                   100.0 * st.fusion_coverage);
+      std::fprintf(stderr,
+                   "latency: %llu jobs | p50 %.3f ms | p99 %.3f ms\n",
+                   static_cast<unsigned long long>(st.latency.count),
+                   static_cast<double>(st.latency.p50_ns) / 1e6,
+                   static_cast<double>(st.latency.p99_ns) / 1e6);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "kvx-batch: %s\n", e.what());

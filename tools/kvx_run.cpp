@@ -2,11 +2,14 @@
 // simulated SIMD processor and report cycles, markers and final registers.
 //
 //   kvx-run program.img|program.s [--elen 32|64] [--elenum N] [--trace]
-//           [--max-cycles N] [--backend interpreter|trace]
+//           [--max-cycles N] [--backend interpreter|trace|fused]
 //
 // With --backend trace the program is compiled into a pre-decoded kernel
 // trace and replayed; the reported cycles, markers and final registers come
 // from the recording run and are bit-identical to the interpreter's.
+// --backend fused additionally pattern-matches the trace into Keccak-step
+// super-kernels (see trace_fusion.hpp) — same architectural results and
+// cycles, less host work.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +23,7 @@
 #include "kvx/isa/disasm.hpp"
 #include "kvx/sim/compiled_trace.hpp"
 #include "kvx/sim/processor.hpp"
+#include "kvx/sim/trace_fusion.hpp"
 
 namespace {
 
@@ -27,7 +31,7 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s program.img|program.s [--elen 32|64] [--elenum N]\n"
                "       [--trace] [--profile] [--max-cycles N]\n"
-               "       [--backend interpreter|trace]\n",
+               "       [--backend interpreter|trace|fused]\n",
                prog);
   return 2;
 }
@@ -93,7 +97,8 @@ int main(int argc, char** argv) {
     proc.load_program(program);
 
     std::shared_ptr<const kvx::sim::CompiledTrace> compiled;
-    if (backend == kvx::sim::ExecBackend::kCompiledTrace) {
+    std::shared_ptr<const kvx::sim::FusedTrace> fused;
+    if (backend != kvx::sim::ExecBackend::kInterpreter) {
       if (trace) {
         std::fprintf(stderr,
                      "kvx-run: --trace needs per-instruction execution; "
@@ -117,8 +122,14 @@ int main(int argc, char** argv) {
         }
         try {
           compiled = kvx::sim::compile_trace(program, cfg, opts);
-          compiled->execute(proc.vector(), proc.dmem(),
-                            proc.config().cycle_model);
+          if (backend == kvx::sim::ExecBackend::kFusedTrace) {
+            fused = kvx::sim::fuse_trace(compiled);
+            fused->execute(proc.vector(), proc.dmem(),
+                           proc.config().cycle_model);
+          } else {
+            compiled->execute(proc.vector(), proc.dmem(),
+                              proc.config().cycle_model);
+          }
         } catch (const kvx::SimError& e) {
           std::fprintf(stderr,
                        "kvx-run: trace compilation rejected (%s); "
@@ -140,7 +151,14 @@ int main(int argc, char** argv) {
         compiled != nullptr ? compiled->run_stats() : proc.stats();
     const auto& markers =
         compiled != nullptr ? compiled->markers() : proc.markers();
-    if (compiled != nullptr) {
+    if (fused != nullptr) {
+      std::printf(
+          "backend: fused (%zu super-kernels covering %zu of %zu records, "
+          "%.1f%%, host SIMD %s)\n",
+          fused->super_kernel_count(), fused->fused_record_count(),
+          compiled->op_count(), 100.0 * fused->coverage(),
+          kvx::sim::fusion_host_simd() ? "on" : "off");
+    } else if (compiled != nullptr) {
       std::printf("backend: trace (%zu kernels, %zu generic)\n",
                   compiled->op_count(), compiled->generic_op_count());
     }
