@@ -1,26 +1,50 @@
-// Per-step-mapping cycle breakdown of one Keccak round for every
+// Per-step-mapping cycle breakdown of the Keccak permutation for every
 // architecture variant (the paper's Algorithm 2/3 "# N cc" annotations,
-// measured via the free step markers in the single-round programs).
+// measured via the free step markers).
+//
+// Two views of the same markers:
+//   1. Single-round programs keep the fine-grained 5-step split (θ, ρ, π,
+//      χ, ι) read directly with cycles_between — ρ includes its vsetvli,
+//      ι its switch back to LMUL=1 — matching the paper's annotations.
+//   2. Full 24-round loop programs go through the production attribution
+//      API (core::attribute_step_cycles over the marker stream, the same
+//      code path the engine's --stats table uses); per-round numbers are
+//      the 24-round totals / 24, so loop-control overhead shows up as the
+//      gap between this view and the single-round one.
 //
 // Expected from the paper: 64-bit LMUL=1 round = θ 26 + ρ 10 + π 15 +
-// χ 50 + ι 2 = 103 cc; LMUL=8 = θ 26 + ρ 8 + π 7 + χ 30 + ι 4 = 75 cc
-// (ρ includes its vsetvli; ι its switch back to LMUL=1).
+// χ 50 + ι 2 = 103 cc; LMUL=8 = θ 26 + ρ 8 + π 7 + χ 30 + ι 4 = 75 cc.
+// Emits BENCH_steps.json with the attributed 24-round totals per arch.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "kvx/core/program_builder.hpp"
+#include "kvx/core/step_attribution.hpp"
 #include "kvx/sim/processor.hpp"
 
+namespace {
+
+using namespace kvx;
+using namespace kvx::core;
+
+struct ArchRow {
+  std::string name;
+  obs::StepCycleStats steps;
+};
+
+}  // namespace
+
 int main() {
-  using namespace kvx;
-  using namespace kvx::core;
+  const Arch kArches[] = {Arch::k64Lmul1, Arch::k64Lmul8, Arch::k32Lmul8,
+                          Arch::k64PureRvv, Arch::k64Fused};
 
   kvx::bench::header(
       "Cycle breakdown per step mapping (one round, EleNum=5)\n"
       "theta | rho | pi | chi | iota | total  — cycles");
 
-  for (Arch arch : {Arch::k64Lmul1, Arch::k64Lmul8, Arch::k32Lmul8,
-                    Arch::k64PureRvv, Arch::k64Fused}) {
+  for (Arch arch : kArches) {
     const KeccakProgram prog =
         build_keccak_program({arch, 5, 24, /*single_round=*/true});
     sim::ProcessorConfig cfg;
@@ -47,5 +71,64 @@ int main() {
   }
   std::printf("(paper, 64-bit L1)  |    26 |   10 |   15 |   50 |    2 |   103\n");
   std::printf("(paper, 64-bit L8)  |    26 |    8 |    7 |   30 |    4 |    75\n");
+
+  kvx::bench::header(
+      "Attributed full permutation (24-round loop programs, EleNum=5)\n"
+      "theta | rho+pi | chi+iota | other | perm total | per-round  — cycles\n"
+      "(via core::attribute_step_cycles — the engine's --stats code path)");
+
+  std::vector<ArchRow> rows;
+  for (Arch arch : kArches) {
+    const KeccakProgram prog =
+        build_keccak_program({arch, 5, 24, /*single_round=*/false});
+    sim::ProcessorConfig cfg;
+    cfg.vector.elen_bits = arch_elen(arch);
+    cfg.vector.ele_num = 5;
+    sim::SimdProcessor proc(cfg);
+    proc.load_program(prog.image);
+    proc.run();
+
+    const obs::StepCycleStats s = attribute_step_cycles(proc.markers());
+    rows.push_back({std::string(arch_name(arch)), s});
+    const double rounds =
+        s.rounds != 0 ? static_cast<double>(s.rounds) : 1.0;
+    std::printf(
+        "%-18s | %6llu | %6llu | %8llu | %5llu | %10llu | %9.1f\n",
+        std::string(arch_name(arch)).c_str(),
+        static_cast<unsigned long long>(s.theta),
+        static_cast<unsigned long long>(s.rho_pi),
+        static_cast<unsigned long long>(s.chi_iota),
+        static_cast<unsigned long long>(s.other),
+        static_cast<unsigned long long>(s.total),
+        static_cast<double>(s.total) / rounds);
+  }
+  std::printf("(paper per round)   64-bit L1: theta 26 + rho/pi 25 + "
+              "chi/iota 52 = 103; L8: 26 + 15 + 34 = 75\n");
+
+  std::FILE* f = std::fopen("BENCH_steps.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"step_breakdown\",\n");
+    std::fprintf(f, "  \"rounds\": 24,\n  \"ele_num\": 5,\n");
+    std::fprintf(f, "  \"arch\": [\n");
+    for (usize i = 0; i < rows.size(); ++i) {
+      const ArchRow& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"name\": \"%s\", \"theta\": %llu, \"rho_pi\": %llu, "
+          "\"chi_iota\": %llu, \"absorb\": %llu, \"other\": %llu, "
+          "\"total\": %llu, \"rounds\": %llu}%s\n",
+          r.name.c_str(), static_cast<unsigned long long>(r.steps.theta),
+          static_cast<unsigned long long>(r.steps.rho_pi),
+          static_cast<unsigned long long>(r.steps.chi_iota),
+          static_cast<unsigned long long>(r.steps.absorb),
+          static_cast<unsigned long long>(r.steps.other),
+          static_cast<unsigned long long>(r.steps.total),
+          static_cast<unsigned long long>(r.steps.rounds),
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_steps.json\n");
+  }
   return 0;
 }

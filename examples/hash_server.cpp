@@ -5,13 +5,20 @@
 // (the traffic shape of a TLS/firmware/PQC backend: mostly SHA3-256, some
 // SHAKE XOFs, some KMAC authentications) through a BatchHashEngine and
 // cross-checks EVERY digest against the host golden model, then prints the
-// per-shard accounting.
+// per-shard accounting. While the batch drains, a scraper thread dumps the
+// process-wide metrics registry to stderr in Prometheus text format every
+// 250 ms — the shape a real service would expose on a /metrics endpoint.
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "kvx/common/rng.hpp"
 #include "kvx/engine/batch_engine.hpp"
+#include "kvx/obs/metrics.hpp"
 
 int main(int argc, char** argv) {
   using namespace kvx;
@@ -51,8 +58,29 @@ int main(int argc, char** argv) {
   std::printf("hash_server: %zu jobs, %u shards x SN=%u (64-bit LMUL=8)\n",
               n_jobs, engine.threads(), engine.lanes_per_shard());
 
+  // Periodic Prometheus scrape while the batch drains (like a /metrics
+  // poller would see). Plain interval thread; stopped via timed cond-var.
+  std::mutex scrape_mutex;
+  std::condition_variable scrape_cv;
+  bool scrape_stop = false;
+  std::thread scraper([&] {
+    std::unique_lock<std::mutex> lock(scrape_mutex);
+    while (!scrape_cv.wait_for(lock, std::chrono::milliseconds(250),
+                               [&] { return scrape_stop; })) {
+      const std::string text = obs::MetricsRegistry::global().to_prometheus();
+      std::fprintf(stderr, "--- metrics scrape ---\n%s", text.c_str());
+    }
+  });
+
   engine.submit_all(jobs);
   const auto digests = engine.drain();
+
+  {
+    std::lock_guard<std::mutex> lock(scrape_mutex);
+    scrape_stop = true;
+  }
+  scrape_cv.notify_one();
+  scraper.join();
 
   usize failures = 0;
   for (usize i = 0; i < jobs.size(); ++i) {
@@ -86,5 +114,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(t.sim_cycles),
               static_cast<double>(t.host_ns) / 1e6);
   std::printf("queue high-water mark: %zu\n", st.queue_high_water);
+
+  // Derived rates come from the one shared implementation
+  // (EngineStats::throughput), not ad-hoc arithmetic per tool.
+  const ThroughputStats tp = st.throughput();
+  std::printf("throughput: %.0f jobs/s | %.2f MB/s | %.0f perms/s\n",
+              tp.jobs_per_sec, tp.mb_per_sec, tp.perms_per_sec);
+  std::printf("step cycles:\n%s", format_step_cycles(t.step_cycles).c_str());
+
+  // Final scrape — everything the periodic dumps showed, at rest.
+  std::fprintf(stderr, "--- final metrics ---\n%s",
+               obs::MetricsRegistry::global().to_prometheus().c_str());
   return 0;
 }

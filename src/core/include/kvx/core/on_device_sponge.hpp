@@ -18,6 +18,7 @@
 
 #include "kvx/core/program_builder.hpp"
 #include "kvx/keccak/state.hpp"
+#include "kvx/obs/step_cycles.hpp"
 #include "kvx/sim/processor.hpp"
 
 namespace kvx::core {
@@ -47,6 +48,12 @@ class OnDeviceSponge {
     return absorb_overhead_;
   }
 
+  /// Per-step attribution of last_cycles() (block staging lands in the
+  /// `absorb` bucket; see kvx/core/step_attribution.hpp).
+  [[nodiscard]] const obs::StepCycleStats& last_step_cycles() const noexcept {
+    return step_cycles_;
+  }
+
  private:
   struct Engine {
     KeccakProgram program;
@@ -60,6 +67,7 @@ class OnDeviceSponge {
   std::map<unsigned, Engine> engines_;  ///< keyed by block count
   u64 last_cycles_ = 0;
   u64 absorb_overhead_ = 0;
+  obs::StepCycleStats step_cycles_;
 };
 
 }  // namespace kvx::core

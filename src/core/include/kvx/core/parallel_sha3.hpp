@@ -19,6 +19,7 @@
 #include "kvx/core/on_device_sponge.hpp"
 #include "kvx/core/vector_keccak.hpp"
 #include "kvx/keccak/sha3.hpp"
+#include "kvx/obs/step_cycles.hpp"
 
 namespace kvx::core {
 
@@ -27,6 +28,9 @@ struct BatchStats {
   u64 accelerator_cycles = 0;   ///< simulated cycles spent in permutations
   u64 permutation_batches = 0;  ///< accelerator invocations
   u64 permutations = 0;         ///< state-permutations performed (≤ SN each)
+  /// Per-step attribution of accelerator_cycles (θ/ρπ/χι/absorb/other);
+  /// step_cycles.total == accelerator_cycles, exactly.
+  obs::StepCycleStats step_cycles;
 };
 
 struct ParallelSha3Options {

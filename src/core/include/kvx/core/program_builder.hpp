@@ -63,14 +63,20 @@ struct ProgramOptions {
 };
 
 /// Marker ids the generated programs emit via the marker CSR.
+///
+/// Every round body — looped or single_round — is bracketed by
+/// kRoundStart/kRoundEnd and emits the step boundaries (markers cost zero
+/// cycles, see the cycle model): θ spans kRoundStart..kStepRho, ρ spans
+/// kStepRho..kStepPi, and so on; ι ends at kRoundEnd. Loop-mode programs
+/// additionally bracket the whole permutation (kPermStart..kPermEnd), so
+/// the inter-round loop control is the kRoundEnd..kRoundStart gap. The
+/// observability layer folds these into obs::StepCycleStats
+/// (kvx/core/step_attribution.hpp).
 struct Markers {
   static constexpr u32 kPermStart = 1;  ///< before the first round
   static constexpr u32 kPermEnd = 2;    ///< after the last round
-  static constexpr u32 kRoundStart = 3; ///< single_round: before the body
-  static constexpr u32 kRoundEnd = 4;   ///< single_round: after the body
-  // single_round programs also emit step boundaries (markers are free, see
-  // the cycle model): θ spans kRoundStart..kStepRho, ρ spans
-  // kStepRho..kStepPi, and so on; ι ends at kRoundEnd.
+  static constexpr u32 kRoundStart = 3; ///< before each round body
+  static constexpr u32 kRoundEnd = 4;   ///< after each round body
   static constexpr u32 kStepRho = 11;
   static constexpr u32 kStepPi = 12;
   static constexpr u32 kStepChi = 13;

@@ -11,6 +11,7 @@
 #include <span>
 
 #include "kvx/core/program_builder.hpp"
+#include "kvx/core/step_attribution.hpp"
 #include "kvx/keccak/state.hpp"
 #include "kvx/sim/compiled_trace.hpp"
 #include "kvx/sim/exec_backend.hpp"
@@ -91,6 +92,15 @@ class VectorKeccak {
     return timing_;
   }
 
+  /// Per-step cycle attribution of the last permute() run (θ/ρπ/χι plus
+  /// loop overhead; see step_attribution.hpp). Bit-identical across the
+  /// three backends: the trace and fused backends replay the marker stream
+  /// recorded from the interpreter, so their attribution is computed once
+  /// at compile time and reused.
+  [[nodiscard]] const obs::StepCycleStats& last_step_cycles() const noexcept {
+    return step_cycles_;
+  }
+
   /// Latency of one Keccak round in cycles (dedicated single-round program,
   /// measured marker-to-marker: the paper's cycles/round column).
   [[nodiscard]] u64 measure_round_cycles() const;
@@ -108,6 +118,7 @@ class VectorKeccak {
   std::unique_ptr<sim::SimdProcessor> proc_;
   u32 state_base_ = 0;
   PermutationTiming timing_;
+  obs::StepCycleStats step_cycles_;
   std::shared_ptr<const sim::CompiledTrace> trace_;  ///< null = interpreter
   std::shared_ptr<const sim::FusedTrace> fused_;     ///< kFusedTrace only
 };

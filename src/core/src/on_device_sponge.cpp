@@ -2,6 +2,7 @@
 
 #include "kvx/common/error.hpp"
 #include "kvx/common/strings.hpp"
+#include "kvx/core/step_attribution.hpp"
 #include "kvx/core/vector_keccak.hpp"
 
 namespace kvx::core {
@@ -85,6 +86,7 @@ std::vector<keccak::State> OnDeviceSponge::absorb(
   proc.reset_run_state();
   proc.run();
   last_cycles_ = proc.cycles_between(Markers::kPermStart, Markers::kPermEnd);
+  step_cycles_ = attribute_step_cycles(proc.markers());
 
   // Absorb overhead: cycles from each kAbsorb marker to the work the
   // permutation itself would have cost (total minus rounds) / blocks.

@@ -39,6 +39,7 @@ void ParallelSha3::permute_states(std::span<State> states) {
   stats_.accelerator_cycles += vk_.last_timing().permutation_cycles;
   stats_.permutation_batches += 1;
   stats_.permutations += states.size();
+  stats_.step_cycles += vk_.last_step_cycles();
 }
 
 void ParallelSha3::run_group(usize rate, u8 domain,
@@ -73,6 +74,7 @@ void ParallelSha3::run_group(usize rate, u8 domain,
     stats_.accelerator_cycles += device_sponge_->last_cycles();
     stats_.permutation_batches += blocks;
     stats_.permutations += blocks * n;
+    stats_.step_cycles += device_sponge_->last_step_cycles();
   } else {
     // Absorb full blocks in lockstep (all messages have equal length).
     usize pos = 0;

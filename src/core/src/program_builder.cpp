@@ -239,7 +239,9 @@ std::string build_source_64(const ProgramOptions& o) {
     e.op("addi a2,a2,%u", 5 * row_bytes);
     e.op("li s3, %u", o.first_round);
     e.label("permutation");
-    emit_round(false);
+    emit_marker(e, Markers::kRoundStart);
+    emit_round(true);
+    emit_marker(e, Markers::kRoundEnd);
     e.comment("next round");
     e.op("addi s3,s3,1");
     e.op("blt s3,s4,permutation");
@@ -250,7 +252,9 @@ std::string build_source_64(const ProgramOptions& o) {
   } else {
     emit_marker(e, Markers::kPermStart);
     e.label("permutation");
-    emit_round(false);
+    emit_marker(e, Markers::kRoundStart);
+    emit_round(true);
+    emit_marker(e, Markers::kRoundEnd);
     e.comment("next round");
     e.op("addi s3,s3,1");
     e.op("blt s3,s4,permutation");
@@ -367,7 +371,9 @@ std::string build_source_32(const ProgramOptions& o) {
   } else {
     emit_marker(e, Markers::kPermStart);
     e.label("permutation");
-    emit_round32_lmul8(e, false);
+    emit_marker(e, Markers::kRoundStart);
+    emit_round32_lmul8(e, true);
+    emit_marker(e, Markers::kRoundEnd);
     e.comment("next round");
     e.op("addi s6,s6,2");
     e.op("addi s7,s7,2");
@@ -501,7 +507,9 @@ std::string build_source_64_purervv(const ProgramOptions& o) {
   } else {
     emit_marker(e, Markers::kPermStart);
     e.label("permutation");
-    emit_round64_purervv(e, o, false);
+    emit_marker(e, Markers::kRoundStart);
+    emit_round64_purervv(e, o, true);
+    emit_marker(e, Markers::kRoundEnd);
     e.comment("next round");
     e.op("addi s3,s3,1");
     e.op("blt s3,s4,permutation");

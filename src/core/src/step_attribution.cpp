@@ -1,0 +1,59 @@
+#include "kvx/core/step_attribution.hpp"
+
+#include "kvx/core/program_builder.hpp"
+
+namespace kvx::core {
+
+obs::StepCycleStats attribute_step_cycles(
+    std::span<const sim::Marker> markers) {
+  // Narrow to the permutation window when the program brackets one.
+  usize begin = 0, end = markers.size();
+  for (usize i = 0; i < markers.size(); ++i) {
+    if (markers[i].id == Markers::kPermStart) {
+      begin = i;
+      break;
+    }
+  }
+  for (usize i = markers.size(); i > begin; --i) {
+    if (markers[i - 1].id == Markers::kPermEnd) {
+      end = i;
+      break;
+    }
+  }
+
+  obs::StepCycleStats s;
+  if (end - begin < 2) return s;
+  for (usize i = begin + 1; i < end; ++i) {
+    const sim::Marker& prev = markers[i - 1];
+    const sim::Marker& cur = markers[i];
+    const u64 delta = cur.cycle - prev.cycle;
+    switch (cur.id) {
+      case Markers::kStepRho:
+        s.theta += delta;
+        break;
+      case Markers::kStepPi:
+      case Markers::kStepChi:
+        s.rho_pi += delta;
+        break;
+      case Markers::kStepIota:
+      case Markers::kRoundEnd:
+        s.chi_iota += delta;
+        if (cur.id == Markers::kRoundEnd) s.rounds += 1;
+        break;
+      case Markers::kRoundStart:
+        if (prev.id == Markers::kAbsorb) {
+          s.absorb += delta;
+        } else {
+          s.other += delta;
+        }
+        break;
+      default:  // kAbsorb, kPermEnd, unknown ids: inter-region control
+        s.other += delta;
+        break;
+    }
+  }
+  s.total = markers[end - 1].cycle - markers[begin].cycle;
+  return s;
+}
+
+}  // namespace kvx::core

@@ -127,6 +127,7 @@ void VectorKeccak::permute(std::span<keccak::State> states) {
     timing_.permutation_cycles =
         fused_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
     timing_.instructions = fused_->instructions();
+    step_cycles_ = attribute_step_cycles(fused_->markers());
   } else if (trace_ != nullptr) {
     // Replay the pre-decoded kernel trace. Register file and data memory
     // end up bit-identical to an interpreter run; timing was recorded from
@@ -138,6 +139,7 @@ void VectorKeccak::permute(std::span<keccak::State> states) {
     timing_.permutation_cycles =
         trace_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
     timing_.instructions = trace_->instructions();
+    step_cycles_ = attribute_step_cycles(trace_->markers());
   } else {
     proc_->reset_run_state();
     proc_->vector().clear_registers();
@@ -146,6 +148,7 @@ void VectorKeccak::permute(std::span<keccak::State> states) {
     timing_.permutation_cycles =
         proc_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
     timing_.instructions = proc_->stats().instructions;
+    step_cycles_ = attribute_step_cycles(proc_->markers());
   }
   unstage_states(states);
 }

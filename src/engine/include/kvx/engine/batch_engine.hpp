@@ -21,11 +21,13 @@
 // See docs/engine.md for the architecture and sizing guidance.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "kvx/common/rng.hpp"
 #include "kvx/core/parallel_sha3.hpp"
 #include "kvx/engine/job.hpp"
 #include "kvx/engine/job_queue.hpp"
@@ -106,8 +108,14 @@ class BatchHashEngine {
   bool closed_ = false;
   std::string error_;   ///< first worker failure, if any
   u64 backend_compile_ns_ = 0;  ///< trace compile+fuse time at construction
-  /// Submit-to-retire latency samples (capped; guarded by state_mutex_).
+  std::chrono::steady_clock::time_point start_time_;
+  /// Submit-to-retire latency reservoir (Algorithm R; guarded by
+  /// state_mutex_): an unbiased fixed-size sample of ALL retired jobs.
+  /// See LatencyStats in stats.hpp for the sampling contract.
   std::vector<u64> latency_ns_;
+  u64 latency_observed_ = 0;  ///< jobs offered to the reservoir
+  u64 latency_max_ns_ = 0;    ///< exact maximum (not sampled)
+  SplitMix64 latency_rng_{0x6B76785F6C6174ull};  ///< deterministic slots
   /// Digest of job seq = collected_ + i at index i; filled out of order by
   /// workers, returned in order by drain().
   std::vector<std::vector<u8>> results_;

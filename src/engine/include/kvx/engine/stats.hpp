@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "kvx/common/types.hpp"
+#include "kvx/obs/step_cycles.hpp"
 
 namespace kvx::engine {
 
@@ -17,13 +18,36 @@ struct ShardStats {
   u64 sim_cycles = 0;         ///< simulated accelerator cycles consumed
   u64 permutations = 0;       ///< Keccak state-permutations performed
   u64 host_ns = 0;            ///< host wall time spent inside dispatches
+  /// Per-step attribution of sim_cycles (θ/ρπ/χι/absorb/other);
+  /// step_cycles.total == sim_cycles, exactly, on every backend.
+  obs::StepCycleStats step_cycles;
 };
 
 /// Submit-to-retire job latency percentiles (host wall time).
+///
+/// Percentiles are computed from a fixed-size reservoir (65536 samples,
+/// Algorithm R): every retired job is observed, and once the reservoir is
+/// full each new observation replaces a uniformly random slot, so the
+/// sample stays an unbiased draw from ALL jobs — the tail is not biased
+/// toward early jobs. `count` is the number of jobs observed (not the
+/// reservoir size) and `max_ns` is tracked exactly, outside the reservoir.
 struct LatencyStats {
-  u64 count = 0;   ///< retired jobs sampled
-  u64 p50_ns = 0;  ///< median latency
-  u64 p99_ns = 0;  ///< 99th-percentile latency
+  u64 count = 0;    ///< retired jobs observed
+  u64 p50_ns = 0;   ///< median latency
+  u64 p99_ns = 0;   ///< 99th-percentile latency
+  u64 p999_ns = 0;  ///< 99.9th-percentile latency
+  u64 max_ns = 0;   ///< worst-case latency (exact, not sampled)
+};
+
+/// Rates derived from the engine counters over a wall-time window. The ONE
+/// place throughput arithmetic lives — tools and benches must not re-derive
+/// bytes/s or perms/s from raw counters themselves.
+struct ThroughputStats {
+  double jobs_per_sec = 0.0;
+  double bytes_per_sec = 0.0;
+  double mb_per_sec = 0.0;        ///< bytes_per_sec / 1e6
+  double perms_per_sec = 0.0;     ///< Keccak state-permutations per second
+  double sim_cycles_per_sec = 0.0;
 };
 
 /// Whole-engine counters.
@@ -39,6 +63,8 @@ struct EngineStats {
   double fusion_coverage = 0.0;
   /// Host time compiling (and fusing) the execution trace, if any.
   u64 backend_compile_ns = 0;
+  /// Wall time since engine construction (the default throughput() window).
+  u64 elapsed_ns = 0;
   LatencyStats latency;
   std::vector<ShardStats> shards;
 
@@ -51,9 +77,21 @@ struct EngineStats {
       t.sim_cycles += s.sim_cycles;
       t.permutations += s.permutations;
       t.host_ns += s.host_ns;
+      t.step_cycles += s.step_cycles;
     }
     return t;
   }
+
+  /// Derived rates over an explicit window (benches timing a specific
+  /// phase), or over elapsed_ns by default (long-running servers).
+  [[nodiscard]] ThroughputStats throughput(u64 over_ns) const noexcept;
+  [[nodiscard]] ThroughputStats throughput() const noexcept {
+    return throughput(elapsed_ns);
+  }
 };
+
+/// Render per-step cycle attribution as an aligned table (one line per
+/// step, cycles + share of total), for --stats output and reports.
+[[nodiscard]] std::string format_step_cycles(const obs::StepCycleStats& s);
 
 }  // namespace kvx::engine

@@ -5,14 +5,66 @@
 
 #include "kvx/common/error.hpp"
 #include "kvx/common/strings.hpp"
+#include "kvx/obs/metrics.hpp"
+#include "kvx/obs/trace_event.hpp"
 
 namespace kvx::engine {
 
 namespace {
 
-/// Latency sample cap: enough for stable p99 at any realistic batch size
-/// without unbounded growth on long-lived engines.
+/// Latency reservoir size: enough for stable p99.9 at any realistic batch
+/// size without unbounded growth on long-lived engines. Once full, samples
+/// are replaced via Algorithm R so the reservoir stays a uniform draw from
+/// every job retired so far.
 constexpr usize kMaxLatencySamples = 65536;
+
+/// Engine metrics, registered once in the process-wide registry. Counter
+/// increments are lock-free on the caller's stripe, so touching these from
+/// every dispatch adds nothing measurable next to a simulator batch.
+struct EngineMetrics {
+  obs::Counter& jobs_submitted;
+  obs::Counter& jobs_completed;
+  obs::Counter& bytes_hashed;
+  obs::Counter& dispatches;
+  obs::Counter& sim_cycles;
+  obs::Counter& permutations;
+  obs::Counter& step_theta;
+  obs::Counter& step_rho_pi;
+  obs::Counter& step_chi_iota;
+  obs::Counter& step_absorb;
+  obs::Counter& step_other;
+  obs::Histogram& job_latency_ns;
+
+  static EngineMetrics& get() {
+    auto& r = obs::MetricsRegistry::global();
+    static EngineMetrics m{
+        r.counter("kvx_engine_jobs_submitted_total",
+                  "Jobs accepted by BatchHashEngine::submit"),
+        r.counter("kvx_engine_jobs_completed_total",
+                  "Jobs retired with a result available"),
+        r.counter("kvx_engine_bytes_hashed_total", "Message bytes hashed"),
+        r.counter("kvx_engine_dispatches_total",
+                  "Job batches dispatched to shard accelerators"),
+        r.counter("kvx_engine_sim_cycles_total",
+                  "Simulated accelerator cycles consumed"),
+        r.counter("kvx_engine_permutations_total",
+                  "Keccak state-permutations performed"),
+        r.counter("kvx_engine_step_cycles_theta_total",
+                  "Simulated cycles attributed to the theta step"),
+        r.counter("kvx_engine_step_cycles_rho_pi_total",
+                  "Simulated cycles attributed to the rho+pi steps"),
+        r.counter("kvx_engine_step_cycles_chi_iota_total",
+                  "Simulated cycles attributed to the chi+iota steps"),
+        r.counter("kvx_engine_step_cycles_absorb_total",
+                  "Simulated cycles attributed to on-device absorb staging"),
+        r.counter("kvx_engine_step_cycles_other_total",
+                  "Simulated cycles attributed to permutation loop control"),
+        r.histogram("kvx_engine_job_latency_ns",
+                    "Submit-to-retire job latency (host wall time)"),
+    };
+    return m;
+  }
+};
 
 u64 steady_now_ns() {
   return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -51,7 +103,8 @@ BatchHashEngine::BatchHashEngine(const EngineConfig& config)
     : config_(config),
       window_(config.batch_window != 0 ? config.batch_window
                                        : 4 * config.accel.sn()),
-      queue_(config.max_queue) {
+      queue_(config.max_queue),
+      start_time_(std::chrono::steady_clock::now()) {
   if (config_.threads == 0) throw Error("engine needs at least one thread");
   // One immutable program shared by every shard; each shard still owns an
   // independent simulator, so shards never contend outside the job queue.
@@ -91,6 +144,12 @@ u64 BatchHashEngine::submit(HashJob job) {
     if (closed_) throw Error("submit after close()");
     seq = submitted_++;
     results_.emplace_back();
+  }
+  EngineMetrics::get().jobs_submitted.inc();
+  obs::TraceEventSink& sink = obs::TraceEventSink::global();
+  if (sink.enabled()) {
+    sink.instant("engine", "job_submit",
+                 strfmt("{\"seq\":%llu}", static_cast<unsigned long long>(seq)));
   }
   // Push outside state_mutex_: a bounded queue may block here, and workers
   // need the state mutex to retire jobs (holding it would deadlock).
@@ -136,6 +195,8 @@ std::vector<std::vector<u8>> BatchHashEngine::drain() {
 EngineStats BatchHashEngine::stats() const {
   EngineStats st;
   std::vector<u64> lat;
+  u64 observed = 0;
+  u64 max_ns = 0;
   {
     std::lock_guard lock(state_mutex_);
     st.submitted = submitted_;
@@ -143,6 +204,8 @@ EngineStats BatchHashEngine::stats() const {
     st.shards.reserve(shards_.size());
     for (const auto& shard : shards_) st.shards.push_back(shard->stats);
     lat = latency_ns_;
+    observed = latency_observed_;
+    max_ns = latency_max_ns_;
   }
   if (!shards_.empty()) {
     // All shards share one program + config, so shard 0 is representative.
@@ -151,7 +214,7 @@ EngineStats BatchHashEngine::stats() const {
   }
   st.backend_compile_ns = backend_compile_ns_;
   if (!lat.empty()) {
-    st.latency.count = lat.size();
+    st.latency.count = observed;
     const auto pct = [&lat](double p) {
       const usize idx = std::min(
           lat.size() - 1,
@@ -163,8 +226,14 @@ EngineStats BatchHashEngine::stats() const {
     };
     st.latency.p50_ns = pct(0.50);
     st.latency.p99_ns = pct(0.99);
+    st.latency.p999_ns = pct(0.999);
+    st.latency.max_ns = max_ns;
   }
   st.queue_high_water = queue_.high_water();
+  st.elapsed_ns = static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
   return st;
 }
 
@@ -190,6 +259,8 @@ void BatchHashEngine::process_batch(Shard& shard,
   const auto t0 = Clock::now();
   core::ParallelSha3& accel = *shard.accel;
   const core::BatchStats before = accel.stats();
+  obs::TraceSpan dispatch_span(obs::TraceEventSink::global(), "engine",
+                               "dispatch");
 
   // Partition the run into dispatch groups (order-preserving); each group
   // goes to the accelerator as one batch so equal-length jobs share lanes.
@@ -236,6 +307,32 @@ void BatchHashEngine::process_batch(Shard& shard,
   const u64 host_ns = static_cast<u64>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
           .count());
+  const u64 cycles = after.accelerator_cycles - before.accelerator_cycles;
+  const u64 perms = after.permutations - before.permutations;
+  const obs::StepCycleStats steps = after.step_cycles.minus(before.step_cycles);
+
+  EngineMetrics& m = EngineMetrics::get();
+  m.jobs_completed.inc(batch.size());
+  m.bytes_hashed.inc(bytes);
+  m.dispatches.inc();
+  m.sim_cycles.inc(cycles);
+  m.permutations.inc(perms);
+  m.step_theta.inc(steps.theta);
+  m.step_rho_pi.inc(steps.rho_pi);
+  m.step_chi_iota.inc(steps.chi_iota);
+  m.step_absorb.inc(steps.absorb);
+  m.step_other.inc(steps.other);
+
+  obs::TraceEventSink& sink = obs::TraceEventSink::global();
+  if (sink.enabled()) {
+    dispatch_span.set_args(
+        strfmt("{\"jobs\":%zu,\"bytes\":%llu,\"sim_cycles\":%llu}",
+               batch.size(), static_cast<unsigned long long>(bytes),
+               static_cast<unsigned long long>(cycles)));
+    sink.instant("engine", "job_retire",
+                 strfmt("{\"jobs\":%zu,\"first_seq\":%llu}", batch.size(),
+                        static_cast<unsigned long long>(batch.front().seq)));
+  }
 
   const u64 retire_ns = steady_now_ns();
   std::lock_guard lock(state_mutex_);
@@ -243,17 +340,29 @@ void BatchHashEngine::process_batch(Shard& shard,
     // collected_ only moves when results_ is empty (drain retires every
     // completed job at once), so this index is always in range.
     results_[batch[i].seq - collected_] = std::move(digests[i]);
+    const u64 sample = retire_ns - batch[i].submit_ns;
+    m.job_latency_ns.observe(sample);
+    latency_max_ns_ = std::max(latency_max_ns_, sample);
+    latency_observed_ += 1;
     if (latency_ns_.size() < kMaxLatencySamples) {
-      latency_ns_.push_back(retire_ns - batch[i].submit_ns);
+      latency_ns_.push_back(sample);
+    } else {
+      // Algorithm R: replace a uniformly random slot with probability
+      // reservoir/observed, keeping the sample unbiased over all jobs.
+      const u64 slot = latency_rng_.below(latency_observed_);
+      if (slot < kMaxLatencySamples) {
+        latency_ns_[static_cast<usize>(slot)] = sample;
+      }
     }
   }
   completed_ += batch.size();
   shard.stats.jobs += batch.size();
   shard.stats.bytes += bytes;
   shard.stats.dispatches += 1;
-  shard.stats.sim_cycles += after.accelerator_cycles - before.accelerator_cycles;
-  shard.stats.permutations += after.permutations - before.permutations;
+  shard.stats.sim_cycles += cycles;
+  shard.stats.permutations += perms;
   shard.stats.host_ns += host_ns;
+  shard.stats.step_cycles += steps;
   if (completed_ == submitted_) all_done_.notify_all();
 }
 

@@ -2,30 +2,60 @@
 
 #include <algorithm>
 
+#include "kvx/obs/metrics.hpp"
+#include "kvx/obs/trace_event.hpp"
+
 namespace kvx::engine {
 
+namespace {
+
+/// Sample the queue depth into the gauge and (when tracing) the Chrome
+/// counter track. Called outside the queue mutex with a just-observed depth.
+void observe_depth(usize depth) {
+  static obs::Gauge& gauge = obs::MetricsRegistry::global().gauge(
+      "kvx_engine_queue_depth", "Jobs currently waiting in the engine queue");
+  gauge.set(static_cast<double>(depth));
+  obs::TraceEventSink& sink = obs::TraceEventSink::global();
+  if (sink.enabled()) {
+    sink.counter("engine", "queue_depth", static_cast<double>(depth));
+  }
+}
+
+}  // namespace
+
 bool JobQueue::push(QueuedJob item) {
-  std::unique_lock lock(mutex_);
-  not_full_.wait(lock, [&] {
-    return closed_ || max_depth_ == 0 || items_.size() < max_depth_;
-  });
-  if (closed_) return false;
-  items_.push_back(std::move(item));
-  high_water_ = std::max(high_water_, items_.size());
-  not_empty_.notify_one();
+  usize depth = 0;
+  {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return closed_ || max_depth_ == 0 || items_.size() < max_depth_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
+    depth = items_.size();
+    not_empty_.notify_one();
+  }
+  observe_depth(depth);
   return true;
 }
 
 usize JobQueue::pop_up_to(usize max_items, std::vector<QueuedJob>& out) {
   out.clear();
-  std::unique_lock lock(mutex_);
-  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-  const usize take = std::min(max_items, items_.size());
-  for (usize i = 0; i < take; ++i) {
-    out.push_back(std::move(items_.front()));
-    items_.pop_front();
+  usize take = 0;
+  usize depth = 0;
+  {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    take = std::min(max_items, items_.size());
+    for (usize i = 0; i < take; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    depth = items_.size();
+    if (take > 0) not_full_.notify_all();
   }
-  if (take > 0) not_full_.notify_all();
+  if (take > 0) observe_depth(depth);
   return take;
 }
 

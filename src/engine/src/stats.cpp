@@ -1,0 +1,44 @@
+#include "kvx/engine/stats.hpp"
+
+#include "kvx/common/strings.hpp"
+
+namespace kvx::engine {
+
+ThroughputStats EngineStats::throughput(u64 over_ns) const noexcept {
+  ThroughputStats t;
+  if (over_ns == 0) return t;
+  const ShardStats sums = totals();
+  const double secs = static_cast<double>(over_ns) / 1e9;
+  t.jobs_per_sec = static_cast<double>(sums.jobs) / secs;
+  t.bytes_per_sec = static_cast<double>(sums.bytes) / secs;
+  t.mb_per_sec = t.bytes_per_sec / 1e6;
+  t.perms_per_sec = static_cast<double>(sums.permutations) / secs;
+  t.sim_cycles_per_sec = static_cast<double>(sums.sim_cycles) / secs;
+  return t;
+}
+
+std::string format_step_cycles(const obs::StepCycleStats& s) {
+  const auto row = [&](const char* name, u64 cycles) {
+    const double pct =
+        s.total != 0
+            ? 100.0 * static_cast<double>(cycles) / static_cast<double>(s.total)
+            : 0.0;
+    return strfmt("  %-8s %14llu  %5.1f%%\n", name,
+                  static_cast<unsigned long long>(cycles), pct);
+  };
+  std::string out;
+  out += row("theta", s.theta);
+  out += row("rho+pi", s.rho_pi);
+  out += row("chi+iota", s.chi_iota);
+  if (s.absorb != 0) out += row("absorb", s.absorb);
+  out += row("other", s.other);
+  out += row("total", s.total);
+  if (s.rounds != 0) {
+    out += strfmt("  (%llu rounds, %.1f cycles/round)\n",
+                  static_cast<unsigned long long>(s.rounds),
+                  static_cast<double>(s.total) / static_cast<double>(s.rounds));
+  }
+  return out;
+}
+
+}  // namespace kvx::engine

@@ -1,0 +1,194 @@
+// Lock-cheap metrics registry: named counters, gauges and fixed-bucket
+// histograms with striped per-thread shards aggregated on scrape.
+//
+// Hot-path cost is one relaxed fetch_add on a cache-line-padded shard
+// selected by a thread-local stripe index — no registry lock, no
+// allocation, no contention between engine worker shards. Scraping
+// (snapshot / to_prometheus / to_json) walks every stripe under the
+// registry mutex; it is intended for periodic exporters and end-of-run
+// dumps, not per-job paths.
+//
+// Exposition formats:
+//  * to_prometheus() — Prometheus text exposition format 0.0.4
+//    (`# HELP` / `# TYPE` headers, `_bucket{le="..."}` histogram series);
+//  * to_json()       — a stable machine-readable snapshot
+//    {"counters":{...},"gauges":{...},"histograms":{...}} consumed by
+//    `kvx-batch --metrics-json` and the CI observability smoke step.
+//
+// Metric names must match [a-zA-Z_][a-zA-Z0-9_]* (enforced); see
+// docs/observability.md for the names the engine and trace cache export.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::obs {
+
+namespace detail {
+
+/// Number of stripes counters/histograms are sharded over. A power of two
+/// comfortably above the engine's worker-thread counts keeps stripe
+/// collisions (and hence cache-line bouncing) rare without bloating every
+/// metric.
+inline constexpr usize kStripes = 16;
+
+/// Stable per-thread stripe index in [0, kStripes).
+[[nodiscard]] usize stripe_index() noexcept;
+
+/// One cache line per stripe so two threads never false-share a counter.
+struct alignas(64) PaddedU64 {
+  std::atomic<u64> value{0};
+};
+
+}  // namespace detail
+
+/// Monotone counter. inc() is wait-free on the caller's stripe.
+class Counter {
+ public:
+  void inc(u64 delta = 1) noexcept {
+    stripes_[detail::stripe_index()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Aggregated value across all stripes.
+  [[nodiscard]] u64 value() const noexcept {
+    u64 sum = 0;
+    for (const auto& s : stripes_) sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  detail::PaddedU64 stripes_[detail::kStripes];
+};
+
+/// Last-write-wins gauge (queue depth, coverage percentages, ...). Stored as
+/// a double so it can carry ratios; set/add are single relaxed atomics.
+class Gauge {
+ public:
+  void set(double v) noexcept { bits_.store(pack(v), std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    u64 cur = bits_.load(std::memory_order_relaxed);
+    for (;;) {
+      const u64 next = pack(unpack(cur) + delta);
+      if (bits_.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return unpack(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  static u64 pack(double v) noexcept {
+    u64 bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    return bits;
+  }
+  static double unpack(u64 bits) noexcept {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::atomic<u64> bits_{0};
+};
+
+/// Fixed-bucket histogram. Bounds are upper-inclusive (`le`), strictly
+/// increasing, fixed at creation; observations beyond the last bound land
+/// only in the implicit +Inf bucket. Each stripe owns a full bucket array,
+/// so observe() touches only the caller's stripe.
+class Histogram {
+ public:
+  void observe(u64 v) noexcept;
+
+  [[nodiscard]] const std::vector<u64>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Cumulative count per bound (Prometheus `le` semantics) plus +Inf last.
+  [[nodiscard]] std::vector<u64> cumulative_counts() const;
+  [[nodiscard]] u64 count() const noexcept;
+  [[nodiscard]] u64 sum() const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<u64> bounds);
+
+  struct Stripe {
+    detail::PaddedU64 sum;
+    std::unique_ptr<std::atomic<u64>[]> buckets;  ///< bounds + 1 (+Inf)
+  };
+
+  std::vector<u64> bounds_;
+  Stripe stripes_[detail::kStripes];
+};
+
+/// Exponential default buckets for nanosecond latencies: 1 µs .. ~17 s.
+[[nodiscard]] std::vector<u64> default_latency_bounds_ns();
+
+/// Point-in-time snapshot of one metric (stable scrape order: registration
+/// order within each kind).
+struct MetricSample {
+  std::string name;
+  std::string help;
+  enum class Kind { kCounter, kGauge, kHistogram } kind = Kind::kCounter;
+  u64 counter_value = 0;
+  double gauge_value = 0.0;
+  std::vector<u64> bounds;        ///< histogram only
+  std::vector<u64> cumulative;    ///< histogram only, bounds + 1 entries
+  u64 hist_count = 0;
+  u64 hist_sum = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the engine, trace cache and tools share.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by name. Re-registering an existing name returns the
+  /// same object; a kind mismatch throws kvx::Error, as does an invalid
+  /// name. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// `bounds` must be strictly increasing; empty = default_latency_bounds_ns.
+  Histogram& histogram(const std::string& name, const std::string& help = "",
+                       std::vector<u64> bounds = {});
+
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+  [[nodiscard]] std::string to_prometheus() const;
+  [[nodiscard]] std::string to_json() const;
+
+  /// Drop every metric (tests only — outstanding references go stale).
+  void reset();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricSample::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const std::string& help,
+                        MetricSample::Kind kind);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order
+};
+
+}  // namespace kvx::obs

@@ -1,0 +1,143 @@
+// Chrome trace_event JSON tracer.
+//
+// Events are recorded into fixed-capacity per-thread ring buffers and
+// drained into the Trace Event Format's JSON array form
+// ({"traceEvents":[...]}) at shutdown — the files open directly in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Emitted phases:
+//
+//   'X' complete  — a named span with ts + dur (job execution, trace
+//                   compile/fuse phases, batch dispatches);
+//   'i' instant   — a point event (trace-cache hit/miss, job submit);
+//   'C' counter   — a sampled numeric series (queue depth).
+//
+// Timestamps are microseconds (double) from the steady clock, rebased to
+// the first enable() call; tid is a small dense per-thread index. Tracing
+// is globally disabled by default: when disabled, record sites cost one
+// relaxed atomic load. When a ring wraps, the oldest events are overwritten
+// and a per-ring dropped counter is reported in the metadata so truncation
+// is never silent.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::obs {
+
+class TraceEventSink {
+ public:
+  /// The process-wide sink the engine, trace cache and tools share.
+  static TraceEventSink& global();
+
+  TraceEventSink();
+  TraceEventSink(const TraceEventSink&) = delete;
+  TraceEventSink& operator=(const TraceEventSink&) = delete;
+
+  /// Start recording. The first call pins the timestamp origin.
+  void enable();
+  /// Stop recording; already-buffered events are kept for write_json().
+  void disable();
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the trace origin (monotonic). 0 before enable().
+  [[nodiscard]] double now_us() const noexcept;
+
+  /// 'X' complete event: a span [begin_us, begin_us + dur_us) on this
+  /// thread's track. `cat` groups events in the viewer ("engine", "backend",
+  /// "cache"); `args_json` is an optional pre-serialized JSON object body
+  /// (e.g. "{\"bytes\":4096}") attached as the event's args.
+  void complete(const char* cat, const char* name, double begin_us,
+                double dur_us, std::string args_json = {});
+
+  /// 'i' instant event at now.
+  void instant(const char* cat, const char* name, std::string args_json = {});
+
+  /// 'C' counter sample: series `name` takes `value` at now.
+  void counter(const char* cat, const char* name, double value);
+
+  /// Serialize everything recorded so far as a Chrome trace JSON document.
+  /// Events from all threads are merged; per-thread drop counts (ring
+  /// overwrites) are included as metadata events named "kvx_dropped_events".
+  [[nodiscard]] std::string to_json() const;
+
+  /// to_json() straight to a file. Returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Total events overwritten by ring wrap-around across all threads.
+  [[nodiscard]] u64 dropped() const;
+
+  /// Forget all buffered events and drop counts (tests only).
+  void clear();
+
+ private:
+  struct Event {
+    char phase = 'i';          // 'X', 'i', 'C'
+    const char* cat = "";      // static string
+    const char* name = "";     // static string
+    double ts_us = 0.0;
+    double dur_us = 0.0;       // 'X' only
+    double value = 0.0;        // 'C' only
+    std::string args_json;     // optional, pre-serialized object
+  };
+
+  /// One ring per thread; the ring's mutex is only ever contended by the
+  /// end-of-run drain, so record-side locking is effectively uncontended.
+  struct Ring {
+    static constexpr usize kCapacity = 1 << 14;  // 16384 events / thread
+    mutable std::mutex mutex;
+    std::vector<Event> events;  // circular once full
+    usize next = 0;             // write cursor
+    u64 dropped = 0;            // overwritten events
+    u32 tid = 0;                // dense thread index for the viewer
+  };
+
+  Ring& ring_for_this_thread();
+  void record(Event e);
+
+  /// Process-unique, never reused — the per-thread ring cache is keyed by
+  /// this rather than the sink's address, so a new sink allocated where a
+  /// destroyed one lived can never revive a stale cached ring.
+  const u64 id_;
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point origin_{};
+
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII helper emitting one 'X' complete event for the enclosing scope.
+class TraceSpan {
+ public:
+  TraceSpan(TraceEventSink& sink, const char* cat, const char* name)
+      : sink_(sink), cat_(cat), name_(name) {
+    if (sink_.enabled()) begin_us_ = sink_.now_us();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (begin_us_ >= 0.0 && sink_.enabled()) {
+      sink_.complete(cat_, name_, begin_us_, sink_.now_us() - begin_us_,
+                     std::move(args_json_));
+    }
+  }
+
+  /// Attach a pre-serialized JSON object as the span's args.
+  void set_args(std::string args_json) { args_json_ = std::move(args_json); }
+
+ private:
+  TraceEventSink& sink_;
+  const char* cat_;
+  const char* name_;
+  double begin_us_ = -1.0;
+  std::string args_json_;
+};
+
+}  // namespace kvx::obs

@@ -1,0 +1,296 @@
+#include "kvx/obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "kvx/common/error.hpp"
+
+namespace kvx::obs {
+
+namespace detail {
+
+usize stripe_index() noexcept {
+  // Hand out stripe slots round-robin per thread; cheaper and more evenly
+  // distributed than hashing std::this_thread::get_id().
+  static std::atomic<usize> next{0};
+  thread_local const usize slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return slot;
+}
+
+}  // namespace detail
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(name.front())) != 0) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  });
+}
+
+const char* kind_name(MetricSample::Kind k) {
+  switch (k) {
+    case MetricSample::Kind::kCounter: return "counter";
+    case MetricSample::Kind::kGauge: return "gauge";
+    case MetricSample::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<u64> bounds) : bounds_(std::move(bounds)) {
+  KVX_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                    std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                        bounds_.end(),
+                "histogram bounds must be strictly increasing");
+  for (auto& s : stripes_) {
+    s.buckets = std::make_unique<std::atomic<u64>[]>(bounds_.size() + 1);
+    for (usize i = 0; i <= bounds_.size(); ++i) s.buckets[i].store(0);
+  }
+}
+
+void Histogram::observe(u64 v) noexcept {
+  auto& stripe = stripes_[detail::stripe_index()];
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const usize idx = static_cast<usize>(it - bounds_.begin());
+  stripe.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  stripe.sum.value.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<u64> Histogram::cumulative_counts() const {
+  std::vector<u64> per_bucket(bounds_.size() + 1, 0);
+  for (const auto& s : stripes_) {
+    for (usize i = 0; i <= bounds_.size(); ++i) {
+      per_bucket[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  u64 running = 0;
+  for (auto& b : per_bucket) {
+    running += b;
+    b = running;
+  }
+  return per_bucket;
+}
+
+u64 Histogram::count() const noexcept {
+  u64 total = 0;
+  for (const auto& s : stripes_) {
+    for (usize i = 0; i <= bounds_.size(); ++i) {
+      total += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+u64 Histogram::sum() const noexcept {
+  u64 total = 0;
+  for (const auto& s : stripes_) {
+    total += s.sum.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<u64> default_latency_bounds_ns() {
+  // 1 µs doubling to ~17.2 s: 25 bounds covering both the sub-millisecond
+  // single-job path and multi-second saturated-queue tails.
+  std::vector<u64> bounds;
+  bounds.reserve(25);
+  u64 b = 1'000;
+  for (int i = 0; i < 25; ++i) {
+    bounds.push_back(b);
+    b *= 2;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, const std::string& help,
+    MetricSample::Kind kind) {
+  if (!valid_metric_name(name)) {
+    throw Error("obs: invalid metric name '" + name + "'");
+  }
+  for (auto& e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        throw Error("obs: metric '" + name + "' already registered as " +
+                    kind_name(e->kind) + ", requested " + kind_name(kind));
+      }
+      return *e;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = kind;
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Entry& e = find_or_create(name, help, MetricSample::Kind::kCounter);
+  if (!e.counter) e.counter.reset(new Counter());
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Entry& e = find_or_create(name, help, MetricSample::Kind::kGauge);
+  if (!e.gauge) e.gauge.reset(new Gauge());
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<u64> bounds) {
+  std::lock_guard lock(mutex_);
+  Entry& e = find_or_create(name, help, MetricSample::Kind::kHistogram);
+  if (!e.histogram) {
+    if (bounds.empty()) bounds = default_latency_bounds_ns();
+    e.histogram.reset(new Histogram(std::move(bounds)));
+  }
+  return *e.histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSample s;
+    s.name = e->name;
+    s.help = e->help;
+    s.kind = e->kind;
+    switch (e->kind) {
+      case MetricSample::Kind::kCounter:
+        s.counter_value = e->counter->value();
+        break;
+      case MetricSample::Kind::kGauge:
+        s.gauge_value = e->gauge->value();
+        break;
+      case MetricSample::Kind::kHistogram:
+        s.bounds = e->histogram->bounds();
+        s.cumulative = e->histogram->cumulative_counts();
+        s.hist_count = s.cumulative.empty() ? 0 : s.cumulative.back();
+        s.hist_sum = e->histogram->sum();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::string out;
+  for (const auto& s : snapshot()) {
+    if (!s.help.empty()) {
+      out += "# HELP " + s.name + " " + s.help + "\n";
+    }
+    out += "# TYPE " + s.name + " " + kind_name(s.kind) + "\n";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += s.name + " " + std::to_string(s.counter_value) + "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        out += s.name + " " + format_double(s.gauge_value) + "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        for (usize i = 0; i < s.bounds.size(); ++i) {
+          out += s.name + "_bucket{le=\"" + std::to_string(s.bounds[i]) +
+                 "\"} " + std::to_string(s.cumulative[i]) + "\n";
+        }
+        out += s.name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(s.hist_count) + "\n";
+        out += s.name + "_sum " + std::to_string(s.hist_sum) + "\n";
+        out += s.name + "_count " + std::to_string(s.hist_count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const auto samples = snapshot();
+  std::string counters, gauges, histograms;
+  for (const auto& s : samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        if (!counters.empty()) counters += ',';
+        append_json_string(counters, s.name);
+        counters += ':' + std::to_string(s.counter_value);
+        break;
+      case MetricSample::Kind::kGauge:
+        if (!gauges.empty()) gauges += ',';
+        append_json_string(gauges, s.name);
+        gauges += ':' + format_double(s.gauge_value);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ',';
+        append_json_string(histograms, s.name);
+        histograms += ":{\"bounds\":[";
+        for (usize i = 0; i < s.bounds.size(); ++i) {
+          if (i != 0) histograms += ',';
+          histograms += std::to_string(s.bounds[i]);
+        }
+        histograms += "],\"cumulative\":[";
+        for (usize i = 0; i < s.cumulative.size(); ++i) {
+          if (i != 0) histograms += ',';
+          histograms += std::to_string(s.cumulative[i]);
+        }
+        histograms += "],\"count\":" + std::to_string(s.hist_count) +
+                      ",\"sum\":" + std::to_string(s.hist_sum) + "}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace kvx::obs

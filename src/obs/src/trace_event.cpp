@@ -1,0 +1,194 @@
+#include "kvx/obs/trace_event.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace kvx::obs {
+
+namespace {
+
+std::string format_ts(double v) {
+  // Chrome's importer accepts fractional microseconds; three decimals keeps
+  // nanosecond resolution without float noise.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+std::atomic<u64> g_next_sink_id{1};
+
+}  // namespace
+
+TraceEventSink::TraceEventSink()
+    : id_(g_next_sink_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceEventSink& TraceEventSink::global() {
+  static TraceEventSink sink;
+  return sink;
+}
+
+void TraceEventSink::enable() {
+  std::lock_guard lock(rings_mutex_);
+  if (origin_ == std::chrono::steady_clock::time_point{}) {
+    origin_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceEventSink::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+double TraceEventSink::now_us() const noexcept {
+  if (origin_ == std::chrono::steady_clock::time_point{}) return 0.0;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - origin_)
+                      .count();
+  return static_cast<double>(ns) / 1e3;
+}
+
+TraceEventSink::Ring& TraceEventSink::ring_for_this_thread() {
+  // One ring per (sink, thread). The cache is keyed by the sink's
+  // process-unique id, not its address: tests construct and destroy their
+  // own sinks, and a successor allocated at the same address must not
+  // resurrect a pointer into the freed predecessor's rings.
+  thread_local u64 cached_id = 0;
+  thread_local Ring* cached_ring = nullptr;
+  if (cached_id == id_ && cached_ring != nullptr) return *cached_ring;
+
+  std::lock_guard lock(rings_mutex_);
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<u32>(rings_.size());
+  ring->events.reserve(256);
+  rings_.push_back(std::move(ring));
+  cached_id = id_;
+  cached_ring = rings_.back().get();
+  return *cached_ring;
+}
+
+void TraceEventSink::record(Event e) {
+  Ring& ring = ring_for_this_thread();
+  std::lock_guard lock(ring.mutex);
+  if (ring.events.size() < Ring::kCapacity) {
+    ring.events.push_back(std::move(e));
+  } else {
+    ring.events[ring.next] = std::move(e);
+    ring.dropped += 1;
+  }
+  ring.next = (ring.next + 1) % Ring::kCapacity;
+}
+
+void TraceEventSink::complete(const char* cat, const char* name,
+                              double begin_us, double dur_us,
+                              std::string args_json) {
+  if (!enabled()) return;
+  Event e;
+  e.phase = 'X';
+  e.cat = cat;
+  e.name = name;
+  e.ts_us = begin_us;
+  e.dur_us = dur_us;
+  e.args_json = std::move(args_json);
+  record(std::move(e));
+}
+
+void TraceEventSink::instant(const char* cat, const char* name,
+                             std::string args_json) {
+  if (!enabled()) return;
+  Event e;
+  e.phase = 'i';
+  e.cat = cat;
+  e.name = name;
+  e.ts_us = now_us();
+  e.args_json = std::move(args_json);
+  record(std::move(e));
+}
+
+void TraceEventSink::counter(const char* cat, const char* name, double value) {
+  if (!enabled()) return;
+  Event e;
+  e.phase = 'C';
+  e.cat = cat;
+  e.name = name;
+  e.ts_us = now_us();
+  e.value = value;
+  record(std::move(e));
+}
+
+std::string TraceEventSink::to_json() const {
+  std::lock_guard lock(rings_mutex_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) out += ',';
+    first = false;
+    out += obj;
+  };
+  for (const auto& ring : rings_) {
+    std::lock_guard ring_lock(ring->mutex);
+    const std::string tid = std::to_string(ring->tid);
+    // Replay in ring order: when wrapped, the oldest surviving event sits at
+    // the write cursor.
+    const usize n = ring->events.size();
+    const usize start = n < Ring::kCapacity ? 0 : ring->next;
+    for (usize i = 0; i < n; ++i) {
+      const Event& e = ring->events[(start + i) % n];
+      std::string obj = "{\"ph\":\"";
+      obj += e.phase;
+      obj += "\",\"cat\":\"";
+      obj += e.cat;
+      obj += "\",\"name\":\"";
+      obj += e.name;
+      obj += "\",\"pid\":1,\"tid\":" + tid +
+             ",\"ts\":" + format_ts(e.ts_us);
+      if (e.phase == 'X') {
+        obj += ",\"dur\":" + format_ts(e.dur_us);
+      }
+      if (e.phase == 'C') {
+        obj += ",\"args\":{\"value\":" + format_ts(e.value) + "}";
+      } else if (!e.args_json.empty()) {
+        obj += ",\"args\":" + e.args_json;
+      }
+      obj += '}';
+      emit(obj);
+    }
+    if (ring->dropped != 0) {
+      emit("{\"ph\":\"i\",\"cat\":\"obs\",\"name\":\"kvx_dropped_events\","
+           "\"pid\":1,\"tid\":" +
+           tid + ",\"ts\":0,\"args\":{\"dropped\":" +
+           std::to_string(ring->dropped) + "}}");
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool TraceEventSink::write_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+u64 TraceEventSink::dropped() const {
+  std::lock_guard lock(rings_mutex_);
+  u64 total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard ring_lock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+void TraceEventSink::clear() {
+  std::lock_guard lock(rings_mutex_);
+  for (auto& ring : rings_) {
+    std::lock_guard ring_lock(ring->mutex);
+    ring->events.clear();
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+}  // namespace kvx::obs

@@ -8,6 +8,8 @@
 #include "kvx/common/rng.hpp"
 #include "kvx/isa/encoding.hpp"
 #include "kvx/keccak/permutation.hpp"
+#include "kvx/obs/metrics.hpp"
+#include "kvx/obs/trace_event.hpp"
 #include "kvx/sim/trace_fusion.hpp"
 
 namespace kvx::sim {
@@ -837,6 +839,53 @@ constexpr u64 kFusedKeySalt = 0x46555345445F5452ull;  // "FUSED_TR"
 
 }  // namespace
 
+namespace cache_obs {
+
+/// Registry mirrors of the TraceCacheStats counters (and trace events for
+/// compile/fuse phases and hit/miss), so cache behaviour is visible in the
+/// same scrape as the engine metrics.
+obs::Counter& hits() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "kvx_trace_cache_hits_total",
+      "Trace-cache lookups served without compiling");
+  return c;
+}
+obs::Counter& compiles() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "kvx_trace_cache_compiles_total", "Traces compiled (cache misses)");
+  return c;
+}
+obs::Counter& failures() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "kvx_trace_cache_failures_total",
+      "Trace compilations rejected (data-dependent program)");
+  return c;
+}
+obs::Counter& fusions() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "kvx_trace_cache_fusions_total", "Fused traces built");
+  return c;
+}
+obs::Counter& compile_ns() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "kvx_trace_compile_ns_total",
+      "Host time spent compiling traces (incl. failures)");
+  return c;
+}
+obs::Counter& fuse_ns() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "kvx_trace_fuse_ns_total", "Host time spent in the fusion pass");
+  return c;
+}
+
+void hit_event() {
+  hits().inc();
+  obs::TraceEventSink& sink = obs::TraceEventSink::global();
+  if (sink.enabled()) sink.instant("cache", "trace_cache_hit");
+}
+
+}  // namespace cache_obs
+
 TraceCache& TraceCache::global() {
   static TraceCache cache;
   return cache;
@@ -847,12 +896,15 @@ std::shared_ptr<const CompiledTrace> TraceCache::lookup_or_compile_locked(
     const TraceCompileOptions& opts) {
   if (const auto it = entries_.find(key); it != entries_.end()) {
     ++stats_.hits;
+    cache_obs::hit_event();
     return it->second;
   }
   if (const auto it = failed_.find(key); it != failed_.end()) {
     ++stats_.hits;  // negative-cache hit: rejected without recompiling
+    cache_obs::hit_event();
     throw SimError(it->second);
   }
+  obs::TraceSpan span(obs::TraceEventSink::global(), "cache", "trace_compile");
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed_ns = [&t0] {
     return static_cast<u64>(
@@ -862,13 +914,19 @@ std::shared_ptr<const CompiledTrace> TraceCache::lookup_or_compile_locked(
   };
   try {
     auto trace = compile_trace(program, cfg, opts);
-    stats_.compile_ns += elapsed_ns();
+    const u64 ns = elapsed_ns();
+    stats_.compile_ns += ns;
     ++stats_.compiles;
+    cache_obs::compile_ns().inc(ns);
+    cache_obs::compiles().inc();
     entries_.emplace(key, trace);
     return trace;
   } catch (const Error& e) {
-    stats_.compile_ns += elapsed_ns();
+    const u64 ns = elapsed_ns();
+    stats_.compile_ns += ns;
     ++stats_.failures;
+    cache_obs::compile_ns().inc(ns);
+    cache_obs::failures().inc();
     failed_.emplace(key, e.what());
     throw;
   }
@@ -891,18 +949,23 @@ std::shared_ptr<const FusedTrace> TraceCache::get_or_compile_fused(
   if (const auto it = fused_entries_.find(fused_key);
       it != fused_entries_.end()) {
     ++stats_.hits;
+    cache_obs::hit_event();
     return it->second;
   }
   // Share the recording with the plain-trace entry: one compile serves both
   // backends, but the fused artifact is cached under its own key.
   auto base = lookup_or_compile_locked(base_key, program, cfg, opts);
+  obs::TraceSpan span(obs::TraceEventSink::global(), "cache", "trace_fuse");
   const auto t0 = std::chrono::steady_clock::now();
   auto fused = fuse_trace(std::move(base));
-  stats_.fuse_ns += static_cast<u64>(
+  const u64 ns = static_cast<u64>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+  stats_.fuse_ns += ns;
   ++stats_.fusions;
+  cache_obs::fuse_ns().inc(ns);
+  cache_obs::fusions().inc();
   fused_entries_.emplace(fused_key, fused);
   return fused;
 }

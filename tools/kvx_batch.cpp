@@ -15,7 +15,12 @@
 //     --verify           cross-check every digest against the host model
 //     --stats            print per-shard engine statistics, the backend that
 //                        actually ran, compile time, fusion coverage, cache
-//                        hits and p50/p99 job latency
+//                        hits, throughput, per-step cycle attribution and
+//                        p50/p99/p99.9/max job latency
+//     --metrics-json F   write the metrics-registry JSON snapshot to F
+//                        ("-" = stdout); see docs/observability.md
+//     --trace-out F      record Chrome trace_event JSON to F (open in
+//                        Perfetto or chrome://tracing)
 //
 // Files are hashed in submission order; "-" reads stdin. Output format
 // matches sha3sum: "<hex digest>  <name>".
@@ -30,6 +35,8 @@
 #include "kvx/common/hex.hpp"
 #include "kvx/common/rng.hpp"
 #include "kvx/engine/batch_engine.hpp"
+#include "kvx/obs/metrics.hpp"
+#include "kvx/obs/trace_event.hpp"
 
 namespace {
 
@@ -72,7 +79,8 @@ int usage() {
                "usage: kvx-batch [-a algo] [-t threads] [-s sn] [--arch name]\n"
                "                 [--backend fused|trace|interpreter] [-L out-len]\n"
                "                 [--key hex] [--custom str] [--random N[:LEN]]\n"
-               "                 [--verify] [--stats] [file ...]\n");
+               "                 [--verify] [--stats] [--metrics-json file]\n"
+               "                 [--trace-out file] [file ...]\n");
   return 2;
 }
 
@@ -94,6 +102,8 @@ int main(int argc, char** argv) {
   usize random_len = 256;
   bool verify = false;
   bool stats = false;
+  std::string metrics_json_path;
+  std::string trace_out_path;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -143,6 +153,10 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (a == "--stats") {
       stats = true;
+    } else if (a == "--metrics-json" && has_next) {
+      metrics_json_path = argv[++i];
+    } else if (a == "--trace-out" && has_next) {
+      trace_out_path = argv[++i];
     } else if (a == "-h" || a == "--help") {
       return usage();
     } else if (!a.empty() && a[0] == '-' && a != "-") {
@@ -199,6 +213,9 @@ int main(int argc, char** argv) {
 
   cfg.accel = {arch, 5 * sn, 24};
   cfg.accel.backend = backend;
+  // Tracing must be live before the engine is constructed so that the
+  // backend compile/fuse spans of the warm-up compilation are captured.
+  if (!trace_out_path.empty()) obs::TraceEventSink::global().enable();
   try {
     BatchHashEngine engine(cfg);
     engine.submit_all(jobs);
@@ -238,10 +255,40 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(tc.failures),
                    100.0 * st.fusion_coverage);
       std::fprintf(stderr,
-                   "latency: %llu jobs | p50 %.3f ms | p99 %.3f ms\n",
+                   "latency: %llu jobs | p50 %.3f ms | p99 %.3f ms | "
+                   "p99.9 %.3f ms | max %.3f ms\n",
                    static_cast<unsigned long long>(st.latency.count),
                    static_cast<double>(st.latency.p50_ns) / 1e6,
-                   static_cast<double>(st.latency.p99_ns) / 1e6);
+                   static_cast<double>(st.latency.p99_ns) / 1e6,
+                   static_cast<double>(st.latency.p999_ns) / 1e6,
+                   static_cast<double>(st.latency.max_ns) / 1e6);
+      const ThroughputStats tp = st.throughput();
+      std::fprintf(stderr,
+                   "throughput: %.0f jobs/s | %.2f MB/s | %.0f perms/s | "
+                   "%.0f sim cycles/s\n",
+                   tp.jobs_per_sec, tp.mb_per_sec, tp.perms_per_sec,
+                   tp.sim_cycles_per_sec);
+      std::fprintf(stderr, "step cycles:\n%s",
+                   format_step_cycles(t.step_cycles).c_str());
+    }
+    if (!metrics_json_path.empty()) {
+      const std::string json = obs::MetricsRegistry::global().to_json();
+      if (metrics_json_path == "-") {
+        std::fwrite(json.data(), 1, json.size(), stdout);
+        std::fputc('\n', stdout);
+      } else {
+        std::ofstream out(metrics_json_path, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "kvx-batch: cannot write '%s'\n",
+                       metrics_json_path.c_str());
+          return 1;
+        }
+        out << json << '\n';
+      }
+    }
+    if (!trace_out_path.empty()) {
+      obs::TraceEventSink::global().disable();
+      obs::TraceEventSink::global().write_json(trace_out_path);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "kvx-batch: %s\n", e.what());

@@ -14,12 +14,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
 #include "kvx/asm/assembler.hpp"
 #include "kvx/asm/image_io.hpp"
 #include "kvx/common/error.hpp"
+#include "kvx/core/step_attribution.hpp"
 #include "kvx/isa/disasm.hpp"
 #include "kvx/sim/compiled_trace.hpp"
 #include "kvx/sim/processor.hpp"
@@ -169,10 +171,57 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(st.scalar_instructions),
                 static_cast<unsigned long long>(st.vector_instructions));
     if (!markers.empty()) {
-      std::printf("markers:\n");
-      for (const auto& m : markers) {
-        std::printf("  id %-3u @ cycle %llu\n", m.id,
-                    static_cast<unsigned long long>(m.cycle));
+      // Loop-mode Keccak programs emit step markers in every round body
+      // (~150 markers); summarize per id instead of one line each.
+      if (markers.size() <= 16) {
+        std::printf("markers:\n");
+        for (const auto& m : markers) {
+          std::printf("  id %-3u @ cycle %llu\n", m.id,
+                      static_cast<unsigned long long>(m.cycle));
+        }
+      } else {
+        std::map<kvx::u32, std::pair<kvx::usize, kvx::u64>> by_id;
+        for (const auto& m : markers) {
+          auto& [count, last] = by_id[m.id];
+          ++count;
+          last = m.cycle;
+        }
+        std::printf("markers (%zu total):\n", markers.size());
+        for (const auto& [id, cl] : by_id) {
+          std::printf("  id %-3u x%-4zu last @ cycle %llu\n", id, cl.first,
+                      static_cast<unsigned long long>(cl.second));
+        }
+      }
+      const kvx::obs::StepCycleStats steps =
+          kvx::core::attribute_step_cycles(markers);
+      if (steps.rounds != 0) {
+        const auto pct = [&](kvx::u64 c) {
+          return steps.total != 0
+                     ? 100.0 * static_cast<double>(c) /
+                           static_cast<double>(steps.total)
+                     : 0.0;
+        };
+        std::printf("step cycles (%llu rounds):\n",
+                    static_cast<unsigned long long>(steps.rounds));
+        std::printf("  theta    %10llu  %5.1f%%\n",
+                    static_cast<unsigned long long>(steps.theta),
+                    pct(steps.theta));
+        std::printf("  rho+pi   %10llu  %5.1f%%\n",
+                    static_cast<unsigned long long>(steps.rho_pi),
+                    pct(steps.rho_pi));
+        std::printf("  chi+iota %10llu  %5.1f%%\n",
+                    static_cast<unsigned long long>(steps.chi_iota),
+                    pct(steps.chi_iota));
+        if (steps.absorb != 0) {
+          std::printf("  absorb   %10llu  %5.1f%%\n",
+                      static_cast<unsigned long long>(steps.absorb),
+                      pct(steps.absorb));
+        }
+        std::printf("  other    %10llu  %5.1f%%\n",
+                    static_cast<unsigned long long>(steps.other),
+                    pct(steps.other));
+        std::printf("  total    %10llu\n",
+                    static_cast<unsigned long long>(steps.total));
       }
     }
     if (profile) {
