@@ -75,6 +75,19 @@ class ParallelSha3 {
     return vk_.active_backend();
   }
 
+  /// Backend that completed the most recent permutation dispatch — equal to
+  /// active_backend() unless that dispatch demoted mid-chain (fail-soft
+  /// fallback; see VectorKeccak::permute).
+  [[nodiscard]] sim::ExecBackend last_backend() const noexcept {
+    return vk_.last_backend();
+  }
+
+  /// Cumulative backend demotions of this accelerator (compile-time
+  /// downgrades plus per-dispatch fallbacks).
+  [[nodiscard]] u64 backend_fallbacks() const noexcept {
+    return vk_.backend_fallbacks();
+  }
+
   /// Fraction of trace records fused into super-kernels ([0, 1]); 0 unless
   /// the active backend is the fused trace.
   [[nodiscard]] double fusion_coverage() const noexcept {

@@ -15,6 +15,7 @@
 #include "kvx/keccak/state.hpp"
 #include "kvx/sim/compiled_trace.hpp"
 #include "kvx/sim/exec_backend.hpp"
+#include "kvx/sim/fault_injector.hpp"
 #include "kvx/sim/trace_fusion.hpp"
 #include "kvx/sim/processor.hpp"
 
@@ -26,10 +27,16 @@ struct VectorKeccakConfig {
   unsigned rounds = 24;
   unsigned first_round = 0;  ///< ι round-constant start (12 for Keccak-p[1600,12])
 
-  /// Functional execution backend. The compiled-trace backend produces
-  /// bit-identical digests, register state and cycle counts, and silently
-  /// falls back to the interpreter if the program is not trace-compilable.
+  /// Functional execution backend. Trace/fused backends produce
+  /// bit-identical digests, register state and cycle counts; a compile
+  /// rejection or a runtime SimError demotes tier by tier
+  /// (fused → trace → interpreter) rather than failing the run.
   sim::ExecBackend backend = sim::ExecBackend::kInterpreter;
+
+  /// Optional deterministic fault injector (null = disabled). Shared by
+  /// every instance constructed from this config — engine shards draw from
+  /// one decision stream. See kvx/sim/fault_injector.hpp.
+  std::shared_ptr<sim::FaultInjector> fault_injector = nullptr;
 
   [[nodiscard]] unsigned sn() const noexcept { return ele_num / 5; }
 };
@@ -72,14 +79,35 @@ class VectorKeccak {
 
   /// Permute up to SN states in place on the simulated accelerator.
   /// Throws kvx::Error when states.size() > SN.
+  ///
+  /// Fail-soft: a SimError on the fused or trace tier (injected fault,
+  /// replay fault) demotes THIS dispatch one tier at a time — fused →
+  /// trace → interpreter — restaging the input states before each retry,
+  /// so transient faults cost a fallback, not a wrong digest. Only an
+  /// interpreter-tier SimError propagates to the caller.
   void permute(std::span<keccak::State> states);
 
-  /// Backend that permute() actually uses: the configured one, downgraded
-  /// to the interpreter if trace compilation was rejected.
+  /// Backend that permute() starts a dispatch on: the configured one,
+  /// downgraded if trace compilation was rejected (or injected-failed).
   [[nodiscard]] sim::ExecBackend active_backend() const noexcept {
     if (fused_ != nullptr) return sim::ExecBackend::kFusedTrace;
     return trace_ != nullptr ? sim::ExecBackend::kCompiledTrace
                              : sim::ExecBackend::kInterpreter;
+  }
+
+  /// Backend that actually completed the last successful permute() — equal
+  /// to active_backend() unless that dispatch demoted mid-chain.
+  [[nodiscard]] sim::ExecBackend last_backend() const noexcept {
+    return last_backend_;
+  }
+
+  /// Cumulative backend demotions: compile-time downgrades at construction
+  /// plus per-dispatch demotions inside permute().
+  [[nodiscard]] u64 backend_fallbacks() const noexcept { return fallbacks_; }
+
+  /// Human-readable reason of the most recent demotion ("" if none).
+  [[nodiscard]] const std::string& last_fallback_error() const noexcept {
+    return last_fallback_error_;
   }
 
   /// Fraction of trace records covered by super-kernels ([0, 1]); 0 when
@@ -112,6 +140,11 @@ class VectorKeccak {
  private:
   void stage_states(std::span<const keccak::State> states);
   void unstage_states(std::span<keccak::State> states) const;
+  /// Stage + execute one dispatch on `tier` (throws SimError on fault).
+  void run_backend(sim::ExecBackend tier,
+                   std::span<const keccak::State> states);
+  void note_fallback(sim::ExecBackend from, sim::ExecBackend to,
+                     const char* error);
 
   VectorKeccakConfig config_;
   std::shared_ptr<const KeccakProgram> program_;
@@ -121,6 +154,9 @@ class VectorKeccak {
   obs::StepCycleStats step_cycles_;
   std::shared_ptr<const sim::CompiledTrace> trace_;  ///< null = interpreter
   std::shared_ptr<const sim::FusedTrace> fused_;     ///< kFusedTrace only
+  sim::ExecBackend last_backend_ = sim::ExecBackend::kInterpreter;
+  u64 fallbacks_ = 0;               ///< cumulative backend demotions
+  std::string last_fallback_error_; ///< reason of the latest demotion
 };
 
 }  // namespace kvx::core

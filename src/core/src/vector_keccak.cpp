@@ -2,6 +2,7 @@
 
 #include "kvx/common/error.hpp"
 #include "kvx/common/strings.hpp"
+#include "kvx/obs/trace_event.hpp"
 
 namespace kvx::core {
 
@@ -56,26 +57,56 @@ VectorKeccak::VectorKeccak(const VectorKeccakConfig& config,
   proc_->load_program(program_->image);
   state_base_ = program_->image.symbol("state");
 
-  if (config_.backend != sim::ExecBackend::kInterpreter) {
-    // The staged-state area is the verify region of the trace compiler's
-    // data-independence check: its contents differ between the two recording
-    // runs, so any program whose control flow or operands depend on state
-    // data is rejected and we stay on the interpreter.
-    sim::TraceCompileOptions opts;
-    opts.verify_base = state_base_;
-    opts.verify_len = usize{5} * config_.ele_num * 8;
+  // The staged-state area is the verify region of the trace compiler's
+  // data-independence check: its contents differ between the two recording
+  // runs, so any program whose control flow or operands depend on state
+  // data is rejected. Rejection (genuine or injected) demotes tier by tier
+  // — fused → trace → interpreter — and each demotion is counted.
+  sim::TraceCompileOptions opts;
+  opts.verify_base = state_base_;
+  opts.verify_len = usize{5} * config_.ele_num * 8;
+  sim::FaultInjector* inj = config_.fault_injector.get();
+  for (sim::ExecBackend tier = config_.backend;
+       tier != sim::ExecBackend::kInterpreter;
+       tier = sim::demote_backend(tier)) {
     try {
-      if (config_.backend == sim::ExecBackend::kFusedTrace) {
+      // Injected compile failures are drawn here, NOT inside the trace
+      // cache: the cache caches rejections negatively, and an injected
+      // fault must never poison the shared artifact for other shards.
+      if (inj != nullptr && inj->draw(sim::FaultSite::kTraceCompile)) {
+        inj->fail_compile(std::string(sim::backend_name(tier)));
+      }
+      if (tier == sim::ExecBackend::kFusedTrace) {
         fused_ = sim::TraceCache::global().get_or_compile_fused(
             program_->image, processor_config(config_), opts);
+        // Demotion target of transient fused-dispatch faults: the fused
+        // artifact already shares its base recording, so no extra cache
+        // round trip (and no extra cache-hit accounting).
+        trace_ = fused_->shared_base();
       } else {
         trace_ = sim::TraceCache::global().get_or_compile(
             program_->image, processor_config(config_), opts);
       }
-    } catch (const SimError&) {
-      trace_ = nullptr;  // interpreter fallback
+      break;
+    } catch (const SimError& e) {
       fused_ = nullptr;
+      trace_ = nullptr;
+      note_fallback(tier, sim::demote_backend(tier), e.what());
     }
+  }
+  last_backend_ = active_backend();
+}
+
+void VectorKeccak::note_fallback(sim::ExecBackend from, sim::ExecBackend to,
+                                 const char* error) {
+  fallbacks_ += 1;
+  last_fallback_error_ = error;
+  obs::TraceEventSink& sink = obs::TraceEventSink::global();
+  if (sink.enabled()) {
+    sink.instant("sim", "backend_fallback",
+                 strfmt("{\"from\":\"%s\",\"to\":\"%s\"}",
+                        std::string(sim::backend_name(from)).c_str(),
+                        std::string(sim::backend_name(to)).c_str()));
   }
 }
 
@@ -116,8 +147,36 @@ void VectorKeccak::permute(std::span<keccak::State> states) {
     throw Error(strfmt("permute: %zu states exceed SN=%u", states.size(),
                        config_.sn()));
   }
+  sim::ExecBackend tier = active_backend();
+  for (;;) {
+    try {
+      run_backend(tier, states);
+      last_backend_ = tier;
+      unstage_states(states);
+      return;
+    } catch (const SimError& e) {
+      if (tier == sim::ExecBackend::kInterpreter) throw;
+      // run_backend restages the input states on entry, so whatever the
+      // faulted tier left in the register file or the staged-state region
+      // (including injected bit flips) cannot leak into the retry.
+      const sim::ExecBackend to = sim::demote_backend(tier);
+      note_fallback(tier, to, e.what());
+      tier = to;
+    }
+  }
+}
+
+void VectorKeccak::run_backend(sim::ExecBackend tier,
+                               std::span<const keccak::State> states) {
   stage_states(states);
-  if (fused_ != nullptr) {
+  sim::FaultInjector* inj = config_.fault_injector.get();
+  const std::string tier_name(sim::backend_name(tier));
+  std::optional<sim::FaultKind> fault;
+  if (inj != nullptr) {
+    fault = inj->draw(sim::FaultSite::kExecute);
+    if (fault == sim::FaultKind::kSimFault) inj->throw_sim_fault(tier_name);
+  }
+  if (tier == sim::ExecBackend::kFusedTrace) {
     // Super-kernel replay: architectural effects identical to the base
     // trace (and hence the interpreter); timing passes through unchanged.
     proc_->vector().clear_registers();
@@ -128,7 +187,7 @@ void VectorKeccak::permute(std::span<keccak::State> states) {
         fused_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
     timing_.instructions = fused_->instructions();
     step_cycles_ = attribute_step_cycles(fused_->markers());
-  } else if (trace_ != nullptr) {
+  } else if (tier == sim::ExecBackend::kCompiledTrace) {
     // Replay the pre-decoded kernel trace. Register file and data memory
     // end up bit-identical to an interpreter run; timing was recorded from
     // the interpreter under the same cycle model.
@@ -143,14 +202,40 @@ void VectorKeccak::permute(std::span<keccak::State> states) {
   } else {
     proc_->reset_run_state();
     proc_->vector().clear_registers();
-    proc_->run();
+    if (inj != nullptr && inj->plan().at_instruction != 0) {
+      // Site-addressed synthetic fault: throw out of the interpreter at a
+      // chosen executed-instruction index (one-shot). The hook is cleared
+      // on every exit path so later runs pay nothing for it.
+      u64 executed = 0;
+      proc_->set_trace([inj, &executed](u32, const isa::Instruction&) {
+        if (inj->fire_instruction_fault(++executed)) {
+          throw SimError(strfmt(
+              "injected fault: synthetic fault at instruction %llu",
+              static_cast<unsigned long long>(executed)));
+        }
+      });
+      try {
+        proc_->run();
+      } catch (...) {
+        proc_->set_trace({});
+        throw;
+      }
+      proc_->set_trace({});
+    } else {
+      proc_->run();
+    }
     timing_.total_cycles = proc_->cycles();
     timing_.permutation_cycles =
         proc_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
     timing_.instructions = proc_->stats().instructions;
     step_cycles_ = attribute_step_cycles(proc_->markers());
   }
-  unstage_states(states);
+  if (fault.has_value()) {
+    // Detected corruption: flip one bit in the tier's output state, then
+    // raise — the demoted retry (or the caller's per-job error) takes over.
+    inj->corrupt(*fault, proc_->vector(), proc_->dmem(), state_base_,
+                 usize{5} * config_.ele_num * 8, tier_name);
+  }
 }
 
 u64 VectorKeccak::measure_round_cycles() const {

@@ -9,8 +9,14 @@
 //
 // Guarantees:
 //  * Deterministic ordering — every job carries a dense sequence id and
-//    drain() returns digests in submission order, independent of worker
-//    scheduling. Digests are bit-identical to a single-threaded run.
+//    drain()/drain_results() return outcomes in submission order,
+//    independent of worker scheduling. Digests are bit-identical to a
+//    single-threaded run.
+//  * Fail-soft isolation — jobs fail individually. A malformed job, an
+//    injected fault or a dispatch error marks ONLY the jobs of that
+//    dispatch group as failed; batch-mates and every other job complete
+//    normally. Invariant: submitted == completed + failed, exactly, at
+//    every quiescent point (mirrored by the Prometheus counters).
 //  * Lane filling — workers pop runs of jobs (batch_window, default 4·SN)
 //    so each simulator dispatch can fill all SN lanes.
 //  * Graceful shutdown — close() stops intake; queued jobs still complete.
@@ -18,7 +24,8 @@
 //  * Backpressure — a bounded queue (max_queue) blocks submit() instead of
 //    buffering without limit.
 //
-// See docs/engine.md for the architecture and sizing guidance.
+// See docs/engine.md for the architecture, failure semantics and sizing
+// guidance.
 #pragma once
 
 #include <chrono>
@@ -38,7 +45,9 @@ namespace kvx::engine {
 struct EngineConfig {
   /// Worker shards, each with its own simulated accelerator.
   unsigned threads = 1;
-  /// Per-shard accelerator configuration (SN = ele_num / 5).
+  /// Per-shard accelerator configuration (SN = ele_num / 5). Set
+  /// accel.fault_injector for deterministic fault injection; all shards
+  /// share the injector's decision stream.
   core::VectorKeccakConfig accel{core::Arch::k64Lmul8, 15, 24};
   /// Per-shard ParallelSha3 options (e.g. on-device absorb).
   core::ParallelSha3Options accel_options{};
@@ -58,22 +67,36 @@ class BatchHashEngine {
   BatchHashEngine& operator=(const BatchHashEngine&) = delete;
 
   /// Submit one job; returns its sequence id (dense, starting at 0).
-  /// Throws Error for malformed jobs (variable-output algorithm without
-  /// out_len, fixed-output algorithm with a mismatching out_len) and after
-  /// close().
+  ///
+  /// Malformed jobs (variable-output algorithm without out_len,
+  /// fixed-output algorithm with a mismatching out_len, key material on a
+  /// non-KMAC job) are accepted and retired immediately as per-job
+  /// failures — they get a sequence id and a JobResult carrying the
+  /// validation error, and count toward the failed totals. Only submitting
+  /// after close() throws.
   u64 submit(HashJob job);
 
   /// Submit a span of jobs; returns the sequence id of the first.
   u64 submit_all(std::span<const HashJob> jobs);
 
-  /// Block until every job submitted so far has completed, then return all
-  /// digests not yet collected, in submission order. Throws Error if any
-  /// worker dispatch failed. The engine stays usable for further
-  /// submissions afterwards (unless closed).
+  /// Block until every job submitted so far has retired, then return all
+  /// outcomes not yet collected, in submission order — one JobResult per
+  /// job, failed or not. The engine stays usable for further submissions
+  /// afterwards (unless closed).
+  std::vector<JobResult> drain_results();
+
+  /// Digest-only convenience over drain_results(): throws Error if ANY
+  /// job failed (message carries the failure count and the first error),
+  /// otherwise returns the digests in submission order.
   std::vector<std::vector<u8>> drain();
 
+  /// Block until job `seq` retires and return a copy of its outcome.
+  /// Throws Error if `seq` was never issued or its result was already
+  /// collected by a drain call.
+  JobResult result(u64 seq);
+
   /// Stop accepting new jobs. Already-queued jobs still complete; call
-  /// drain() to collect them. Idempotent.
+  /// drain()/drain_results() to collect them. Idempotent.
   void close();
 
   [[nodiscard]] unsigned threads() const noexcept {
@@ -88,11 +111,25 @@ class BatchHashEngine {
  private:
   struct Shard {
     std::unique_ptr<core::ParallelSha3> accel;
-    ShardStats stats;  ///< guarded by state_mutex_
+    ShardStats stats;        ///< guarded by state_mutex_
+    /// Cumulative accel->backend_fallbacks() already accounted for, so
+    /// dispatch-time demotions are attributed per batch by diffing the
+    /// accelerator's monotone counter (worker thread only).
+    u64 fallbacks_seen = 0;
   };
 
   void worker_loop(Shard& shard);
   void process_batch(Shard& shard, std::vector<QueuedJob>& batch);
+  /// Retire every job of `batch` as failed with the same error (the
+  /// worker-loop backstop for non-dispatch failures).
+  void fail_batch(Shard& shard, const std::vector<QueuedJob>& batch,
+                  const char* what);
+  /// Record one submit-to-retire latency sample (histogram, reservoir,
+  /// exact max). Caller holds state_mutex_.
+  void record_latency_locked(u64 sample_ns);
+  /// Mark job `seq` failed and retired (slot write + accounting + metrics
+  /// + latency stamp). Caller holds state_mutex_.
+  void fail_job_locked(u64 seq, u64 submit_ns, std::string error);
 
   EngineConfig config_;
   usize window_;
@@ -103,26 +140,31 @@ class BatchHashEngine {
   mutable std::mutex state_mutex_;
   std::condition_variable all_done_;
   u64 submitted_ = 0;   ///< total jobs accepted
-  u64 completed_ = 0;   ///< total jobs finished
-  u64 collected_ = 0;   ///< results already returned by drain()
+  u64 retired_ = 0;     ///< jobs with an outcome recorded (ok or failed)
+  u64 failed_ = 0;      ///< subset of retired_ carrying a per-job error
+  u64 collected_ = 0;   ///< results already returned by drain calls
   bool closed_ = false;
-  std::string error_;   ///< first worker failure, if any
   u64 backend_compile_ns_ = 0;  ///< trace compile+fuse time at construction
   std::chrono::steady_clock::time_point start_time_;
   /// Submit-to-retire latency reservoir (Algorithm R; guarded by
-  /// state_mutex_): an unbiased fixed-size sample of ALL retired jobs.
-  /// See LatencyStats in stats.hpp for the sampling contract.
+  /// state_mutex_): an unbiased fixed-size sample of ALL retired jobs —
+  /// failed jobs are stamped too, so percentiles are never skewed by
+  /// dropping failures. See LatencyStats in stats.hpp.
   std::vector<u64> latency_ns_;
   u64 latency_observed_ = 0;  ///< jobs offered to the reservoir
   u64 latency_max_ns_ = 0;    ///< exact maximum (not sampled)
   SplitMix64 latency_rng_{0x6B76785F6C6174ull};  ///< deterministic slots
-  /// Digest of job seq = collected_ + i at index i; filled out of order by
-  /// workers, returned in order by drain().
-  std::vector<std::vector<u8>> results_;
+  /// Outcome of job seq = collected_ + i at index i; filled out of order
+  /// by workers, returned in order by drain calls. done_[i] flags slot i
+  /// as retired (results_[i].ok() cannot distinguish "pending" from
+  /// "succeeded" on its own).
+  std::vector<JobResult> results_;
+  std::vector<u8> done_;
 };
 
 /// One-shot convenience: run `jobs` through a temporary engine and return
-/// the digests in submission order.
+/// the digests in submission order (throws on any per-job failure, like
+/// drain()).
 [[nodiscard]] std::vector<std::vector<u8>> run_batch(
     const EngineConfig& config, std::span<const HashJob> jobs);
 

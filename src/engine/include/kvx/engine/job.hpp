@@ -7,6 +7,7 @@
 // the scheduling nondeterminism of the worker pool.
 #pragma once
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -72,6 +73,21 @@ struct HashJob {
   [[nodiscard]] usize resolved_out_len() const noexcept {
     return out_len != 0 ? out_len : fixed_digest_bytes(algo);
   }
+};
+
+/// Outcome of one engine job. Jobs fail individually — a malformed job or a
+/// faulted dispatch never discards its batch-mates — so every submitted job
+/// always produces exactly one JobResult.
+struct JobResult {
+  /// The digest; empty when the job failed.
+  std::vector<u8> digest;
+  /// Failure reason; empty means the job succeeded.
+  std::string error;
+  /// Execution backend that produced the digest ("interpreter" / "trace" /
+  /// "fused"); empty when the job failed before reaching a shard.
+  std::string backend;
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };
 
 /// Compute a job's digest on the host golden model (no accelerator) — the

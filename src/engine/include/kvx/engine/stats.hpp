@@ -12,7 +12,9 @@ namespace kvx::engine {
 /// Per-worker-shard counters. A shard owns one simulated accelerator
 /// (ParallelSha3) and processes whole job batches at a time.
 struct ShardStats {
-  u64 jobs = 0;               ///< jobs completed by this shard
+  u64 jobs = 0;               ///< jobs completed (successfully) by this shard
+  u64 failures = 0;           ///< jobs retired with a per-job error
+  u64 fallbacks = 0;          ///< backend demotions (fused→trace→interpreter)
   u64 bytes = 0;              ///< message bytes hashed
   u64 dispatches = 0;         ///< batches popped from the queue
   u64 sim_cycles = 0;         ///< simulated accelerator cycles consumed
@@ -53,7 +55,11 @@ struct ThroughputStats {
 /// Whole-engine counters.
 struct EngineStats {
   u64 submitted = 0;          ///< jobs accepted by submit()
-  u64 completed = 0;          ///< jobs with a result available
+  u64 completed = 0;          ///< jobs retired successfully (digest available)
+  /// Jobs retired with a per-job error. Invariant, held exactly at every
+  /// quiescent point (after drain()/drain_results()):
+  ///   submitted == completed + failed
+  u64 failed = 0;
   usize queue_high_water = 0; ///< max queue depth observed since start
   /// Execution backend the shard accelerators run
   /// ("interpreter"/"trace"/"fused"); the active one, i.e. already
@@ -72,6 +78,8 @@ struct EngineStats {
     ShardStats t;
     for (const ShardStats& s : shards) {
       t.jobs += s.jobs;
+      t.failures += s.failures;
+      t.fallbacks += s.fallbacks;
       t.bytes += s.bytes;
       t.dispatches += s.dispatches;
       t.sim_cycles += s.sim_cycles;

@@ -24,6 +24,8 @@ constexpr usize kMaxLatencySamples = 65536;
 struct EngineMetrics {
   obs::Counter& jobs_submitted;
   obs::Counter& jobs_completed;
+  obs::Counter& job_failures;
+  obs::Counter& fallbacks;
   obs::Counter& bytes_hashed;
   obs::Counter& dispatches;
   obs::Counter& sim_cycles;
@@ -41,7 +43,11 @@ struct EngineMetrics {
         r.counter("kvx_engine_jobs_submitted_total",
                   "Jobs accepted by BatchHashEngine::submit"),
         r.counter("kvx_engine_jobs_completed_total",
-                  "Jobs retired with a result available"),
+                  "Jobs retired successfully (digest available)"),
+        r.counter("kvx_engine_job_failures_total",
+                  "Jobs retired with a per-job error"),
+        r.counter("kvx_engine_fallbacks_total",
+                  "Backend demotions (fused->trace->interpreter)"),
         r.counter("kvx_engine_bytes_hashed_total", "Message bytes hashed"),
         r.counter("kvx_engine_dispatches_total",
                   "Job batches dispatched to shard accelerators"),
@@ -80,21 +86,25 @@ bool same_dispatch(const HashJob& a, const HashJob& b) {
          a.key == b.key && a.customization == b.customization;
 }
 
-void validate(const HashJob& job) {
+/// Validation error for a malformed job, or "" if the job is well-formed.
+/// Malformed jobs become immediate per-job failures (never exceptions), so
+/// one bad job in a stream cannot discard its stream-mates.
+std::string validate(const HashJob& job) {
   const usize fixed = fixed_digest_bytes(job.algo);
   if (fixed == 0 && job.out_len == 0) {
-    throw Error(strfmt("%s job requires an explicit out_len",
-                       std::string(algo_name(job.algo)).c_str()));
+    return strfmt("%s job requires an explicit out_len",
+                  std::string(algo_name(job.algo)).c_str());
   }
   if (fixed != 0 && job.out_len != 0 && job.out_len != fixed) {
-    throw Error(strfmt("%s digest is %zu bytes, job asked for %zu",
-                       std::string(algo_name(job.algo)).c_str(), fixed,
-                       job.out_len));
+    return strfmt("%s digest is %zu bytes, job asked for %zu",
+                  std::string(algo_name(job.algo)).c_str(), fixed,
+                  job.out_len);
   }
   const bool is_kmac = job.algo == Algo::kKmac128 || job.algo == Algo::kKmac256;
   if (!is_kmac && (!job.key.empty() || !job.customization.empty())) {
-    throw Error("key/customization are only valid for KMAC jobs");
+    return "key/customization are only valid for KMAC jobs";
   }
+  return {};
 }
 
 }  // namespace
@@ -118,6 +128,12 @@ BatchHashEngine::BatchHashEngine(const EngineConfig& config)
     auto shard = std::make_unique<Shard>();
     shard->accel = std::make_unique<core::ParallelSha3>(
         config_.accel, program, config_.accel_options);
+    // Construction-time demotions (trace compile rejected, genuinely or by
+    // an injected fault) are fallbacks too — count them before any job runs.
+    const u64 fb = shard->accel->backend_fallbacks();
+    if (fb != 0) EngineMetrics::get().fallbacks.inc(fb);
+    shard->stats.fallbacks += fb;
+    shard->fallbacks_seen = fb;
     shards_.push_back(std::move(shard));
   }
   const sim::TraceCacheStats tc1 = sim::TraceCache::global().stats();
@@ -136,14 +152,44 @@ BatchHashEngine::~BatchHashEngine() {
   }
 }
 
+void BatchHashEngine::record_latency_locked(u64 sample_ns) {
+  EngineMetrics::get().job_latency_ns.observe(sample_ns);
+  latency_max_ns_ = std::max(latency_max_ns_, sample_ns);
+  latency_observed_ += 1;
+  if (latency_ns_.size() < kMaxLatencySamples) {
+    latency_ns_.push_back(sample_ns);
+  } else {
+    // Algorithm R: replace a uniformly random slot with probability
+    // reservoir/observed, keeping the sample unbiased over all jobs.
+    const u64 slot = latency_rng_.below(latency_observed_);
+    if (slot < kMaxLatencySamples) {
+      latency_ns_[static_cast<usize>(slot)] = sample_ns;
+    }
+  }
+}
+
+void BatchHashEngine::fail_job_locked(u64 seq, u64 submit_ns,
+                                      std::string error) {
+  const usize idx = static_cast<usize>(seq - collected_);
+  results_[idx].error = std::move(error);
+  done_[idx] = 1;
+  retired_ += 1;
+  failed_ += 1;
+  EngineMetrics::get().job_failures.inc();
+  record_latency_locked(steady_now_ns() - submit_ns);
+  all_done_.notify_all();
+}
+
 u64 BatchHashEngine::submit(HashJob job) {
-  validate(job);
+  std::string invalid = validate(job);
+  const u64 submit_ns = steady_now_ns();
   u64 seq = 0;
   {
     std::lock_guard lock(state_mutex_);
     if (closed_) throw Error("submit after close()");
     seq = submitted_++;
     results_.emplace_back();
+    done_.push_back(0);
   }
   EngineMetrics::get().jobs_submitted.inc();
   obs::TraceEventSink& sink = obs::TraceEventSink::global();
@@ -151,15 +197,23 @@ u64 BatchHashEngine::submit(HashJob job) {
     sink.instant("engine", "job_submit",
                  strfmt("{\"seq\":%llu}", static_cast<unsigned long long>(seq)));
   }
+  if (!invalid.empty()) {
+    // Malformed: retire right here as a per-job failure (full accounting,
+    // no queue round-trip) so batch-mates are untouched.
+    std::lock_guard lock(state_mutex_);
+    fail_job_locked(seq, submit_ns, std::move(invalid));
+    return seq;
+  }
   // Push outside state_mutex_: a bounded queue may block here, and workers
   // need the state mutex to retire jobs (holding it would deadlock).
-  if (!queue_.push({seq, steady_now_ns(), std::move(job)})) {
-    // close() raced with this submit; account for the job so drain() cannot
-    // hang, and surface the loss.
-    std::lock_guard lock(state_mutex_);
-    completed_ += 1;
-    if (error_.empty()) error_ = "engine closed while a submit was in flight";
-    all_done_.notify_all();
+  if (!queue_.push({seq, submit_ns, std::move(job)})) {
+    // close() raced with this submit; retire the job as failed so drain
+    // cannot hang, and surface the loss to the caller.
+    {
+      std::lock_guard lock(state_mutex_);
+      fail_job_locked(seq, submit_ns,
+                      "engine closed while a submit was in flight");
+    }
     throw Error("submit after close()");
   }
   return seq;
@@ -182,14 +236,50 @@ void BatchHashEngine::close() {
   queue_.close();
 }
 
-std::vector<std::vector<u8>> BatchHashEngine::drain() {
+std::vector<JobResult> BatchHashEngine::drain_results() {
   std::unique_lock lock(state_mutex_);
-  all_done_.wait(lock, [&] { return completed_ == submitted_; });
-  if (!error_.empty()) throw Error("engine worker failed: " + error_);
-  std::vector<std::vector<u8>> out = std::move(results_);
+  all_done_.wait(lock, [&] { return retired_ == submitted_; });
+  std::vector<JobResult> out = std::move(results_);
   results_.clear();
+  done_.clear();
   collected_ += out.size();
   return out;
+}
+
+std::vector<std::vector<u8>> BatchHashEngine::drain() {
+  std::vector<JobResult> rs = drain_results();
+  usize failures = 0;
+  const std::string* first = nullptr;
+  for (const JobResult& r : rs) {
+    if (!r.ok()) {
+      if (first == nullptr) first = &r.error;
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    throw Error(strfmt("%zu of %zu jobs failed; first error: %s", failures,
+                       rs.size(), first->c_str()));
+  }
+  std::vector<std::vector<u8>> out;
+  out.reserve(rs.size());
+  for (JobResult& r : rs) out.push_back(std::move(r.digest));
+  return out;
+}
+
+JobResult BatchHashEngine::result(u64 seq) {
+  std::unique_lock lock(state_mutex_);
+  if (seq >= submitted_) {
+    throw Error(strfmt("result: sequence id %llu was never issued",
+                       static_cast<unsigned long long>(seq)));
+  }
+  all_done_.wait(lock, [&] {
+    return seq < collected_ || done_[static_cast<usize>(seq - collected_)] != 0;
+  });
+  if (seq < collected_) {
+    throw Error(strfmt("result: job %llu was already collected by drain",
+                       static_cast<unsigned long long>(seq)));
+  }
+  return results_[static_cast<usize>(seq - collected_)];
 }
 
 EngineStats BatchHashEngine::stats() const {
@@ -200,7 +290,8 @@ EngineStats BatchHashEngine::stats() const {
   {
     std::lock_guard lock(state_mutex_);
     st.submitted = submitted_;
-    st.completed = completed_;
+    st.completed = retired_ - failed_;
+    st.failed = failed_;
     st.shards.reserve(shards_.size());
     for (const auto& shard : shards_) st.shards.push_back(shard->stats);
     lat = latency_ns_;
@@ -243,14 +334,33 @@ void BatchHashEngine::worker_loop(Shard& shard) {
     try {
       process_batch(shard, batch);
     } catch (const std::exception& e) {
-      // Retire the failed jobs with empty digests so drain() terminates,
-      // and record the first failure for it to rethrow.
-      std::lock_guard lock(state_mutex_);
-      completed_ += batch.size();
-      if (error_.empty()) error_ = e.what();
-      if (completed_ == submitted_) all_done_.notify_all();
+      // Backstop for failures outside the per-group isolation (allocation
+      // in the grouping pass, retire bookkeeping): every job of the batch
+      // is retired as failed, with full metric and latency accounting, so
+      // drain terminates and the counters stay consistent.
+      fail_batch(shard, batch, e.what());
     }
   }
+}
+
+void BatchHashEngine::fail_batch(Shard& shard,
+                                 const std::vector<QueuedJob>& batch,
+                                 const char* what) {
+  EngineMetrics& m = EngineMetrics::get();
+  const u64 retire_ns = steady_now_ns();
+  std::lock_guard lock(state_mutex_);
+  for (const QueuedJob& qj : batch) {
+    const usize idx = static_cast<usize>(qj.seq - collected_);
+    if (done_[idx] != 0) continue;  // already retired by process_batch
+    results_[idx].error = what;
+    done_[idx] = 1;
+    retired_ += 1;
+    failed_ += 1;
+    shard.stats.failures += 1;
+    m.job_failures.inc();
+    record_latency_locked(retire_ns - qj.submit_ns);
+  }
+  all_done_.notify_all();
 }
 
 void BatchHashEngine::process_batch(Shard& shard,
@@ -264,7 +374,10 @@ void BatchHashEngine::process_batch(Shard& shard,
 
   // Partition the run into dispatch groups (order-preserving); each group
   // goes to the accelerator as one batch so equal-length jobs share lanes.
-  std::vector<std::vector<u8>> digests(batch.size());
+  // Each group is its own failure domain: a SimError or Error thrown by one
+  // dispatch marks only that group's jobs failed; the loop continues with
+  // the next group.
+  std::vector<JobResult> outcomes(batch.size());
   std::vector<bool> grouped(batch.size(), false);
   u64 bytes = 0;
   for (usize i = 0; i < batch.size(); ++i) {
@@ -277,29 +390,37 @@ void BatchHashEngine::process_batch(Shard& shard,
       }
     }
     std::vector<std::vector<u8>> msgs(members.size());
+    u64 group_bytes = 0;
     for (usize k = 0; k < members.size(); ++k) {
       msgs[k] = batch[members[k]].job.message;
-      bytes += msgs[k].size();
+      group_bytes += msgs[k].size();
     }
     const HashJob& head = batch[i].job;
     const usize out_len = head.resolved_out_len();
-    std::vector<std::vector<u8>> outs;
-    switch (head.algo) {
-      case Algo::kKmac128:
-      case Algo::kKmac256:
-        outs = accel.kmac_batch(head.algo == Algo::kKmac128 ? 128u : 256u,
-                                head.key, msgs, out_len, head.customization);
-        break;
-      case Algo::kShake128:
-      case Algo::kShake256:
-        outs = accel.xof_batch(base_function(head.algo), msgs, out_len);
-        break;
-      default:
-        outs = accel.hash_batch(base_function(head.algo), msgs);
-        break;
-    }
-    for (usize k = 0; k < members.size(); ++k) {
-      digests[members[k]] = std::move(outs[k]);
+    try {
+      std::vector<std::vector<u8>> outs;
+      switch (head.algo) {
+        case Algo::kKmac128:
+        case Algo::kKmac256:
+          outs = accel.kmac_batch(head.algo == Algo::kKmac128 ? 128u : 256u,
+                                  head.key, msgs, out_len, head.customization);
+          break;
+        case Algo::kShake128:
+        case Algo::kShake256:
+          outs = accel.xof_batch(base_function(head.algo), msgs, out_len);
+          break;
+        default:
+          outs = accel.hash_batch(base_function(head.algo), msgs);
+          break;
+      }
+      const std::string backend(sim::backend_name(accel.last_backend()));
+      for (usize k = 0; k < members.size(); ++k) {
+        outcomes[members[k]].digest = std::move(outs[k]);
+        outcomes[members[k]].backend = backend;
+      }
+      bytes += group_bytes;  // only successfully hashed bytes count
+    } catch (const std::exception& e) {
+      for (const usize member : members) outcomes[member].error = e.what();
     }
   }
 
@@ -310,9 +431,23 @@ void BatchHashEngine::process_batch(Shard& shard,
   const u64 cycles = after.accelerator_cycles - before.accelerator_cycles;
   const u64 perms = after.permutations - before.permutations;
   const obs::StepCycleStats steps = after.step_cycles.minus(before.step_cycles);
+  // Dispatch-time backend demotions this batch caused: diff the
+  // accelerator's monotone fallback counter (worker thread only, so no
+  // other batch can interleave on this shard).
+  const u64 accel_fallbacks = accel.backend_fallbacks();
+  const u64 fallbacks = accel_fallbacks - shard.fallbacks_seen;
+  shard.fallbacks_seen = accel_fallbacks;
+
+  usize ok_jobs = 0;
+  for (const JobResult& r : outcomes) {
+    if (r.ok()) ++ok_jobs;
+  }
+  const usize failed_jobs = batch.size() - ok_jobs;
 
   EngineMetrics& m = EngineMetrics::get();
-  m.jobs_completed.inc(batch.size());
+  m.jobs_completed.inc(ok_jobs);
+  if (failed_jobs != 0) m.job_failures.inc(failed_jobs);
+  if (fallbacks != 0) m.fallbacks.inc(fallbacks);
   m.bytes_hashed.inc(bytes);
   m.dispatches.inc();
   m.sim_cycles.inc(cycles);
@@ -326,8 +461,10 @@ void BatchHashEngine::process_batch(Shard& shard,
   obs::TraceEventSink& sink = obs::TraceEventSink::global();
   if (sink.enabled()) {
     dispatch_span.set_args(
-        strfmt("{\"jobs\":%zu,\"bytes\":%llu,\"sim_cycles\":%llu}",
-               batch.size(), static_cast<unsigned long long>(bytes),
+        strfmt("{\"jobs\":%zu,\"failed\":%zu,\"bytes\":%llu,"
+               "\"sim_cycles\":%llu}",
+               batch.size(), failed_jobs,
+               static_cast<unsigned long long>(bytes),
                static_cast<unsigned long long>(cycles)));
     sink.instant("engine", "job_retire",
                  strfmt("{\"jobs\":%zu,\"first_seq\":%llu}", batch.size(),
@@ -339,31 +476,25 @@ void BatchHashEngine::process_batch(Shard& shard,
   for (usize i = 0; i < batch.size(); ++i) {
     // collected_ only moves when results_ is empty (drain retires every
     // completed job at once), so this index is always in range.
-    results_[batch[i].seq - collected_] = std::move(digests[i]);
-    const u64 sample = retire_ns - batch[i].submit_ns;
-    m.job_latency_ns.observe(sample);
-    latency_max_ns_ = std::max(latency_max_ns_, sample);
-    latency_observed_ += 1;
-    if (latency_ns_.size() < kMaxLatencySamples) {
-      latency_ns_.push_back(sample);
-    } else {
-      // Algorithm R: replace a uniformly random slot with probability
-      // reservoir/observed, keeping the sample unbiased over all jobs.
-      const u64 slot = latency_rng_.below(latency_observed_);
-      if (slot < kMaxLatencySamples) {
-        latency_ns_[static_cast<usize>(slot)] = sample;
-      }
-    }
+    const usize idx = static_cast<usize>(batch[i].seq - collected_);
+    results_[idx] = std::move(outcomes[i]);
+    done_[idx] = 1;
+    // Every retirement is latency-stamped, failed or not — dropping
+    // failures would skew p50/p99.9 toward the surviving jobs.
+    record_latency_locked(retire_ns - batch[i].submit_ns);
   }
-  completed_ += batch.size();
-  shard.stats.jobs += batch.size();
+  retired_ += batch.size();
+  failed_ += failed_jobs;
+  shard.stats.jobs += ok_jobs;
+  shard.stats.failures += failed_jobs;
+  shard.stats.fallbacks += fallbacks;
   shard.stats.bytes += bytes;
   shard.stats.dispatches += 1;
   shard.stats.sim_cycles += cycles;
   shard.stats.permutations += perms;
   shard.stats.host_ns += host_ns;
   shard.stats.step_cycles += steps;
-  if (completed_ == submitted_) all_done_.notify_all();
+  all_done_.notify_all();
 }
 
 std::vector<std::vector<u8>> run_batch(const EngineConfig& config,

@@ -10,7 +10,11 @@ namespace kvx::engine {
 namespace {
 
 /// Sample the queue depth into the gauge and (when tracing) the Chrome
-/// counter track. Called outside the queue mutex with a just-observed depth.
+/// counter track. MUST be called under the queue mutex: publishing after
+/// dropping the lock lets a stale sample land last (push at depth 3 and a
+/// racing pop at depth 0 could publish 0 then 3, leaving the gauge wrong
+/// until the next operation). Serializing the publish with the mutation
+/// makes the final publish always carry the final depth.
 void observe_depth(usize depth) {
   static obs::Gauge& gauge = obs::MetricsRegistry::global().gauge(
       "kvx_engine_queue_depth", "Jobs currently waiting in the engine queue");
@@ -24,38 +28,31 @@ void observe_depth(usize depth) {
 }  // namespace
 
 bool JobQueue::push(QueuedJob item) {
-  usize depth = 0;
-  {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] {
-      return closed_ || max_depth_ == 0 || items_.size() < max_depth_;
-    });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    high_water_ = std::max(high_water_, items_.size());
-    depth = items_.size();
-    not_empty_.notify_one();
-  }
-  observe_depth(depth);
+  std::unique_lock lock(mutex_);
+  not_full_.wait(lock, [&] {
+    return closed_ || max_depth_ == 0 || items_.size() < max_depth_;
+  });
+  if (closed_) return false;
+  items_.push_back(std::move(item));
+  high_water_ = std::max(high_water_, items_.size());
+  observe_depth(items_.size());
+  not_empty_.notify_one();
   return true;
 }
 
 usize JobQueue::pop_up_to(usize max_items, std::vector<QueuedJob>& out) {
   out.clear();
-  usize take = 0;
-  usize depth = 0;
-  {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    take = std::min(max_items, items_.size());
-    for (usize i = 0; i < take; ++i) {
-      out.push_back(std::move(items_.front()));
-      items_.pop_front();
-    }
-    depth = items_.size();
-    if (take > 0) not_full_.notify_all();
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  const usize take = std::min(max_items, items_.size());
+  for (usize i = 0; i < take; ++i) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
   }
-  if (take > 0) observe_depth(depth);
+  if (take > 0) {
+    observe_depth(items_.size());
+    not_full_.notify_all();
+  }
   return take;
 }
 

@@ -32,6 +32,13 @@ enum class ExecBackend {
   }
 }
 
+/// Next tier of the fail-soft fallback chain: fused → trace → interpreter.
+/// The interpreter is the floor — it demotes to itself.
+[[nodiscard]] constexpr ExecBackend demote_backend(ExecBackend b) noexcept {
+  return b == ExecBackend::kFusedTrace ? ExecBackend::kCompiledTrace
+                                       : ExecBackend::kInterpreter;
+}
+
 /// Parse a backend name ("interpreter", "trace"/"compiled-trace",
 /// "fused"/"fused-trace").
 [[nodiscard]] inline std::optional<ExecBackend> parse_backend(

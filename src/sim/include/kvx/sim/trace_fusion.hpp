@@ -97,6 +97,12 @@ class FusedTrace {
     return base_->final_scalar_regs();
   }
   [[nodiscard]] const CompiledTrace& base() const noexcept { return *base_; }
+  /// Shared ownership of the base trace — the fused backend's demotion
+  /// target (fused → trace) without a second trace-cache round trip.
+  [[nodiscard]] const std::shared_ptr<const CompiledTrace>& shared_base()
+      const noexcept {
+    return base_;
+  }
 
   // --- fusion statistics ---
   /// Fraction of base-trace records covered by super-kernels, in [0, 1].

@@ -1,0 +1,180 @@
+#include "kvx/sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/strings.hpp"
+
+namespace kvx::sim {
+
+namespace {
+
+constexpr u32 bit(FaultKind k) noexcept { return static_cast<u32>(k); }
+
+/// Map a 64-bit hash to a uniform double in [0, 1).
+double to_unit(u64 h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  if (plan_.rate < 0.0 || plan_.rate > 1.0) {
+    throw Error(strfmt("fault rate %g outside [0, 1]", plan_.rate));
+  }
+  instruction_fault_armed_ = plan_.at_instruction != 0;
+}
+
+u64 FaultInjector::mix(u64 stream) const noexcept {
+  // A fresh SplitMix64 per (seed, stream) keeps every decision a pure
+  // function of the plan and the draw index — replayable regardless of
+  // which thread happens to make the draw.
+  return SplitMix64(plan_.seed ^ (stream * 0x9E3779B97F4A7C15ull)).next();
+}
+
+std::optional<FaultKind> FaultInjector::draw(FaultSite site) {
+  std::lock_guard lock(mutex_);
+  const u64 n = ++draws_;
+  stats_.draws = n;
+
+  bool fault = plan_.at_draw != 0 && n == plan_.at_draw;
+  if (!fault && plan_.rate > 0.0) {
+    fault = to_unit(mix(2 * n)) < plan_.rate;
+  }
+  if (!fault) return std::nullopt;
+
+  // Kinds applicable to this site, restricted by the plan's mask.
+  std::vector<FaultKind> pool;
+  if (site == FaultSite::kTraceCompile) {
+    if (plan_.kinds & bit(FaultKind::kCompileFail)) {
+      pool.push_back(FaultKind::kCompileFail);
+    }
+  } else {
+    for (FaultKind k : {FaultKind::kRegfileBitFlip, FaultKind::kMemoryBitFlip,
+                        FaultKind::kSimFault}) {
+      if (plan_.kinds & bit(k)) pool.push_back(k);
+    }
+  }
+  if (pool.empty()) return std::nullopt;
+  const FaultKind k = pool[mix(2 * n + 1) % pool.size()];
+  stats_.injected += 1;
+  return k;
+}
+
+void FaultInjector::fail_compile(const std::string& what) {
+  {
+    std::lock_guard lock(mutex_);
+    stats_.compile_fails += 1;
+  }
+  throw SimError(strfmt("injected fault: %s compilation rejected",
+                        what.c_str()));
+}
+
+void FaultInjector::throw_sim_fault(const std::string& backend) {
+  {
+    std::lock_guard lock(mutex_);
+    stats_.sim_faults += 1;
+  }
+  throw SimError(strfmt("injected fault: synthetic fault on %s dispatch",
+                        backend.c_str()));
+}
+
+void FaultInjector::corrupt(FaultKind kind, VectorUnit& vu, Memory& mem,
+                            u32 state_base, usize state_len,
+                            const std::string& backend) {
+  u64 h;
+  {
+    std::lock_guard lock(mutex_);
+    stats_.bit_flips += 1;
+    h = mix(0xB17F11Bull ^ ++draws_);
+  }
+  const unsigned bit_idx = static_cast<unsigned>(h & 7);
+  if (kind == FaultKind::kRegfileBitFlip) {
+    const usize file_bytes = usize{32} * vu.reg_bytes();
+    const usize off = (h >> 3) % file_bytes;
+    vu.file_data()[off] ^= static_cast<u8>(1u << bit_idx);
+    throw SimError(strfmt(
+        "injected fault: regfile bit flip at byte %zu bit %u on %s dispatch",
+        off, bit_idx, backend.c_str()));
+  }
+  const usize len = std::max<usize>(state_len, 1);
+  const u32 addr = state_base + static_cast<u32>((h >> 3) % len);
+  mem.write8(addr, static_cast<u8>(mem.read8(addr) ^ (1u << bit_idx)));
+  throw SimError(strfmt(
+      "injected fault: memory bit flip at 0x%x bit %u on %s dispatch", addr,
+      bit_idx, backend.c_str()));
+}
+
+bool FaultInjector::fire_instruction_fault(u64 executed) {
+  std::lock_guard lock(mutex_);
+  if (!instruction_fault_armed_ || executed != plan_.at_instruction) {
+    return false;
+  }
+  instruction_fault_armed_ = false;  // one-shot: the demoted retry runs clean
+  stats_.sim_faults += 1;
+  return true;
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  usize pos = 0;
+  while (pos < spec.size()) {
+    const usize comma = std::min(spec.find(',', pos), spec.size());
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const usize eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw Error(strfmt("fault spec item '%s' is not key=value",
+                         item.c_str()));
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        plan.seed = std::stoull(value);
+      } else if (key == "rate") {
+        plan.rate = std::stod(value);
+      } else if (key == "at") {
+        plan.at_draw = std::stoull(value);
+      } else if (key == "at-instruction") {
+        plan.at_instruction = std::stoull(value);
+      } else if (key == "kinds") {
+        u32 kinds = 0;
+        usize kpos = 0;
+        while (kpos <= value.size()) {
+          const usize plus = std::min(value.find('+', kpos), value.size());
+          const std::string k = value.substr(kpos, plus - kpos);
+          kpos = plus + 1;
+          if (k == "regflip") kinds |= static_cast<u32>(FaultKind::kRegfileBitFlip);
+          else if (k == "memflip") kinds |= static_cast<u32>(FaultKind::kMemoryBitFlip);
+          else if (k == "sim") kinds |= static_cast<u32>(FaultKind::kSimFault);
+          else if (k == "compile") kinds |= static_cast<u32>(FaultKind::kCompileFail);
+          else if (k == "all") kinds |= kAllFaultKinds;
+          else throw Error(strfmt("unknown fault kind '%s'", k.c_str()));
+        }
+        plan.kinds = kinds;
+      } else {
+        throw Error(strfmt("unknown fault spec key '%s'", key.c_str()));
+      }
+    } catch (const std::invalid_argument&) {
+      throw Error(strfmt("bad value '%s' for fault spec key '%s'",
+                         value.c_str(), key.c_str()));
+    } catch (const std::out_of_range&) {
+      throw Error(strfmt("value '%s' out of range for fault spec key '%s'",
+                         value.c_str(), key.c_str()));
+    }
+  }
+  if (plan.rate < 0.0 || plan.rate > 1.0) {
+    throw Error(strfmt("fault rate %g outside [0, 1]", plan.rate));
+  }
+  return plan;
+}
+
+}  // namespace kvx::sim

@@ -9,12 +9,14 @@
 // ThreadSanitizer job.
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <tuple>
 
 #include "kvx/common/error.hpp"
 #include "kvx/common/hex.hpp"
 #include "kvx/common/rng.hpp"
 #include "kvx/engine/batch_engine.hpp"
+#include "kvx/obs/metrics.hpp"
 
 namespace kvx::engine {
 namespace {
@@ -203,24 +205,117 @@ TEST(Engine, SubmitAfterCloseThrows) {
   EXPECT_THROW((void)engine.submit({Algo::kSha3_256, {0x61}}), Error);
 }
 
-TEST(Engine, MalformedJobsRejected) {
+TEST(Engine, MalformedJobsFailIndividually) {
+  // Malformed jobs are retired as per-job failures, never exceptions: one
+  // bad job in a stream must not discard its stream-mates.
   BatchHashEngine engine({});
   HashJob shake_no_len;
   shake_no_len.algo = Algo::kShake128;
-  EXPECT_THROW((void)engine.submit(shake_no_len), Error);
-
+  HashJob good;
+  good.algo = Algo::kSha3_256;
+  good.message = {'o', 'k'};
   HashJob wrong_digest;
   wrong_digest.algo = Algo::kSha3_256;
   wrong_digest.out_len = 31;
-  EXPECT_THROW((void)engine.submit(wrong_digest), Error);
-
   HashJob keyed_sha3;
   keyed_sha3.algo = Algo::kSha3_512;
   keyed_sha3.key = {1, 2, 3};
-  EXPECT_THROW((void)engine.submit(keyed_sha3), Error);
+
+  (void)engine.submit(shake_no_len);
+  (void)engine.submit(good);
+  (void)engine.submit(wrong_digest);
+  (void)engine.submit(keyed_sha3);
+  const auto results = engine.drain_results();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_NE(results[0].error.find("out_len"), std::string::npos);
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_EQ(results[1].digest, host_reference_digest(good));
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_FALSE(results[3].ok());
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, 4u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.failed, 3u);
+
+  // The digest-only drain() still surfaces failures, as an exception.
+  (void)engine.submit(shake_no_len);
+  EXPECT_THROW((void)engine.drain(), Error);
 
   EXPECT_THROW(BatchHashEngine bad({.threads = 0}), Error);
 }
+
+TEST(Engine, ResultWaitsPerJob) {
+  BatchHashEngine engine({});
+  HashJob good;
+  good.algo = Algo::kSha3_256;
+  good.message = {'a', 'b'};
+  HashJob bad;
+  bad.algo = Algo::kShake128;  // missing out_len: immediate per-job failure
+  const u64 s0 = engine.submit(good);
+  const u64 s1 = engine.submit(bad);
+  const JobResult r1 = engine.result(s1);
+  EXPECT_FALSE(r1.ok());
+  const JobResult r0 = engine.result(s0);
+  EXPECT_TRUE(r0.ok());
+  EXPECT_EQ(r0.digest, host_reference_digest(good));
+  EXPECT_EQ(r0.backend, engine.stats().backend);
+  EXPECT_THROW((void)engine.result(99), Error);
+  (void)engine.drain_results();
+  EXPECT_THROW((void)engine.result(s0), Error);  // already collected
+}
+
+// One deliberately invalid job in a 100-job stream must fail alone: the 99
+// valid jobs retire with digests identical to a clean run, on every backend
+// and thread count (the fail-soft acceptance test).
+class FailSoftMatrixTest
+    : public ::testing::TestWithParam<std::tuple<sim::ExecBackend, unsigned>> {
+};
+
+TEST_P(FailSoftMatrixTest, InvalidJobAmongHundredFailsAlone) {
+  const auto [backend, threads] = GetParam();
+  auto jobs = random_job_mix(100, 31);
+  constexpr usize kBadIndex = 42;
+  jobs[kBadIndex] = HashJob{};
+  jobs[kBadIndex].algo = Algo::kShake256;  // out_len left 0: invalid
+  const auto host = host_references(jobs);
+
+  EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.accel = {core::Arch::k64Lmul8, 15, 24};
+  cfg.accel.backend = backend;
+  BatchHashEngine engine(cfg);
+  engine.submit_all(jobs);
+  const auto results = engine.drain_results();
+  ASSERT_EQ(results.size(), jobs.size());
+  for (usize i = 0; i < results.size(); ++i) {
+    if (i == kBadIndex) {
+      EXPECT_FALSE(results[i].ok());
+      EXPECT_TRUE(results[i].digest.empty());
+      EXPECT_TRUE(results[i].backend.empty());
+      continue;
+    }
+    ASSERT_TRUE(results[i].ok()) << "job " << i << ": " << results[i].error;
+    EXPECT_EQ(to_hex(results[i].digest), to_hex(host[i])) << "job " << i;
+    EXPECT_FALSE(results[i].backend.empty());
+  }
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, 100u);
+  EXPECT_EQ(st.completed, 99u);
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_EQ(st.totals().failures, 0u);  // failed at submit, not in a shard
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsByThreads, FailSoftMatrixTest,
+    ::testing::Combine(::testing::Values(sim::ExecBackend::kInterpreter,
+                                         sim::ExecBackend::kCompiledTrace,
+                                         sim::ExecBackend::kFusedTrace),
+                       ::testing::Values(1u, 8u)),
+    [](const auto& info) {
+      return std::string(sim::backend_name(std::get<0>(info.param))) + "_T" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 TEST(Engine, LongXofSqueezeThroughEngine) {
   HashJob job;
@@ -279,6 +374,78 @@ TEST(Engine, StatsAccountForEveryJobAndByte) {
   EXPECT_GT(totals.permutations, 0u);
   EXPECT_GE(totals.dispatches, 1u);
   EXPECT_GE(st.queue_high_water, 1u);
+}
+
+TEST(Engine, FailureMetricsStayConsistent) {
+  // Regression (PR 5): failed jobs used to bump the internal completed
+  // count without ever touching kvx_engine_jobs_completed_total, the
+  // latency histogram or the shard stats — the registry silently diverged
+  // from EngineStats. The metrics are process-global, so diff them.
+  auto& r = obs::MetricsRegistry::global();
+  obs::Counter& submitted_c = r.counter("kvx_engine_jobs_submitted_total");
+  obs::Counter& completed_c = r.counter("kvx_engine_jobs_completed_total");
+  obs::Counter& failures_c = r.counter("kvx_engine_job_failures_total");
+  obs::Histogram& latency_h = r.histogram("kvx_engine_job_latency_ns");
+  const u64 sub0 = submitted_c.value();
+  const u64 com0 = completed_c.value();
+  const u64 fail0 = failures_c.value();
+  const u64 lat0 = latency_h.count();
+
+  auto jobs = random_job_mix(20, 33);
+  jobs[7] = HashJob{};
+  jobs[7].algo = Algo::kShake128;  // invalid: out_len missing
+  EngineConfig cfg;
+  cfg.threads = 2;
+  cfg.accel = {core::Arch::k64Lmul8, 15, 24};
+  BatchHashEngine engine(cfg);
+  engine.submit_all(jobs);
+  (void)engine.drain_results();
+
+  EXPECT_EQ(submitted_c.value() - sub0, 20u);
+  EXPECT_EQ(completed_c.value() - com0, 19u);
+  EXPECT_EQ(failures_c.value() - fail0, 1u);
+  // Every retirement is latency-stamped, failed or not (dropping failures
+  // would skew the percentiles toward surviving jobs).
+  EXPECT_EQ(latency_h.count() - lat0, 20u);
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.latency.count, 20u);
+  EXPECT_EQ(st.submitted, st.completed + st.failed);
+}
+
+TEST(Engine, QueueDepthGaugePublishesFinalDepth) {
+  // Regression (PR 5): the queue depth gauge was published after dropping
+  // the queue mutex, so a stale sample could land last and the gauge would
+  // disagree with the true depth until the next operation. Hammer the queue
+  // from both sides (TSan covers the ordering), then check the final
+  // publish equals the final depth.
+  obs::Gauge& gauge = obs::MetricsRegistry::global().gauge(
+      "kvx_engine_queue_depth");
+  JobQueue queue;
+  constexpr usize kPerProducer = 200;
+  constexpr unsigned kProducers = 4;
+  std::vector<std::thread> producers;
+  std::vector<std::thread> consumers;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (usize n = 0; n < kPerProducer; ++n) {
+        QueuedJob qj;
+        qj.seq = p * kPerProducer + n;
+        (void)queue.push(std::move(qj));
+      }
+    });
+  }
+  for (unsigned c = 0; c < 2; ++c) {
+    consumers.emplace_back([&queue] {
+      std::vector<QueuedJob> out;
+      while (queue.pop_up_to(7, out) > 0) {
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  queue.close();
+  for (std::thread& c : consumers) c.join();
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
 }
 
 // --- shard cloning (the core-level enabler) -------------------------------------

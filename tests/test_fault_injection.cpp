@@ -1,0 +1,424 @@
+// Fault-injection tests: the fail-soft contract of the sim + core + engine
+// stack under deterministic injected faults.
+//
+// Fault model (see kvx/sim/fault_injector.hpp): faults are *detected*
+// corruption — a bit flip or synthetic error that raises SimError, like a
+// parity/ECC check would. The contract under test:
+//  * fused/trace-tier faults demote the dispatch one tier at a time and
+//    still produce the correct digest (and identical cycle counts);
+//  * interpreter-tier faults surface as per-job errors in the engine, never
+//    as silently wrong digests;
+//  * compile-site faults demote at construction and are counted;
+//  * all accounting invariants (submitted == completed + failed, both in
+//    EngineStats and the Prometheus counters) hold exactly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/hex.hpp"
+#include "kvx/common/rng.hpp"
+#include "kvx/core/vector_keccak.hpp"
+#include "kvx/engine/batch_engine.hpp"
+#include "kvx/obs/metrics.hpp"
+#include "kvx/sim/fault_injector.hpp"
+
+namespace kvx {
+namespace {
+
+using core::VectorKeccak;
+using core::VectorKeccakConfig;
+using engine::Algo;
+using engine::BatchHashEngine;
+using engine::EngineConfig;
+using engine::EngineStats;
+using engine::HashJob;
+using engine::JobResult;
+using sim::ExecBackend;
+using sim::FaultInjector;
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::FaultSite;
+
+std::vector<keccak::State> random_states(usize n, u64 seed) {
+  SplitMix64 rng(seed);
+  std::vector<keccak::State> states(n);
+  for (keccak::State& s : states) {
+    for (unsigned x = 0; x < 5; ++x) {
+      for (unsigned y = 0; y < 5; ++y) s.lane(x, y) = rng.next();
+    }
+  }
+  return states;
+}
+
+void expect_states_equal(std::span<const keccak::State> a,
+                         std::span<const keccak::State> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (usize s = 0; s < a.size(); ++s) {
+    for (unsigned x = 0; x < 5; ++x) {
+      for (unsigned y = 0; y < 5; ++y) {
+        EXPECT_EQ(a[s].lane(x, y), b[s].lane(x, y))
+            << "state " << s << " lane (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+VectorKeccakConfig accel_config(ExecBackend backend) {
+  VectorKeccakConfig cfg{core::Arch::k64Lmul8, 15, 24};
+  cfg.backend = backend;
+  return cfg;
+}
+
+/// Interpreter reference permutation of the same inputs, no injector.
+std::vector<keccak::State> reference_permute(u64 seed) {
+  VectorKeccak ref(accel_config(ExecBackend::kInterpreter));
+  auto states = random_states(3, seed);
+  ref.permute(states);
+  return states;
+}
+
+// --- FaultInjector unit behavior -----------------------------------------------
+
+TEST(FaultInjector, DecisionStreamIsDeterministic) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.rate = 0.1;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  u64 injected = 0;
+  for (usize n = 0; n < 500; ++n) {
+    const FaultSite site =
+        n % 5 == 0 ? FaultSite::kTraceCompile : FaultSite::kExecute;
+    const auto fa = a.draw(site);
+    const auto fb = b.draw(site);
+    EXPECT_EQ(fa, fb) << "draw " << n;
+    injected += fa.has_value() ? 1 : 0;
+  }
+  EXPECT_EQ(a.stats().draws, 500u);
+  // rate 0.1 over 500 draws: expect a plausible, non-zero injected count.
+  EXPECT_GT(injected, 10u);
+  EXPECT_LT(injected, 150u);
+}
+
+TEST(FaultInjector, AtDrawFiresExactlyOnce) {
+  FaultPlan plan;
+  plan.at_draw = 3;
+  plan.kinds = static_cast<u32>(FaultKind::kSimFault);
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.draw(FaultSite::kExecute).has_value());
+  EXPECT_FALSE(inj.draw(FaultSite::kExecute).has_value());
+  const auto f = inj.draw(FaultSite::kExecute);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, FaultKind::kSimFault);
+  for (usize n = 0; n < 20; ++n) {
+    EXPECT_FALSE(inj.draw(FaultSite::kExecute).has_value());
+  }
+}
+
+TEST(FaultInjector, SiteRestrictsKinds) {
+  FaultPlan plan;
+  plan.rate = 1.0;
+  plan.kinds = static_cast<u32>(FaultKind::kCompileFail);
+  FaultInjector inj(plan);
+  // A compile-only mask never faults an execute site (and vice versa).
+  EXPECT_FALSE(inj.draw(FaultSite::kExecute).has_value());
+  EXPECT_EQ(*inj.draw(FaultSite::kTraceCompile), FaultKind::kCompileFail);
+}
+
+TEST(FaultInjector, ParseFaultPlanRoundTrip) {
+  const FaultPlan plan = sim::parse_fault_plan(
+      "seed=7,rate=1e-3,at=5,at-instruction=9,kinds=regflip+sim");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.rate, 1e-3);
+  EXPECT_EQ(plan.at_draw, 5u);
+  EXPECT_EQ(plan.at_instruction, 9u);
+  EXPECT_EQ(plan.kinds, static_cast<u32>(FaultKind::kRegfileBitFlip) |
+                            static_cast<u32>(FaultKind::kSimFault));
+  EXPECT_EQ(sim::parse_fault_plan("kinds=all").kinds, sim::kAllFaultKinds);
+  EXPECT_THROW((void)sim::parse_fault_plan("rate=2"), Error);
+  EXPECT_THROW((void)sim::parse_fault_plan("nonsense"), Error);
+  EXPECT_THROW((void)sim::parse_fault_plan("kinds=bogus"), Error);
+  EXPECT_THROW((void)sim::parse_fault_plan("rate=abc"), Error);
+}
+
+// --- VectorKeccak fallback chain -----------------------------------------------
+
+TEST(FaultInjection, FusedSimFaultDemotesToTraceAndRecovers) {
+  // Construction consumes draw 1 (fused compile site); the first dispatch
+  // consumes draw 2 — arm exactly that one.
+  auto cfg = accel_config(ExecBackend::kFusedTrace);
+  FaultPlan plan;
+  plan.at_draw = 2;
+  plan.kinds = static_cast<u32>(FaultKind::kSimFault);
+  cfg.fault_injector = std::make_shared<FaultInjector>(plan);
+  VectorKeccak vk(cfg);
+  ASSERT_EQ(vk.active_backend(), ExecBackend::kFusedTrace);
+
+  auto states = random_states(3, 77);
+  vk.permute(states);
+  EXPECT_EQ(vk.last_backend(), ExecBackend::kCompiledTrace);
+  EXPECT_EQ(vk.backend_fallbacks(), 1u);
+  EXPECT_NE(vk.last_fallback_error().find("injected fault"),
+            std::string::npos);
+  expect_states_equal(states, reference_permute(77));
+
+  // Cycle counts pass through the demotion unchanged (trace replays the
+  // interpreter-recorded timing bit-identically).
+  VectorKeccak clean(accel_config(ExecBackend::kFusedTrace));
+  auto clean_states = random_states(3, 77);
+  clean.permute(clean_states);
+  EXPECT_EQ(vk.last_timing().permutation_cycles,
+            clean.last_timing().permutation_cycles);
+  EXPECT_EQ(vk.last_timing().total_cycles, clean.last_timing().total_cycles);
+
+  // The fault was one-shot: the next dispatch runs fused again.
+  vk.permute(states);
+  EXPECT_EQ(vk.last_backend(), ExecBackend::kFusedTrace);
+  EXPECT_EQ(vk.backend_fallbacks(), 1u);
+}
+
+class BitFlipTest : public ::testing::TestWithParam<FaultKind> {};
+
+TEST_P(BitFlipTest, DetectedFlipDemotesAndRecoversExactly) {
+  auto cfg = accel_config(ExecBackend::kFusedTrace);
+  FaultPlan plan;
+  plan.at_draw = 2;
+  plan.kinds = static_cast<u32>(GetParam());
+  cfg.fault_injector = std::make_shared<FaultInjector>(plan);
+  VectorKeccak vk(cfg);
+  auto states = random_states(3, 88);
+  vk.permute(states);
+  EXPECT_EQ(vk.backend_fallbacks(), 1u);
+  EXPECT_EQ(cfg.fault_injector->stats().bit_flips, 1u);
+  // The demoted retry restages the inputs, so the flip cannot leak into
+  // the result: lanes match the clean interpreter reference exactly.
+  expect_states_equal(states, reference_permute(88));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BitFlipTest,
+                         ::testing::Values(FaultKind::kRegfileBitFlip,
+                                           FaultKind::kMemoryBitFlip),
+                         [](const auto& info) {
+                           return info.param == FaultKind::kRegfileBitFlip
+                                      ? "Regfile"
+                                      : "Memory";
+                         });
+
+TEST(FaultInjection, InterpreterFaultPropagatesThenRecovers) {
+  auto cfg = accel_config(ExecBackend::kInterpreter);
+  FaultPlan plan;
+  plan.at_draw = 1;  // interpreter has no compile draw: first dispatch
+  plan.kinds = static_cast<u32>(FaultKind::kSimFault);
+  cfg.fault_injector = std::make_shared<FaultInjector>(plan);
+  VectorKeccak vk(cfg);
+  auto states = random_states(3, 99);
+  // No tier below the interpreter: the SimError reaches the caller.
+  EXPECT_THROW(vk.permute(states), SimError);
+  // One-shot: the retry computes the correct permutation.
+  vk.permute(states);
+  expect_states_equal(states, reference_permute(99));
+}
+
+TEST(FaultInjection, AtInstructionFaultIsOneShot) {
+  auto cfg = accel_config(ExecBackend::kInterpreter);
+  FaultPlan plan;
+  plan.at_instruction = 100;
+  cfg.fault_injector = std::make_shared<FaultInjector>(plan);
+  VectorKeccak vk(cfg);
+  auto states = random_states(3, 111);
+  EXPECT_THROW(vk.permute(states), SimError);
+  EXPECT_EQ(cfg.fault_injector->stats().sim_faults, 1u);
+  vk.permute(states);  // disarmed: runs clean
+  expect_states_equal(states, reference_permute(111));
+}
+
+TEST(FaultInjection, CompileFaultChainDemotesToInterpreter) {
+  auto cfg = accel_config(ExecBackend::kFusedTrace);
+  FaultPlan plan;
+  plan.rate = 1.0;
+  plan.kinds = static_cast<u32>(FaultKind::kCompileFail);
+  cfg.fault_injector = std::make_shared<FaultInjector>(plan);
+  VectorKeccak vk(cfg);
+  // fused rejected -> trace rejected -> interpreter: two counted demotions.
+  EXPECT_EQ(vk.active_backend(), ExecBackend::kInterpreter);
+  EXPECT_EQ(vk.backend_fallbacks(), 2u);
+  EXPECT_NE(vk.last_fallback_error().find("compilation rejected"),
+            std::string::npos);
+  // kCompileFail does not apply to execute sites: dispatches run clean.
+  auto states = random_states(3, 123);
+  vk.permute(states);
+  expect_states_equal(states, reference_permute(123));
+}
+
+// --- engine-level fail-soft ------------------------------------------------------
+
+std::vector<HashJob> fuzz_jobs(usize count, u64 seed) {
+  constexpr Algo kAlgos[] = {Algo::kSha3_256, Algo::kSha3_512,
+                             Algo::kShake128, Algo::kKmac256};
+  SplitMix64 rng(seed);
+  std::vector<HashJob> jobs(count);
+  for (HashJob& job : jobs) {
+    job.algo = kAlgos[rng.below(std::size(kAlgos))];
+    job.message.resize(1 + rng.below(160));
+    for (u8& b : job.message) b = static_cast<u8>(rng.next());
+    if (engine::fixed_digest_bytes(job.algo) == 0) job.out_len = 32;
+    if (job.algo == Algo::kKmac256) job.key = {1, 2, 3, 4, 5, 6, 7, 8};
+  }
+  return jobs;
+}
+
+TEST(FaultInjection, EngineCountsDispatchFallbacks) {
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.accel = {core::Arch::k64Lmul8, 15, 24};
+  cfg.accel.backend = ExecBackend::kFusedTrace;
+  FaultPlan plan;
+  plan.at_draw = 2;  // shard construction draws 1; first dispatch draws 2
+  plan.kinds = static_cast<u32>(FaultKind::kSimFault);
+  cfg.accel.fault_injector = std::make_shared<FaultInjector>(plan);
+
+  obs::Counter& fallbacks_c = obs::MetricsRegistry::global().counter(
+      "kvx_engine_fallbacks_total");
+  const u64 fb0 = fallbacks_c.value();
+
+  BatchHashEngine engine(cfg);
+  const auto jobs = fuzz_jobs(12, 55);
+  engine.submit_all(jobs);
+  const auto results = engine.drain_results();
+  for (usize i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].error;
+    EXPECT_EQ(results[i].digest, engine::host_reference_digest(jobs[i]))
+        << "job " << i;
+  }
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.totals().fallbacks, 1u);
+  EXPECT_EQ(fallbacks_c.value() - fb0, 1u);
+}
+
+TEST(FaultInjection, EngineCountsConstructionFallbacks) {
+  EngineConfig cfg;
+  cfg.threads = 2;
+  cfg.accel = {core::Arch::k64Lmul8, 15, 24};
+  cfg.accel.backend = ExecBackend::kFusedTrace;
+  FaultPlan plan;
+  plan.rate = 1.0;
+  plan.kinds = static_cast<u32>(FaultKind::kCompileFail);
+  cfg.accel.fault_injector = std::make_shared<FaultInjector>(plan);
+
+  BatchHashEngine engine(cfg);
+  // Every shard demoted fused -> trace -> interpreter at construction.
+  EXPECT_EQ(engine.stats().backend, "interpreter");
+  EXPECT_EQ(engine.stats().totals().fallbacks, 4u);  // 2 per shard
+  const auto jobs = fuzz_jobs(8, 56);
+  engine.submit_all(jobs);
+  const auto results = engine.drain_results();
+  for (usize i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].error;
+    EXPECT_EQ(results[i].digest, engine::host_reference_digest(jobs[i]));
+    EXPECT_EQ(results[i].backend, "interpreter");
+  }
+}
+
+TEST(FaultInjection, InterpreterEngineFaultFailsOnlyItsDispatchGroup) {
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.accel = {core::Arch::k64Lmul8, 15, 24};
+  cfg.accel.backend = ExecBackend::kInterpreter;
+  FaultPlan plan;
+  plan.at_draw = 1;
+  plan.kinds = static_cast<u32>(FaultKind::kSimFault);
+  cfg.accel.fault_injector = std::make_shared<FaultInjector>(plan);
+
+  BatchHashEngine engine(cfg);
+  const auto jobs = fuzz_jobs(40, 57);
+  engine.submit_all(jobs);
+  const auto results = engine.drain_results();
+  usize failed = 0;
+  for (usize i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      ++failed;
+      EXPECT_NE(results[i].error.find("injected fault"), std::string::npos);
+      EXPECT_TRUE(results[i].digest.empty());
+    } else {
+      EXPECT_EQ(results[i].digest, engine::host_reference_digest(jobs[i]))
+          << "job " << i;
+    }
+  }
+  // The armed fault hits the first dispatch group and nothing else.
+  EXPECT_GE(failed, 1u);
+  EXPECT_LT(failed, jobs.size());
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, jobs.size());
+  EXPECT_EQ(st.failed, failed);
+  EXPECT_EQ(st.completed, jobs.size() - failed);
+  EXPECT_EQ(st.totals().failures, failed);
+}
+
+// The acceptance matrix in miniature (kvx-fuzz runs the full-size version):
+// every backend × thread count under probabilistic injection must keep all
+// invariants and never produce a silently wrong digest.
+class EngineFaultMatrixTest
+    : public ::testing::TestWithParam<std::tuple<ExecBackend, unsigned>> {};
+
+TEST_P(EngineFaultMatrixTest, InvariantsHoldUnderRandomFaults) {
+  const auto [backend, threads] = GetParam();
+  auto& r = obs::MetricsRegistry::global();
+  obs::Counter& submitted_c = r.counter("kvx_engine_jobs_submitted_total");
+  obs::Counter& completed_c = r.counter("kvx_engine_jobs_completed_total");
+  obs::Counter& failures_c = r.counter("kvx_engine_job_failures_total");
+  const u64 sub0 = submitted_c.value();
+  const u64 com0 = completed_c.value();
+  const u64 fail0 = failures_c.value();
+
+  EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.accel = {core::Arch::k64Lmul8, 15, 24};
+  cfg.accel.backend = backend;
+  FaultPlan plan;
+  plan.seed = 1000 + static_cast<u64>(backend) * 10 + threads;
+  plan.rate = 0.05;
+  cfg.accel.fault_injector = std::make_shared<FaultInjector>(plan);
+
+  const auto jobs = fuzz_jobs(60, plan.seed);
+  BatchHashEngine engine(cfg);
+  engine.submit_all(jobs);
+  const auto results = engine.drain_results();
+  ASSERT_EQ(results.size(), jobs.size());
+  usize failed = 0;
+  for (usize i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      ++failed;
+      EXPECT_FALSE(results[i].error.empty());
+      EXPECT_TRUE(results[i].digest.empty());
+    } else {
+      EXPECT_EQ(results[i].digest, engine::host_reference_digest(jobs[i]))
+          << "job " << i << " diverged from the golden model";
+    }
+  }
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, jobs.size());
+  EXPECT_EQ(st.completed + st.failed, st.submitted);
+  EXPECT_EQ(st.failed, failed);
+  EXPECT_EQ(st.latency.count, jobs.size());
+  EXPECT_EQ(submitted_c.value() - sub0, jobs.size());
+  EXPECT_EQ((completed_c.value() - com0) + (failures_c.value() - fail0),
+            jobs.size());
+  EXPECT_EQ(failures_c.value() - fail0, failed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsByThreads, EngineFaultMatrixTest,
+    ::testing::Combine(::testing::Values(ExecBackend::kInterpreter,
+                                         ExecBackend::kCompiledTrace,
+                                         ExecBackend::kFusedTrace),
+                       ::testing::Values(1u, 8u)),
+    [](const auto& info) {
+      return std::string(sim::backend_name(std::get<0>(info.param))) + "_T" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace kvx

@@ -12,6 +12,9 @@
 //     --custom STR       KMAC customization string
 //     --random N[:LEN]   hash N deterministic pseudo-random messages of LEN
 //                        bytes (default 256) instead of reading files
+//     --inject-faults S  deterministic fault injection, e.g.
+//                        "seed=7,rate=1e-3" or "at=5,kinds=sim"; see
+//                        kvx/sim/fault_injector.hpp for the full spec
 //     --verify           cross-check every digest against the host model
 //     --stats            print per-shard engine statistics, the backend that
 //                        actually ran, compile time, fusion coverage, cache
@@ -23,11 +26,17 @@
 //                        Perfetto or chrome://tracing)
 //
 // Files are hashed in submission order; "-" reads stdin. Output format
-// matches sha3sum: "<hex digest>  <name>".
+// matches sha3sum: "<hex digest>  <name>". Jobs fail individually: a failed
+// job prints a FAILED line to stderr and the process exits 1, but every
+// other job's digest is still printed.
+//
+// Exit codes: 0 success, 1 runtime failure (I/O, verify mismatch, engine or
+// per-job failure), 2 usage error.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,12 +45,18 @@
 #include "kvx/common/rng.hpp"
 #include "kvx/engine/batch_engine.hpp"
 #include "kvx/obs/metrics.hpp"
+#include "kvx/sim/fault_injector.hpp"
 #include "kvx/obs/trace_event.hpp"
 
 namespace {
 
 using namespace kvx;
 using namespace kvx::engine;
+
+// Exit-code convention (uniform across all error paths).
+constexpr int kExitOk = 0;       ///< every job hashed (and verified)
+constexpr int kExitRuntime = 1;  ///< I/O, verify, engine or per-job failure
+constexpr int kExitUsage = 2;    ///< malformed command line
 
 bool parse_algo(const std::string& name, Algo& out) {
   if (name == "sha3-224") out = Algo::kSha3_224;
@@ -79,9 +94,10 @@ int usage() {
                "usage: kvx-batch [-a algo] [-t threads] [-s sn] [--arch name]\n"
                "                 [--backend fused|trace|interpreter] [-L out-len]\n"
                "                 [--key hex] [--custom str] [--random N[:LEN]]\n"
-               "                 [--verify] [--stats] [--metrics-json file]\n"
-               "                 [--trace-out file] [file ...]\n");
-  return 2;
+               "                 [--inject-faults spec] [--verify] [--stats]\n"
+               "                 [--metrics-json file] [--trace-out file]\n"
+               "                 [file ...]\n");
+  return kExitUsage;
 }
 
 }  // namespace
@@ -100,6 +116,7 @@ int main(int argc, char** argv) {
   std::vector<u8> customization;
   usize random_count = 0;
   usize random_len = 256;
+  std::string fault_spec;
   bool verify = false;
   bool stats = false;
   std::string metrics_json_path;
@@ -112,7 +129,7 @@ int main(int argc, char** argv) {
     if ((a == "-a" || a == "--algo") && has_next) {
       if (!parse_algo(argv[++i], algo)) {
         std::fprintf(stderr, "kvx-batch: unknown algorithm '%s'\n", argv[i]);
-        return 2;
+        return kExitUsage;
       }
     } else if ((a == "-t" || a == "--threads") && has_next) {
       cfg.threads = static_cast<unsigned>(std::atoi(argv[++i]));
@@ -121,13 +138,13 @@ int main(int argc, char** argv) {
     } else if (a == "--arch" && has_next) {
       if (!parse_arch(argv[++i], arch)) {
         std::fprintf(stderr, "kvx-batch: unknown arch '%s'\n", argv[i]);
-        return 2;
+        return kExitUsage;
       }
     } else if (a == "--backend" && has_next) {
       const auto parsed = sim::parse_backend(argv[++i]);
       if (!parsed) {
         std::fprintf(stderr, "kvx-batch: unknown backend '%s'\n", argv[i]);
-        return 2;
+        return kExitUsage;
       }
       backend = *parsed;
     } else if ((a == "-L" || a == "--out-len") && has_next) {
@@ -137,7 +154,7 @@ int main(int argc, char** argv) {
         key = from_hex(argv[++i]);
       } catch (const Error& e) {
         std::fprintf(stderr, "kvx-batch: --key: %s\n", e.what());
-        return 2;
+        return kExitUsage;
       }
     } else if (a == "--custom" && has_next) {
       const std::string s = argv[++i];
@@ -149,6 +166,8 @@ int main(int argc, char** argv) {
       if (colon != std::string::npos) {
         random_len = static_cast<usize>(std::atol(spec.c_str() + colon + 1));
       }
+    } else if (a == "--inject-faults" && has_next) {
+      fault_spec = argv[++i];
     } else if (a == "--verify") {
       verify = true;
     } else if (a == "--stats") {
@@ -161,14 +180,14 @@ int main(int argc, char** argv) {
       return usage();
     } else if (!a.empty() && a[0] == '-' && a != "-") {
       std::fprintf(stderr, "kvx-batch: unknown option '%s'\n", a.c_str());
-      return 2;
+      return kExitUsage;
     } else {
       files.push_back(a);
     }
   }
   if (sn != 1 && sn != 3 && sn != 6) {
     std::fprintf(stderr, "kvx-batch: --sn must be 1, 3 or 6\n");
-    return 2;
+    return kExitUsage;
   }
 
   // Assemble the job list (files, stdin, or a deterministic random load).
@@ -196,7 +215,7 @@ int main(int argc, char** argv) {
         std::ifstream in(f, std::ios::binary);
         if (!in) {
           std::fprintf(stderr, "kvx-batch: cannot open '%s'\n", f.c_str());
-          return 1;
+          return kExitRuntime;
         }
         job.message = read_all(in);
       }
@@ -213,20 +232,37 @@ int main(int argc, char** argv) {
 
   cfg.accel = {arch, 5 * sn, 24};
   cfg.accel.backend = backend;
+  if (!fault_spec.empty()) {
+    try {
+      cfg.accel.fault_injector =
+          std::make_shared<sim::FaultInjector>(sim::parse_fault_plan(fault_spec));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "kvx-batch: --inject-faults: %s\n", e.what());
+      return kExitUsage;
+    }
+  }
   // Tracing must be live before the engine is constructed so that the
   // backend compile/fuse spans of the warm-up compilation are captured.
   if (!trace_out_path.empty()) obs::TraceEventSink::global().enable();
+  bool any_failed = false;
   try {
     BatchHashEngine engine(cfg);
     engine.submit_all(jobs);
-    const auto digests = engine.drain();
+    const auto results = engine.drain_results();
     for (usize i = 0; i < jobs.size(); ++i) {
-      if (verify && digests[i] != host_reference_digest(jobs[i])) {
+      if (!results[i].ok()) {
+        std::fprintf(stderr, "kvx-batch: job '%s' FAILED: %s\n",
+                     names[i].c_str(), results[i].error.c_str());
+        any_failed = true;
+        continue;
+      }
+      if (verify && results[i].digest != host_reference_digest(jobs[i])) {
         std::fprintf(stderr, "kvx-batch: VERIFY FAILED for '%s'\n",
                      names[i].c_str());
-        return 1;
+        return kExitRuntime;
       }
-      std::printf("%s  %s\n", to_hex(digests[i]).c_str(), names[i].c_str());
+      std::printf("%s  %s\n", to_hex(results[i].digest).c_str(),
+                  names[i].c_str());
     }
     if (stats) {
       const EngineStats st = engine.stats();
@@ -240,6 +276,10 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(t.dispatches),
                    static_cast<unsigned long long>(t.sim_cycles),
                    st.queue_high_water);
+      std::fprintf(stderr,
+                   "failures: %llu jobs failed | %llu backend fallbacks\n",
+                   static_cast<unsigned long long>(st.failed),
+                   static_cast<unsigned long long>(t.fallbacks));
       const sim::TraceCacheStats tc = sim::TraceCache::global().stats();
       std::fprintf(stderr,
                    "backend: %s | compile %.2f ms | trace compiles %llu "
@@ -281,7 +321,7 @@ int main(int argc, char** argv) {
         if (!out) {
           std::fprintf(stderr, "kvx-batch: cannot write '%s'\n",
                        metrics_json_path.c_str());
-          return 1;
+          return kExitRuntime;
         }
         out << json << '\n';
       }
@@ -292,7 +332,7 @@ int main(int argc, char** argv) {
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "kvx-batch: %s\n", e.what());
-    return 1;
+    return kExitRuntime;
   }
-  return 0;
+  return any_failed ? kExitRuntime : kExitOk;
 }
