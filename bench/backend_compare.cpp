@@ -8,11 +8,20 @@
 // (trace over interpreter, fused over trace) are tracked across PRs.
 //
 // Fast by default (CI runs every bench binary as a smoke test); pass
-// --check to fail with exit 1 on any digest inequality, or if a faster
+// --check to fail with exit 1 on any digest inequality, if a faster
 // backend tier is slower than the one below it in aggregate (fused < trace,
-// or trace < interpreter).
+// or trace < interpreter), or if the thread-scaling gate fails (see below).
+//
+// Thread-scaling section: the fused backend at SN=6 is rerun over
+// threads {1,2,4,8} with a large submit_batch workload, and the 8-thread
+// over 1-thread speedup is gated. The required minimum is hardware-aware —
+// demanding 3x on an 8-hardware-thread host but only "no collapse" on a
+// 1-core CI runner, where real speedup is physically impossible — and can
+// be overridden via KVX_SCALING_MIN_SPEEDUP for noisy CI hosts. Results are
+// written to BENCH_scaling.json (committed, like BENCH_fused.json).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -66,6 +75,36 @@ double run_once(sim::ExecBackend backend, unsigned sn, unsigned threads,
     *fusion_coverage = eng.stats().fusion_coverage;
   }
   return s;
+}
+
+struct ScalingPoint {
+  unsigned threads = 0;
+  double mbs = 0;
+  double speedup = 0;  ///< over the 1-thread row
+};
+
+/// Minimum required 8-over-1-thread fused speedup. Precedence: the
+/// KVX_SCALING_MIN_SPEEDUP env var (CI noise / special hosts), else a
+/// default scaled to what the host can physically deliver.
+double scaling_min_speedup(const char** source) {
+  if (const char* env = std::getenv("KVX_SCALING_MIN_SPEEDUP")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v > 0.0) {
+      *source = "env:KVX_SCALING_MIN_SPEEDUP";
+      return v;
+    }
+    std::printf("ignoring malformed KVX_SCALING_MIN_SPEEDUP='%s'\n", env);
+  }
+  *source = "hardware_concurrency default";
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw >= 8) return 3.0;
+  if (hw >= 4) return 2.0;
+  if (hw >= 2) return 1.2;
+  // Single-hardware-thread host: 8 workers cannot be faster than 1; gate
+  // only that the sharded scheduler does not *collapse* under
+  // oversubscription (the v1 mutex queue did).
+  return 0.5;
 }
 
 }  // namespace
@@ -184,6 +223,67 @@ int main(int argc, char** argv) {
     std::printf("wrote BENCH_fused.json\n");
   }
 
+  // --- thread scaling (fused, SN=6, bulk submit) -------------------------------
+
+  constexpr usize kScaleJobs = 4096;
+  constexpr unsigned kScaleSn = 6;
+  std::vector<engine::HashJob> scale_jobs(kScaleJobs);
+  std::vector<std::vector<u8>> scale_expected(kScaleJobs);
+  for (usize i = 0; i < kScaleJobs; ++i) {
+    // Reuse the 96 distinct messages cyclically: digest checking stays a
+    // table lookup while the submitted volume is large enough that
+    // scheduling — not the accelerator — is what the cell measures.
+    scale_jobs[i] = jobs[i % kJobs];
+    scale_expected[i] = expected[i % kJobs];
+  }
+  bench::header("Thread scaling — fused backend, SN=6, bulk submit "
+                "(4096 x 200 B)");
+  std::printf("%-10s | MB/s      | speedup over 1 thread\n", "threads");
+  bench::rule();
+  std::vector<ScalingPoint> scaling;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    const double s = run_once(sim::ExecBackend::kFusedTrace, kScaleSn, threads,
+                              scale_jobs, scale_expected);
+    ScalingPoint p;
+    p.threads = threads;
+    p.mbs = static_cast<double>(kScaleJobs * kBytes) / 1e6 / s;
+    p.speedup = scaling.empty() ? 1.0 : p.mbs / scaling.front().mbs;
+    scaling.push_back(p);
+    std::printf("%-10u | %9.2f | %5.2fx\n", threads, p.mbs, p.speedup);
+  }
+  const char* gate_source = nullptr;
+  const double min_speedup = scaling_min_speedup(&gate_source);
+  const double speedup_8 = scaling.back().speedup;
+  const bool scaling_ok = speedup_8 >= min_speedup;
+  std::printf("8-thread speedup %.2fx, required >= %.2fx (%s): %s\n",
+              speedup_8, min_speedup, gate_source,
+              scaling_ok ? "ok" : "BELOW GATE");
+
+  std::FILE* sf = std::fopen("BENCH_scaling.json", "w");
+  if (sf != nullptr) {
+    std::fprintf(sf, "{\n  \"bench\": \"backend_compare_scaling\",\n");
+    std::fprintf(sf, "  \"backend\": \"fused\",\n  \"sn\": %u,\n", kScaleSn);
+    std::fprintf(sf, "  \"jobs\": %zu,\n  \"bytes_per_job\": %zu,\n",
+                 kScaleJobs, kBytes);
+    std::fprintf(sf, "  \"host_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(sf, "  \"grid\": [\n");
+    for (usize i = 0; i < scaling.size(); ++i) {
+      const ScalingPoint& p = scaling[i];
+      std::fprintf(sf,
+                   "    {\"threads\": %u, \"mbs\": %.3f, \"speedup\": %.3f}%s\n",
+                   p.threads, p.mbs, p.speedup,
+                   i + 1 < scaling.size() ? "," : "");
+    }
+    std::fprintf(sf, "  ],\n");
+    std::fprintf(sf,
+                 "  \"gate\": {\"min_speedup\": %.3f, \"source\": \"%s\", "
+                 "\"pass\": %s}\n}\n",
+                 min_speedup, gate_source, scaling_ok ? "true" : "false");
+    std::fclose(sf);
+    std::printf("wrote BENCH_scaling.json\n");
+  }
+
   if (check && agg_trace < agg_interp) {
     std::printf("CHECK FAILED: compiled-trace backend slower than the "
                 "interpreter in aggregate\n");
@@ -192,6 +292,12 @@ int main(int argc, char** argv) {
   if (check && agg_fused < agg_trace) {
     std::printf("CHECK FAILED: fused backend slower than the compiled trace "
                 "in aggregate\n");
+    return 1;
+  }
+  if (check && !scaling_ok) {
+    std::printf("CHECK FAILED: 8-thread fused speedup %.2fx is below the "
+                "%.2fx scaling gate (%s)\n",
+                speedup_8, min_speedup, gate_source);
     return 1;
   }
   return 0;

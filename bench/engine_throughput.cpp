@@ -83,7 +83,7 @@ int main() {
         engine::BatchHashEngine eng(cfg);  // construction (incl. any trace
                                            // compile) excluded from timing
         t0 = Clock::now();
-        for (const auto& job : jobs) (void)eng.submit(job);
+        (void)eng.submit_batch(jobs);  // one-lock bulk intake (hot path)
         const auto outs = eng.drain();
         const double s = seconds_since(t0);
         const u64 wall_ns = static_cast<u64>(s * 1e9);

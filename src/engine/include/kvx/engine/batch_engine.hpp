@@ -4,21 +4,25 @@
 // The paper parallelizes *inside* one vector register file: SN ∈ {1, 3, 6}
 // Keccak states permute in lockstep per accelerator. This engine adds the
 // second level the ROADMAP's throughput goal needs: a pool of worker shards,
-// each owning an independent simulated accelerator (ParallelSha3), consuming
-// jobs from a shared MPMC queue. Total parallelism = threads × SN.
+// each owning an independent simulated accelerator (ParallelSha3), fed by a
+// sharded lock-free scheduler — one bounded MPMC ring per worker, producers
+// distributing round-robin, idle workers stealing runs from their victims
+// (kvx/engine/job_queue.hpp). Total parallelism = threads × SN.
 //
 // Guarantees:
 //  * Deterministic ordering — every job carries a dense sequence id and
-//    drain()/drain_results() return outcomes in submission order,
-//    independent of worker scheduling. Digests are bit-identical to a
-//    single-threaded run.
+//    drain()/drain_results()/drain_batch() return outcomes in submission
+//    order, independent of worker scheduling and stealing. Digests are
+//    bit-identical to a single-threaded run.
 //  * Fail-soft isolation — jobs fail individually. A malformed job, an
 //    injected fault or a dispatch error marks ONLY the jobs of that
 //    dispatch group as failed; batch-mates and every other job complete
 //    normally. Invariant: submitted == completed + failed, exactly, at
 //    every quiescent point (mirrored by the Prometheus counters).
 //  * Lane filling — workers pop runs of jobs (batch_window, default 4·SN)
-//    so each simulator dispatch can fill all SN lanes.
+//    so each simulator dispatch can fill all SN lanes; submit_batch()
+//    pushes contiguous chunks of that size per queue shard so runs group
+//    well by dispatch signature.
 //  * Graceful shutdown — close() stops intake; queued jobs still complete.
 //    The destructor closes and joins; nothing is dropped.
 //  * Backpressure — a bounded queue (max_queue) blocks submit() instead of
@@ -32,6 +36,7 @@
 #include <memory>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "kvx/common/rng.hpp"
@@ -39,6 +44,10 @@
 #include "kvx/engine/job.hpp"
 #include "kvx/engine/job_queue.hpp"
 #include "kvx/engine/stats.hpp"
+
+namespace kvx::obs {
+class Gauge;
+}
 
 namespace kvx::engine {
 
@@ -56,6 +65,10 @@ struct EngineConfig {
   usize batch_window = 0;
   /// Queue bound for submit() backpressure; 0 = unbounded.
   usize max_queue = 0;
+  /// Pin worker i to host CPU i mod hardware_concurrency (Linux only,
+  /// best-effort). Helps cache locality on dedicated hosts; leave off on
+  /// shared machines where the OS scheduler should keep the freedom.
+  bool pin_workers = false;
 };
 
 class BatchHashEngine {
@@ -76,8 +89,25 @@ class BatchHashEngine {
   /// after close() throws.
   u64 submit(HashJob job);
 
-  /// Submit a span of jobs; returns the sequence id of the first.
-  u64 submit_all(std::span<const HashJob> jobs);
+  /// Bulk submit: one sequence-id reservation, one metrics update and one
+  /// validation pass for the whole span, then chunked round-robin pushes
+  /// across the queue shards — the amortized path high-rate producers
+  /// should use. Returns the sequence id of the first job (the span's jobs
+  /// occupy the dense range [first, first + jobs.size())); for an empty
+  /// span, the id the next submitted job would get. Safe to call from many
+  /// producer threads concurrently: each span gets a contiguous id range.
+  u64 submit_batch(std::span<const HashJob> jobs);
+
+  /// Submit a span of jobs; returns the sequence id of the first. (Alias
+  /// of submit_batch, kept for source compatibility.)
+  u64 submit_all(std::span<const HashJob> jobs) { return submit_batch(jobs); }
+
+  /// Block until every job submitted so far has retired, then *append* all
+  /// outcomes not yet collected to `out` in submission order — one
+  /// JobResult per job, failed or not — reusing the caller's buffer.
+  /// Returns the number appended. The engine stays usable for further
+  /// submissions afterwards (unless closed).
+  usize drain_batch(std::vector<JobResult>& out);
 
   /// Block until every job submitted so far has retired, then return all
   /// outcomes not yet collected, in submission order — one JobResult per
@@ -109,7 +139,9 @@ class BatchHashEngine {
   [[nodiscard]] EngineStats stats() const;
 
  private:
-  struct Shard {
+  /// Cache-line-aligned so one shard's stats churn never false-shares with
+  /// its neighbour (shards are also separately heap-allocated).
+  struct alignas(64) Shard {
     std::unique_ptr<core::ParallelSha3> accel;
     ShardStats stats;        ///< guarded by state_mutex_
     /// Cumulative accel->backend_fallbacks() already accounted for, so
@@ -118,7 +150,7 @@ class BatchHashEngine {
     u64 fallbacks_seen = 0;
   };
 
-  void worker_loop(Shard& shard);
+  void worker_loop(unsigned index, Shard& shard);
   void process_batch(Shard& shard, std::vector<QueuedJob>& batch);
   /// Retire every job of `batch` as failed with the same error (the
   /// worker-loop backstop for non-dispatch failures).
@@ -133,9 +165,12 @@ class BatchHashEngine {
 
   EngineConfig config_;
   usize window_;
-  JobQueue queue_;
+  ShardedJobQueue queue_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
+  /// Tokens for the callback-bound queue-depth gauges (aggregate + one per
+  /// queue shard), unbound in the destructor before queue_ dies.
+  std::vector<std::pair<obs::Gauge*, u64>> depth_gauges_;
 
   mutable std::mutex state_mutex_;
   std::condition_variable all_done_;

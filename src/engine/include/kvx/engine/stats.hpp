@@ -61,6 +61,9 @@ struct EngineStats {
   ///   submitted == completed + failed
   u64 failed = 0;
   usize queue_high_water = 0; ///< max queue depth observed since start
+  /// Jobs in flight per queue shard at snapshot time (one ring per worker;
+  /// all zero at quiescent points).
+  std::vector<usize> queue_shard_depths;
   /// Execution backend the shard accelerators run
   /// ("interpreter"/"trace"/"fused"); the active one, i.e. already
   /// downgraded if trace compilation failed.

@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "kvx/common/error.hpp"
 #include "kvx/common/strings.hpp"
@@ -72,6 +78,23 @@ struct EngineMetrics {
   }
 };
 
+/// Best-effort worker pinning: worker `index` goes to host CPU
+/// index mod hardware_concurrency. Failure is silently ignored — pinning is
+/// a locality hint, never a correctness requirement (cgroup CPU masks,
+/// non-Linux hosts and restricted environments all legitimately refuse it).
+void pin_to_cpu(unsigned index) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(index % hw, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof set, &set);
+#else
+  (void)index;
+#endif
+}
+
 u64 steady_now_ns() {
   return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                               std::chrono::steady_clock::now().time_since_epoch())
@@ -113,7 +136,7 @@ BatchHashEngine::BatchHashEngine(const EngineConfig& config)
     : config_(config),
       window_(config.batch_window != 0 ? config.batch_window
                                        : 4 * config.accel.sn()),
-      queue_(config.max_queue),
+      queue_(config.threads, config.max_queue),
       start_time_(std::chrono::steady_clock::now()) {
   if (config_.threads == 0) throw Error("engine needs at least one thread");
   // One immutable program shared by every shard; each shard still owns an
@@ -139,9 +162,28 @@ BatchHashEngine::BatchHashEngine(const EngineConfig& config)
   const sim::TraceCacheStats tc1 = sim::TraceCache::global().stats();
   backend_compile_ns_ =
       (tc1.compile_ns - tc0.compile_ns) + (tc1.fuse_ns - tc0.fuse_ns);
+  // Queue-depth gauges are *bound*, not set: every scrape evaluates the
+  // live ring depths, so the exported values can neither go stale nor race
+  // a push/pop that lands between update and scrape. One aggregate gauge
+  // plus one per queue shard. A second engine binding the same names
+  // supersedes this one (tokens keep the unbinds from clobbering it).
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Gauge& agg = registry.gauge(
+      "kvx_engine_queue_depth",
+      "Jobs in flight in the engine queue (evaluated at scrape time)");
+  depth_gauges_.emplace_back(
+      &agg, agg.bind([this] { return static_cast<double>(queue_.depth()); }));
+  for (usize s = 0; s < queue_.shard_count(); ++s) {
+    obs::Gauge& g = registry.gauge(
+        strfmt("kvx_engine_queue_depth_shard_%zu", s),
+        "Jobs in flight on one engine queue shard (evaluated at scrape time)");
+    depth_gauges_.emplace_back(&g, g.bind([this, s] {
+      return static_cast<double>(queue_.shard_depth(s));
+    }));
+  }
   workers_.reserve(config_.threads);
   for (unsigned t = 0; t < config_.threads; ++t) {
-    workers_.emplace_back([this, t] { worker_loop(*shards_[t]); });
+    workers_.emplace_back([this, t] { worker_loop(t, *shards_[t]); });
   }
 }
 
@@ -150,6 +192,9 @@ BatchHashEngine::~BatchHashEngine() {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+  // Unbind before queue_ is destroyed; a scrape after this point reads the
+  // frozen final value (0 once drained).
+  for (auto& [gauge, token] : depth_gauges_) gauge->unbind(token);
 }
 
 void BatchHashEngine::record_latency_locked(u64 sample_ns) {
@@ -219,11 +264,68 @@ u64 BatchHashEngine::submit(HashJob job) {
   return seq;
 }
 
-u64 BatchHashEngine::submit_all(std::span<const HashJob> jobs) {
-  u64 first = 0;
+u64 BatchHashEngine::submit_batch(std::span<const HashJob> jobs) {
+  // Validate the whole span before taking any lock — the expensive part of
+  // intake runs unsynchronized. Validity is recorded separately because the
+  // retire loop below moves the error strings out (a moved-from error reads
+  // empty, which must not make the job look well-formed afterwards).
+  std::vector<std::string> errors(jobs.size());
+  std::vector<char> ok(jobs.size(), 0);
+  usize valid = 0;
   for (usize i = 0; i < jobs.size(); ++i) {
-    const u64 seq = submit(jobs[i]);
-    if (i == 0) first = seq;
+    errors[i] = validate(jobs[i]);
+    if (errors[i].empty()) {
+      ok[i] = 1;
+      ++valid;
+    }
+  }
+  const u64 submit_ns = steady_now_ns();
+  u64 first = 0;
+  {
+    // ONE state-mutex acquisition reserves the contiguous sequence range,
+    // grows the result slots and retires the malformed jobs — concurrent
+    // submit_batch callers each get a dense, disjoint range.
+    std::lock_guard lock(state_mutex_);
+    first = submitted_;
+    if (jobs.empty()) return first;
+    if (closed_) throw Error("submit after close()");
+    submitted_ += jobs.size();
+    results_.resize(results_.size() + jobs.size());
+    done_.resize(done_.size() + jobs.size(), 0);
+    for (usize i = 0; i < jobs.size(); ++i) {
+      if (ok[i] == 0) {
+        fail_job_locked(first + i, submit_ns, std::move(errors[i]));
+      }
+    }
+  }
+  EngineMetrics::get().jobs_submitted.inc(jobs.size());
+  obs::TraceEventSink& sink = obs::TraceEventSink::global();
+  if (sink.enabled()) {
+    sink.instant("engine", "batch_submit",
+                 strfmt("{\"first_seq\":%llu,\"jobs\":%zu}",
+                        static_cast<unsigned long long>(first), jobs.size()));
+  }
+  if (valid == 0) return first;
+  std::vector<QueuedJob> items;
+  items.reserve(valid);
+  for (usize i = 0; i < jobs.size(); ++i) {
+    if (ok[i] != 0) items.push_back({first + i, submit_ns, jobs[i]});
+  }
+  // Push outside state_mutex_ (bounded queues block here; workers need the
+  // state mutex to retire). push_bulk distributes window_-sized contiguous
+  // chunks across the queue shards and wakes sleepers once per chunk.
+  const usize pushed = queue_.push_bulk(items, window_);
+  if (pushed != items.size()) {
+    // close() raced with this submit; retire the unpushed tail as failed so
+    // drain cannot hang, and surface the loss to the caller.
+    {
+      std::lock_guard lock(state_mutex_);
+      for (usize i = pushed; i < items.size(); ++i) {
+        fail_job_locked(items[i].seq, submit_ns,
+                        "engine closed while a submit was in flight");
+      }
+    }
+    throw Error("submit after close()");
   }
   return first;
 }
@@ -236,13 +338,25 @@ void BatchHashEngine::close() {
   queue_.close();
 }
 
-std::vector<JobResult> BatchHashEngine::drain_results() {
+usize BatchHashEngine::drain_batch(std::vector<JobResult>& out) {
   std::unique_lock lock(state_mutex_);
   all_done_.wait(lock, [&] { return retired_ == submitted_; });
-  std::vector<JobResult> out = std::move(results_);
+  const usize n = results_.size();
+  if (out.empty()) {
+    out = std::move(results_);
+  } else {
+    out.insert(out.end(), std::make_move_iterator(results_.begin()),
+               std::make_move_iterator(results_.end()));
+  }
   results_.clear();
   done_.clear();
-  collected_ += out.size();
+  collected_ += n;
+  return n;
+}
+
+std::vector<JobResult> BatchHashEngine::drain_results() {
+  std::vector<JobResult> out;
+  drain_batch(out);
   return out;
 }
 
@@ -321,6 +435,10 @@ EngineStats BatchHashEngine::stats() const {
     st.latency.max_ns = max_ns;
   }
   st.queue_high_water = queue_.high_water();
+  st.queue_shard_depths.reserve(queue_.shard_count());
+  for (usize s = 0; s < queue_.shard_count(); ++s) {
+    st.queue_shard_depths.push_back(queue_.shard_depth(s));
+  }
   st.elapsed_ns = static_cast<u64>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start_time_)
@@ -328,9 +446,10 @@ EngineStats BatchHashEngine::stats() const {
   return st;
 }
 
-void BatchHashEngine::worker_loop(Shard& shard) {
+void BatchHashEngine::worker_loop(unsigned index, Shard& shard) {
+  if (config_.pin_workers) pin_to_cpu(index);
   std::vector<QueuedJob> batch;
-  while (queue_.pop_up_to(window_, batch) > 0) {
+  while (queue_.pop_bulk(index, window_, batch) > 0) {
     try {
       process_batch(shard, batch);
     } catch (const std::exception& e) {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -70,6 +71,13 @@ class Counter {
 
 /// Last-write-wins gauge (queue depth, coverage percentages, ...). Stored as
 /// a double so it can carry ratios; set/add are single relaxed atomics.
+///
+/// A gauge can alternatively be *bound* to a callback: value() — and hence
+/// every scrape — then evaluates the callback instead of reading the stored
+/// value, so the metric is aggregated at observation time and can never go
+/// stale or race with its source (the engine binds its queue-depth gauges
+/// this way; see docs/observability.md). set()/add() while bound still
+/// update the stored value but stay shadowed until unbind().
 class Gauge {
  public:
   void set(double v) noexcept { bits_.store(pack(v), std::memory_order_relaxed); }
@@ -82,9 +90,14 @@ class Gauge {
       }
     }
   }
-  [[nodiscard]] double value() const noexcept {
-    return unpack(bits_.load(std::memory_order_relaxed));
-  }
+  [[nodiscard]] double value() const;
+
+  /// Bind `fn` as the live value source. Returns a token for unbind();
+  /// a later bind supersedes an earlier one (its token goes stale).
+  u64 bind(std::function<double()> fn);
+  /// Remove the callback if `token` is still the current binding, storing
+  /// the callback's final value so post-unbind reads stay meaningful.
+  void unbind(u64 token);
 
  private:
   friend class MetricsRegistry;
@@ -101,6 +114,12 @@ class Gauge {
     return v;
   }
   std::atomic<u64> bits_{0};
+  /// Callback binding (scrape path only; set()/value() without a binding
+  /// never touch the mutex).
+  std::atomic<bool> bound_{false};
+  mutable std::mutex cb_mutex_;
+  std::function<double()> cb_;
+  u64 cb_token_ = 0;
 };
 
 /// Fixed-bucket histogram. Bounds are upper-inclusive (`le`), strictly

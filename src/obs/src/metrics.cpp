@@ -71,6 +71,31 @@ std::string format_double(double v) {
 
 }  // namespace
 
+double Gauge::value() const {
+  if (bound_.load(std::memory_order_acquire)) {
+    std::lock_guard lock(cb_mutex_);
+    if (cb_) return cb_();
+  }
+  return unpack(bits_.load(std::memory_order_relaxed));
+}
+
+u64 Gauge::bind(std::function<double()> fn) {
+  std::lock_guard lock(cb_mutex_);
+  cb_ = std::move(fn);
+  const u64 token = ++cb_token_;
+  bound_.store(static_cast<bool>(cb_), std::memory_order_release);
+  return token;
+}
+
+void Gauge::unbind(u64 token) {
+  std::lock_guard lock(cb_mutex_);
+  if (token != cb_token_ || !cb_) return;  // superseded by a later bind
+  // Freeze the final callback value so post-unbind reads stay meaningful.
+  bits_.store(pack(cb_()), std::memory_order_relaxed);
+  cb_ = nullptr;
+  bound_.store(false, std::memory_order_release);
+}
+
 Histogram::Histogram(std::vector<u64> bounds) : bounds_(std::move(bounds)) {
   KVX_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==

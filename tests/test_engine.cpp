@@ -9,6 +9,7 @@
 // ThreadSanitizer job.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <tuple>
 
@@ -413,18 +414,29 @@ TEST(Engine, FailureMetricsStayConsistent) {
 }
 
 TEST(Engine, QueueDepthGaugePublishesFinalDepth) {
-  // Regression (PR 5): the queue depth gauge was published after dropping
-  // the queue mutex, so a stale sample could land last and the gauge would
-  // disagree with the true depth until the next operation. Hammer the queue
-  // from both sides (TSan covers the ordering), then check the final
-  // publish equals the final depth.
+  // Regression (PR 5, reworked in PR 6): the depth gauge used to be
+  // published after dropping the queue mutex, so a stale sample could land
+  // last. It is now *bound* — every read evaluates the live ring depths —
+  // so staleness is impossible by construction. Hammer a sharded queue from
+  // both sides with a concurrent scraper (TSan covers the ordering), then
+  // check the bound gauge reports exactly zero once drained.
   obs::Gauge& gauge = obs::MetricsRegistry::global().gauge(
       "kvx_engine_queue_depth");
-  JobQueue queue;
+  ShardedJobQueue queue(2);
+  const u64 token =
+      gauge.bind([&queue] { return static_cast<double>(queue.depth()); });
   constexpr usize kPerProducer = 200;
   constexpr unsigned kProducers = 4;
   std::vector<std::thread> producers;
   std::vector<std::thread> consumers;
+  std::atomic<bool> stop_scraper{false};
+  // Scrape while the queue churns: a bound gauge must always report a value
+  // the queue could truthfully have had (never negative, never garbage).
+  std::thread scraper([&gauge, &stop_scraper] {
+    while (!stop_scraper.load(std::memory_order_relaxed)) {
+      EXPECT_GE(gauge.value(), 0.0);
+    }
+  });
   for (unsigned p = 0; p < kProducers; ++p) {
     producers.emplace_back([&queue, p] {
       for (usize n = 0; n < kPerProducer; ++n) {
@@ -435,16 +447,21 @@ TEST(Engine, QueueDepthGaugePublishesFinalDepth) {
     });
   }
   for (unsigned c = 0; c < 2; ++c) {
-    consumers.emplace_back([&queue] {
+    consumers.emplace_back([&queue, c] {
       std::vector<QueuedJob> out;
-      while (queue.pop_up_to(7, out) > 0) {
+      while (queue.pop_bulk(c, 7, out) > 0) {
       }
     });
   }
   for (std::thread& p : producers) p.join();
   queue.close();
   for (std::thread& c : consumers) c.join();
+  stop_scraper.store(true, std::memory_order_relaxed);
+  scraper.join();
   EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  // Unbind freezes the final live value, so post-unbind scrapes stay 0.
+  gauge.unbind(token);
   EXPECT_EQ(gauge.value(), 0.0);
 }
 

@@ -357,6 +357,79 @@ TEST(FaultInjection, InterpreterEngineFaultFailsOnlyItsDispatchGroup) {
   EXPECT_EQ(st.totals().failures, failed);
 }
 
+TEST(FaultInjection, ShardedSchedulerRecoversAndAttributesFallbacks) {
+  // Regression (PR 6): the kvx-fuzz --quick configuration (SN=3, 2 workers,
+  // 120 jobs, rate 0.02) pushed through the *sharded* scheduler's bulk
+  // submit path. Fault-injected dispatches must still recover down the
+  // fused -> trace -> interpreter chain exactly as under the old queue, and
+  // every demotion must be attributed to the shard whose dispatch demoted —
+  // a shard that never dispatched cannot carry a dispatch-time fallback.
+  auto& r = obs::MetricsRegistry::global();
+  obs::Counter& submitted_c = r.counter("kvx_engine_jobs_submitted_total");
+  obs::Counter& completed_c = r.counter("kvx_engine_jobs_completed_total");
+  obs::Counter& failures_c = r.counter("kvx_engine_job_failures_total");
+  obs::Counter& fallbacks_c = r.counter("kvx_engine_fallbacks_total");
+  const u64 sub0 = submitted_c.value();
+  const u64 com0 = completed_c.value();
+  const u64 fail0 = failures_c.value();
+  const u64 fb0 = fallbacks_c.value();
+
+  EngineConfig cfg;
+  cfg.threads = 2;
+  cfg.accel = {core::Arch::k64Lmul8, 15, 24};
+  cfg.accel.backend = ExecBackend::kFusedTrace;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.rate = 0.02;
+  // Execute-site kinds only, so construction compiles clean and every
+  // counted fallback is attributable to a dispatch.
+  plan.kinds = static_cast<u32>(FaultKind::kSimFault) |
+               static_cast<u32>(FaultKind::kRegfileBitFlip) |
+               static_cast<u32>(FaultKind::kMemoryBitFlip);
+  cfg.accel.fault_injector = std::make_shared<FaultInjector>(plan);
+
+  const auto jobs = fuzz_jobs(120, 58);
+  BatchHashEngine engine(cfg);
+  engine.submit_batch(jobs);
+  engine.close();
+  std::vector<JobResult> results;
+  ASSERT_EQ(engine.drain_batch(results), jobs.size());
+  usize failed = 0;
+  for (usize i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      // Only a fault that fell all the way to the interpreter tier may
+      // surface as a per-job error — never a silently wrong digest.
+      ++failed;
+      EXPECT_NE(results[i].error.find("injected fault"), std::string::npos);
+      EXPECT_TRUE(results[i].digest.empty());
+    } else {
+      EXPECT_EQ(results[i].digest, engine::host_reference_digest(jobs[i]))
+          << "job " << i << " diverged from the golden model";
+    }
+  }
+
+  const EngineStats st = engine.stats();
+  EXPECT_EQ(st.submitted, jobs.size());
+  EXPECT_EQ(st.completed + st.failed, st.submitted);
+  EXPECT_EQ(st.failed, failed);
+  EXPECT_EQ(submitted_c.value() - sub0, jobs.size());
+  EXPECT_EQ((completed_c.value() - com0) + (failures_c.value() - fail0),
+            jobs.size());
+
+  // The chain actually engaged (seed chosen so rate 0.02 injects), and the
+  // attribution is exact: registry delta == EngineStats total == the sum
+  // over shards, with nothing on dispatch-less shards.
+  const u64 fb_delta = fallbacks_c.value() - fb0;
+  EXPECT_GE(fb_delta, 1u);
+  EXPECT_EQ(st.totals().fallbacks, fb_delta);
+  u64 shard_sum = 0;
+  for (const auto& shard : st.shards) {
+    shard_sum += shard.fallbacks;
+    if (shard.dispatches == 0) EXPECT_EQ(shard.fallbacks, 0u);
+  }
+  EXPECT_EQ(shard_sum, fb_delta);
+}
+
 // The acceptance matrix in miniature (kvx-fuzz runs the full-size version):
 // every backend × thread count under probabilistic injection must keep all
 // invariants and never produce a silently wrong digest.

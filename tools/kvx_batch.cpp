@@ -15,6 +15,8 @@
 //     --inject-faults S  deterministic fault injection, e.g.
 //                        "seed=7,rate=1e-3" or "at=5,kinds=sim"; see
 //                        kvx/sim/fault_injector.hpp for the full spec
+//     --pin              pin worker threads to host CPUs (best-effort; a
+//                        locality hint, silently ignored where refused)
 //     --verify           cross-check every digest against the host model
 //     --stats            print per-shard engine statistics, the backend that
 //                        actually ran, compile time, fusion coverage, cache
@@ -94,7 +96,8 @@ int usage() {
                "usage: kvx-batch [-a algo] [-t threads] [-s sn] [--arch name]\n"
                "                 [--backend fused|trace|interpreter] [-L out-len]\n"
                "                 [--key hex] [--custom str] [--random N[:LEN]]\n"
-               "                 [--inject-faults spec] [--verify] [--stats]\n"
+               "                 [--inject-faults spec] [--pin] [--verify]\n"
+               "                 [--stats]\n"
                "                 [--metrics-json file] [--trace-out file]\n"
                "                 [file ...]\n");
   return kExitUsage;
@@ -168,6 +171,8 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--inject-faults" && has_next) {
       fault_spec = argv[++i];
+    } else if (a == "--pin") {
+      cfg.pin_workers = true;
     } else if (a == "--verify") {
       verify = true;
     } else if (a == "--stats") {
@@ -280,6 +285,18 @@ int main(int argc, char** argv) {
                    "failures: %llu jobs failed | %llu backend fallbacks\n",
                    static_cast<unsigned long long>(st.failed),
                    static_cast<unsigned long long>(t.fallbacks));
+      for (usize s = 0; s < st.shards.size(); ++s) {
+        const ShardStats& sh = st.shards[s];
+        std::fprintf(
+            stderr,
+            "  shard %zu: jobs %llu | dispatches %llu | failures %llu | "
+            "fallbacks %llu | queue depth %zu\n",
+            s, static_cast<unsigned long long>(sh.jobs),
+            static_cast<unsigned long long>(sh.dispatches),
+            static_cast<unsigned long long>(sh.failures),
+            static_cast<unsigned long long>(sh.fallbacks),
+            s < st.queue_shard_depths.size() ? st.queue_shard_depths[s] : 0);
+      }
       const sim::TraceCacheStats tc = sim::TraceCache::global().stats();
       std::fprintf(stderr,
                    "backend: %s | compile %.2f ms | trace compiles %llu "

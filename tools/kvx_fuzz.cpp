@@ -75,9 +75,11 @@ struct EngineCounterDeltas {
   obs::Counter& submitted;
   obs::Counter& completed;
   obs::Counter& failures;
+  obs::Counter& fallbacks;
   u64 submitted0 = 0;
   u64 completed0 = 0;
   u64 failures0 = 0;
+  u64 fallbacks0 = 0;
 
   EngineCounterDeltas()
       : submitted(obs::MetricsRegistry::global().counter(
@@ -85,10 +87,13 @@ struct EngineCounterDeltas {
         completed(obs::MetricsRegistry::global().counter(
             "kvx_engine_jobs_completed_total")),
         failures(obs::MetricsRegistry::global().counter(
-            "kvx_engine_job_failures_total")) {
+            "kvx_engine_job_failures_total")),
+        fallbacks(obs::MetricsRegistry::global().counter(
+            "kvx_engine_fallbacks_total")) {
     submitted0 = submitted.value();
     completed0 = completed.value();
     failures0 = failures.value();
+    fallbacks0 = fallbacks.value();
   }
 };
 
@@ -224,7 +229,20 @@ int main(int argc, char** argv) {
                    "jobs_completed_total + job_failures_total broken",
                    0);
           }
+          // Shard attribution: the process-global fallback counter must have
+          // moved by exactly the per-shard attributed sum — a demotion that
+          // bumps the registry but lands on no shard (or vice versa) means
+          // the sharded scheduler's attribution diffing is broken.
           fallbacks = st.totals().fallbacks;
+          u64 shard_fallbacks = 0;
+          for (const ShardStats& sh : st.shards) shard_fallbacks += sh.fallbacks;
+          const u64 d_fb = deltas.fallbacks.value() - deltas.fallbacks0;
+          if (d_fb != fallbacks || shard_fallbacks != fallbacks) {
+            report(bname.c_str(), sn, t,
+                   "fallback shard attribution diverges from "
+                   "kvx_engine_fallbacks_total",
+                   0);
+          }
         } catch (const Error& e) {
           report(bname.c_str(), sn, t, e.what(), 0);
           continue;
