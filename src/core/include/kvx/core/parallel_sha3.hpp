@@ -94,6 +94,12 @@ class ParallelSha3 {
     return vk_.fusion_coverage();
   }
 
+  /// Fraction of trace records the host-SIMD plan lowers to host
+  /// intrinsics ([0, 1]); 0 unless the active backend is host-simd.
+  [[nodiscard]] double host_simd_coverage() const noexcept {
+    return vk_.host_simd_coverage();
+  }
+
   /// Hash a batch of messages with a fixed-output function; every message
   /// may have a different length (grouped internally).
   [[nodiscard]] std::vector<std::vector<u8>> hash_batch(

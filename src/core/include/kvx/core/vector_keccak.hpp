@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "kvx/core/program_builder.hpp"
 #include "kvx/core/step_attribution.hpp"
@@ -16,6 +17,7 @@
 #include "kvx/sim/compiled_trace.hpp"
 #include "kvx/sim/exec_backend.hpp"
 #include "kvx/sim/fault_injector.hpp"
+#include "kvx/sim/host_simd.hpp"
 #include "kvx/sim/trace_fusion.hpp"
 #include "kvx/sim/processor.hpp"
 
@@ -27,10 +29,10 @@ struct VectorKeccakConfig {
   unsigned rounds = 24;
   unsigned first_round = 0;  ///< ι round-constant start (12 for Keccak-p[1600,12])
 
-  /// Functional execution backend. Trace/fused backends produce
-  /// bit-identical digests, register state and cycle counts; a compile
-  /// rejection or a runtime SimError demotes tier by tier
-  /// (fused → trace → interpreter) rather than failing the run.
+  /// Functional execution backend. The host-simd/fused/trace backends
+  /// produce bit-identical digests, register state and cycle counts; a
+  /// compile rejection or a runtime SimError demotes tier by tier
+  /// (host-simd → fused → trace → interpreter) rather than failing the run.
   sim::ExecBackend backend = sim::ExecBackend::kInterpreter;
 
   /// Optional deterministic fault injector (null = disabled). Shared by
@@ -90,6 +92,7 @@ class VectorKeccak {
   /// Backend that permute() starts a dispatch on: the configured one,
   /// downgraded if trace compilation was rejected (or injected-failed).
   [[nodiscard]] sim::ExecBackend active_backend() const noexcept {
+    if (hs_ != nullptr) return sim::ExecBackend::kHostSimd;
     if (fused_ != nullptr) return sim::ExecBackend::kFusedTrace;
     return trace_ != nullptr ? sim::ExecBackend::kCompiledTrace
                              : sim::ExecBackend::kInterpreter;
@@ -111,9 +114,16 @@ class VectorKeccak {
   }
 
   /// Fraction of trace records covered by super-kernels ([0, 1]); 0 when
-  /// the active backend is not the fused trace.
+  /// the active backend is neither the fused trace nor host-simd (which
+  /// shares the fused artifact).
   [[nodiscard]] double fusion_coverage() const noexcept {
     return fused_ != nullptr ? fused_->coverage() : 0.0;
+  }
+
+  /// Fraction of trace records the host-SIMD plan lowers to host
+  /// intrinsics ([0, 1]); 0 when the active backend is not host-simd.
+  [[nodiscard]] double host_simd_coverage() const noexcept {
+    return hs_ != nullptr ? hs_->lowered_coverage() : 0.0;
   }
 
   [[nodiscard]] const PermutationTiming& last_timing() const noexcept {
@@ -152,8 +162,16 @@ class VectorKeccak {
   u32 state_base_ = 0;
   PermutationTiming timing_;
   obs::StepCycleStats step_cycles_;
+  /// Attribution of the immutable recorded marker stream, computed once at
+  /// construction and reused by every trace-backed dispatch (the trace,
+  /// fused and host-simd tiers all replay the same stream).
+  obs::StepCycleStats trace_step_cycles_;
+  /// Reused staging scratch (one plane-major block); mutable because
+  /// unstage_states() is logically const.
+  mutable std::vector<u8> stage_block_;
   std::shared_ptr<const sim::CompiledTrace> trace_;  ///< null = interpreter
-  std::shared_ptr<const sim::FusedTrace> fused_;     ///< kFusedTrace only
+  std::shared_ptr<const sim::FusedTrace> fused_;     ///< kFusedTrace and up
+  std::shared_ptr<const sim::HostSimdTrace> hs_;     ///< kHostSimd only
   sim::ExecBackend last_backend_ = sim::ExecBackend::kInterpreter;
   u64 fallbacks_ = 0;               ///< cumulative backend demotions
   std::string last_fallback_error_; ///< reason of the latest demotion

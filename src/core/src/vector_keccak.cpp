@@ -1,5 +1,7 @@
 #include "kvx/core/vector_keccak.hpp"
 
+#include <cstring>
+
 #include "kvx/common/error.hpp"
 #include "kvx/common/strings.hpp"
 #include "kvx/obs/trace_event.hpp"
@@ -76,7 +78,15 @@ VectorKeccak::VectorKeccak(const VectorKeccakConfig& config,
       if (inj != nullptr && inj->draw(sim::FaultSite::kTraceCompile)) {
         inj->fail_compile(std::string(sim::backend_name(tier)));
       }
-      if (tier == sim::ExecBackend::kFusedTrace) {
+      if (tier == sim::ExecBackend::kHostSimd) {
+        hs_ = sim::TraceCache::global().get_or_compile_host_simd(
+            program_->image, processor_config(config_), opts);
+        // Demotion targets of transient host-simd dispatch faults: the
+        // plan shares its fused artifact and (through it) the base
+        // recording, so no extra cache round trips.
+        fused_ = hs_->shared_fused();
+        trace_ = fused_->shared_base();
+      } else if (tier == sim::ExecBackend::kFusedTrace) {
         fused_ = sim::TraceCache::global().get_or_compile_fused(
             program_->image, processor_config(config_), opts);
         // Demotion target of transient fused-dispatch faults: the fused
@@ -89,12 +99,19 @@ VectorKeccak::VectorKeccak(const VectorKeccakConfig& config,
       }
       break;
     } catch (const SimError& e) {
+      hs_ = nullptr;
       fused_ = nullptr;
       trace_ = nullptr;
       note_fallback(tier, sim::demote_backend(tier), e.what());
     }
   }
   last_backend_ = active_backend();
+  if (trace_ != nullptr) {
+    // The marker stream was recorded once from the interpreter and is
+    // immutable; every trace-backed tier replays it verbatim, so its
+    // attribution can be computed here instead of on every dispatch.
+    trace_step_cycles_ = attribute_step_cycles(trace_->markers());
+  }
 }
 
 void VectorKeccak::note_fallback(sim::ExecBackend from, sim::ExecBackend to,
@@ -112,31 +129,31 @@ void VectorKeccak::note_fallback(sim::ExecBackend from, sim::ExecBackend to,
 
 void VectorKeccak::stage_states(std::span<const keccak::State> states) {
   // Plane-major layout (paper Figure 5): row y holds lane (x, y) of state s
-  // at element 5s + x. Unused elements are zeroed.
+  // at element 5s + x. Unused elements are zeroed. One lane is one aligned
+  // 8-byte copy into a reused scratch block (lanes are little-endian u64s,
+  // same as the simulated memory), staged with a single block write.
   const unsigned e = config_.ele_num;
-  std::vector<u8> block(5 * e * 8, 0);
+  stage_block_.assign(usize{5} * e * 8, 0);
   for (unsigned y = 0; y < 5; ++y) {
     for (usize s = 0; s < states.size(); ++s) {
       for (unsigned x = 0; x < 5; ++x) {
         const u64 lane = states[s].lane(x, y);
-        const usize off = (y * e + 5 * s + x) * 8;
-        for (unsigned b = 0; b < 8; ++b) {
-          block[off + b] = static_cast<u8>(lane >> (8 * b));
-        }
+        std::memcpy(&stage_block_[(y * e + 5 * s + x) * 8], &lane, 8);
       }
     }
   }
-  proc_->dmem().write_block(state_base_, block);
+  proc_->dmem().write_block(state_base_, stage_block_);
 }
 
 void VectorKeccak::unstage_states(std::span<keccak::State> states) const {
   const unsigned e = config_.ele_num;
+  stage_block_.resize(usize{5} * e * 8);
+  proc_->dmem().read_block(state_base_, stage_block_);
   for (unsigned y = 0; y < 5; ++y) {
     for (usize s = 0; s < states.size(); ++s) {
       for (unsigned x = 0; x < 5; ++x) {
-        const u32 addr =
-            state_base_ + static_cast<u32>((y * e + 5 * s + x) * 8);
-        states[s].lane(x, y) = proc_->dmem().read64(addr);
+        std::memcpy(&states[s].lane(x, y),
+                    &stage_block_[(y * e + 5 * s + x) * 8], 8);
       }
     }
   }
@@ -176,7 +193,19 @@ void VectorKeccak::run_backend(sim::ExecBackend tier,
     fault = inj->draw(sim::FaultSite::kExecute);
     if (fault == sim::FaultKind::kSimFault) inj->throw_sim_fault(tier_name);
   }
-  if (tier == sim::ExecBackend::kFusedTrace) {
+  if (tier == sim::ExecBackend::kHostSimd) {
+    // Lowered super-kernel runs on the host's own vector ISA; register
+    // file and data memory end up bit-identical to the fused tier (and
+    // hence the interpreter); timing passes through unchanged.
+    proc_->vector().clear_registers();
+    hs_->execute(proc_->vector(), proc_->dmem(),
+                 proc_->config().cycle_model);
+    timing_.total_cycles = hs_->total_cycles();
+    timing_.permutation_cycles =
+        hs_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
+    timing_.instructions = hs_->instructions();
+    step_cycles_ = trace_step_cycles_;
+  } else if (tier == sim::ExecBackend::kFusedTrace) {
     // Super-kernel replay: architectural effects identical to the base
     // trace (and hence the interpreter); timing passes through unchanged.
     proc_->vector().clear_registers();
@@ -186,7 +215,7 @@ void VectorKeccak::run_backend(sim::ExecBackend tier,
     timing_.permutation_cycles =
         fused_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
     timing_.instructions = fused_->instructions();
-    step_cycles_ = attribute_step_cycles(fused_->markers());
+    step_cycles_ = trace_step_cycles_;
   } else if (tier == sim::ExecBackend::kCompiledTrace) {
     // Replay the pre-decoded kernel trace. Register file and data memory
     // end up bit-identical to an interpreter run; timing was recorded from
@@ -198,7 +227,7 @@ void VectorKeccak::run_backend(sim::ExecBackend tier,
     timing_.permutation_cycles =
         trace_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
     timing_.instructions = trace_->instructions();
-    step_cycles_ = attribute_step_cycles(trace_->markers());
+    step_cycles_ = trace_step_cycles_;
   } else {
     proc_->reset_run_state();
     proc_->vector().clear_registers();

@@ -13,6 +13,7 @@
 #include "kvx/common/strings.hpp"
 #include "kvx/obs/metrics.hpp"
 #include "kvx/obs/trace_event.hpp"
+#include "kvx/sim/host_simd.hpp"
 
 namespace kvx::engine {
 
@@ -414,8 +415,15 @@ EngineStats BatchHashEngine::stats() const {
   }
   if (!shards_.empty()) {
     // All shards share one program + config, so shard 0 is representative.
-    st.backend = sim::backend_name(shards_.front()->accel->active_backend());
-    st.fusion_coverage = shards_.front()->accel->fusion_coverage();
+    const core::ParallelSha3& accel = *shards_.front()->accel;
+    st.backend = sim::backend_name(accel.active_backend());
+    st.effective_backend = sim::backend_name(accel.last_backend());
+    st.fusion_coverage = accel.fusion_coverage();
+    st.host_simd_coverage = accel.host_simd_coverage();
+    if (accel.last_backend() == sim::ExecBackend::kHostSimd) {
+      st.host_simd_isa = sim::host_simd_isa_name(
+          sim::host_simd_dispatch_isa(accel.config().sn()));
+    }
   }
   st.backend_compile_ns = backend_compile_ns_;
   if (!lat.empty()) {

@@ -39,7 +39,8 @@
 
 namespace kvx::sim {
 
-class FusedTrace;  // trace_fusion.hpp
+class FusedTrace;     // trace_fusion.hpp
+class HostSimdTrace;  // host_simd.hpp
 
 /// Kernel kinds a recorded instruction is specialized into. Custom
 /// instructions with an `lmul_cnt` row sequence are flattened to one record
@@ -126,12 +127,14 @@ struct TraceGenericOp {
 
 /// Aggregate compile/cache counters (see TraceCache).
 struct TraceCacheStats {
-  u64 hits = 0;        ///< cache lookups served without compiling
-  u64 compiles = 0;    ///< traces compiled (cache misses)
-  u64 failures = 0;    ///< compilations rejected (data-dependent program)
-  u64 compile_ns = 0;  ///< host time spent compiling (incl. failures)
-  u64 fusions = 0;     ///< fused traces built (fused-cache misses)
-  u64 fuse_ns = 0;     ///< host time spent in the fusion pass
+  u64 hits = 0;         ///< cache lookups served without compiling
+  u64 compiles = 0;     ///< traces compiled (cache misses)
+  u64 failures = 0;     ///< compilations rejected (data-dependent program)
+  u64 compile_ns = 0;   ///< host time spent compiling (incl. failures)
+  u64 fusions = 0;      ///< fused traces built (fused-cache misses)
+  u64 fuse_ns = 0;      ///< host time spent in the fusion pass
+  u64 lowerings = 0;    ///< host-SIMD plans built (host-simd-cache misses)
+  u64 lower_ns = 0;     ///< host time spent lowering to host SIMD
 };
 
 /// An immutable compiled trace. Thread-safe to share: execute() only
@@ -232,6 +235,16 @@ class TraceCache {
       const assembler::Program& program, const ProcessorConfig& cfg,
       const TraceCompileOptions& opts = {});
 
+  /// Cached lower_host_simd(fuse_trace(compile_trace())). Shares the fused
+  /// artifact (and through it the recording) with the lower tiers; the
+  /// host-SIMD plan is keyed under its own salt, and lowering rejections
+  /// (nothing lowerable, e.g. 32-bit split arches) are cached negatively
+  /// like compile rejections. Throws kvx::SimError on rejection — callers
+  /// demote to the fused tier.
+  [[nodiscard]] std::shared_ptr<const HostSimdTrace> get_or_compile_host_simd(
+      const assembler::Program& program, const ProcessorConfig& cfg,
+      const TraceCompileOptions& opts = {});
+
   [[nodiscard]] TraceCacheStats stats() const;
   /// Drop all entries and zero the counters (tests).
   void clear();
@@ -241,10 +254,16 @@ class TraceCache {
   [[nodiscard]] std::shared_ptr<const CompiledTrace> lookup_or_compile_locked(
       u64 key, const assembler::Program& program, const ProcessorConfig& cfg,
       const TraceCompileOptions& opts);
+  /// Fused-tier lookup over lookup_or_compile_locked; mutex_ must be held.
+  [[nodiscard]] std::shared_ptr<const FusedTrace> lookup_or_fuse_locked(
+      u64 base_key, const assembler::Program& program,
+      const ProcessorConfig& cfg, const TraceCompileOptions& opts);
 
   mutable std::mutex mutex_;
   std::unordered_map<u64, std::shared_ptr<const CompiledTrace>> entries_;
   std::unordered_map<u64, std::shared_ptr<const FusedTrace>> fused_entries_;
+  std::unordered_map<u64, std::shared_ptr<const HostSimdTrace>>
+      host_simd_entries_;
   std::unordered_map<u64, std::string> failed_;  ///< key -> error message
   TraceCacheStats stats_;
 };

@@ -9,6 +9,11 @@
 // compiled trace, pattern-matching recorded record sequences into
 // Keccak-step super-kernels executed with host SIMD; unmatched sequences
 // fall back to per-record replay, so it is correct on arbitrary programs.
+// The host-SIMD backend (host_simd.hpp) is tier zero: it lowers runs of the
+// matched super-kernels straight to host vector intrinsics (AVX-512 / AVX2 /
+// portable vector extensions, runtime CPUID dispatch) with multiple Keccak
+// states packed per host register; anything it cannot lower executes through
+// the fused tier's kernels and replay path.
 #pragma once
 
 #include <optional>
@@ -20,27 +25,33 @@ enum class ExecBackend {
   kInterpreter,    ///< reference fetch/decode/dispatch interpreter
   kCompiledTrace,  ///< pre-decoded kernel trace (see compiled_trace.hpp)
   kFusedTrace,     ///< super-kernel-fused trace (see trace_fusion.hpp)
+  kHostSimd,       ///< super-kernels lowered to host intrinsics (host_simd.hpp)
 };
 
 /// Stable name, also accepted by parse_backend:
-/// "interpreter" / "trace" / "fused".
+/// "interpreter" / "trace" / "fused" / "host-simd".
 [[nodiscard]] constexpr std::string_view backend_name(ExecBackend b) noexcept {
   switch (b) {
     case ExecBackend::kCompiledTrace: return "trace";
     case ExecBackend::kFusedTrace: return "fused";
+    case ExecBackend::kHostSimd: return "host-simd";
     default: return "interpreter";
   }
 }
 
-/// Next tier of the fail-soft fallback chain: fused → trace → interpreter.
+/// Next tier of the fail-soft fallback chain:
+/// host-simd → fused → trace → interpreter.
 /// The interpreter is the floor — it demotes to itself.
 [[nodiscard]] constexpr ExecBackend demote_backend(ExecBackend b) noexcept {
-  return b == ExecBackend::kFusedTrace ? ExecBackend::kCompiledTrace
-                                       : ExecBackend::kInterpreter;
+  switch (b) {
+    case ExecBackend::kHostSimd: return ExecBackend::kFusedTrace;
+    case ExecBackend::kFusedTrace: return ExecBackend::kCompiledTrace;
+    default: return ExecBackend::kInterpreter;
+  }
 }
 
 /// Parse a backend name ("interpreter", "trace"/"compiled-trace",
-/// "fused"/"fused-trace").
+/// "fused"/"fused-trace", "host-simd"/"hostsimd"/"simd").
 [[nodiscard]] inline std::optional<ExecBackend> parse_backend(
     std::string_view name) noexcept {
   if (name == "interpreter") return ExecBackend::kInterpreter;
@@ -50,7 +61,14 @@ enum class ExecBackend {
   if (name == "fused" || name == "fused-trace") {
     return ExecBackend::kFusedTrace;
   }
+  if (name == "host-simd" || name == "hostsimd" || name == "simd") {
+    return ExecBackend::kHostSimd;
+  }
   return std::nullopt;
 }
+
+/// Names parse_backend accepts, for CLI error messages.
+inline constexpr std::string_view kBackendNamesHelp =
+    "interpreter, trace, fused, host-simd";
 
 }  // namespace kvx::sim

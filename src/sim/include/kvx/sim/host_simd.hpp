@@ -1,0 +1,216 @@
+// Host-SIMD execution backend: tier zero of the backend chain.
+//
+// The fused backend (trace_fusion.hpp) already collapsed the compiled trace
+// into θ/ρπ/χι step-level super-kernels, but still executes them one regfile
+// row at a time through GCC vector extensions sized by the SIMULATED
+// register width. This backend takes the final step the paper's analysis
+// points at: it lowers maximal RUNS of those matched 64-bit super-kernels
+// directly to the host's own vector ISA and keeps the whole 25-lane Keccak
+// state resident in host registers across entire round sequences.
+//
+// Representation change. The simulator regfile is plane-major: row y holds
+// lane (x, y) of state s at element 5s + x, so one SIMULATED register mixes
+// lanes of several states. The host-SIMD plan TRANSPOSES that into a
+// lane-major packed form at segment entry: host vector register V[5y + x]
+// holds lane (x, y) of P consecutive states, one state per 64-bit host
+// lane (P = 8 under AVX-512, 4 under AVX2 and the portable GCC/Clang
+// vector-extension fallback, 1 for the pure-scalar build). In that form
+// every Keccak step is state-parallel and branch-free:
+//
+//   θ    five XOR5 column parities + rotate-by-1 combine + 25 XOR applies
+//        (AVX-512: ternarylogic XOR3 folds the 5-way XOR tree)
+//   ρπ   25 rotates by COMPILE-TIME constants into renamed registers —
+//        π is pure register renaming, no shuffles at all
+//        (AVX-512: native vprolq; AVX2: shift-shift-or)
+//   χ+ι  25 a ^ (~b & c) row ops plus one broadcast-XOR round constant
+//        (AVX-512: single-instruction ternarylogic Chi)
+//
+// Whole-plane transposed loads/stores happen only at segment boundaries
+// (absorb/squeeze edges of the lowered run): the plan marks, per segment,
+// the LAST super-kernel that writes each regfile location and materializes
+// exactly those values back, so the register file after execute() is
+// bit-identical to the fused backend's — inter-segment replay ranges (the
+// liveness-demoted final round, the state stores) read exactly what they
+// would have under fused replay. Ops the plan cannot lower (32-bit split
+// arches, short runs, replay ranges) execute through the fused tier's own
+// kernels, so the backend is correct on arbitrary programs.
+//
+// The host ISA is picked once per process by CPUID at dispatch time
+// (AVX-512F → AVX2 → portable → scalar), overridable with the
+// KVX_HOST_SIMD_ISA environment variable ("avx512" / "avx2" / "portable" /
+// "scalar" / "auto") and programmatically for tests. The plan itself is
+// ISA-independent — one cached lowering serves every dispatch width.
+//
+// Cycle accounting passes through to the recorded interpreter totals,
+// bit-identical by construction, exactly like the trace and fused tiers.
+#pragma once
+
+#include <optional>
+
+#include "kvx/sim/trace_fusion.hpp"
+
+namespace kvx::sim {
+
+/// Host instruction sets the lowered kernels can dispatch to, worst first.
+enum class HostSimdIsa : u8 {
+  kScalar,    ///< plain u64 arithmetic, 1 state per "register"
+  kPortable,  ///< GCC/Clang vector extensions, 4 states per register
+  kAvx2,      ///< AVX2 intrinsics, 4 states per 256-bit register
+  kAvx512,    ///< AVX-512F intrinsics, 8 states per 512-bit register
+};
+
+/// Stable lowercase name ("scalar" / "portable" / "avx2" / "avx512").
+[[nodiscard]] std::string_view host_simd_isa_name(HostSimdIsa isa) noexcept;
+
+/// Parse an ISA name as accepted by KVX_HOST_SIMD_ISA (returns nullopt for
+/// unknown names; "auto" is handled by the dispatcher, not here).
+[[nodiscard]] std::optional<HostSimdIsa> parse_host_simd_isa(
+    std::string_view name) noexcept;
+
+/// True when `isa` was compiled in AND the running CPU supports it. kScalar
+/// is always available.
+[[nodiscard]] bool host_simd_isa_available(HostSimdIsa isa) noexcept;
+
+/// The ISA execute() dispatches to right now: the forced ISA if one is set
+/// and available, else the KVX_HOST_SIMD_ISA override if set and available,
+/// else the best available by CPUID.
+[[nodiscard]] HostSimdIsa host_simd_active_isa() noexcept;
+
+/// Test hook: pin dispatch to `isa` (ignored if unavailable on this host),
+/// nullopt restores automatic CPUID selection.
+void host_simd_force_isa(std::optional<HostSimdIsa> isa) noexcept;
+
+/// The ISA a plan with `sn` states actually dispatches to. Equal to
+/// host_simd_active_isa() under a forced or KVX_HOST_SIMD_ISA pin; in
+/// automatic mode, narrowed to the smallest available pack width covering
+/// SN in one group (SN=1 runs scalar, SN<=4 runs AVX2/portable even on an
+/// AVX-512 host) — padding lanes are packed, rotated and dropped for
+/// nothing, so the narrower runner wins on small batches.
+[[nodiscard]] HostSimdIsa host_simd_dispatch_isa(u32 sn) noexcept;
+
+/// States packed per host register under `isa` (8/4/4/1).
+[[nodiscard]] u32 host_simd_pack_width(HostSimdIsa isa) noexcept;
+
+// ---------------------------------------------------------------------------
+// Packed-state transpose. Public because the property tests round-trip it
+// directly; the segment runners use the same two functions.
+// ---------------------------------------------------------------------------
+
+/// Transpose `pack` consecutive states starting at state index `s0` from the
+/// plane-major regfile span at byte offset `loc` (five rows of `rb` bytes,
+/// element 5s + x of row y = lane (x, y) of state s) into the lane-major
+/// buffer: buf[(5y + x)·pack + p] = lane (x, y) of state s0 + p. States at
+/// or beyond `sn` (the ragged final group) are zero-filled.
+void host_simd_pack(const u8* file, u32 loc, u32 rb, u32 sn, u32 s0, u32 pack,
+                    u64* buf) noexcept;
+
+/// Inverse transpose: write the packed lanes of states [s0, s0 + pack) back
+/// to the regfile span at `loc`. Lanes of states at or beyond `sn` are
+/// dropped — they correspond to no regfile bytes.
+void host_simd_unpack(u8* file, u32 loc, u32 rb, u32 sn, u32 s0, u32 pack,
+                      const u64* buf) noexcept;
+
+// ---------------------------------------------------------------------------
+// Lowered plan.
+// ---------------------------------------------------------------------------
+
+enum class HostSimdKernelKind : u8 { kTheta, kRhoPi, kChi };
+
+/// One lowered super-kernel inside a segment. All regfile interaction is in
+/// `unpack_loc`: kernels chain through host registers, and only the marked
+/// last-writer kernels transpose the packed state back out.
+struct HostSimdKernel {
+  HostSimdKernelKind kind{};
+  bool iota = false;    ///< χ only: XOR `iota_rc` into lane (0, 0)
+  bool unpack = false;  ///< materialize the packed state to `unpack_loc`
+  u32 unpack_loc = 0;   ///< regfile byte offset of this kernel's output
+  u64 iota_rc = 0;
+};
+
+/// One step of the plan: either a maximal lowered segment (kernel_count > 0,
+/// packed from `pack_loc` at entry) or a single fused op executed through
+/// the fused tier (kernel_count == 0, `fused_index` into fused_ops()).
+struct HostSimdItem {
+  u32 fused_index = 0;
+  u32 kernel_first = 0;
+  u32 kernel_count = 0;
+  u32 pack_loc = 0;
+};
+
+/// An immutable host-SIMD lowering of a fused trace. Thread-safe to share:
+/// execute() only mutates the VectorUnit/Memory it is handed (the segment
+/// runners use stack-resident packed state only).
+class HostSimdTrace {
+ public:
+  /// Same contract as FusedTrace::execute — identical register file, data
+  /// memory and (pass-through) cycle accounting.
+  void execute(VectorUnit& vu, Memory& mem, const CycleModel& cm) const;
+
+  // --- recorded timing (passes through to the fused/base trace) ---
+  [[nodiscard]] u64 total_cycles() const noexcept {
+    return fused_->total_cycles();
+  }
+  [[nodiscard]] u64 instructions() const noexcept {
+    return fused_->instructions();
+  }
+  [[nodiscard]] const RunStats& run_stats() const noexcept {
+    return fused_->run_stats();
+  }
+  [[nodiscard]] const std::vector<Marker>& markers() const noexcept {
+    return fused_->markers();
+  }
+  [[nodiscard]] u64 cycles_between(u32 from, u32 to) const {
+    return fused_->cycles_between(from, to);
+  }
+  [[nodiscard]] const std::array<u32, 32>& final_scalar_regs() const noexcept {
+    return fused_->final_scalar_regs();
+  }
+  [[nodiscard]] const FusedTrace& fused() const noexcept { return *fused_; }
+  /// Shared ownership of the fused trace — the demotion target
+  /// (host-simd → fused) without a second trace-cache round trip.
+  [[nodiscard]] const std::shared_ptr<const FusedTrace>& shared_fused()
+      const noexcept {
+    return fused_;
+  }
+
+  // --- lowering statistics ---
+  /// Fraction of base-trace records covered by LOWERED kernels, in [0, 1].
+  [[nodiscard]] double lowered_coverage() const noexcept {
+    const usize total = fused_->base().op_count();
+    return total == 0 ? 0.0
+                      : static_cast<double>(lowered_records_) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] usize lowered_kernel_count() const noexcept {
+    return kernels_.size();
+  }
+  [[nodiscard]] usize segment_count() const noexcept { return segments_; }
+  [[nodiscard]] const std::vector<HostSimdItem>& items() const noexcept {
+    return items_;
+  }
+  [[nodiscard]] const std::vector<HostSimdKernel>& kernels() const noexcept {
+    return kernels_;
+  }
+  /// Keccak states per simulated register row (the engine's SN).
+  [[nodiscard]] u32 sn() const noexcept { return sn_; }
+
+ private:
+  friend std::shared_ptr<const HostSimdTrace> lower_host_simd(
+      std::shared_ptr<const FusedTrace> fused);
+
+  std::shared_ptr<const FusedTrace> fused_;
+  std::vector<HostSimdItem> items_;
+  std::vector<HostSimdKernel> kernels_;
+  usize lowered_records_ = 0;
+  usize segments_ = 0;
+  usize unpack_marks_ = 0;  ///< kernels with the unpack flag (obs accounting)
+  u32 sn_ = 0;
+};
+
+/// Build the host-SIMD plan for `fused`. Throws kvx::SimError when nothing
+/// can be lowered (32-bit split arches, no matched 64-bit kernels) — the
+/// caller demotes to the fused tier per the backend chain.
+[[nodiscard]] std::shared_ptr<const HostSimdTrace> lower_host_simd(
+    std::shared_ptr<const FusedTrace> fused);
+
+}  // namespace kvx::sim

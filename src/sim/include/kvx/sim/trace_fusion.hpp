@@ -77,6 +77,13 @@ class FusedTrace {
   /// Replay with super-kernels; same contract as CompiledTrace::execute.
   void execute(VectorUnit& vu, Memory& mem, const CycleModel& cm) const;
 
+  /// Execute ONE fused op (super-kernel or replay range) — the host-SIMD
+  /// backend's fallback path for ops it does not lower. `f` must come from
+  /// this trace's fused_ops(). Unlike execute(), the caller is responsible
+  /// for restoring SN if a replayed record changed it.
+  void execute_op(const FusedOp& f, VectorUnit& vu, Memory& mem,
+                  const CycleModel& cm) const;
+
   // --- recorded timing (passes through to the base trace) ---
   [[nodiscard]] u64 total_cycles() const noexcept {
     return base_->total_cycles();

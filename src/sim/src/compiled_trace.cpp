@@ -10,6 +10,7 @@
 #include "kvx/keccak/permutation.hpp"
 #include "kvx/obs/metrics.hpp"
 #include "kvx/obs/trace_event.hpp"
+#include "kvx/sim/host_simd.hpp"
 #include "kvx/sim/trace_fusion.hpp"
 
 namespace kvx::sim {
@@ -832,10 +833,12 @@ u64 trace_key(const assembler::Program& program, const ProcessorConfig& cfg,
   return h;
 }
 
-/// Key separation between the plain and fused compilations of one program.
-/// The fused map is also a distinct container, so a "trace" shard can never
-/// observe a fused artifact even on a hash collision.
-constexpr u64 kFusedKeySalt = 0x46555345445F5452ull;  // "FUSED_TR"
+/// Key separation between the plain, fused and host-SIMD compilations of
+/// one program. Each backend's map is also a distinct container, so a
+/// "trace" shard can never observe a fused artifact even on a hash
+/// collision (and likewise up the chain).
+constexpr u64 kFusedKeySalt = 0x46555345445F5452ull;     // "FUSED_TR"
+constexpr u64 kHostSimdKeySalt = 0x484F53545F53494Dull;  // "HOST_SIM"
 
 }  // namespace
 
@@ -875,6 +878,17 @@ obs::Counter& compile_ns() {
 obs::Counter& fuse_ns() {
   static obs::Counter& c = obs::MetricsRegistry::global().counter(
       "kvx_trace_fuse_ns_total", "Host time spent in the fusion pass");
+  return c;
+}
+obs::Counter& lowerings() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "kvx_hostsimd_lowerings_total", "Host-SIMD lowering plans built");
+  return c;
+}
+obs::Counter& lower_ns() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "kvx_hostsimd_lower_ns_total",
+      "Host time spent building host-SIMD lowering plans");
   return c;
 }
 
@@ -940,12 +954,10 @@ std::shared_ptr<const CompiledTrace> TraceCache::get_or_compile(
   return lookup_or_compile_locked(key, program, cfg, opts);
 }
 
-std::shared_ptr<const FusedTrace> TraceCache::get_or_compile_fused(
-    const assembler::Program& program, const ProcessorConfig& cfg,
-    const TraceCompileOptions& opts) {
-  const u64 base_key = trace_key(program, cfg, opts);
+std::shared_ptr<const FusedTrace> TraceCache::lookup_or_fuse_locked(
+    u64 base_key, const assembler::Program& program,
+    const ProcessorConfig& cfg, const TraceCompileOptions& opts) {
   const u64 fused_key = base_key ^ kFusedKeySalt;
-  std::lock_guard lock(mutex_);
   if (const auto it = fused_entries_.find(fused_key);
       it != fused_entries_.end()) {
     ++stats_.hits;
@@ -970,6 +982,61 @@ std::shared_ptr<const FusedTrace> TraceCache::get_or_compile_fused(
   return fused;
 }
 
+std::shared_ptr<const FusedTrace> TraceCache::get_or_compile_fused(
+    const assembler::Program& program, const ProcessorConfig& cfg,
+    const TraceCompileOptions& opts) {
+  const u64 base_key = trace_key(program, cfg, opts);
+  std::lock_guard lock(mutex_);
+  return lookup_or_fuse_locked(base_key, program, cfg, opts);
+}
+
+std::shared_ptr<const HostSimdTrace> TraceCache::get_or_compile_host_simd(
+    const assembler::Program& program, const ProcessorConfig& cfg,
+    const TraceCompileOptions& opts) {
+  const u64 base_key = trace_key(program, cfg, opts);
+  const u64 hs_key = base_key ^ kHostSimdKeySalt;
+  std::lock_guard lock(mutex_);
+  if (const auto it = host_simd_entries_.find(hs_key);
+      it != host_simd_entries_.end()) {
+    ++stats_.hits;
+    cache_obs::hit_event();
+    return it->second;
+  }
+  if (const auto it = failed_.find(hs_key); it != failed_.end()) {
+    ++stats_.hits;  // negative-cache hit: rejected without re-lowering
+    cache_obs::hit_event();
+    throw SimError(it->second);
+  }
+  // Share the fused artifact (and through it the recording) with the lower
+  // tiers; only the lowering plan is built (and cached) per this backend.
+  auto fused = lookup_or_fuse_locked(base_key, program, cfg, opts);
+  obs::TraceSpan span(obs::TraceEventSink::global(), "cache",
+                     "host_simd_lower");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_ns = [&t0] {
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
+  try {
+    auto hs = lower_host_simd(std::move(fused));
+    const u64 ns = elapsed_ns();
+    stats_.lower_ns += ns;
+    ++stats_.lowerings;
+    cache_obs::lower_ns().inc(ns);
+    cache_obs::lowerings().inc();
+    host_simd_entries_.emplace(hs_key, hs);
+    return hs;
+  } catch (const Error& e) {
+    const u64 ns = elapsed_ns();
+    stats_.lower_ns += ns;
+    cache_obs::lower_ns().inc(ns);
+    failed_.emplace(hs_key, e.what());
+    throw;
+  }
+}
+
 TraceCacheStats TraceCache::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
@@ -979,6 +1046,7 @@ void TraceCache::clear() {
   std::lock_guard lock(mutex_);
   entries_.clear();
   fused_entries_.clear();
+  host_simd_entries_.clear();
   failed_.clear();
   stats_ = {};
 }

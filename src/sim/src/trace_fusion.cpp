@@ -910,28 +910,32 @@ void demote_live_scratch(const CompiledTrace& t, std::vector<Group>& groups) {
 
 }  // namespace
 
+void FusedTrace::execute_op(const FusedOp& f, VectorUnit& vu, Memory& mem,
+                            const CycleModel& cm) const {
+  u8* file = vu.file_data();
+  const u32 rb = static_cast<u32>(base_->reg_bytes());
+  switch (f.kind) {
+    case FusedOpKind::kReplayRange: {
+      const auto& ops = base_->ops();
+      for (u32 i = f.first; i < f.first + f.count; ++i) {
+        base_->execute_op(ops[i], vu, mem, cm, file);
+      }
+      break;
+    }
+    case FusedOpKind::kTheta64: run_theta64(file, f, rb); break;
+    case FusedOpKind::kTheta32: run_theta32(file, f, rb); break;
+    case FusedOpKind::kRhoPi64: run_rhopi64(file, f, rb); break;
+    case FusedOpKind::kRhoPi32: run_rhopi32(file, f, rb); break;
+    case FusedOpKind::kChi: run_chi(file, f, rb); break;
+  }
+}
+
 void FusedTrace::execute(VectorUnit& vu, Memory& mem,
                          const CycleModel& cm) const {
   KVX_CHECK_MSG(vu.reg_bytes() == base_->reg_bytes(),
                 "trace compiled for a different vector configuration");
-  u8* file = vu.file_data();
-  const u32 rb = static_cast<u32>(base_->reg_bytes());
   const unsigned entry_sn = vu.config().effective_sn();
-  const auto& ops = base_->ops();
-  for (const FusedOp& f : fused_) {
-    switch (f.kind) {
-      case FusedOpKind::kReplayRange:
-        for (u32 i = f.first; i < f.first + f.count; ++i) {
-          base_->execute_op(ops[i], vu, mem, cm, file);
-        }
-        break;
-      case FusedOpKind::kTheta64: run_theta64(file, f, rb); break;
-      case FusedOpKind::kTheta32: run_theta32(file, f, rb); break;
-      case FusedOpKind::kRhoPi64: run_rhopi64(file, f, rb); break;
-      case FusedOpKind::kRhoPi32: run_rhopi32(file, f, rb); break;
-      case FusedOpKind::kChi: run_chi(file, f, rb); break;
-    }
-  }
+  for (const FusedOp& f : fused_) execute_op(f, vu, mem, cm);
   if (vu.config().effective_sn() != entry_sn) vu.set_sn(entry_sn);
 }
 

@@ -179,6 +179,56 @@ TEST(FaultInjection, FusedSimFaultDemotesToTraceAndRecovers) {
   EXPECT_EQ(vk.backend_fallbacks(), 1u);
 }
 
+TEST(FaultInjection, HostSimdSimFaultDemotesToFusedAndRecovers) {
+  // Same shape as the fused test one tier up: construction consumes draw 1
+  // (host-simd compile site), the first dispatch consumes draw 2.
+  auto cfg = accel_config(ExecBackend::kHostSimd);
+  FaultPlan plan;
+  plan.at_draw = 2;
+  plan.kinds = static_cast<u32>(FaultKind::kSimFault);
+  cfg.fault_injector = std::make_shared<FaultInjector>(plan);
+  VectorKeccak vk(cfg);
+  ASSERT_EQ(vk.active_backend(), ExecBackend::kHostSimd);
+
+  auto states = random_states(3, 66);
+  vk.permute(states);
+  EXPECT_EQ(vk.last_backend(), ExecBackend::kFusedTrace);
+  EXPECT_EQ(vk.backend_fallbacks(), 1u);
+  EXPECT_NE(vk.last_fallback_error().find("injected fault"),
+            std::string::npos);
+  expect_states_equal(states, reference_permute(66));
+
+  // Cycle counts pass through the demotion unchanged.
+  VectorKeccak clean(accel_config(ExecBackend::kHostSimd));
+  auto clean_states = random_states(3, 66);
+  clean.permute(clean_states);
+  EXPECT_EQ(vk.last_timing().permutation_cycles,
+            clean.last_timing().permutation_cycles);
+  EXPECT_EQ(vk.last_timing().total_cycles, clean.last_timing().total_cycles);
+
+  // One-shot: the next dispatch runs host-simd again.
+  vk.permute(states);
+  EXPECT_EQ(vk.last_backend(), ExecBackend::kHostSimd);
+  EXPECT_EQ(vk.backend_fallbacks(), 1u);
+}
+
+TEST(FaultInjection, HostSimdCompileFaultChainDemotesToInterpreter) {
+  auto cfg = accel_config(ExecBackend::kHostSimd);
+  FaultPlan plan;
+  plan.rate = 1.0;
+  plan.kinds = static_cast<u32>(FaultKind::kCompileFail);
+  cfg.fault_injector = std::make_shared<FaultInjector>(plan);
+  VectorKeccak vk(cfg);
+  // host-simd rejected -> fused rejected -> trace rejected -> interpreter:
+  // three counted demotions, then clean dispatches (kCompileFail does not
+  // apply to execute sites).
+  EXPECT_EQ(vk.active_backend(), ExecBackend::kInterpreter);
+  EXPECT_EQ(vk.backend_fallbacks(), 3u);
+  auto states = random_states(3, 321);
+  vk.permute(states);
+  expect_states_equal(states, reference_permute(321));
+}
+
 class BitFlipTest : public ::testing::TestWithParam<FaultKind> {};
 
 TEST_P(BitFlipTest, DetectedFlipDemotesAndRecoversExactly) {
@@ -486,11 +536,16 @@ INSTANTIATE_TEST_SUITE_P(
     BackendsByThreads, EngineFaultMatrixTest,
     ::testing::Combine(::testing::Values(ExecBackend::kInterpreter,
                                          ExecBackend::kCompiledTrace,
-                                         ExecBackend::kFusedTrace),
+                                         ExecBackend::kFusedTrace,
+                                         ExecBackend::kHostSimd),
                        ::testing::Values(1u, 8u)),
     [](const auto& info) {
-      return std::string(sim::backend_name(std::get<0>(info.param))) + "_T" +
-             std::to_string(std::get<1>(info.param));
+      // gtest parameter names must be [A-Za-z0-9_]: "host-simd" → "host_simd".
+      std::string name(sim::backend_name(std::get<0>(info.param)));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_T" + std::to_string(std::get<1>(info.param));
     });
 
 }  // namespace

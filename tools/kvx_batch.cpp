@@ -6,7 +6,7 @@
 //     -t, --threads N    worker shards                   (default 2)
 //     -s, --sn N         Keccak states per shard: 1|3|6  (default 3)
 //     --arch NAME        64lmul1|64lmul8|32lmul8|64fused (default 64lmul8)
-//     --backend NAME     fused|trace|interpreter         (default fused)
+//     --backend NAME     host-simd|fused|trace|interpreter (default fused)
 //     -L, --out-len N    output bytes (required for shake/kmac)
 //     --key HEX          KMAC key
 //     --custom STR       KMAC customization string
@@ -94,7 +94,7 @@ std::vector<u8> read_all(std::istream& in) {
 int usage() {
   std::fprintf(stderr,
                "usage: kvx-batch [-a algo] [-t threads] [-s sn] [--arch name]\n"
-               "                 [--backend fused|trace|interpreter] [-L out-len]\n"
+               "                 [--backend name] [-L out-len]\n"
                "                 [--key hex] [--custom str] [--random N[:LEN]]\n"
                "                 [--inject-faults spec] [--pin] [--verify]\n"
                "                 [--stats]\n"
@@ -146,7 +146,9 @@ int main(int argc, char** argv) {
     } else if (a == "--backend" && has_next) {
       const auto parsed = sim::parse_backend(argv[++i]);
       if (!parsed) {
-        std::fprintf(stderr, "kvx-batch: unknown backend '%s'\n", argv[i]);
+        std::fprintf(stderr,
+                     "kvx-batch: unknown backend '%s' (accepted: %s)\n",
+                     argv[i], std::string(sim::kBackendNamesHelp).c_str());
         return kExitUsage;
       }
       backend = *parsed;
@@ -298,19 +300,30 @@ int main(int argc, char** argv) {
             s < st.queue_shard_depths.size() ? st.queue_shard_depths[s] : 0);
       }
       const sim::TraceCacheStats tc = sim::TraceCache::global().stats();
+      // `backend` is the tier dispatches start on; `effective` is the one
+      // that completed the most recent dispatch (differs after a mid-chain
+      // demotion). The host ISA is printed when host-simd actually ran.
+      std::string effective = st.effective_backend;
+      if (!st.host_simd_isa.empty()) {
+        effective += " [" + st.host_simd_isa + "]";
+      }
       std::fprintf(stderr,
-                   "backend: %s | compile %.2f ms | trace compiles %llu "
-                   "(%.2f ms) | fusions %llu (%.2f ms) | cache hits %llu | "
-                   "rejected %llu | fusion coverage %.1f%%\n",
-                   st.backend.c_str(),
+                   "backend: %s | effective %s | compile %.2f ms | "
+                   "trace compiles %llu (%.2f ms) | fusions %llu (%.2f ms) | "
+                   "lowerings %llu (%.2f ms) | cache hits %llu | "
+                   "rejected %llu | fusion coverage %.1f%% | "
+                   "host-simd coverage %.1f%%\n",
+                   st.backend.c_str(), effective.c_str(),
                    static_cast<double>(st.backend_compile_ns) / 1e6,
                    static_cast<unsigned long long>(tc.compiles),
                    static_cast<double>(tc.compile_ns) / 1e6,
                    static_cast<unsigned long long>(tc.fusions),
                    static_cast<double>(tc.fuse_ns) / 1e6,
+                   static_cast<unsigned long long>(tc.lowerings),
+                   static_cast<double>(tc.lower_ns) / 1e6,
                    static_cast<unsigned long long>(tc.hits),
                    static_cast<unsigned long long>(tc.failures),
-                   100.0 * st.fusion_coverage);
+                   100.0 * st.fusion_coverage, 100.0 * st.host_simd_coverage);
       std::fprintf(stderr,
                    "latency: %llu jobs | p50 %.3f ms | p99 %.3f ms | "
                    "p99.9 %.3f ms | max %.3f ms\n",

@@ -5,7 +5,7 @@
 //     --jobs N   jobs per engine configuration                (default 600)
 //     --rate R   injected-fault probability per decision      (default 1e-3)
 //     --quick    reduced matrix for CI smoke (SN=3, 2 threads, 120 jobs,
-//                rate 0.02) — still covers all three backends
+//                rate 0.02) — still covers all four backends
 //     -v         print one line per configuration
 //
 // Random job streams over all eight algorithms (SHA-3/SHAKE/KMAC) run
@@ -140,7 +140,7 @@ int main(int argc, char** argv) {
 
   const std::vector<sim::ExecBackend> backends = {
       sim::ExecBackend::kInterpreter, sim::ExecBackend::kCompiledTrace,
-      sim::ExecBackend::kFusedTrace};
+      sim::ExecBackend::kFusedTrace, sim::ExecBackend::kHostSimd};
   std::vector<unsigned> sns = {1, 3, 6};
   std::vector<unsigned> threads = {1, 8};
   if (quick) {

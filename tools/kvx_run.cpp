@@ -2,14 +2,17 @@
 // simulated SIMD processor and report cycles, markers and final registers.
 //
 //   kvx-run program.img|program.s [--elen 32|64] [--elenum N] [--trace]
-//           [--max-cycles N] [--backend interpreter|trace|fused]
+//           [--max-cycles N] [--backend interpreter|trace|fused|host-simd]
 //
 // With --backend trace the program is compiled into a pre-decoded kernel
 // trace and replayed; the reported cycles, markers and final registers come
 // from the recording run and are bit-identical to the interpreter's.
 // --backend fused additionally pattern-matches the trace into Keccak-step
 // super-kernels (see trace_fusion.hpp) — same architectural results and
-// cycles, less host work.
+// cycles, less host work. --backend host-simd lowers runs of the matched
+// 64-bit super-kernels to the host's own vector ISA (see host_simd.hpp),
+// picked by CPUID; the reported backend line names the ISA that actually
+// dispatched. Each tier demotes to the next on a compile/lowering rejection.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -24,6 +27,7 @@
 #include "kvx/core/step_attribution.hpp"
 #include "kvx/isa/disasm.hpp"
 #include "kvx/sim/compiled_trace.hpp"
+#include "kvx/sim/host_simd.hpp"
 #include "kvx/sim/processor.hpp"
 #include "kvx/sim/trace_fusion.hpp"
 
@@ -33,8 +37,8 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s program.img|program.s [--elen 32|64] [--elenum N]\n"
                "       [--trace] [--profile] [--max-cycles N]\n"
-               "       [--backend interpreter|trace|fused]\n",
-               prog);
+               "       [--backend BACKEND]   (one of: %s)\n",
+               prog, std::string(kvx::sim::kBackendNamesHelp).c_str());
   return 2;
 }
 
@@ -69,7 +73,9 @@ int main(int argc, char** argv) {
     } else if (a == "--backend" && i + 1 < argc) {
       const auto parsed = kvx::sim::parse_backend(argv[++i]);
       if (!parsed) {
-        std::fprintf(stderr, "kvx-run: unknown backend '%s'\n", argv[i]);
+        std::fprintf(stderr,
+                     "kvx-run: unknown backend '%s' (accepted: %s)\n", argv[i],
+                     std::string(kvx::sim::kBackendNamesHelp).c_str());
         return 2;
       }
       backend = *parsed;
@@ -100,6 +106,7 @@ int main(int argc, char** argv) {
 
     std::shared_ptr<const kvx::sim::CompiledTrace> compiled;
     std::shared_ptr<const kvx::sim::FusedTrace> fused;
+    std::shared_ptr<const kvx::sim::HostSimdTrace> hs;
     if (backend != kvx::sim::ExecBackend::kInterpreter) {
       if (trace) {
         std::fprintf(stderr,
@@ -124,8 +131,22 @@ int main(int argc, char** argv) {
         }
         try {
           compiled = kvx::sim::compile_trace(program, cfg, opts);
-          if (backend == kvx::sim::ExecBackend::kFusedTrace) {
+          if (backend >= kvx::sim::ExecBackend::kFusedTrace) {
             fused = kvx::sim::fuse_trace(compiled);
+          }
+          if (backend == kvx::sim::ExecBackend::kHostSimd) {
+            try {
+              hs = kvx::sim::lower_host_simd(fused);
+            } catch (const kvx::SimError& e) {
+              std::fprintf(stderr,
+                           "kvx-run: host-simd lowering rejected (%s); "
+                           "using the fused backend\n",
+                           e.what());
+            }
+          }
+          if (hs != nullptr) {
+            hs->execute(proc.vector(), proc.dmem(), proc.config().cycle_model);
+          } else if (fused != nullptr) {
             fused->execute(proc.vector(), proc.dmem(),
                            proc.config().cycle_model);
           } else {
@@ -137,6 +158,9 @@ int main(int argc, char** argv) {
                        "kvx-run: trace compilation rejected (%s); "
                        "using the interpreter backend\n",
                        e.what());
+          compiled = nullptr;
+          fused = nullptr;
+          hs = nullptr;
         }
       }
     }
@@ -153,7 +177,16 @@ int main(int argc, char** argv) {
         compiled != nullptr ? compiled->run_stats() : proc.stats();
     const auto& markers =
         compiled != nullptr ? compiled->markers() : proc.markers();
-    if (fused != nullptr) {
+    if (hs != nullptr) {
+      std::printf(
+          "backend: host-simd (isa %s, %zu lowered kernels in %zu segments, "
+          "%.1f%% of records; fused coverage %.1f%%)\n",
+          std::string(kvx::sim::host_simd_isa_name(
+                          kvx::sim::host_simd_dispatch_isa(hs->sn())))
+              .c_str(),
+          hs->lowered_kernel_count(), hs->segment_count(),
+          100.0 * hs->lowered_coverage(), 100.0 * fused->coverage());
+    } else if (fused != nullptr) {
       std::printf(
           "backend: fused (%zu super-kernels covering %zu of %zu records, "
           "%.1f%%, host SIMD %s)\n",
