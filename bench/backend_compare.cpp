@@ -1,19 +1,25 @@
-// Interpreter vs compiled-trace vs fused-trace vs host-SIMD execution
-// backend: host-throughput grid.
+// Interpreter vs compiled-trace vs fused-trace vs host-SIMD vs jit
+// execution backend: host-throughput grid.
 //
-// Same engine workload run four times per (SN, threads) grid point, once
+// Same engine workload run five times per (SN, threads) grid point, once
 // per execution backend. The digests of every cell are verified against the
 // host golden model AND across backends (the engine-level differential
 // check). Emits BENCH_fused.json next to the table so the host speedups of
 // every tier (trace over interpreter, fused over trace, host-simd over
 // fused) are tracked across PRs, plus BENCH_host_simd.json with the
-// host-SIMD dispatch ISA and per-cell speedups.
+// host-SIMD dispatch ISA and per-cell speedups, plus BENCH_jit.json with
+// the native-emission ISA/code size and jit-over-host-simd speedups.
 //
 // Fast by default (CI runs every bench binary as a smoke test); pass
 // --check to fail with exit 1 on any digest inequality, if a faster
 // backend tier is slower than the one below it in aggregate (host-simd <
 // fused, fused < trace, or trace < interpreter), or if the thread-scaling
-// gate fails (see below).
+// gate fails (see below). The jit tier is gated on the isolated
+// permutation-dispatch section instead of the engine aggregate (the engine
+// grid measures scheduling on few-core hosts): jit perms/s must be >=
+// KVX_JIT_MIN_SPEEDUP x host-simd at every SN >= 3. The default is
+// hardware-aware — 1.0 when the host actually emits native code, gate
+// disabled when the jit tier demotes (non-x86-64, scalar-only build).
 //
 // Thread-scaling section: the fused backend at SN=6 is rerun over
 // threads {1,2,4,8} with a large submit_batch workload, and the 8-thread
@@ -51,6 +57,7 @@ struct Cell {
   double trace_mbs = 0;
   double fused_mbs = 0;
   double hostsimd_mbs = 0;
+  double jit_mbs = 0;
 };
 
 double run_once(sim::ExecBackend backend, unsigned sn, unsigned threads,
@@ -137,15 +144,34 @@ int main(int argc, char** argv) {
 
   const std::string isa_name(
       sim::host_simd_isa_name(sim::host_simd_active_isa()));
+  // Probe whether the jit tier actually emits on this host (it demotes to
+  // host-simd on non-x86-64 hosts, scalar-only builds and KVX_JIT=OFF);
+  // the jit gate and BENCH_jit.json report are keyed off this.
+  bool jit_active = false;
+  usize jit_code_bytes = 0;
+  std::string jit_isa_name = "none";
+  {
+    core::VectorKeccakConfig jc{core::Arch::k64Lmul8, 5 * 6, 24};
+    jc.backend = sim::ExecBackend::kJit;
+    core::VectorKeccak jvk(jc);
+    jit_active = jvk.active_backend() == sim::ExecBackend::kJit;
+    jit_code_bytes = jvk.jit_code_bytes();
+    if (jvk.jit_isa().has_value()) {
+      jit_isa_name = std::string(sim::host_simd_isa_name(*jvk.jit_isa()));
+    }
+  }
+
   bench::header("Execution backend comparison — interpreter vs compiled "
-                "trace vs fused trace vs host-SIMD (SHA3-256, 96 x 200 B)");
+                "trace vs fused trace vs host-SIMD vs jit "
+                "(SHA3-256, 96 x 200 B)");
   std::printf("host hardware threads: %u | fused host SIMD: %s | "
-              "host-simd dispatch ISA: %s\n\n",
+              "host-simd dispatch ISA: %s | jit: %s\n\n",
               std::thread::hardware_concurrency(),
-              sim::fusion_host_simd() ? "on" : "off", isa_name.c_str());
-  std::printf(
-      "%-18s | interp MB/s | trace MB/s | fused MB/s | h-simd MB/s | hs/f\n",
-      "config");
+              sim::fusion_host_simd() ? "on" : "off", isa_name.c_str(),
+              jit_active ? jit_isa_name.c_str() : "demoted");
+  std::printf("%-18s | interp MB/s | trace MB/s | fused MB/s | h-simd MB/s "
+              "| jit MB/s | j/hs\n",
+              "config");
   bench::rule();
 
   std::vector<Cell> cells;
@@ -153,6 +179,7 @@ int main(int argc, char** argv) {
   double trace_total_s = 0;
   double fused_total_s = 0;
   double hostsimd_total_s = 0;
+  double jit_total_s = 0;
   double coverage = 0;
   double hs_coverage = 0;
   for (const unsigned sn : {1u, 3u, 6u}) {
@@ -168,19 +195,24 @@ int main(int argc, char** argv) {
                                  jobs, expected, &coverage);
       const double hs = run_once(sim::ExecBackend::kHostSimd, sn, threads,
                                  jobs, expected, nullptr, &hs_coverage);
+      const double js =
+          run_once(sim::ExecBackend::kJit, sn, threads, jobs, expected);
       interp_total_s += is;
       trace_total_s += ts;
       fused_total_s += fs;
       hostsimd_total_s += hs;
+      jit_total_s += js;
       c.interp_mbs = mb / is;
       c.trace_mbs = mb / ts;
       c.fused_mbs = mb / fs;
       c.hostsimd_mbs = mb / hs;
+      c.jit_mbs = mb / js;
       cells.push_back(c);
-      std::printf(
-          "SN=%u  %u thread%s  | %11.2f | %10.2f | %10.2f | %11.2f | %5.2fx\n",
-          sn, threads, threads == 1 ? " " : "s", c.interp_mbs, c.trace_mbs,
-          c.fused_mbs, c.hostsimd_mbs, fs / hs);
+      std::printf("SN=%u  %u thread%s  | %11.2f | %10.2f | %10.2f | %11.2f "
+                  "| %8.2f | %5.2fx\n",
+                  sn, threads, threads == 1 ? " " : "s", c.interp_mbs,
+                  c.trace_mbs, c.fused_mbs, c.hostsimd_mbs, c.jit_mbs,
+                  hs / js);
     }
     bench::rule();
   }
@@ -189,25 +221,32 @@ int main(int argc, char** argv) {
   const double agg_trace = mb * n / trace_total_s;
   const double agg_fused = mb * n / fused_total_s;
   const double agg_hostsimd = mb * n / hostsimd_total_s;
+  const double agg_jit = mb * n / jit_total_s;
   const sim::TraceCacheStats tc = sim::TraceCache::global().stats();
   std::printf("aggregate: interpreter %.2f MB/s, trace %.2f MB/s (%.2fx), "
               "fused %.2f MB/s (%.2fx over trace), host-simd %.2f MB/s "
-              "(%.2fx over fused)\n",
+              "(%.2fx over fused), jit %.2f MB/s (%.2fx over host-simd)\n",
               agg_interp, agg_trace, interp_total_s / trace_total_s, agg_fused,
               trace_total_s / fused_total_s, agg_hostsimd,
-              fused_total_s / hostsimd_total_s);
+              fused_total_s / hostsimd_total_s, agg_jit,
+              hostsimd_total_s / jit_total_s);
   std::printf("trace cache: %llu compiles (%.2f ms), %llu fusions (%.2f ms), "
-              "%llu lowerings (%.2f ms), %llu hits, %llu rejected | fusion "
-              "coverage %.1f%% | host-simd coverage %.1f%%\n",
+              "%llu lowerings (%.2f ms), %llu jit emissions (%.2f ms), "
+              "%llu hits, %llu rejected | fusion coverage %.1f%% | host-simd "
+              "coverage %.1f%% | %llu entries, %llu resident bytes\n",
               static_cast<unsigned long long>(tc.compiles),
               static_cast<double>(tc.compile_ns) / 1e6,
               static_cast<unsigned long long>(tc.fusions),
               static_cast<double>(tc.fuse_ns) / 1e6,
               static_cast<unsigned long long>(tc.lowerings),
               static_cast<double>(tc.lower_ns) / 1e6,
+              static_cast<unsigned long long>(tc.jit_compiles),
+              static_cast<double>(tc.jit_ns) / 1e6,
               static_cast<unsigned long long>(tc.hits),
               static_cast<unsigned long long>(tc.failures), 100.0 * coverage,
-              100.0 * hs_coverage);
+              100.0 * hs_coverage,
+              static_cast<unsigned long long>(tc.entries),
+              static_cast<unsigned long long>(tc.resident_bytes));
 
   std::FILE* f = std::fopen("BENCH_fused.json", "w");
   if (f != nullptr) {
@@ -298,8 +337,11 @@ int main(int argc, char** argv) {
   // dispatch itself, single-threaded. The gate is env-overridable via
   // KVX_HOSTSIMD_MIN_SPEEDUP (default 1.0: never slower than fused; on
   // AVX2+ hosts the measured ratio at SN>=6 should be >= 2).
-  bench::header("Permutation dispatch — host-simd vs fused, single thread");
-  std::printf("%-6s | fused perms/s | h-simd perms/s | speedup\n", "SN");
+  bench::header(
+      "Permutation dispatch — jit vs host-simd vs fused, single thread");
+  std::printf("%-6s | fused perms/s | h-simd perms/s | hs/f  | jit perms/s "
+              "| j/hs\n",
+              "SN");
   bench::rule();
   double min_hs_speedup = 1.0;
   const char* hs_gate_source = "default";
@@ -313,13 +355,32 @@ int main(int argc, char** argv) {
       std::printf("ignoring malformed KVX_HOSTSIMD_MIN_SPEEDUP='%s'\n", env);
     }
   }
+  // jit-over-host-simd dispatch gate. Hardware-aware default: the emitted
+  // code must never be slower than the plan walker it replaces (1.0) when
+  // the host emits at all; on hosts where the jit tier demotes the two
+  // columns measure the same code, so the gate is disabled (0.0).
+  double min_jit_speedup = jit_active ? 1.0 : 0.0;
+  const char* jit_gate_source =
+      jit_active ? "default (jit active)" : "disabled (jit demoted)";
+  if (const char* env = std::getenv("KVX_JIT_MIN_SPEEDUP")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v >= 0.0) {
+      min_jit_speedup = v;
+      jit_gate_source = "env:KVX_JIT_MIN_SPEEDUP";
+    } else {
+      std::printf("ignoring malformed KVX_JIT_MIN_SPEEDUP='%s'\n", env);
+    }
+  }
   struct DispatchPoint {
     unsigned sn;
     double fused_ps;
     double hostsimd_ps;
+    double jit_ps;
   };
   std::vector<DispatchPoint> dispatch;
   bool dispatch_ok = true;
+  bool jit_dispatch_ok = true;
   for (const unsigned sn : {1u, 3u, 6u, 8u}) {
     const auto perms_per_sec = [&](sim::ExecBackend backend) {
       core::VectorKeccakConfig c{core::Arch::k64Lmul8, 5 * sn, 24};
@@ -341,18 +402,24 @@ int main(int argc, char** argv) {
       return static_cast<double>(kIters) * sn / s;
     };
     DispatchPoint p{sn, perms_per_sec(sim::ExecBackend::kFusedTrace),
-                    perms_per_sec(sim::ExecBackend::kHostSimd)};
+                    perms_per_sec(sim::ExecBackend::kHostSimd),
+                    perms_per_sec(sim::ExecBackend::kJit)};
     dispatch.push_back(p);
     const double ratio = p.hostsimd_ps / p.fused_ps;
+    const double jit_ratio = p.jit_ps / p.hostsimd_ps;
     // SN=1 barely exercises the packed runners (one state per group) and
     // its ratio is dominated by measurement noise: report it, gate SN>=3.
     if (sn >= 3 && ratio < min_hs_speedup) dispatch_ok = false;
-    std::printf("SN=%-3u | %13.0f | %14.0f | %6.2fx\n", sn, p.fused_ps,
-                p.hostsimd_ps, ratio);
+    if (sn >= 3 && jit_ratio < min_jit_speedup) jit_dispatch_ok = false;
+    std::printf("SN=%-3u | %13.0f | %14.0f | %4.2fx | %11.0f | %4.2fx\n", sn,
+                p.fused_ps, p.hostsimd_ps, ratio, p.jit_ps, jit_ratio);
   }
   std::printf("dispatch speedup required >= %.2fx per SN>=3 (%s): %s\n",
               min_hs_speedup, hs_gate_source,
               dispatch_ok ? "ok" : "BELOW GATE");
+  std::printf("jit dispatch speedup required >= %.2fx per SN>=3 (%s): %s\n",
+              min_jit_speedup, jit_gate_source,
+              jit_dispatch_ok ? "ok" : "BELOW GATE");
 
   // Host-SIMD-specific record: dispatch ISA, lowering coverage, per-cell
   // engine speedups over the fused tier (the tier it lowers), and the
@@ -401,6 +468,58 @@ int main(int argc, char** argv) {
                  dispatch_ok ? "true" : "false");
     std::fclose(hf);
     std::printf("wrote BENCH_host_simd.json\n");
+  }
+
+  // Jit-specific record: emission ISA and code size, per-cell engine
+  // speedups over the host-SIMD tier (the tier it compiles), and the
+  // isolated permutation-dispatch grid with the jit gate verdict.
+  std::FILE* jf = std::fopen("BENCH_jit.json", "w");
+  if (jf != nullptr) {
+    std::fprintf(jf, "{\n  \"bench\": \"backend_compare_jit\",\n");
+    std::fprintf(jf, "  \"active\": %s,\n", jit_active ? "true" : "false");
+    std::fprintf(jf, "  \"isa\": \"%s\",\n", jit_isa_name.c_str());
+    std::fprintf(jf, "  \"code_bytes\": %zu,\n", jit_code_bytes);
+    std::fprintf(jf, "  \"host_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(jf, "  \"jobs\": %zu,\n  \"bytes_per_job\": %zu,\n", kJobs,
+                 kBytes);
+    std::fprintf(jf, "  \"engine_grid\": [\n");
+    for (usize i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(jf,
+                   "    {\"sn\": %u, \"threads\": %u, \"jit_mbs\": %.3f, "
+                   "\"hostsimd_mbs\": %.3f, \"speedup_over_hostsimd\": "
+                   "%.3f}%s\n",
+                   c.sn, c.threads, c.jit_mbs, c.hostsimd_mbs,
+                   c.jit_mbs / c.hostsimd_mbs, i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(jf, "  ],\n");
+    std::fprintf(jf, "  \"dispatch_grid\": [\n");
+    for (usize i = 0; i < dispatch.size(); ++i) {
+      const DispatchPoint& p = dispatch[i];
+      std::fprintf(jf,
+                   "    {\"sn\": %u, \"hostsimd_perms_per_sec\": %.0f, "
+                   "\"jit_perms_per_sec\": %.0f, "
+                   "\"speedup_over_hostsimd\": %.3f}%s\n",
+                   p.sn, p.hostsimd_ps, p.jit_ps, p.jit_ps / p.hostsimd_ps,
+                   i + 1 < dispatch.size() ? "," : "");
+    }
+    std::fprintf(jf, "  ],\n");
+    std::fprintf(jf,
+                 "  \"aggregate\": {\"jit_mbs\": %.3f, \"hostsimd_mbs\": "
+                 "%.3f, \"speedup_over_hostsimd\": %.3f},\n",
+                 agg_jit, agg_hostsimd, hostsimd_total_s / jit_total_s);
+    std::fprintf(jf,
+                 "  \"emission\": {\"count\": %llu, \"ms\": %.3f},\n",
+                 static_cast<unsigned long long>(tc.jit_compiles),
+                 static_cast<double>(tc.jit_ns) / 1e6);
+    std::fprintf(jf,
+                 "  \"dispatch_gate\": {\"min_speedup\": %.3f, \"source\": "
+                 "\"%s\", \"pass\": %s}\n}\n",
+                 min_jit_speedup, jit_gate_source,
+                 jit_dispatch_ok ? "true" : "false");
+    std::fclose(jf);
+    std::printf("wrote BENCH_jit.json\n");
   }
 
   std::FILE* sf = std::fopen("BENCH_scaling.json", "w");
@@ -453,6 +572,12 @@ int main(int argc, char** argv) {
     std::printf("CHECK FAILED: host-simd permutation dispatch below the "
                 "%.2fx gate (%s)\n",
                 min_hs_speedup, hs_gate_source);
+    return 1;
+  }
+  if (check && !jit_dispatch_ok) {
+    std::printf("CHECK FAILED: jit permutation dispatch below the "
+                "%.2fx gate (%s)\n",
+                min_jit_speedup, jit_gate_source);
     return 1;
   }
   return 0;

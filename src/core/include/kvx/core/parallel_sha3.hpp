@@ -95,9 +95,20 @@ class ParallelSha3 {
   }
 
   /// Fraction of trace records the host-SIMD plan lowers to host
-  /// intrinsics ([0, 1]); 0 unless the active backend is host-simd.
+  /// intrinsics ([0, 1]); 0 unless the active backend is host-simd or jit.
   [[nodiscard]] double host_simd_coverage() const noexcept {
     return vk_.host_simd_coverage();
+  }
+
+  /// Native code bytes of the jit compilation (page-rounded W^X buffer);
+  /// 0 unless the active backend is jit.
+  [[nodiscard]] usize jit_code_bytes() const noexcept {
+    return vk_.jit_code_bytes();
+  }
+
+  /// Host ISA the jit code was emitted for (nullopt unless jit).
+  [[nodiscard]] std::optional<sim::HostSimdIsa> jit_isa() const noexcept {
+    return vk_.jit_isa();
   }
 
   /// Hash a batch of messages with a fixed-output function; every message

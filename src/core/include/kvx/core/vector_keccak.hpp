@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "kvx/sim/exec_backend.hpp"
 #include "kvx/sim/fault_injector.hpp"
 #include "kvx/sim/host_simd.hpp"
+#include "kvx/sim/jit/jit_trace.hpp"
 #include "kvx/sim/trace_fusion.hpp"
 #include "kvx/sim/processor.hpp"
 
@@ -29,10 +31,11 @@ struct VectorKeccakConfig {
   unsigned rounds = 24;
   unsigned first_round = 0;  ///< ι round-constant start (12 for Keccak-p[1600,12])
 
-  /// Functional execution backend. The host-simd/fused/trace backends
+  /// Functional execution backend. The jit/host-simd/fused/trace backends
   /// produce bit-identical digests, register state and cycle counts; a
   /// compile rejection or a runtime SimError demotes tier by tier
-  /// (host-simd → fused → trace → interpreter) rather than failing the run.
+  /// (jit → host-simd → fused → trace → interpreter) rather than failing
+  /// the run.
   sim::ExecBackend backend = sim::ExecBackend::kInterpreter;
 
   /// Optional deterministic fault injector (null = disabled). Shared by
@@ -82,16 +85,18 @@ class VectorKeccak {
   /// Permute up to SN states in place on the simulated accelerator.
   /// Throws kvx::Error when states.size() > SN.
   ///
-  /// Fail-soft: a SimError on the fused or trace tier (injected fault,
-  /// replay fault) demotes THIS dispatch one tier at a time — fused →
-  /// trace → interpreter — restaging the input states before each retry,
-  /// so transient faults cost a fallback, not a wrong digest. Only an
-  /// interpreter-tier SimError propagates to the caller.
+  /// Fail-soft: a SimError on any compiled tier (injected fault, replay
+  /// fault, host-ISA drift under the jit) demotes THIS dispatch one tier
+  /// at a time — jit → host-simd → fused → trace → interpreter —
+  /// restaging the input states before each retry, so transient faults
+  /// cost a fallback, not a wrong digest. Only an interpreter-tier
+  /// SimError propagates to the caller.
   void permute(std::span<keccak::State> states);
 
   /// Backend that permute() starts a dispatch on: the configured one,
   /// downgraded if trace compilation was rejected (or injected-failed).
   [[nodiscard]] sim::ExecBackend active_backend() const noexcept {
+    if (jit_ != nullptr) return sim::ExecBackend::kJit;
     if (hs_ != nullptr) return sim::ExecBackend::kHostSimd;
     if (fused_ != nullptr) return sim::ExecBackend::kFusedTrace;
     return trace_ != nullptr ? sim::ExecBackend::kCompiledTrace
@@ -121,9 +126,22 @@ class VectorKeccak {
   }
 
   /// Fraction of trace records the host-SIMD plan lowers to host
-  /// intrinsics ([0, 1]); 0 when the active backend is not host-simd.
+  /// intrinsics ([0, 1]); 0 when the active backend is neither host-simd
+  /// nor jit (which compiles the same plan to native code).
   [[nodiscard]] double host_simd_coverage() const noexcept {
     return hs_ != nullptr ? hs_->lowered_coverage() : 0.0;
+  }
+
+  /// Native code bytes of the jit compilation (page-rounded W^X buffer);
+  /// 0 when the active backend is not jit.
+  [[nodiscard]] usize jit_code_bytes() const noexcept {
+    return jit_ != nullptr ? jit_->buffer_bytes() : 0;
+  }
+
+  /// Host ISA the jit code was emitted for (nullopt when not jit).
+  [[nodiscard]] std::optional<sim::HostSimdIsa> jit_isa() const noexcept {
+    if (jit_ == nullptr) return std::nullopt;
+    return jit_->isa();
   }
 
   [[nodiscard]] const PermutationTiming& last_timing() const noexcept {
@@ -171,7 +189,8 @@ class VectorKeccak {
   mutable std::vector<u8> stage_block_;
   std::shared_ptr<const sim::CompiledTrace> trace_;  ///< null = interpreter
   std::shared_ptr<const sim::FusedTrace> fused_;     ///< kFusedTrace and up
-  std::shared_ptr<const sim::HostSimdTrace> hs_;     ///< kHostSimd only
+  std::shared_ptr<const sim::HostSimdTrace> hs_;     ///< kHostSimd and up
+  std::shared_ptr<const sim::JitTrace> jit_;         ///< kJit only
   sim::ExecBackend last_backend_ = sim::ExecBackend::kInterpreter;
   u64 fallbacks_ = 0;               ///< cumulative backend demotions
   std::string last_fallback_error_; ///< reason of the latest demotion

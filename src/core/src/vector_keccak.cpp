@@ -78,7 +78,16 @@ VectorKeccak::VectorKeccak(const VectorKeccakConfig& config,
       if (inj != nullptr && inj->draw(sim::FaultSite::kTraceCompile)) {
         inj->fail_compile(std::string(sim::backend_name(tier)));
       }
-      if (tier == sim::ExecBackend::kHostSimd) {
+      if (tier == sim::ExecBackend::kJit) {
+        jit_ = sim::TraceCache::global().get_or_compile_jit(
+            program_->image, processor_config(config_), opts);
+        // Demotion targets of transient jit dispatch faults (including
+        // host-ISA drift): the native code shares its host-SIMD plan and,
+        // through it, the whole lower chain — no extra cache round trips.
+        hs_ = jit_->shared_host_simd();
+        fused_ = hs_->shared_fused();
+        trace_ = fused_->shared_base();
+      } else if (tier == sim::ExecBackend::kHostSimd) {
         hs_ = sim::TraceCache::global().get_or_compile_host_simd(
             program_->image, processor_config(config_), opts);
         // Demotion targets of transient host-simd dispatch faults: the
@@ -99,6 +108,7 @@ VectorKeccak::VectorKeccak(const VectorKeccakConfig& config,
       }
       break;
     } catch (const SimError& e) {
+      jit_ = nullptr;
       hs_ = nullptr;
       fused_ = nullptr;
       trace_ = nullptr;
@@ -193,7 +203,19 @@ void VectorKeccak::run_backend(sim::ExecBackend tier,
     fault = inj->draw(sim::FaultSite::kExecute);
     if (fault == sim::FaultKind::kSimFault) inj->throw_sim_fault(tier_name);
   }
-  if (tier == sim::ExecBackend::kHostSimd) {
+  if (tier == sim::ExecBackend::kJit) {
+    // Emitted native code over the host-SIMD plan; register file, data
+    // memory and (pass-through) timing are bit-identical to the host-simd
+    // tier — and hence every tier below it.
+    proc_->vector().clear_registers();
+    jit_->execute(proc_->vector(), proc_->dmem(),
+                  proc_->config().cycle_model);
+    timing_.total_cycles = jit_->total_cycles();
+    timing_.permutation_cycles =
+        jit_->cycles_between(Markers::kPermStart, Markers::kPermEnd);
+    timing_.instructions = jit_->instructions();
+    step_cycles_ = trace_step_cycles_;
+  } else if (tier == sim::ExecBackend::kHostSimd) {
     // Lowered super-kernel runs on the host's own vector ISA; register
     // file and data memory end up bit-identical to the fused tier (and
     // hence the interpreter); timing passes through unchanged.

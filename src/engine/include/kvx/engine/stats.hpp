@@ -65,20 +65,24 @@ struct EngineStats {
   /// all zero at quiescent points).
   std::vector<usize> queue_shard_depths;
   /// Execution backend the shard accelerators run
-  /// ("interpreter"/"trace"/"fused"/"host-simd"); the active one, i.e.
-  /// already downgraded if trace compilation or lowering failed.
+  /// ("interpreter"/"trace"/"fused"/"host-simd"/"jit"); the active one,
+  /// i.e. already downgraded if trace compilation or lowering failed.
   std::string backend;
   /// Backend that actually completed the most recent dispatch — equal to
   /// `backend` unless that dispatch demoted mid-chain (fail-soft retry).
   std::string effective_backend;
   /// Host vector ISA the host-simd tier dispatches to after CPUID
-  /// detection ("scalar"/"portable"/"avx2"/"avx512"); "" unless the
-  /// effective backend is host-simd.
+  /// detection ("scalar"/"portable"/"avx2"/"avx512") — for the jit tier,
+  /// the ISA the native code was emitted for; "" unless the effective
+  /// backend is host-simd or jit.
   std::string host_simd_isa;
   /// Trace-record fraction covered by super-kernels; 0 unless fused.
   double fusion_coverage = 0.0;
   /// Trace-record fraction lowered to host intrinsics; 0 unless host-simd.
   double host_simd_coverage = 0.0;
+  /// Per-shard native code bytes of the jit compilation (page-rounded W^X
+  /// buffer, shared across shards via the trace cache); 0 unless jit.
+  u64 jit_code_bytes = 0;
   /// Host time compiling (and fusing) the execution trace, if any.
   u64 backend_compile_ns = 0;
   /// Wall time since engine construction (the default throughput() window).

@@ -420,7 +420,11 @@ EngineStats BatchHashEngine::stats() const {
     st.effective_backend = sim::backend_name(accel.last_backend());
     st.fusion_coverage = accel.fusion_coverage();
     st.host_simd_coverage = accel.host_simd_coverage();
-    if (accel.last_backend() == sim::ExecBackend::kHostSimd) {
+    st.jit_code_bytes = accel.jit_code_bytes();
+    if (accel.last_backend() == sim::ExecBackend::kJit &&
+        accel.jit_isa().has_value()) {
+      st.host_simd_isa = sim::host_simd_isa_name(*accel.jit_isa());
+    } else if (accel.last_backend() == sim::ExecBackend::kHostSimd) {
       st.host_simd_isa = sim::host_simd_isa_name(
           sim::host_simd_dispatch_isa(accel.config().sn()));
     }

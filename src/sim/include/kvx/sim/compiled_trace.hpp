@@ -41,6 +41,7 @@ namespace kvx::sim {
 
 class FusedTrace;     // trace_fusion.hpp
 class HostSimdTrace;  // host_simd.hpp
+class JitTrace;       // jit/jit_trace.hpp
 
 /// Kernel kinds a recorded instruction is specialized into. Custom
 /// instructions with an `lmul_cnt` row sequence are flattened to one record
@@ -135,6 +136,14 @@ struct TraceCacheStats {
   u64 fuse_ns = 0;      ///< host time spent in the fusion pass
   u64 lowerings = 0;    ///< host-SIMD plans built (host-simd-cache misses)
   u64 lower_ns = 0;     ///< host time spent lowering to host SIMD
+  u64 jit_compiles = 0; ///< native JIT emissions (jit-cache misses)
+  u64 jit_ns = 0;       ///< host time spent emitting native code
+  // Occupancy snapshot (also exported as the kvx_trace_cache_entries /
+  // kvx_trace_cache_bytes gauges): live artifacts across all tiers and the
+  // approximate bytes they hold — including the page-rounded W^X code
+  // buffers of cached JIT traces.
+  u64 entries = 0;
+  u64 resident_bytes = 0;
 };
 
 /// An immutable compiled trace. Thread-safe to share: execute() only
@@ -170,6 +179,13 @@ class CompiledTrace {
   [[nodiscard]] usize op_count() const noexcept { return ops_.size(); }
   [[nodiscard]] usize generic_op_count() const noexcept {
     return generic_ops_.size();
+  }
+  /// Approximate heap bytes held by this artifact (TraceCache occupancy).
+  [[nodiscard]] usize memory_bytes() const noexcept {
+    return ops_.size() * sizeof(TraceOp) +
+           gather_elems_.size() * sizeof(TraceMemElem) +
+           generic_ops_.size() * sizeof(TraceGenericOp) +
+           wide_imms_.size() * sizeof(u64) + markers_.size() * sizeof(Marker);
   }
 
   // --- raw record access (the fusion pass) ---
@@ -245,6 +261,18 @@ class TraceCache {
       const assembler::Program& program, const ProcessorConfig& cfg,
       const TraceCompileOptions& opts = {});
 
+  /// Cached lower_jit(lower_host_simd(...)): native code emitted for the
+  /// ISA the host-SIMD dispatcher resolves for this SN right now (the
+  /// resolved ISA is part of the cache key, so an AVX-512 emission and an
+  /// AVX2 emission of one program coexist). Shares the host-SIMD plan (and
+  /// through it the whole lower chain). Emission failures are NOT cached
+  /// negatively — mmap/mprotect refusals are transient, unlike compile or
+  /// lowering rejections. Throws kvx::SimError on failure — callers demote
+  /// to the host-SIMD tier.
+  [[nodiscard]] std::shared_ptr<const JitTrace> get_or_compile_jit(
+      const assembler::Program& program, const ProcessorConfig& cfg,
+      const TraceCompileOptions& opts = {});
+
   [[nodiscard]] TraceCacheStats stats() const;
   /// Drop all entries and zero the counters (tests).
   void clear();
@@ -258,14 +286,22 @@ class TraceCache {
   [[nodiscard]] std::shared_ptr<const FusedTrace> lookup_or_fuse_locked(
       u64 base_key, const assembler::Program& program,
       const ProcessorConfig& cfg, const TraceCompileOptions& opts);
+  /// Host-SIMD-tier lookup over lookup_or_fuse_locked; mutex_ must be held.
+  [[nodiscard]] std::shared_ptr<const HostSimdTrace> lookup_or_lower_locked(
+      u64 base_key, const assembler::Program& program,
+      const ProcessorConfig& cfg, const TraceCompileOptions& opts);
+  /// Recompute the occupancy snapshot + gauges; mutex_ must be held.
+  void refresh_occupancy_locked();
 
   mutable std::mutex mutex_;
   std::unordered_map<u64, std::shared_ptr<const CompiledTrace>> entries_;
   std::unordered_map<u64, std::shared_ptr<const FusedTrace>> fused_entries_;
   std::unordered_map<u64, std::shared_ptr<const HostSimdTrace>>
       host_simd_entries_;
+  std::unordered_map<u64, std::shared_ptr<const JitTrace>> jit_entries_;
   std::unordered_map<u64, std::string> failed_;  ///< key -> error message
   TraceCacheStats stats_;
+  u64 resident_bytes_ = 0;  ///< sum of memory_bytes() over all live entries
 };
 
 }  // namespace kvx::sim

@@ -9,11 +9,14 @@
 // compiled trace, pattern-matching recorded record sequences into
 // Keccak-step super-kernels executed with host SIMD; unmatched sequences
 // fall back to per-record replay, so it is correct on arbitrary programs.
-// The host-SIMD backend (host_simd.hpp) is tier zero: it lowers runs of the
-// matched super-kernels straight to host vector intrinsics (AVX-512 / AVX2 /
+// The host-SIMD backend (host_simd.hpp) lowers runs of the matched
+// super-kernels straight to host vector intrinsics (AVX-512 / AVX2 /
 // portable vector extensions, runtime CPUID dispatch) with multiple Keccak
 // states packed per host register; anything it cannot lower executes through
-// the fused tier's kernels and replay path.
+// the fused tier's kernels and replay path. The JIT backend (jit/) is tier
+// zero: it emits the whole host-SIMD plan as one contiguous native x86-64
+// function per (program, ISA) into a W^X code buffer — no replay dispatch
+// at all — and demotes to host-simd wherever native emission is impossible.
 #pragma once
 
 #include <optional>
@@ -26,24 +29,27 @@ enum class ExecBackend {
   kCompiledTrace,  ///< pre-decoded kernel trace (see compiled_trace.hpp)
   kFusedTrace,     ///< super-kernel-fused trace (see trace_fusion.hpp)
   kHostSimd,       ///< super-kernels lowered to host intrinsics (host_simd.hpp)
+  kJit,            ///< whole-trace native x86-64 emission (jit/jit_trace.hpp)
 };
 
 /// Stable name, also accepted by parse_backend:
-/// "interpreter" / "trace" / "fused" / "host-simd".
+/// "interpreter" / "trace" / "fused" / "host-simd" / "jit".
 [[nodiscard]] constexpr std::string_view backend_name(ExecBackend b) noexcept {
   switch (b) {
     case ExecBackend::kCompiledTrace: return "trace";
     case ExecBackend::kFusedTrace: return "fused";
     case ExecBackend::kHostSimd: return "host-simd";
+    case ExecBackend::kJit: return "jit";
     default: return "interpreter";
   }
 }
 
 /// Next tier of the fail-soft fallback chain:
-/// host-simd → fused → trace → interpreter.
+/// jit → host-simd → fused → trace → interpreter.
 /// The interpreter is the floor — it demotes to itself.
 [[nodiscard]] constexpr ExecBackend demote_backend(ExecBackend b) noexcept {
   switch (b) {
+    case ExecBackend::kJit: return ExecBackend::kHostSimd;
     case ExecBackend::kHostSimd: return ExecBackend::kFusedTrace;
     case ExecBackend::kFusedTrace: return ExecBackend::kCompiledTrace;
     default: return ExecBackend::kInterpreter;
@@ -51,7 +57,7 @@ enum class ExecBackend {
 }
 
 /// Parse a backend name ("interpreter", "trace"/"compiled-trace",
-/// "fused"/"fused-trace", "host-simd"/"hostsimd"/"simd").
+/// "fused"/"fused-trace", "host-simd"/"hostsimd"/"simd", "jit"/"native").
 [[nodiscard]] inline std::optional<ExecBackend> parse_backend(
     std::string_view name) noexcept {
   if (name == "interpreter") return ExecBackend::kInterpreter;
@@ -64,11 +70,12 @@ enum class ExecBackend {
   if (name == "host-simd" || name == "hostsimd" || name == "simd") {
     return ExecBackend::kHostSimd;
   }
+  if (name == "jit" || name == "native") return ExecBackend::kJit;
   return std::nullopt;
 }
 
 /// Names parse_backend accepts, for CLI error messages.
 inline constexpr std::string_view kBackendNamesHelp =
-    "interpreter, trace, fused, host-simd";
+    "interpreter, trace, fused, host-simd, jit";
 
 }  // namespace kvx::sim

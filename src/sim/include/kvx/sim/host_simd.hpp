@@ -193,6 +193,12 @@ class HostSimdTrace {
   }
   /// Keccak states per simulated register row (the engine's SN).
   [[nodiscard]] u32 sn() const noexcept { return sn_; }
+  /// Approximate heap bytes of this plan alone (the shared fused trace is
+  /// accounted by its own cache entry).
+  [[nodiscard]] usize memory_bytes() const noexcept {
+    return items_.size() * sizeof(HostSimdItem) +
+           kernels_.size() * sizeof(HostSimdKernel);
+  }
 
  private:
   friend std::shared_ptr<const HostSimdTrace> lower_host_simd(

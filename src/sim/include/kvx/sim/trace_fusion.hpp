@@ -128,6 +128,11 @@ class FusedTrace {
   [[nodiscard]] const std::vector<FusedOp>& fused_ops() const noexcept {
     return fused_;
   }
+  /// Approximate heap bytes of this artifact alone (the shared base trace
+  /// is accounted by its own cache entry).
+  [[nodiscard]] usize memory_bytes() const noexcept {
+    return fused_.size() * sizeof(FusedOp);
+  }
 
  private:
   friend std::shared_ptr<const FusedTrace> fuse_trace(

@@ -11,6 +11,7 @@
 #include "kvx/obs/metrics.hpp"
 #include "kvx/obs/trace_event.hpp"
 #include "kvx/sim/host_simd.hpp"
+#include "kvx/sim/jit/jit_trace.hpp"
 #include "kvx/sim/trace_fusion.hpp"
 
 namespace kvx::sim {
@@ -839,6 +840,7 @@ u64 trace_key(const assembler::Program& program, const ProcessorConfig& cfg,
 /// collision (and likewise up the chain).
 constexpr u64 kFusedKeySalt = 0x46555345445F5452ull;     // "FUSED_TR"
 constexpr u64 kHostSimdKeySalt = 0x484F53545F53494Dull;  // "HOST_SIM"
+constexpr u64 kJitKeySalt = 0x4A49545F54524143ull;       // "JIT_TRAC"
 
 }  // namespace
 
@@ -891,6 +893,29 @@ obs::Counter& lower_ns() {
       "Host time spent building host-SIMD lowering plans");
   return c;
 }
+obs::Counter& jit_compiles() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "kvx_jit_compiles_total", "Native JIT code emissions");
+  return c;
+}
+obs::Counter& jit_ns() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "kvx_jit_compile_ns_total", "Host time spent emitting native code");
+  return c;
+}
+obs::Gauge& entries_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "kvx_trace_cache_entries",
+      "Live cached artifacts across all backend tiers");
+  return g;
+}
+obs::Gauge& bytes_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "kvx_trace_cache_bytes",
+      "Approximate resident bytes of cached artifacts (incl. JIT code "
+      "buffers)");
+  return g;
+}
 
 void hit_event() {
   hits().inc();
@@ -934,6 +959,8 @@ std::shared_ptr<const CompiledTrace> TraceCache::lookup_or_compile_locked(
     cache_obs::compile_ns().inc(ns);
     cache_obs::compiles().inc();
     entries_.emplace(key, trace);
+    resident_bytes_ += trace->memory_bytes();
+    refresh_occupancy_locked();
     return trace;
   } catch (const Error& e) {
     const u64 ns = elapsed_ns();
@@ -979,6 +1006,8 @@ std::shared_ptr<const FusedTrace> TraceCache::lookup_or_fuse_locked(
   cache_obs::fuse_ns().inc(ns);
   cache_obs::fusions().inc();
   fused_entries_.emplace(fused_key, fused);
+  resident_bytes_ += fused->memory_bytes();
+  refresh_occupancy_locked();
   return fused;
 }
 
@@ -990,12 +1019,10 @@ std::shared_ptr<const FusedTrace> TraceCache::get_or_compile_fused(
   return lookup_or_fuse_locked(base_key, program, cfg, opts);
 }
 
-std::shared_ptr<const HostSimdTrace> TraceCache::get_or_compile_host_simd(
-    const assembler::Program& program, const ProcessorConfig& cfg,
-    const TraceCompileOptions& opts) {
-  const u64 base_key = trace_key(program, cfg, opts);
+std::shared_ptr<const HostSimdTrace> TraceCache::lookup_or_lower_locked(
+    u64 base_key, const assembler::Program& program,
+    const ProcessorConfig& cfg, const TraceCompileOptions& opts) {
   const u64 hs_key = base_key ^ kHostSimdKeySalt;
-  std::lock_guard lock(mutex_);
   if (const auto it = host_simd_entries_.find(hs_key);
       it != host_simd_entries_.end()) {
     ++stats_.hits;
@@ -1027,6 +1054,8 @@ std::shared_ptr<const HostSimdTrace> TraceCache::get_or_compile_host_simd(
     cache_obs::lower_ns().inc(ns);
     cache_obs::lowerings().inc();
     host_simd_entries_.emplace(hs_key, hs);
+    resident_bytes_ += hs->memory_bytes();
+    refresh_occupancy_locked();
     return hs;
   } catch (const Error& e) {
     const u64 ns = elapsed_ns();
@@ -1035,6 +1064,69 @@ std::shared_ptr<const HostSimdTrace> TraceCache::get_or_compile_host_simd(
     failed_.emplace(hs_key, e.what());
     throw;
   }
+}
+
+std::shared_ptr<const HostSimdTrace> TraceCache::get_or_compile_host_simd(
+    const assembler::Program& program, const ProcessorConfig& cfg,
+    const TraceCompileOptions& opts) {
+  const u64 base_key = trace_key(program, cfg, opts);
+  std::lock_guard lock(mutex_);
+  return lookup_or_lower_locked(base_key, program, cfg, opts);
+}
+
+std::shared_ptr<const JitTrace> TraceCache::get_or_compile_jit(
+    const assembler::Program& program, const ProcessorConfig& cfg,
+    const TraceCompileOptions& opts) {
+  const u64 base_key = trace_key(program, cfg, opts);
+  // The resolved emission ISA is part of the key: a test pin (or
+  // KVX_HOST_SIMD_ISA) flipping between AVX-512 and AVX2 must produce two
+  // distinct native compilations, not serve one for the other.
+  const HostSimdIsa isa = host_simd_dispatch_isa(cfg.vector.sn);
+  const u64 jit_key =
+      base_key ^ kJitKeySalt ^ fnv1a_value(0xCBF29CE484222325ull, isa);
+  std::lock_guard lock(mutex_);
+  if (const auto it = jit_entries_.find(jit_key); it != jit_entries_.end()) {
+    ++stats_.hits;
+    cache_obs::hit_event();
+    return it->second;
+  }
+  // No negative caching here: an mmap/mprotect refusal is transient host
+  // state, and an unsupported-ISA resolution is already cheap to rediscover
+  // (lower_jit throws before emitting a byte).
+  auto hs = lookup_or_lower_locked(base_key, program, cfg, opts);
+  obs::TraceSpan span(obs::TraceEventSink::global(), "cache", "jit_emit");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_ns = [&t0] {
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  };
+  try {
+    auto jit = lower_jit(std::move(hs));
+    const u64 ns = elapsed_ns();
+    stats_.jit_ns += ns;
+    ++stats_.jit_compiles;
+    cache_obs::jit_ns().inc(ns);
+    cache_obs::jit_compiles().inc();
+    jit_entries_.emplace(jit_key, jit);
+    resident_bytes_ += jit->memory_bytes();
+    refresh_occupancy_locked();
+    return jit;
+  } catch (const Error&) {
+    const u64 ns = elapsed_ns();
+    stats_.jit_ns += ns;
+    cache_obs::jit_ns().inc(ns);
+    throw;
+  }
+}
+
+void TraceCache::refresh_occupancy_locked() {
+  stats_.entries = entries_.size() + fused_entries_.size() +
+                   host_simd_entries_.size() + jit_entries_.size();
+  stats_.resident_bytes = resident_bytes_;
+  cache_obs::entries_gauge().set(static_cast<double>(stats_.entries));
+  cache_obs::bytes_gauge().set(static_cast<double>(stats_.resident_bytes));
 }
 
 TraceCacheStats TraceCache::stats() const {
@@ -1047,8 +1139,11 @@ void TraceCache::clear() {
   entries_.clear();
   fused_entries_.clear();
   host_simd_entries_.clear();
+  jit_entries_.clear();
   failed_.clear();
   stats_ = {};
+  resident_bytes_ = 0;
+  refresh_occupancy_locked();
 }
 
 }  // namespace kvx::sim

@@ -212,6 +212,66 @@ TEST(FaultInjection, HostSimdSimFaultDemotesToFusedAndRecovers) {
   EXPECT_EQ(vk.backend_fallbacks(), 1u);
 }
 
+TEST(FaultInjection, JitSimFaultDemotesToHostSimdAndRecovers) {
+  // Top of the five-tier chain. Construction consumes one compile-site
+  // draw per attempted tier — on a host that cannot emit native code the
+  // jit tier demotes at construction and draws once more — so probe the
+  // draw count with a never-firing injector first, then arm exactly the
+  // first dispatch draw. The faulted dispatch must recover one tier down
+  // from whatever tier construction landed on, bit-exactly.
+  auto probe_cfg = accel_config(ExecBackend::kJit);
+  probe_cfg.fault_injector = std::make_shared<FaultInjector>(FaultPlan{});
+  VectorKeccak probe(probe_cfg);
+  const ExecBackend built = probe.active_backend();
+  ASSERT_GE(built, ExecBackend::kHostSimd);
+
+  auto cfg = accel_config(ExecBackend::kJit);
+  FaultPlan plan;
+  plan.at_draw = probe_cfg.fault_injector->stats().draws + 1;
+  plan.kinds = static_cast<u32>(FaultKind::kSimFault);
+  cfg.fault_injector = std::make_shared<FaultInjector>(plan);
+  VectorKeccak vk(cfg);
+  ASSERT_EQ(vk.active_backend(), built);
+  const u64 built_fallbacks = vk.backend_fallbacks();
+
+  auto states = random_states(3, 44);
+  vk.permute(states);
+  EXPECT_EQ(vk.last_backend(), sim::demote_backend(built));
+  EXPECT_EQ(vk.backend_fallbacks(), built_fallbacks + 1);
+  EXPECT_NE(vk.last_fallback_error().find("injected fault"),
+            std::string::npos);
+  expect_states_equal(states, reference_permute(44));
+
+  // Cycle counts pass through the demotion unchanged.
+  VectorKeccak clean(accel_config(ExecBackend::kJit));
+  auto clean_states = random_states(3, 44);
+  clean.permute(clean_states);
+  EXPECT_EQ(vk.last_timing().permutation_cycles,
+            clean.last_timing().permutation_cycles);
+  EXPECT_EQ(vk.last_timing().total_cycles, clean.last_timing().total_cycles);
+
+  // One-shot: the next dispatch runs the built tier again.
+  vk.permute(states);
+  EXPECT_EQ(vk.last_backend(), built);
+  EXPECT_EQ(vk.backend_fallbacks(), built_fallbacks + 1);
+}
+
+TEST(FaultInjection, JitCompileFaultChainDemotesToInterpreter) {
+  auto cfg = accel_config(ExecBackend::kJit);
+  FaultPlan plan;
+  plan.rate = 1.0;
+  plan.kinds = static_cast<u32>(FaultKind::kCompileFail);
+  cfg.fault_injector = std::make_shared<FaultInjector>(plan);
+  VectorKeccak vk(cfg);
+  // jit rejected -> host-simd rejected -> fused rejected -> trace rejected
+  // -> interpreter: four counted demotions, then clean dispatches.
+  EXPECT_EQ(vk.active_backend(), ExecBackend::kInterpreter);
+  EXPECT_EQ(vk.backend_fallbacks(), 4u);
+  auto states = random_states(3, 322);
+  vk.permute(states);
+  expect_states_equal(states, reference_permute(322));
+}
+
 TEST(FaultInjection, HostSimdCompileFaultChainDemotesToInterpreter) {
   auto cfg = accel_config(ExecBackend::kHostSimd);
   FaultPlan plan;
@@ -537,7 +597,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(ExecBackend::kInterpreter,
                                          ExecBackend::kCompiledTrace,
                                          ExecBackend::kFusedTrace,
-                                         ExecBackend::kHostSimd),
+                                         ExecBackend::kHostSimd,
+                                         ExecBackend::kJit),
                        ::testing::Values(1u, 8u)),
     [](const auto& info) {
       // gtest parameter names must be [A-Za-z0-9_]: "host-simd" → "host_simd".

@@ -6,7 +6,7 @@
 //     -t, --threads N    worker shards                   (default 2)
 //     -s, --sn N         Keccak states per shard: 1|3|6  (default 3)
 //     --arch NAME        64lmul1|64lmul8|32lmul8|64fused (default 64lmul8)
-//     --backend NAME     host-simd|fused|trace|interpreter (default fused)
+//     --backend NAME     jit|host-simd|fused|trace|interpreter (default fused)
 //     -L, --out-len N    output bytes (required for shake/kmac)
 //     --key HEX          KMAC key
 //     --custom STR       KMAC customization string
@@ -20,7 +20,8 @@
 //     --verify           cross-check every digest against the host model
 //     --stats            print per-shard engine statistics, the backend that
 //                        actually ran, compile time, fusion coverage, cache
-//                        hits, throughput, per-step cycle attribution and
+//                        hits, jit emissions + trace-cache occupancy,
+//                        throughput, per-step cycle attribution and
 //                        p50/p99/p99.9/max job latency
 //     --metrics-json F   write the metrics-registry JSON snapshot to F
 //                        ("-" = stdout); see docs/observability.md
@@ -324,6 +325,14 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(tc.hits),
                    static_cast<unsigned long long>(tc.failures),
                    100.0 * st.fusion_coverage, 100.0 * st.host_simd_coverage);
+      std::fprintf(stderr,
+                   "jit: %llu emissions (%.2f ms) | code %llu bytes | "
+                   "cache: %llu entries, %llu resident bytes\n",
+                   static_cast<unsigned long long>(tc.jit_compiles),
+                   static_cast<double>(tc.jit_ns) / 1e6,
+                   static_cast<unsigned long long>(st.jit_code_bytes),
+                   static_cast<unsigned long long>(tc.entries),
+                   static_cast<unsigned long long>(tc.resident_bytes));
       std::fprintf(stderr,
                    "latency: %llu jobs | p50 %.3f ms | p99 %.3f ms | "
                    "p99.9 %.3f ms | max %.3f ms\n",

@@ -1,12 +1,14 @@
 // kvx-fuzz — differential fault-injection fuzzer for the batch engine.
 //
-//   kvx-fuzz [--seed N] [--jobs N] [--rate R] [--quick] [-v]
-//     --seed N   master seed for job streams and fault plans  (default 1)
-//     --jobs N   jobs per engine configuration                (default 600)
-//     --rate R   injected-fault probability per decision      (default 1e-3)
-//     --quick    reduced matrix for CI smoke (SN=3, 2 threads, 120 jobs,
-//                rate 0.02) — still covers all four backends
-//     -v         print one line per configuration
+//   kvx-fuzz [--seed N] [--jobs N] [--rate R] [--backend B] [--quick] [-v]
+//     --seed N     master seed for job streams and fault plans  (default 1)
+//     --jobs N     jobs per engine configuration                (default 600)
+//     --rate R     injected-fault probability per decision      (default 1e-3)
+//     --backend B  restrict the matrix to one configured backend
+//                  (interpreter/trace/fused/host-simd/jit; default: all five)
+//     --quick      reduced matrix for CI smoke (SN=3, 2 threads, 120 jobs,
+//                  rate 0.02) — still covers all five backends
+//     -v           print one line per configuration
 //
 // Random job streams over all eight algorithms (SHA-3/SHAKE/KMAC) run
 // through a BatchHashEngine for every backend × SN × thread-count
@@ -31,6 +33,7 @@
 #include "kvx/common/rng.hpp"
 #include "kvx/engine/batch_engine.hpp"
 #include "kvx/obs/metrics.hpp"
+#include "kvx/sim/exec_backend.hpp"
 #include "kvx/sim/fault_injector.hpp"
 
 namespace {
@@ -99,8 +102,9 @@ struct EngineCounterDeltas {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: kvx-fuzz [--seed N] [--jobs N] [--rate R] [--quick] "
-               "[-v]\n");
+               "usage: kvx-fuzz [--seed N] [--jobs N] [--rate R] "
+               "[--backend B] [--quick] [-v]\n  backends: %s\n",
+               std::string(sim::kBackendNamesHelp).c_str());
   return kExitUsage;
 }
 
@@ -112,6 +116,7 @@ int main(int argc, char** argv) {
   double rate = 1e-3;
   bool quick = false;
   bool verbose = false;
+  std::optional<sim::ExecBackend> only_backend;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -122,6 +127,13 @@ int main(int argc, char** argv) {
       jobs_per_config = static_cast<usize>(std::atol(argv[++i]));
     } else if (a == "--rate" && has_next) {
       rate = std::atof(argv[++i]);
+    } else if (a == "--backend" && has_next) {
+      only_backend = sim::parse_backend(argv[++i]);
+      if (!only_backend.has_value()) {
+        std::fprintf(stderr, "kvx-fuzz: unknown backend '%s' (expected %s)\n",
+                     argv[i], std::string(sim::kBackendNamesHelp).c_str());
+        return kExitUsage;
+      }
     } else if (a == "--quick") {
       quick = true;
     } else if (a == "-v" || a == "--verbose") {
@@ -138,9 +150,11 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
 
-  const std::vector<sim::ExecBackend> backends = {
+  std::vector<sim::ExecBackend> backends = {
       sim::ExecBackend::kInterpreter, sim::ExecBackend::kCompiledTrace,
-      sim::ExecBackend::kFusedTrace, sim::ExecBackend::kHostSimd};
+      sim::ExecBackend::kFusedTrace, sim::ExecBackend::kHostSimd,
+      sim::ExecBackend::kJit};
+  if (only_backend.has_value()) backends = {*only_backend};
   std::vector<unsigned> sns = {1, 3, 6};
   std::vector<unsigned> threads = {1, 8};
   if (quick) {

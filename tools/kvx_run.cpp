@@ -2,7 +2,8 @@
 // simulated SIMD processor and report cycles, markers and final registers.
 //
 //   kvx-run program.img|program.s [--elen 32|64] [--elenum N] [--trace]
-//           [--max-cycles N] [--backend interpreter|trace|fused|host-simd]
+//           [--max-cycles N]
+//           [--backend interpreter|trace|fused|host-simd|jit]
 //
 // With --backend trace the program is compiled into a pre-decoded kernel
 // trace and replayed; the reported cycles, markers and final registers come
@@ -12,7 +13,9 @@
 // cycles, less host work. --backend host-simd lowers runs of the matched
 // 64-bit super-kernels to the host's own vector ISA (see host_simd.hpp),
 // picked by CPUID; the reported backend line names the ISA that actually
-// dispatched. Each tier demotes to the next on a compile/lowering rejection.
+// dispatched. --backend jit goes one tier further and emits the whole
+// host-SIMD plan as one native x86-64 function (see jit/jit_trace.hpp).
+// Each tier demotes to the next on a compile/lowering/emission rejection.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -28,6 +31,7 @@
 #include "kvx/isa/disasm.hpp"
 #include "kvx/sim/compiled_trace.hpp"
 #include "kvx/sim/host_simd.hpp"
+#include "kvx/sim/jit/jit_trace.hpp"
 #include "kvx/sim/processor.hpp"
 #include "kvx/sim/trace_fusion.hpp"
 
@@ -107,6 +111,7 @@ int main(int argc, char** argv) {
     std::shared_ptr<const kvx::sim::CompiledTrace> compiled;
     std::shared_ptr<const kvx::sim::FusedTrace> fused;
     std::shared_ptr<const kvx::sim::HostSimdTrace> hs;
+    std::shared_ptr<const kvx::sim::JitTrace> jit;
     if (backend != kvx::sim::ExecBackend::kInterpreter) {
       if (trace) {
         std::fprintf(stderr,
@@ -134,7 +139,7 @@ int main(int argc, char** argv) {
           if (backend >= kvx::sim::ExecBackend::kFusedTrace) {
             fused = kvx::sim::fuse_trace(compiled);
           }
-          if (backend == kvx::sim::ExecBackend::kHostSimd) {
+          if (backend >= kvx::sim::ExecBackend::kHostSimd) {
             try {
               hs = kvx::sim::lower_host_simd(fused);
             } catch (const kvx::SimError& e) {
@@ -144,7 +149,20 @@ int main(int argc, char** argv) {
                            e.what());
             }
           }
-          if (hs != nullptr) {
+          if (backend == kvx::sim::ExecBackend::kJit && hs != nullptr) {
+            try {
+              jit = kvx::sim::lower_jit(hs);
+            } catch (const kvx::SimError& e) {
+              std::fprintf(stderr,
+                           "kvx-run: jit emission rejected (%s); "
+                           "using the host-simd backend\n",
+                           e.what());
+            }
+          }
+          if (jit != nullptr) {
+            jit->execute(proc.vector(), proc.dmem(),
+                         proc.config().cycle_model);
+          } else if (hs != nullptr) {
             hs->execute(proc.vector(), proc.dmem(), proc.config().cycle_model);
           } else if (fused != nullptr) {
             fused->execute(proc.vector(), proc.dmem(),
@@ -161,6 +179,7 @@ int main(int argc, char** argv) {
           compiled = nullptr;
           fused = nullptr;
           hs = nullptr;
+          jit = nullptr;
         }
       }
     }
@@ -177,7 +196,14 @@ int main(int argc, char** argv) {
         compiled != nullptr ? compiled->run_stats() : proc.stats();
     const auto& markers =
         compiled != nullptr ? compiled->markers() : proc.markers();
-    if (hs != nullptr) {
+    if (jit != nullptr) {
+      std::printf(
+          "backend: jit (isa %s, %zu code bytes, %zu round constants, "
+          "%.1f%% of records lowered; fused coverage %.1f%%)\n",
+          std::string(kvx::sim::host_simd_isa_name(jit->isa())).c_str(),
+          jit->code_size(), jit->literal_count(),
+          100.0 * jit->lowered_coverage(), 100.0 * fused->coverage());
+    } else if (hs != nullptr) {
       std::printf(
           "backend: host-simd (isa %s, %zu lowered kernels in %zu segments, "
           "%.1f%% of records; fused coverage %.1f%%)\n",
