@@ -28,6 +28,7 @@
 // 1-core CI runner, where real speedup is physically impossible — and can
 // be overridden via KVX_SCALING_MIN_SPEEDUP for noisy CI hosts. Results are
 // written to BENCH_scaling.json (committed, like BENCH_fused.json).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +39,7 @@
 #include "bench_util.hpp"
 #include "kvx/engine/batch_engine.hpp"
 #include "kvx/keccak/sha3.hpp"
+#include "kvx/obs/flight_recorder.hpp"
 #include "kvx/sim/compiled_trace.hpp"
 #include "kvx/sim/host_simd.hpp"
 #include "kvx/sim/trace_fusion.hpp"
@@ -328,6 +330,68 @@ int main(int argc, char** argv) {
               speedup_8, min_speedup, gate_source,
               scaling_ok ? "ok" : "BELOW GATE");
 
+  // --- flight-recorder overhead ------------------------------------------------
+  //
+  // The recorder is always-on by design, so its cost is gated, not assumed:
+  // the single-threaded fused SN=6 workload runs with the recorder enabled
+  // and disabled, interleaved best-of-3 (interleaving cancels thermal and
+  // cache drift; best-of cancels scheduler noise). The enabled run must be
+  // within KVX_FLIGHTREC_MAX_OVERHEAD (default 5%) of the disabled run.
+  bench::header("Flight-recorder overhead — fused backend, SN=6, 1 thread");
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  double best_on = 1e100;
+  double best_off = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    recorder.set_enabled(true);
+    best_on = std::min(best_on,
+                       run_once(sim::ExecBackend::kFusedTrace, kScaleSn, 1,
+                                scale_jobs, scale_expected));
+    recorder.set_enabled(false);
+    best_off = std::min(best_off,
+                        run_once(sim::ExecBackend::kFusedTrace, kScaleSn, 1,
+                                 scale_jobs, scale_expected));
+  }
+  recorder.set_enabled(true);
+  double max_overhead = 0.05;
+  const char* fr_gate_source = "default";
+  if (const char* env = std::getenv("KVX_FLIGHTREC_MAX_OVERHEAD")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v > 0.0) {
+      max_overhead = v;
+      fr_gate_source = "env:KVX_FLIGHTREC_MAX_OVERHEAD";
+    } else {
+      std::printf("ignoring malformed KVX_FLIGHTREC_MAX_OVERHEAD='%s'\n", env);
+    }
+  }
+  const double overhead = best_on / best_off - 1.0;
+  const bool flightrec_ok = overhead <= max_overhead;
+  std::printf("recorder on  %7.2f MB/s (best of 3)\n",
+              static_cast<double>(kScaleJobs * kBytes) / 1e6 / best_on);
+  std::printf("recorder off %7.2f MB/s (best of 3)\n",
+              static_cast<double>(kScaleJobs * kBytes) / 1e6 / best_off);
+  std::printf("overhead %+.2f%%, allowed <= %.2f%% (%s): %s\n",
+              overhead * 100.0, max_overhead * 100.0, fr_gate_source,
+              flightrec_ok ? "ok" : "ABOVE GATE");
+  std::FILE* ff = std::fopen("BENCH_flightrec.json", "w");
+  if (ff != nullptr) {
+    std::fprintf(ff, "{\n  \"bench\": \"backend_compare_flightrec\",\n");
+    std::fprintf(ff, "  \"backend\": \"fused\",\n  \"sn\": %u,\n", kScaleSn);
+    std::fprintf(ff, "  \"jobs\": %zu,\n  \"bytes_per_job\": %zu,\n",
+                 kScaleJobs, kBytes);
+    std::fprintf(ff,
+                 "  \"enabled_mbs\": %.3f,\n  \"disabled_mbs\": %.3f,\n",
+                 static_cast<double>(kScaleJobs * kBytes) / 1e6 / best_on,
+                 static_cast<double>(kScaleJobs * kBytes) / 1e6 / best_off);
+    std::fprintf(ff, "  \"overhead\": %.4f,\n", overhead);
+    std::fprintf(ff,
+                 "  \"gate\": {\"max_overhead\": %.4f, \"source\": \"%s\", "
+                 "\"pass\": %s}\n}\n",
+                 max_overhead, fr_gate_source, flightrec_ok ? "true" : "false");
+    std::fclose(ff);
+    std::printf("wrote BENCH_flightrec.json\n");
+  }
+
   // --- permutation dispatch: host-simd vs fused --------------------------------
   //
   // The engine grid above includes sponge bookkeeping, queueing and result
@@ -578,6 +642,12 @@ int main(int argc, char** argv) {
     std::printf("CHECK FAILED: jit permutation dispatch below the "
                 "%.2fx gate (%s)\n",
                 min_jit_speedup, jit_gate_source);
+    return 1;
+  }
+  if (check && !flightrec_ok) {
+    std::printf("CHECK FAILED: flight-recorder overhead %.2f%% above the "
+                "%.2f%% gate (%s)\n",
+                overhead * 100.0, max_overhead * 100.0, fr_gate_source);
     return 1;
   }
   return 0;

@@ -7,7 +7,10 @@
 // cross-checks EVERY digest against the host golden model, then prints the
 // per-shard accounting. While the batch drains, a scraper thread dumps the
 // process-wide metrics registry to stderr in Prometheus text format every
-// 250 ms — the shape a real service would expose on a /metrics endpoint.
+// 250 ms — the shape a real service would expose on a /metrics endpoint —
+// followed by a /healthz-style liveness line. The crash handler is armed
+// (dumps to argv[3] or KVX_POSTMORTEM, default "."), so a crash of this
+// "service" leaves a post-mortem a kvx-doctor run can reconstruct.
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -19,6 +22,7 @@
 #include "kvx/common/rng.hpp"
 #include "kvx/engine/batch_engine.hpp"
 #include "kvx/obs/metrics.hpp"
+#include "kvx/obs/postmortem.hpp"
 
 int main(int argc, char** argv) {
   using namespace kvx;
@@ -49,6 +53,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Arm the crash post-mortem machinery before any work: a fatal signal
+  // from here on leaves a .kvxdump with the flight-recorder timeline, the
+  // metrics and the per-shard stats for kvx-doctor.
+  const char* env_dir = std::getenv("KVX_POSTMORTEM");
+  const std::string dump_dir =
+      argc > 3 ? argv[3] : (env_dir != nullptr ? env_dir : ".");
+  obs::pm::set_dump_dir(dump_dir);
+  obs::pm::install_crash_handler();
+  std::printf("post-mortem dumps: %s/kvx_postmortem_<pid>_*.kvxdump\n",
+              dump_dir.c_str());
+
   EngineConfig cfg;
   cfg.threads = threads;
   cfg.accel = {core::Arch::k64Lmul8, 15, 24};  // SN = 3 per shard
@@ -69,6 +84,17 @@ int main(int argc, char** argv) {
                                [&] { return scrape_stop; })) {
       const std::string text = obs::MetricsRegistry::global().to_prometheus();
       std::fprintf(stderr, "--- metrics scrape ---\n%s", text.c_str());
+      // /healthz liveness line, engine-invariant checked on the spot.
+      const EngineStats st = engine.stats();
+      const bool ok = st.submitted >= st.completed + st.failed;
+      std::fprintf(stderr,
+                   "--- healthz ---\n%s uptime_ns=%llu submitted=%llu "
+                   "completed=%llu failed=%llu\n",
+                   ok ? "ok" : "UNHEALTHY",
+                   static_cast<unsigned long long>(st.elapsed_ns),
+                   static_cast<unsigned long long>(st.submitted),
+                   static_cast<unsigned long long>(st.completed),
+                   static_cast<unsigned long long>(st.failed));
     }
   });
 

@@ -88,6 +88,20 @@ class ParallelSha3 {
     return vk_.backend_fallbacks();
   }
 
+  /// Tiers rejected when the accelerator was constructed (forensics; see
+  /// VectorKeccak::construction_attempts).
+  [[nodiscard]] const std::vector<BackendAttempt>& construction_attempts()
+      const noexcept {
+    return vk_.construction_attempts();
+  }
+
+  /// Tier-by-tier record of the most recent permutation dispatch (see
+  /// VectorKeccak::last_dispatch_attempts).
+  [[nodiscard]] const std::vector<BackendAttempt>& last_dispatch_attempts()
+      const noexcept {
+    return vk_.last_dispatch_attempts();
+  }
+
   /// Fraction of trace records fused into super-kernels ([0, 1]); 0 unless
   /// the active backend is the fused trace.
   [[nodiscard]] double fusion_coverage() const noexcept {

@@ -53,6 +53,14 @@ struct PermutationTiming {
   u64 instructions = 0;
 };
 
+/// One tier tried during construction or a dispatch — the unit of the
+/// per-job failure forensics the engine attaches to JobResult.
+struct BackendAttempt {
+  sim::ExecBackend tier = sim::ExecBackend::kInterpreter;
+  std::string error;     ///< "" when the tier succeeded
+  bool injected = false; ///< error came from the fault injector
+};
+
 class VectorKeccak {
  public:
   explicit VectorKeccak(const VectorKeccakConfig& config);
@@ -116,6 +124,22 @@ class VectorKeccak {
   /// Human-readable reason of the most recent demotion ("" if none).
   [[nodiscard]] const std::string& last_fallback_error() const noexcept {
     return last_fallback_error_;
+  }
+
+  /// Tiers rejected at construction, in demotion-chain order (empty when
+  /// the configured backend compiled first try). Fixed for this instance's
+  /// lifetime; the engine prepends it to every job's demotion path.
+  [[nodiscard]] const std::vector<BackendAttempt>& construction_attempts()
+      const noexcept {
+    return construction_attempts_;
+  }
+
+  /// Every tier the LAST permute() tried, in order: zero or more failures
+  /// followed by one success — or all failures if the interpreter itself
+  /// threw. Overwritten by each dispatch.
+  [[nodiscard]] const std::vector<BackendAttempt>& last_dispatch_attempts()
+      const noexcept {
+    return dispatch_attempts_;
   }
 
   /// Fraction of trace records covered by super-kernels ([0, 1]); 0 when
@@ -194,6 +218,8 @@ class VectorKeccak {
   sim::ExecBackend last_backend_ = sim::ExecBackend::kInterpreter;
   u64 fallbacks_ = 0;               ///< cumulative backend demotions
   std::string last_fallback_error_; ///< reason of the latest demotion
+  std::vector<BackendAttempt> construction_attempts_;
+  std::vector<BackendAttempt> dispatch_attempts_;
 };
 
 }  // namespace kvx::core

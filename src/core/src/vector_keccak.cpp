@@ -1,14 +1,26 @@
 #include "kvx/core/vector_keccak.hpp"
 
 #include <cstring>
+#include <string_view>
 
 #include "kvx/common/error.hpp"
 #include "kvx/common/strings.hpp"
+#include "kvx/obs/flight_recorder.hpp"
 #include "kvx/obs/trace_event.hpp"
 
 namespace kvx::core {
 
 namespace {
+
+/// Every injector-produced error message carries this marker (see
+/// fault_injector.cpp), which is how forensics tell injected failures from
+/// genuine ones without threading a flag through the exception. Searched
+/// as a substring because what() wraps the message in an error-category
+/// prefix ("sim: ...").
+bool is_injected_error(const char* error) noexcept {
+  return std::string_view(error).find("injected fault") !=
+         std::string_view::npos;
+}
 
 sim::ProcessorConfig processor_config(const VectorKeccakConfig& c) {
   sim::ProcessorConfig pc;
@@ -112,6 +124,8 @@ VectorKeccak::VectorKeccak(const VectorKeccakConfig& config,
       hs_ = nullptr;
       fused_ = nullptr;
       trace_ = nullptr;
+      construction_attempts_.push_back(
+          {tier, e.what(), is_injected_error(e.what())});
       note_fallback(tier, sim::demote_backend(tier), e.what());
     }
   }
@@ -128,6 +142,11 @@ void VectorKeccak::note_fallback(sim::ExecBackend from, sim::ExecBackend to,
                                  const char* error) {
   fallbacks_ += 1;
   last_fallback_error_ = error;
+  obs::FlightRecorder::global().record(
+      obs::FlightEventType::kBackendDemotion,
+      static_cast<u16>((static_cast<u16>(from) << 8) |
+                       static_cast<u16>(to)),
+      is_injected_error(error) ? 1 : 0, obs::flight_hash(error));
   obs::TraceEventSink& sink = obs::TraceEventSink::global();
   if (sink.enabled()) {
     sink.instant("sim", "backend_fallback",
@@ -175,13 +194,17 @@ void VectorKeccak::permute(std::span<keccak::State> states) {
                        config_.sn()));
   }
   sim::ExecBackend tier = active_backend();
+  dispatch_attempts_.clear();
   for (;;) {
     try {
       run_backend(tier, states);
       last_backend_ = tier;
+      dispatch_attempts_.push_back({tier, "", false});
       unstage_states(states);
       return;
     } catch (const SimError& e) {
+      dispatch_attempts_.push_back(
+          {tier, e.what(), is_injected_error(e.what())});
       if (tier == sim::ExecBackend::kInterpreter) throw;
       // run_backend restages the input states on entry, so whatever the
       // faulted tier left in the register file or the staged-state region

@@ -47,7 +47,12 @@
 
 namespace kvx::obs {
 class Gauge;
-}
+class Summary;
+namespace pm {
+struct EngineMirror;
+struct EngineShardMirror;
+}  // namespace pm
+}  // namespace kvx::obs
 
 namespace kvx::engine {
 
@@ -148,6 +153,10 @@ class BatchHashEngine {
     /// dispatch-time demotions are attributed per batch by diffing the
     /// accelerator's monotone counter (worker thread only).
     u64 fallbacks_seen = 0;
+    unsigned index = 0;      ///< dense shard id (flight-recorder dispatch tag)
+    /// Post-mortem mirror slot this shard keeps in sync (null when the
+    /// engine got no mirror, or for shards beyond the mirror's capacity).
+    obs::pm::EngineShardMirror* mirror = nullptr;
   };
 
   void worker_loop(unsigned index, Shard& shard);
@@ -157,11 +166,15 @@ class BatchHashEngine {
   void fail_batch(Shard& shard, const std::vector<QueuedJob>& batch,
                   const char* what);
   /// Record one submit-to-retire latency sample (histogram, reservoir,
-  /// exact max). Caller holds state_mutex_.
-  void record_latency_locked(u64 sample_ns);
+  /// exact max). `flight_seq` (if nonzero) becomes the histogram bucket's
+  /// exemplar when the sample is its new maximum. Caller holds state_mutex_.
+  void record_latency_locked(u64 sample_ns, u64 flight_seq);
   /// Mark job `seq` failed and retired (slot write + accounting + metrics
-  /// + latency stamp). Caller holds state_mutex_.
+  /// + latency stamp + flight event). Caller holds state_mutex_.
   void fail_job_locked(u64 seq, u64 submit_ns, std::string error);
+  /// Push submitted/completed/failed into the post-mortem mirror (relaxed
+  /// stores; no-op without a mirror). Caller holds state_mutex_.
+  void sync_mirror_locked() noexcept;
 
   EngineConfig config_;
   usize window_;
@@ -171,6 +184,13 @@ class BatchHashEngine {
   /// Tokens for the callback-bound queue-depth gauges (aggregate + one per
   /// queue shard), unbound in the destructor before queue_ dies.
   std::vector<std::pair<obs::Gauge*, u64>> depth_gauges_;
+  /// Callback-bound latency summary (p50/p99/p99.9 from the reservoir),
+  /// unbound in the destructor like the gauges.
+  obs::Summary* latency_summary_ = nullptr;
+  u64 latency_summary_token_ = 0;
+  /// Post-mortem stat mirror (null when kMaxEngines are already live);
+  /// released in the destructor.
+  obs::pm::EngineMirror* mirror_ = nullptr;
 
   mutable std::mutex state_mutex_;
   std::condition_variable all_done_;
@@ -188,6 +208,7 @@ class BatchHashEngine {
   std::vector<u64> latency_ns_;
   u64 latency_observed_ = 0;  ///< jobs offered to the reservoir
   u64 latency_max_ns_ = 0;    ///< exact maximum (not sampled)
+  u64 latency_sum_ns_ = 0;    ///< exact sum (summary _sum series)
   SplitMix64 latency_rng_{0x6B76785F6C6174ull};  ///< deterministic slots
   /// Outcome of job seq = collected_ + i at index i; filled out of order
   /// by workers, returned in order by drain calls. done_[i] flags slot i

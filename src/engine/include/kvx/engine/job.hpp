@@ -75,6 +75,17 @@ struct HashJob {
   }
 };
 
+/// One entry of a job's demotion path: a backend tier the accelerator tried
+/// while producing (or failing) the job, in chain order.
+struct TierAttempt {
+  /// Backend tier name ("jit", "host-simd", "fused", "trace", "interpreter").
+  std::string backend;
+  /// Why the tier was rejected or faulted; "" when it succeeded.
+  std::string error;
+  /// The error came from the deterministic fault injector.
+  bool injected = false;
+};
+
 /// Outcome of one engine job. Jobs fail individually — a malformed job or a
 /// faulted dispatch never discards its batch-mates — so every submitted job
 /// always produces exactly one JobResult.
@@ -86,6 +97,15 @@ struct JobResult {
   /// Execution backend that produced the digest ("interpreter" / "trace" /
   /// "fused"); empty when the job failed before reaching a shard.
   std::string backend;
+  /// Failure forensics: every tier the accelerator tried for this job —
+  /// construction-time rejections first, then the dispatch chain. Empty for
+  /// the common no-demotion success; on a dispatch failure it names each
+  /// attempted tier, its error, and whether the fault was injected.
+  std::vector<TierAttempt> demotion_path;
+  /// Flight-recorder sequence number of this job's retire (or failure)
+  /// event; 0 when the recorder was disabled or the job failed pre-shard.
+  /// kvx-doctor uses it to window the merged timeline around a job.
+  u64 flight_seq = 0;
 
   [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };

@@ -11,9 +11,13 @@
 
 #include "kvx/common/error.hpp"
 #include "kvx/common/strings.hpp"
+#include "kvx/obs/flight_recorder.hpp"
 #include "kvx/obs/metrics.hpp"
+#include "kvx/obs/postmortem.hpp"
+#include "kvx/obs/process_metrics.hpp"
 #include "kvx/obs/trace_event.hpp"
 #include "kvx/sim/host_simd.hpp"
+#include "kvx/sim/jit/jit_trace.hpp"
 
 namespace kvx::engine {
 
@@ -131,6 +135,31 @@ std::string validate(const HashJob& job) {
   return {};
 }
 
+/// The forensic demotion path of the accelerator's current state:
+/// construction-time rejections (fixed per shard) followed by the tier
+/// attempts of the most recent dispatch.
+std::vector<TierAttempt> demotion_path_of(const core::ParallelSha3& accel) {
+  std::vector<TierAttempt> path;
+  const auto append = [&path](const std::vector<core::BackendAttempt>& as) {
+    for (const core::BackendAttempt& a : as) {
+      path.push_back({std::string(sim::backend_name(a.tier)), a.error,
+                      a.injected});
+    }
+  };
+  append(accel.construction_attempts());
+  append(accel.last_dispatch_attempts());
+  return path;
+}
+
+/// Reservoir percentile: the element at rank p of a copy (nth_element).
+u64 reservoir_pct(std::vector<u64>& lat, double p) {
+  const usize idx = std::min(
+      lat.size() - 1, static_cast<usize>(p * static_cast<double>(lat.size() - 1)));
+  std::nth_element(lat.begin(), lat.begin() + static_cast<std::ptrdiff_t>(idx),
+                   lat.end());
+  return lat[idx];
+}
+
 }  // namespace
 
 BatchHashEngine::BatchHashEngine(const EngineConfig& config)
@@ -140,6 +169,9 @@ BatchHashEngine::BatchHashEngine(const EngineConfig& config)
       queue_(config.threads, config.max_queue),
       start_time_(std::chrono::steady_clock::now()) {
   if (config_.threads == 0) throw Error("engine needs at least one thread");
+  // KVX_POSTMORTEM=<dir> switches on auto dumps + the crash handler for any
+  // engine-bearing process without code changes (idempotent, cheap).
+  obs::pm::init_from_env();
   // One immutable program shared by every shard; each shard still owns an
   // independent simulator, so shards never contend outside the job queue.
   const auto program = core::VectorKeccak::build_program(config_.accel);
@@ -148,8 +180,10 @@ BatchHashEngine::BatchHashEngine(const EngineConfig& config)
   // hits add nothing, truthfully).
   const sim::TraceCacheStats tc0 = sim::TraceCache::global().stats();
   shards_.reserve(config_.threads);
+  u64 construction_fallbacks = 0;
   for (unsigned t = 0; t < config_.threads; ++t) {
     auto shard = std::make_unique<Shard>();
+    shard->index = t;
     shard->accel = std::make_unique<core::ParallelSha3>(
         config_.accel, program, config_.accel_options);
     // Construction-time demotions (trace compile rejected, genuinely or by
@@ -158,11 +192,39 @@ BatchHashEngine::BatchHashEngine(const EngineConfig& config)
     if (fb != 0) EngineMetrics::get().fallbacks.inc(fb);
     shard->stats.fallbacks += fb;
     shard->fallbacks_seen = fb;
+    construction_fallbacks += fb;
     shards_.push_back(std::move(shard));
   }
   const sim::TraceCacheStats tc1 = sim::TraceCache::global().stats();
   backend_compile_ns_ =
       (tc1.compile_ns - tc0.compile_ns) + (tc1.fuse_ns - tc0.fuse_ns);
+  // Build info + process self-metrics ride along with every engine: both
+  // are idempotent and re-register after a test's registry reset.
+  obs::publish_build_info(
+      std::string(sim::host_simd_isa_name(
+          sim::host_simd_dispatch_isa(config_.accel.sn()))),
+      sim::jit_supported() ? "on" : "off");
+  obs::register_process_metrics();
+  if (construction_fallbacks != 0) {
+    obs::pm::auto_dump("backend_demotion_at_construction");
+  }
+  // Post-mortem stat mirror: relaxed-atomic copies of the engine totals and
+  // per-shard counters the crash handler can scrape without locks.
+  mirror_ = obs::pm::claim_engine_mirror();
+  if (mirror_ != nullptr) {
+    const u32 mirrored = static_cast<u32>(
+        std::min<usize>(shards_.size(), obs::pm::kMaxShards));
+    for (u32 s = 0; s < mirrored; ++s) {
+      shards_[s]->mirror = &mirror_->shards[s];
+    }
+    mirror_->shard_count.store(mirrored, std::memory_order_relaxed);
+  }
+  // Lock-order discipline: a scrape holds the registry mutex while it
+  // evaluates the summary callback, which takes state_mutex_. Constructing
+  // EngineMetrics lazily from a worker (under state_mutex_) would take the
+  // registry mutex in the opposite order — so force construction here,
+  // before any worker exists.
+  (void)EngineMetrics::get();
   // Queue-depth gauges are *bound*, not set: every scrape evaluates the
   // live ring depths, so the exported values can neither go stale nor race
   // a push/pop that lands between update and scrape. One aggregate gauge
@@ -182,6 +244,29 @@ BatchHashEngine::BatchHashEngine(const EngineConfig& config)
       return static_cast<double>(queue_.shard_depth(s));
     }));
   }
+  // Latency summary: p50/p99/p99.9 evaluated from the reservoir at scrape
+  // time (a histogram cannot express exact high quantiles; the reservoir
+  // can). _count/_sum are the exact retire totals, not reservoir-sampled.
+  latency_summary_ = &registry.summary(
+      "kvx_engine_job_latency_quantiles_ns",
+      "Submit-to-retire job latency quantiles (reservoir-exact)");
+  latency_summary_token_ = latency_summary_->bind([this] {
+    obs::Summary::Snapshot snap;
+    std::vector<u64> lat;
+    {
+      std::lock_guard lock(state_mutex_);
+      lat = latency_ns_;
+      snap.count = latency_observed_;
+      snap.sum = static_cast<double>(latency_sum_ns_);
+    }
+    if (!lat.empty()) {
+      for (const double q : {0.5, 0.99, 0.999}) {
+        snap.quantiles.emplace_back(
+            q, static_cast<double>(reservoir_pct(lat, q)));
+      }
+    }
+    return snap;
+  });
   workers_.reserve(config_.threads);
   for (unsigned t = 0; t < config_.threads; ++t) {
     workers_.emplace_back([this, t] { worker_loop(t, *shards_[t]); });
@@ -196,12 +281,23 @@ BatchHashEngine::~BatchHashEngine() {
   // Unbind before queue_ is destroyed; a scrape after this point reads the
   // frozen final value (0 once drained).
   for (auto& [gauge, token] : depth_gauges_) gauge->unbind(token);
+  if (latency_summary_ != nullptr) {
+    latency_summary_->unbind(latency_summary_token_);
+  }
+  obs::pm::release_engine_mirror(mirror_);
+  mirror_ = nullptr;
 }
 
-void BatchHashEngine::record_latency_locked(u64 sample_ns) {
-  EngineMetrics::get().job_latency_ns.observe(sample_ns);
+void BatchHashEngine::record_latency_locked(u64 sample_ns, u64 flight_seq) {
+  if (flight_seq != 0) {
+    EngineMetrics::get().job_latency_ns.observe_exemplar(sample_ns,
+                                                         flight_seq);
+  } else {
+    EngineMetrics::get().job_latency_ns.observe(sample_ns);
+  }
   latency_max_ns_ = std::max(latency_max_ns_, sample_ns);
   latency_observed_ += 1;
+  latency_sum_ns_ += sample_ns;
   if (latency_ns_.size() < kMaxLatencySamples) {
     latency_ns_.push_back(sample_ns);
   } else {
@@ -214,15 +310,27 @@ void BatchHashEngine::record_latency_locked(u64 sample_ns) {
   }
 }
 
+void BatchHashEngine::sync_mirror_locked() noexcept {
+  if (mirror_ == nullptr) return;
+  mirror_->submitted.store(submitted_, std::memory_order_relaxed);
+  mirror_->completed.store(retired_ - failed_, std::memory_order_relaxed);
+  mirror_->failed.store(failed_, std::memory_order_relaxed);
+}
+
 void BatchHashEngine::fail_job_locked(u64 seq, u64 submit_ns,
                                       std::string error) {
+  const u64 fseq = obs::FlightRecorder::global().record(
+      obs::FlightEventType::kJobFail, 0, seq,
+      obs::flight_hash(error.c_str()));
   const usize idx = static_cast<usize>(seq - collected_);
   results_[idx].error = std::move(error);
+  results_[idx].flight_seq = fseq;
   done_[idx] = 1;
   retired_ += 1;
   failed_ += 1;
   EngineMetrics::get().job_failures.inc();
-  record_latency_locked(steady_now_ns() - submit_ns);
+  record_latency_locked(steady_now_ns() - submit_ns, fseq);
+  sync_mirror_locked();
   all_done_.notify_all();
 }
 
@@ -238,6 +346,8 @@ u64 BatchHashEngine::submit(HashJob job) {
     done_.push_back(0);
   }
   EngineMetrics::get().jobs_submitted.inc();
+  obs::FlightRecorder::global().record(obs::FlightEventType::kJobSubmit, 0,
+                                       seq, 1);
   obs::TraceEventSink& sink = obs::TraceEventSink::global();
   if (sink.enabled()) {
     sink.instant("engine", "job_submit",
@@ -246,8 +356,11 @@ u64 BatchHashEngine::submit(HashJob job) {
   if (!invalid.empty()) {
     // Malformed: retire right here as a per-job failure (full accounting,
     // no queue round-trip) so batch-mates are untouched.
-    std::lock_guard lock(state_mutex_);
-    fail_job_locked(seq, submit_ns, std::move(invalid));
+    {
+      std::lock_guard lock(state_mutex_);
+      fail_job_locked(seq, submit_ns, std::move(invalid));
+    }
+    obs::pm::auto_dump("job_failure");
     return seq;
   }
   // Push outside state_mutex_: a bounded queue may block here, and workers
@@ -300,6 +413,9 @@ u64 BatchHashEngine::submit_batch(std::span<const HashJob> jobs) {
     }
   }
   EngineMetrics::get().jobs_submitted.inc(jobs.size());
+  obs::FlightRecorder::global().record(obs::FlightEventType::kJobSubmit, 0,
+                                       first, jobs.size());
+  if (valid != jobs.size()) obs::pm::auto_dump("job_failure");
   obs::TraceEventSink& sink = obs::TraceEventSink::global();
   if (sink.enabled()) {
     sink.instant("engine", "batch_submit",
@@ -432,18 +548,9 @@ EngineStats BatchHashEngine::stats() const {
   st.backend_compile_ns = backend_compile_ns_;
   if (!lat.empty()) {
     st.latency.count = observed;
-    const auto pct = [&lat](double p) {
-      const usize idx = std::min(
-          lat.size() - 1,
-          static_cast<usize>(p * static_cast<double>(lat.size() - 1)));
-      std::nth_element(lat.begin(),
-                       lat.begin() + static_cast<std::ptrdiff_t>(idx),
-                       lat.end());
-      return lat[idx];
-    };
-    st.latency.p50_ns = pct(0.50);
-    st.latency.p99_ns = pct(0.99);
-    st.latency.p999_ns = pct(0.999);
+    st.latency.p50_ns = reservoir_pct(lat, 0.50);
+    st.latency.p99_ns = reservoir_pct(lat, 0.99);
+    st.latency.p999_ns = reservoir_pct(lat, 0.999);
     st.latency.max_ns = max_ns;
   }
   st.queue_high_water = queue_.high_water();
@@ -478,20 +585,29 @@ void BatchHashEngine::fail_batch(Shard& shard,
                                  const std::vector<QueuedJob>& batch,
                                  const char* what) {
   EngineMetrics& m = EngineMetrics::get();
+  obs::FlightRecorder& fr = obs::FlightRecorder::global();
+  const u64 err_hash = obs::flight_hash(what);
   const u64 retire_ns = steady_now_ns();
-  std::lock_guard lock(state_mutex_);
-  for (const QueuedJob& qj : batch) {
-    const usize idx = static_cast<usize>(qj.seq - collected_);
-    if (done_[idx] != 0) continue;  // already retired by process_batch
-    results_[idx].error = what;
-    done_[idx] = 1;
-    retired_ += 1;
-    failed_ += 1;
-    shard.stats.failures += 1;
-    m.job_failures.inc();
-    record_latency_locked(retire_ns - qj.submit_ns);
+  {
+    std::lock_guard lock(state_mutex_);
+    for (const QueuedJob& qj : batch) {
+      const usize idx = static_cast<usize>(qj.seq - collected_);
+      if (done_[idx] != 0) continue;  // already retired by process_batch
+      const u64 fseq =
+          fr.record(obs::FlightEventType::kJobFail, 0, qj.seq, err_hash);
+      results_[idx].error = what;
+      results_[idx].flight_seq = fseq;
+      done_[idx] = 1;
+      retired_ += 1;
+      failed_ += 1;
+      shard.stats.failures += 1;
+      m.job_failures.inc();
+      record_latency_locked(retire_ns - qj.submit_ns, fseq);
+    }
+    sync_mirror_locked();
+    all_done_.notify_all();
   }
-  all_done_.notify_all();
+  obs::pm::auto_dump("job_failure");
 }
 
 void BatchHashEngine::process_batch(Shard& shard,
@@ -500,6 +616,8 @@ void BatchHashEngine::process_batch(Shard& shard,
   const auto t0 = Clock::now();
   core::ParallelSha3& accel = *shard.accel;
   const core::BatchStats before = accel.stats();
+  obs::FlightRecorder& fr = obs::FlightRecorder::global();
+  fr.record(obs::FlightEventType::kDispatch, 0, batch.size(), shard.index);
   obs::TraceSpan dispatch_span(obs::TraceEventSink::global(), "engine",
                                "dispatch");
 
@@ -545,13 +663,28 @@ void BatchHashEngine::process_batch(Shard& shard,
           break;
       }
       const std::string backend(sim::backend_name(accel.last_backend()));
+      // Forensics: a job that succeeded only after demotions carries the
+      // tier chain it went through; the common clean dispatch stays empty.
+      std::vector<TierAttempt> path;
+      if (!accel.construction_attempts().empty() ||
+          accel.last_dispatch_attempts().size() > 1) {
+        path = demotion_path_of(accel);
+      }
       for (usize k = 0; k < members.size(); ++k) {
         outcomes[members[k]].digest = std::move(outs[k]);
         outcomes[members[k]].backend = backend;
+        outcomes[members[k]].demotion_path = path;
       }
       bytes += group_bytes;  // only successfully hashed bytes count
     } catch (const std::exception& e) {
-      for (const usize member : members) outcomes[member].error = e.what();
+      // Dispatch failed on every tier (the interpreter is the last resort,
+      // so reaching here means even it threw): each member gets the error
+      // and the full attempted-tier chain.
+      std::vector<TierAttempt> path = demotion_path_of(accel);
+      for (const usize member : members) {
+        outcomes[member].error = e.what();
+        outcomes[member].demotion_path = path;
+      }
     }
   }
 
@@ -602,30 +735,61 @@ void BatchHashEngine::process_batch(Shard& shard,
                         static_cast<unsigned long long>(batch.front().seq)));
   }
 
+  // One retire event covers the whole batch; failed jobs additionally get
+  // their own kJobFail event so kvx-doctor can anchor a timeline window on
+  // each failure individually.
+  const u64 retire_seq = fr.record(
+      obs::FlightEventType::kJobRetire,
+      static_cast<u16>(std::min<usize>(failed_jobs, 0xFFFF)),
+      batch.front().seq, batch.size());
   const u64 retire_ns = steady_now_ns();
-  std::lock_guard lock(state_mutex_);
-  for (usize i = 0; i < batch.size(); ++i) {
-    // collected_ only moves when results_ is empty (drain retires every
-    // completed job at once), so this index is always in range.
-    const usize idx = static_cast<usize>(batch[i].seq - collected_);
-    results_[idx] = std::move(outcomes[i]);
-    done_[idx] = 1;
-    // Every retirement is latency-stamped, failed or not — dropping
-    // failures would skew p50/p99.9 toward the surviving jobs.
-    record_latency_locked(retire_ns - batch[i].submit_ns);
+  {
+    std::lock_guard lock(state_mutex_);
+    for (usize i = 0; i < batch.size(); ++i) {
+      // collected_ only moves when results_ is empty (drain retires every
+      // completed job at once), so this index is always in range.
+      const usize idx = static_cast<usize>(batch[i].seq - collected_);
+      u64 fseq = retire_seq;
+      if (!outcomes[i].ok()) {
+        fseq = fr.record(obs::FlightEventType::kJobFail, 0, batch[i].seq,
+                         obs::flight_hash(outcomes[i].error));
+      }
+      outcomes[i].flight_seq = fseq;
+      results_[idx] = std::move(outcomes[i]);
+      done_[idx] = 1;
+      // Every retirement is latency-stamped, failed or not — dropping
+      // failures would skew p50/p99.9 toward the surviving jobs.
+      record_latency_locked(retire_ns - batch[i].submit_ns, fseq);
+    }
+    retired_ += batch.size();
+    failed_ += failed_jobs;
+    shard.stats.jobs += ok_jobs;
+    shard.stats.failures += failed_jobs;
+    shard.stats.fallbacks += fallbacks;
+    shard.stats.bytes += bytes;
+    shard.stats.dispatches += 1;
+    shard.stats.sim_cycles += cycles;
+    shard.stats.permutations += perms;
+    shard.stats.host_ns += host_ns;
+    shard.stats.step_cycles += steps;
+    sync_mirror_locked();
+    if (shard.mirror != nullptr) {
+      obs::pm::EngineShardMirror& sm = *shard.mirror;
+      sm.jobs.store(shard.stats.jobs, std::memory_order_relaxed);
+      sm.failures.store(shard.stats.failures, std::memory_order_relaxed);
+      sm.fallbacks.store(shard.stats.fallbacks, std::memory_order_relaxed);
+      sm.bytes.store(shard.stats.bytes, std::memory_order_relaxed);
+      sm.dispatches.store(shard.stats.dispatches, std::memory_order_relaxed);
+      sm.sim_cycles.store(shard.stats.sim_cycles, std::memory_order_relaxed);
+      sm.permutations.store(shard.stats.permutations,
+                            std::memory_order_relaxed);
+    }
+    all_done_.notify_all();
   }
-  retired_ += batch.size();
-  failed_ += failed_jobs;
-  shard.stats.jobs += ok_jobs;
-  shard.stats.failures += failed_jobs;
-  shard.stats.fallbacks += fallbacks;
-  shard.stats.bytes += bytes;
-  shard.stats.dispatches += 1;
-  shard.stats.sim_cycles += cycles;
-  shard.stats.permutations += perms;
-  shard.stats.host_ns += host_ns;
-  shard.stats.step_cycles += steps;
-  all_done_.notify_all();
+  // Post-mortem triggers run outside state_mutex_ — a dump scrapes the
+  // metrics registry, and the scrape path may re-enter engine callbacks.
+  if (fallbacks != 0) obs::pm::auto_dump("backend_demotion");
+  if (failed_jobs != 0) obs::pm::auto_dump("job_failure");
 }
 
 std::vector<std::vector<u8>> run_batch(const EngineConfig& config,

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "kvx/obs/flight_recorder.hpp"
 #include "kvx/obs/trace_event.hpp"
 
 namespace kvx::engine {
@@ -106,6 +107,7 @@ void ShardedJobQueue::wake_producers() noexcept {
 }
 
 void ShardedJobQueue::park_consumer() {
+  obs::FlightRecorder::global().record(obs::FlightEventType::kQueuePark, 0);
   std::unique_lock lock(park_mutex_);
   sleeping_consumers_.fetch_add(1, std::memory_order_seq_cst);
   std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -119,6 +121,7 @@ void ShardedJobQueue::park_consumer() {
 }
 
 void ShardedJobQueue::park_producer() {
+  obs::FlightRecorder::global().record(obs::FlightEventType::kQueuePark, 1);
   std::unique_lock lock(park_mutex_);
   sleeping_producers_.fetch_add(1, std::memory_order_seq_cst);
   std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -193,7 +196,12 @@ usize ShardedJobQueue::pop_bulk(usize worker, usize max_items,
     // only when it is dry.
     usize got = take_run(*rings_[worker % n], max_items, out);
     for (usize v = 1; v < n && got == 0; ++v) {
-      got = take_run(*rings_[(worker + v) % n], max_items, out);
+      const usize victim = (worker + v) % n;
+      got = take_run(*rings_[victim], max_items, out);
+      if (got > 0) {
+        obs::FlightRecorder::global().record(
+            obs::FlightEventType::kQueueSteal, 0, victim, got);
+      }
     }
     if (got > 0) {
       release(got);

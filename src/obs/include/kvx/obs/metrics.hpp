@@ -92,6 +92,14 @@ class Gauge {
   }
   [[nodiscard]] double value() const;
 
+  /// Last stored value, never evaluating a bound callback — the only value
+  /// the post-mortem writer may read from a signal context. Bound gauges
+  /// report their most recent set() (0 if never set) until unbind() freezes
+  /// the final callback value.
+  [[nodiscard]] double stored_value() const noexcept {
+    return unpack(bits_.load(std::memory_order_relaxed));
+  }
+
   /// Bind `fn` as the live value source. Returns a token for unbind();
   /// a later bind supersedes an earlier one (its token goes stale).
   u64 bind(std::function<double()> fn);
@@ -128,7 +136,19 @@ class Gauge {
 /// so observe() touches only the caller's stripe.
 class Histogram {
  public:
+  /// One exemplar per bucket: the bucket-max observation and the flight-
+  /// recorder sequence number recorded with it (0 = none yet). kvx-doctor
+  /// uses the latency histogram's exemplars to reconstruct what the engine
+  /// was doing around its worst jobs.
+  struct Exemplar {
+    u64 value = 0;
+    u64 flight_seq = 0;
+  };
+
   void observe(u64 v) noexcept;
+  /// observe(v), additionally stamping `flight_seq` as the bucket's
+  /// exemplar if `v` is the largest observation that bucket has seen.
+  void observe_exemplar(u64 v, u64 flight_seq) noexcept;
 
   [[nodiscard]] const std::vector<u64>& bounds() const noexcept {
     return bounds_;
@@ -137,6 +157,15 @@ class Histogram {
   [[nodiscard]] std::vector<u64> cumulative_counts() const;
   [[nodiscard]] u64 count() const noexcept;
   [[nodiscard]] u64 sum() const noexcept;
+  /// Per-bucket exemplars (bounds + 1 entries).
+  [[nodiscard]] std::vector<Exemplar> exemplars() const;
+
+  /// Allocation-free scrape for the post-mortem writer: fills per-bucket
+  /// (non-cumulative) counts and exemplars into caller-owned arrays of at
+  /// least bounds().size() + 1 entries. Signal-safe; returns the bucket
+  /// count written, or 0 if `cap` is too small.
+  usize fill_pm(u64* counts, u64* ex_value, u64* ex_seq, u64* sum_out,
+                usize cap) const noexcept;
 
  private:
   friend class MetricsRegistry;
@@ -147,8 +176,46 @@ class Histogram {
     std::unique_ptr<std::atomic<u64>[]> buckets;  ///< bounds + 1 (+Inf)
   };
 
+  /// CAS-max on value, then store seq: two racing observers may leave the
+  /// smaller one's seq behind — an acceptable diagnostic-grade race that
+  /// keeps the hot path to one load + (rarely) one CAS.
+  struct ExemplarSlot {
+    std::atomic<u64> value{0};
+    std::atomic<u64> seq{0};
+  };
+
   std::vector<u64> bounds_;
   Stripe stripes_[detail::kStripes];
+  std::unique_ptr<ExemplarSlot[]> exemplars_;  ///< bounds + 1 (shared)
+};
+
+/// Callback-backed summary: quantiles evaluated at scrape time from a
+/// source the owner keeps (the engine's latency reservoir). Exposed in the
+/// Prometheus text format as `name{quantile="..."}` series plus _sum and
+/// _count, and under "summaries" in the JSON exposition. Omitted from
+/// post-mortem dumps (the callback needs the owner's lock).
+class Summary {
+ public:
+  struct Snapshot {
+    std::vector<std::pair<double, double>> quantiles;  ///< (q, value)
+    u64 count = 0;
+    double sum = 0.0;
+  };
+
+  /// Bind the snapshot source; same token/supersession contract as
+  /// Gauge::bind.
+  u64 bind(std::function<Snapshot()> fn);
+  /// Freeze the final snapshot if `token` is still the current binding.
+  void unbind(u64 token);
+  [[nodiscard]] Snapshot value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Summary() = default;
+  mutable std::mutex mutex_;
+  std::function<Snapshot()> cb_;
+  u64 cb_token_ = 0;
+  Snapshot frozen_;
 };
 
 /// Exponential default buckets for nanosecond latencies: 1 µs .. ~17 s.
@@ -159,13 +226,19 @@ class Histogram {
 struct MetricSample {
   std::string name;
   std::string help;
-  enum class Kind { kCounter, kGauge, kHistogram } kind = Kind::kCounter;
+  /// Pre-rendered Prometheus label pairs (`k="v",k2="v2"`); "" for the
+  /// common unlabeled case.
+  std::string labels;
+  enum class Kind { kCounter, kGauge, kHistogram, kSummary } kind =
+      Kind::kCounter;
   u64 counter_value = 0;
   double gauge_value = 0.0;
   std::vector<u64> bounds;        ///< histogram only
   std::vector<u64> cumulative;    ///< histogram only, bounds + 1 entries
+  std::vector<Histogram::Exemplar> exemplars;  ///< histogram only
   u64 hist_count = 0;
   u64 hist_sum = 0;
+  Summary::Snapshot summary;      ///< summary only
 };
 
 class MetricsRegistry {
@@ -182,9 +255,15 @@ class MetricsRegistry {
   /// name. References stay valid for the registry's lifetime.
   Counter& counter(const std::string& name, const std::string& help = "");
   Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// Gauge carrying fixed, pre-rendered Prometheus labels (`k="v",...`) —
+  /// exposed as `name{labels} value` (kvx_build_info). Lookup is by name
+  /// only; the labels of the first registration win.
+  Gauge& labeled_gauge(const std::string& name, const std::string& labels,
+                       const std::string& help = "");
   /// `bounds` must be strictly increasing; empty = default_latency_bounds_ns.
   Histogram& histogram(const std::string& name, const std::string& help = "",
                        std::vector<u64> bounds = {});
+  Summary& summary(const std::string& name, const std::string& help = "");
 
   [[nodiscard]] std::vector<MetricSample> snapshot() const;
   [[nodiscard]] std::string to_prometheus() const;
@@ -193,21 +272,56 @@ class MetricsRegistry {
   /// Drop every metric (tests only — outstanding references go stale).
   void reset();
 
+  // --- Async-signal-safe scrape support (post-mortem dumps) ---------------
+  // Registration also appends each entry to a fixed, append-only side index
+  // readable without the registry mutex. Summaries are excluded (their
+  // value needs a callback); bound gauges report stored_value().
+
+  static constexpr usize kPmMaxMetrics = 256;
+  static constexpr usize kPmMaxBuckets = 32;
+
+  struct PmRead {
+    const char* name = nullptr;  ///< NOT nul-padded; use name_len
+    usize name_len = 0;
+    MetricSample::Kind kind = MetricSample::Kind::kCounter;
+    u64 counter_value = 0;
+    double gauge_value = 0.0;
+    const u64* bounds = nullptr;
+    usize bounds_len = 0;        ///< 0 also when bounds+1 > kPmMaxBuckets
+    u64 counts[kPmMaxBuckets];   ///< per-bucket, bounds_len + 1 valid
+    u64 sum = 0;
+    u64 ex_value[kPmMaxBuckets];
+    u64 ex_seq[kPmMaxBuckets];
+  };
+
+  /// Entries registered so far (monotone; stable once returned).
+  [[nodiscard]] usize pm_count() const noexcept {
+    return pm_count_.load(std::memory_order_acquire);
+  }
+  /// Sample metric `i` of the side index into `out` without locking or
+  /// allocating. Signal-safe. Returns false for i ≥ pm_count().
+  bool pm_read(usize i, PmRead& out) const noexcept;
+
  private:
   struct Entry {
     std::string name;
     std::string help;
+    std::string labels;
     MetricSample::Kind kind;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<Summary> summary;
   };
 
   Entry& find_or_create(const std::string& name, const std::string& help,
                         MetricSample::Kind kind);
+  void pm_publish_locked(Entry& e);
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order
+  Entry* pm_entries_[kPmMaxMetrics] = {};
+  std::atomic<usize> pm_count_{0};
 };
 
 }  // namespace kvx::obs

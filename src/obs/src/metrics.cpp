@@ -38,8 +38,17 @@ const char* kind_name(MetricSample::Kind k) {
     case MetricSample::Kind::kCounter: return "counter";
     case MetricSample::Kind::kGauge: return "gauge";
     case MetricSample::Kind::kHistogram: return "histogram";
+    case MetricSample::Kind::kSummary: return "summary";
   }
   return "?";
+}
+
+/// Render a quantile label value without trailing zeros ("0.5", "0.999",
+/// "1") — the conventional Prometheus spelling.
+std::string quantile_label(double q) {
+  std::ostringstream os;
+  os << q;
+  return os.str();
 }
 
 void append_json_string(std::string& out, const std::string& s) {
@@ -96,6 +105,25 @@ void Gauge::unbind(u64 token) {
   bound_.store(false, std::memory_order_release);
 }
 
+u64 Summary::bind(std::function<Snapshot()> fn) {
+  std::lock_guard lock(mutex_);
+  cb_ = std::move(fn);
+  return ++cb_token_;
+}
+
+void Summary::unbind(u64 token) {
+  std::lock_guard lock(mutex_);
+  if (token != cb_token_ || !cb_) return;  // superseded by a later bind
+  frozen_ = cb_();
+  cb_ = nullptr;
+}
+
+Summary::Snapshot Summary::value() const {
+  std::lock_guard lock(mutex_);
+  if (cb_) return cb_();
+  return frozen_;
+}
+
 Histogram::Histogram(std::vector<u64> bounds) : bounds_(std::move(bounds)) {
   KVX_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
@@ -105,6 +133,7 @@ Histogram::Histogram(std::vector<u64> bounds) : bounds_(std::move(bounds)) {
     s.buckets = std::make_unique<std::atomic<u64>[]>(bounds_.size() + 1);
     for (usize i = 0; i <= bounds_.size(); ++i) s.buckets[i].store(0);
   }
+  exemplars_ = std::make_unique<ExemplarSlot[]>(bounds_.size() + 1);
 }
 
 void Histogram::observe(u64 v) noexcept {
@@ -113,6 +142,22 @@ void Histogram::observe(u64 v) noexcept {
   const usize idx = static_cast<usize>(it - bounds_.begin());
   stripe.buckets[idx].fetch_add(1, std::memory_order_relaxed);
   stripe.sum.value.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::observe_exemplar(u64 v, u64 flight_seq) noexcept {
+  auto& stripe = stripes_[detail::stripe_index()];
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const usize idx = static_cast<usize>(it - bounds_.begin());
+  stripe.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  stripe.sum.value.fetch_add(v, std::memory_order_relaxed);
+  ExemplarSlot& ex = exemplars_[idx];
+  u64 cur = ex.value.load(std::memory_order_relaxed);
+  while (v >= cur) {  // >= so a tie still refreshes the (newer) flight seq
+    if (ex.value.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+      ex.seq.store(flight_seq, std::memory_order_relaxed);
+      return;
+    }
+  }
 }
 
 std::vector<u64> Histogram::cumulative_counts() const {
@@ -146,6 +191,35 @@ u64 Histogram::sum() const noexcept {
     total += s.sum.value.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+std::vector<Histogram::Exemplar> Histogram::exemplars() const {
+  std::vector<Exemplar> out(bounds_.size() + 1);
+  for (usize i = 0; i <= bounds_.size(); ++i) {
+    out[i].value = exemplars_[i].value.load(std::memory_order_relaxed);
+    out[i].flight_seq = exemplars_[i].seq.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+usize Histogram::fill_pm(u64* counts, u64* ex_value, u64* ex_seq,
+                         u64* sum_out, usize cap) const noexcept {
+  const usize n = bounds_.size() + 1;
+  if (n > cap) return 0;
+  for (usize i = 0; i < n; ++i) {
+    counts[i] = 0;
+    ex_value[i] = exemplars_[i].value.load(std::memory_order_relaxed);
+    ex_seq[i] = exemplars_[i].seq.load(std::memory_order_relaxed);
+  }
+  u64 total = 0;
+  for (const auto& s : stripes_) {
+    for (usize i = 0; i < n; ++i) {
+      counts[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    total += s.sum.value.load(std::memory_order_relaxed);
+  }
+  *sum_out = total;
+  return n;
 }
 
 std::vector<u64> default_latency_bounds_ns() {
@@ -189,11 +263,59 @@ MetricsRegistry::Entry& MetricsRegistry::find_or_create(
   return *entries_.back();
 }
 
+void MetricsRegistry::pm_publish_locked(Entry& e) {
+  // Summaries need their owner's callback (and lock) to evaluate — they
+  // cannot be scraped from a signal context, so they stay out of the index.
+  if (e.kind == MetricSample::Kind::kSummary) return;
+  const usize n = pm_count_.load(std::memory_order_relaxed);
+  if (n >= kPmMaxMetrics) return;  // overflow: absent from dumps, that's all
+  pm_entries_[n] = &e;
+  pm_count_.store(n + 1, std::memory_order_release);
+}
+
+bool MetricsRegistry::pm_read(usize i, PmRead& out) const noexcept {
+  if (i >= pm_count()) return false;
+  const Entry* e = pm_entries_[i];
+  out.name = e->name.c_str();
+  out.name_len = e->name.size();
+  out.kind = e->kind;
+  out.counter_value = 0;
+  out.gauge_value = 0.0;
+  out.bounds = nullptr;
+  out.bounds_len = 0;
+  out.sum = 0;
+  switch (e->kind) {
+    case MetricSample::Kind::kCounter:
+      if (e->counter) out.counter_value = e->counter->value();
+      break;
+    case MetricSample::Kind::kGauge:
+      if (e->gauge) out.gauge_value = e->gauge->stored_value();
+      break;
+    case MetricSample::Kind::kHistogram:
+      if (e->histogram) {
+        const usize n = e->histogram->fill_pm(out.counts, out.ex_value,
+                                              out.ex_seq, &out.sum,
+                                              kPmMaxBuckets);
+        if (n != 0) {
+          out.bounds = e->histogram->bounds().data();
+          out.bounds_len = e->histogram->bounds().size();
+        }
+      }
+      break;
+    case MetricSample::Kind::kSummary:
+      break;  // never indexed
+  }
+  return true;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
   std::lock_guard lock(mutex_);
   Entry& e = find_or_create(name, help, MetricSample::Kind::kCounter);
-  if (!e.counter) e.counter.reset(new Counter());
+  if (!e.counter) {
+    e.counter.reset(new Counter());
+    pm_publish_locked(e);
+  }
   return *e.counter;
 }
 
@@ -201,7 +323,23 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
   std::lock_guard lock(mutex_);
   Entry& e = find_or_create(name, help, MetricSample::Kind::kGauge);
-  if (!e.gauge) e.gauge.reset(new Gauge());
+  if (!e.gauge) {
+    e.gauge.reset(new Gauge());
+    pm_publish_locked(e);
+  }
+  return *e.gauge;
+}
+
+Gauge& MetricsRegistry::labeled_gauge(const std::string& name,
+                                      const std::string& labels,
+                                      const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Entry& e = find_or_create(name, help, MetricSample::Kind::kGauge);
+  if (!e.gauge) {
+    e.gauge.reset(new Gauge());
+    e.labels = labels;
+    pm_publish_locked(e);
+  }
   return *e.gauge;
 }
 
@@ -213,8 +351,17 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   if (!e.histogram) {
     if (bounds.empty()) bounds = default_latency_bounds_ns();
     e.histogram.reset(new Histogram(std::move(bounds)));
+    pm_publish_locked(e);
   }
   return *e.histogram;
+}
+
+Summary& MetricsRegistry::summary(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard lock(mutex_);
+  Entry& e = find_or_create(name, help, MetricSample::Kind::kSummary);
+  if (!e.summary) e.summary.reset(new Summary());
+  return *e.summary;
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
@@ -225,6 +372,7 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     MetricSample s;
     s.name = e->name;
     s.help = e->help;
+    s.labels = e->labels;
     s.kind = e->kind;
     switch (e->kind) {
       case MetricSample::Kind::kCounter:
@@ -236,8 +384,12 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
       case MetricSample::Kind::kHistogram:
         s.bounds = e->histogram->bounds();
         s.cumulative = e->histogram->cumulative_counts();
+        s.exemplars = e->histogram->exemplars();
         s.hist_count = s.cumulative.empty() ? 0 : s.cumulative.back();
         s.hist_sum = e->histogram->sum();
+        break;
+      case MetricSample::Kind::kSummary:
+        s.summary = e->summary->value();
         break;
     }
     out.push_back(std::move(s));
@@ -257,7 +409,9 @@ std::string MetricsRegistry::to_prometheus() const {
         out += s.name + " " + std::to_string(s.counter_value) + "\n";
         break;
       case MetricSample::Kind::kGauge:
-        out += s.name + " " + format_double(s.gauge_value) + "\n";
+        out += s.name;
+        if (!s.labels.empty()) out += "{" + s.labels + "}";
+        out += " " + format_double(s.gauge_value) + "\n";
         break;
       case MetricSample::Kind::kHistogram: {
         for (usize i = 0; i < s.bounds.size(); ++i) {
@@ -270,6 +424,15 @@ std::string MetricsRegistry::to_prometheus() const {
         out += s.name + "_count " + std::to_string(s.hist_count) + "\n";
         break;
       }
+      case MetricSample::Kind::kSummary: {
+        for (const auto& [q, v] : s.summary.quantiles) {
+          out += s.name + "{quantile=\"" + quantile_label(q) + "\"} " +
+                 format_double(v) + "\n";
+        }
+        out += s.name + "_sum " + format_double(s.summary.sum) + "\n";
+        out += s.name + "_count " + std::to_string(s.summary.count) + "\n";
+        break;
+      }
     }
   }
   return out;
@@ -277,7 +440,7 @@ std::string MetricsRegistry::to_prometheus() const {
 
 std::string MetricsRegistry::to_json() const {
   const auto samples = snapshot();
-  std::string counters, gauges, histograms;
+  std::string counters, gauges, histograms, summaries;
   for (const auto& s : samples) {
     switch (s.kind) {
       case MetricSample::Kind::kCounter:
@@ -304,17 +467,52 @@ std::string MetricsRegistry::to_json() const {
           histograms += std::to_string(s.cumulative[i]);
         }
         histograms += "],\"count\":" + std::to_string(s.hist_count) +
-                      ",\"sum\":" + std::to_string(s.hist_sum) + "}";
+                      ",\"sum\":" + std::to_string(s.hist_sum);
+        // Exemplars: (value, flight-recorder seq) of the bucket-max job.
+        // Only emitted once any bucket has one, to keep scrapes compact.
+        bool any_exemplar = false;
+        for (const auto& ex : s.exemplars) {
+          if (ex.flight_seq != 0) { any_exemplar = true; break; }
+        }
+        if (any_exemplar) {
+          histograms += ",\"exemplars\":[";
+          for (usize i = 0; i < s.exemplars.size(); ++i) {
+            if (i != 0) histograms += ',';
+            histograms += "[" + std::to_string(s.exemplars[i].value) + "," +
+                          std::to_string(s.exemplars[i].flight_seq) + "]";
+          }
+          histograms += "]";
+        }
+        histograms += "}";
+        break;
+      }
+      case MetricSample::Kind::kSummary: {
+        if (!summaries.empty()) summaries += ',';
+        append_json_string(summaries, s.name);
+        summaries += ":{\"quantiles\":{";
+        bool first = true;
+        for (const auto& [q, v] : s.summary.quantiles) {
+          if (!first) summaries += ',';
+          first = false;
+          append_json_string(summaries, quantile_label(q));
+          summaries += ':' + format_double(v);
+        }
+        summaries += "},\"count\":" + std::to_string(s.summary.count) +
+                     ",\"sum\":" + format_double(s.summary.sum) + "}";
         break;
       }
     }
   }
   return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
-         "},\"histograms\":{" + histograms + "}}";
+         "},\"histograms\":{" + histograms + "},\"summaries\":{" + summaries +
+         "}}";
 }
 
 void MetricsRegistry::reset() {
   std::lock_guard lock(mutex_);
+  // Drop the signal-safe index before the entries it points into: a reader
+  // (crash handler) that raced a reset sees count 0, never a dangling entry.
+  pm_count_.store(0, std::memory_order_release);
   entries_.clear();
 }
 

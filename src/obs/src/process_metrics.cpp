@@ -1,0 +1,115 @@
+#include "kvx/obs/process_metrics.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "kvx/obs/metrics.hpp"
+#include "kvx/obs/postmortem.hpp"
+
+namespace kvx::obs {
+
+namespace {
+
+double rss_bytes() noexcept {
+#if defined(__linux__)
+  // statm field 2 is resident pages; cheaper and simpler than /proc status.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  unsigned long size = 0;
+  unsigned long resident = 0;
+  const int got = std::fscanf(f, "%lu %lu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0.0;
+  return static_cast<double>(resident) *
+         static_cast<double>(::sysconf(_SC_PAGESIZE));
+#else
+  return 0.0;
+#endif
+}
+
+double cpu_seconds() noexcept {
+  struct rusage ru{};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  const auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           static_cast<double>(t.tv_usec) * 1e-6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* build_version() noexcept {
+#ifdef KVX_VERSION_STRING
+  return KVX_VERSION_STRING;
+#else
+  return "unknown";
+#endif
+}
+
+const char* build_compiler() noexcept {
+#ifdef __VERSION__
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+void publish_build_info(const std::string& host_simd_isa,
+                        const std::string& jit) {
+  const std::string labels = "version=\"" + escape_label(build_version()) +
+                             "\",compiler=\"" +
+                             escape_label(build_compiler()) +
+                             "\",host_simd_isa=\"" +
+                             escape_label(host_simd_isa) + "\",jit=\"" +
+                             escape_label(jit) + "\"";
+  MetricsRegistry::global()
+      .labeled_gauge("kvx_build_info", labels,
+                     "Build identification; value is always 1")
+      .set(1.0);
+  pm::set_build_info("version=" + std::string(build_version()) +
+                     "\ncompiler=" + build_compiler() +
+                     "\nhost_simd_isa=" + host_simd_isa + "\njit=" + jit +
+                     "\n");
+}
+
+void register_process_metrics() {
+  (void)process_epoch();  // pin the uptime epoch to the first registration
+  auto& reg = MetricsRegistry::global();
+  reg.gauge("kvx_process_rss_bytes", "Resident set size in bytes")
+      .bind(rss_bytes);
+  reg.gauge("kvx_process_cpu_seconds_total",
+            "Total user+system CPU time consumed by the process")
+      .bind(cpu_seconds);
+  reg.gauge("kvx_process_uptime_seconds",
+            "Seconds since process metrics were first registered")
+      .bind([] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             process_epoch())
+            .count();
+      });
+}
+
+}  // namespace kvx::obs

@@ -8,6 +8,7 @@
 #include "kvx/common/rng.hpp"
 #include "kvx/isa/encoding.hpp"
 #include "kvx/keccak/permutation.hpp"
+#include "kvx/obs/flight_recorder.hpp"
 #include "kvx/obs/metrics.hpp"
 #include "kvx/obs/trace_event.hpp"
 #include "kvx/sim/host_simd.hpp"
@@ -919,8 +920,21 @@ obs::Gauge& bytes_gauge() {
 
 void hit_event() {
   hits().inc();
+  obs::FlightRecorder::global().record(obs::FlightEventType::kTraceCacheHit);
   obs::TraceEventSink& sink = obs::TraceEventSink::global();
   if (sink.enabled()) sink.instant("cache", "trace_cache_hit");
+}
+
+/// Flight-recorder artifact tiers (dump format: kTraceCompile/kTraceReject
+/// code field): 0 trace, 1 fused, 2 host-simd, 3 jit.
+void compile_event(u16 tier, u64 ns) {
+  obs::FlightRecorder::global().record(obs::FlightEventType::kTraceCompile,
+                                       tier, ns);
+}
+
+void reject_event(u16 tier, const char* error) {
+  obs::FlightRecorder::global().record(obs::FlightEventType::kTraceReject,
+                                       tier, 0, obs::flight_hash(error));
 }
 
 }  // namespace cache_obs
@@ -958,6 +972,7 @@ std::shared_ptr<const CompiledTrace> TraceCache::lookup_or_compile_locked(
     ++stats_.compiles;
     cache_obs::compile_ns().inc(ns);
     cache_obs::compiles().inc();
+    cache_obs::compile_event(0, ns);
     entries_.emplace(key, trace);
     resident_bytes_ += trace->memory_bytes();
     refresh_occupancy_locked();
@@ -968,6 +983,7 @@ std::shared_ptr<const CompiledTrace> TraceCache::lookup_or_compile_locked(
     ++stats_.failures;
     cache_obs::compile_ns().inc(ns);
     cache_obs::failures().inc();
+    cache_obs::reject_event(0, e.what());
     failed_.emplace(key, e.what());
     throw;
   }
@@ -1005,6 +1021,7 @@ std::shared_ptr<const FusedTrace> TraceCache::lookup_or_fuse_locked(
   ++stats_.fusions;
   cache_obs::fuse_ns().inc(ns);
   cache_obs::fusions().inc();
+  cache_obs::compile_event(1, ns);
   fused_entries_.emplace(fused_key, fused);
   resident_bytes_ += fused->memory_bytes();
   refresh_occupancy_locked();
@@ -1053,6 +1070,7 @@ std::shared_ptr<const HostSimdTrace> TraceCache::lookup_or_lower_locked(
     ++stats_.lowerings;
     cache_obs::lower_ns().inc(ns);
     cache_obs::lowerings().inc();
+    cache_obs::compile_event(2, ns);
     host_simd_entries_.emplace(hs_key, hs);
     resident_bytes_ += hs->memory_bytes();
     refresh_occupancy_locked();
@@ -1061,6 +1079,7 @@ std::shared_ptr<const HostSimdTrace> TraceCache::lookup_or_lower_locked(
     const u64 ns = elapsed_ns();
     stats_.lower_ns += ns;
     cache_obs::lower_ns().inc(ns);
+    cache_obs::reject_event(2, e.what());
     failed_.emplace(hs_key, e.what());
     throw;
   }
@@ -1109,14 +1128,16 @@ std::shared_ptr<const JitTrace> TraceCache::get_or_compile_jit(
     ++stats_.jit_compiles;
     cache_obs::jit_ns().inc(ns);
     cache_obs::jit_compiles().inc();
+    cache_obs::compile_event(3, ns);
     jit_entries_.emplace(jit_key, jit);
     resident_bytes_ += jit->memory_bytes();
     refresh_occupancy_locked();
     return jit;
-  } catch (const Error&) {
+  } catch (const Error& e) {
     const u64 ns = elapsed_ns();
     stats_.jit_ns += ns;
     cache_obs::jit_ns().inc(ns);
+    cache_obs::reject_event(3, e.what());
     throw;
   }
 }

@@ -5,6 +5,7 @@
 
 #include "kvx/common/error.hpp"
 #include "kvx/common/strings.hpp"
+#include "kvx/obs/flight_recorder.hpp"
 
 namespace kvx::sim {
 
@@ -59,6 +60,9 @@ std::optional<FaultKind> FaultInjector::draw(FaultSite site) {
   if (pool.empty()) return std::nullopt;
   const FaultKind k = pool[mix(2 * n + 1) % pool.size()];
   stats_.injected += 1;
+  obs::FlightRecorder::global().record(obs::FlightEventType::kFaultInjected,
+                                       static_cast<u16>(bit(k)),
+                                       static_cast<u64>(site), n);
   return k;
 }
 
@@ -113,6 +117,10 @@ bool FaultInjector::fire_instruction_fault(u64 executed) {
   }
   instruction_fault_armed_ = false;  // one-shot: the demoted retry runs clean
   stats_.sim_faults += 1;
+  obs::FlightRecorder::global().record(
+      obs::FlightEventType::kFaultInjected,
+      static_cast<u16>(bit(FaultKind::kSimFault)),
+      static_cast<u64>(FaultSite::kExecute), executed);
   return true;
 }
 

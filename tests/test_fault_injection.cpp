@@ -609,5 +609,98 @@ INSTANTIATE_TEST_SUITE_P(
       return name + "_T" + std::to_string(std::get<1>(info.param));
     });
 
+// --- per-job failure forensics ---------------------------------------------------
+
+TEST(FaultForensics, ConstructionDemotionPathNamesEveryRejectedTier) {
+  // Compile faults at rate 1.0 reject every compiled tier at construction;
+  // jobs then succeed on the interpreter and each carries the full
+  // construction-time demotion path: jit, host-simd, fused, trace — all
+  // injected — in chain order.
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.accel = {core::Arch::k64Lmul8, 15, 24};
+  cfg.accel.backend = ExecBackend::kJit;
+  FaultPlan plan;
+  plan.rate = 1.0;
+  plan.kinds = static_cast<u32>(FaultKind::kCompileFail);
+  cfg.accel.fault_injector = std::make_shared<FaultInjector>(plan);
+
+  BatchHashEngine engine(cfg);
+  const auto jobs = fuzz_jobs(6, 91);
+  engine.submit_all(jobs);
+  const auto results = engine.drain_results();
+  const std::vector<std::string> expect_rejected = {"jit", "host-simd",
+                                                    "fused", "trace"};
+  for (const JobResult& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.backend, "interpreter");
+    ASSERT_GE(r.demotion_path.size(), expect_rejected.size());
+    for (usize t = 0; t < expect_rejected.size(); ++t) {
+      EXPECT_EQ(r.demotion_path[t].backend, expect_rejected[t]);
+      EXPECT_FALSE(r.demotion_path[t].error.empty());
+      EXPECT_TRUE(r.demotion_path[t].injected) << r.demotion_path[t].error;
+    }
+    // The chain terminates in the tier that produced the digest.
+    EXPECT_EQ(r.demotion_path.back().backend, "interpreter");
+    EXPECT_TRUE(r.demotion_path.back().error.empty());
+    EXPECT_NE(r.flight_seq, 0u);
+  }
+}
+
+TEST(FaultForensics, FailedJobCarriesDemotionPathToTheInterpreter) {
+  // Sim faults at rate 1.0 fault EVERY dispatch at every tier: the jobs
+  // fail with a demotion path that names all five tiers of the chain, each
+  // with its (injected) error. One identical-algo group, because tier
+  // demotion is sticky — only the first failing dispatch walks the whole
+  // chain; later groups would start already demoted.
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.accel = {core::Arch::k64Lmul8, 15, 24};
+  cfg.accel.backend = ExecBackend::kJit;
+  FaultPlan plan;
+  plan.rate = 1.0;
+  plan.kinds = static_cast<u32>(FaultKind::kSimFault);
+  cfg.accel.fault_injector = std::make_shared<FaultInjector>(plan);
+
+  BatchHashEngine engine(cfg);
+  std::vector<HashJob> jobs(4);
+  for (usize i = 0; i < jobs.size(); ++i) {
+    jobs[i].algo = Algo::kSha3_256;
+    jobs[i].message.assign(32 + i, static_cast<u8>(i));
+  }
+  engine.submit_all(jobs);
+  const auto results = engine.drain_results();
+  const std::vector<std::string> chain = {"jit", "host-simd", "fused",
+                                          "trace", "interpreter"};
+  for (const JobResult& r : results) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.digest.empty());
+    ASSERT_EQ(r.demotion_path.size(), chain.size());
+    for (usize t = 0; t < chain.size(); ++t) {
+      EXPECT_EQ(r.demotion_path[t].backend, chain[t]);
+      EXPECT_FALSE(r.demotion_path[t].error.empty()) << chain[t];
+      EXPECT_TRUE(r.demotion_path[t].injected) << chain[t];
+    }
+    EXPECT_NE(r.flight_seq, 0u);
+  }
+}
+
+TEST(FaultForensics, CleanDispatchCarriesNoDemotionPath) {
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.accel = {core::Arch::k64Lmul8, 15, 24};
+  cfg.accel.backend = ExecBackend::kFusedTrace;
+
+  BatchHashEngine engine(cfg);
+  const auto jobs = fuzz_jobs(6, 93);
+  engine.submit_all(jobs);
+  const auto results = engine.drain_results();
+  for (const JobResult& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.demotion_path.empty());
+    EXPECT_NE(r.flight_seq, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace kvx

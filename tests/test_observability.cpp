@@ -18,6 +18,7 @@
 #include "kvx/core/vector_keccak.hpp"
 #include "kvx/engine/batch_engine.hpp"
 #include "kvx/obs/metrics.hpp"
+#include "kvx/obs/process_metrics.hpp"
 #include "kvx/obs/trace_event.hpp"
 #include "kvx/sim/processor.hpp"
 
@@ -111,6 +112,71 @@ TEST(Metrics, PrometheusAndJsonExposition) {
   EXPECT_NE(json.find("\"jobs_total\":7"), std::string::npos);
   EXPECT_NE(json.find("\"gauges\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Metrics, SummaryQuantileExposition) {
+  obs::MetricsRegistry reg;
+  obs::Summary& s = reg.summary("lat_quantiles_ns", "latency quantiles");
+  const u64 token = s.bind([] {
+    obs::Summary::Snapshot snap;
+    snap.quantiles = {{0.5, 100.0}, {0.99, 900.0}, {0.999, 990.0}};
+    snap.count = 1000;
+    snap.sum = 123456.0;
+    return snap;
+  });
+
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE lat_quantiles_ns summary"), std::string::npos);
+  EXPECT_NE(prom.find("lat_quantiles_ns{quantile=\"0.5\"} 100"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lat_quantiles_ns{quantile=\"0.99\"} 900"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lat_quantiles_ns{quantile=\"0.999\"} 990"),
+            std::string::npos);
+  EXPECT_NE(prom.find("lat_quantiles_ns_sum"), std::string::npos);
+  EXPECT_NE(prom.find("lat_quantiles_ns_count 1000"), std::string::npos);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"summaries\""), std::string::npos);
+  EXPECT_NE(json.find("\"0.999\":990"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1000"), std::string::npos);
+
+  // Unbind freezes the final snapshot; the series must not vanish.
+  s.unbind(token);
+  EXPECT_NE(reg.to_prometheus().find("quantile=\"0.999\""),
+            std::string::npos);
+}
+
+TEST(Metrics, BuildInfoAndProcessMetricsExposition) {
+  // Both register into the process-global registry (idempotently), exactly
+  // as every BatchHashEngine construction does.
+  obs::publish_build_info("avx2", "on");
+  obs::register_process_metrics();
+
+  const std::string prom = obs::MetricsRegistry::global().to_prometheus();
+  EXPECT_NE(prom.find("kvx_build_info{"), std::string::npos);
+  EXPECT_NE(prom.find("host_simd_isa=\"avx2\""), std::string::npos);
+  EXPECT_NE(prom.find("jit=\"on\""), std::string::npos);
+  EXPECT_NE(prom.find("version=\""), std::string::npos);
+  EXPECT_NE(prom.find("compiler=\""), std::string::npos);
+  EXPECT_NE(prom.find("kvx_process_rss_bytes"), std::string::npos);
+  EXPECT_NE(prom.find("kvx_process_cpu_seconds_total"), std::string::npos);
+  EXPECT_NE(prom.find("kvx_process_uptime_seconds"), std::string::npos);
+
+  // The bound gauges must evaluate to live nonzero values on Linux.
+  obs::MetricSample rss{};
+  bool found = false;
+  for (const obs::MetricSample& s :
+       obs::MetricsRegistry::global().snapshot()) {
+    if (s.name == "kvx_process_rss_bytes") {
+      rss = s;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+#if defined(__linux__)
+  EXPECT_GT(rss.gauge_value, 0.0);
+#endif
 }
 
 // ---------------------------------------------------------------------------

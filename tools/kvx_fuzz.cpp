@@ -1,11 +1,15 @@
 // kvx-fuzz — differential fault-injection fuzzer for the batch engine.
 //
-//   kvx-fuzz [--seed N] [--jobs N] [--rate R] [--backend B] [--quick] [-v]
+//   kvx-fuzz [--seed N] [--jobs N] [--rate R] [--backend B]
+//            [--postmortem DIR] [--quick] [-v]
 //     --seed N     master seed for job streams and fault plans  (default 1)
 //     --jobs N     jobs per engine configuration                (default 600)
 //     --rate R     injected-fault probability per decision      (default 1e-3)
 //     --backend B  restrict the matrix to one configured backend
 //                  (interpreter/trace/fused/host-simd/jit; default: all five)
+//     --postmortem DIR  write rate-capped post-mortem dumps to DIR on every
+//                  demotion/job failure and arm the crash handler (same as
+//                  exporting KVX_POSTMORTEM=DIR)
 //     --quick      reduced matrix for CI smoke (SN=3, 2 threads, 120 jobs,
 //                  rate 0.02) — still covers all five backends
 //     -v           print one line per configuration
@@ -33,6 +37,7 @@
 #include "kvx/common/rng.hpp"
 #include "kvx/engine/batch_engine.hpp"
 #include "kvx/obs/metrics.hpp"
+#include "kvx/obs/postmortem.hpp"
 #include "kvx/sim/exec_backend.hpp"
 #include "kvx/sim/fault_injector.hpp"
 
@@ -103,7 +108,8 @@ struct EngineCounterDeltas {
 int usage() {
   std::fprintf(stderr,
                "usage: kvx-fuzz [--seed N] [--jobs N] [--rate R] "
-               "[--backend B] [--quick] [-v]\n  backends: %s\n",
+               "[--backend B] [--postmortem DIR] [--quick] [-v]\n"
+               "  backends: %s\n",
                std::string(sim::kBackendNamesHelp).c_str());
   return kExitUsage;
 }
@@ -134,6 +140,11 @@ int main(int argc, char** argv) {
                      argv[i], std::string(sim::kBackendNamesHelp).c_str());
         return kExitUsage;
       }
+    } else if (a == "--postmortem" && has_next) {
+      // Same effect as exporting KVX_POSTMORTEM: auto dumps on demotions
+      // and job failures, crash handler armed.
+      obs::pm::set_dump_dir(argv[++i]);
+      obs::pm::install_crash_handler();
     } else if (a == "--quick") {
       quick = true;
     } else if (a == "-v" || a == "--verbose") {
