@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "kvx/common/cli.hpp"
 #include "kvx/common/hex.hpp"
 #include "kvx/core/parallel_sha3.hpp"
 #include "kvx/keccak/sha3.hpp"
@@ -57,7 +58,8 @@ int main(int argc, char** argv) {
       }
       algo = *parsed;
     } else if (a == "-n" && i + 1 < argc) {
-      out_len = static_cast<usize>(std::atoi(argv[++i]));
+      out_len = cli::require_usize("sha3sum", "-n", argv[++i], 1,
+                                   usize{1} << 20);
     } else if (a == "--simulate") {
       simulate = true;
     } else if (!a.empty() && a[0] != '-') {

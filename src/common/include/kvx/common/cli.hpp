@@ -1,0 +1,63 @@
+// Checked command-line value parsing shared by every tool and example.
+//
+// The tools used to parse numeric flags with bare std::atoi/std::atol, which
+// silently accepts garbage ("12abc" → 12), silently wraps negatives through
+// unsigned casts ("--threads -1" became ~4 billion worker shards) and has
+// undefined behaviour on overflow. These helpers reject all of that up
+// front: a flag value either parses completely, within its documented range,
+// or the caller reports a usage error and exits 2 — it never reaches the
+// engine as a wrapped or truncated number.
+//
+// The parse_* functions are the composable core (std::optional results, no
+// I/O); require_* wraps them with the uniform "<tool>: <flag> ..." stderr
+// message and std::exit(2) used by every CLI.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::cli {
+
+/// Parse a complete unsigned decimal (or, with "0x"/"0X" prefix, hex)
+/// integer in [min, max]. Rejects: empty strings, any trailing or embedded
+/// non-digit, a leading '-' or '+', values that overflow u64, and values
+/// outside the range. Surrounding ASCII whitespace is NOT accepted — flag
+/// values arrive as exact argv tokens.
+[[nodiscard]] std::optional<u64> parse_u64(std::string_view text, u64 min = 0,
+                                           u64 max = ~u64{0});
+
+/// parse_u64 narrowed to unsigned; max defaults to the type's maximum.
+[[nodiscard]] std::optional<unsigned> parse_unsigned(std::string_view text,
+                                                     unsigned min = 0,
+                                                     unsigned max = ~0u);
+
+/// Parse a complete finite double in [min, max] (strtod grammar, but the
+/// whole token must be consumed; NaN and infinities are rejected).
+[[nodiscard]] std::optional<double> parse_f64(std::string_view text,
+                                              double min, double max);
+
+/// Parse `text` for flag `flag` of tool `tool`, or print
+/// "<tool>: <flag> expects an integer in [min, max] (got '<text>')" to
+/// stderr and exit 2. For flags whose minimum exists to forbid a
+/// meaningless zero (e.g. --threads), the message names the rejected value
+/// explicitly so "--threads 0" and "--threads -1" both fail loudly instead
+/// of wrapping.
+[[nodiscard]] u64 require_u64(const char* tool, const char* flag,
+                              std::string_view text, u64 min = 0,
+                              u64 max = ~u64{0});
+
+[[nodiscard]] unsigned require_unsigned(const char* tool, const char* flag,
+                                        std::string_view text,
+                                        unsigned min = 0, unsigned max = ~0u);
+
+[[nodiscard]] usize require_usize(const char* tool, const char* flag,
+                                  std::string_view text, usize min = 0,
+                                  usize max = ~usize{0});
+
+[[nodiscard]] double require_f64(const char* tool, const char* flag,
+                                 std::string_view text, double min,
+                                 double max);
+
+}  // namespace kvx::cli

@@ -1,0 +1,110 @@
+#include "kvx/common/cli.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace kvx::cli {
+
+std::optional<u64> parse_u64(std::string_view text, u64 min, u64 max) {
+  int base = 10;
+  std::string_view digits = text;
+  if (digits.size() > 2 && digits[0] == '0' &&
+      (digits[1] == 'x' || digits[1] == 'X')) {
+    base = 16;
+    digits.remove_prefix(2);
+  }
+  if (digits.empty()) return std::nullopt;
+  // from_chars accepts no sign for unsigned types, no whitespace and no
+  // locale — exactly the strictness we want; we only add the completeness
+  // check (ptr must consume the whole token).
+  u64 value = 0;
+  const char* first = digits.data();
+  const char* last = digits.data() + digits.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value, base);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  if (value < min || value > max) return std::nullopt;
+  return value;
+}
+
+std::optional<unsigned> parse_unsigned(std::string_view text, unsigned min,
+                                       unsigned max) {
+  const auto v = parse_u64(text, min, max);
+  if (!v.has_value()) return std::nullopt;
+  return static_cast<unsigned>(*v);
+}
+
+std::optional<double> parse_f64(std::string_view text, double min,
+                                double max) {
+  if (text.empty()) return std::nullopt;
+  // strtod over a NUL-terminated copy: GCC 12's from_chars<double> exists,
+  // but strtod keeps this compilable on older standard libraries too.
+  const std::string copy(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (errno == ERANGE || end != copy.c_str() + copy.size()) {
+    return std::nullopt;
+  }
+  if (!std::isfinite(value) || value < min || value > max) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+namespace {
+
+[[noreturn]] void usage_exit(const char* tool, const char* flag,
+                             std::string_view text, const std::string& range) {
+  std::fprintf(stderr, "%s: %s expects %s (got '%.*s')\n", tool, flag,
+               range.c_str(), static_cast<int>(text.size()), text.data());
+  std::exit(2);
+}
+
+std::string u64_range(u64 min, u64 max) {
+  char buf[96];
+  if (max == ~u64{0}) {
+    std::snprintf(buf, sizeof buf, "an integer >= %llu",
+                  static_cast<unsigned long long>(min));
+  } else {
+    std::snprintf(buf, sizeof buf, "an integer in [%llu, %llu]",
+                  static_cast<unsigned long long>(min),
+                  static_cast<unsigned long long>(max));
+  }
+  return buf;
+}
+
+}  // namespace
+
+u64 require_u64(const char* tool, const char* flag, std::string_view text,
+                u64 min, u64 max) {
+  const auto v = parse_u64(text, min, max);
+  if (!v.has_value()) usage_exit(tool, flag, text, u64_range(min, max));
+  return *v;
+}
+
+unsigned require_unsigned(const char* tool, const char* flag,
+                          std::string_view text, unsigned min, unsigned max) {
+  return static_cast<unsigned>(require_u64(tool, flag, text, min, max));
+}
+
+usize require_usize(const char* tool, const char* flag, std::string_view text,
+                    usize min, usize max) {
+  return static_cast<usize>(require_u64(tool, flag, text, min, max));
+}
+
+double require_f64(const char* tool, const char* flag, std::string_view text,
+                   double min, double max) {
+  const auto v = parse_f64(text, min, max);
+  if (!v.has_value()) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "a number in [%g, %g]", min, max);
+    usage_exit(tool, flag, text, buf);
+  }
+  return *v;
+}
+
+}  // namespace kvx::cli

@@ -32,6 +32,7 @@
 // guidance.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <span>
@@ -114,6 +115,25 @@ class BatchHashEngine {
   /// submissions afterwards (unless closed).
   usize drain_batch(std::vector<JobResult>& out);
 
+  /// Non-blocking drain for event loops: append the contiguous prefix of
+  /// already-retired outcomes (in submission order) to `out` and return the
+  /// number appended — possibly 0, never waiting. `max` != 0 caps the
+  /// collection (bounding event-loop work per wakeup). A job whose result
+  /// is still pending stops the prefix even if later jobs have retired, so
+  /// ordering is identical to the blocking drains.
+  usize try_drain_ready(std::vector<JobResult>& out, usize max = 0);
+
+  /// Register a completion-notification fd (an eventfd or pipe write end):
+  /// after every retirement the engine write()s a u64 of 1 to it, so an
+  /// epoll/poll loop can sleep on the fd and call try_drain_ready() on
+  /// wakeup instead of ever blocking in drain. -1 (the default) disables.
+  /// The caller owns the fd and must keep it open while set; writes that
+  /// fail (EAGAIN on a saturated eventfd counter is harmless — the edge is
+  /// already pending) are ignored. Thread-safe.
+  void set_notify_fd(int fd) noexcept {
+    notify_fd_.store(fd, std::memory_order_release);
+  }
+
   /// Block until every job submitted so far has retired, then return all
   /// outcomes not yet collected, in submission order — one JobResult per
   /// job, failed or not. The engine stays usable for further submissions
@@ -139,6 +159,16 @@ class BatchHashEngine {
   }
   [[nodiscard]] unsigned lanes_per_shard() const noexcept {
     return config_.accel.sn();
+  }
+  /// Jobs currently queued (pushed, not yet popped by a worker) — the
+  /// lock-free backpressure signal servers compare against max_queue; see
+  /// also in_flight() for queued + executing.
+  [[nodiscard]] usize queue_depth() const noexcept { return queue_.depth(); }
+  /// Jobs submitted but not yet retired (queued or executing). Takes the
+  /// state mutex briefly; cheap enough for per-event-loop-iteration use.
+  [[nodiscard]] u64 in_flight() const {
+    std::lock_guard lock(state_mutex_);
+    return submitted_ - retired_;
   }
   /// Snapshot of the engine counters (thread-safe at any time).
   [[nodiscard]] EngineStats stats() const;
@@ -175,6 +205,9 @@ class BatchHashEngine {
   /// Push submitted/completed/failed into the post-mortem mirror (relaxed
   /// stores; no-op without a mirror). Caller holds state_mutex_.
   void sync_mirror_locked() noexcept;
+  /// Poke the completion-notification fd, if one is set (one u64 write;
+  /// failures ignored). Called after every retirement batch.
+  void notify_retire() noexcept;
 
   EngineConfig config_;
   usize window_;
@@ -191,6 +224,9 @@ class BatchHashEngine {
   /// Post-mortem stat mirror (null when kMaxEngines are already live);
   /// released in the destructor.
   obs::pm::EngineMirror* mirror_ = nullptr;
+  /// Completion-notification fd (eventfd/pipe), -1 = disabled. The caller
+  /// owns it; see set_notify_fd().
+  std::atomic<int> notify_fd_{-1};
 
   mutable std::mutex state_mutex_;
   std::condition_variable all_done_;

@@ -8,6 +8,9 @@
 #include <pthread.h>
 #include <sched.h>
 #endif
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "kvx/common/error.hpp"
 #include "kvx/common/strings.hpp"
@@ -310,6 +313,20 @@ void BatchHashEngine::record_latency_locked(u64 sample_ns, u64 flight_seq) {
   }
 }
 
+void BatchHashEngine::notify_retire() noexcept {
+  const int fd = notify_fd_.load(std::memory_order_acquire);
+  if (fd < 0) return;
+#if defined(__unix__) || defined(__APPLE__)
+  // Eventfd semantics: the u64 accumulates into the counter, so one poll
+  // wakeup coalesces any number of retirements. EAGAIN (counter saturated)
+  // is harmless — the readable edge the caller sleeps on is already
+  // pending. Pipes coalesce the same way once full.
+  const u64 one = 1;
+  const ssize_t ignored = ::write(fd, &one, sizeof one);
+  (void)ignored;
+#endif
+}
+
 void BatchHashEngine::sync_mirror_locked() noexcept {
   if (mirror_ == nullptr) return;
   mirror_->submitted.store(submitted_, std::memory_order_relaxed);
@@ -360,6 +377,7 @@ u64 BatchHashEngine::submit(HashJob job) {
       std::lock_guard lock(state_mutex_);
       fail_job_locked(seq, submit_ns, std::move(invalid));
     }
+    notify_retire();
     obs::pm::auto_dump("job_failure");
     return seq;
   }
@@ -373,6 +391,7 @@ u64 BatchHashEngine::submit(HashJob job) {
       fail_job_locked(seq, submit_ns,
                       "engine closed while a submit was in flight");
     }
+    notify_retire();
     throw Error("submit after close()");
   }
   return seq;
@@ -415,7 +434,10 @@ u64 BatchHashEngine::submit_batch(std::span<const HashJob> jobs) {
   EngineMetrics::get().jobs_submitted.inc(jobs.size());
   obs::FlightRecorder::global().record(obs::FlightEventType::kJobSubmit, 0,
                                        first, jobs.size());
-  if (valid != jobs.size()) obs::pm::auto_dump("job_failure");
+  if (valid != jobs.size()) {
+    notify_retire();
+    obs::pm::auto_dump("job_failure");
+  }
   obs::TraceEventSink& sink = obs::TraceEventSink::global();
   if (sink.enabled()) {
     sink.instant("engine", "batch_submit",
@@ -442,6 +464,7 @@ u64 BatchHashEngine::submit_batch(std::span<const HashJob> jobs) {
                         "engine closed while a submit was in flight");
       }
     }
+    notify_retire();
     throw Error("submit after close()");
   }
   return first;
@@ -475,6 +498,27 @@ std::vector<JobResult> BatchHashEngine::drain_results() {
   std::vector<JobResult> out;
   drain_batch(out);
   return out;
+}
+
+usize BatchHashEngine::try_drain_ready(std::vector<JobResult>& out,
+                                       usize max) {
+  std::lock_guard lock(state_mutex_);
+  // Results are handed out strictly in submission order, same as drain():
+  // only the contiguous retired prefix is collectable. A still-in-flight
+  // job at the front holds everything behind it (the caller sleeps on the
+  // notify fd and retries, so this is starvation-free).
+  const usize limit = max == 0 ? results_.size() : std::min(max, results_.size());
+  usize n = 0;
+  while (n < limit && done_[n] != 0) ++n;
+  if (n == 0) return 0;
+  out.insert(out.end(), std::make_move_iterator(results_.begin()),
+             std::make_move_iterator(results_.begin() +
+                                     static_cast<std::ptrdiff_t>(n)));
+  results_.erase(results_.begin(),
+                 results_.begin() + static_cast<std::ptrdiff_t>(n));
+  done_.erase(done_.begin(), done_.begin() + static_cast<std::ptrdiff_t>(n));
+  collected_ += n;
+  return n;
 }
 
 std::vector<std::vector<u8>> BatchHashEngine::drain() {
@@ -607,6 +651,7 @@ void BatchHashEngine::fail_batch(Shard& shard,
     sync_mirror_locked();
     all_done_.notify_all();
   }
+  notify_retire();
   obs::pm::auto_dump("job_failure");
 }
 
@@ -786,6 +831,7 @@ void BatchHashEngine::process_batch(Shard& shard,
     }
     all_done_.notify_all();
   }
+  notify_retire();
   // Post-mortem triggers run outside state_mutex_ — a dump scrapes the
   // metrics registry, and the scrape path may re-enter engine callbacks.
   if (fallbacks != 0) obs::pm::auto_dump("backend_demotion");

@@ -1,0 +1,54 @@
+// Hysteresis governor for socket-level backpressure. The server stops
+// *reading* client sockets (kernel buffers then TCP flow control push back
+// to the clients) when the engine queue climbs to the high watermark, and
+// resumes only once it drains to the low one — two thresholds, so a queue
+// oscillating around a single threshold cannot flap EPOLL_CTL_MOD on every
+// event-loop iteration.
+//
+// Plain single-threaded state; the event loop is the only caller.
+#pragma once
+
+#include "kvx/common/error.hpp"
+#include "kvx/common/types.hpp"
+
+namespace kvx::net {
+
+class BackpressureGovernor {
+ public:
+  /// Engage at depth >= `high`, release at depth <= `low`; requires
+  /// low < high (equal thresholds would reintroduce the flapping this
+  /// class exists to prevent).
+  BackpressureGovernor(usize high, usize low) : high_(high), low_(low) {
+    KVX_CHECK(low < high);
+  }
+
+  /// Feed the current queue depth. Returns true when the state *changed*
+  /// (the caller must then add/remove EPOLLIN on its connections).
+  bool update(usize depth) noexcept {
+    if (!engaged_ && depth >= high_) {
+      engaged_ = true;
+      ++engagements_;
+      return true;
+    }
+    if (engaged_ && depth <= low_) {
+      engaged_ = false;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool engaged() const noexcept { return engaged_; }
+  /// Times the governor transitioned idle -> engaged (the
+  /// kvx_server_backpressure_events_total counter source).
+  [[nodiscard]] u64 engagements() const noexcept { return engagements_; }
+  [[nodiscard]] usize high_watermark() const noexcept { return high_; }
+  [[nodiscard]] usize low_watermark() const noexcept { return low_; }
+
+ private:
+  usize high_;
+  usize low_;
+  bool engaged_ = false;
+  u64 engagements_ = 0;
+};
+
+}  // namespace kvx::net

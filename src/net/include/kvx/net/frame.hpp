@@ -1,0 +1,60 @@
+// Transport framing for the kvx-hashd protocol: u32 little-endian payload
+// length, then the payload. FrameReader is the receive half — an
+// incremental reassembler that accepts bytes in whatever fragments TCP
+// delivers (one byte at a time included; see the slow-loris tests) and
+// yields complete payloads. Oversized declared lengths are detected from
+// the header alone, BEFORE any payload is buffered, so a hostile peer
+// cannot make the server allocate 4 GiB by sending five bytes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kvx/common/types.hpp"
+#include "kvx/net/protocol.hpp"
+
+namespace kvx::net {
+
+/// Append one frame (header + payload) to `out` — the send half.
+void append_frame(std::vector<u8>& out, std::span<const u8> payload);
+
+/// Incremental frame reassembler. feed() bytes as they arrive; next()
+/// pops complete payloads in order. After any protocol violation the
+/// reader is poisoned: feed()/next() return false and error() explains —
+/// the owning connection must be dropped.
+class FrameReader {
+ public:
+  explicit FrameReader(usize max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Buffer `data`. Returns false (poisoning the reader) if any declared
+  /// frame length exceeds the payload cap.
+  bool feed(std::span<const u8> data);
+
+  /// Move the next complete payload into `out`. Returns false when no
+  /// complete frame is buffered (or the reader is poisoned).
+  bool next(std::vector<u8>& out);
+
+  /// True once a complete frame is buffered (next() will succeed).
+  [[nodiscard]] bool has_frame() const noexcept;
+
+  [[nodiscard]] bool poisoned() const noexcept { return !error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Bytes currently buffered (partial frames included) — the per-
+  /// connection memory the reader is holding.
+  [[nodiscard]] usize buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  /// Declared length of the pending frame, if a full header is buffered.
+  [[nodiscard]] bool peek_len(u32& len) const noexcept;
+  /// Validate the pending header (if any); poisons on an oversized length.
+  bool check_header();
+
+  usize max_payload_;
+  std::vector<u8> buffer_;
+  std::string error_;
+};
+
+}  // namespace kvx::net

@@ -1,0 +1,38 @@
+// Minimal HTTP/1.x admin plane for kvx-hashd: just enough to serve
+// GET /metrics (Prometheus text exposition) and GET /healthz to curl and
+// a scraper, on the SAME port as the binary protocol. Disambiguation is
+// unambiguous by construction: a binary frame starts with a u32 LE payload
+// length capped at 1 MiB, while "GET " / "HEAD" as a u32 is ~0x20544547 —
+// far above the cap — so the first four bytes of a connection decide its
+// mode with zero ambiguity.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "kvx/common/types.hpp"
+
+namespace kvx::net {
+
+/// True if the first bytes of a connection look like an HTTP request line
+/// (needs at least 4 buffered bytes to say yes).
+[[nodiscard]] bool looks_like_http(std::span<const u8> data) noexcept;
+
+/// Parsed request line of an HTTP request head.
+struct HttpRequest {
+  std::string method;
+  std::string path;  ///< target with any query string stripped
+};
+
+/// True once `data` holds a complete request head (CRLFCRLF seen) and the
+/// request line parsed; false while more bytes are needed. A malformed
+/// request line yields true with an empty method (caller answers 400).
+bool parse_http_request(std::string_view data, HttpRequest& out);
+
+/// Serialize a response with Content-Length and Connection: close.
+[[nodiscard]] std::string http_response(int status, std::string_view reason,
+                                        std::string_view content_type,
+                                        std::string_view body);
+
+}  // namespace kvx::net

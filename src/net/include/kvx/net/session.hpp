@@ -1,0 +1,64 @@
+// Server-side streaming XOF sessions: the sponge's squeeze-forever
+// property exposed over the wire. An OPEN_SESSION request absorbs the
+// message into a SHAKE128/256 sponge held by the server; SQUEEZE requests
+// then stream arbitrary amounts of output across any number of frames;
+// CLOSE_SESSION (or the connection closing) releases the state.
+//
+// Sessions are owner-scoped: every operation carries the owning
+// connection's id and a session is only visible to the connection that
+// opened it — one client cannot squeeze (or close) another's stream.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kvx/common/types.hpp"
+#include "kvx/keccak/sha3.hpp"
+
+namespace kvx::net {
+
+class SessionTable {
+ public:
+  /// `max_sessions` bounds total live sponges (memory backpressure for
+  /// session state, independent of the engine queue).
+  explicit SessionTable(usize max_sessions = 1024)
+      : max_sessions_(max_sessions) {}
+
+  /// Absorb `message` into a fresh XOF and return its session id (ids are
+  /// dense, starting at 1). Returns 0 and sets `error` when the table is
+  /// full. `function` must be SHAKE128 or SHAKE256 (callers validate via
+  /// net::session_capable before mapping to a Sha3Function).
+  u64 open(u64 owner, keccak::Sha3Function function,
+           std::span<const u8> message, std::string& error);
+
+  /// Squeeze `n` bytes from session `id` into `out` (appending). Fails
+  /// (false + `error`) on an unknown id or an id owned by another
+  /// connection — both render identically so ids don't leak liveness.
+  bool squeeze(u64 owner, u64 id, usize n, std::vector<u8>& out,
+               std::string& error);
+
+  /// Release session `id`. Same visibility rule as squeeze.
+  bool close(u64 owner, u64 id, std::string& error);
+
+  /// Drop every session owned by `owner` (connection teardown). Returns
+  /// the number released.
+  usize drop_owner(u64 owner);
+
+  [[nodiscard]] usize size() const noexcept { return sessions_.size(); }
+  [[nodiscard]] u64 opened_total() const noexcept { return next_id_ - 1; }
+
+ private:
+  struct Session {
+    std::unique_ptr<keccak::Xof> xof;
+    u64 owner = 0;
+  };
+
+  usize max_sessions_;
+  u64 next_id_ = 1;
+  std::map<u64, Session> sessions_;
+};
+
+}  // namespace kvx::net

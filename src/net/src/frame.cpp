@@ -1,0 +1,62 @@
+#include "kvx/net/frame.hpp"
+
+#include "kvx/common/bits.hpp"
+#include "kvx/common/strings.hpp"
+
+namespace kvx::net {
+
+void append_frame(std::vector<u8>& out, std::span<const u8> payload) {
+  const usize base = out.size();
+  out.resize(base + 4);
+  store_le32(std::span<u8, 4>(out.data() + base, 4),
+             static_cast<u32>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+bool FrameReader::peek_len(u32& len) const noexcept {
+  if (buffer_.size() < 4) return false;
+  len = load_le32(std::span<const u8, 4>(buffer_.data(), 4));
+  return true;
+}
+
+bool FrameReader::check_header() {
+  u32 len = 0;
+  if (!peek_len(len)) return true;  // header still partial — nothing to judge
+  if (len > max_payload_) {
+    error_ = strfmt("declared frame payload of %u bytes exceeds the "
+                    "%zu-byte cap",
+                    len, max_payload_);
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+    return false;
+  }
+  return true;
+}
+
+bool FrameReader::feed(std::span<const u8> data) {
+  if (poisoned()) return false;
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  return check_header();
+}
+
+bool FrameReader::has_frame() const noexcept {
+  u32 len = 0;
+  if (poisoned() || !peek_len(len)) return false;
+  return len <= max_payload_ && buffer_.size() >= 4 + static_cast<usize>(len);
+}
+
+bool FrameReader::next(std::vector<u8>& out) {
+  if (!has_frame()) return false;
+  u32 len = 0;
+  if (!peek_len(len)) return false;  // unreachable: has_frame() checked
+  const auto begin = buffer_.begin() + 4;
+  const auto end = begin + static_cast<std::ptrdiff_t>(len);
+  out.assign(begin, end);
+  buffer_.erase(buffer_.begin(), end);
+  // The next frame's header is now at the front; an oversized one poisons
+  // the reader here, before its payload is ever buffered.
+  check_header();
+  return true;
+}
+
+}  // namespace kvx::net

@@ -1,0 +1,49 @@
+#include "kvx/net/http.hpp"
+
+#include "kvx/common/strings.hpp"
+
+namespace kvx::net {
+
+bool looks_like_http(std::span<const u8> data) noexcept {
+  if (data.size() < 4) return false;
+  const char* p = reinterpret_cast<const char*>(data.data());
+  return std::string_view(p, 4) == "GET " ||
+         std::string_view(p, 4) == "HEAD";
+}
+
+bool parse_http_request(std::string_view data, HttpRequest& out) {
+  const usize head_end = data.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) return false;
+  out.method.clear();
+  out.path.clear();
+  const usize line_end = data.find("\r\n");
+  const std::string_view line = data.substr(0, line_end);
+  const usize sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return true;  // malformed -> 400
+  const usize sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return true;
+  out.method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const usize query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+  out.path = std::string(target);
+  return true;
+}
+
+std::string http_response(int status, std::string_view reason,
+                          std::string_view content_type,
+                          std::string_view body) {
+  std::string head = strfmt(
+      "HTTP/1.1 %d %.*s\r\n"
+      "Content-Type: %.*s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      status, static_cast<int>(reason.size()), reason.data(),
+      static_cast<int>(content_type.size()), content_type.data(),
+      body.size());
+  head.append(body);
+  return head;
+}
+
+}  // namespace kvx::net

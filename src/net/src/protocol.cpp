@@ -1,0 +1,274 @@
+#include "kvx/net/protocol.hpp"
+
+#include "kvx/common/bits.hpp"
+#include "kvx/common/strings.hpp"
+
+namespace kvx::net {
+
+namespace {
+
+/// Bounds-checked little-endian cursor over a payload. Every read method
+/// fails (returns false) instead of running past the end, so decoders stay
+/// total on arbitrary input.
+class Reader {
+ public:
+  explicit Reader(std::span<const u8> data) : data_(data) {}
+
+  [[nodiscard]] usize remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+  bool read_u8(u8& out) noexcept {
+    if (remaining() < 1) return false;
+    out = data_[pos_++];
+    return true;
+  }
+  bool read_u16(u16& out) noexcept {
+    if (remaining() < 2) return false;
+    out = static_cast<u16>(static_cast<u16>(data_[pos_]) |
+                           (static_cast<u16>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool read_u32(u32& out) noexcept {
+    if (remaining() < 4) return false;
+    out = load_le32(data_.subspan(pos_).first<4>());
+    pos_ += 4;
+    return true;
+  }
+  bool read_u64(u64& out) noexcept {
+    if (remaining() < 8) return false;
+    out = load_le64(data_.subspan(pos_).first<8>());
+    pos_ += 8;
+    return true;
+  }
+  bool read_bytes(usize n, std::vector<u8>& out) {
+    if (remaining() < n) return false;
+    out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+  /// Everything not yet consumed (the trailing message field).
+  void read_rest(std::vector<u8>& out) {
+    out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
+    pos_ = data_.size();
+  }
+
+ private:
+  std::span<const u8> data_;
+  usize pos_ = 0;
+};
+
+void put_u16(std::vector<u8>& out, u16 v) {
+  out.push_back(static_cast<u8>(v & 0xFF));
+  out.push_back(static_cast<u8>(v >> 8));
+}
+void put_u32(std::vector<u8>& out, u32 v) {
+  for (usize i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put_u64(std::vector<u8>& out, u64 v) {
+  for (usize i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+[[nodiscard]] bool valid_algo(u8 raw) noexcept {
+  return raw <= static_cast<u8>(engine::Algo::kKmac256);
+}
+
+[[nodiscard]] std::optional<Request> fail(std::string& error,
+                                          std::string text) {
+  error = std::move(text);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Request> decode_request(std::span<const u8> payload,
+                                      std::string& error) {
+  error.clear();
+  if (payload.size() > kMaxFramePayload) {
+    return fail(error, strfmt("payload of %zu bytes exceeds the %zu-byte cap",
+                              payload.size(), kMaxFramePayload));
+  }
+  Reader r(payload);
+  Request req;
+  u8 op = 0;
+  if (!r.read_u64(req.id) || !r.read_u8(op)) {
+    return fail(error, strfmt("payload of %zu bytes is shorter than the "
+                              "%zu-byte request header",
+                              payload.size(), kHeaderBytes));
+  }
+  if (op < static_cast<u8>(Opcode::kHash) ||
+      op > static_cast<u8>(Opcode::kPing)) {
+    return fail(error, strfmt("unknown opcode %u", unsigned{op}));
+  }
+  req.op = static_cast<Opcode>(op);
+
+  switch (req.op) {
+    case Opcode::kHash: {
+      u8 algo = 0;
+      u16 key_len = 0;
+      u16 cust_len = 0;
+      if (!r.read_u8(algo) || !r.read_u32(req.out_len) ||
+          !r.read_u16(key_len) || !r.read_u16(cust_len)) {
+        return fail(error, "truncated HASH header");
+      }
+      if (!valid_algo(algo)) {
+        return fail(error, strfmt("unknown algorithm %u", unsigned{algo}));
+      }
+      req.algo = static_cast<engine::Algo>(algo);
+      if (req.out_len > kMaxOutputLen) {
+        return fail(error, strfmt("out_len %u exceeds the %zu-byte cap",
+                                  req.out_len, kMaxOutputLen));
+      }
+      if (!r.read_bytes(key_len, req.key) ||
+          !r.read_bytes(cust_len, req.customization)) {
+        return fail(error,
+                    strfmt("declared key/customization of %u+%u bytes "
+                           "overruns the %zu-byte payload",
+                           unsigned{key_len}, unsigned{cust_len},
+                           payload.size()));
+      }
+      r.read_rest(req.message);
+      return req;
+    }
+    case Opcode::kOpenSession: {
+      u8 algo = 0;
+      if (!r.read_u8(algo)) return fail(error, "truncated OPEN_SESSION header");
+      if (!valid_algo(algo)) {
+        return fail(error, strfmt("unknown algorithm %u", unsigned{algo}));
+      }
+      req.algo = static_cast<engine::Algo>(algo);
+      if (!session_capable(req.algo)) {
+        return fail(error,
+                    strfmt("%s cannot stream: sessions are SHAKE128/SHAKE256 "
+                           "only",
+                           std::string(engine::algo_name(req.algo)).c_str()));
+      }
+      r.read_rest(req.message);
+      return req;
+    }
+    case Opcode::kSqueeze: {
+      if (!r.read_u64(req.session_id) || !r.read_u32(req.squeeze_len)) {
+        return fail(error, "truncated SQUEEZE body");
+      }
+      if (req.squeeze_len == 0 || req.squeeze_len > kMaxOutputLen) {
+        return fail(error, strfmt("squeeze length %u outside [1, %zu]",
+                                  req.squeeze_len, kMaxOutputLen));
+      }
+      if (r.remaining() != 0) return fail(error, "trailing bytes after SQUEEZE");
+      return req;
+    }
+    case Opcode::kCloseSession: {
+      if (!r.read_u64(req.session_id)) {
+        return fail(error, "truncated CLOSE_SESSION body");
+      }
+      if (r.remaining() != 0) {
+        return fail(error, "trailing bytes after CLOSE_SESSION");
+      }
+      return req;
+    }
+    case Opcode::kPing: {
+      if (r.remaining() != 0) return fail(error, "trailing bytes after PING");
+      return req;
+    }
+  }
+  return fail(error, strfmt("unknown opcode %u", unsigned{op}));
+}
+
+std::vector<u8> encode_request(const Request& req) {
+  std::vector<u8> out;
+  put_u64(out, req.id);
+  out.push_back(static_cast<u8>(req.op));
+  switch (req.op) {
+    case Opcode::kHash:
+      out.push_back(static_cast<u8>(req.algo));
+      put_u32(out, req.out_len);
+      put_u16(out, static_cast<u16>(req.key.size()));
+      put_u16(out, static_cast<u16>(req.customization.size()));
+      out.insert(out.end(), req.key.begin(), req.key.end());
+      out.insert(out.end(), req.customization.begin(),
+                 req.customization.end());
+      out.insert(out.end(), req.message.begin(), req.message.end());
+      break;
+    case Opcode::kOpenSession:
+      out.push_back(static_cast<u8>(req.algo));
+      out.insert(out.end(), req.message.begin(), req.message.end());
+      break;
+    case Opcode::kSqueeze:
+      put_u64(out, req.session_id);
+      put_u32(out, req.squeeze_len);
+      break;
+    case Opcode::kCloseSession:
+      put_u64(out, req.session_id);
+      break;
+    case Opcode::kPing:
+      break;
+  }
+  return out;
+}
+
+std::optional<Response> decode_response(std::span<const u8> payload,
+                                        std::string& error) {
+  error.clear();
+  if (payload.size() > kMaxFramePayload) {
+    error = strfmt("payload of %zu bytes exceeds the %zu-byte cap",
+                   payload.size(), kMaxFramePayload);
+    return std::nullopt;
+  }
+  Reader r(payload);
+  Response resp;
+  u8 status = 0;
+  if (!r.read_u64(resp.id) || !r.read_u8(status)) {
+    error = strfmt("payload of %zu bytes is shorter than the %zu-byte "
+                   "response header",
+                   payload.size(), kHeaderBytes);
+    return std::nullopt;
+  }
+  if (status > static_cast<u8>(Status::kFailed)) {
+    error = strfmt("unknown status %u", unsigned{status});
+    return std::nullopt;
+  }
+  resp.status = static_cast<Status>(status);
+  r.read_rest(resp.body);
+  return resp;
+}
+
+std::vector<u8> encode_response_ok(u64 id, std::span<const u8> body) {
+  std::vector<u8> out;
+  out.reserve(kHeaderBytes + body.size());
+  put_u64(out, id);
+  out.push_back(static_cast<u8>(Status::kOk));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<u8> encode_response_error(u64 id, Status status,
+                                      std::string_view text) {
+  std::vector<u8> out;
+  out.reserve(kHeaderBytes + text.size());
+  put_u64(out, id);
+  out.push_back(static_cast<u8>(status));
+  out.insert(out.end(), text.begin(), text.end());
+  return out;
+}
+
+std::string render_failure(const engine::JobResult& result) {
+  std::string text = result.error;
+  if (!result.demotion_path.empty()) {
+    text += " | demotion path: ";
+    bool first = true;
+    for (const engine::TierAttempt& tier : result.demotion_path) {
+      if (!first) text += " -> ";
+      first = false;
+      text += tier.backend;
+      if (!tier.error.empty()) {
+        text += tier.injected ? " (injected: " : " (";
+        text += tier.error + ")";
+      }
+    }
+  }
+  return text;
+}
+
+}  // namespace kvx::net

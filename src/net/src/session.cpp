@@ -1,0 +1,58 @@
+#include "kvx/net/session.hpp"
+
+#include "kvx/common/strings.hpp"
+
+namespace kvx::net {
+
+u64 SessionTable::open(u64 owner, keccak::Sha3Function function,
+                       std::span<const u8> message, std::string& error) {
+  if (sessions_.size() >= max_sessions_) {
+    error = strfmt("session table full (%zu live sessions)", sessions_.size());
+    return 0;
+  }
+  const u64 id = next_id_++;
+  Session s;
+  s.xof = std::make_unique<keccak::Xof>(function);
+  s.xof->absorb(message);
+  s.owner = owner;
+  sessions_.emplace(id, std::move(s));
+  return id;
+}
+
+bool SessionTable::squeeze(u64 owner, u64 id, usize n, std::vector<u8>& out,
+                           std::string& error) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second.owner != owner) {
+    error = strfmt("unknown session %llu", static_cast<unsigned long long>(id));
+    return false;
+  }
+  const usize base = out.size();
+  out.resize(base + n);
+  it->second.xof->squeeze(std::span<u8>(out.data() + base, n));
+  return true;
+}
+
+bool SessionTable::close(u64 owner, u64 id, std::string& error) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second.owner != owner) {
+    error = strfmt("unknown session %llu", static_cast<unsigned long long>(id));
+    return false;
+  }
+  sessions_.erase(it);
+  return true;
+}
+
+usize SessionTable::drop_owner(u64 owner) {
+  usize dropped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.owner == owner) {
+      it = sessions_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace kvx::net

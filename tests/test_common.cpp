@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "kvx/common/bits.hpp"
+#include "kvx/common/cli.hpp"
 #include "kvx/common/error.hpp"
 #include "kvx/common/hex.hpp"
 #include "kvx/common/rng.hpp"
@@ -132,6 +133,51 @@ TEST(Rng, BelowInRange) {
 TEST(Error, CheckMacroThrows) {
   EXPECT_THROW(KVX_CHECK(false), Error);
   EXPECT_NO_THROW(KVX_CHECK(true));
+}
+
+TEST(Cli, ParseU64Accepts) {
+  EXPECT_EQ(cli::parse_u64("0"), 0u);
+  EXPECT_EQ(cli::parse_u64("42"), 42u);
+  EXPECT_EQ(cli::parse_u64("18446744073709551615"), ~u64{0});
+  EXPECT_EQ(cli::parse_u64("0x10"), 16u);
+  EXPECT_EQ(cli::parse_u64("0XfF"), 255u);
+  EXPECT_EQ(cli::parse_u64("8", 1, 16), 8u);
+  EXPECT_EQ(cli::parse_u64("1", 1, 1), 1u);
+}
+
+TEST(Cli, ParseU64RejectsGarbageNegativesAndOverflow) {
+  // The exact shapes std::atoi used to let through.
+  EXPECT_FALSE(cli::parse_u64("-1").has_value());      // wrapped to ~4e9
+  EXPECT_FALSE(cli::parse_u64("12abc").has_value());   // atoi -> 12
+  EXPECT_FALSE(cli::parse_u64("abc").has_value());     // atoi -> 0
+  EXPECT_FALSE(cli::parse_u64("").has_value());
+  EXPECT_FALSE(cli::parse_u64(" 7").has_value());
+  EXPECT_FALSE(cli::parse_u64("7 ").has_value());
+  EXPECT_FALSE(cli::parse_u64("+7").has_value());
+  EXPECT_FALSE(cli::parse_u64("3.5").has_value());
+  EXPECT_FALSE(cli::parse_u64("0x").has_value());
+  EXPECT_FALSE(cli::parse_u64("0xZZ").has_value());
+  // One past u64 max must not wrap.
+  EXPECT_FALSE(cli::parse_u64("18446744073709551616").has_value());
+  EXPECT_FALSE(cli::parse_u64("99999999999999999999999").has_value());
+}
+
+TEST(Cli, ParseU64EnforcesRange) {
+  EXPECT_FALSE(cli::parse_u64("0", 1).has_value());    // --threads 0
+  EXPECT_FALSE(cli::parse_u64("17", 1, 16).has_value());
+  EXPECT_FALSE(cli::parse_unsigned("4294967296").has_value());  // > u32
+}
+
+TEST(Cli, ParseF64) {
+  EXPECT_DOUBLE_EQ(*cli::parse_f64("0.5", 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(*cli::parse_f64("1e-3", 0.0, 1.0), 1e-3);
+  EXPECT_DOUBLE_EQ(*cli::parse_f64("0", 0.0, 1.0), 0.0);
+  EXPECT_FALSE(cli::parse_f64("1.5", 0.0, 1.0).has_value());
+  EXPECT_FALSE(cli::parse_f64("-0.1", 0.0, 1.0).has_value());
+  EXPECT_FALSE(cli::parse_f64("nan", 0.0, 1.0).has_value());
+  EXPECT_FALSE(cli::parse_f64("inf", 0.0, 1.0).has_value());
+  EXPECT_FALSE(cli::parse_f64("0.5x", 0.0, 1.0).has_value());
+  EXPECT_FALSE(cli::parse_f64("", 0.0, 1.0).has_value());
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "kvx/asm/assembler.hpp"
 #include "kvx/asm/image_io.hpp"
+#include "kvx/common/cli.hpp"
 #include "kvx/common/error.hpp"
 #include "kvx/isa/disasm.hpp"
 
@@ -35,9 +36,12 @@ int main(int argc, char** argv) {
     if (a == "-o" && i + 1 < argc) {
       output = argv[++i];
     } else if (a == "--text-base" && i + 1 < argc) {
-      options.text_base = static_cast<kvx::u32>(std::strtoul(argv[++i], nullptr, 0));
+      // Decimal or 0x-prefixed hex, checked — no silent truncation to u32.
+      options.text_base = static_cast<kvx::u32>(kvx::cli::require_u64(
+          "kvx-as", "--text-base", argv[++i], 0, 0xFFFFFFFFull));
     } else if (a == "--data-base" && i + 1 < argc) {
-      options.data_base = static_cast<kvx::u32>(std::strtoul(argv[++i], nullptr, 0));
+      options.data_base = static_cast<kvx::u32>(kvx::cli::require_u64(
+          "kvx-as", "--data-base", argv[++i], 0, 0xFFFFFFFFull));
     } else if (a == "--list") {
       list = true;
     } else if (!a.empty() && a[0] != '-' && input.empty()) {

@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "kvx/common/cli.hpp"
 #include "kvx/common/error.hpp"
 #include "kvx/common/hex.hpp"
 #include "kvx/common/rng.hpp"
@@ -136,9 +137,12 @@ int main(int argc, char** argv) {
         return kExitUsage;
       }
     } else if ((a == "-t" || a == "--threads") && has_next) {
-      cfg.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      // Checked parse: "--threads -1" and "--threads 12abc" are usage
+      // errors, not a wrapped-unsigned thread count.
+      cfg.threads = cli::require_unsigned("kvx-batch", "--threads",
+                                          argv[++i], 1, 4096);
     } else if ((a == "-s" || a == "--sn") && has_next) {
-      sn = static_cast<unsigned>(std::atoi(argv[++i]));
+      sn = cli::require_unsigned("kvx-batch", "--sn", argv[++i], 1, 6);
     } else if (a == "--arch" && has_next) {
       if (!parse_arch(argv[++i], arch)) {
         std::fprintf(stderr, "kvx-batch: unknown arch '%s'\n", argv[i]);
@@ -154,7 +158,8 @@ int main(int argc, char** argv) {
       }
       backend = *parsed;
     } else if ((a == "-L" || a == "--out-len") && has_next) {
-      out_len = static_cast<usize>(std::atol(argv[++i]));
+      out_len = cli::require_usize("kvx-batch", "--out-len", argv[++i], 1,
+                                   usize{1} << 20);
     } else if (a == "--key" && has_next) {
       try {
         key = from_hex(argv[++i]);
@@ -168,9 +173,14 @@ int main(int argc, char** argv) {
     } else if (a == "--random" && has_next) {
       const std::string spec = argv[++i];
       const auto colon = spec.find(':');
-      random_count = static_cast<usize>(std::atol(spec.c_str()));
+      const std::string_view count_part =
+          std::string_view(spec).substr(0, colon);
+      random_count = cli::require_usize("kvx-batch", "--random", count_part,
+                                        1, usize{1} << 24);
       if (colon != std::string::npos) {
-        random_len = static_cast<usize>(std::atol(spec.c_str() + colon + 1));
+        random_len = cli::require_usize(
+            "kvx-batch", "--random LEN",
+            std::string_view(spec).substr(colon + 1), 1, usize{1} << 24);
       }
     } else if (a == "--inject-faults" && has_next) {
       fault_spec = argv[++i];

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "kvx/common/cli.hpp"
 #include "kvx/common/error.hpp"
 #include "kvx/obs/flight_recorder.hpp"
 #include "kvx/obs/postmortem.hpp"
@@ -364,8 +365,8 @@ int main(int argc, char** argv) {
       check = true;
     } else if (arg == "--last") {
       if (i + 1 >= argc) return usage();
-      last = static_cast<usize>(std::strtoull(argv[++i], nullptr, 10));
-      if (last == 0) last = 1;
+      last = cli::require_usize("kvx-doctor", "--last", argv[++i], 1,
+                                usize{1} << 20);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "kvx/common/cli.hpp"
 #include "kvx/common/error.hpp"
 #include "kvx/common/rng.hpp"
 #include "kvx/engine/batch_engine.hpp"
@@ -128,11 +129,12 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     const bool has_next = i + 1 < argc;
     if (a == "--seed" && has_next) {
-      seed = static_cast<u64>(std::strtoull(argv[++i], nullptr, 10));
+      seed = cli::require_u64("kvx-fuzz", "--seed", argv[++i]);
     } else if (a == "--jobs" && has_next) {
-      jobs_per_config = static_cast<usize>(std::atol(argv[++i]));
+      jobs_per_config = cli::require_usize("kvx-fuzz", "--jobs", argv[++i], 1,
+                                           usize{1} << 24);
     } else if (a == "--rate" && has_next) {
-      rate = std::atof(argv[++i]);
+      rate = cli::require_f64("kvx-fuzz", "--rate", argv[++i], 0.0, 1.0);
     } else if (a == "--backend" && has_next) {
       only_backend = sim::parse_backend(argv[++i]);
       if (!only_backend.has_value()) {
@@ -156,11 +158,6 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
   }
-  if (rate < 0.0 || rate > 1.0) {
-    std::fprintf(stderr, "kvx-fuzz: --rate must be in [0, 1]\n");
-    return kExitUsage;
-  }
-
   std::vector<sim::ExecBackend> backends = {
       sim::ExecBackend::kInterpreter, sim::ExecBackend::kCompiledTrace,
       sim::ExecBackend::kFusedTrace, sim::ExecBackend::kHostSimd,

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <string>
 
+#include "kvx/common/cli.hpp"
 #include "kvx/core/program_builder.hpp"
 
 int main(int argc, char** argv) {
@@ -18,7 +19,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--elenum" && i + 1 < argc) {
-      ele_num = static_cast<unsigned>(std::atoi(argv[++i]));
+      ele_num = cli::require_unsigned("kvx-gen", "--elenum", argv[++i], 1, 64);
     } else if (a == "--out" && i + 1 < argc) {
       out_dir = argv[++i];
     } else {

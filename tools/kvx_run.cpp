@@ -26,6 +26,7 @@
 
 #include "kvx/asm/assembler.hpp"
 #include "kvx/asm/image_io.hpp"
+#include "kvx/common/cli.hpp"
 #include "kvx/common/error.hpp"
 #include "kvx/core/step_attribution.hpp"
 #include "kvx/isa/disasm.hpp"
@@ -65,11 +66,18 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--elen" && i + 1 < argc) {
-      cfg.vector.elen_bits = static_cast<unsigned>(std::atoi(argv[++i]));
+      cfg.vector.elen_bits =
+          kvx::cli::require_unsigned("kvx-run", "--elen", argv[++i], 32, 64);
+      if (cfg.vector.elen_bits != 32 && cfg.vector.elen_bits != 64) {
+        std::fprintf(stderr, "kvx-run: --elen must be 32 or 64\n");
+        return 2;
+      }
     } else if (a == "--elenum" && i + 1 < argc) {
-      cfg.vector.ele_num = static_cast<unsigned>(std::atoi(argv[++i]));
+      cfg.vector.ele_num =
+          kvx::cli::require_unsigned("kvx-run", "--elenum", argv[++i], 1, 64);
     } else if (a == "--max-cycles" && i + 1 < argc) {
-      cfg.max_cycles = std::strtoull(argv[++i], nullptr, 0);
+      cfg.max_cycles =
+          kvx::cli::require_u64("kvx-run", "--max-cycles", argv[++i], 1);
     } else if (a == "--trace") {
       trace = true;
     } else if (a == "--profile") {
